@@ -1,0 +1,124 @@
+//! A small LRU file cache.
+//!
+//! The paper's experiments serve a 1 KB file out of the filesystem cache;
+//! this module models the cache so that harnesses can also explore miss
+//! behaviour (an extension experiment). A hit costs nothing beyond the
+//! server's normal per-request work; a miss adds a configurable disk-read
+//! CPU cost that the server charges before responding.
+
+use std::collections::VecDeque;
+
+use simcore::Nanos;
+
+/// An LRU cache of documents, keyed by document id.
+///
+/// # Examples
+///
+/// ```
+/// use httpsim::FileCache;
+/// use simcore::Nanos;
+///
+/// let mut c = FileCache::new(2, 1024, Nanos::from_micros(500));
+/// assert!(!c.lookup(1)); // cold miss
+/// assert!(c.lookup(1));  // now hot
+/// c.lookup(2);
+/// c.lookup(3);           // evicts 1
+/// assert!(!c.lookup(1));
+/// ```
+#[derive(Debug)]
+pub struct FileCache {
+    /// Most-recently-used order, front = LRU victim.
+    lru: VecDeque<u32>,
+    capacity: usize,
+    /// Bytes of every document (uniform, like the paper's 1 KB file).
+    doc_bytes: u64,
+    /// Extra CPU charged on a miss (disk read + copy).
+    miss_cost: Nanos,
+    hits: u64,
+    misses: u64,
+}
+
+impl FileCache {
+    /// Creates a cache holding `capacity` documents of `doc_bytes` each;
+    /// misses cost `miss_cost` of CPU.
+    pub fn new(capacity: usize, doc_bytes: u64, miss_cost: Nanos) -> Self {
+        FileCache {
+            lru: VecDeque::new(),
+            capacity: capacity.max(1),
+            doc_bytes,
+            miss_cost,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `doc`, updating recency; returns `true` on a hit.
+    pub fn lookup(&mut self, doc: u32) -> bool {
+        if let Some(pos) = self.lru.iter().position(|&d| d == doc) {
+            self.lru.remove(pos);
+            self.lru.push_back(doc);
+            self.hits += 1;
+            true
+        } else {
+            if self.lru.len() == self.capacity {
+                self.lru.pop_front();
+            }
+            self.lru.push_back(doc);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// The size of a document.
+    pub fn doc_bytes(&self) -> u64 {
+        self.doc_bytes
+    }
+
+    /// The extra CPU cost of a miss.
+    pub fn miss_cost(&self) -> Nanos {
+        self.miss_cost
+    }
+
+    /// Returns `(hits, misses)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap: usize) -> FileCache {
+        FileCache::new(cap, 1024, Nanos::from_micros(100))
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache(2);
+        c.lookup(1);
+        c.lookup(2);
+        c.lookup(1); // 1 is now MRU
+        c.lookup(3); // evicts 2
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2));
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut c = cache(4);
+        c.lookup(1);
+        c.lookup(1);
+        c.lookup(2);
+        assert_eq!(c.counters(), (1, 2));
+    }
+
+    #[test]
+    fn capacity_one_still_works() {
+        let mut c = FileCache::new(0, 1024, Nanos::ZERO);
+        assert!(!c.lookup(1));
+        assert!(c.lookup(1));
+        assert!(!c.lookup(2));
+        assert!(!c.lookup(1));
+    }
+}

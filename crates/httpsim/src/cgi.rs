@@ -1,0 +1,80 @@
+//! The auxiliary CGI process (§2, §5.6).
+//!
+//! "Requests for dynamic resources ... are typically created by auxiliary
+//! third-party programs, which run as separate processes to provide fault
+//! isolation." Each worker burns its configured CPU, writes the response
+//! directly to the client connection, closes it, and exits.
+//!
+//! Under resource containers, the worker's thread binds to the *request's*
+//! container (which the server passed over and reparented under its CGI
+//! sandbox, §5.6), so the 2 s of CPU are charged to the sandboxed
+//! activity. On the baselines the worker's own process is the principal,
+//! competing equally with the web server — the failure mode Figure 12
+//! demonstrates.
+
+use rescon::ContainerId;
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::SockId;
+use simos::{AppEvent, AppHandler, SysCtx};
+
+use crate::stats::SharedStats;
+
+/// A fork-per-request CGI process.
+pub struct CgiWorker {
+    conn: SockId,
+    cpu: Nanos,
+    response_bytes: u64,
+    /// The request's container (resource-containers mode).
+    container: Option<ContainerId>,
+    stats: SharedStats,
+}
+
+impl CgiWorker {
+    /// Creates a worker that will burn `cpu`, answer with
+    /// `response_bytes`, and exit.
+    pub fn new(
+        conn: SockId,
+        cpu: Nanos,
+        response_bytes: u64,
+        container: Option<ContainerId>,
+        stats: SharedStats,
+    ) -> Self {
+        CgiWorker {
+            conn,
+            cpu,
+            response_bytes,
+            container,
+            stats,
+        }
+    }
+}
+
+impl AppHandler for CgiWorker {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                if let Some(c) = self.container {
+                    // Charge the dynamic processing to the request's
+                    // container (§4.8), and reset the scheduler binding so
+                    // the worker is scheduled *only* as that activity —
+                    // otherwise its default process container would let it
+                    // escape the CGI sandbox (§4.6 "Reset the scheduler
+                    // binding").
+                    let _ = sys.bind_thread_id(c);
+                    sys.reset_scheduler_binding();
+                }
+                sys.compute(self.cpu, 0);
+            }
+            AppEvent::Continue { .. } => {
+                sys.send(self.conn, self.response_bytes);
+                sys.close(self.conn);
+                self.stats.borrow_mut().cgi_completed += 1;
+                // Unbind before exit so the request container can die.
+                let _ = sys.bind_thread_default();
+                sys.exit();
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The single-process event-driven server (thttpd derivative) used in all
+//! of the paper's experiments.
+//!
+//! One thread multiplexes every connection. Per §4.8 ("Containers in an
+//! event-driven server", Figure 10), when containers are enabled the
+//! server creates a resource container per connection, binds the
+//! connection's socket to it, and sets its thread's resource binding to
+//! the connection's container while working on its behalf — so both its
+//! user-level work and the kernel's network processing are charged to the
+//! right activity.
+
+use std::collections::HashMap;
+
+use rescon::{Attributes, ContainerFd, ContainerId};
+
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::{CidrFilter, IpAddr, SockId};
+use simos::{AppEvent, AppHandler, SysCtx};
+
+use crate::cache::FileCache;
+use crate::cgi::CgiWorker;
+use crate::fastcgi::{dispatch, shared_mailbox, FastCgiJob, FastCgiWorker, SharedMailbox};
+use crate::request::{decode_request, ReqKind};
+use crate::stats::SharedStats;
+
+/// Which readiness API the server uses (§5.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventApi {
+    /// Classic `select()`: each call scans the whole interest set.
+    Select,
+    /// The scalable event API of [Banga/Druschel/Mogul '98]: O(1) event
+    /// delivery, in container-priority order when containers are enabled.
+    Scalable,
+}
+
+/// A client class: a filtered listen socket with its own priority (§4.8).
+#[derive(Clone, Debug)]
+pub struct ClassSpec {
+    /// Label for reports.
+    pub name: String,
+    /// Foreign-address filter selecting this class's clients.
+    pub filter: CidrFilter,
+    /// Numeric priority of the class's container (0 = starvable).
+    pub priority: u32,
+    /// Ask the kernel for SYN-drop notifications on this listener.
+    pub notify_syn_drops: bool,
+}
+
+impl ClassSpec {
+    /// The default single class: everyone, priority 10.
+    pub fn default_class() -> Self {
+        ClassSpec {
+            name: "default".to_string(),
+            filter: CidrFilter::any(),
+            priority: 10,
+            notify_syn_drops: false,
+        }
+    }
+}
+
+/// CGI sandbox configuration (§5.6): a fixed-share parent container with a
+/// CPU limit, under which every CGI request's container is reparented.
+#[derive(Clone, Copy, Debug)]
+pub struct CgiSandbox {
+    /// Guaranteed share of the parent container.
+    pub share: f64,
+    /// CPU-limit fraction (the sandbox wall).
+    pub limit: f64,
+    /// Averaging window of the limit.
+    pub window: Nanos,
+}
+
+/// Event-driven server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listening port.
+    pub port: u16,
+    /// Readiness API.
+    pub api: EventApi,
+    /// User-level CPU to parse a request and prepare the response.
+    pub parse_cost: Nanos,
+    /// Static response size.
+    pub response_bytes: u64,
+    /// Create one container per connection (vs. sharing the class
+    /// container), as in §5.4's overhead check.
+    pub container_per_connection: bool,
+    /// Client classes; at least one.
+    pub classes: Vec<ClassSpec>,
+    /// CPU burned by each CGI request (§5.6: "about 2 seconds").
+    pub cgi_cpu: Nanos,
+    /// CGI response size.
+    pub cgi_response_bytes: u64,
+    /// Optional CGI sandbox (§5.6). Ignored when containers are disabled.
+    pub cgi_sandbox: Option<CgiSandbox>,
+    /// Enable the SYN-flood defense (§5.7): isolate flooding prefixes
+    /// behind a priority-zero filtered listener.
+    pub defense: bool,
+    /// Prefix length used when isolating a flood source.
+    pub defense_mask: u8,
+    /// SYN-drop notices from one prefix before it is isolated.
+    pub defense_threshold: u32,
+    /// Optional file cache (None = everything is a hit, as in §5.3).
+    pub cache: Option<(usize, Nanos)>,
+    /// Hierarchy placement: per-connection and per-class containers (and
+    /// the CGI sandbox) are created under this container — e.g. a guest
+    /// server's root container in the Rent-A-Server experiment (§5.8).
+    pub conn_parent: Option<ContainerId>,
+    /// CGI worker processes' default containers are created under this
+    /// container (lets harnesses account baseline CGI CPU).
+    pub cgi_container_parent: Option<ContainerId>,
+    /// Application-level preference: ready connections whose peer matches
+    /// are handled first (the baseline's best effort in Figure 11:
+    /// "handling events on its socket ... before events on other
+    /// sockets").
+    pub preferred: Option<CidrFilter>,
+    /// Persistent FastCGI workers (paper §2); 0 = classic fork-per-request
+    /// CGI.
+    pub fastcgi_workers: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 80,
+            api: EventApi::Scalable,
+            parse_cost: Nanos::from_micros(47),
+            response_bytes: 1024,
+            container_per_connection: true,
+            classes: vec![ClassSpec::default_class()],
+            cgi_cpu: Nanos::from_secs(2),
+            cgi_response_bytes: 1024,
+            cgi_sandbox: None,
+            defense: false,
+            defense_mask: 16,
+            defense_threshold: 32,
+            cache: None,
+            conn_parent: None,
+            cgi_container_parent: None,
+            preferred: None,
+            fastcgi_workers: 0,
+        }
+    }
+}
+
+/// Per-connection server state.
+#[derive(Debug)]
+struct Conn {
+    class: usize,
+    container: Option<(ContainerFd, ContainerId)>,
+    /// Decoded request awaiting its parse continuation.
+    pending_req: Option<(ReqKind, u32)>,
+}
+
+/// The event-driven server application.
+pub struct EventDrivenServer {
+    cfg: ServerConfig,
+    stats: SharedStats,
+    /// Listener sockets, parallel to `cfg.classes` (+ defense listeners).
+    listeners: Vec<SockId>,
+    /// Class container of each listener (containers mode).
+    class_containers: Vec<Option<(ContainerFd, ContainerId)>>,
+    conns: HashMap<SockId, Conn>,
+    by_tag: HashMap<u64, SockId>,
+    cgi_parent: Option<(ContainerFd, ContainerId)>,
+    /// Open handle to `cfg.conn_parent`, if any.
+    conn_parent_fd: Option<ContainerFd>,
+    /// FastCGI mailbox when a persistent pool is configured.
+    fastcgi: Option<SharedMailbox>,
+    cache: Option<FileCache>,
+    /// Compute continuations in flight; the wait is re-armed at zero.
+    pending: u32,
+    /// SYN-drop notices per /N prefix.
+    drop_counts: HashMap<u32, u32>,
+    /// Prefixes that have completed handshakes: never isolated (a flood
+    /// source, by definition, never completes one).
+    known_good: Vec<u32>,
+    isolated: Vec<u32>,
+    started: bool,
+}
+
+impl EventDrivenServer {
+    /// Creates a server with the given configuration and shared stats.
+    pub fn new(cfg: ServerConfig, stats: SharedStats) -> Self {
+        let cache = cfg
+            .cache
+            .map(|(cap, miss)| FileCache::new(cap, cfg.response_bytes, miss));
+        EventDrivenServer {
+            cfg,
+            stats,
+            listeners: Vec::new(),
+            class_containers: Vec::new(),
+            conns: HashMap::new(),
+            by_tag: HashMap::new(),
+            cgi_parent: None,
+            conn_parent_fd: None,
+            fastcgi: None,
+            cache,
+            pending: 0,
+            drop_counts: HashMap::new(),
+            known_good: Vec::new(),
+            isolated: Vec::new(),
+            started: false,
+        }
+    }
+
+    fn start(&mut self, sys: &mut SysCtx<'_>) {
+        debug_assert!(!self.started);
+        self.started = true;
+        if sys.containers_enabled() {
+            if let Some(parent) = self.cfg.conn_parent {
+                self.conn_parent_fd = sys.open_container(parent).ok();
+            }
+        }
+        let parent_fd = self.conn_parent_fd;
+        let classes = self.cfg.classes.clone();
+        for class in &classes {
+            let l = sys.listen(self.cfg.port, class.filter, class.notify_syn_drops);
+            let cc = if sys.containers_enabled() {
+                let fd = sys
+                    .create_container(
+                        parent_fd,
+                        Attributes::time_shared(class.priority).named(&class.name),
+                    )
+                    .expect("class container");
+                let id = sys.resolve_fd(fd).expect("fresh fd");
+                sys.bind_socket(l, fd).expect("bind listener");
+                // The server thread serves this class: keep the class
+                // container in its scheduler binding so it is scheduled at
+                // the combined priority of the classes it serves (§4.3).
+                let _ = sys.join_scheduler_binding(id);
+                Some((fd, id))
+            } else {
+                None
+            };
+            self.listeners.push(l);
+            self.class_containers.push(cc);
+            if self.cfg.api == EventApi::Scalable {
+                sys.event_register(l);
+            }
+        }
+        if self.cfg.fastcgi_workers > 0 {
+            let mailbox = shared_mailbox();
+            for i in 0..self.cfg.fastcgi_workers {
+                let worker = FastCgiWorker::new(
+                    mailbox.clone(),
+                    self.cfg.cgi_cpu,
+                    self.cfg.cgi_response_bytes,
+                    self.stats.clone(),
+                );
+                sys.spawn_process(
+                    Box::new(worker),
+                    &format!("fastcgi-{i}"),
+                    self.cfg.cgi_container_parent,
+                    Attributes::time_shared(10),
+                );
+            }
+            self.fastcgi = Some(mailbox);
+        }
+        if sys.containers_enabled() {
+            if let Some(sandbox) = self.cfg.cgi_sandbox {
+                let attrs = Attributes::fixed_share(sandbox.share)
+                    .with_cpu_limit(sandbox.limit, sandbox.window)
+                    .named("cgi-parent");
+                let fd = sys
+                    .create_container(self.conn_parent_fd, attrs)
+                    .expect("cgi parent");
+                let id = sys.resolve_fd(fd).expect("fresh fd");
+                self.cgi_parent = Some((fd, id));
+            }
+        }
+        self.rearm(sys);
+    }
+
+    fn rearm(&mut self, sys: &mut SysCtx<'_>) {
+        if self.pending > 0 {
+            return;
+        }
+        match self.cfg.api {
+            EventApi::Select => {
+                let mut socks = self.listeners.clone();
+                socks.extend(self.conns.keys().copied());
+                socks.sort();
+                sys.select_wait(socks);
+            }
+            EventApi::Scalable => sys.event_wait(),
+        }
+    }
+
+    fn accept_all(&mut self, sys: &mut SysCtx<'_>, listener: SockId) {
+        let class = self
+            .listeners
+            .iter()
+            .position(|&l| l == listener)
+            .unwrap_or(0);
+        // Refresh the class container in the scheduler binding (it would
+        // otherwise be pruned as stale).
+        if let Some(Some((_, class_id))) = self.class_containers.get(class) {
+            let _ = sys.join_scheduler_binding(*class_id);
+        }
+        while let Some(conn) = sys.accept(listener) {
+            self.stats.borrow_mut().accepted += 1;
+            // A completed handshake vouches for the peer's prefix: it is
+            // not a spoofing flood source (§5.7 assumes the network rejects
+            // spoofed sources, so established peers are distinguishable).
+            if self.cfg.defense {
+                if let Some(peer) = sys.peer_addr(conn) {
+                    let mask = CidrFilter::new(peer, self.cfg.defense_mask);
+                    let prefix = peer.0 & mask.mask();
+                    if !self.known_good.contains(&prefix) {
+                        self.known_good.push(prefix);
+                    }
+                    self.drop_counts.remove(&prefix);
+                }
+            }
+            let container = if sys.containers_enabled() && self.cfg.container_per_connection {
+                let prio = self
+                    .cfg
+                    .classes
+                    .get(class)
+                    .map(|c| c.priority)
+                    .unwrap_or(10);
+                match sys.create_container(self.conn_parent_fd, Attributes::time_shared(prio)) {
+                    Ok(fd) => {
+                        let id = sys.resolve_fd(fd).expect("fresh fd");
+                        let _ = sys.bind_socket(conn, fd);
+                        Some((fd, id))
+                    }
+                    Err(_) => None,
+                }
+            } else {
+                None
+            };
+            if self.cfg.api == EventApi::Scalable {
+                sys.event_register(conn);
+            }
+            self.conns.insert(
+                conn,
+                Conn {
+                    class,
+                    container,
+                    pending_req: None,
+                },
+            );
+        }
+    }
+
+    fn handle_readable(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let (bytes, eof) = sys.read(conn);
+        if bytes == 0 {
+            if eof {
+                self.teardown_conn(sys, conn, true);
+            }
+            return;
+        }
+        let Some((kind, doc)) = decode_request(bytes) else {
+            // Garbage request: drop the connection.
+            self.teardown_conn(sys, conn, true);
+            return;
+        };
+        state.pending_req = Some((kind, doc));
+        // Charge user work to the connection's activity: set the thread's
+        // resource binding (§4.8) and tag the work item explicitly.
+        let charge = state.container.map(|(_, id)| id);
+        if let Some(id) = charge {
+            let _ = sys.bind_thread_id(id);
+        }
+        let mut cost = self.cfg.parse_cost;
+        if let Some(cache) = self.cache.as_mut() {
+            if !cache.lookup(doc) {
+                cost += cache.miss_cost();
+            }
+        }
+        let tag = conn.as_u64();
+        self.by_tag.insert(tag, conn);
+        self.pending += 1;
+        sys.compute_charged(cost, tag, charge);
+    }
+
+    fn finish_request(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let Some((kind, _doc)) = state.pending_req.take() else {
+            return;
+        };
+        let class = state.class;
+        match kind {
+            ReqKind::Static | ReqKind::StaticKeepAlive => {
+                sys.send(conn, self.cfg.response_bytes);
+                self.stats.borrow_mut().record_static(class, sys.now());
+                if kind == ReqKind::Static {
+                    self.teardown_conn(sys, conn, true);
+                }
+            }
+            ReqKind::Cgi => {
+                self.dispatch_cgi(sys, conn);
+            }
+        }
+    }
+
+    fn dispatch_cgi(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        let container = state.container;
+        self.stats.borrow_mut().cgi_dispatched += 1;
+        // §5.6: each CGI request's container becomes a child of the
+        // CGI-parent container, putting it inside the resource sandbox.
+        if let (Some((fd, _id)), Some((parent_fd, _))) = (container, self.cgi_parent) {
+            let _ = sys.set_container_parent(fd, Some(parent_fd));
+        }
+        if let Some(mailbox) = self.fastcgi.clone() {
+            // Persistent FastCGI: hand the request to the pool instead of
+            // forking (§2).
+            dispatch(
+                &mailbox,
+                sys,
+                FastCgiJob {
+                    conn,
+                    container: container.map(|(_, id)| id),
+                },
+            );
+            let _ = sys.bind_thread_default();
+            if let Some(st) = self.conns.remove(&conn) {
+                self.by_tag.remove(&conn.as_u64());
+                if let Some((fd, _)) = st.container {
+                    let _ = sys.close_container(fd);
+                }
+            }
+            return;
+        }
+        let worker = CgiWorker::new(
+            conn,
+            self.cfg.cgi_cpu,
+            self.cfg.cgi_response_bytes,
+            container.map(|(_, id)| id),
+            self.stats.clone(),
+        );
+        // The CGI child is a plain process: in the baselines it thereby
+        // becomes its own resource principal; under containers its thread
+        // immediately binds to the request's container.
+        let cgi_pid = sys.spawn_process(
+            Box::new(worker),
+            "cgi",
+            self.cfg.cgi_container_parent,
+            Attributes::time_shared(10),
+        );
+        // Pass the connection (and its container, §4.8: "pass the
+        // connection's container to the CGI process").
+        sys.pass_socket(conn, cgi_pid);
+        if let Some((fd, _)) = container {
+            let _ = sys.pass_container(fd, cgi_pid);
+        }
+        // The server is done with this connection.
+        let _ = sys.bind_thread_default();
+        if let Some(st) = self.conns.remove(&conn) {
+            self.by_tag.remove(&conn.as_u64());
+            if let Some((fd, _)) = st.container {
+                let _ = sys.close_container(fd);
+            }
+        }
+    }
+
+    fn teardown_conn(&mut self, sys: &mut SysCtx<'_>, conn: SockId, close: bool) {
+        // Rebind away from the per-connection container before dropping
+        // the final references so it can be destroyed.
+        let _ = sys.bind_thread_default();
+        if let Some(st) = self.conns.remove(&conn) {
+            self.by_tag.remove(&conn.as_u64());
+            if close {
+                sys.close(conn);
+                self.stats.borrow_mut().closed += 1;
+            }
+            if let Some((fd, _)) = st.container {
+                let _ = sys.close_container(fd);
+            }
+        } else if close {
+            sys.close(conn);
+        }
+    }
+
+    fn handle_ready(&mut self, sys: &mut SysCtx<'_>, mut ready: Vec<SockId>) {
+        if let Some(pref) = self.cfg.preferred {
+            // Best-effort user-level prioritization (Figure 11 baseline).
+            ready.sort_by_key(|&s| {
+                let preferred = sys
+                    .peer_addr(s)
+                    .map(|a| pref.matches(a))
+                    .unwrap_or(false);
+                if preferred {
+                    0u8
+                } else {
+                    1u8
+                }
+            });
+        }
+        for s in ready {
+            if self.listeners.contains(&s) {
+                self.accept_all(sys, s);
+            } else if self.conns.contains_key(&s) {
+                self.handle_readable(sys, s);
+            }
+        }
+        self.rearm(sys);
+    }
+
+    fn handle_syn_drop(&mut self, sys: &mut SysCtx<'_>, _listener: SockId, src: IpAddr) {
+        self.stats.borrow_mut().syn_drop_notices += 1;
+        if !self.cfg.defense || !sys.containers_enabled() {
+            return;
+        }
+        let mask = CidrFilter::new(src, self.cfg.defense_mask);
+        let prefix = src.0 & mask.mask();
+        if self.isolated.contains(&prefix) || self.known_good.contains(&prefix) {
+            return;
+        }
+        let n = self.drop_counts.entry(prefix).or_insert(0);
+        *n += 1;
+        if *n < self.cfg.defense_threshold {
+            return;
+        }
+        // §5.7: isolate the misbehaving clients on a filtered listener
+        // bound to a container with numeric priority zero.
+        self.isolated.push(prefix);
+        self.stats.borrow_mut().isolations += 1;
+        let flt = CidrFilter::new(IpAddr(prefix), self.cfg.defense_mask);
+        let l = sys.listen(self.cfg.port, flt, false);
+        if let Ok(fd) = sys.create_container(None, Attributes::time_shared(0).named("isolated")) {
+            let _ = sys.bind_socket(l, fd);
+        }
+        self.listeners.push(l);
+        self.class_containers.push(None);
+        self.cfg.classes.push(ClassSpec {
+            name: "isolated".to_string(),
+            filter: flt,
+            priority: 0,
+            notify_syn_drops: false,
+        });
+        if self.cfg.api == EventApi::Scalable {
+            sys.event_register(l);
+        }
+        // Note: no re-arm here — this upcall was delivered out-of-band and
+        // the kernel restores the server's wait when it returns.
+    }
+}
+
+impl AppHandler for EventDrivenServer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => self.start(sys),
+            AppEvent::SelectReady { ready } | AppEvent::EventReady { events: ready } => {
+                self.handle_ready(sys, ready)
+            }
+            AppEvent::Continue { tag } => {
+                self.pending = self.pending.saturating_sub(1);
+                if let Some(conn) = self.by_tag.get(&tag).copied() {
+                    self.finish_request(sys, conn);
+                }
+                self.rearm(sys);
+            }
+            AppEvent::SynDropNotice { listener, src } => self.handle_syn_drop(sys, listener, src),
+            AppEvent::Timer { .. } => self.rearm(sys),
+            AppEvent::ChildExited { .. } => {
+                // CGI child finished; nothing to do — it answered the
+                // client directly. (Delivered out-of-band: no re-arm.)
+            }
+            AppEvent::Ipc { .. } => {
+                // This server model does not use IPC (see the FastCGI
+                // pool). Delivered out-of-band: no re-arm.
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Persistent CGI workers (FastCGI, paper §2: "the newer FastCGI allows
+//! persistent CGI processes").
+//!
+//! Instead of forking a process per dynamic request, a fixed pool of
+//! worker processes is spawned once. The dispatching server passes the
+//! client connection (and, under resource containers, the request's
+//! container) to an idle worker and rings its IPC doorbell; the worker
+//! binds to the request's container, burns the dynamic-processing CPU,
+//! answers the client directly, rebinds to its default container, and
+//! reports back idle.
+//!
+//! Shared dispatcher/worker state travels through an `Rc<RefCell<..>>`
+//! mailbox — the simulation analog of the FastCGI connection's request
+//! records.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use rescon::ContainerId;
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::SockId;
+use simos::{AppEvent, AppHandler, Pid, SysCtx};
+
+use crate::stats::SharedStats;
+
+/// One dynamic request handed to a worker.
+#[derive(Clone, Copy, Debug)]
+pub struct FastCgiJob {
+    /// The client connection to answer.
+    pub conn: SockId,
+    /// The request's container (resource-containers mode).
+    pub container: Option<ContainerId>,
+}
+
+/// The mailbox shared between the dispatcher and its workers.
+#[derive(Debug, Default)]
+pub struct FastCgiMailbox {
+    /// Jobs not yet assigned.
+    pub queue: VecDeque<FastCgiJob>,
+    /// Pids of workers with nothing to do.
+    pub idle: Vec<Pid>,
+    /// Jobs completed over the pool's lifetime.
+    pub completed: u64,
+}
+
+/// Shared handle to the mailbox.
+pub type SharedMailbox = Rc<RefCell<FastCgiMailbox>>;
+
+/// Creates an empty shared mailbox.
+pub fn shared_mailbox() -> SharedMailbox {
+    Rc::new(RefCell::new(FastCgiMailbox::default()))
+}
+
+/// Doorbell tag rung on workers when a job is queued.
+pub const FASTCGI_RING: u64 = 0xfc91;
+
+/// Dispatch helper used by a server handler: queue the job and wake an
+/// idle worker if one exists.
+pub fn dispatch(mailbox: &SharedMailbox, sys: &mut SysCtx<'_>, job: FastCgiJob) {
+    let worker = {
+        let mut mb = mailbox.borrow_mut();
+        mb.queue.push_back(job);
+        mb.idle.pop()
+    };
+    if let Some(w) = worker {
+        sys.send_ipc(w, FASTCGI_RING);
+    }
+}
+
+/// A persistent CGI worker process.
+pub struct FastCgiWorker {
+    mailbox: SharedMailbox,
+    /// CPU burned per request.
+    pub cpu: Nanos,
+    /// Response size.
+    pub response_bytes: u64,
+    stats: SharedStats,
+    current: Option<FastCgiJob>,
+}
+
+impl FastCgiWorker {
+    /// Creates a worker attached to `mailbox`.
+    pub fn new(mailbox: SharedMailbox, cpu: Nanos, response_bytes: u64, stats: SharedStats) -> Self {
+        FastCgiWorker {
+            mailbox,
+            cpu,
+            response_bytes,
+            stats,
+            current: None,
+        }
+    }
+
+    /// Takes the next job if any; otherwise parks as idle.
+    fn take_or_park(&mut self, sys: &mut SysCtx<'_>) {
+        debug_assert!(self.current.is_none());
+        let job = self.mailbox.borrow_mut().queue.pop_front();
+        match job {
+            Some(job) => {
+                self.current = Some(job);
+                if let Some(c) = job.container {
+                    // §4.8: dynamic processing is charged to the request's
+                    // container; a persistent worker serves one activity at
+                    // a time, so it also resets its scheduler binding.
+                    let _ = sys.bind_thread_id(c);
+                    sys.reset_scheduler_binding();
+                }
+                sys.compute(self.cpu, 0);
+            }
+            None => {
+                let pid = sys.pid();
+                self.mailbox.borrow_mut().idle.push(pid);
+                // Park until the dispatcher rings; a very long sleep keeps
+                // the thread alive without burning CPU.
+                sys.sleep_until(Nanos::MAX, FASTCGI_RING);
+            }
+        }
+    }
+}
+
+impl AppHandler for FastCgiWorker {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => self.take_or_park(sys),
+            AppEvent::Ipc { tag: FASTCGI_RING, .. } | AppEvent::Timer { tag: FASTCGI_RING } => {
+                // Rung (or a stale park timer fired): if idle, grab work.
+                if self.current.is_none() {
+                    let pid = sys.pid();
+                    self.mailbox.borrow_mut().idle.retain(|&p| p != pid);
+                    self.take_or_park(sys);
+                }
+            }
+            AppEvent::Continue { .. } => {
+                if let Some(job) = self.current.take() {
+                    sys.send(job.conn, self.response_bytes);
+                    sys.close(job.conn);
+                    let _ = sys.bind_thread_default();
+                    sys.reset_scheduler_binding();
+                    self.mailbox.borrow_mut().completed += 1;
+                    self.stats.borrow_mut().cgi_completed += 1;
+                }
+                self.take_or_park(sys);
+            }
+            _ => {}
+        }
+    }
+}

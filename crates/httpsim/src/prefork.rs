@@ -1,0 +1,139 @@
+//! The process-per-connection server with pre-forked workers (Figure 1).
+//!
+//! "A master process accepts new connections and passes them to the
+//! pre-forked worker processes" — in the common BSD idiom (and ours) the
+//! workers simply block in `accept()` on the shared listening socket the
+//! master created, which the kernel hands them one at a time.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::{CidrFilter, SockId};
+use simos::{AppEvent, AppHandler, SysCtx};
+
+use crate::request::decode_request;
+use crate::stats::SharedStats;
+
+/// The master process: creates the shared listener and forks workers.
+pub struct PreforkServer {
+    port: u16,
+    workers: u32,
+    parse_cost: Nanos,
+    response_bytes: u64,
+    stats: SharedStats,
+    /// Shared slot through which workers learn the listener id (stands in
+    /// for fd inheritance across `fork()`).
+    listener_slot: Rc<Cell<Option<SockId>>>,
+}
+
+impl PreforkServer {
+    /// Creates a master that will fork `workers` worker processes.
+    pub fn new(port: u16, workers: u32, parse_cost: Nanos, response_bytes: u64, stats: SharedStats) -> Self {
+        PreforkServer {
+            port,
+            workers: workers.max(1),
+            parse_cost,
+            response_bytes,
+            stats,
+            listener_slot: Rc::new(Cell::new(None)),
+        }
+    }
+}
+
+impl AppHandler for PreforkServer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                let l = sys.listen(self.port, CidrFilter::any(), false);
+                self.listener_slot.set(Some(l));
+                for i in 0..self.workers {
+                    let w = PreforkWorker {
+                        listener: self.listener_slot.clone(),
+                        parse_cost: self.parse_cost,
+                        response_bytes: self.response_bytes,
+                        stats: self.stats.clone(),
+                        conn: None,
+                    };
+                    sys.spawn_process(
+                        Box::new(w),
+                        &format!("httpd-worker-{i}"),
+                        None,
+                        rescon::Attributes::time_shared(10),
+                    );
+                }
+                // The master has nothing further to do but stay alive.
+                sys.sleep_until(Nanos::MAX, 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A pre-forked worker: accept → read → respond → close → repeat.
+struct PreforkWorker {
+    listener: Rc<Cell<Option<SockId>>>,
+    parse_cost: Nanos,
+    response_bytes: u64,
+    stats: SharedStats,
+    conn: Option<SockId>,
+}
+
+impl PreforkWorker {
+    fn try_accept(&mut self, sys: &mut SysCtx<'_>) {
+        let Some(listener) = self.listener.get() else {
+            return;
+        };
+        match sys.accept(listener) {
+            Some(conn) => {
+                self.stats.borrow_mut().accepted += 1;
+                self.conn = Some(conn);
+                sys.read_wait(conn);
+            }
+            None => {
+                self.conn = None;
+                sys.accept_wait(listener);
+            }
+        }
+    }
+}
+
+impl AppHandler for PreforkWorker {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => self.try_accept(sys),
+            AppEvent::SelectReady { ready } => match self.conn {
+                Some(conn) if ready.contains(&conn) => {
+                    let (bytes, eof) = sys.read(conn);
+                    if bytes == 0 {
+                        if eof {
+                            sys.close(conn);
+                            self.stats.borrow_mut().closed += 1;
+                            self.try_accept(sys);
+                        } else {
+                            sys.read_wait(conn);
+                        }
+                    } else if decode_request(bytes).is_some() {
+                        sys.compute(self.parse_cost, 0);
+                    } else {
+                        sys.close(conn);
+                        self.try_accept(sys);
+                    }
+                }
+                Some(conn) => sys.read_wait(conn),
+                None => self.try_accept(sys),
+            },
+            AppEvent::Continue { .. } => {
+                if let Some(conn) = self.conn.take() {
+                    sys.send(conn, self.response_bytes);
+                    self.stats.borrow_mut().record_static(0, sys.now());
+                    sys.close(conn);
+                    self.stats.borrow_mut().closed += 1;
+                }
+                self.try_accept(sys);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Request encoding: the request kind and document id ride in the request
+//! length.
+//!
+//! The simulation does not model request bytes; what the experiments need
+//! is *which kind* of request arrived (static, keep-alive static, CGI) and
+//! *which document* it names. Both are encoded into the request's payload
+//! length — standing in for the URL parsing a real server performs (whose
+//! CPU cost the server charges separately).
+
+/// The kinds of HTTP request the servers distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Static document; connection closes after the response (HTTP/1.0).
+    Static,
+    /// Static document on a persistent connection (HTTP/1.1).
+    StaticKeepAlive,
+    /// Dynamic (CGI) resource; handled by an auxiliary process.
+    Cgi,
+}
+
+/// Base length of an encoded request.
+const BASE: u32 = 200;
+
+/// Encodes `(kind, doc_id)` as a request payload length.
+///
+/// # Examples
+///
+/// ```
+/// use httpsim::{decode_request, encode_request, ReqKind};
+///
+/// let len = encode_request(ReqKind::Cgi, 7);
+/// assert_eq!(decode_request(len as u64), Some((ReqKind::Cgi, 7)));
+/// ```
+pub fn encode_request(kind: ReqKind, doc_id: u32) -> u32 {
+    let k = match kind {
+        ReqKind::Static => 0,
+        ReqKind::StaticKeepAlive => 1,
+        ReqKind::Cgi => 2,
+    };
+    BASE + k + doc_id * 16
+}
+
+/// Decodes a request payload length back to `(kind, doc_id)`; `None` for
+/// lengths that are not valid encodings (e.g. a partial read).
+pub fn decode_request(len: u64) -> Option<(ReqKind, u32)> {
+    if len < BASE as u64 {
+        return None;
+    }
+    let v = (len - BASE as u64) as u32;
+    let kind = match v % 16 {
+        0 => ReqKind::Static,
+        1 => ReqKind::StaticKeepAlive,
+        2 => ReqKind::Cgi,
+        _ => return None,
+    };
+    Some((kind, v / 16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [ReqKind::Static, ReqKind::StaticKeepAlive, ReqKind::Cgi] {
+            for doc in [0, 1, 7, 1000] {
+                let len = encode_request(kind, doc);
+                assert_eq!(decode_request(len as u64), Some((kind, doc)));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert_eq!(decode_request(0), None);
+        assert_eq!(decode_request(199), None);
+        assert_eq!(decode_request((BASE + 5) as u64), None);
+    }
+
+    #[test]
+    fn encodings_distinct() {
+        let a = encode_request(ReqKind::Static, 3);
+        let b = encode_request(ReqKind::StaticKeepAlive, 3);
+        let c = encode_request(ReqKind::Cgi, 3);
+        let d = encode_request(ReqKind::Static, 4);
+        let set: std::collections::HashSet<u32> = [a, b, c, d].into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

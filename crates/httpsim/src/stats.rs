@@ -1,0 +1,76 @@
+//! Shared server-side counters read by experiment harnesses.
+//!
+//! The simulation is single-threaded, so harnesses and server handlers
+//! share statistics through `Rc<RefCell<...>>` handles.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simcore::Nanos;
+
+/// Counters a server updates as it serves requests.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Static responses sent.
+    pub static_served: u64,
+    /// CGI responses dispatched to workers.
+    pub cgi_dispatched: u64,
+    /// CGI responses completed (updated by the CGI workers).
+    pub cgi_completed: u64,
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed by the server.
+    pub closed: u64,
+    /// Per-class static counts, indexed by class.
+    pub per_class_served: Vec<u64>,
+    /// SYN-drop notices received (§5.7).
+    pub syn_drop_notices: u64,
+    /// Flood sources isolated behind a priority-zero listener (§5.7).
+    pub isolations: u64,
+    /// Virtual time of the last served response.
+    pub last_served_at: Nanos,
+}
+
+/// A shared handle to [`ServerStats`].
+pub type SharedStats = Rc<RefCell<ServerStats>>;
+
+/// Creates a fresh shared stats handle.
+pub fn shared_stats() -> SharedStats {
+    Rc::new(RefCell::new(ServerStats::default()))
+}
+
+impl ServerStats {
+    /// Records one served static response for `class`.
+    pub fn record_static(&mut self, class: usize, now: Nanos) {
+        self.static_served += 1;
+        if self.per_class_served.len() <= class {
+            self.per_class_served.resize(class + 1, 0);
+        }
+        self.per_class_served[class] += 1;
+        self.last_served_at = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_static_grows_class_vector() {
+        let mut s = ServerStats::default();
+        s.record_static(2, Nanos::from_micros(5));
+        assert_eq!(s.static_served, 1);
+        assert_eq!(s.per_class_served, vec![0, 0, 1]);
+        assert_eq!(s.last_served_at, Nanos::from_micros(5));
+        s.record_static(0, Nanos::from_micros(9));
+        assert_eq!(s.per_class_served, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn shared_handle_aliases() {
+        let h = shared_stats();
+        let h2 = h.clone();
+        h.borrow_mut().accepted = 5;
+        assert_eq!(h2.borrow().accepted, 5);
+    }
+}

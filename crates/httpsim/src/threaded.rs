@@ -1,0 +1,184 @@
+//! The single-process multi-threaded server (Figure 3 / Figure 9).
+//!
+//! A pool of kernel threads shares one listening socket; an idle thread
+//! accepts a connection, serves requests on it to completion, and returns
+//! to accepting. Under resource containers each thread sets its resource
+//! binding to its connection's container (§4.8: "assigns one of a pool of
+//! free threads to service the connection ... Any subsequent kernel
+//! processing for this connection is charged to the connection's resource
+//! container").
+
+use std::collections::HashMap;
+
+use rescon::{Attributes, ContainerFd, ContainerId};
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::{CidrFilter, SockId};
+use simos::{AppEvent, AppHandler, SysCtx};
+
+use crate::request::decode_request;
+use crate::stats::SharedStats;
+
+/// Per-worker state.
+#[derive(Debug)]
+enum Worker {
+    /// Waiting in `accept()`.
+    Accepting,
+    /// Serving a connection.
+    Serving {
+        conn: SockId,
+        container: Option<(ContainerFd, ContainerId)>,
+    },
+}
+
+/// The thread-pool server application.
+pub struct ThreadPoolServer {
+    port: u16,
+    pool_size: u32,
+    parse_cost: Nanos,
+    response_bytes: u64,
+    container_per_connection: bool,
+    stats: SharedStats,
+    listener: Option<SockId>,
+    workers: HashMap<TaskId, Worker>,
+    started: bool,
+}
+
+impl ThreadPoolServer {
+    /// Creates a server with `pool_size` threads.
+    pub fn new(
+        port: u16,
+        pool_size: u32,
+        parse_cost: Nanos,
+        response_bytes: u64,
+        container_per_connection: bool,
+        stats: SharedStats,
+    ) -> Self {
+        ThreadPoolServer {
+            port,
+            pool_size: pool_size.max(1),
+            parse_cost,
+            response_bytes,
+            container_per_connection,
+            stats,
+            listener: None,
+            workers: HashMap::new(),
+            started: false,
+        }
+    }
+
+    fn try_accept(&mut self, sys: &mut SysCtx<'_>, thread: TaskId) {
+        let listener = self.listener.expect("listener exists");
+        match sys.accept(listener) {
+            Some(conn) => {
+                self.stats.borrow_mut().accepted += 1;
+                let container = if sys.containers_enabled() && self.container_per_connection {
+                    match sys.create_container(None, Attributes::time_shared(10)) {
+                        Ok(fd) => {
+                            let id = sys.resolve_fd(fd).expect("fresh fd");
+                            let _ = sys.bind_socket(conn, fd);
+                            // Dedicated thread: bind it to the connection's
+                            // container for the connection's lifetime, and
+                            // serve only that activity (§4.6).
+                            let _ = sys.bind_thread_id(id);
+                            sys.reset_scheduler_binding();
+                            Some((fd, id))
+                        }
+                        Err(_) => None,
+                    }
+                } else {
+                    None
+                };
+                self.workers
+                    .insert(thread, Worker::Serving { conn, container });
+                sys.read_wait(conn);
+            }
+            None => {
+                self.workers.insert(thread, Worker::Accepting);
+                sys.accept_wait(listener);
+            }
+        }
+    }
+
+    fn serve_readable(&mut self, sys: &mut SysCtx<'_>, thread: TaskId) {
+        let Some(Worker::Serving { conn, container }) = self.workers.get(&thread) else {
+            return;
+        };
+        let conn = *conn;
+        let charge = container.map(|(_, id)| id);
+        let (bytes, eof) = sys.read(conn);
+        if bytes == 0 {
+            if eof {
+                self.finish_conn(sys, thread, true);
+            } else {
+                sys.read_wait(conn);
+            }
+            return;
+        }
+        match decode_request(bytes) {
+            Some((_kind, _doc)) => {
+                sys.compute_charged(self.parse_cost, thread.0 as u64, charge);
+            }
+            None => self.finish_conn(sys, thread, true),
+        }
+    }
+
+    fn respond(&mut self, sys: &mut SysCtx<'_>, thread: TaskId) {
+        let Some(Worker::Serving { conn, .. }) = self.workers.get(&thread) else {
+            return;
+        };
+        let conn = *conn;
+        sys.send(conn, self.response_bytes);
+        self.stats.borrow_mut().record_static(0, sys.now());
+        self.finish_conn(sys, thread, true);
+    }
+
+    fn finish_conn(&mut self, sys: &mut SysCtx<'_>, thread: TaskId, close: bool) {
+        let _ = sys.bind_thread_default();
+        sys.reset_scheduler_binding();
+        if let Some(Worker::Serving { conn, container }) = self.workers.remove(&thread) {
+            if close {
+                sys.close(conn);
+                self.stats.borrow_mut().closed += 1;
+            }
+            if let Some((fd, _)) = container {
+                let _ = sys.close_container(fd);
+            }
+        }
+        self.try_accept(sys, thread);
+    }
+}
+
+impl AppHandler for ThreadPoolServer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                if !self.started {
+                    self.started = true;
+                    self.listener = Some(sys.listen(self.port, CidrFilter::any(), false));
+                    for _ in 1..self.pool_size {
+                        sys.spawn_thread();
+                    }
+                }
+                self.try_accept(sys, thread);
+            }
+            AppEvent::SelectReady { ready } => {
+                // A wake from accept_wait or read_wait.
+                match self.workers.get(&thread) {
+                    Some(Worker::Accepting) => self.try_accept(sys, thread),
+                    Some(Worker::Serving { conn, .. }) => {
+                        if ready.contains(conn) {
+                            self.serve_readable(sys, thread);
+                        } else {
+                            let conn = *conn;
+                            sys.read_wait(conn);
+                        }
+                    }
+                    None => self.try_accept(sys, thread),
+                }
+            }
+            AppEvent::Continue { .. } => self.respond(sys, thread),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Simulation-engine benchmarks: wall-clock cost of simulating a loaded
+//! server for 100 ms of virtual time under each kernel configuration.
+//!
+//! These are not paper results; they track the performance of the
+//! simulator itself (scheduler pick paths, event queue, network glue) so
+//! regressions in the substrate show up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use httpsim::stats::shared_stats;
+use httpsim::{EventDrivenServer, ServerConfig};
+use rescon::Attributes;
+use simcore::Nanos;
+use simnet::IpAddr;
+use simos::{Kernel, KernelConfig};
+use workload::{ClientSpec, HttpClients};
+
+fn simulate(cfg: KernelConfig, clients: usize, virtual_ms: u64) -> u64 {
+    let stats = shared_stats();
+    let mut k = Kernel::new(cfg);
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let specs: Vec<ClientSpec> = (0..clients)
+        .map(|i| ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1 + i as u8), 0))
+        .collect();
+    let mut world = HttpClients::new(specs, Nanos::ZERO, Nanos::from_millis(virtual_ms));
+    world.arm(&mut k);
+    k.run(&mut world, Nanos::from_millis(virtual_ms));
+    let served = stats.borrow().static_served;
+    served
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("unmodified_100ms_8clients", |b| {
+        b.iter(|| black_box(simulate(KernelConfig::unmodified(), 8, 100)))
+    });
+    g.bench_function("lrp_100ms_8clients", |b| {
+        b.iter(|| black_box(simulate(KernelConfig::lrp(), 8, 100)))
+    });
+    g.bench_function("rc_100ms_8clients", |b| {
+        b.iter(|| black_box(simulate(KernelConfig::resource_containers(), 8, 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(engine, bench_kernels);
+criterion_main!(engine);

@@ -1,0 +1,112 @@
+//! Substrate benchmarks: the hot paths the simulated kernel leans on.
+//!
+//! Not paper results — these guard the building blocks: the container
+//! charge path at various hierarchy depths, multi-level scheduler picks at
+//! realistic container counts, pending-queue operations, and a full
+//! simulated TCP handshake through the socket table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rescon::{Attributes, ContainerId, ContainerTable};
+use sched::{MultiLevelScheduler, Scheduler, TaskId};
+use simcore::Nanos;
+use simnet::{CidrFilter, FlowKey, IpAddr, NetStack, Packet, PacketKind, PendingQueues};
+
+fn bench_charge_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rescon/charge_cpu");
+    for depth in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut t = ContainerTable::new();
+            let mut parent = None;
+            for _ in 0..depth {
+                parent = Some(
+                    t.create(parent, Attributes::fixed_share(0.5))
+                        .expect("chain"),
+                );
+            }
+            let leaf = t
+                .create(parent, Attributes::time_shared(10))
+                .expect("leaf");
+            b.iter(|| t.charge_cpu(black_box(leaf), Nanos::from_micros(1)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_multilevel_pick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/multilevel_pick");
+    for containers in [4usize, 40, 400] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(containers),
+            &containers,
+            |b, &n| {
+                let mut t = ContainerTable::new();
+                let conns: Vec<ContainerId> = (0..n)
+                    .map(|_| t.create(None, Attributes::time_shared(10)).unwrap())
+                    .collect();
+                let mut s = MultiLevelScheduler::new();
+                // One multiplexed server thread bound to everything, plus a
+                // kthread bound to a few.
+                s.add_task(TaskId(1), &conns, Nanos::ZERO);
+                s.add_task(TaskId(2), &conns[..n.min(4)], Nanos::ZERO);
+                s.set_runnable(TaskId(1), true, Nanos::ZERO);
+                s.set_runnable(TaskId(2), true, Nanos::ZERO);
+                let mut now = Nanos::ZERO;
+                b.iter(|| {
+                    now += Nanos::from_micros(10);
+                    let p = s.pick(&t, now).expect("pick");
+                    s.charge(p.task, conns[0], Nanos::from_micros(10), &t, now);
+                    black_box(p.task)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pending_queues(c: &mut Criterion) {
+    c.bench_function("simnet/pending_push_pop", |b| {
+        let mut q: PendingQueues<u32> = PendingQueues::new(256);
+        let pkt = Packet::new(
+            FlowKey::new(IpAddr::new(1, 2, 3, 4), 99, 80),
+            PacketKind::Data { bytes: 512 },
+        );
+        for p in 0..16u32 {
+            q.push(p, pkt);
+        }
+        b.iter(|| {
+            q.push(3, pkt);
+            black_box(q.pop_highest(|p| p % 4).expect("pop"))
+        });
+    });
+}
+
+fn bench_handshake(c: &mut Criterion) {
+    c.bench_function("simnet/full_handshake_request_close", |b| {
+        let mut stack = NetStack::new(Nanos::from_secs(5));
+        let l = stack.listen(80, CidrFilter::any(), None, 1024, 1024, false);
+        let mut port = 1000u16;
+        b.iter(|| {
+            port = port.wrapping_add(1).max(1000);
+            let f = FlowKey::new(IpAddr::new(10, 0, 0, 1), port, 80);
+            let now = Nanos::from_micros(port as u64);
+            stack.handle_packet(Packet::new(f, PacketKind::Syn), now);
+            stack.handle_packet(Packet::new(f, PacketKind::Ack), now);
+            let conn = stack.accept(l).expect("conn");
+            stack.handle_packet(Packet::new(f, PacketKind::Data { bytes: 200 }), now);
+            let _ = stack.read(conn);
+            let _ = stack.send(conn, 1024);
+            black_box(stack.close(conn));
+        });
+    });
+}
+
+criterion_group!(
+    substrate,
+    bench_charge_depth,
+    bench_multilevel_pick,
+    bench_pending_queues,
+    bench_handshake
+);
+criterion_main!(substrate);

@@ -1,0 +1,120 @@
+//! Table 1: cost of resource container primitives.
+//!
+//! The paper measured, on a 500 MHz Alpha (microseconds):
+//!
+//! | operation                         | cost (µs) |
+//! |-----------------------------------|-----------|
+//! | create resource container         | 2.36      |
+//! | destroy resource container        | 2.10      |
+//! | change thread's resource binding  | 1.04      |
+//! | obtain container resource usage   | 2.04      |
+//! | set/get container attributes      | 2.10      |
+//! | move container between processes  | 3.15      |
+//! | obtain handle for existing cont.  | 1.90      |
+//!
+//! This bench measures our actual Rust implementations of the same
+//! primitives on the host. Absolute numbers differ (different machine and
+//! substrate); the property that must hold — and did in §5.4 — is that
+//! every primitive costs far less than one HTTP transaction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rescon::{Attributes, ContainerTable, DescriptorTable, SchedulerBinding};
+use simcore::Nanos;
+
+fn bench_create_destroy(c: &mut Criterion) {
+    c.bench_function("table1/create+destroy_container", |b| {
+        let mut t = ContainerTable::new();
+        b.iter(|| {
+            let id = t
+                .create(None, Attributes::time_shared(10))
+                .expect("create");
+            black_box(t.drop_descriptor_ref(id).expect("destroy"));
+        });
+    });
+}
+
+fn bench_change_binding(c: &mut Criterion) {
+    c.bench_function("table1/change_thread_resource_binding", |b| {
+        let mut t = ContainerTable::new();
+        let a = t.create(None, Attributes::time_shared(1)).unwrap();
+        let bb = t.create(None, Attributes::time_shared(2)).unwrap();
+        let mut sb = SchedulerBinding::new();
+        let mut now = Nanos::ZERO;
+        let mut flip = false;
+        b.iter(|| {
+            let target = if flip { a } else { bb };
+            flip = !flip;
+            // A binding change = refcount move + scheduler-binding touch.
+            t.bind_thread(target).expect("bind");
+            sb.touch(target, now);
+            now += Nanos::from_nanos(1);
+            t.unbind_thread(target).expect("unbind");
+            black_box(&sb);
+        });
+    });
+}
+
+fn bench_usage_query(c: &mut Criterion) {
+    c.bench_function("table1/obtain_container_usage", |b| {
+        let mut t = ContainerTable::new();
+        let id = t.create(None, Attributes::time_shared(1)).unwrap();
+        t.charge_cpu(id, Nanos::from_micros(100)).unwrap();
+        b.iter(|| black_box(t.usage(id).expect("usage")));
+    });
+}
+
+fn bench_attrs(c: &mut Criterion) {
+    c.bench_function("table1/set_get_attributes", |b| {
+        let mut t = ContainerTable::new();
+        let id = t.create(None, Attributes::time_shared(1)).unwrap();
+        let mut prio = 1;
+        b.iter(|| {
+            prio = (prio % 30) + 1;
+            t.set_attrs(id, Attributes::time_shared(prio)).expect("set");
+            black_box(t.attrs(id).expect("get"));
+        });
+    });
+}
+
+fn bench_pass_between_processes(c: &mut Criterion) {
+    c.bench_function("table1/move_container_between_processes", |b| {
+        let mut t = ContainerTable::new();
+        let id = t.create(None, Attributes::time_shared(1)).unwrap();
+        let sender = {
+            let mut d = DescriptorTable::new();
+            d.adopt(id);
+            d
+        };
+        let fd = rescon::ContainerFd(0);
+        b.iter(|| {
+            let mut receiver = DescriptorTable::new();
+            let rfd = sender.pass_to(fd, &mut receiver, &mut t).expect("pass");
+            black_box(receiver.close(rfd, &mut t).expect("close"));
+        });
+    });
+}
+
+fn bench_obtain_handle(c: &mut Criterion) {
+    c.bench_function("table1/obtain_handle_for_existing", |b| {
+        let mut t = ContainerTable::new();
+        let id = t.create(None, Attributes::time_shared(1)).unwrap();
+        let mut d = DescriptorTable::new();
+        b.iter(|| {
+            let fd = d.open(id, &mut t).expect("open");
+            black_box(d.close(fd, &mut t).expect("close"));
+        });
+    });
+}
+
+criterion_group!(
+    table1,
+    bench_create_destroy,
+    bench_change_binding,
+    bench_usage_query,
+    bench_attrs,
+    bench_pass_between_processes,
+    bench_obtain_handle
+);
+criterion_main!(table1);

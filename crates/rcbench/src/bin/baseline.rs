@@ -1,0 +1,68 @@
+//! §5.3 baseline throughput + §5.4 container-overhead check.
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin baseline
+//! ```
+
+use rcbench::{vs, Report};
+use simos::KernelConfig;
+use workload::scenarios::{run_baseline, BaselineParams};
+
+fn main() {
+    let mut rep = Report::new("Baseline throughput (paper §5.3) and container overhead (§5.4)");
+
+    let per_conn = run_baseline(BaselineParams {
+        persistent: false,
+        secs: 10,
+        ..BaselineParams::default()
+    });
+    rep.line(format!(
+        "connection-per-request : {}",
+        vs(per_conn.requests_per_sec, 2954.0, " req/s")
+    ));
+    rep.line(format!(
+        "  per-request CPU      : {}",
+        vs(per_conn.cpu_per_request_us, 338.0, " us")
+    ));
+
+    let persistent = run_baseline(BaselineParams {
+        persistent: true,
+        secs: 10,
+        ..BaselineParams::default()
+    });
+    rep.line(format!(
+        "persistent connections : {}",
+        vs(persistent.requests_per_sec, 9487.0, " req/s")
+    ));
+    rep.line(format!(
+        "  per-request CPU      : {}",
+        vs(persistent.cpu_per_request_us, 105.0, " us")
+    ));
+    rep.blank();
+
+    // §5.4: container per request on the RC kernel.
+    let rc_off = run_baseline(BaselineParams {
+        kernel: KernelConfig::resource_containers(),
+        per_request_containers: false,
+        secs: 10,
+        ..BaselineParams::default()
+    });
+    let rc_on = run_baseline(BaselineParams {
+        kernel: KernelConfig::resource_containers(),
+        per_request_containers: true,
+        secs: 10,
+        ..BaselineParams::default()
+    });
+    rep.line(format!(
+        "RC kernel, shared containers   : {:.0} req/s",
+        rc_off.requests_per_sec
+    ));
+    rep.line(format!(
+        "RC kernel, container/request   : {:.0} req/s ({:+.1}%)",
+        rc_on.requests_per_sec,
+        (rc_on.requests_per_sec / rc_off.requests_per_sec - 1.0) * 100.0
+    ));
+    rep.line("paper: \"The throughput of the system remained effectively unchanged.\"");
+
+    rep.emit("baseline");
+}

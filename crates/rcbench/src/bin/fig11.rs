@@ -1,0 +1,41 @@
+//! Figure 11: response time of the high-priority client vs the number of
+//! concurrent low-priority clients, for the three systems.
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin fig11
+//! ```
+
+use rcbench::Report;
+use workload::scenarios::{run_fig11, Fig11Params, Fig11System};
+
+fn main() {
+    let sweep: Vec<usize> = vec![0, 5, 10, 15, 20, 25, 30, 35];
+    let systems = [
+        Fig11System::Unmodified,
+        Fig11System::RcSelect,
+        Fig11System::RcEventApi,
+    ];
+
+    let mut rep = Report::new("Figure 11: T_high (ms) vs concurrent low-priority clients");
+    rep.line(format!(
+        "{:<6} {:>22} {:>22} {:>24}",
+        "N", "without containers", "containers+select()", "containers+event API"
+    ));
+    for &n in &sweep {
+        let mut row = format!("{n:<6}");
+        for system in systems {
+            let r = run_fig11(Fig11Params {
+                system,
+                low_clients: n,
+                secs: 6,
+            });
+            row.push_str(&format!("{:>22.3}", r.t_high_ms));
+        }
+        rep.line(row);
+    }
+    rep.blank();
+    rep.line("paper shape: the unmodified curve rises sharply toward ~8-9 ms at N=35;");
+    rep.line("containers+select() rises mildly (select scan cost); containers+event API");
+    rep.line("stays nearly flat (only interrupt-level demux of low-priority packets).");
+    rep.emit("fig11");
+}

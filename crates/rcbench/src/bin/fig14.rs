@@ -1,0 +1,47 @@
+//! Figure 14: server throughput under SYN-flooding, unmodified vs
+//! defended (resource containers + filter + priority-zero isolation).
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin fig14
+//! ```
+
+use rcbench::Report;
+use workload::scenarios::{run_fig14, Fig14Params};
+
+fn main() {
+    let rates = [
+        0.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 30_000.0, 50_000.0, 70_000.0,
+    ];
+
+    let mut rep = Report::new("Figure 14: useful throughput (req/s) vs SYN-flood rate");
+    rep.line(format!(
+        "{:<14} {:>18} {:>22} {:>12} {:>12}",
+        "SYNs/sec", "unmodified", "with containers", "early drops", "isolations"
+    ));
+    for &rate in &rates {
+        // 16 s runs: the measurement window must sit past the 5 s expiry
+        // of the flood's half-open entries (steady state, like the paper).
+        let plain = run_fig14(Fig14Params {
+            defended: false,
+            syn_rate: rate,
+            clients: 24,
+            secs: 16,
+        });
+        let defended = run_fig14(Fig14Params {
+            defended: true,
+            syn_rate: rate,
+            clients: 24,
+            secs: 16,
+        });
+        rep.line(format!(
+            "{:<14.0} {:>18.0} {:>22.0} {:>12} {:>12}",
+            rate, plain.throughput, defended.throughput, defended.early_drops,
+            defended.isolations
+        ));
+    }
+    rep.blank();
+    rep.line("paper shape: unmodified falls drastically, effectively zero by ~10k SYN/s;");
+    rep.line("the defended server keeps ~73% of maximum even at 70k SYN/s (the residual");
+    rep.line("loss is the interrupt cost of demultiplexing and discarding flood SYNs).");
+    rep.emit("fig14");
+}

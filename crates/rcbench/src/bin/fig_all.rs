@@ -1,0 +1,120 @@
+//! Regenerates every table and figure in one run (abbreviated sweeps).
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin fig_all
+//! ```
+//!
+//! For the full sweeps run the dedicated binaries: `baseline`, `fig11`,
+//! `fig12_13`, `fig14`, `virtual_servers`, `ablations`.
+
+use rcbench::{vs, Report};
+use simcore::Nanos;
+use workload::scenarios::{
+    run_baseline, run_fig11, run_fig12, run_fig14, run_virtual_servers, BaselineParams,
+    Fig11Params, Fig11System, Fig12Params, Fig12System, Fig14Params, VsParams,
+};
+
+fn main() {
+    let mut rep = Report::new("All experiments (abbreviated sweeps)");
+
+    // §5.3 baseline.
+    let b1 = run_baseline(BaselineParams {
+        secs: 6,
+        ..BaselineParams::default()
+    });
+    let b2 = run_baseline(BaselineParams {
+        persistent: true,
+        secs: 6,
+        ..BaselineParams::default()
+    });
+    rep.line("§5.3 baseline:");
+    rep.line(format!(
+        "  1 conn/request : {}",
+        vs(b1.requests_per_sec, 2954.0, " req/s")
+    ));
+    rep.line(format!(
+        "  persistent     : {}",
+        vs(b2.requests_per_sec, 9487.0, " req/s")
+    ));
+    rep.blank();
+
+    // Figure 11 at N = 30.
+    rep.line("Figure 11 (T_high at 30 low-priority clients):");
+    for system in [
+        Fig11System::Unmodified,
+        Fig11System::RcSelect,
+        Fig11System::RcEventApi,
+    ] {
+        let r = run_fig11(Fig11Params {
+            system,
+            low_clients: 30,
+            secs: 5,
+        });
+        rep.line(format!("  {:<26}: {:.3} ms", system.label(), r.t_high_ms));
+    }
+    rep.blank();
+
+    // Figures 12/13 at n = 4.
+    rep.line("Figures 12/13 (4 concurrent CGI requests):");
+    for system in [
+        Fig12System::Unmodified,
+        Fig12System::Lrp,
+        Fig12System::Rc { limit: 0.30 },
+        Fig12System::Rc { limit: 0.10 },
+    ] {
+        let r = run_fig12(Fig12Params {
+            system,
+            cgi_clients: 4,
+            static_clients: 16,
+            cgi_cpu: Nanos::from_millis(500),
+            secs: 12,
+        });
+        rep.line(format!(
+            "  {:<22}: {:>6.0} req/s static, {:>5.1}% CGI CPU",
+            system.label(),
+            r.static_throughput,
+            r.cgi_cpu_share * 100.0
+        ));
+    }
+    rep.blank();
+
+    // Figure 14 at 10k and 50k SYN/s.
+    rep.line("Figure 14 (SYN flood):");
+    for rate in [10_000.0, 50_000.0] {
+        let plain = run_fig14(Fig14Params {
+            defended: false,
+            syn_rate: rate,
+            clients: 16,
+            secs: 8,
+        });
+        let defended = run_fig14(Fig14Params {
+            defended: true,
+            syn_rate: rate,
+            clients: 16,
+            secs: 8,
+        });
+        rep.line(format!(
+            "  {:>6.0} SYN/s: unmodified {:>5.0} req/s, defended {:>5.0} req/s",
+            rate, plain.throughput, defended.throughput
+        ));
+    }
+    rep.blank();
+
+    // §5.8 virtual servers.
+    let r = run_virtual_servers(VsParams {
+        shares: vec![0.5, 0.3, 0.2],
+        clients_per_guest: vec![12, 12, 12],
+        cgi_cpu: None,
+        secs: 10,
+    });
+    rep.line("§5.8 virtual servers (configured vs measured CPU):");
+    for g in 0..3 {
+        rep.line(format!(
+            "  guest-{g}: {:>5.1}% vs {:>5.1}%",
+            r.configured[g] * 100.0,
+            r.measured[g] * 100.0
+        ));
+    }
+
+    rep.emit("fig_all");
+}

@@ -1,0 +1,60 @@
+//! §5.8: isolation of virtual servers (Rent-A-Server).
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin virtual_servers
+//! ```
+
+use rcbench::Report;
+use simcore::Nanos;
+use workload::scenarios::{run_virtual_servers, VsParams};
+
+fn main() {
+    let mut rep = Report::new("§5.8: guest-server CPU isolation under fixed shares");
+
+    // Static-only loads.
+    let r = run_virtual_servers(VsParams {
+        shares: vec![0.5, 0.3, 0.2],
+        clients_per_guest: vec![16, 16, 16],
+        cgi_cpu: None,
+        secs: 15,
+    });
+    rep.line("static-only load:");
+    rep.line(format!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "guest", "configured", "measured", "static req/s"
+    ));
+    for g in 0..3 {
+        rep.line(format!(
+            "guest-{g:<4} {:>11.1}% {:>11.1}% {:>14.0}",
+            r.configured[g] * 100.0,
+            r.measured[g] * 100.0,
+            r.throughputs[g]
+        ));
+    }
+    rep.blank();
+
+    // Mixed static + CGI, uneven client loads ("varying request loads").
+    let r = run_virtual_servers(VsParams {
+        shares: vec![0.5, 0.3, 0.2],
+        clients_per_guest: vec![24, 12, 8],
+        cgi_cpu: Some(Nanos::from_millis(300)),
+        secs: 15,
+    });
+    rep.line("mixed static+CGI, uneven loads:");
+    rep.line(format!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "guest", "configured", "measured", "static req/s"
+    ));
+    for g in 0..3 {
+        rep.line(format!(
+            "guest-{g:<4} {:>11.1}% {:>11.1}% {:>14.0}",
+            r.configured[g] * 100.0,
+            r.measured[g] * 100.0,
+            r.throughputs[g]
+        ));
+    }
+    rep.blank();
+    rep.line("paper: \"the total CPU time consumed by each guest server exactly matched");
+    rep.line("its allocation\"; each guest subdivides its own share internally.");
+    rep.emit("virtual_servers");
+}

@@ -1,0 +1,201 @@
+//! Thread-to-container bindings (paper §4.2, §4.3).
+//!
+//! A thread has one *resource binding* — the container its consumption is
+//! charged to right now — and a *scheduler binding*: the set of containers
+//! it has recently served. An event-driven server's single thread changes
+//! its resource binding as it switches between connections; the scheduler
+//! schedules the thread on the **combined** allocation of its scheduler
+//! binding, which the kernel maintains implicitly and prunes periodically.
+
+use simcore::Nanos;
+
+use crate::table::ContainerId;
+
+/// The set of containers over which a thread is currently multiplexed.
+///
+/// Maintained implicitly by the kernel: every time the thread's resource
+/// binding is set to a container, that container is *touched*. Entries not
+/// touched within the pruning age are removed periodically, and the
+/// application can explicitly reset the set to just the current binding
+/// (§4.6 "Reset the scheduler binding").
+///
+/// # Examples
+///
+/// ```
+/// use rescon::{Attributes, ContainerTable, SchedulerBinding};
+/// use simcore::Nanos;
+///
+/// let mut t = ContainerTable::new();
+/// let a = t.create(None, Attributes::time_shared(4)).unwrap();
+/// let b = t.create(None, Attributes::time_shared(8)).unwrap();
+///
+/// let mut sb = SchedulerBinding::new();
+/// sb.touch(a, Nanos::from_millis(1));
+/// sb.touch(b, Nanos::from_millis(2));
+/// assert_eq!(sb.len(), 2);
+///
+/// // Prune entries idle for more than 5 ms at t = 7 ms: `a` goes.
+/// sb.prune(Nanos::from_millis(7), Nanos::from_millis(5));
+/// assert_eq!(sb.containers(), &[b]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SchedulerBinding {
+    /// Containers and the last virtual time the thread served each.
+    entries: Vec<(ContainerId, Nanos)>,
+}
+
+impl SchedulerBinding {
+    /// Creates an empty scheduler binding.
+    pub fn new() -> Self {
+        SchedulerBinding::default()
+    }
+
+    /// Records that the thread's resource binding was set to `c` at `now`.
+    ///
+    /// Inserts the container if absent; refreshes its timestamp otherwise.
+    pub fn touch(&mut self, c: ContainerId, now: Nanos) {
+        for entry in &mut self.entries {
+            if entry.0 == c {
+                entry.1 = now;
+                return;
+            }
+        }
+        self.entries.push((c, now));
+    }
+
+    /// Removes entries the thread has not served since `now - max_age`
+    /// (§4.3: "The kernel prunes the scheduler binding ... periodically
+    /// removing resource containers that the thread has not recently had a
+    /// resource binding to").
+    ///
+    /// Returns the number of entries removed.
+    pub fn prune(&mut self, now: Nanos, max_age: Nanos) -> usize {
+        let cutoff = now.saturating_sub(max_age);
+        let before = self.entries.len();
+        self.entries.retain(|&(_, last)| last >= cutoff);
+        before - self.entries.len()
+    }
+
+    /// Resets the binding to contain only `current` (§4.6).
+    pub fn reset(&mut self, current: ContainerId, now: Nanos) {
+        self.entries.clear();
+        self.entries.push((current, now));
+    }
+
+    /// Removes a specific container (used when a container is destroyed).
+    pub fn remove(&mut self, c: ContainerId) {
+        self.entries.retain(|&(id, _)| id != c);
+    }
+
+    /// Drops entries rejected by `live` (containers that have been
+    /// destroyed). Kernels call this on every rebind so that a busy
+    /// multiplexed thread's binding tracks only live activities instead of
+    /// growing with connection churn until the next periodic prune.
+    pub fn retain_live(&mut self, live: impl Fn(ContainerId) -> bool) {
+        self.entries.retain(|&(id, _)| live(id));
+    }
+
+    /// Returns the bound containers, in insertion order.
+    pub fn containers(&self) -> Vec<ContainerId> {
+        self.entries.iter().map(|&(c, _)| c).collect()
+    }
+
+    /// Returns the number of bound containers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no containers are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if `c` is in the binding.
+    pub fn contains(&self, c: ContainerId) -> bool {
+        self.entries.iter().any(|&(id, _)| id == c)
+    }
+
+    /// Returns the last time `c` was served, if bound.
+    pub fn last_served(&self, c: ContainerId) -> Option<Nanos> {
+        self.entries
+            .iter()
+            .find(|&&(id, _)| id == c)
+            .map(|&(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Attributes;
+    use crate::table::ContainerTable;
+
+    fn two_containers() -> (ContainerTable, ContainerId, ContainerId) {
+        let mut t = ContainerTable::new();
+        let a = t.create(None, Attributes::time_shared(1)).unwrap();
+        let b = t.create(None, Attributes::time_shared(2)).unwrap();
+        (t, a, b)
+    }
+
+    #[test]
+    fn touch_inserts_once_and_refreshes() {
+        let (_t, a, _b) = two_containers();
+        let mut sb = SchedulerBinding::new();
+        sb.touch(a, Nanos::from_millis(1));
+        sb.touch(a, Nanos::from_millis(9));
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.last_served(a), Some(Nanos::from_millis(9)));
+    }
+
+    #[test]
+    fn prune_removes_stale_only() {
+        let (_t, a, b) = two_containers();
+        let mut sb = SchedulerBinding::new();
+        sb.touch(a, Nanos::from_millis(0));
+        sb.touch(b, Nanos::from_millis(10));
+        let removed = sb.prune(Nanos::from_millis(12), Nanos::from_millis(5));
+        assert_eq!(removed, 1);
+        assert!(!sb.contains(a));
+        assert!(sb.contains(b));
+    }
+
+    #[test]
+    fn prune_with_large_age_keeps_all() {
+        let (_t, a, b) = two_containers();
+        let mut sb = SchedulerBinding::new();
+        sb.touch(a, Nanos::ZERO);
+        sb.touch(b, Nanos::from_millis(1));
+        assert_eq!(sb.prune(Nanos::from_millis(2), Nanos::from_secs(1)), 0);
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn reset_to_current() {
+        let (_t, a, b) = two_containers();
+        let mut sb = SchedulerBinding::new();
+        sb.touch(a, Nanos::ZERO);
+        sb.touch(b, Nanos::ZERO);
+        sb.reset(b, Nanos::from_millis(1));
+        assert_eq!(sb.containers(), vec![b]);
+        assert_eq!(sb.last_served(b), Some(Nanos::from_millis(1)));
+    }
+
+    #[test]
+    fn remove_specific() {
+        let (_t, a, b) = two_containers();
+        let mut sb = SchedulerBinding::new();
+        sb.touch(a, Nanos::ZERO);
+        sb.touch(b, Nanos::ZERO);
+        sb.remove(a);
+        assert_eq!(sb.containers(), vec![b]);
+        assert!(sb.last_served(a).is_none());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut sb = SchedulerBinding::new();
+        assert!(sb.is_empty());
+        assert_eq!(sb.prune(Nanos::from_secs(1), Nanos::from_millis(1)), 0);
+        assert!(sb.containers().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for container operations.
+
+use std::fmt;
+
+/// Errors returned by resource-container operations.
+///
+/// Mirrors the failure modes a kernel implementation would surface as
+/// `errno` values; each variant documents the §4.6 operation that can
+/// produce it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RcError {
+    /// The container id is stale or was never allocated.
+    NotFound,
+    /// The requested reparenting would create a cycle.
+    Cycle,
+    /// The prototype restricts thread/socket bindings to leaf containers
+    /// (§5.1); the target has children.
+    NotALeaf,
+    /// The prototype restricts children to fixed-share parents (§5.1):
+    /// "time-share containers cannot have children".
+    ParentNotFixedShare,
+    /// A fixed share must lie in `(0, 1]`.
+    InvalidShare,
+    /// The children of a parent would be guaranteed more than 100% of the
+    /// parent's resources.
+    ShareOvercommit,
+    /// A CPU limit fraction must lie in `(0, 1]` with a non-zero window.
+    InvalidLimit,
+    /// The descriptor is not open or does not name a container.
+    BadDescriptor,
+    /// The operation requires a live container but it has been destroyed.
+    Destroyed,
+    /// The container still has live references and cannot be destroyed.
+    StillReferenced,
+    /// A memory or socket-buffer allocation would exceed the container's
+    /// limit.
+    LimitExceeded,
+}
+
+impl fmt::Display for RcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            RcError::NotFound => "container not found",
+            RcError::Cycle => "reparenting would create a cycle",
+            RcError::NotALeaf => "operation requires a leaf container",
+            RcError::ParentNotFixedShare => "time-share containers cannot have children",
+            RcError::InvalidShare => "fixed share must be in (0, 1]",
+            RcError::ShareOvercommit => "children shares exceed parent allocation",
+            RcError::InvalidLimit => "CPU limit must be in (0, 1] with a non-zero window",
+            RcError::BadDescriptor => "bad container descriptor",
+            RcError::Destroyed => "container has been destroyed",
+            RcError::StillReferenced => "container still referenced",
+            RcError::LimitExceeded => "resource limit exceeded",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RcError {}
+
+/// Convenience alias for container-operation results.
+pub type Result<T> = std::result::Result<T, RcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let all = [
+            RcError::NotFound,
+            RcError::Cycle,
+            RcError::NotALeaf,
+            RcError::ParentNotFixedShare,
+            RcError::InvalidShare,
+            RcError::ShareOvercommit,
+            RcError::InvalidLimit,
+            RcError::BadDescriptor,
+            RcError::Destroyed,
+            RcError::StillReferenced,
+            RcError::LimitExceeded,
+        ];
+        for e in all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Resource containers: hierarchical resource principals decoupled from
+//! protection domains.
+//!
+//! This crate implements the central abstraction of *"Resource Containers: A
+//! New Facility for Resource Management in Server Systems"* (Banga, Druschel
+//! & Mogul, OSDI '99). A **resource container** logically contains all the
+//! system resources used by an application to carry out one *independent
+//! activity* — for a web server, typically one client connection — no matter
+//! which processes or threads perform the work, and no matter whether the
+//! work happens at user level or inside the kernel.
+//!
+//! The crate provides, mirroring §4 of the paper:
+//!
+//! - [`ContainerTable`]: the kernel-side table of containers, their
+//!   hierarchy (§4.5), their attributes (§4.1), and their resource usage
+//!   accounting (CPU time, packets, memory — §4.1, §4.4).
+//! - [`Attributes`] / [`SchedPolicy`]: scheduling parameters (numeric
+//!   priority or guaranteed fixed share), CPU usage limits, memory limits,
+//!   and network QoS values.
+//! - [`SchedulerBinding`]: the set of containers over which a thread is
+//!   currently multiplexed (§4.3), with the kernel-side pruning of stale
+//!   entries and the explicit application-driven reset.
+//! - [`DescriptorTable`]: containers are visible to applications as file
+//!   descriptors, inherited across `fork()` and passable between processes
+//!   (§4.6).
+//!
+//! What this crate deliberately does *not* contain: a CPU scheduler (see the
+//! `sched` crate), a network stack (`simnet`), or a kernel (`simos`).
+//! Containers are *a mechanism, not a policy* (§4.4): everything here is
+//! bookkeeping that a kernel consults.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescon::{Attributes, ContainerTable, SchedPolicy};
+//! use simcore::Nanos;
+//!
+//! let mut table = ContainerTable::new();
+//! // A web server gets a fixed-share parent container...
+//! let server = table
+//!     .create(None, Attributes::fixed_share(0.7).named("httpd"))
+//!     .unwrap();
+//! // ...and one child container per client connection.
+//! let conn = table
+//!     .create(Some(server), Attributes::time_shared(10))
+//!     .unwrap();
+//! // Kernel processing for the connection is charged to its container.
+//! table.charge_cpu(conn, Nanos::from_micros(105)).unwrap();
+//! assert_eq!(table.usage(conn).unwrap().cpu, Nanos::from_micros(105));
+//! // ...and rolls up into the parent's subtree usage.
+//! assert_eq!(table.subtree_cpu(server).unwrap(), Nanos::from_micros(105));
+//! ```
+
+pub mod attrs;
+pub mod binding;
+pub mod descriptor;
+pub mod error;
+pub mod table;
+pub mod usage;
+
+pub use attrs::{Attributes, CpuLimit, NetQos, SchedPolicy};
+pub use binding::SchedulerBinding;
+pub use descriptor::{ContainerFd, DescriptorTable};
+pub use error::RcError;
+pub use table::{ContainerId, ContainerTable};
+pub use usage::ResourceUsage;

@@ -1,0 +1,149 @@
+//! Per-container resource usage accounting (paper §4.1: "The kernel
+//! carefully accounts for the system resources, such as CPU time and memory,
+//! consumed by a resource container").
+
+use simcore::Nanos;
+
+/// Accumulated resource consumption charged to one container.
+///
+/// `cpu` is the headline metric — every scheduling decision in the paper's
+/// evaluation derives from it — but the network and memory counters are what
+/// let an application (or a billing system, §4.8) understand *why* an
+/// activity is expensive.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// CPU time charged to this container (user and kernel mode).
+    pub cpu: Nanos,
+    /// CPU time charged while executing kernel-mode work (subset of `cpu`).
+    pub kernel_cpu: Nanos,
+    /// Packets received and processed on behalf of this container.
+    pub pkts_rx: u64,
+    /// Packets transmitted on behalf of this container.
+    pub pkts_tx: u64,
+    /// Payload bytes received.
+    pub bytes_rx: u64,
+    /// Payload bytes transmitted.
+    pub bytes_tx: u64,
+    /// Bytes of memory currently charged (socket buffers, PCBs, ...).
+    pub mem_bytes: u64,
+    /// High-water mark of `mem_bytes`.
+    pub mem_peak: u64,
+    /// Sockets currently bound to this container.
+    pub sockets: u64,
+    /// Container-related system calls performed against this container.
+    pub syscalls: u64,
+}
+
+impl ResourceUsage {
+    /// Creates a zeroed usage record.
+    pub fn new() -> Self {
+        ResourceUsage::default()
+    }
+
+    /// Charges CPU time; `kernel` marks kernel-mode execution.
+    pub fn charge_cpu(&mut self, dt: Nanos, kernel: bool) {
+        self.cpu += dt;
+        if kernel {
+            self.kernel_cpu += dt;
+        }
+    }
+
+    /// Charges a received packet of `bytes` payload bytes.
+    pub fn charge_rx(&mut self, bytes: u64) {
+        self.pkts_rx += 1;
+        self.bytes_rx += bytes;
+    }
+
+    /// Charges a transmitted packet of `bytes` payload bytes.
+    pub fn charge_tx(&mut self, bytes: u64) {
+        self.pkts_tx += 1;
+        self.bytes_tx += bytes;
+    }
+
+    /// Charges `bytes` of memory; updates the peak.
+    pub fn charge_mem(&mut self, bytes: u64) {
+        self.mem_bytes += bytes;
+        self.mem_peak = self.mem_peak.max(self.mem_bytes);
+    }
+
+    /// Releases `bytes` of memory, saturating at zero.
+    pub fn release_mem(&mut self, bytes: u64) {
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+    }
+
+    /// Folds another usage record into this one (used when a destroyed
+    /// child's residual usage is rolled into its parent).
+    pub fn absorb(&mut self, other: &ResourceUsage) {
+        self.cpu += other.cpu;
+        self.kernel_cpu += other.kernel_cpu;
+        self.pkts_rx += other.pkts_rx;
+        self.pkts_tx += other.pkts_tx;
+        self.bytes_rx += other.bytes_rx;
+        self.bytes_tx += other.bytes_tx;
+        self.mem_bytes += other.mem_bytes;
+        self.mem_peak = self.mem_peak.max(self.mem_bytes);
+        self.sockets += other.sockets;
+        self.syscalls += other.syscalls;
+    }
+
+    /// Returns the user-mode CPU time (total minus kernel).
+    pub fn user_cpu(&self) -> Nanos {
+        self.cpu.saturating_sub(self.kernel_cpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_split_between_user_and_kernel() {
+        let mut u = ResourceUsage::new();
+        u.charge_cpu(Nanos::from_micros(100), false);
+        u.charge_cpu(Nanos::from_micros(40), true);
+        assert_eq!(u.cpu, Nanos::from_micros(140));
+        assert_eq!(u.kernel_cpu, Nanos::from_micros(40));
+        assert_eq!(u.user_cpu(), Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn packet_charges() {
+        let mut u = ResourceUsage::new();
+        u.charge_rx(512);
+        u.charge_rx(512);
+        u.charge_tx(1024);
+        assert_eq!(u.pkts_rx, 2);
+        assert_eq!(u.bytes_rx, 1024);
+        assert_eq!(u.pkts_tx, 1);
+        assert_eq!(u.bytes_tx, 1024);
+    }
+
+    #[test]
+    fn memory_peak_tracking() {
+        let mut u = ResourceUsage::new();
+        u.charge_mem(100);
+        u.charge_mem(50);
+        u.release_mem(120);
+        assert_eq!(u.mem_bytes, 30);
+        assert_eq!(u.mem_peak, 150);
+        u.release_mem(1000);
+        assert_eq!(u.mem_bytes, 0);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = ResourceUsage::new();
+        a.charge_cpu(Nanos::from_micros(10), true);
+        a.charge_rx(1);
+        let mut b = ResourceUsage::new();
+        b.charge_cpu(Nanos::from_micros(5), false);
+        b.charge_tx(2);
+        b.syscalls = 3;
+        a.absorb(&b);
+        assert_eq!(a.cpu, Nanos::from_micros(15));
+        assert_eq!(a.kernel_cpu, Nanos::from_micros(10));
+        assert_eq!(a.pkts_rx, 1);
+        assert_eq!(a.pkts_tx, 1);
+        assert_eq!(a.syscalls, 3);
+    }
+}

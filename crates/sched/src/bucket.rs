@@ -1,0 +1,171 @@
+//! Token buckets used to enforce per-container CPU limits (paper §5.6:
+//! "This CGI-parent container was restricted to a maximum fraction of the
+//! CPU ... Figure 13 shows that the CPU limits are enforced almost
+//! exactly").
+
+use simcore::Nanos;
+
+/// A token bucket metering CPU time.
+///
+/// Tokens are nanoseconds of CPU; they refill continuously at
+/// `fraction` ns per elapsed ns, capped at `fraction × window`. Consumption
+/// may drive the level negative (a task cannot be preempted mid-slice at
+/// nanosecond granularity); a negative level simply delays eligibility
+/// until refill catches up, so long-run consumption converges to the
+/// configured fraction.
+///
+/// # Examples
+///
+/// ```
+/// use sched::TokenBucket;
+/// use simcore::Nanos;
+///
+/// // 30% of the CPU over a 100 ms window.
+/// let mut b = TokenBucket::new(0.3, Nanos::from_millis(100));
+/// assert!(b.eligible(Nanos::ZERO));
+/// b.consume(Nanos::from_millis(40), Nanos::ZERO);
+/// assert!(!b.eligible(Nanos::ZERO)); // 30 ms capacity - 40 ms = -10 ms
+/// // After enough wall time the refill restores eligibility.
+/// assert!(b.eligible(Nanos::from_millis(40)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct TokenBucket {
+    /// Allowed CPU fraction in `(0, 1]`.
+    fraction: f64,
+    /// Current level in nanoseconds (may be negative).
+    level: f64,
+    /// Maximum level.
+    capacity: f64,
+    /// Last refill time.
+    last: Nanos,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket enforcing `fraction` of the CPU over `window`.
+    pub fn new(fraction: f64, window: Nanos) -> Self {
+        let fraction = fraction.clamp(1e-6, 1.0);
+        let capacity = fraction * window.as_nanos() as f64;
+        TokenBucket {
+            fraction,
+            level: capacity,
+            capacity,
+            last: Nanos::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: Nanos) {
+        if now <= self.last {
+            return;
+        }
+        let dt = (now - self.last).as_nanos() as f64;
+        self.level = (self.level + dt * self.fraction).min(self.capacity);
+        self.last = now;
+    }
+
+    /// Consumes `dt` of CPU ending at `now`.
+    pub fn consume(&mut self, dt: Nanos, now: Nanos) {
+        self.refill(now);
+        self.level -= dt.as_nanos() as f64;
+    }
+
+    /// Returns `true` if the principal may run at `now` (level positive).
+    pub fn eligible(&mut self, now: Nanos) -> bool {
+        self.refill(now);
+        self.level > 0.0
+    }
+
+    /// Returns the current level in nanoseconds (possibly negative).
+    pub fn level(&mut self, now: Nanos) -> f64 {
+        self.refill(now);
+        self.level
+    }
+
+    /// Returns the earliest time at which the bucket becomes eligible.
+    pub fn release_time(&mut self, now: Nanos) -> Nanos {
+        self.refill(now);
+        if self.level > 0.0 {
+            return now;
+        }
+        let deficit_ns = -self.level;
+        let wait = deficit_ns / self.fraction;
+        now + Nanos::from_nanos(wait.ceil() as u64 + 1)
+    }
+
+    /// Returns the configured fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_eligible() {
+        let mut b = TokenBucket::new(0.5, Nanos::from_millis(10));
+        assert!(b.eligible(Nanos::ZERO));
+        assert!((b.level(Nanos::ZERO) - 5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn consume_past_zero_throttles() {
+        let mut b = TokenBucket::new(0.1, Nanos::from_millis(100));
+        b.consume(Nanos::from_millis(20), Nanos::ZERO); // capacity 10 ms
+        assert!(!b.eligible(Nanos::ZERO));
+        assert!(b.level(Nanos::ZERO) < 0.0);
+    }
+
+    #[test]
+    fn refill_rate_matches_fraction() {
+        let mut b = TokenBucket::new(0.25, Nanos::from_millis(100));
+        b.consume(Nanos::from_millis(50), Nanos::ZERO); // level = 25ms-50ms = -25 ms
+        let release = b.release_time(Nanos::ZERO);
+        // Deficit 25 ms at 0.25/s refill -> 100 ms.
+        let expected = Nanos::from_millis(100);
+        let diff = release.saturating_sub(expected).max(expected.saturating_sub(release));
+        assert!(diff < Nanos::from_micros(10), "release = {release}");
+        assert!(b.eligible(release));
+    }
+
+    #[test]
+    fn level_caps_at_capacity() {
+        let mut b = TokenBucket::new(0.3, Nanos::from_millis(10));
+        let cap = b.level(Nanos::ZERO);
+        assert!((b.level(Nanos::from_secs(10)) - cap).abs() < 1.0);
+    }
+
+    #[test]
+    fn long_run_rate_converges_to_fraction() {
+        let mut b = TokenBucket::new(0.3, Nanos::from_millis(50));
+        let mut consumed = Nanos::ZERO;
+        let mut now = Nanos::ZERO;
+        let step = Nanos::from_micros(500);
+        // Greedy consumer: consume whenever eligible.
+        for _ in 0..200_000 {
+            if b.eligible(now) {
+                b.consume(step, now);
+                consumed += step;
+            }
+            now += step;
+        }
+        let rate = consumed.ratio(now);
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn release_time_when_eligible_is_now() {
+        let mut b = TokenBucket::new(0.5, Nanos::from_millis(10));
+        assert_eq!(b.release_time(Nanos::from_millis(3)), Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn extreme_fractions_clamped() {
+        let mut b = TokenBucket::new(0.0, Nanos::from_millis(10));
+        assert!(b.fraction() > 0.0);
+        let mut c = TokenBucket::new(5.0, Nanos::from_millis(10));
+        assert_eq!(c.fraction(), 1.0);
+        assert!(b.eligible(Nanos::ZERO) || !b.eligible(Nanos::ZERO)); // no NaN panic
+        assert!(c.eligible(Nanos::ZERO));
+    }
+}

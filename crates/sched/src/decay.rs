@@ -1,0 +1,365 @@
+//! The baseline decay-usage time-sharing scheduler ("unmodified system").
+//!
+//! This models the classic 4.3BSD/Digital UNIX scheduler the paper compares
+//! against: the resource principal is the *process*, recent CPU usage
+//! decays a process's precedence, and the minimum-usage runnable entity
+//! runs next. In the simulated kernel a process is represented by its
+//! default container, so usage is keyed by the first container of a task's
+//! binding: a process's application thread and its LRP kernel network
+//! thread share one usage accumulator, exactly as LRP charges protocol
+//! processing to the receiving process. Tasks registered with no binding
+//! (unit tests, bare tasks) fall back to per-task accounting.
+
+use std::collections::HashMap;
+
+use rescon::{ContainerId, ContainerTable};
+use simcore::Nanos;
+
+use crate::api::{Pick, Scheduler, TaskId};
+use crate::usage_decay::UsageDecay;
+
+/// The accounting key: the process's container, or the task itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum UsageKey {
+    Principal(ContainerId),
+    Bare(TaskId),
+}
+
+/// Per-task scheduler state.
+#[derive(Debug)]
+struct TaskState {
+    runnable: bool,
+    key: UsageKey,
+    last_scheduled: Nanos,
+}
+
+/// A classic decay-usage time-sharing scheduler over processes.
+///
+/// Among continuously runnable principals, minimum-decayed-usage selection
+/// equalizes long-run *charged* CPU rates; principals that block often (an
+/// event-driven server at moderate load) keep low usage and therefore get
+/// scheduled promptly on wake-up — the textbook interactive preference.
+///
+/// # Examples
+///
+/// ```
+/// use rescon::ContainerTable;
+/// use sched::{DecayUsageScheduler, Scheduler, TaskId};
+/// use simcore::Nanos;
+///
+/// let table = ContainerTable::new();
+/// let mut s = DecayUsageScheduler::new();
+/// s.add_task(TaskId(1), &[], Nanos::ZERO);
+/// s.set_runnable(TaskId(1), true, Nanos::ZERO);
+/// let pick = s.pick(&table, Nanos::ZERO).unwrap();
+/// assert_eq!(pick.task, TaskId(1));
+/// ```
+pub struct DecayUsageScheduler {
+    tasks: HashMap<TaskId, TaskState>,
+    usages: HashMap<UsageKey, UsageDecay>,
+    quantum: Nanos,
+    half_life: Nanos,
+}
+
+impl Default for DecayUsageScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecayUsageScheduler {
+    /// Creates a scheduler with a 10 ms quantum and 500 ms usage
+    /// half-life (typical UNIX time-sharing constants).
+    pub fn new() -> Self {
+        Self::with_params(Nanos::from_millis(10), Nanos::from_millis(500))
+    }
+
+    /// Creates a scheduler with explicit quantum and usage half-life.
+    pub fn with_params(quantum: Nanos, half_life: Nanos) -> Self {
+        DecayUsageScheduler {
+            tasks: HashMap::new(),
+            usages: HashMap::new(),
+            quantum,
+            half_life,
+        }
+    }
+
+    fn key_for(task: TaskId, binding: &[ContainerId]) -> UsageKey {
+        match binding.first() {
+            Some(&c) => UsageKey::Principal(c),
+            None => UsageKey::Bare(task),
+        }
+    }
+
+    fn usage_of(&self, key: UsageKey, now: Nanos) -> f64 {
+        self.usages.get(&key).map(|u| u.peek(now)).unwrap_or(0.0)
+    }
+
+    /// Returns the decayed usage charged against a task's principal, for
+    /// tests and reports.
+    pub fn task_usage(&self, task: TaskId, now: Nanos) -> Option<f64> {
+        self.tasks.get(&task).map(|t| self.usage_of(t.key, now))
+    }
+}
+
+impl Scheduler for DecayUsageScheduler {
+    fn add_task(&mut self, task: TaskId, binding: &[ContainerId], now: Nanos) {
+        let key = Self::key_for(task, binding);
+        if !self.usages.contains_key(&key) {
+            // BSD semantics: a forked child inherits its parent's estimated
+            // CPU usage (`p_estcpu`), so spawning fresh processes is not a
+            // way to jump the scheduling queue. New principals start at
+            // the mean decayed usage of the currently runnable ones.
+            let runnable: Vec<f64> = self
+                .tasks
+                .values()
+                .filter(|t| t.runnable)
+                .map(|t| self.usage_of(t.key, now))
+                .collect();
+            let mut usage = UsageDecay::new(self.half_life);
+            if !runnable.is_empty() {
+                let mean = runnable.iter().sum::<f64>() / runnable.len() as f64;
+                usage.charge(Nanos::from_nanos((mean * 1e9) as u64), now);
+            }
+            self.usages.insert(key, usage);
+        }
+        self.tasks.insert(
+            task,
+            TaskState {
+                runnable: false,
+                key,
+                last_scheduled: now,
+            },
+        );
+    }
+
+    fn remove_task(&mut self, task: TaskId) {
+        if let Some(t) = self.tasks.remove(&task) {
+            // Drop the accumulator only when no other task shares it.
+            let shared = self.tasks.values().any(|x| x.key == t.key);
+            if !shared {
+                self.usages.remove(&t.key);
+            }
+        }
+    }
+
+    fn set_binding(&mut self, task: TaskId, binding: &[ContainerId], now: Nanos) {
+        // The baseline scheduler does not understand container *sets*; it
+        // only re-derives the task's principal.
+        let key = Self::key_for(task, binding);
+        let known = self.usages.contains_key(&key);
+        if let Some(t) = self.tasks.get_mut(&task) {
+            if t.key != key {
+                t.key = key;
+                if !known {
+                    self.usages.insert(key, UsageDecay::new(self.half_life));
+                }
+                let _ = now;
+            }
+        }
+    }
+
+    fn set_runnable(&mut self, task: TaskId, runnable: bool, _now: Nanos) {
+        if let Some(t) = self.tasks.get_mut(&task) {
+            t.runnable = runnable;
+        }
+    }
+
+    fn is_runnable(&self, task: TaskId) -> bool {
+        self.tasks.get(&task).map(|t| t.runnable).unwrap_or(false)
+    }
+
+    fn pick(&mut self, _table: &ContainerTable, now: Nanos) -> Option<Pick> {
+        let mut best: Option<(f64, Nanos, TaskId)> = None;
+        for (&id, t) in &self.tasks {
+            if !t.runnable {
+                continue;
+            }
+            let key = (self.usage_of(t.key, now), t.last_scheduled, id);
+            match best {
+                None => best = Some(key),
+                Some(b) if (key.0, key.1, key.2) < b => best = Some(key),
+                _ => {}
+            }
+        }
+        let (_, _, task) = best?;
+        self.tasks
+            .get_mut(&task)
+            .expect("picked task exists")
+            .last_scheduled = now;
+        Some(Pick {
+            task,
+            slice: self.quantum,
+        })
+    }
+
+    fn charge(
+        &mut self,
+        task: TaskId,
+        _container: ContainerId,
+        dt: Nanos,
+        _table: &ContainerTable,
+        now: Nanos,
+    ) {
+        if let Some(t) = self.tasks.get(&task) {
+            self.usages
+                .entry(t.key)
+                .or_insert_with(|| UsageDecay::new(self.half_life))
+                .charge(dt, now);
+        }
+    }
+
+    fn next_release_time(&mut self, _table: &ContainerTable, _now: Nanos) -> Option<Nanos> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "decay-usage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u32) -> (ContainerTable, DecayUsageScheduler) {
+        let table = ContainerTable::new();
+        let mut s = DecayUsageScheduler::new();
+        for i in 0..n {
+            s.add_task(TaskId(i), &[], Nanos::ZERO);
+            s.set_runnable(TaskId(i), true, Nanos::ZERO);
+        }
+        (table, s)
+    }
+
+    #[test]
+    fn empty_pick_is_none() {
+        let table = ContainerTable::new();
+        let mut s = DecayUsageScheduler::new();
+        assert!(s.pick(&table, Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn blocked_tasks_not_picked() {
+        let (table, mut s) = setup(2);
+        s.set_runnable(TaskId(0), false, Nanos::ZERO);
+        assert_eq!(s.pick(&table, Nanos::ZERO).unwrap().task, TaskId(1));
+        assert!(!s.is_runnable(TaskId(0)));
+        assert!(s.is_runnable(TaskId(1)));
+    }
+
+    #[test]
+    fn min_usage_wins() {
+        let (table, mut s) = setup(2);
+        let root = table.root();
+        s.charge(TaskId(0), root, Nanos::from_millis(50), &table, Nanos::ZERO);
+        assert_eq!(s.pick(&table, Nanos::ZERO).unwrap().task, TaskId(1));
+    }
+
+    #[test]
+    fn equal_usage_round_robins_by_last_scheduled() {
+        let (table, mut s) = setup(2);
+        let first = s.pick(&table, Nanos::from_micros(1)).unwrap().task;
+        // Without charging, the other task (older last_scheduled) goes next.
+        let second = s.pick(&table, Nanos::from_micros(2)).unwrap().task;
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn long_run_shares_equalize() {
+        // Two always-runnable CPU hogs must converge to ~equal CPU.
+        let (table, mut s) = setup(2);
+        let root = table.root();
+        let mut now = Nanos::ZERO;
+        let mut cpu = [Nanos::ZERO; 2];
+        for _ in 0..20_000 {
+            let p = s.pick(&table, now).unwrap();
+            let dt = p.slice.min(Nanos::from_millis(1));
+            s.charge(p.task, root, dt, &table, now + dt);
+            cpu[p.task.0 as usize] += dt;
+            now += dt;
+        }
+        let ratio = cpu[0].ratio(cpu[0] + cpu[1]);
+        assert!((ratio - 0.5).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn light_user_vs_hog_gets_priority_on_wake() {
+        // A task that uses 1% duty cycle must be picked immediately when it
+        // wakes even though a hog is runnable.
+        let (table, mut s) = setup(2);
+        let root = table.root();
+        let mut now = Nanos::ZERO;
+        // Hog accumulates usage.
+        for _ in 0..100 {
+            s.charge(TaskId(0), root, Nanos::from_millis(1), &table, now);
+            now += Nanos::from_millis(1);
+        }
+        // Light task wakes.
+        s.set_runnable(TaskId(1), true, now);
+        assert_eq!(s.pick(&table, now).unwrap().task, TaskId(1));
+    }
+
+    #[test]
+    fn remove_task_forgets_it() {
+        let (table, mut s) = setup(1);
+        s.remove_task(TaskId(0));
+        assert!(s.pick(&table, Nanos::ZERO).is_none());
+        assert!(!s.is_runnable(TaskId(0)));
+    }
+
+    #[test]
+    fn threads_of_one_principal_share_usage() {
+        // Two tasks bound to the same container (a process's app thread
+        // and its kernel network thread) must be charged as one principal,
+        // competing as one unit against an independent hog.
+        let mut table = ContainerTable::new();
+        let proc_a = table.create(None, rescon::Attributes::time_shared(10)).unwrap();
+        let proc_b = table.create(None, rescon::Attributes::time_shared(10)).unwrap();
+        let mut s = DecayUsageScheduler::new();
+        s.add_task(TaskId(1), &[proc_a], Nanos::ZERO); // A's app thread
+        s.add_task(TaskId(2), &[proc_a], Nanos::ZERO); // A's kthread
+        s.add_task(TaskId(3), &[proc_b], Nanos::ZERO); // B
+        for t in 1..=3 {
+            s.set_runnable(TaskId(t), true, Nanos::ZERO);
+        }
+        let mut now = Nanos::ZERO;
+        let mut a_cpu = Nanos::ZERO;
+        let mut total = Nanos::ZERO;
+        for _ in 0..20_000 {
+            let p = s.pick(&table, now).unwrap();
+            let dt = Nanos::from_millis(1);
+            let c = if p.task == TaskId(3) { proc_b } else { proc_a };
+            s.charge(p.task, c, dt, &table, now + dt);
+            if p.task != TaskId(3) {
+                a_cpu += dt;
+            }
+            total += dt;
+            now += dt;
+        }
+        // Process A (two tasks) and process B (one task) split ~50/50.
+        let share = a_cpu.ratio(total);
+        assert!((share - 0.5).abs() < 0.05, "A share = {share}");
+    }
+
+    #[test]
+    fn fresh_principal_inherits_mean_usage() {
+        let (table, mut s) = setup(2);
+        let root = table.root();
+        let mut now = Nanos::ZERO;
+        for _ in 0..100 {
+            s.charge(TaskId(0), root, Nanos::from_millis(2), &table, now);
+            s.charge(TaskId(1), root, Nanos::from_millis(2), &table, now);
+            now += Nanos::from_millis(4);
+        }
+        // A newcomer must NOT undercut the incumbents.
+        s.add_task(TaskId(9), &[], now);
+        s.set_runnable(TaskId(9), true, now);
+        let incumbent = s.task_usage(TaskId(0), now).unwrap();
+        let newcomer = s.task_usage(TaskId(9), now).unwrap();
+        assert!(
+            newcomer > incumbent * 0.5,
+            "newcomer {newcomer} vs incumbent {incumbent}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! CPU schedulers that treat resource containers as their resource
+//! principals (paper §4.3, §5.1).
+//!
+//! Four schedulers are provided behind one [`Scheduler`] trait:
+//!
+//! - [`DecayUsageScheduler`]: a classic 4.3BSD-style decay-usage
+//!   time-sharing scheduler whose principals are *tasks* (threads/
+//!   processes). This models the **unmodified** Digital UNIX scheduler used
+//!   as the paper's baseline: it knows nothing about containers.
+//! - [`MultiLevelScheduler`]: the paper's prototype scheduler (§5.1). The
+//!   container hierarchy is interpreted directly: fixed-share containers
+//!   receive guaranteed CPU fractions (enforced by stride scheduling with
+//!   idle-credit revocation), time-shared siblings share the remainder at
+//!   strict numeric priority levels with decay-usage fairness within a
+//!   level, priority 0 is starvable, and per-container CPU *limits* are
+//!   enforced with token buckets (the "resource sandbox" of §5.6).
+//! - [`StrideScheduler`] and [`LotteryScheduler`]: flat proportional-share
+//!   schedulers (Waldspurger & Weihl) used as ablations; they demonstrate
+//!   that the container abstraction composes with other scheduling
+//!   policies (§4.4: "resource containers are just a mechanism").
+//!
+//! The kernel drives a scheduler through a narrow protocol: register tasks
+//! and their scheduler bindings, flip runnability, ask [`Scheduler::pick`]
+//! what to run and for how long, and report consumed CPU via
+//! [`Scheduler::charge`]. All container bookkeeping (usage, hierarchy)
+//! lives in [`rescon::ContainerTable`]; schedulers keep only policy state.
+
+pub mod api;
+pub mod bucket;
+pub mod decay;
+pub mod lottery;
+pub mod multilevel;
+pub mod stride;
+pub mod usage_decay;
+
+pub use api::{Pick, Scheduler, TaskId};
+pub use bucket::TokenBucket;
+pub use decay::DecayUsageScheduler;
+pub use lottery::LotteryScheduler;
+pub use multilevel::MultiLevelScheduler;
+pub use stride::StrideScheduler;
+pub use usage_decay::UsageDecay;

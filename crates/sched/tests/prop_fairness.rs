@@ -1,0 +1,157 @@
+//! Property tests for the schedulers: proportional-share error bounds,
+//! limit enforcement, and starvation rules under randomized
+//! configurations.
+
+use proptest::prelude::*;
+use rescon::{Attributes, ContainerId, ContainerTable};
+use sched::{MultiLevelScheduler, Scheduler, StrideScheduler, TaskId};
+use simcore::Nanos;
+
+/// Runs a scheduler with one always-runnable task per container and
+/// returns each task's CPU fraction.
+fn run_shares(
+    sched: &mut dyn Scheduler,
+    table: &mut ContainerTable,
+    leaves: &[ContainerId],
+    duration: Nanos,
+) -> Vec<f64> {
+    for (i, &c) in leaves.iter().enumerate() {
+        sched.add_task(TaskId(i as u32), &[c], Nanos::ZERO);
+        sched.set_runnable(TaskId(i as u32), true, Nanos::ZERO);
+    }
+    let mut consumed = vec![Nanos::ZERO; leaves.len()];
+    let mut now = Nanos::ZERO;
+    while now < duration {
+        match sched.pick(table, now) {
+            Some(p) => {
+                let dt = p.slice;
+                let c = leaves[p.task.0 as usize];
+                table.charge_cpu(c, dt).unwrap();
+                sched.charge(p.task, c, dt, table, now + dt);
+                consumed[p.task.0 as usize] += dt;
+                now += dt;
+            }
+            None => {
+                let next = sched
+                    .next_release_time(table, now)
+                    .unwrap_or(now + Nanos::from_millis(1));
+                now = next.max(now + Nanos::from_micros(100));
+            }
+        }
+    }
+    let total: Nanos = consumed.iter().copied().sum();
+    consumed.iter().map(|&c| c.ratio(total)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The multi-level scheduler honors arbitrary fixed-share splits to
+    /// within a few percent over a two-second run.
+    #[test]
+    fn multilevel_fixed_shares_converge(
+        raw in prop::collection::vec(1u32..10, 2..5)
+    ) {
+        let total: u32 = raw.iter().sum();
+        let shares: Vec<f64> = raw.iter().map(|&r| r as f64 / total as f64).collect();
+        let mut table = ContainerTable::new();
+        let leaves: Vec<ContainerId> = shares
+            .iter()
+            .map(|&s| {
+                let parent = table
+                    .create(None, Attributes::fixed_share(s))
+                    .expect("fs parent");
+                table
+                    .create(Some(parent), Attributes::time_shared(10))
+                    .expect("ts leaf")
+            })
+            .collect();
+        let mut s = MultiLevelScheduler::new();
+        let got = run_shares(&mut s, &mut table, &leaves, Nanos::from_secs(2));
+        for (want, got) in shares.iter().zip(&got) {
+            prop_assert!(
+                (want - got).abs() < 0.04,
+                "want {want:.3} got {got:.3} (all: {got:?})"
+            );
+        }
+    }
+
+    /// The flat stride scheduler allocates proportionally to priorities+1.
+    #[test]
+    fn stride_proportional_to_tickets(
+        prios in prop::collection::vec(0u32..8, 2..5)
+    ) {
+        let mut table = ContainerTable::new();
+        let leaves: Vec<ContainerId> = prios
+            .iter()
+            .map(|&p| table.create(None, Attributes::time_shared(p)).unwrap())
+            .collect();
+        let mut s = StrideScheduler::new();
+        let got = run_shares(&mut s, &mut table, &leaves, Nanos::from_secs(1));
+        let tickets: Vec<f64> = prios.iter().map(|&p| (p + 1) as f64).collect();
+        let tsum: f64 = tickets.iter().sum();
+        for (t, got) in tickets.iter().zip(&got) {
+            let want = t / tsum;
+            prop_assert!(
+                (want - got).abs() < 0.02,
+                "want {want:.3} got {got:.3}"
+            );
+        }
+    }
+
+    /// A CPU limit is an upper bound no matter what share the container
+    /// also holds, and the leftover goes to the unlimited competitor.
+    #[test]
+    fn limits_upper_bound_consumption(
+        limit_pct in 5u32..60,
+    ) {
+        let limit = limit_pct as f64 / 100.0;
+        let mut table = ContainerTable::new();
+        let capped_parent = table
+            .create(
+                None,
+                Attributes::fixed_share(0.9).with_cpu_limit(limit, Nanos::from_millis(100)),
+            )
+            .unwrap();
+        let capped = table
+            .create(Some(capped_parent), Attributes::time_shared(10))
+            .unwrap();
+        let free = table.create(None, Attributes::time_shared(10)).unwrap();
+        let mut s = MultiLevelScheduler::new();
+        let got = run_shares(&mut s, &mut table, &[capped, free], Nanos::from_secs(2));
+        prop_assert!(
+            got[0] < limit + 0.03,
+            "capped at {limit} but consumed {}",
+            got[0]
+        );
+        prop_assert!(got[1] > 1.0 - limit - 0.05, "free got {}", got[1]);
+    }
+
+    /// Priority-zero work never runs while any positive-priority work is
+    /// runnable, for arbitrary interleavings of blocking/waking.
+    #[test]
+    fn starvable_never_preempts(
+        wake_pattern in prop::collection::vec(any::<bool>(), 8..64)
+    ) {
+        let mut table = ContainerTable::new();
+        let bg = table.create(None, Attributes::time_shared(0)).unwrap();
+        let fg = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut s = MultiLevelScheduler::new();
+        s.add_task(TaskId(0), &[bg], Nanos::ZERO);
+        s.add_task(TaskId(1), &[fg], Nanos::ZERO);
+        s.set_runnable(TaskId(0), true, Nanos::ZERO);
+        let mut now = Nanos::ZERO;
+        for fg_runnable in wake_pattern {
+            s.set_runnable(TaskId(1), fg_runnable, now);
+            if let Some(p) = s.pick(&table, now) {
+                if fg_runnable {
+                    prop_assert_eq!(p.task, TaskId(1));
+                }
+                let c = if p.task == TaskId(0) { bg } else { fg };
+                table.charge_cpu(c, p.slice).unwrap();
+                s.charge(p.task, c, p.slice, &table, now + p.slice);
+                now += p.slice;
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Typed index arenas with generation-checked ids.
+//!
+//! Kernel objects (containers, threads, sockets, connections) are stored in
+//! [`Arena`]s and referred to by small copyable ids. Generations detect
+//! use-after-free: destroying a slot and reusing it bumps the generation, so
+//! stale ids are rejected instead of silently aliasing a new object. This is
+//! the safe-Rust moral equivalent of the kernel's "descriptor points at a
+//! recycled object" bug class.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A generation-checked index into an [`Arena`].
+///
+/// `Idx<T>` is parameterized by the element type so that, for example, a
+/// container id cannot be used where a thread id is expected.
+pub struct Idx<T> {
+    slot: u32,
+    generation: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Idx<T> {
+    /// Creates an id from raw parts; used only by [`Arena`] and tests.
+    pub(crate) fn from_parts(slot: u32, generation: u32) -> Self {
+        Idx {
+            slot,
+            generation,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the raw slot number (stable for the life of the object).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// Returns the generation of this id.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// Returns a compact `u64` encoding, useful as a map key or trace tag.
+    pub fn as_u64(self) -> u64 {
+        ((self.generation as u64) << 32) | self.slot as u64
+    }
+}
+
+impl<T> Clone for Idx<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Idx<T> {}
+impl<T> PartialEq for Idx<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.slot == other.slot && self.generation == other.generation
+    }
+}
+impl<T> Eq for Idx<T> {}
+impl<T> std::hash::Hash for Idx<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.slot.hash(state);
+        self.generation.hash(state);
+    }
+}
+impl<T> PartialOrd for Idx<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Idx<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.slot, self.generation).cmp(&(other.slot, other.generation))
+    }
+}
+impl<T> fmt::Debug for Idx<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}g{}", self.slot, self.generation)
+    }
+}
+
+enum Slot<T> {
+    Vacant { next_free: Option<u32>, generation: u32 },
+    Occupied { generation: u32, value: T },
+}
+
+/// A generational arena: O(1) insert, remove, and lookup with stable ids.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::Arena;
+///
+/// let mut arena: Arena<&str> = Arena::new();
+/// let a = arena.insert("alpha");
+/// let b = arena.insert("beta");
+/// assert_eq!(arena[a], "alpha");
+/// assert_eq!(arena.remove(b), Some("beta"));
+/// assert!(arena.get(b).is_none());
+/// ```
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    /// Returns the number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the arena holds no live elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a value and returns its id.
+    pub fn insert(&mut self, value: T) -> Idx<T> {
+        self.len += 1;
+        match self.free_head {
+            Some(slot) => {
+                let (next_free, generation) = match &self.slots[slot as usize] {
+                    Slot::Vacant {
+                        next_free,
+                        generation,
+                    } => (*next_free, *generation),
+                    Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next_free;
+                self.slots[slot as usize] = Slot::Occupied { generation, value };
+                Idx::from_parts(slot, generation)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena slot overflow");
+                self.slots.push(Slot::Occupied {
+                    generation: 0,
+                    value,
+                });
+                Idx::from_parts(slot, 0)
+            }
+        }
+    }
+
+    /// Removes the element with id `idx`, returning it if it was live.
+    pub fn remove(&mut self, idx: Idx<T>) -> Option<T> {
+        let slot = self.slots.get_mut(idx.slot as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == idx.generation => {
+                let generation = *generation;
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Vacant {
+                        next_free: self.free_head,
+                        generation: generation.wrapping_add(1),
+                    },
+                );
+                self.free_head = Some(idx.slot);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Vacant { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a reference to the element with id `idx`, if live.
+    pub fn get(&self, idx: Idx<T>) -> Option<&T> {
+        match self.slots.get(idx.slot as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == idx.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable reference to the element with id `idx`, if live.
+    pub fn get_mut(&mut self, idx: Idx<T>) -> Option<&mut T> {
+        match self.slots.get_mut(idx.slot as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == idx.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `idx` refers to a live element.
+    pub fn contains(&self, idx: Idx<T>) -> bool {
+        self.get(idx).is_some()
+    }
+
+    /// Iterates over `(id, &element)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Idx<T>, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, s)| match s {
+                Slot::Occupied { generation, value } => {
+                    Some((Idx::from_parts(slot as u32, *generation), value))
+                }
+                Slot::Vacant { .. } => None,
+            })
+    }
+
+    /// Iterates over `(id, &mut element)` pairs in slot order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Idx<T>, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(slot, s)| match s {
+                Slot::Occupied { generation, value } => {
+                    Some((Idx::from_parts(slot as u32, *generation), value))
+                }
+                Slot::Vacant { .. } => None,
+            })
+    }
+
+    /// Returns the ids of all live elements, in slot order.
+    pub fn ids(&self) -> Vec<Idx<T>> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+}
+
+impl<T> std::ops::Index<Idx<T>> for Arena<T> {
+    type Output = T;
+    fn index(&self, idx: Idx<T>) -> &T {
+        self.get(idx).expect("stale or invalid arena id")
+    }
+}
+
+impl<T> std::ops::IndexMut<Idx<T>> for Arena<T> {
+    fn index_mut(&mut self, idx: Idx<T>) -> &mut T {
+        self.get_mut(idx).expect("stale or invalid arena id")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = Arena::new();
+        let x = a.insert(10);
+        let y = a.insert(20);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[x], 10);
+        assert_eq!(a.remove(y), Some(20));
+        assert_eq!(a.len(), 1);
+        assert!(a.get(y).is_none());
+    }
+
+    #[test]
+    fn stale_id_rejected_after_reuse() {
+        let mut a = Arena::new();
+        let x = a.insert("old");
+        assert_eq!(a.remove(x), Some("old"));
+        let y = a.insert("new");
+        // The slot is reused but the generation differs.
+        assert_eq!(y.slot(), x.slot());
+        assert_ne!(y.generation(), x.generation());
+        assert!(a.get(x).is_none());
+        assert_eq!(a[y], "new");
+        assert_eq!(a.remove(x), None);
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut a = Arena::new();
+        let x = a.insert(1);
+        assert_eq!(a.remove(x), Some(1));
+        assert_eq!(a.remove(x), None);
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn iter_skips_vacant() {
+        let mut a = Arena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.insert(i)).collect();
+        a.remove(ids[1]);
+        a.remove(ids[3]);
+        let vals: Vec<i32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![0, 2, 4]);
+        assert_eq!(a.ids().len(), 3);
+    }
+
+    #[test]
+    fn free_list_reuses_lifo() {
+        let mut a = Arena::new();
+        let ids: Vec<_> = (0..3).map(|i| a.insert(i)).collect();
+        a.remove(ids[0]);
+        a.remove(ids[2]);
+        let n1 = a.insert(10);
+        let n2 = a.insert(11);
+        assert_eq!(n1.slot(), 2);
+        assert_eq!(n2.slot(), 0);
+    }
+
+    #[test]
+    fn iter_mut_mutates() {
+        let mut a = Arena::new();
+        a.insert(1);
+        a.insert(2);
+        for (_, v) in a.iter_mut() {
+            *v *= 10;
+        }
+        let vals: Vec<i32> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![10, 20]);
+    }
+
+    #[test]
+    fn idx_u64_encoding_unique() {
+        let mut a = Arena::new();
+        let x = a.insert(());
+        a.remove(x);
+        let y = a.insert(());
+        assert_ne!(x.as_u64(), y.as_u64());
+    }
+}

@@ -1,0 +1,179 @@
+//! A deterministic discrete-event queue.
+//!
+//! [`EventQueue`] is a priority queue of `(time, payload)` pairs ordered by
+//! time. Events scheduled for the same instant are delivered in the order
+//! they were scheduled (stable FIFO), which is what makes whole-simulation
+//! determinism possible: a `BinaryHeap` alone has unspecified tie ordering.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// A scheduled entry: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue keyed by virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_micros(10), "b");
+/// q.schedule(Nanos::from_micros(5), "a");
+/// q.schedule(Nanos::from_micros(10), "c");
+///
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(5), "a")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(10), "b")));
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Nanos, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Returns the time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Nanos) -> Option<(Nanos, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_micros(30), 3);
+        q.schedule(Nanos::from_micros(10), 1);
+        q.schedule(Nanos::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_micros(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_micros(10), "x");
+        assert!(q.pop_due(Nanos::from_micros(9)).is_none());
+        assert!(q.pop_due(Nanos::from_micros(10)).is_some());
+        assert!(q.pop_due(Nanos::from_micros(10)).is_none());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos::ZERO, ());
+        q.schedule(Nanos::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_micros(5), 1);
+        q.schedule(Nanos::from_micros(5), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(Nanos::from_micros(5), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation substrate.
+//!
+//! `simcore` provides the building blocks shared by every other crate in the
+//! resource-containers workspace:
+//!
+//! - [`time`]: a virtual clock measured in integer nanoseconds ([`Nanos`])
+//!   with duration arithmetic that cannot silently overflow or go negative.
+//! - [`event`]: a deterministic event queue ([`EventQueue`]) with stable
+//!   FIFO ordering for events scheduled at the same instant.
+//! - [`arena`]: typed index arenas ([`Arena`]) with generation-checked ids,
+//!   used for containers, threads, sockets, and connections.
+//! - [`rng`]: a seedable random-number wrapper ([`SimRng`]) so that an
+//!   entire simulation is reproducible from a single `u64` seed.
+//! - [`stats`]: histograms, running summaries, and time-weighted averages
+//!   used by the experiment harnesses.
+//! - [`trace`]: a cheap, optionally-enabled trace ring for debugging
+//!   scheduler and network interleavings.
+//!
+//! Nothing in this crate knows about resource containers; it is a pure
+//! simulation toolkit.
+
+pub mod arena;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use arena::{Arena, Idx};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Summary, TimeWeighted};
+pub use time::Nanos;
+pub use trace::TraceRing;

@@ -1,0 +1,303 @@
+//! Virtual time for the simulation: integer nanoseconds since simulation
+//! start.
+//!
+//! All durations and instants in the workspace are [`Nanos`]. Using a single
+//! integer type keeps arithmetic exact and the simulation deterministic;
+//! floating-point time is never used on the simulation's hot paths.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A virtual instant or duration, in integer nanoseconds.
+///
+/// `Nanos` is used both as a point in virtual time (nanoseconds since the
+/// start of the simulation) and as a duration. Arithmetic saturates on
+/// subtraction (time never goes negative) and panics on addition overflow in
+/// debug builds, which would indicate a runaway simulation.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::Nanos;
+///
+/// let t = Nanos::from_micros(105);
+/// assert_eq!(t.as_nanos(), 105_000);
+/// assert_eq!(t + Nanos::from_micros(5), Nanos::from_micros(110));
+/// assert_eq!(Nanos::ZERO.saturating_sub(t), Nanos::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero instant / empty duration.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a duration of `n` nanoseconds.
+    pub const fn from_nanos(n: u64) -> Self {
+        Nanos(n)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point number of microseconds,
+    /// rounding to the nearest nanosecond.
+    ///
+    /// Negative inputs are clamped to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        if us <= 0.0 {
+            return Nanos::ZERO;
+        }
+        Nanos((us * 1_000.0).round() as u64)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the value in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the value in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Returns the value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Subtracts, clamping at zero instead of underflowing.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Adds, clamping at [`Nanos::MAX`] instead of overflowing.
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the smaller of two values.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the larger of two values.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns `true` if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the duration by a non-negative fraction, rounding to the
+    /// nearest nanosecond.
+    ///
+    /// Negative fractions are clamped to zero.
+    pub fn mul_f64(self, f: f64) -> Nanos {
+        if f <= 0.0 {
+            return Nanos::ZERO;
+        }
+        Nanos((self.0 as f64 * f).round() as u64)
+    }
+
+    /// Returns `self / rhs` as a fraction, or `0.0` if `rhs` is zero.
+    pub fn ratio(self, rhs: Nanos) -> f64 {
+        if rhs.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / rhs.0 as f64
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_add(rhs.0).expect("Nanos addition overflow"))
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Nanos subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(
+            self.0
+                .checked_mul(rhs)
+                .expect("Nanos multiplication overflow"),
+        )
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(1), Nanos::from_millis(1_000));
+        assert_eq!(Nanos::from_millis(1), Nanos::from_micros(1_000));
+        assert_eq!(Nanos::from_micros(1), Nanos::from_nanos(1_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Nanos::from_micros(338);
+        let b = Nanos::from_micros(105);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a * 2, Nanos::from_micros(676));
+        assert_eq!(a / 2, Nanos::from_micros(169));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(
+            Nanos::from_micros(1).saturating_sub(Nanos::from_secs(1)),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Nanos::ZERO - Nanos::from_nanos(1);
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_clamps() {
+        assert_eq!(Nanos::from_nanos(100).mul_f64(0.5), Nanos::from_nanos(50));
+        assert_eq!(Nanos::from_nanos(100).mul_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_nanos(3).mul_f64(0.5), Nanos::from_nanos(2));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(Nanos::from_secs(1).ratio(Nanos::ZERO), 0.0);
+        assert!((Nanos::from_millis(300).ratio(Nanos::from_secs(1)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_micros_f64_rounds() {
+        assert_eq!(Nanos::from_micros_f64(1.0005), Nanos::from_nanos(1001));
+        assert_eq!(Nanos::from_micros_f64(-3.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Nanos::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Nanos = [Nanos::from_micros(1), Nanos::from_micros(2)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Nanos::from_micros(3));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Nanos::from_micros(5);
+        let b = Nanos::from_micros(7);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

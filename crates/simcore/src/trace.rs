@@ -1,0 +1,123 @@
+//! A cheap, bounded trace ring for debugging simulation interleavings.
+//!
+//! Tracing is off by default and, when off, costs one branch per call.
+//! When on, the most recent `capacity` entries are retained; this is enough
+//! to post-mortem a scheduling anomaly without unbounded memory growth in
+//! multi-minute simulated runs.
+
+use std::collections::VecDeque;
+
+use crate::time::Nanos;
+
+/// One trace entry: a timestamp and a preformatted message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time at which the event was recorded.
+    pub at: Nanos,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// A bounded ring buffer of trace entries.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Nanos, TraceRing};
+///
+/// let mut t = TraceRing::new(2);
+/// t.set_enabled(true);
+/// t.record(Nanos::ZERO, || "a".to_string());
+/// t.record(Nanos::from_micros(1), || "b".to_string());
+/// t.record(Nanos::from_micros(2), || "c".to_string());
+/// let msgs: Vec<&str> = t.entries().iter().map(|e| e.msg.as_str()).collect();
+/// assert_eq!(msgs, ["b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct TraceRing {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl TraceRing {
+    /// Creates a disabled ring that retains at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            enabled: false,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Returns `true` if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a message; `f` is only evaluated when tracing is enabled.
+    pub fn record(&mut self, at: Nanos, f: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { at, msg: f() });
+    }
+
+    /// Returns the retained entries, oldest first.
+    pub fn entries(&self) -> &VecDeque<TraceEntry> {
+        &self.entries
+    }
+
+    /// Drops all retained entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceRing::new(8);
+        t.record(Nanos::ZERO, || panic!("must not evaluate"));
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceRing::new(3);
+        t.set_enabled(true);
+        for i in 0..5 {
+            t.record(Nanos::from_nanos(i), || format!("e{i}"));
+        }
+        let msgs: Vec<&str> = t.entries().iter().map(|e| e.msg.as_str()).collect();
+        assert_eq!(msgs, ["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = TraceRing::new(3);
+        t.set_enabled(true);
+        t.record(Nanos::ZERO, || "x".into());
+        t.clear();
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn capacity_zero_clamped() {
+        let mut t = TraceRing::new(0);
+        t.set_enabled(true);
+        t.record(Nanos::ZERO, || "x".into());
+        assert_eq!(t.entries().len(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the simulation substrate.
+
+use proptest::prelude::*;
+use simcore::{Arena, EventQueue, Nanos, SimRng};
+
+proptest! {
+    /// The event queue delivers in (time, insertion) order — equivalent to
+    /// a stable sort of the scheduled entries.
+    #[test]
+    fn event_queue_is_stable_time_order(
+        times in prop::collection::vec(0u64..1_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_nanos(t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().copied().zip(0..times.len()).collect();
+        reference.sort_by_key(|&(t, i)| (t, i));
+        let mut got = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            got.push((t.as_nanos(), i));
+        }
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Popping due events at increasing `now` values never yields an event
+    /// from the future.
+    #[test]
+    fn pop_due_never_time_travels(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        step in 1u64..50,
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(Nanos::from_nanos(t), t);
+        }
+        let mut now = 0u64;
+        while now < 1_100 {
+            while let Some((at, payload)) = q.pop_due(Nanos::from_nanos(now)) {
+                prop_assert!(at.as_nanos() <= now);
+                prop_assert_eq!(at.as_nanos(), payload);
+            }
+            now += step;
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Arena ids never alias across remove/insert cycles.
+    #[test]
+    fn arena_generation_safety(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut arena: Arena<usize> = Arena::new();
+        let mut live: Vec<(simcore::Idx<usize>, usize)> = Vec::new();
+        let mut dead: Vec<simcore::Idx<usize>> = Vec::new();
+        let mut counter = 0usize;
+        for insert in ops {
+            if insert || live.is_empty() {
+                counter += 1;
+                let id = arena.insert(counter);
+                live.push((id, counter));
+            } else {
+                let (id, _) = live.remove(live.len() / 2);
+                arena.remove(id);
+                dead.push(id);
+            }
+        }
+        for (id, val) in &live {
+            prop_assert_eq!(arena.get(*id), Some(val));
+        }
+        for id in &dead {
+            prop_assert!(arena.get(*id).is_none());
+        }
+        prop_assert_eq!(arena.len(), live.len());
+    }
+
+    /// RNG forks are independent: a fork's stream doesn't change when the
+    /// parent draws more numbers, and is reproducible.
+    #[test]
+    fn rng_forks_reproducible(seed in any::<u64>(), extra_draws in 0usize..8) {
+        let mut parent1 = SimRng::seed_from(seed);
+        let mut fork1 = parent1.fork();
+        let a: Vec<u64> = (0..16).map(|_| fork1.uniform_u64(0, 1 << 40)).collect();
+
+        let mut parent2 = SimRng::seed_from(seed);
+        let mut fork2 = parent2.fork();
+        for _ in 0..extra_draws {
+            let _ = parent2.uniform_f64(); // Must not perturb the fork.
+        }
+        let b: Vec<u64> = (0..16).map(|_| fork2.uniform_u64(0, 1 << 40)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Saturating arithmetic on `Nanos` never panics and brackets checked
+    /// arithmetic.
+    #[test]
+    fn nanos_saturating_brackets(a in any::<u64>(), b in any::<u64>()) {
+        let x = Nanos::from_nanos(a);
+        let y = Nanos::from_nanos(b);
+        let sat = x.saturating_sub(y);
+        if a >= b {
+            prop_assert_eq!(sat, x - y);
+        } else {
+            prop_assert_eq!(sat, Nanos::ZERO);
+        }
+        prop_assert!(x.saturating_add(y) >= x.max(y));
+    }
+}

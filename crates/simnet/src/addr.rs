@@ -1,0 +1,171 @@
+//! Addresses and the paper's filter namespace (§4.8).
+//!
+//! "We define a new sockaddr namespace that includes a 'filter' specifying
+//! a set of foreign addresses ... Filters are specified as tuples
+//! consisting of a template address and a CIDR network mask."
+
+/// An IPv4-style 32-bit address.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::IpAddr;
+///
+/// let a = IpAddr::new(10, 0, 3, 7);
+/// assert_eq!(a.octets(), (10, 0, 3, 7));
+/// assert_eq!(format!("{a}"), "10.0.3.7");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        IpAddr(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets.
+    pub const fn octets(self) -> (u8, u8, u8, u8) {
+        (
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        )
+    }
+}
+
+impl std::fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (a, b, c, d) = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// A `<template-address, CIDR-mask>` filter over foreign addresses (§4.8).
+///
+/// A filter with mask length `m` matches addresses whose top `m` bits equal
+/// the template's. Longer masks are more specific and win demultiplexing
+/// ties; `mask_len == 0` matches everything (the default listener).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{CidrFilter, IpAddr};
+///
+/// let attackers = CidrFilter::new(IpAddr::new(192, 168, 0, 0), 16);
+/// assert!(attackers.matches(IpAddr::new(192, 168, 44, 1)));
+/// assert!(!attackers.matches(IpAddr::new(10, 0, 0, 1)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CidrFilter {
+    /// Template address whose top `mask_len` bits are significant.
+    pub template: IpAddr,
+    /// Number of significant leading bits, `0..=32`.
+    pub mask_len: u8,
+}
+
+impl CidrFilter {
+    /// Creates a filter; mask lengths above 32 are clamped to 32.
+    pub fn new(template: IpAddr, mask_len: u8) -> Self {
+        CidrFilter {
+            template,
+            mask_len: mask_len.min(32),
+        }
+    }
+
+    /// The match-everything filter.
+    pub fn any() -> Self {
+        CidrFilter::new(IpAddr(0), 0)
+    }
+
+    /// Returns the bit mask implied by the mask length.
+    pub fn mask(self) -> u32 {
+        if self.mask_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.mask_len as u32)
+        }
+    }
+
+    /// Returns `true` if `addr` falls inside the filter.
+    pub fn matches(self, addr: IpAddr) -> bool {
+        (addr.0 & self.mask()) == (self.template.0 & self.mask())
+    }
+
+    /// Specificity for longest-prefix-match ordering.
+    pub fn specificity(self) -> u8 {
+        self.mask_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octets_roundtrip() {
+        let a = IpAddr::new(1, 2, 3, 4);
+        assert_eq!(a.octets(), (1, 2, 3, 4));
+        assert_eq!(a.to_string(), "1.2.3.4");
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let f = CidrFilter::any();
+        assert!(f.matches(IpAddr(0)));
+        assert!(f.matches(IpAddr(u32::MAX)));
+        assert_eq!(f.specificity(), 0);
+    }
+
+    #[test]
+    fn host_filter_matches_exactly_one() {
+        let h = IpAddr::new(10, 1, 2, 3);
+        let f = CidrFilter::new(h, 32);
+        assert!(f.matches(h));
+        assert!(!f.matches(IpAddr::new(10, 1, 2, 4)));
+    }
+
+    #[test]
+    fn prefix_match_boundaries() {
+        let f = CidrFilter::new(IpAddr::new(172, 16, 0, 0), 12);
+        assert!(f.matches(IpAddr::new(172, 16, 0, 1)));
+        assert!(f.matches(IpAddr::new(172, 31, 255, 255)));
+        assert!(!f.matches(IpAddr::new(172, 32, 0, 0)));
+        assert!(!f.matches(IpAddr::new(172, 15, 255, 255)));
+    }
+
+    #[test]
+    fn mask_len_clamped() {
+        let f = CidrFilter::new(IpAddr(0), 64);
+        assert_eq!(f.mask_len, 32);
+        assert_eq!(f.mask(), u32::MAX);
+    }
+
+    #[test]
+    fn mask_values() {
+        assert_eq!(CidrFilter::new(IpAddr(0), 0).mask(), 0);
+        assert_eq!(CidrFilter::new(IpAddr(0), 8).mask(), 0xFF00_0000);
+        assert_eq!(CidrFilter::new(IpAddr(0), 24).mask(), 0xFFFF_FF00);
+        assert_eq!(CidrFilter::new(IpAddr(0), 32).mask(), u32::MAX);
+    }
+
+    /// Oracle check: filter matching agrees with a bit-by-bit comparison.
+    #[test]
+    fn matches_agrees_with_naive_oracle() {
+        let cases = [
+            (IpAddr::new(10, 0, 0, 0), 8u8, IpAddr::new(10, 200, 1, 2)),
+            (IpAddr::new(10, 0, 0, 0), 8, IpAddr::new(11, 0, 0, 0)),
+            (IpAddr::new(192, 168, 4, 0), 30, IpAddr::new(192, 168, 4, 3)),
+            (IpAddr::new(192, 168, 4, 0), 30, IpAddr::new(192, 168, 4, 4)),
+        ];
+        for (tpl, len, probe) in cases {
+            let f = CidrFilter::new(tpl, len);
+            let naive = (0..len as u32).all(|i| {
+                let bit = 31 - i;
+                ((tpl.0 >> bit) & 1) == ((probe.0 >> bit) & 1)
+            });
+            assert_eq!(f.matches(probe), naive, "{tpl}/{len} vs {probe}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The three protocol-processing disciplines the paper compares.
+
+/// Where, when, and on whose account received-packet protocol processing
+/// runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDiscipline {
+    /// Classic BSD behaviour (§3.2): all protocol processing runs eagerly
+    /// at software-interrupt level — strictly above any user code — and is
+    /// charged to no resource principal ("or to the unlucky process
+    /// running at the time").
+    Interrupt,
+    /// Lazy Receiver Processing (§3.2): packets are classified early and
+    /// queued per receiving *process*; protocol processing happens at the
+    /// process's scheduling priority and is charged to the process.
+    Lrp,
+    /// The paper's extension (§4.7): packets are classified early to the
+    /// owning *resource container*; protocol processing happens in
+    /// container-priority order and is charged to the container.
+    Container,
+}
+
+impl NetDiscipline {
+    /// Returns `true` if this discipline defers protocol processing to a
+    /// schedulable context (LRP-style), rather than doing it at interrupt
+    /// level.
+    pub fn is_lazy(self) -> bool {
+        !matches!(self, NetDiscipline::Interrupt)
+    }
+
+    /// A short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetDiscipline::Interrupt => "interrupt",
+            NetDiscipline::Lrp => "lrp",
+            NetDiscipline::Container => "container",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laziness() {
+        assert!(!NetDiscipline::Interrupt.is_lazy());
+        assert!(NetDiscipline::Lrp.is_lazy());
+        assert!(NetDiscipline::Container.is_lazy());
+    }
+
+    #[test]
+    fn names_unique() {
+        let names = [
+            NetDiscipline::Interrupt.name(),
+            NetDiscipline::Lrp.name(),
+            NetDiscipline::Container.name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

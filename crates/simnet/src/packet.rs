@@ -1,0 +1,112 @@
+//! Packets and flows.
+//!
+//! The simulated server owns a single local address, so a flow is
+//! identified by the foreign `(address, port)` pair plus the local port.
+
+use crate::addr::IpAddr;
+
+/// Identifies a TCP flow at the server: foreign endpoint + local port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowKey {
+    /// Foreign (client) address.
+    pub src: IpAddr,
+    /// Foreign (client) port.
+    pub src_port: u16,
+    /// Local (server) port.
+    pub dst_port: u16,
+}
+
+impl FlowKey {
+    /// Creates a flow key.
+    pub fn new(src: IpAddr, src_port: u16, dst_port: u16) -> Self {
+        FlowKey {
+            src,
+            src_port,
+            dst_port,
+        }
+    }
+}
+
+/// The kinds of TCP segment the simulation distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Connection request.
+    Syn,
+    /// Server's handshake reply.
+    SynAck,
+    /// Handshake-completing (or plain) acknowledgement.
+    Ack,
+    /// Payload-carrying segment.
+    Data {
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// Connection teardown.
+    Fin,
+    /// Reset (refused connection or aborted flow).
+    Rst,
+}
+
+impl PacketKind {
+    /// Payload bytes carried by this segment.
+    pub fn payload_bytes(self) -> u32 {
+        match self {
+            PacketKind::Data { bytes } => bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// A TCP segment travelling in either direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// The flow the segment belongs to.
+    pub flow: FlowKey,
+    /// Segment type and payload.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(flow: FlowKey, kind: PacketKind) -> Self {
+        Packet { flow, kind }
+    }
+
+    /// Approximate bytes on the wire: 40-byte TCP/IP header plus payload.
+    pub fn wire_bytes(self) -> u32 {
+        40 + self.kind.payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_bytes_only_for_data() {
+        assert_eq!(PacketKind::Syn.payload_bytes(), 0);
+        assert_eq!(PacketKind::Data { bytes: 1024 }.payload_bytes(), 1024);
+        assert_eq!(PacketKind::Fin.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let f = FlowKey::new(IpAddr::new(1, 1, 1, 1), 4000, 80);
+        assert_eq!(Packet::new(f, PacketKind::Ack).wire_bytes(), 40);
+        assert_eq!(
+            Packet::new(f, PacketKind::Data { bytes: 1024 }).wire_bytes(),
+            1064
+        );
+    }
+
+    #[test]
+    fn flow_keys_hashable_and_ordered() {
+        let a = FlowKey::new(IpAddr::new(1, 0, 0, 1), 1, 80);
+        let b = FlowKey::new(IpAddr::new(1, 0, 0, 2), 1, 80);
+        assert!(a < b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&a));
+        assert!(!set.contains(&b));
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-principal pending-packet queues for lazy protocol processing
+//! (paper §4.7).
+//!
+//! Under LRP-style disciplines, the interrupt handler only *classifies* a
+//! packet and appends it to the queue of its resource principal (a process
+//! under LRP, a container under resource containers). A kernel thread later
+//! drains the queues **in priority order of the principals** and performs
+//! the actual protocol processing on the principal's account. Queues are
+//! bounded: when a principal's queue is full the packet is dropped at
+//! classification time, for early discard of excess traffic under overload
+//! ("excess traffic is discarded early").
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::packet::Packet;
+
+/// Bounded per-principal FIFO queues of unprocessed packets.
+///
+/// `P` is the principal key (process id or container id). Iteration order
+/// is deterministic (`BTreeMap`).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{FlowKey, IpAddr, Packet, PacketKind, PendingQueues};
+///
+/// let mut q: PendingQueues<u32> = PendingQueues::new(2);
+/// let f = FlowKey::new(IpAddr::new(1, 1, 1, 1), 9, 80);
+/// let p = Packet::new(f, PacketKind::Syn);
+/// assert!(q.push(7, p));
+/// assert!(q.push(7, p));
+/// assert!(!q.push(7, p)); // over capacity: early drop
+/// assert_eq!(q.pending_principals(), vec![7]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PendingQueues<P: Ord + Copy> {
+    queues: BTreeMap<P, VecDeque<Packet>>,
+    capacity: usize,
+    dropped: u64,
+    queued: u64,
+}
+
+impl<P: Ord + Copy> PendingQueues<P> {
+    /// Creates queues with the given per-principal capacity.
+    pub fn new(capacity: usize) -> Self {
+        PendingQueues {
+            queues: BTreeMap::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            queued: 0,
+        }
+    }
+
+    /// Appends a packet to `principal`'s queue. Returns `false` (and
+    /// counts an early drop) if the queue is full.
+    pub fn push(&mut self, principal: P, packet: Packet) -> bool {
+        let q = self.queues.entry(principal).or_default();
+        if q.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        q.push_back(packet);
+        self.queued += 1;
+        true
+    }
+
+    /// Removes and returns the oldest packet of the highest-ranked
+    /// principal, where rank is supplied by `priority` (higher value =
+    /// served first). Ties go to the smaller principal key.
+    pub fn pop_highest(&mut self, mut priority: impl FnMut(P) -> u32) -> Option<(P, Packet)> {
+        let mut best: Option<(u32, P)> = None;
+        for (&p, q) in &self.queues {
+            if q.is_empty() {
+                continue;
+            }
+            let rank = priority(p);
+            let better = match best {
+                None => true,
+                Some((br, _)) => rank > br,
+            };
+            if better {
+                best = Some((rank, p));
+            }
+        }
+        let (_, p) = best?;
+        let pkt = self
+            .queues
+            .get_mut(&p)
+            .and_then(|q| q.pop_front())
+            .expect("picked principal has a packet");
+        Some((p, pkt))
+    }
+
+    /// Returns the principal [`Self::pop_highest`] would serve next,
+    /// without removing anything.
+    pub fn peek_highest(&self, mut priority: impl FnMut(P) -> u32) -> Option<P> {
+        let mut best: Option<(u32, P)> = None;
+        for (&p, q) in &self.queues {
+            if q.is_empty() {
+                continue;
+            }
+            let rank = priority(p);
+            let better = match best {
+                None => true,
+                Some((br, _)) => rank > br,
+            };
+            if better {
+                best = Some((rank, p));
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Returns the principals that currently have pending packets, in key
+    /// order.
+    pub fn pending_principals(&self) -> Vec<P> {
+        self.queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Returns the number of pending packets for `principal`.
+    pub fn len_of(&self, principal: P) -> usize {
+        self.queues.get(&principal).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Returns the total number of pending packets.
+    pub fn total_len(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Returns `true` if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Drops a principal's queue entirely (principal destroyed). Returns
+    /// the number of packets discarded.
+    pub fn remove_principal(&mut self, principal: P) -> usize {
+        self.queues.remove(&principal).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Total packets dropped at classification time (queue full).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total packets ever queued successfully.
+    pub fn queued(&self) -> u64 {
+        self.queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::IpAddr;
+    use crate::packet::{FlowKey, PacketKind};
+
+    fn pkt(n: u8) -> Packet {
+        Packet::new(
+            FlowKey::new(IpAddr::new(1, 1, 1, n), 1000, 80),
+            PacketKind::Syn,
+        )
+    }
+
+    #[test]
+    fn fifo_within_principal() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(10);
+        q.push(1, pkt(1));
+        q.push(1, pkt(2));
+        let (_, a) = q.pop_highest(|_| 1).unwrap();
+        let (_, b) = q.pop_highest(|_| 1).unwrap();
+        assert_eq!(a, pkt(1));
+        assert_eq!(b, pkt(2));
+    }
+
+    #[test]
+    fn priority_order_between_principals() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(10);
+        q.push(1, pkt(1));
+        q.push(2, pkt(2));
+        q.push(3, pkt(3));
+        // Principal 2 has the highest priority.
+        let prio = |p: u32| match p {
+            2 => 30,
+            3 => 20,
+            _ => 10,
+        };
+        assert_eq!(q.pop_highest(prio).unwrap().0, 2);
+        assert_eq!(q.pop_highest(prio).unwrap().0, 3);
+        assert_eq!(q.pop_highest(prio).unwrap().0, 1);
+        assert!(q.pop_highest(prio).is_none());
+    }
+
+    #[test]
+    fn tie_goes_to_smaller_key() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(10);
+        q.push(9, pkt(9));
+        q.push(4, pkt(4));
+        assert_eq!(q.pop_highest(|_| 5).unwrap().0, 4);
+    }
+
+    #[test]
+    fn capacity_enforced_per_principal() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(2);
+        assert!(q.push(1, pkt(1)));
+        assert!(q.push(1, pkt(2)));
+        assert!(!q.push(1, pkt(3)));
+        // Another principal still has room.
+        assert!(q.push(2, pkt(4)));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.queued(), 3);
+        assert_eq!(q.len_of(1), 2);
+        assert_eq!(q.total_len(), 3);
+    }
+
+    #[test]
+    fn remove_principal_discards() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(10);
+        q.push(1, pkt(1));
+        q.push(1, pkt(2));
+        assert_eq!(q.remove_principal(1), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.remove_principal(1), 0);
+    }
+
+    #[test]
+    fn pending_principals_sorted() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(10);
+        q.push(5, pkt(5));
+        q.push(2, pkt(2));
+        q.push(8, pkt(8));
+        assert_eq!(q.pending_principals(), vec![2, 5, 8]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the network stack: arbitrary packet storms must
+//! never break invariants, and demultiplexing must agree with a naive
+//! oracle.
+
+use proptest::prelude::*;
+use simcore::Nanos;
+use simnet::{CidrFilter, Demux, FlowKey, IpAddr, NetStack, Packet, PacketKind, SockId};
+
+fn arb_kind() -> impl Strategy<Value = PacketKind> {
+    prop_oneof![
+        Just(PacketKind::Syn),
+        Just(PacketKind::Ack),
+        (1u32..2000).prop_map(|b| PacketKind::Data { bytes: b }),
+        Just(PacketKind::Fin),
+        Just(PacketKind::Rst),
+    ]
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowKey> {
+    (0u32..8, 1000u16..1006, prop::sample::select(vec![80u16, 81]))
+        .prop_map(|(h, p, port)| FlowKey::new(IpAddr(0x0a000000 + h), p, port))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any packet sequence leaves the stack internally consistent: no
+    /// panics, socket counts bounded by what was created, `established`
+    /// and `closed` monotone and consistent.
+    #[test]
+    fn arbitrary_packet_storm_is_safe(
+        pkts in prop::collection::vec((arb_flow(), arb_kind()), 1..300)
+    ) {
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let _l80 = s.listen(80, CidrFilter::any(), None, 8, 8, false);
+        let mut now = Nanos::ZERO;
+        for (flow, kind) in pkts {
+            now += Nanos::from_micros(10);
+            let _ = s.handle_packet(Packet::new(flow, kind), now);
+        }
+        prop_assert!(s.closed <= s.established);
+        // 1 listener + at most one conn per live flow.
+        prop_assert!(s.socket_count() <= 1 + s.established as usize);
+    }
+
+    /// Longest-prefix-match demux agrees with a brute-force oracle over
+    /// random filter sets.
+    #[test]
+    fn classify_matches_oracle(
+        masks in prop::collection::vec((0u32..256, 0u8..=32), 1..6),
+        probe in 0u32..256,
+    ) {
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let mut filters: Vec<(CidrFilter, SockId)> = Vec::new();
+        for (host, len) in masks {
+            let f = CidrFilter::new(IpAddr(0x0a000000 + host), len);
+            let id = s.listen(80, f, None, 4, 4, false);
+            filters.push((f, id));
+        }
+        let addr = IpAddr(0x0a000000 + probe);
+        let pkt = Packet::new(FlowKey::new(addr, 1, 80), PacketKind::Syn);
+        let got = s.classify(&pkt);
+        // Oracle: the first-inserted listener among those with the longest
+        // matching mask.
+        let oracle = filters
+            .iter()
+            .filter(|(f, _)| f.matches(addr))
+            .max_by(|(a, _), (b, _)| {
+                a.specificity()
+                    .cmp(&b.specificity())
+            })
+            .map(|&(f, _)| f.specificity());
+        match (got, oracle) {
+            (Demux::Listen(id), Some(best_len)) => {
+                // The chosen socket's filter must match with the best
+                // specificity.
+                let chosen = filters.iter().find(|(_, s)| *s == id).unwrap().0;
+                prop_assert!(chosen.matches(addr));
+                prop_assert_eq!(chosen.specificity(), best_len);
+            }
+            (Demux::NoMatch, None) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+
+    /// A well-formed handshake + request + close sequence always yields
+    /// exactly one established and one closed connection, regardless of
+    /// interleaved garbage traffic from other flows.
+    #[test]
+    fn clean_connection_survives_noise(
+        noise in prop::collection::vec((arb_flow(), arb_kind()), 0..100)
+    ) {
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let l = s.listen(80, CidrFilter::any(), None, 64, 64, false);
+        // The clean flow uses an address outside the noise range.
+        let f = FlowKey::new(IpAddr::new(99, 9, 9, 9), 1234, 80);
+        let mut now = Nanos::ZERO;
+        let mut noise_iter = noise.into_iter();
+        let mut feed_noise = |s: &mut NetStack, now: Nanos| {
+            if let Some((flow, kind)) = noise_iter.next() {
+                let _ = s.handle_packet(Packet::new(flow, kind), now);
+            }
+        };
+        s.handle_packet(Packet::new(f, PacketKind::Syn), now);
+        feed_noise(&mut s, now);
+        now += Nanos::from_micros(50);
+        s.handle_packet(Packet::new(f, PacketKind::Ack), now);
+        feed_noise(&mut s, now);
+        let conn = s.accept(l);
+        prop_assert!(conn.is_some());
+        let conn = conn.unwrap();
+        s.handle_packet(Packet::new(f, PacketKind::Data { bytes: 100 }), now);
+        feed_noise(&mut s, now);
+        let (bytes, eof) = s.read(conn);
+        prop_assert_eq!(bytes, 100);
+        prop_assert!(!eof);
+        let fin = s.close(conn);
+        prop_assert!(fin.is_some());
+    }
+
+    /// SYN-queue occupancy never exceeds the configured backlog.
+    #[test]
+    fn syn_queue_bounded(
+        hosts in prop::collection::vec(0u32..64, 1..200),
+        backlog in 1usize..16,
+    ) {
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let l = s.listen(80, CidrFilter::any(), None, backlog, 4, false);
+        for (i, h) in hosts.iter().enumerate() {
+            let f = FlowKey::new(IpAddr(0x0a000000 + h), 2000 + i as u16, 80);
+            s.handle_packet(Packet::new(f, PacketKind::Syn), Nanos::from_micros(i as u64));
+            prop_assert!(s.syn_queue_len(l) <= backlog);
+        }
+    }
+}

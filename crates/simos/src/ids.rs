@@ -1,0 +1,19 @@
+//! Process identifiers.
+
+/// A process id in the simulated kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        assert_eq!(super::Pid(3).to_string(), "pid3");
+    }
+}

@@ -1,0 +1,1429 @@
+//! The kernel proper: event loop, CPU accounting, interrupt path, and the
+//! per-process kernel network threads.
+//!
+//! # Execution model
+//!
+//! One simulated CPU. Time advances only by consuming CPU (scheduled work,
+//! interrupt-level work, context-switch overhead) or by explicit idling to
+//! the next event. Work items carry their CPU cost and apply their effects
+//! only after the cost has been consumed, so application-visible latencies
+//! reflect contention faithfully.
+//!
+//! # Interrupt level
+//!
+//! Packet arrival always costs an early-demultiplex charge at interrupt
+//! level (`CostModel::intr_demux`), paid before any scheduled work —
+//! modelling hardware/software interrupts having "strictly higher priority
+//! than any user-level code" (§3.2). Under [`NetDiscipline::Interrupt`]
+//! the *entire* protocol processing also runs there, charged to no
+//! resource principal: the misaccounting and livelock source the paper
+//! attacks. Under [`NetDiscipline::Lrp`] and
+//! [`NetDiscipline::Container`], the interrupt only classifies the packet
+//! into a bounded per-principal queue; a per-process kernel thread later
+//! performs protocol processing in principal-priority order, charged to
+//! the principal (§4.7).
+
+use std::collections::{BTreeMap, HashMap};
+
+use rescon::{Attributes, ContainerId, ContainerTable};
+use sched::{
+    DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, Scheduler, StrideScheduler, TaskId,
+};
+use simcore::{EventQueue, Nanos};
+use simnet::{
+    CidrFilter, Demux, NetDiscipline, NetEvent, NetStack, Packet, PendingQueues, SockId,
+};
+
+use crate::app::{AppEvent, AppHandler};
+use crate::cost::CostModel;
+use crate::ids::Pid;
+use crate::process::Process;
+use crate::stats::KernelStats;
+use crate::syscall::SysCtx;
+use crate::thread::{Op, Thread, ThreadKind, ThreadState, WaitFor, WorkItem};
+use crate::world::{World, WorldAction};
+
+/// Which CPU scheduler the kernel uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicyKind {
+    /// Classic decay-usage time sharing over tasks (the "unmodified"
+    /// baseline and the LRP configuration).
+    DecayUsage,
+    /// The paper's container-aware multi-level scheduler.
+    MultiLevel,
+    /// Flat stride scheduling (ablation).
+    Stride,
+    /// Flat lottery scheduling with the given seed (ablation).
+    Lottery(u64),
+}
+
+/// Kernel configuration: one per simulated system variant.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Network-processing discipline (§3.2, §4.7).
+    pub discipline: NetDiscipline,
+    /// CPU scheduler.
+    pub scheduler: SchedPolicyKind,
+    /// Per-operation CPU costs.
+    pub cost: CostModel,
+    /// Whether the container API is available to applications. When
+    /// `false` the kernel still accounts internally to per-process default
+    /// containers, but applications see the classic UNIX interface.
+    pub containers_enabled: bool,
+    /// SYN-queue depth of new listeners.
+    pub syn_backlog: usize,
+    /// Accept-queue depth of new listeners.
+    pub accept_backlog: usize,
+    /// Per-principal cap on unprocessed received packets (lazy
+    /// disciplines); beyond it packets are dropped at interrupt level
+    /// ("excess traffic is discarded early").
+    pub pending_cap: usize,
+    /// Half-open connection timeout.
+    pub syn_timeout: Nanos,
+    /// How often the kernel prunes thread scheduler bindings (§4.3);
+    /// zero disables pruning.
+    pub prune_interval: Nanos,
+    /// Entries idle longer than this are pruned from scheduler bindings.
+    pub prune_age: Nanos,
+    /// Socket-buffer bytes charged to a connection's container while the
+    /// connection is open (§4.4: containers account for memory such as
+    /// socket buffers); a container subtree over its memory limit refuses
+    /// new connections.
+    pub sockbuf_bytes: u64,
+}
+
+impl KernelConfig {
+    /// The paper's **unmodified system**: interrupt-level protocol
+    /// processing, decay-usage scheduling over processes, no container
+    /// API.
+    pub fn unmodified() -> Self {
+        KernelConfig {
+            discipline: NetDiscipline::Interrupt,
+            scheduler: SchedPolicyKind::DecayUsage,
+            cost: CostModel::default(),
+            containers_enabled: false,
+            syn_backlog: 1024,
+            accept_backlog: 128,
+            pending_cap: 256,
+            syn_timeout: Nanos::from_secs(5),
+            prune_interval: Nanos::ZERO,
+            prune_age: Nanos::from_millis(500),
+            sockbuf_bytes: 16 * 1024,
+        }
+    }
+
+    /// The **LRP system**: lazy per-process protocol processing, still
+    /// process-centric scheduling and no container API.
+    pub fn lrp() -> Self {
+        KernelConfig {
+            discipline: NetDiscipline::Lrp,
+            ..Self::unmodified()
+        }
+    }
+
+    /// The **RC system**: container queues, the multi-level scheduler, and
+    /// the full container API (the paper's prototype).
+    pub fn resource_containers() -> Self {
+        KernelConfig {
+            discipline: NetDiscipline::Container,
+            scheduler: SchedPolicyKind::MultiLevel,
+            containers_enabled: true,
+            prune_interval: Nanos::from_secs(1),
+            ..Self::unmodified()
+        }
+    }
+
+    /// Replaces the cost model (builder style).
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// Internal kernel events.
+#[derive(Clone, Debug)]
+enum KernelEvent {
+    /// A packet reached the server NIC.
+    PacketIn(Packet),
+    /// A server packet reached the client side of the wire.
+    PacketToWorld(Packet),
+    /// A world timer fired.
+    WorldTimer(u64),
+    /// An application timer fired.
+    TimerFired(TaskId, u64),
+    /// Periodic scheduler-binding pruning.
+    Prune,
+}
+
+fn build_scheduler(kind: SchedPolicyKind) -> Box<dyn Scheduler> {
+    match kind {
+        SchedPolicyKind::DecayUsage => Box::new(DecayUsageScheduler::new()),
+        SchedPolicyKind::MultiLevel => Box::new(MultiLevelScheduler::new()),
+        SchedPolicyKind::Stride => Box::new(StrideScheduler::new()),
+        SchedPolicyKind::Lottery(seed) => Box::new(LotteryScheduler::new(seed)),
+    }
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// Configuration (public for inspection by harnesses).
+    pub cfg: KernelConfig,
+    clock: Nanos,
+    events: EventQueue<KernelEvent>,
+    /// The container table (public: harnesses read usage directly).
+    pub containers: ContainerTable,
+    /// The network stack (public for tests/harnesses).
+    pub stack: NetStack,
+    scheduler: Box<dyn Scheduler>,
+    pub(crate) threads: BTreeMap<TaskId, Thread>,
+    /// `resume_wait`: a wait to restore after an out-of-band upcall.
+    resume_waits: HashMap<TaskId, WaitFor>,
+    processes: BTreeMap<Pid, Process>,
+    handlers: BTreeMap<Pid, Option<Box<dyn AppHandler>>>,
+    pending: BTreeMap<Pid, PendingQueues<ContainerId>>,
+    kthreads: BTreeMap<Pid, TaskId>,
+    sock_owner: HashMap<SockId, Pid>,
+    /// Socket-buffer memory charged per connection (released on close).
+    sockbuf_charges: HashMap<SockId, (ContainerId, u64)>,
+    next_task: u32,
+    next_pid: u32,
+    stats: KernelStats,
+    /// Interrupt + context-switch work owed; paid before scheduled work.
+    overhead_deficit: Nanos,
+    /// Portion of `overhead_deficit` that is context-switch overhead (the
+    /// rest is interrupt work).
+    switch_deficit: Nanos,
+    last_task: Option<TaskId>,
+}
+
+impl Kernel {
+    /// Boots a kernel with the given configuration.
+    pub fn new(cfg: KernelConfig) -> Self {
+        let scheduler = build_scheduler(cfg.scheduler);
+        let mut k = Kernel {
+            containers: ContainerTable::new(),
+            stack: NetStack::new(cfg.syn_timeout),
+            scheduler,
+            threads: BTreeMap::new(),
+            resume_waits: HashMap::new(),
+            processes: BTreeMap::new(),
+            handlers: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            kthreads: BTreeMap::new(),
+            sock_owner: HashMap::new(),
+            sockbuf_charges: HashMap::new(),
+            next_task: 1,
+            next_pid: 1,
+            clock: Nanos::ZERO,
+            events: EventQueue::new(),
+            stats: KernelStats::default(),
+            overhead_deficit: Nanos::ZERO,
+            switch_deficit: Nanos::ZERO,
+            last_task: None,
+            cfg,
+        };
+        if !k.cfg.prune_interval.is_zero() {
+            let t = k.cfg.prune_interval;
+            k.events.schedule(t, KernelEvent::Prune);
+        }
+        k
+    }
+
+    /// Current virtual time.
+    pub fn clock(&self) -> Nanos {
+        self.clock
+    }
+
+    /// Kernel-level CPU statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The default container of a process.
+    pub fn process_container(&self, pid: Pid) -> Option<ContainerId> {
+        self.processes.get(&pid).map(|p| p.default_container)
+    }
+
+    /// The process that owns a socket.
+    pub fn socket_owner(&self, sock: SockId) -> Option<Pid> {
+        self.sock_owner.get(&sock).copied()
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Returns `true` if the process is still alive.
+    pub fn process_alive(&self, pid: Pid) -> bool {
+        self.processes.contains_key(&pid)
+    }
+
+    fn alloc_task(&mut self) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        id
+    }
+
+    /// Spawns a process with a state-machine handler.
+    ///
+    /// `container_parent` chooses where the process's default container
+    /// hangs in the hierarchy (`None` = under the root, as a plain UNIX
+    /// process); `attrs` sets the default container's attributes.
+    pub fn spawn_process(
+        &mut self,
+        handler: Box<dyn AppHandler>,
+        name: &str,
+        container_parent: Option<ContainerId>,
+        attrs: Attributes,
+        parent: Option<Pid>,
+    ) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let default_container = self
+            .containers
+            .create_at(container_parent, attrs, self.clock)
+            .expect("default container creation must succeed");
+        let mut proc = Process::new(pid, default_container, parent, name);
+        let tid = self.alloc_task();
+        let mut thread = Thread::new(tid, pid, ThreadKind::App, default_container, self.clock);
+        self.containers
+            .bind_thread(default_container)
+            .expect("bind to fresh container");
+        thread.push_work(WorkItem {
+            cost: Nanos::from_micros(1),
+            op: Op::Upcall(AppEvent::Start),
+            charge_to: None,
+            kernel_mode: false,
+        });
+        proc.threads.push(tid);
+        self.scheduler
+            .add_task(tid, &thread.sched_binding.containers(), self.clock);
+        self.scheduler.set_runnable(tid, true, self.clock);
+        self.threads.insert(tid, thread);
+        self.processes.insert(pid, proc);
+        self.handlers.insert(pid, Some(handler));
+        pid
+    }
+
+    /// Spawns an additional thread in an existing process (multi-threaded
+    /// servers). The thread starts with a `Start` upcall.
+    pub fn spawn_thread(&mut self, pid: Pid) -> Option<TaskId> {
+        let default_container = self.processes.get(&pid)?.default_container;
+        let tid = self.alloc_task();
+        let mut thread = Thread::new(tid, pid, ThreadKind::App, default_container, self.clock);
+        self.containers.bind_thread(default_container).ok()?;
+        thread.push_work(WorkItem {
+            cost: Nanos::from_micros(1),
+            op: Op::Upcall(AppEvent::Start),
+            charge_to: None,
+            kernel_mode: false,
+        });
+        self.processes.get_mut(&pid)?.threads.push(tid);
+        self.scheduler
+            .add_task(tid, &thread.sched_binding.containers(), self.clock);
+        self.scheduler.set_runnable(tid, true, self.clock);
+        self.threads.insert(tid, thread);
+        Some(tid)
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation until virtual time `until`.
+    pub fn run(&mut self, world: &mut dyn World, until: Nanos) {
+        loop {
+            // 1. Deliver all due events.
+            while let Some((_, ev)) = self.events.pop_due(self.clock) {
+                self.handle_event(ev, world);
+            }
+            if self.clock >= until {
+                break;
+            }
+            // 2. Pay interrupt / overhead debt ahead of scheduled work.
+            if !self.overhead_deficit.is_zero() {
+                let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
+                let horizon = until.min(next_ev.max(self.clock));
+                let dt = self.overhead_deficit.min(horizon - self.clock);
+                if dt.is_zero() {
+                    // An event is due right now; handle it first.
+                    continue;
+                }
+                let sw = self.switch_deficit.min(dt);
+                self.switch_deficit -= sw;
+                self.stats.overhead_cpu += sw;
+                self.stats.interrupt_cpu += dt - sw;
+                self.overhead_deficit -= dt;
+                self.clock += dt;
+                continue;
+            }
+            // 3. Run scheduled work.
+            match self.scheduler.pick(&self.containers, self.clock) {
+                Some(pick) => {
+                    if self.last_task != Some(pick.task) {
+                        // Register the switch cost as overhead to be paid
+                        // ahead of the *next* scheduling decision, and run
+                        // the picked task now (re-picking here would let an
+                        // equal-usage peer grab the CPU and livelock).
+                        self.stats.ctx_switches += 1;
+                        self.overhead_deficit += self.cfg.cost.ctx_switch;
+                        self.switch_deficit += self.cfg.cost.ctx_switch;
+                        self.last_task = Some(pick.task);
+                    }
+                    let Some(th) = self.threads.get_mut(&pick.task) else {
+                        self.scheduler.remove_task(pick.task);
+                        continue;
+                    };
+                    if !th.has_work() {
+                        // Defensive: a runnable thread without work parks.
+                        th.state = ThreadState::Blocked(WaitFor::Idle);
+                        self.scheduler.set_runnable(pick.task, false, self.clock);
+                        continue;
+                    }
+                    let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
+                    let horizon = until.min(next_ev).min(self.clock.saturating_add(pick.slice));
+                    let budget = horizon.saturating_sub(self.clock);
+                    let dt = th.remaining.min(budget);
+                    if !dt.is_zero() {
+                        th.remaining -= dt;
+                        let container = th.charge_container();
+                        let kernel_mode = th.charge_kernel_mode();
+                        let target = if self.containers.contains(container) {
+                            container
+                        } else {
+                            self.containers.root()
+                        };
+                        if kernel_mode {
+                            let _ = self.containers.charge_cpu_kernel(target, dt);
+                        } else {
+                            let _ = self.containers.charge_cpu(target, dt);
+                        }
+                        self.clock += dt;
+                        self.scheduler
+                            .charge(pick.task, target, dt, &self.containers, self.clock);
+                        self.stats.charged_cpu += dt;
+                    }
+                    let finished = self
+                        .threads
+                        .get(&pick.task)
+                        .map(|t| t.remaining.is_zero())
+                        .unwrap_or(false);
+                    if finished {
+                        self.complete_item(pick.task, world);
+                    } else if dt.is_zero() {
+                        // No budget at all: an event is due or `until` was
+                        // reached; loop around.
+                        if self.clock >= until {
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    // Before idling, hand parked kernel network threads
+                    // their pending (possibly starvable) backlog: priority
+                    // zero means "run only when nothing else wants the
+                    // CPU" — which is now.
+                    let parked: Vec<(Pid, TaskId)> = self
+                        .kthreads
+                        .iter()
+                        .filter(|(pid, ktid)| {
+                            self.threads
+                                .get(ktid)
+                                .map(|t| !t.has_work())
+                                .unwrap_or(false)
+                                && self
+                                    .pending
+                                    .get(pid)
+                                    .map(|q| !q.is_empty())
+                                    .unwrap_or(false)
+                        })
+                        .map(|(&pid, &ktid)| (pid, ktid))
+                        .collect();
+                    if !parked.is_empty() {
+                        for (pid, ktid) in parked {
+                            self.kthread_refill_inner(pid, ktid, true);
+                        }
+                        continue;
+                    }
+                    let mut target = until.min(self.events.peek_time().unwrap_or(Nanos::MAX));
+                    if let Some(r) = self
+                        .scheduler
+                        .next_release_time(&self.containers, self.clock)
+                    {
+                        target = target.min(r.max(self.clock));
+                    }
+                    if target == Nanos::MAX {
+                        // Nothing will ever happen again.
+                        self.stats.idle_cpu += until - self.clock;
+                        self.clock = until;
+                        break;
+                    }
+                    if target <= self.clock {
+                        // Events due now; loop to deliver them.
+                        continue;
+                    }
+                    self.stats.idle_cpu += target - self.clock;
+                    self.clock = target;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling (interrupt context)
+    // ------------------------------------------------------------------
+
+    fn handle_event(&mut self, ev: KernelEvent, world: &mut dyn World) {
+        match ev {
+            KernelEvent::PacketIn(pkt) => self.receive_packet(pkt),
+            KernelEvent::PacketToWorld(pkt) => {
+                let mut actions = Vec::new();
+                world.on_packet(pkt, self.clock, &mut actions);
+                self.apply_world_actions(actions);
+            }
+            KernelEvent::WorldTimer(tag) => {
+                let mut actions = Vec::new();
+                world.on_timer(tag, self.clock, &mut actions);
+                self.apply_world_actions(actions);
+            }
+            KernelEvent::TimerFired(task, tag) => self.timer_fired(task, tag),
+            KernelEvent::Prune => self.prune_bindings(),
+        }
+    }
+
+    fn apply_world_actions(&mut self, actions: Vec<WorldAction>) {
+        for a in actions {
+            match a {
+                WorldAction::SendPacket { pkt, delay } => {
+                    let at = self.clock + delay + self.cfg.cost.link_latency;
+                    self.events.schedule(at, KernelEvent::PacketIn(pkt));
+                }
+                WorldAction::SetTimer { tag, delay } => {
+                    self.events
+                        .schedule(self.clock + delay, KernelEvent::WorldTimer(tag));
+                }
+            }
+        }
+    }
+
+    /// Interrupt-level receive path.
+    fn receive_packet(&mut self, pkt: Packet) {
+        self.stats.pkts_in += 1;
+        self.overhead_deficit += self.cfg.cost.intr_demux;
+        let demux = self.stack.classify(&pkt);
+        let sock = match demux {
+            Demux::Conn(s) | Demux::Listen(s) => Some(s),
+            Demux::NoMatch => None,
+        };
+        match self.cfg.discipline {
+            NetDiscipline::Interrupt => {
+                // Full protocol processing at interrupt level, charged to
+                // no principal (§3.2).
+                self.overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
+                let evs = self.stack.handle_packet(pkt, self.clock);
+                self.apply_net_events_interrupt(evs);
+            }
+            NetDiscipline::Lrp | NetDiscipline::Container => {
+                let Some(sock) = sock else {
+                    // No owner: respond at interrupt level (stray packet).
+                    self.overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
+                    let evs = self.stack.handle_packet(pkt, self.clock);
+                    self.apply_net_events_interrupt(evs);
+                    return;
+                };
+                let Some(owner) = self.sock_owner.get(&sock).copied() else {
+                    self.stats.early_drops += 1;
+                    return;
+                };
+                let principal = self.packet_principal(sock, owner);
+                let cap = self.cfg.pending_cap;
+                let q = self
+                    .pending
+                    .entry(owner)
+                    .or_insert_with(|| PendingQueues::new(cap));
+                if !q.push(principal, pkt) {
+                    self.stats.early_drops += 1;
+                    return;
+                }
+                self.ensure_kthread(owner);
+                self.kthread_maybe_refill(owner);
+            }
+        }
+    }
+
+    /// The resource principal a received packet is classified to (§4.7):
+    /// the socket's container under the Container discipline, the owning
+    /// process's default container under LRP.
+    fn packet_principal(&self, sock: SockId, owner: Pid) -> ContainerId {
+        let fallback = self
+            .processes
+            .get(&owner)
+            .map(|p| p.default_container)
+            .unwrap_or_else(|| self.containers.root());
+        match self.cfg.discipline {
+            NetDiscipline::Container => self
+                .stack
+                .container_of(sock)
+                .filter(|c| self.containers.contains(*c))
+                .unwrap_or(fallback),
+            _ => fallback,
+        }
+    }
+
+    fn ensure_kthread(&mut self, pid: Pid) {
+        if self.kthreads.contains_key(&pid) {
+            return;
+        }
+        let Some(p) = self.processes.get(&pid) else {
+            return;
+        };
+        let container = p.default_container;
+        let tid = self.alloc_task();
+        let mut th = Thread::new(tid, pid, ThreadKind::KernelNet, container, self.clock);
+        th.state = ThreadState::Blocked(WaitFor::Idle);
+        let _ = self.containers.bind_thread(container);
+        self.scheduler
+            .add_task(tid, &th.sched_binding.containers(), self.clock);
+        self.threads.insert(tid, th);
+        self.kthreads.insert(pid, tid);
+    }
+
+    /// Priority used to order protocol processing between principals
+    /// (§4.7: "the priority ... of these containers determines the order
+    /// in which they are serviced").
+    fn principal_priority(&self, c: ContainerId) -> u32 {
+        match self.containers.policy(c) {
+            Ok(rescon::SchedPolicy::TimeShared { priority }) => priority,
+            Ok(rescon::SchedPolicy::FixedShare { .. }) => 10,
+            Err(_) => 0,
+        }
+    }
+
+    /// Gives the process's kernel network thread its next packet if it is
+    /// idle, and keeps its scheduler binding equal to the set of pending
+    /// principals.
+    fn kthread_maybe_refill(&mut self, pid: Pid) {
+        let Some(&ktid) = self.kthreads.get(&pid) else {
+            return;
+        };
+        let idle = self
+            .threads
+            .get(&ktid)
+            .map(|t| !t.has_work())
+            .unwrap_or(false);
+        if idle {
+            self.kthread_refill(pid, ktid);
+        } else {
+            self.update_kthread_binding(pid, ktid);
+        }
+    }
+
+    fn kthread_refill(&mut self, pid: Pid, ktid: TaskId) {
+        self.kthread_refill_inner(pid, ktid, false)
+    }
+
+    /// Refills the kernel network thread. Packets belonging to a
+    /// priority-zero (starvable) principal are only *started* when
+    /// `allow_starvable` or when no other thread is runnable — otherwise a
+    /// flood container's backlog would repeatedly be picked up in
+    /// micro-idle gaps and then finish at elevated priority once real work
+    /// arrived (a recurring priority inversion).
+    fn kthread_refill_inner(&mut self, pid: Pid, ktid: TaskId, allow_starvable: bool) {
+        let containers = &self.containers;
+        let prio_of = |c: ContainerId| match containers.policy(c) {
+            Ok(rescon::SchedPolicy::TimeShared { priority }) => priority,
+            Ok(rescon::SchedPolicy::FixedShare { .. }) => 10,
+            Err(_) => 0,
+        };
+        if !allow_starvable {
+            let next_is_starvable = self
+                .pending
+                .get(&pid)
+                .and_then(|q| q.peek_highest(prio_of))
+                .map(|c| prio_of(c) == 0)
+                .unwrap_or(false);
+            if next_is_starvable {
+                let system_busy = self
+                    .threads
+                    .iter()
+                    .any(|(&id, t)| id != ktid && t.state == ThreadState::Runnable);
+                if system_busy {
+                    // Leave the backlog queued; the idle path restarts us.
+                    if let Some(th) = self.threads.get_mut(&ktid) {
+                        if !th.has_work() {
+                            th.state = ThreadState::Blocked(WaitFor::Idle);
+                            self.scheduler.set_runnable(ktid, false, self.clock);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        let containers = &self.containers;
+        let popped = match self.pending.get_mut(&pid) {
+            Some(q) => q.pop_highest(|c| match containers.policy(c) {
+                Ok(rescon::SchedPolicy::TimeShared { priority }) => priority,
+                Ok(rescon::SchedPolicy::FixedShare { .. }) => 10,
+                Err(_) => 0,
+            }),
+            None => None,
+        };
+        match popped {
+            Some((principal, pkt)) => {
+                let cost = self.cfg.cost.rx_cost(pkt.kind);
+                if let Some(th) = self.threads.get_mut(&ktid) {
+                    th.push_work(WorkItem {
+                        cost,
+                        op: Op::ProtoRx { pkt },
+                        charge_to: Some(principal),
+                        kernel_mode: true,
+                    });
+                    th.sched_binding.touch(principal, self.clock);
+                    th.state = ThreadState::Runnable;
+                }
+                self.update_kthread_binding(pid, ktid);
+                self.scheduler.set_runnable(ktid, true, self.clock);
+            }
+            None => {
+                if let Some(th) = self.threads.get_mut(&ktid) {
+                    if !th.has_work() {
+                        th.state = ThreadState::Blocked(WaitFor::Idle);
+                        self.scheduler.set_runnable(ktid, false, self.clock);
+                    }
+                }
+            }
+        }
+    }
+
+    fn update_kthread_binding(&mut self, pid: Pid, ktid: TaskId) {
+        let mut binding: Vec<ContainerId> = Vec::new();
+        if let Some(th) = self.threads.get(&ktid) {
+            if let Some(c) = th.queue.front().and_then(|i| i.charge_to) {
+                binding.push(c);
+            }
+        }
+        if let Some(q) = self.pending.get(&pid) {
+            for c in q.pending_principals() {
+                if !binding.contains(&c) {
+                    binding.push(c);
+                }
+            }
+        }
+        if binding.is_empty() {
+            if let Some(p) = self.processes.get(&pid) {
+                binding.push(p.default_container);
+            }
+        }
+        self.scheduler.set_binding(ktid, &binding, self.clock);
+    }
+
+    // ------------------------------------------------------------------
+    // Net event application
+    // ------------------------------------------------------------------
+
+    /// Applies protocol-processing results in interrupt context: transmit
+    /// costs are interrupt work; wakeups happen immediately.
+    fn apply_net_events_interrupt(&mut self, evs: Vec<NetEvent>) {
+        for ev in evs {
+            match ev {
+                NetEvent::PacketOut(p) => {
+                    self.overhead_deficit += self.cfg.cost.tx_cost(p.kind);
+                    self.transmit(p);
+                }
+                other => self.apply_wakeup_event(other),
+            }
+        }
+    }
+
+    /// Applies protocol-processing results on a kernel thread: transmits
+    /// are queued as charged work on the same thread.
+    fn apply_net_events_kthread(
+        &mut self,
+        evs: Vec<NetEvent>,
+        ktid: TaskId,
+        principal: Option<ContainerId>,
+    ) {
+        for ev in evs {
+            match ev {
+                NetEvent::PacketOut(p) => {
+                    let cost = self.cfg.cost.tx_cost(p.kind);
+                    if let Some(th) = self.threads.get_mut(&ktid) {
+                        th.push_work(WorkItem {
+                            cost,
+                            op: Op::Transmit { pkts: vec![p] },
+                            charge_to: principal,
+                            kernel_mode: true,
+                        });
+                    }
+                }
+                other => self.apply_wakeup_event(other),
+            }
+        }
+    }
+
+    fn apply_wakeup_event(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::PacketOut(_) => unreachable!("handled by caller"),
+            NetEvent::AcceptReady { listener, conn } => {
+                if let Some(owner) = self.sock_owner.get(&listener).copied() {
+                    self.sock_owner.insert(conn, owner);
+                    if let Some(p) = self.processes.get_mut(&owner) {
+                        p.sockets.push(conn);
+                    }
+                    // The connection inherited the listener's container;
+                    // count the binding so lifetimes stay exact.
+                    if let Some(c) = self.stack.container_of(conn) {
+                        if self.containers.bind_socket(c).is_err() {
+                            self.stack.set_container(conn, None);
+                        }
+                        let _ = self.containers.charge_rx(c, 0);
+                        // Socket-buffer memory accounting (§4.4): refuse
+                        // the connection if the container subtree is over
+                        // its memory limit.
+                        match self.containers.charge_mem(c, self.cfg.sockbuf_bytes) {
+                            Ok(()) => {
+                                self.sockbuf_charges
+                                    .insert(conn, (c, self.cfg.sockbuf_bytes));
+                            }
+                            Err(_) => {
+                                let _ = self.containers.unbind_socket(c);
+                                if let Some(rst) = self.stack.close(conn) {
+                                    let mut rst = rst;
+                                    rst.kind = simnet::PacketKind::Rst;
+                                    self.transmit(rst);
+                                }
+                                self.sock_owner.remove(&conn);
+                                if let Some(p) = self.processes.get_mut(&owner) {
+                                    p.forget_socket(conn);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                }
+                self.notify_socket(listener);
+            }
+            NetEvent::Readable { conn } => {
+                if let Some(c) = self.stack.container_of(conn) {
+                    let _ = self.containers.charge_rx(c, 0);
+                }
+                self.notify_socket(conn);
+            }
+            NetEvent::SynDropped { listener, src } => {
+                if let Some(owner) = self.sock_owner.get(&listener).copied() {
+                    self.deliver_oob_upcall(owner, AppEvent::SynDropNotice { listener, src });
+                }
+            }
+            NetEvent::ConnReset { conn, container } => {
+                self.release_sockbuf(conn);
+                if let Some(c) = container {
+                    let _ = self.containers.unbind_socket(c);
+                }
+                if let Some(owner) = self.sock_owner.remove(&conn) {
+                    if let Some(p) = self.processes.get_mut(&owner) {
+                        p.forget_socket(conn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes whatever is waiting on `sock` becoming ready: `select()`
+    /// sleepers, blocking readers/acceptors, and the scalable event API.
+    fn notify_socket(&mut self, sock: SockId) {
+        let select_scan = |n: usize| self.cfg.cost.select_scan(n);
+        let mut wakes: Vec<(TaskId, WorkItem)> = Vec::new();
+        for (&tid, th) in &self.threads {
+            let matched = match &th.state {
+                ThreadState::Blocked(WaitFor::Select { socks }) => {
+                    if socks.contains(&sock) {
+                        Some(WorkItem {
+                            cost: select_scan(socks.len()),
+                            op: Op::DeliverSelect {
+                                socks: socks.clone(),
+                            },
+                            charge_to: None,
+                            kernel_mode: true,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                ThreadState::Blocked(WaitFor::Readable(s)) if *s == sock => Some(WorkItem {
+                    cost: self.cfg.cost.read_syscall,
+                    op: Op::DeliverSelect { socks: vec![sock] },
+                    charge_to: None,
+                    kernel_mode: true,
+                }),
+                ThreadState::Blocked(WaitFor::Acceptable(l)) if *l == sock => Some(WorkItem {
+                    cost: self.cfg.cost.accept_syscall,
+                    op: Op::DeliverSelect { socks: vec![sock] },
+                    charge_to: None,
+                    kernel_mode: true,
+                }),
+                _ => None,
+            };
+            if let Some(item) = matched {
+                wakes.push((tid, item));
+            }
+        }
+        for (tid, item) in wakes {
+            if let Some(th) = self.threads.get_mut(&tid) {
+                th.state = ThreadState::Runnable;
+                th.push_work(item);
+                self.scheduler.set_runnable(tid, true, self.clock);
+            }
+        }
+        // Scalable event API.
+        if let Some(owner) = self.sock_owner.get(&sock).copied() {
+            let queued = self
+                .processes
+                .get_mut(&owner)
+                .map(|p| p.queue_event(sock))
+                .unwrap_or(false);
+            if queued {
+                self.wake_event_waiter(owner);
+            }
+        }
+    }
+
+    fn wake_event_waiter(&mut self, pid: Pid) {
+        let qlen = self
+            .processes
+            .get(&pid)
+            .map(|p| p.event_queue.len())
+            .unwrap_or(0);
+        if qlen == 0 {
+            return;
+        }
+        let cost = self.cfg.cost.event_delivery(qlen);
+        let tids: Vec<TaskId> = self
+            .processes
+            .get(&pid)
+            .map(|p| p.threads.clone())
+            .unwrap_or_default();
+        for tid in tids {
+            let blocked = matches!(
+                self.threads.get(&tid).map(|t| &t.state),
+                Some(ThreadState::Blocked(WaitFor::Event))
+            );
+            if blocked {
+                if let Some(th) = self.threads.get_mut(&tid) {
+                    th.state = ThreadState::Runnable;
+                    th.push_work(WorkItem {
+                        cost,
+                        op: Op::DeliverEvents,
+                        charge_to: None,
+                        kernel_mode: true,
+                    });
+                    self.scheduler.set_runnable(tid, true, self.clock);
+                }
+                break; // One waiter handles the batch.
+            }
+        }
+    }
+
+    /// Delivers an out-of-band upcall (SYN-drop notice, child exit) to a
+    /// process's first application thread, waking it if blocked and
+    /// restoring its wait afterwards.
+    fn deliver_oob_upcall(&mut self, pid: Pid, ev: AppEvent) {
+        let Some(tid) = self
+            .processes
+            .get(&pid)
+            .and_then(|p| p.threads.first().copied())
+        else {
+            return;
+        };
+        let Some(th) = self.threads.get_mut(&tid) else {
+            return;
+        };
+        if let ThreadState::Blocked(w) = th.state.clone() {
+            self.resume_waits.entry(tid).or_insert(w);
+            th.state = ThreadState::Runnable;
+        }
+        th.push_work(WorkItem {
+            cost: self.cfg.cost.event_api_base,
+            op: Op::Upcall(ev),
+            charge_to: None,
+            kernel_mode: true,
+        });
+        self.scheduler.set_runnable(tid, true, self.clock);
+    }
+
+    fn timer_fired(&mut self, task: TaskId, tag: u64) {
+        let Some(th) = self.threads.get_mut(&task) else {
+            return;
+        };
+        match &th.state {
+            ThreadState::Blocked(WaitFor::Timer { tag: t }) if *t == tag => {
+                th.state = ThreadState::Runnable;
+                th.push_work(WorkItem {
+                    cost: Nanos::from_micros(1),
+                    op: Op::Upcall(AppEvent::Timer { tag }),
+                    charge_to: None,
+                    kernel_mode: true,
+                });
+                self.scheduler.set_runnable(task, true, self.clock);
+            }
+            ThreadState::Exited => {}
+            _ => {
+                // The thread is busy: deliver when it gets there.
+                th.push_work(WorkItem {
+                    cost: Nanos::from_micros(1),
+                    op: Op::Upcall(AppEvent::Timer { tag }),
+                    charge_to: None,
+                    kernel_mode: true,
+                });
+                if matches!(th.state, ThreadState::Blocked(_)) {
+                    if let ThreadState::Blocked(w) = th.state.clone() {
+                        self.resume_waits.entry(task).or_insert(w);
+                    }
+                    th.state = ThreadState::Runnable;
+                    self.scheduler.set_runnable(task, true, self.clock);
+                }
+            }
+        }
+    }
+
+    fn prune_bindings(&mut self) {
+        let now = self.clock;
+        let age = self.cfg.prune_age;
+        let mut updates: Vec<(TaskId, Vec<ContainerId>)> = Vec::new();
+        for (&tid, th) in self.threads.iter_mut() {
+            if th.kind != ThreadKind::App {
+                continue;
+            }
+            let removed = th.sched_binding.prune(now, age);
+            // The current resource binding always stays.
+            th.sched_binding.touch(th.resource_binding, now);
+            if removed > 0 {
+                updates.push((tid, th.sched_binding.containers()));
+            }
+        }
+        for (tid, binding) in updates {
+            self.scheduler.set_binding(tid, &binding, now);
+        }
+        self.events
+            .schedule(self.clock + self.cfg.prune_interval, KernelEvent::Prune);
+    }
+
+    // ------------------------------------------------------------------
+    // Work-item completion
+    // ------------------------------------------------------------------
+
+    fn complete_item(&mut self, task: TaskId, world: &mut dyn World) {
+        let Some(th) = self.threads.get_mut(&task) else {
+            return;
+        };
+        let Some(item) = th.pop_completed() else {
+            return;
+        };
+        let pid = th.pid;
+        match item.op {
+            Op::Nop => {}
+            Op::Upcall(ev) => self.deliver_upcall(pid, task, ev),
+            Op::DeliverSelect { socks } => {
+                let ready: Vec<SockId> = socks
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.sock_ready(s))
+                    .collect();
+                if ready.is_empty() {
+                    self.block_thread(task, WaitFor::Select { socks });
+                } else {
+                    self.stats.upcalls += 1;
+                    self.deliver_upcall(pid, task, AppEvent::SelectReady { ready });
+                }
+            }
+            Op::DeliverEvents => {
+                let mut events: Vec<SockId> = Vec::new();
+                if let Some(p) = self.processes.get_mut(&pid) {
+                    while let Some(s) = p.event_queue.pop_front() {
+                        events.push(s);
+                        if events.len() >= 64 {
+                            break;
+                        }
+                    }
+                }
+                if events.is_empty() {
+                    self.block_thread(task, WaitFor::Event);
+                } else {
+                    if self.cfg.containers_enabled {
+                        // §5.5: the kernel delivers events in container
+                        // priority order.
+                        let mut keyed: Vec<(u32, usize, SockId)> = events
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &s)| {
+                                let prio = self
+                                    .stack
+                                    .container_of(s)
+                                    .map(|c| self.principal_priority(c))
+                                    .unwrap_or(10);
+                                (prio, i, s)
+                            })
+                            .collect();
+                        keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                        events = keyed.into_iter().map(|(_, _, s)| s).collect();
+                    }
+                    self.stats.upcalls += 1;
+                    self.deliver_upcall(pid, task, AppEvent::EventReady { events });
+                }
+            }
+            Op::Transmit { pkts } => {
+                for p in pkts {
+                    if let Demux::Conn(s) = self.stack.classify(&p) {
+                        if let Some(c) = self.stack.container_of(s) {
+                            let _ = self.containers.charge_tx(c, p.kind.payload_bytes() as u64);
+                        }
+                    }
+                    self.transmit(p);
+                }
+            }
+            Op::CloseSock { sock } => {
+                self.release_sockbuf(sock);
+                let bound = self.stack.container_of(sock);
+                if let Some(fin) = self.stack.close(sock) {
+                    self.transmit(fin);
+                }
+                if let Some(c) = bound {
+                    // Dropping the socket's container binding may destroy
+                    // the per-connection container (§4.6).
+                    let _ = self.containers.unbind_socket(c);
+                }
+                self.sock_owner.remove(&sock);
+                if let Some(p) = self.processes.get_mut(&pid) {
+                    p.forget_socket(sock);
+                }
+            }
+            Op::Block(wait) => {
+                self.resume_waits.remove(&task);
+                let has_more = self
+                    .threads
+                    .get(&task)
+                    .map(|t| t.has_work())
+                    .unwrap_or(false);
+                if has_more {
+                    // Out-of-band work (an IPC doorbell, a SYN-drop
+                    // notice) was queued behind this wait: run it first,
+                    // then restore the wait when the queue drains.
+                    self.resume_waits.insert(task, wait);
+                } else {
+                    self.block_thread(task, wait);
+                }
+            }
+            Op::ProtoRx { pkt } => {
+                let principal = item.charge_to;
+                let evs = self.stack.handle_packet(pkt, self.clock);
+                self.apply_net_events_kthread(evs, task, principal);
+            }
+            Op::Exit => {
+                self.exit_thread(task);
+                return;
+            }
+        }
+        // Post-completion: park, refill, or resume.
+        let Some(th) = self.threads.get(&task) else {
+            return;
+        };
+        if th.state == ThreadState::Runnable && !th.has_work() {
+            match th.kind {
+                ThreadKind::KernelNet => self.kthread_refill(pid, task),
+                ThreadKind::App => {
+                    if let Some(w) = self.resume_waits.remove(&task) {
+                        self.block_thread(task, w);
+                    } else {
+                        if let Some(th) = self.threads.get_mut(&task) {
+                            th.state = ThreadState::Blocked(WaitFor::Idle);
+                        }
+                        self.scheduler.set_runnable(task, false, self.clock);
+                    }
+                }
+            }
+        }
+        let _ = world;
+    }
+
+    fn sock_ready(&self, s: SockId) -> bool {
+        self.stack.readable(s) || self.stack.accept_queue_len(s) > 0
+    }
+
+    /// Blocks a thread on `wait`, unless the condition already holds — in
+    /// which case the wake work is queued immediately.
+    fn block_thread(&mut self, task: TaskId, wait: WaitFor) {
+        let ready_now = match &wait {
+            WaitFor::Select { socks } => socks.iter().any(|&s| self.sock_ready(s)),
+            WaitFor::Readable(s) => self.stack.readable(*s),
+            WaitFor::Acceptable(l) => self.stack.accept_queue_len(*l) > 0,
+            WaitFor::Event => {
+                let pid = self.threads.get(&task).map(|t| t.pid);
+                pid.and_then(|p| self.processes.get(&p))
+                    .map(|p| !p.event_queue.is_empty())
+                    .unwrap_or(false)
+            }
+            WaitFor::Timer { .. } | WaitFor::Idle => false,
+        };
+        if ready_now {
+            let item = match &wait {
+                WaitFor::Select { socks } => WorkItem {
+                    cost: self.cfg.cost.select_scan(socks.len()),
+                    op: Op::DeliverSelect {
+                        socks: socks.clone(),
+                    },
+                    charge_to: None,
+                    kernel_mode: true,
+                },
+                WaitFor::Readable(s) => WorkItem {
+                    cost: self.cfg.cost.read_syscall,
+                    op: Op::DeliverSelect { socks: vec![*s] },
+                    charge_to: None,
+                    kernel_mode: true,
+                },
+                WaitFor::Acceptable(l) => WorkItem {
+                    cost: self.cfg.cost.accept_syscall,
+                    op: Op::DeliverSelect { socks: vec![*l] },
+                    charge_to: None,
+                    kernel_mode: true,
+                },
+                WaitFor::Event => {
+                    let pid = self.threads.get(&task).map(|t| t.pid);
+                    let qlen = pid
+                        .and_then(|p| self.processes.get(&p))
+                        .map(|p| p.event_queue.len())
+                        .unwrap_or(0);
+                    WorkItem {
+                        cost: self.cfg.cost.event_delivery(qlen),
+                        op: Op::DeliverEvents,
+                        charge_to: None,
+                        kernel_mode: true,
+                    }
+                }
+                WaitFor::Timer { .. } | WaitFor::Idle => unreachable!(),
+            };
+            if let Some(th) = self.threads.get_mut(&task) {
+                th.state = ThreadState::Runnable;
+                th.push_work(item);
+            }
+            self.scheduler.set_runnable(task, true, self.clock);
+        } else {
+            if let Some(th) = self.threads.get_mut(&task) {
+                th.state = ThreadState::Blocked(wait);
+            }
+            self.scheduler.set_runnable(task, false, self.clock);
+        }
+    }
+
+    fn exit_thread(&mut self, task: TaskId) {
+        let Some(mut th) = self.threads.remove(&task) else {
+            return;
+        };
+        th.state = ThreadState::Exited;
+        self.scheduler.remove_task(task);
+        self.resume_waits.remove(&task);
+        let _ = self.containers.unbind_thread(th.resource_binding);
+        let pid = th.pid;
+        let (last, parent) = match self.processes.get_mut(&pid) {
+            Some(p) => {
+                p.threads.retain(|&t| t != task);
+                (p.threads.is_empty(), p.parent)
+            }
+            None => (false, None),
+        };
+        if last {
+            self.exit_process(pid);
+            if let Some(pp) = parent {
+                if self.processes.contains_key(&pp) {
+                    self.deliver_oob_upcall(pp, AppEvent::ChildExited { pid });
+                }
+            }
+        }
+    }
+
+    fn exit_process(&mut self, pid: Pid) {
+        let Some(mut p) = self.processes.remove(&pid) else {
+            return;
+        };
+        // Close all sockets.
+        for sock in p.sockets.clone() {
+            self.release_sockbuf(sock);
+            let bound = self.stack.container_of(sock);
+            match self.stack.socket(sock).map(|s| matches!(s.kind, simnet::SocketKind::Listen(_))) {
+                Some(true) => {
+                    // Drain queued-but-unaccepted connections first so their
+                    // container bindings are released.
+                    while let Some(conn) = self.stack.accept(sock) {
+                        if let Some(c) = self.stack.container_of(conn) {
+                            let _ = self.containers.unbind_socket(c);
+                        }
+                        if let Some(fin) = self.stack.close(conn) {
+                            self.transmit(fin);
+                        }
+                        self.sock_owner.remove(&conn);
+                    }
+                    for rst in self.stack.close_listen(sock) {
+                        self.transmit(rst);
+                    }
+                    if let Some(c) = bound {
+                        let _ = self.containers.unbind_socket(c);
+                    }
+                }
+                Some(false) => {
+                    if let Some(fin) = self.stack.close(sock) {
+                        self.transmit(fin);
+                    }
+                    if let Some(c) = bound {
+                        let _ = self.containers.unbind_socket(c);
+                    }
+                }
+                None => {}
+            }
+            self.sock_owner.remove(&sock);
+        }
+        // Release container descriptors; then the default container.
+        p.containers.close_all(&mut self.containers);
+        let _ = self.containers.drop_descriptor_ref(p.default_container);
+        // Tear down the kernel network thread.
+        if let Some(ktid) = self.kthreads.remove(&pid) {
+            if let Some(kth) = self.threads.remove(&ktid) {
+                let _ = self.containers.unbind_thread(kth.resource_binding);
+            }
+            self.scheduler.remove_task(ktid);
+        }
+        self.pending.remove(&pid);
+        self.handlers.remove(&pid);
+    }
+
+    /// Releases the socket-buffer memory charged to a connection, if any.
+    fn release_sockbuf(&mut self, sock: SockId) {
+        if let Some((c, bytes)) = self.sockbuf_charges.remove(&sock) {
+            let _ = self.containers.release_mem(c, bytes);
+        }
+    }
+
+    fn transmit(&mut self, pkt: Packet) {
+        self.stats.pkts_out += 1;
+        self.events.schedule(
+            self.clock + self.cfg.cost.link_latency,
+            KernelEvent::PacketToWorld(pkt),
+        );
+    }
+
+    /// Delivers an upcall to the process handler, giving it a [`SysCtx`].
+    fn deliver_upcall(&mut self, pid: Pid, task: TaskId, ev: AppEvent) {
+        let Some(slot) = self.handlers.get_mut(&pid) else {
+            return;
+        };
+        let Some(mut handler) = slot.take() else {
+            return;
+        };
+        {
+            let mut ctx = SysCtx::new(self, pid, task);
+            handler.on_event(&mut ctx, task, ev);
+        }
+        if let Some(slot) = self.handlers.get_mut(&pid) {
+            *slot = Some(handler);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal accessors used by SysCtx
+    // ------------------------------------------------------------------
+
+    pub(crate) fn clock_now(&self) -> Nanos {
+        self.clock
+    }
+
+    pub(crate) fn cost_model(&self) -> CostModel {
+        self.cfg.cost.clone()
+    }
+
+    pub(crate) fn thread_mut(&mut self, t: TaskId) -> Option<&mut Thread> {
+        self.threads.get_mut(&t)
+    }
+
+    pub(crate) fn thread_ref(&self, t: TaskId) -> Option<&Thread> {
+        self.threads.get(&t)
+    }
+
+    pub(crate) fn process_mut(&mut self, p: Pid) -> Option<&mut Process> {
+        self.processes.get_mut(&p)
+    }
+
+    pub(crate) fn process_ref(&self, p: Pid) -> Option<&Process> {
+        self.processes.get(&p)
+    }
+
+    pub(crate) fn scheduler_mut(&mut self) -> &mut dyn Scheduler {
+        self.scheduler.as_mut()
+    }
+
+    pub(crate) fn post_ipc(&mut self, from: Pid, to: Pid, tag: u64) {
+        self.deliver_oob_upcall(to, AppEvent::Ipc { from, tag });
+    }
+
+    pub(crate) fn reassign_socket(&mut self, sock: SockId, from: Pid, to: Pid) {
+        if let Some(p) = self.processes.get_mut(&from) {
+            p.forget_socket(sock);
+        }
+        self.sock_owner.insert(sock, to);
+        if let Some(p) = self.processes.get_mut(&to) {
+            p.sockets.push(sock);
+        }
+    }
+
+    pub(crate) fn register_socket(&mut self, sock: SockId, pid: Pid) {
+        self.sock_owner.insert(sock, pid);
+        if let Some(p) = self.processes.get_mut(&pid) {
+            p.sockets.push(sock);
+        }
+    }
+
+    pub(crate) fn schedule_app_timer(&mut self, task: TaskId, at: Nanos, tag: u64) {
+        self.events
+            .schedule(at.max(self.clock), KernelEvent::TimerFired(task, tag));
+    }
+
+    /// Injects a packet into the NIC at an absolute time (used by
+    /// harnesses to seed traffic).
+    pub fn inject_packet(&mut self, pkt: Packet, at: Nanos) {
+        self.events
+            .schedule(at.max(self.clock), KernelEvent::PacketIn(pkt));
+    }
+
+    /// Arms a world timer at an absolute time (used by harnesses to start
+    /// client logic).
+    pub fn arm_world_timer(&mut self, tag: u64, at: Nanos) {
+        self.events
+            .schedule(at.max(self.clock), KernelEvent::WorldTimer(tag));
+    }
+
+    /// Opens a listening socket on behalf of a process without charging
+    /// costs (harness setup helper; applications use
+    /// [`SysCtx::listen`]).
+    pub fn setup_listen(
+        &mut self,
+        pid: Pid,
+        port: u16,
+        filter: CidrFilter,
+        container: Option<ContainerId>,
+        notify_syn_drops: bool,
+    ) -> SockId {
+        let mut container = container.or_else(|| self.process_container(pid));
+        if let Some(c) = container {
+            if self.containers.bind_socket(c).is_err() {
+                container = None;
+            }
+        }
+        let s = self.stack.listen(
+            port,
+            filter,
+            container,
+            self.cfg.syn_backlog,
+            self.cfg.accept_backlog,
+            notify_syn_drops,
+        );
+        self.register_socket(s, pid);
+        s
+    }
+}

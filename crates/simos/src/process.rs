@@ -1,0 +1,117 @@
+//! Processes: protection domains of the simulated kernel.
+
+use rescon::{ContainerId, DescriptorTable};
+use sched::TaskId;
+use simnet::SockId;
+use std::collections::VecDeque;
+
+use crate::ids::Pid;
+
+/// A process: a protection domain with threads, a default resource
+/// container, container descriptors, and event-API state.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Default container created at `fork()` (§4.6); threads start bound
+    /// to it, and in the baseline ("unmodified") kernel everything the
+    /// process does is charged here — making the process the resource
+    /// principal, as in classic UNIX.
+    pub default_container: ContainerId,
+    /// Container descriptors open in this process (§4.6).
+    pub containers: DescriptorTable,
+    /// Live threads.
+    pub threads: Vec<TaskId>,
+    /// Sockets owned by this process.
+    pub sockets: Vec<SockId>,
+    /// Sockets registered with the scalable event API.
+    pub event_interest: Vec<SockId>,
+    /// Pending event-API deliveries (sockets with unconsumed events).
+    pub event_queue: VecDeque<SockId>,
+    /// Parent process, if any.
+    pub parent: Option<Pid>,
+    /// Human-readable name for reports.
+    pub name: String,
+}
+
+impl Process {
+    /// Creates an empty process record.
+    pub fn new(pid: Pid, default_container: ContainerId, parent: Option<Pid>, name: &str) -> Self {
+        Process {
+            pid,
+            default_container,
+            containers: DescriptorTable::new(),
+            threads: Vec::new(),
+            sockets: Vec::new(),
+            event_interest: Vec::new(),
+            event_queue: VecDeque::new(),
+            parent,
+            name: name.to_string(),
+        }
+    }
+
+    /// Queues an event-API notification for `sock` unless one is already
+    /// pending (events are level-ish: one entry per ready socket).
+    pub fn queue_event(&mut self, sock: SockId) -> bool {
+        if !self.event_interest.contains(&sock) {
+            return false;
+        }
+        if self.event_queue.contains(&sock) {
+            return false;
+        }
+        self.event_queue.push_back(sock);
+        true
+    }
+
+    /// Removes a socket from all per-process tracking.
+    pub fn forget_socket(&mut self, sock: SockId) {
+        self.sockets.retain(|&s| s != sock);
+        self.event_interest.retain(|&s| s != sock);
+        self.event_queue.retain(|&s| s != sock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescon::{Attributes, ContainerTable};
+    use simcore::Nanos;
+    use simnet::{CidrFilter, NetStack};
+
+    fn sock() -> (NetStack, SockId) {
+        let mut stack = NetStack::new(Nanos::from_secs(5));
+        let s = stack.listen(80, CidrFilter::any(), None, 4, 4, false);
+        (stack, s)
+    }
+
+    fn proc_with_container() -> Process {
+        let mut t = ContainerTable::new();
+        let c = t.create(None, Attributes::time_shared(1)).unwrap();
+        Process::new(Pid(1), c, None, "test")
+    }
+
+    #[test]
+    fn queue_event_requires_interest() {
+        let (_stack, s) = sock();
+        let mut p = proc_with_container();
+        assert!(!p.queue_event(s));
+        p.event_interest.push(s);
+        assert!(p.queue_event(s));
+        // Duplicate suppressed.
+        assert!(!p.queue_event(s));
+        assert_eq!(p.event_queue.len(), 1);
+    }
+
+    #[test]
+    fn forget_socket_clears_everywhere() {
+        let (_stack, s) = sock();
+        let mut p = proc_with_container();
+        p.sockets.push(s);
+        p.event_interest.push(s);
+        p.queue_event(s);
+        p.forget_socket(s);
+        assert!(p.sockets.is_empty());
+        assert!(p.event_interest.is_empty());
+        assert!(p.event_queue.is_empty());
+    }
+}

@@ -1,0 +1,552 @@
+//! The syscall surface applications program against.
+//!
+//! A [`SysCtx`] is handed to an [`crate::AppHandler`] for the duration of
+//! one upcall. Control-plane calls (container operations, `listen`,
+//! `accept`, `read`) take effect immediately and queue their CPU cost;
+//! data-plane calls with timing significance (`compute`, `send`, `close`,
+//! the blocking waits) are queued cost-before-effect, preserving the exact
+//! order the application issued them.
+//!
+//! The container operations implement §4.6 of the paper one-for-one, with
+//! the per-operation costs of Table 1 charged to the calling thread.
+
+use rescon::{Attributes, ContainerFd, ContainerId, RcError, ResourceUsage};
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::{CidrFilter, SockId};
+
+use crate::app::AppHandler;
+use crate::ids::Pid;
+use crate::kernel::Kernel;
+use crate::thread::{Op, ThreadKind, WaitFor, WorkItem};
+
+/// The per-upcall syscall context: the calling process and thread plus a
+/// mutable view of the kernel.
+pub struct SysCtx<'a> {
+    k: &'a mut Kernel,
+    pid: Pid,
+    thread: TaskId,
+}
+
+impl<'a> SysCtx<'a> {
+    pub(crate) fn new(k: &'a mut Kernel, pid: Pid, thread: TaskId) -> Self {
+        SysCtx { k, pid, thread }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.k.clock_now()
+    }
+
+    /// The calling process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Whether the kernel exposes the container API (§4) — `false` on the
+    /// unmodified and LRP baselines.
+    pub fn containers_enabled(&self) -> bool {
+        self.k.cfg.containers_enabled
+    }
+
+    fn charge(&mut self, cost: Nanos) {
+        if let Some(th) = self.k.thread_mut(self.thread) {
+            th.push_work(WorkItem {
+                cost,
+                op: Op::Nop,
+                charge_to: None,
+                kernel_mode: true,
+            });
+        }
+    }
+
+    fn push(&mut self, cost: Nanos, op: Op) {
+        if let Some(th) = self.k.thread_mut(self.thread) {
+            th.push_work(WorkItem {
+                cost,
+                op,
+                charge_to: None,
+                kernel_mode: false,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sockets
+    // ------------------------------------------------------------------
+
+    /// Creates a listening socket on `port` with a foreign-address filter
+    /// (§4.8). The listener is initially bound to the process's default
+    /// container.
+    pub fn listen(&mut self, port: u16, filter: CidrFilter, notify_syn_drops: bool) -> SockId {
+        let cost = self.k.cost_model().listen_syscall;
+        self.charge(cost);
+        let mut container = self.k.process_container(self.pid);
+        // Count the initial binding so later rebinds/closes stay balanced.
+        if let Some(c) = container {
+            if self.k.containers.bind_socket(c).is_err() {
+                container = None;
+            }
+        }
+        let (syn_b, acc_b) = (self.k.cfg.syn_backlog, self.k.cfg.accept_backlog);
+        let s = self
+            .k
+            .stack
+            .listen(port, filter, container, syn_b, acc_b, notify_syn_drops);
+        self.k.register_socket(s, self.pid);
+        s
+    }
+
+    /// Accepts one established connection, if available. The new socket
+    /// inherits the listener's container binding.
+    pub fn accept(&mut self, listener: SockId) -> Option<SockId> {
+        let cost = self.k.cost_model().accept_syscall;
+        self.charge(cost);
+        let conn = self.k.stack.accept(listener)?;
+        self.k.register_socket(conn, self.pid);
+        Some(conn)
+    }
+
+    /// Reads all buffered payload bytes; returns `(bytes, eof)`.
+    pub fn read(&mut self, sock: SockId) -> (u64, bool) {
+        let cost = self.k.cost_model().read_syscall;
+        self.charge(cost);
+        self.k.stack.read(sock)
+    }
+
+    /// Returns the foreign address of a connection (like `getpeername`).
+    pub fn peer_addr(&self, sock: SockId) -> Option<simnet::IpAddr> {
+        match self.k.stack.socket(sock)? {
+            simnet::Socket {
+                kind: simnet::SocketKind::Conn(cs),
+                ..
+            } => Some(cs.flow.src),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if a socket has unread data, an EOF, or an
+    /// acceptable connection.
+    pub fn sock_ready(&self, sock: SockId) -> bool {
+        self.k.stack.readable(sock) || self.k.stack.accept_queue_len(sock) > 0
+    }
+
+    /// Queues `bytes` for transmission. The CPU cost (syscall + per-packet
+    /// transmit work) is consumed before any packet leaves the NIC.
+    pub fn send(&mut self, sock: SockId, bytes: u64) {
+        let cm = self.k.cost_model();
+        let pkts = self.k.stack.send(sock, bytes);
+        if pkts.is_empty() {
+            return;
+        }
+        let cost = cm.write_syscall + cm.data_tx * pkts.len() as u64;
+        self.push(cost, Op::Transmit { pkts });
+    }
+
+    /// Closes a connection after all previously queued work completes.
+    pub fn close(&mut self, sock: SockId) {
+        let cm = self.k.cost_model();
+        self.push(cm.close_syscall + cm.fin_tx, Op::CloseSock { sock });
+    }
+
+    /// Blocks the thread in `select()` over `socks` once queued work
+    /// drains. The scan cost is linear in the interest-set size (§5.5).
+    pub fn select_wait(&mut self, socks: Vec<SockId>) {
+        let cost = self.k.cost_model().select_scan(socks.len());
+        self.push(cost, Op::Block(WaitFor::Select { socks }));
+    }
+
+    /// Registers a socket with the scalable event API (§5.5).
+    pub fn event_register(&mut self, sock: SockId) {
+        let cost = self.k.cost_model().event_api_base;
+        self.charge(cost);
+        if let Some(p) = self.k.process_mut(self.pid) {
+            if !p.event_interest.contains(&sock) {
+                p.event_interest.push(sock);
+            }
+            // A socket that is already ready must not be missed.
+            if self.k.stack.readable(sock) || self.k.stack.accept_queue_len(sock) > 0 {
+                if let Some(p) = self.k.process_mut(self.pid) {
+                    p.queue_event(sock);
+                }
+            }
+        }
+    }
+
+    /// Blocks on the scalable event API once queued work drains.
+    pub fn event_wait(&mut self) {
+        let cost = self.k.cost_model().event_api_base;
+        self.push(cost, Op::Block(WaitFor::Event));
+    }
+
+    /// Blocks until `sock` is readable (blocking `read()` pattern of
+    /// thread-per-connection servers).
+    pub fn read_wait(&mut self, sock: SockId) {
+        let cost = self.k.cost_model().read_syscall;
+        self.push(cost, Op::Block(WaitFor::Readable(sock)));
+    }
+
+    /// Blocks until `listener` has an acceptable connection.
+    pub fn accept_wait(&mut self, listener: SockId) {
+        let cost = self.k.cost_model().accept_syscall;
+        self.push(cost, Op::Block(WaitFor::Acceptable(listener)));
+    }
+
+    /// Sleeps until `deadline`, then receives `AppEvent::Timer { tag }`.
+    pub fn sleep_until(&mut self, deadline: Nanos, tag: u64) {
+        self.k.schedule_app_timer(self.thread, deadline, tag);
+        self.push(Nanos::from_nanos(500), Op::Block(WaitFor::Timer { tag }));
+    }
+
+    /// Queues a pure CPU burn of `cost`, then receives
+    /// `AppEvent::Continue { tag }`.
+    pub fn compute(&mut self, cost: Nanos, tag: u64) {
+        if let Some(th) = self.k.thread_mut(self.thread) {
+            th.push_work(WorkItem {
+                cost,
+                op: Op::Upcall(crate::app::AppEvent::Continue { tag }),
+                charge_to: None,
+                kernel_mode: false,
+            });
+        }
+    }
+
+    /// Like [`SysCtx::compute`], but charges the CPU to `charge_to`
+    /// regardless of the thread's resource binding when the work actually
+    /// runs — needed when several connections' work is queued at once.
+    pub fn compute_charged(&mut self, cost: Nanos, tag: u64, charge_to: Option<ContainerId>) {
+        if let Some(th) = self.k.thread_mut(self.thread) {
+            th.push_work(WorkItem {
+                cost,
+                op: Op::Upcall(crate::app::AppEvent::Continue { tag }),
+                charge_to,
+                kernel_mode: false,
+            });
+        }
+    }
+
+    /// Transfers ownership of a socket to another process (descriptor
+    /// passing); subsequent readiness events go to the receiver.
+    pub fn pass_socket(&mut self, sock: SockId, to: Pid) {
+        self.k.reassign_socket(sock, self.pid, to);
+    }
+
+    /// Sends an out-of-band message to another process (modelling a
+    /// UNIX-domain-socket doorbell; used by FastCGI-style persistent
+    /// workers). The receiver gets [`crate::AppEvent::Ipc`] on its first
+    /// thread; costs one write syscall on the sender.
+    pub fn send_ipc(&mut self, to: Pid, tag: u64) {
+        let cost = self.k.cost_model().write_syscall;
+        self.charge(cost);
+        let from = self.pid;
+        self.k.post_ipc(from, to, tag);
+    }
+
+    /// Terminates the calling thread after queued work completes; the
+    /// process exits with its last thread.
+    pub fn exit(&mut self) {
+        let cost = self.k.cost_model().exit;
+        self.push(cost, Op::Exit);
+    }
+
+    // ------------------------------------------------------------------
+    // Containers (§4.6), each charged its Table 1 cost
+    // ------------------------------------------------------------------
+
+    fn require_containers(&self) -> Result<(), RcError> {
+        if self.containers_enabled() {
+            Ok(())
+        } else {
+            Err(RcError::NotFound)
+        }
+    }
+
+    /// Creates a resource container and returns its descriptor.
+    pub fn create_container(
+        &mut self,
+        parent: Option<ContainerFd>,
+        attrs: Attributes,
+    ) -> Result<ContainerFd, RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_create;
+        self.charge(cost);
+        let parent_id = match parent {
+            Some(fd) => Some(self.resolve_fd(fd)?),
+            None => None,
+        };
+        let now = self.k.clock_now();
+        let id = self.k.containers.create_at(parent_id, attrs, now)?;
+        let p = self.k.process_mut(self.pid).ok_or(RcError::NotFound)?;
+        Ok(p.containers.adopt(id))
+    }
+
+    /// Resolves a container descriptor to its id (useful for cross-API
+    /// plumbing such as socket binding).
+    pub fn resolve_fd(&self, fd: ContainerFd) -> Result<ContainerId, RcError> {
+        self.k
+            .process_ref(self.pid)
+            .ok_or(RcError::NotFound)?
+            .containers
+            .resolve(fd)
+    }
+
+    /// Opens a descriptor for an existing container id (§4.6 "obtain
+    /// handle for existing container").
+    pub fn open_container(&mut self, id: ContainerId) -> Result<ContainerFd, RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_handle;
+        self.charge(cost);
+        let containers = &mut self.k.containers;
+        containers.add_descriptor_ref(id)?;
+        let p = self.k.process_mut(self.pid).ok_or(RcError::NotFound)?;
+        Ok(p.containers.adopt(id))
+    }
+
+    /// Releases a container descriptor (§4.6 "Container release").
+    pub fn close_container(&mut self, fd: ContainerFd) -> Result<bool, RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_destroy;
+        self.charge(cost);
+        let p = self.k.process_mut(self.pid).ok_or(RcError::NotFound)?;
+        let id = p.containers.forget(fd)?;
+        self.k.containers.drop_descriptor_ref(id)
+    }
+
+    /// Changes a container's parent (§4.6 "Set a container's parent").
+    pub fn set_container_parent(
+        &mut self,
+        fd: ContainerFd,
+        parent: Option<ContainerFd>,
+    ) -> Result<(), RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_attrs;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        let parent_id = match parent {
+            Some(p) => Some(self.resolve_fd(p)?),
+            None => None,
+        };
+        self.k.containers.set_parent(id, parent_id)
+    }
+
+    /// Sets a container's attributes (§4.6 "Container attributes").
+    pub fn set_container_attrs(&mut self, fd: ContainerFd, attrs: Attributes) -> Result<(), RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_attrs;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        self.k.containers.set_attrs(id, attrs)
+    }
+
+    /// Reads a container's attributes.
+    pub fn container_attrs(&mut self, fd: ContainerFd) -> Result<Attributes, RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_attrs;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        self.k.containers.attrs(id).cloned()
+    }
+
+    /// Reads a container's usage (§4.6 "Container usage information").
+    pub fn container_usage(&mut self, fd: ContainerFd) -> Result<ResourceUsage, RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_usage;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        self.k.containers.usage(id)
+    }
+
+    /// Sets the calling thread's resource binding (§4.6 "Binding a thread
+    /// to a container"). Subsequent consumption is charged there.
+    pub fn bind_thread(&mut self, fd: ContainerFd) -> Result<(), RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_bind;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        self.bind_thread_id(id)
+    }
+
+    /// Like [`SysCtx::bind_thread`] but takes a raw container id; used by
+    /// trusted in-process modules (e.g. library-based dynamic resource
+    /// handlers, §2).
+    pub fn bind_thread_id(&mut self, id: ContainerId) -> Result<(), RcError> {
+        self.require_containers()?;
+        let now = self.k.clock_now();
+        self.k.containers.bind_thread(id)?;
+        let old = {
+            // Split borrows: the container table is consulted through a
+            // snapshot of live ids to weed the scheduler binding.
+            let containers = &self.k.containers;
+            let th = self
+                .k
+                .threads
+                .get_mut(&self.thread)
+                .ok_or(RcError::NotFound)?;
+            let old = th.resource_binding;
+            th.resource_binding = id;
+            th.sched_binding.retain_live(|c| containers.contains(c));
+            th.sched_binding.touch(id, now);
+            old
+        };
+        let _ = self.k.containers.unbind_thread(old);
+        let binding = self
+            .k
+            .thread_ref(self.thread)
+            .map(|t| t.sched_binding.containers())
+            .unwrap_or_default();
+        self.k
+            .scheduler_mut()
+            .set_binding(self.thread, &binding, now);
+        Ok(())
+    }
+
+    /// Rebinds the calling thread to its process's default container
+    /// (e.g. after finishing work for a connection whose container is
+    /// about to be destroyed). A no-op when containers are disabled.
+    pub fn bind_thread_default(&mut self) -> Result<(), RcError> {
+        if !self.containers_enabled() {
+            return Ok(());
+        }
+        let c = self.k.process_container(self.pid).ok_or(RcError::NotFound)?;
+        if self.current_binding() == Some(c) {
+            return Ok(());
+        }
+        let cost = self.k.cost_model().rc_bind;
+        self.charge(cost);
+        self.bind_thread_id(c)
+    }
+
+    /// Returns the process's default container id.
+    pub fn default_container(&self) -> Option<ContainerId> {
+        self.k.process_container(self.pid)
+    }
+
+    /// Returns the calling thread's current resource binding.
+    pub fn current_binding(&self) -> Option<ContainerId> {
+        self.k.thread_ref(self.thread).map(|t| t.resource_binding)
+    }
+
+    /// Adds a container to the calling thread's *scheduler binding*
+    /// without changing its resource binding (§4.3: the kernel tracks the
+    /// set of containers a multiplexed thread serves; a server thread that
+    /// accepts from a class's listening socket serves that class).
+    pub fn join_scheduler_binding(&mut self, id: ContainerId) -> Result<(), RcError> {
+        if !self.containers_enabled() {
+            return Ok(());
+        }
+        if !self.k.containers.contains(id) {
+            return Err(RcError::NotFound);
+        }
+        let now = self.k.clock_now();
+        let binding = {
+            let containers = &self.k.containers;
+            let th = self
+                .k
+                .threads
+                .get_mut(&self.thread)
+                .ok_or(RcError::NotFound)?;
+            th.sched_binding.retain_live(|c| containers.contains(c));
+            th.sched_binding.touch(id, now);
+            th.sched_binding.containers()
+        };
+        self.k
+            .scheduler_mut()
+            .set_binding(self.thread, &binding, now);
+        Ok(())
+    }
+
+    /// Resets the thread's scheduler binding to only its current resource
+    /// binding (§4.6 "Reset the scheduler binding").
+    pub fn reset_scheduler_binding(&mut self) {
+        let cost = self.k.cost_model().rc_bind;
+        self.charge(cost);
+        let now = self.k.clock_now();
+        let binding = {
+            let Some(th) = self.k.thread_mut(self.thread) else {
+                return;
+            };
+            th.sched_binding.reset(th.resource_binding, now);
+            th.sched_binding.containers()
+        };
+        self.k
+            .scheduler_mut()
+            .set_binding(self.thread, &binding, now);
+    }
+
+    /// Binds a socket to a container (§4.6 "Binding a socket or file to a
+    /// container"); subsequent kernel consumption for the socket is
+    /// charged there.
+    pub fn bind_socket(&mut self, sock: SockId, fd: ContainerFd) -> Result<(), RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_bind;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        self.bind_socket_id(sock, id)
+    }
+
+    /// Like [`SysCtx::bind_socket`] with a raw container id.
+    pub fn bind_socket_id(&mut self, sock: SockId, id: ContainerId) -> Result<(), RcError> {
+        self.require_containers()?;
+        let old = self.k.stack.container_of(sock);
+        self.k.containers.bind_socket(id)?;
+        self.k.stack.set_container(sock, Some(id));
+        if let Some(o) = old {
+            let _ = self.k.containers.unbind_socket(o);
+        }
+        Ok(())
+    }
+
+    /// Passes a container to another process (§4.6 "Sharing containers
+    /// between processes"); the sender retains access.
+    pub fn pass_container(&mut self, fd: ContainerFd, to: Pid) -> Result<ContainerFd, RcError> {
+        self.require_containers()?;
+        let cost = self.k.cost_model().rc_pass;
+        self.charge(cost);
+        let id = self.resolve_fd(fd)?;
+        self.k.containers.add_descriptor_ref(id)?;
+        let recv = self.k.process_mut(to).ok_or(RcError::NotFound)?;
+        Ok(recv.containers.adopt(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Processes
+    // ------------------------------------------------------------------
+
+    /// Forks a child process running `handler`. The child's default
+    /// container is created under `container_parent` (defaulting to the
+    /// root, like a plain UNIX process) with `attrs`.
+    pub fn spawn_process(
+        &mut self,
+        handler: Box<dyn AppHandler>,
+        name: &str,
+        container_parent: Option<ContainerId>,
+        attrs: Attributes,
+    ) -> Pid {
+        let cost = self.k.cost_model().fork;
+        self.charge(cost);
+        self.k
+            .spawn_process(handler, name, container_parent, attrs, Some(self.pid))
+    }
+
+    /// Creates an extra thread in the calling process.
+    pub fn spawn_thread(&mut self) -> Option<TaskId> {
+        let cost = self.k.cost_model().fork / 4;
+        self.charge(cost);
+        self.k.spawn_thread(self.pid)
+    }
+
+    /// Returns the calling thread's kind-checked id (handy in handlers
+    /// managing thread pools).
+    pub fn current_thread(&self) -> TaskId {
+        self.thread
+    }
+
+    /// Returns `true` if the thread is a kernel network thread (never the
+    /// case for app upcalls; used in assertions).
+    pub fn is_kernel_thread(&self) -> bool {
+        self.k
+            .thread_ref(self.thread)
+            .map(|t| t.kind == ThreadKind::KernelNet)
+            .unwrap_or(false)
+    }
+}

@@ -1,0 +1,51 @@
+//! The world outside the server: clients, attackers, and the wire.
+//!
+//! The kernel simulates the *server* machine only. Everything beyond its
+//! network interface — client hosts, their load-generation logic, the
+//! switch — is a [`World`]. The kernel calls the world when a packet leaves
+//! the server NIC or a world timer fires; the world responds with packets
+//! to inject (after the wire latency) and new timers.
+//!
+//! World callbacks consume no server CPU, which is exactly right: the
+//! paper's client machines were never the bottleneck ("clients were
+//! 166 MHz Pentium Pros"; the server saturates first).
+
+use simcore::Nanos;
+use simnet::Packet;
+
+/// An action requested by the world.
+#[derive(Clone, Copy, Debug)]
+pub enum WorldAction {
+    /// Inject a packet into the server NIC after `delay`.
+    SendPacket {
+        /// The packet to deliver.
+        pkt: Packet,
+        /// Delay from now until it reaches the server NIC.
+        delay: Nanos,
+    },
+    /// Arm a world timer to fire after `delay`.
+    SetTimer {
+        /// Tag returned to [`World::on_timer`].
+        tag: u64,
+        /// Delay from now.
+        delay: Nanos,
+    },
+}
+
+/// Client-side logic driven by the kernel's event loop.
+pub trait World {
+    /// Called when a server packet reaches the client side of the wire.
+    fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>);
+
+    /// Called when a world timer fires.
+    fn on_timer(&mut self, tag: u64, now: Nanos, actions: &mut Vec<WorldAction>);
+}
+
+/// A world with no clients; useful for kernel-only tests.
+#[derive(Debug, Default)]
+pub struct NullWorld;
+
+impl World for NullWorld {
+    fn on_packet(&mut self, _pkt: Packet, _now: Nanos, _actions: &mut Vec<WorldAction>) {}
+    fn on_timer(&mut self, _tag: u64, _now: Nanos, _actions: &mut Vec<WorldAction>) {}
+}

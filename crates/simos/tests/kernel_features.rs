@@ -1,0 +1,209 @@
+//! Focused kernel-feature tests: timers, IPC, memory limits, process
+//! teardown, and scheduler-binding pruning.
+
+use rescon::Attributes;
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::{CidrFilter, FlowKey, IpAddr, Packet, PacketKind, SockId};
+use simos::{AppEvent, AppHandler, Kernel, KernelConfig, NullWorld, Pid, SysCtx, World, WorldAction};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Records every event it sees, then re-parks.
+struct Recorder {
+    log: Rc<RefCell<Vec<String>>>,
+    deadline: Nanos,
+}
+
+impl AppHandler for Recorder {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                self.log.borrow_mut().push("start".into());
+                sys.sleep_until(self.deadline, 7);
+            }
+            AppEvent::Timer { tag } => {
+                self.log.borrow_mut().push(format!("timer{tag}@{}", sys.now().as_micros()));
+                sys.sleep_until(Nanos::MAX, 99);
+            }
+            AppEvent::Ipc { from, tag } => {
+                self.log.borrow_mut().push(format!("ipc {from} {tag}"));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn timers_fire_at_their_deadline() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut k = Kernel::new(KernelConfig::unmodified());
+    k.spawn_process(
+        Box::new(Recorder {
+            log: log.clone(),
+            deadline: Nanos::from_millis(5),
+        }),
+        "rec",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(20));
+    let entries = log.borrow().clone();
+    assert_eq!(entries[0], "start");
+    assert!(entries[1].starts_with("timer7@50"), "{entries:?}");
+}
+
+/// A sender process that pings a peer over IPC.
+struct Pinger {
+    peer: Rc<RefCell<Option<Pid>>>,
+}
+
+impl AppHandler for Pinger {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        if let AppEvent::Start = ev {
+            if let Some(peer) = *self.peer.borrow() {
+                sys.send_ipc(peer, 42);
+            }
+            sys.sleep_until(Nanos::MAX, 0);
+        }
+    }
+}
+
+#[test]
+fn ipc_doorbell_wakes_a_parked_process() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let peer = Rc::new(RefCell::new(None));
+    let mut k = Kernel::new(KernelConfig::unmodified());
+    let receiver = k.spawn_process(
+        Box::new(Recorder {
+            log: log.clone(),
+            deadline: Nanos::MAX,
+        }),
+        "recv",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    *peer.borrow_mut() = Some(receiver);
+    k.spawn_process(
+        Box::new(Pinger { peer }),
+        "ping",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(5));
+    let entries = log.borrow().clone();
+    assert!(
+        entries.iter().any(|e| e.starts_with("ipc pid") && e.ends_with("42")),
+        "{entries:?}"
+    );
+}
+
+/// A minimal accepting server whose connections share one limited
+/// container.
+struct LimitServer {
+    listener: Option<SockId>,
+    accepted: Rc<RefCell<u64>>,
+}
+
+impl AppHandler for LimitServer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                let l = sys.listen(80, CidrFilter::any(), false);
+                self.listener = Some(l);
+                sys.select_wait(vec![l]);
+            }
+            AppEvent::SelectReady { .. } => {
+                while let Some(_c) = sys.accept(self.listener.unwrap()) {
+                    *self.accepted.borrow_mut() += 1;
+                    // Never read or close: connections pile up.
+                }
+                sys.select_wait(vec![self.listener.unwrap()]);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn socket_buffer_memory_limit_refuses_excess_connections() {
+    // The process's default container gets a memory limit of 4 sockbufs.
+    let accepted = Rc::new(RefCell::new(0u64));
+    let mut cfg = KernelConfig::resource_containers();
+    cfg.sockbuf_bytes = 16 * 1024;
+    let mut k = Kernel::new(cfg);
+    k.spawn_process(
+        Box::new(LimitServer {
+            listener: None,
+            accepted: accepted.clone(),
+        }),
+        "srv",
+        None,
+        Attributes::time_shared(10).with_mem_limit(4 * 16 * 1024),
+        None,
+    );
+
+    // Ten clients try to connect; only four sockbufs fit.
+    struct Syn10;
+    impl World for Syn10 {
+        fn on_packet(&mut self, pkt: Packet, _n: Nanos, a: &mut Vec<WorldAction>) {
+            if pkt.kind == PacketKind::SynAck {
+                a.push(WorldAction::SendPacket {
+                    pkt: Packet::new(pkt.flow, PacketKind::Ack),
+                    delay: Nanos::ZERO,
+                });
+            }
+        }
+        fn on_timer(&mut self, tag: u64, _n: Nanos, a: &mut Vec<WorldAction>) {
+            a.push(WorldAction::SendPacket {
+                pkt: Packet::new(
+                    FlowKey::new(IpAddr::new(10, 0, 0, tag as u8 + 1), 2000, 80),
+                    PacketKind::Syn,
+                ),
+                delay: Nanos::ZERO,
+            });
+        }
+    }
+    for i in 0..10 {
+        k.arm_world_timer(i, Nanos::from_micros(10 * (i + 1)));
+    }
+    k.run(&mut Syn10, Nanos::from_millis(50));
+    assert_eq!(*accepted.borrow(), 4, "memory limit must cap connections");
+    k.containers.check_invariants();
+}
+
+#[test]
+fn process_exit_releases_all_kernel_state() {
+    /// Starts, listens, then exits immediately.
+    struct Ephemeral;
+    impl AppHandler for Ephemeral {
+        fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+            if let AppEvent::Start = ev {
+                let _l = sys.listen(80, CidrFilter::any(), false);
+                let fd = sys
+                    .create_container(None, Attributes::time_shared(5))
+                    .ok();
+                let _ = fd;
+                sys.exit();
+            }
+        }
+    }
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+    let pid = k.spawn_process(
+        Box::new(Ephemeral),
+        "tmp",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(5));
+    assert!(!k.process_alive(pid));
+    assert_eq!(k.process_count(), 0);
+    assert_eq!(k.stack.socket_count(), 0);
+    // Only the root container survives.
+    assert_eq!(k.containers.len(), 1);
+    k.containers.check_invariants();
+}

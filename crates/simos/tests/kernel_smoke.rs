@@ -1,0 +1,279 @@
+//! End-to-end kernel smoke tests: a minimal HTTP-ish server app and a
+//! scripted client drive the full receive path (handshake, data, response,
+//! teardown) under each network discipline.
+
+use rescon::Attributes;
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::{CidrFilter, FlowKey, IpAddr, Packet, PacketKind, SockId};
+use simos::{
+    AppEvent, AppHandler, Kernel, KernelConfig, SysCtx, World, WorldAction,
+};
+
+/// A tiny event-driven server: accept, read request, burn some user CPU,
+/// send a 1 KB response, close.
+struct MiniServer {
+    listener: Option<SockId>,
+    conns: Vec<SockId>,
+    served: std::rc::Rc<std::cell::Cell<u64>>,
+    /// Continuations in flight; `select()` is re-armed only when zero
+    /// (a blocked wait must be the last queued work of the thread).
+    pending: u32,
+}
+
+const PARSE_TAG_BASE: u64 = 1000;
+
+impl AppHandler for MiniServer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                let l = sys.listen(80, CidrFilter::any(), false);
+                self.listener = Some(l);
+                self.rearm(sys);
+            }
+            AppEvent::SelectReady { ready } => {
+                for s in ready {
+                    if Some(s) == self.listener {
+                        while let Some(conn) = sys.accept(self.listener.unwrap()) {
+                            self.conns.push(conn);
+                        }
+                    } else {
+                        let (bytes, _eof) = sys.read(s);
+                        if bytes > 0 {
+                            // Parse + handle: 40 us of user CPU, then respond.
+                            self.pending += 1;
+                            sys.compute(
+                                Nanos::from_micros(40),
+                                PARSE_TAG_BASE + s.as_u64(),
+                            );
+                        }
+                    }
+                }
+                self.rearm(sys);
+            }
+            AppEvent::Continue { tag } => {
+                self.pending = self.pending.saturating_sub(1);
+                if tag >= PARSE_TAG_BASE {
+                    // Find the connection by its id encoding.
+                    if let Some(&conn) = self
+                        .conns
+                        .iter()
+                        .find(|c| c.as_u64() == tag - PARSE_TAG_BASE)
+                    {
+                        sys.send(conn, 1024);
+                        sys.close(conn);
+                        self.conns.retain(|&c| c != conn);
+                        self.served.set(self.served.get() + 1);
+                    }
+                }
+                self.rearm(sys);
+            }
+            _ => self.rearm(sys),
+        }
+    }
+}
+
+impl MiniServer {
+    fn rearm(&self, sys: &mut SysCtx<'_>) {
+        if self.pending > 0 {
+            return; // Wait until all continuations have run.
+        }
+        let mut socks = Vec::new();
+        if let Some(l) = self.listener {
+            socks.push(l);
+        }
+        socks.extend_from_slice(&self.conns);
+        sys.select_wait(socks);
+    }
+}
+
+/// A scripted client: opens one connection, sends one request, records the
+/// response time, and repeats.
+struct LoopClient {
+    addr: IpAddr,
+    next_port: u16,
+    started: Vec<Nanos>,
+    pub completions: Vec<Nanos>,
+}
+
+impl LoopClient {
+    fn new(addr: IpAddr) -> Self {
+        LoopClient {
+            addr,
+            next_port: 1000,
+            started: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn flow(&self) -> FlowKey {
+        FlowKey::new(self.addr, self.next_port, 80)
+    }
+
+    fn start_request(&mut self, now: Nanos, actions: &mut Vec<WorldAction>) {
+        self.next_port += 1;
+        self.started.push(now);
+        actions.push(WorldAction::SendPacket {
+            pkt: Packet::new(self.flow(), PacketKind::Syn),
+            delay: Nanos::ZERO,
+        });
+    }
+}
+
+impl World for LoopClient {
+    fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>) {
+        if pkt.flow != self.flow() {
+            return; // Stale flow (FIN of a finished connection).
+        }
+        match pkt.kind {
+            PacketKind::SynAck => {
+                actions.push(WorldAction::SendPacket {
+                    pkt: Packet::new(pkt.flow, PacketKind::Ack),
+                    delay: Nanos::ZERO,
+                });
+                actions.push(WorldAction::SendPacket {
+                    pkt: Packet::new(pkt.flow, PacketKind::Data { bytes: 200 }),
+                    delay: Nanos::ZERO,
+                });
+            }
+            PacketKind::Data { .. } => {
+                self.completions.push(now);
+                // Immediately issue the next request on a new connection.
+                self.start_request(now, actions);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _tag: u64, now: Nanos, actions: &mut Vec<WorldAction>) {
+        self.start_request(now, actions);
+    }
+}
+
+fn run_config(cfg: KernelConfig, secs: u64) -> (u64, simos::KernelStats) {
+    let served = std::rc::Rc::new(std::cell::Cell::new(0));
+    let mut k = Kernel::new(cfg);
+    k.spawn_process(
+        Box::new(MiniServer {
+            listener: None,
+            conns: Vec::new(),
+            served: served.clone(),
+            pending: 0,
+        }),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut client = LoopClient::new(IpAddr::new(10, 0, 0, 1));
+    k.arm_world_timer(0, Nanos::from_micros(10));
+    k.run(&mut client, Nanos::from_secs(secs));
+    // The server may have answered a request whose response was still on
+    // the wire at cutoff.
+    let diff = served.get() as i64 - client.completions.len() as i64;
+    assert!(
+        (0..=4).contains(&diff),
+        "client {} vs server {}",
+        client.completions.len(),
+        served.get()
+    );
+    (served.get(), *k.stats())
+}
+
+#[test]
+fn serves_requests_under_interrupt_discipline() {
+    let (served, stats) = run_config(KernelConfig::unmodified(), 1);
+    assert!(served > 100, "served = {served}");
+    assert!(stats.pkts_in > 0 && stats.pkts_out > 0);
+    assert!(!Nanos::is_zero(stats.interrupt_cpu));
+}
+
+#[test]
+fn serves_requests_under_lrp_discipline() {
+    let (served, _) = run_config(KernelConfig::lrp(), 1);
+    assert!(served > 100, "served = {served}");
+}
+
+#[test]
+fn serves_requests_under_container_discipline() {
+    let (served, _) = run_config(KernelConfig::resource_containers(), 1);
+    assert!(served > 100, "served = {served}");
+}
+
+#[test]
+fn single_client_latency_roughly_one_request_cost() {
+    // An unloaded server must answer in ~(request CPU + wire latency),
+    // i.e. well under a millisecond.
+    let served = std::rc::Rc::new(std::cell::Cell::new(0));
+    let mut k = Kernel::new(KernelConfig::unmodified());
+    k.spawn_process(
+        Box::new(MiniServer {
+            listener: None,
+            conns: Vec::new(),
+            served: served.clone(),
+            pending: 0,
+        }),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut client = LoopClient::new(IpAddr::new(10, 0, 0, 1));
+    k.arm_world_timer(0, Nanos::ZERO);
+    k.run(&mut client, Nanos::from_millis(100));
+    assert!(client.completions.len() > 10);
+    // Steady-state inter-completion gap = per-request latency.
+    let gaps: Vec<u64> = client
+        .completions
+        .windows(2)
+        .map(|w| (w[1] - w[0]).as_nanos())
+        .collect();
+    let avg = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+    assert!(
+        avg < 1_500_000.0,
+        "avg per-request latency {avg} ns too high"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run_config(KernelConfig::resource_containers(), 1);
+    let b = run_config(KernelConfig::resource_containers(), 1);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1.pkts_in, b.1.pkts_in);
+    assert_eq!(a.1.charged_cpu, b.1.charged_cpu);
+}
+
+#[test]
+fn cpu_accounting_conserves() {
+    let served = std::rc::Rc::new(std::cell::Cell::new(0));
+    let mut k = Kernel::new(KernelConfig::lrp());
+    k.spawn_process(
+        Box::new(MiniServer {
+            listener: None,
+            conns: Vec::new(),
+            served,
+            pending: 0,
+        }),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut client = LoopClient::new(IpAddr::new(10, 0, 0, 1));
+    k.arm_world_timer(0, Nanos::ZERO);
+    let horizon = Nanos::from_secs(1);
+    k.run(&mut client, horizon);
+    let s = k.stats();
+    // charged + interrupt + overhead + idle == elapsed (within the final
+    // partial slice).
+    let total = s.total();
+    let diff = total.saturating_sub(horizon).max(horizon.saturating_sub(total));
+    assert!(
+        diff < Nanos::from_micros(500),
+        "accounting drift {diff} (total {total})"
+    );
+    // And the charged CPU equals what the container table recorded.
+    let root_cpu = k.containers.subtree_cpu(k.containers.root()).unwrap() + k.containers.reaped_cpu();
+    assert_eq!(root_cpu, s.charged_cpu);
+}

@@ -1,0 +1,239 @@
+//! Exercises the complete §4.6 container API surface from inside an
+//! application, including the Table 1 primitives: create, parent, attrs,
+//! usage, thread binding, scheduler-binding reset, socket binding, and
+//! descriptor passing between processes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rescon::{Attributes, ContainerFd, RcError};
+use sched::TaskId;
+use simcore::Nanos;
+use simnet::CidrFilter;
+use simos::{AppEvent, AppHandler, Kernel, KernelConfig, NullWorld, Pid, SysCtx};
+
+#[derive(Default)]
+struct Outcome {
+    created: bool,
+    reparented: bool,
+    attrs_roundtrip: bool,
+    usage_after_compute_us: u64,
+    bound: bool,
+    socket_bound: bool,
+    passed_fd: Option<ContainerFd>,
+    strict_violation_seen: bool,
+    disabled_errors: bool,
+}
+
+type SharedOutcome = Rc<RefCell<Outcome>>;
+
+/// Walks the whole API in its Start handler, then burns CPU bound to its
+/// container and checks the usage query.
+struct ApiWalker {
+    out: SharedOutcome,
+    peer: Rc<RefCell<Option<Pid>>>,
+}
+
+impl AppHandler for ApiWalker {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                let mut out = self.out.borrow_mut();
+                // Create a fixed-share parent and a time-shared child.
+                let parent = sys
+                    .create_container(None, Attributes::fixed_share(0.5).named("api-parent"))
+                    .expect("create parent");
+                let child = sys
+                    .create_container(None, Attributes::time_shared(7))
+                    .expect("create child");
+                out.created = true;
+
+                // Reparent the child under the parent (§4.6).
+                sys.set_container_parent(child, Some(parent)).expect("reparent");
+                out.reparented = true;
+
+                // Attributes round-trip.
+                sys.set_container_attrs(child, Attributes::time_shared(9))
+                    .expect("set attrs");
+                let attrs = sys.container_attrs(child).expect("get attrs");
+                out.attrs_roundtrip = attrs.policy.priority() == Some(9);
+
+                // Strict-mode restriction (§5.1): a time-shared container
+                // cannot parent.
+                let ts = sys
+                    .create_container(None, Attributes::time_shared(1))
+                    .expect("create ts");
+                let err = sys
+                    .create_container(Some(ts), Attributes::time_shared(1))
+                    .unwrap_err();
+                out.strict_violation_seen = err == RcError::ParentNotFixedShare;
+
+                // Bind this thread to the child and reset the scheduler
+                // binding.
+                sys.bind_thread(child).expect("bind thread");
+                sys.reset_scheduler_binding();
+                out.bound = true;
+
+                // Bind a socket to the child.
+                let l = sys.listen(8080, CidrFilter::any(), false);
+                sys.bind_socket(l, child).expect("bind socket");
+                out.socket_bound = true;
+
+                // Pass the parent container to the peer process.
+                if let Some(peer) = *self.peer.borrow() {
+                    let fd = sys.pass_container(parent, peer).expect("pass");
+                    out.passed_fd = Some(fd);
+                }
+                drop(out);
+
+                // Burn 500 us charged to `child`, then query usage.
+                sys.compute(Nanos::from_micros(500), child.0 as u64);
+            }
+            AppEvent::Continue { tag } => {
+                let fd = ContainerFd(tag as u32);
+                let usage = sys.container_usage(fd).expect("usage");
+                self.out.borrow_mut().usage_after_compute_us = usage.cpu.as_micros();
+                let _ = sys.bind_thread_default();
+                sys.sleep_until(Nanos::MAX, 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A do-nothing peer that receives the passed container.
+struct Peer;
+impl AppHandler for Peer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        if let AppEvent::Start = ev {
+            sys.sleep_until(Nanos::MAX, 0);
+        }
+    }
+}
+
+#[test]
+fn full_container_api_surface_works() {
+    let out: SharedOutcome = Rc::new(RefCell::new(Outcome::default()));
+    let peer_slot = Rc::new(RefCell::new(None));
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+    let peer = k.spawn_process(
+        Box::new(Peer),
+        "peer",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    *peer_slot.borrow_mut() = Some(peer);
+    k.spawn_process(
+        Box::new(ApiWalker {
+            out: out.clone(),
+            peer: peer_slot,
+        }),
+        "walker",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(50));
+
+    let o = out.borrow();
+    assert!(o.created);
+    assert!(o.reparented);
+    assert!(o.attrs_roundtrip);
+    assert!(o.strict_violation_seen);
+    assert!(o.bound);
+    assert!(o.socket_bound);
+    assert!(o.passed_fd.is_some());
+    // The 500 us compute was charged to the bound container (plus small
+    // syscall costs that ran while bound).
+    assert!(
+        (450..700).contains(&o.usage_after_compute_us),
+        "usage = {} us",
+        o.usage_after_compute_us
+    );
+    k.containers.check_invariants();
+}
+
+#[test]
+fn container_api_disabled_on_baseline_kernels() {
+    struct Probe {
+        out: SharedOutcome,
+    }
+    impl AppHandler for Probe {
+        fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+            if let AppEvent::Start = ev {
+                assert!(!sys.containers_enabled());
+                let r = sys.create_container(None, Attributes::time_shared(1));
+                self.out.borrow_mut().disabled_errors = r.is_err();
+                sys.sleep_until(Nanos::MAX, 0);
+            }
+        }
+    }
+    let out: SharedOutcome = Rc::new(RefCell::new(Outcome::default()));
+    let mut k = Kernel::new(KernelConfig::unmodified());
+    k.spawn_process(
+        Box::new(Probe { out: out.clone() }),
+        "probe",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(5));
+    assert!(out.borrow().disabled_errors);
+}
+
+/// In-model Table 1: the kernel charges the paper's measured cost for each
+/// container primitive; N invocations must cost N x Table 1.
+#[test]
+fn in_sim_primitive_costs_match_table1() {
+    struct Burner {
+        charged_us: Rc<RefCell<u64>>,
+    }
+    const N: u64 = 1000;
+    impl AppHandler for Burner {
+        fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+            match ev {
+                AppEvent::Start => {
+                    // N x (create + destroy): 2.36 + 2.10 us each.
+                    for _ in 0..N {
+                        let fd = sys
+                            .create_container(None, Attributes::time_shared(1))
+                            .expect("create");
+                        sys.close_container(fd).expect("destroy");
+                    }
+                    sys.compute(Nanos::ZERO, 1);
+                }
+                AppEvent::Continue { tag: 1 } => {
+                    // All queued costs have now been consumed.
+                    let c = sys.default_container().unwrap();
+                    // Usage is recorded on the process's container (the
+                    // thread never rebound).
+                    let fd = sys.open_container(c).expect("handle");
+                    let usage = sys.container_usage(fd).expect("usage");
+                    *self.charged_us.borrow_mut() = usage.cpu.as_micros();
+                    sys.sleep_until(Nanos::MAX, 0);
+                }
+                _ => {}
+            }
+        }
+    }
+    let charged = Rc::new(RefCell::new(0));
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+    k.spawn_process(
+        Box::new(Burner {
+            charged_us: charged.clone(),
+        }),
+        "burner",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(100));
+    // Expected: 1000 x (2.36 + 2.10) us = 4460 us, plus the Start upcall
+    // and the final handle/usage calls (~10 us of slop).
+    let got = *charged.borrow();
+    assert!(
+        (4460..4490).contains(&got),
+        "charged {got} us, expected ~4460 us (Table 1 costs)"
+    );
+}

@@ -1,0 +1,414 @@
+//! Closed-loop HTTP clients with S-Client-style retry behaviour.
+//!
+//! Each client runs a classic closed loop: open a connection, send one
+//! request, wait for the response, repeat — optionally reusing the
+//! connection (persistent HTTP) and optionally abandoning a request that
+//! exceeds a timeout and immediately retrying on a fresh connection, which
+//! is what keeps offered load constant under SYN drops (the S-Client
+//! technique of Banga & Druschel '97, used by the paper's measurement
+//! infrastructure).
+
+use httpsim::{encode_request, ReqKind};
+use simcore::Nanos;
+use simnet::{FlowKey, IpAddr, Packet, PacketKind};
+use simos::{World, WorldAction};
+
+use crate::metrics::ClientMetrics;
+
+/// Configuration of one client.
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    /// The client's source address (must be unique within a world).
+    pub addr: IpAddr,
+    /// Destination port.
+    pub port: u16,
+    /// Request kind.
+    pub kind: ReqKind,
+    /// Document id requested.
+    pub doc: u32,
+    /// Metrics class.
+    pub class: usize,
+    /// Idle time between response and next request (0 = closed loop at
+    /// full speed).
+    pub think: Nanos,
+    /// Abandon a request and retry on a fresh connection after this long
+    /// (None = wait forever).
+    pub timeout: Option<Nanos>,
+    /// When the client starts.
+    pub start_at: Nanos,
+    /// Requests per connection for persistent clients (None = unlimited).
+    pub requests_per_conn: Option<u32>,
+}
+
+impl ClientSpec {
+    /// A default closed-loop non-persistent static client.
+    pub fn staticloop(addr: IpAddr, class: usize) -> Self {
+        ClientSpec {
+            addr,
+            port: 80,
+            kind: ReqKind::Static,
+            doc: 0,
+            class,
+            think: Nanos::ZERO,
+            timeout: None,
+            start_at: Nanos::from_micros(10),
+            requests_per_conn: None,
+        }
+    }
+
+    /// Sets the request kind (builder style).
+    pub fn with_kind(mut self, kind: ReqKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the abandon-and-retry timeout (builder style).
+    pub fn with_timeout(mut self, t: Nanos) -> Self {
+        self.timeout = Some(t);
+        self
+    }
+
+    /// Sets the start time (builder style).
+    pub fn starting_at(mut self, t: Nanos) -> Self {
+        self.start_at = t;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct ClientState {
+    next_port: u16,
+    /// Monotonically increasing request number; stale timers are detected
+    /// by comparing against it.
+    req_seq: u64,
+    started_at: Nanos,
+    /// Requests sent on the current connection (persistent mode).
+    on_conn: u32,
+    /// Waiting for a response right now.
+    in_flight: bool,
+}
+
+/// Timer-tag sub-spaces within a client's tag block.
+const TAG_START: u64 = 0;
+const TAG_TIMEOUT: u64 = 1;
+const TAGS_PER_CLIENT: u64 = 4;
+
+/// A set of closed-loop HTTP clients implementing [`World`].
+///
+/// Tag space: client `i` uses tags `[i*4, i*4+4)`; keep that in mind when
+/// composing with other worlds (use [`crate::CompositeWorld`]).
+pub struct HttpClients {
+    specs: Vec<ClientSpec>,
+    states: Vec<ClientState>,
+    /// Collected metrics (read after the run).
+    pub metrics: ClientMetrics,
+}
+
+impl HttpClients {
+    /// Creates the world; metrics are windowed to
+    /// `[window_start, window_end]`.
+    pub fn new(specs: Vec<ClientSpec>, window_start: Nanos, window_end: Nanos) -> Self {
+        let n_classes = specs.iter().map(|s| s.class + 1).max().unwrap_or(1);
+        let states = specs
+            .iter()
+            .map(|_| ClientState {
+                next_port: 999,
+                req_seq: 0,
+                started_at: Nanos::ZERO,
+                on_conn: 0,
+                in_flight: false,
+            })
+            .collect();
+        HttpClients {
+            specs,
+            states,
+            metrics: ClientMetrics::new(n_classes, window_start, window_end),
+        }
+    }
+
+    /// Arms every client's start timer on the kernel.
+    pub fn arm(&self, k: &mut simos::Kernel) {
+        for (i, spec) in self.specs.iter().enumerate() {
+            k.arm_world_timer(i as u64 * TAGS_PER_CLIENT + TAG_START, spec.start_at);
+        }
+    }
+
+    /// Arms start timers with a composite-world tag offset.
+    pub fn arm_offset(&self, k: &mut simos::Kernel, offset: u64) {
+        for (i, spec) in self.specs.iter().enumerate() {
+            k.arm_world_timer(
+                offset + i as u64 * TAGS_PER_CLIENT + TAG_START,
+                spec.start_at,
+            );
+        }
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    fn client_of(&self, addr: IpAddr) -> Option<usize> {
+        self.specs.iter().position(|s| s.addr == addr)
+    }
+
+    fn flow(&self, i: usize) -> FlowKey {
+        FlowKey::new(self.specs[i].addr, self.states[i].next_port, self.specs[i].port)
+    }
+
+    fn request_len(&self, i: usize) -> u32 {
+        encode_request(self.specs[i].kind, self.specs[i].doc)
+    }
+
+    /// Opens a fresh connection and sends a SYN.
+    fn new_connection(&mut self, i: usize, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let st = &mut self.states[i];
+        st.next_port = st.next_port.wrapping_add(1);
+        if st.next_port < 1000 {
+            st.next_port = 1000;
+        }
+        st.req_seq += 1;
+        st.started_at = now;
+        st.on_conn = 0;
+        st.in_flight = true;
+        actions.push(WorldAction::SendPacket {
+            pkt: Packet::new(self.flow(i), PacketKind::Syn),
+            delay: Nanos::ZERO,
+        });
+        self.arm_timeout(i, actions);
+    }
+
+    /// Sends the next request on the established connection.
+    fn next_request(&mut self, i: usize, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let len = self.request_len(i);
+        let st = &mut self.states[i];
+        st.req_seq += 1;
+        st.started_at = now;
+        st.on_conn += 1;
+        st.in_flight = true;
+        actions.push(WorldAction::SendPacket {
+            pkt: Packet::new(self.flow(i), PacketKind::Data { bytes: len }),
+            delay: Nanos::ZERO,
+        });
+        self.arm_timeout(i, actions);
+    }
+
+    fn arm_timeout(&self, i: usize, actions: &mut Vec<WorldAction>) {
+        if let Some(t) = self.specs[i].timeout {
+            actions.push(WorldAction::SetTimer {
+                tag: i as u64 * TAGS_PER_CLIENT + TAG_TIMEOUT,
+                delay: t,
+            });
+        }
+    }
+
+    /// After a completed response, either reuse the connection, think, or
+    /// reconnect.
+    fn after_response(&mut self, i: usize, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let spec = self.specs[i].clone();
+        self.states[i].in_flight = false;
+        let think = spec.think;
+        if spec.kind == ReqKind::StaticKeepAlive
+            && spec
+                .requests_per_conn
+                .map(|m| self.states[i].on_conn < m)
+                .unwrap_or(true)
+        {
+            if think.is_zero() {
+                self.next_request(i, now, actions);
+            } else {
+                actions.push(WorldAction::SetTimer {
+                    tag: i as u64 * TAGS_PER_CLIENT + TAG_START,
+                    delay: think,
+                });
+            }
+        } else if think.is_zero() {
+            self.new_connection(i, now, actions);
+        } else {
+            actions.push(WorldAction::SetTimer {
+                tag: i as u64 * TAGS_PER_CLIENT + TAG_START,
+                delay: think,
+            });
+        }
+    }
+}
+
+impl World for HttpClients {
+    fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let Some(i) = self.client_of(pkt.flow.src) else {
+            return;
+        };
+        if pkt.flow != self.flow(i) {
+            return; // A stale connection's packet.
+        }
+        match pkt.kind {
+            PacketKind::SynAck => {
+                if !self.states[i].in_flight {
+                    return; // Duplicate SYN-ACK after we gave up.
+                }
+                let len = self.request_len(i);
+                self.states[i].on_conn = 1;
+                actions.push(WorldAction::SendPacket {
+                    pkt: Packet::new(pkt.flow, PacketKind::Ack),
+                    delay: Nanos::ZERO,
+                });
+                actions.push(WorldAction::SendPacket {
+                    pkt: Packet::new(pkt.flow, PacketKind::Data { bytes: len }),
+                    delay: Nanos::ZERO,
+                });
+            }
+            PacketKind::Data { .. } => {
+                if !self.states[i].in_flight {
+                    return;
+                }
+                let latency = now - self.states[i].started_at;
+                let class = self.specs[i].class;
+                self.metrics.record(class, latency, now);
+                self.after_response(i, now, actions);
+            }
+            PacketKind::Rst => {
+                // Connection refused or torn down: retry from scratch.
+                if self.states[i].in_flight {
+                    self.metrics.record_abandoned(self.specs[i].class);
+                    self.new_connection(i, now, actions);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let i = (tag / TAGS_PER_CLIENT) as usize;
+        if i >= self.specs.len() {
+            return;
+        }
+        match tag % TAGS_PER_CLIENT {
+            TAG_START => {
+                if !self.states[i].in_flight {
+                    if self.states[i].on_conn > 0
+                        && self.specs[i].kind == ReqKind::StaticKeepAlive
+                    {
+                        self.next_request(i, now, actions);
+                    } else {
+                        self.new_connection(i, now, actions);
+                    }
+                }
+            }
+            TAG_TIMEOUT => {
+                // Abandon the request if it is still the one we armed the
+                // timer for (sequence numbers disambiguate).
+                if self.states[i].in_flight
+                    && now.saturating_sub(self.states[i].started_at)
+                        >= self.specs[i].timeout.unwrap_or(Nanos::MAX)
+                {
+                    self.metrics.record_abandoned(self.specs[i].class);
+                    // Reset the server side and retry immediately.
+                    actions.push(WorldAction::SendPacket {
+                        pkt: Packet::new(self.flow(i), PacketKind::Rst),
+                        delay: Nanos::ZERO,
+                    });
+                    self.new_connection(i, now, actions);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use httpsim::stats::shared_stats;
+    use httpsim::{EventDrivenServer, ServerConfig};
+    use rescon::Attributes;
+    use simos::{Kernel, KernelConfig};
+
+    fn run_clients(specs: Vec<ClientSpec>, secs: u64) -> HttpClients {
+        let stats = shared_stats();
+        let mut k = Kernel::new(KernelConfig::unmodified());
+        k.spawn_process(
+            Box::new(EventDrivenServer::new(ServerConfig::default(), stats)),
+            "httpd",
+            None,
+            Attributes::time_shared(10),
+            None,
+        );
+        let mut clients = HttpClients::new(specs, Nanos::ZERO, Nanos::from_secs(secs));
+        clients.arm(&mut k);
+        k.run(&mut clients, Nanos::from_secs(secs));
+        clients
+    }
+
+    #[test]
+    fn single_client_completes_requests() {
+        let c = run_clients(
+            vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)],
+            1,
+        );
+        assert!(c.metrics.class(0).completed > 1000);
+        assert!(c.metrics.mean_latency_ms(0) < 1.0);
+    }
+
+    #[test]
+    fn persistent_client_faster_than_per_request() {
+        let per_req = run_clients(
+            vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)],
+            1,
+        );
+        let keep = run_clients(
+            vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)
+                .with_kind(ReqKind::StaticKeepAlive)],
+            1,
+        );
+        assert!(
+            keep.metrics.class(0).completed > per_req.metrics.class(0).completed,
+            "{} vs {}",
+            keep.metrics.class(0).completed,
+            per_req.metrics.class(0).completed
+        );
+    }
+
+    #[test]
+    fn think_time_throttles_request_rate() {
+        let c = run_clients(
+            vec![ClientSpec {
+                think: Nanos::from_millis(10),
+                ..ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)
+            }],
+            1,
+        );
+        let done = c.metrics.class(0).completed;
+        assert!((50..=110).contains(&done), "done = {done}");
+    }
+
+    #[test]
+    fn requests_per_conn_bounds_persistent_connections() {
+        let c = run_clients(
+            vec![ClientSpec {
+                kind: ReqKind::StaticKeepAlive,
+                requests_per_conn: Some(5),
+                ..ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)
+            }],
+            1,
+        );
+        assert!(c.metrics.class(0).completed > 500);
+    }
+
+    #[test]
+    fn classes_separate_metrics() {
+        let c = run_clients(
+            vec![
+                ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0),
+                ClientSpec::staticloop(IpAddr::new(10, 0, 0, 2), 1),
+            ],
+            1,
+        );
+        assert!(c.metrics.class(0).completed > 100);
+        assert!(c.metrics.class(1).completed > 100);
+    }
+}

@@ -1,0 +1,194 @@
+//! Composition of several worlds behind one kernel.
+//!
+//! Packets are routed to the part whose address filter matches the
+//! packet's client (source) address; timer tags are partitioned into
+//! per-part blocks of `2^48` so parts can use their own tag spaces freely.
+
+use simnet::{CidrFilter, Packet};
+use simos::{World, WorldAction};
+
+use simcore::Nanos;
+
+/// Bits reserved for the per-part tag block.
+const PART_SHIFT: u32 = 48;
+
+/// A world made of several sub-worlds.
+pub struct CompositeWorld {
+    parts: Vec<(CidrFilter, Box<dyn World>)>,
+}
+
+impl Default for CompositeWorld {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompositeWorld {
+    /// Creates an empty composite.
+    pub fn new() -> Self {
+        CompositeWorld { parts: Vec::new() }
+    }
+
+    /// Adds a part handling clients in `filter`; returns the part's tag
+    /// offset to pass to the part's `arm_offset`-style methods.
+    pub fn add(&mut self, filter: CidrFilter, world: Box<dyn World>) -> u64 {
+        self.parts.push((filter, world));
+        ((self.parts.len() - 1) as u64) << PART_SHIFT
+    }
+
+    /// Returns the tag offset of part `i`.
+    pub fn offset_of(&self, i: usize) -> u64 {
+        (i as u64) << PART_SHIFT
+    }
+
+    /// Borrows part `i` for post-run inspection.
+    pub fn part(&self, i: usize) -> &dyn World {
+        self.parts[i].1.as_ref()
+    }
+
+    /// Mutably borrows part `i` (e.g. to read metrics).
+    pub fn part_mut(&mut self, i: usize) -> &mut dyn World {
+        self.parts[i].1.as_mut()
+    }
+
+    /// Takes the composite apart (to recover owned parts after a run).
+    pub fn into_parts(self) -> Vec<Box<dyn World>> {
+        self.parts.into_iter().map(|(_, w)| w).collect()
+    }
+
+    fn relabel(actions: &mut [WorldAction], offset: u64) {
+        for a in actions.iter_mut() {
+            if let WorldAction::SetTimer { tag, .. } = a {
+                *tag |= offset;
+            }
+        }
+    }
+}
+
+impl World for CompositeWorld {
+    fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>) {
+        for (i, (filter, world)) in self.parts.iter_mut().enumerate() {
+            if filter.matches(pkt.flow.src) {
+                let mut local = Vec::new();
+                world.on_packet(pkt, now, &mut local);
+                Self::relabel(&mut local, (i as u64) << PART_SHIFT);
+                actions.extend(local);
+                return;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let i = (tag >> PART_SHIFT) as usize;
+        let Some((_, world)) = self.parts.get_mut(i) else {
+            return;
+        };
+        let mut local = Vec::new();
+        world.on_timer(tag & ((1u64 << PART_SHIFT) - 1), now, &mut local);
+        Self::relabel(&mut local, (i as u64) << PART_SHIFT);
+        actions.extend(local);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{FlowKey, IpAddr, PacketKind};
+
+    /// Records what it sees and echoes a timer.
+    struct Probe {
+        packets: u64,
+        timers: Vec<u64>,
+    }
+
+    impl World for Probe {
+        fn on_packet(&mut self, _pkt: Packet, _now: Nanos, actions: &mut Vec<WorldAction>) {
+            self.packets += 1;
+            actions.push(WorldAction::SetTimer {
+                tag: 7,
+                delay: Nanos::from_micros(1),
+            });
+        }
+        fn on_timer(&mut self, tag: u64, _now: Nanos, _actions: &mut Vec<WorldAction>) {
+            self.timers.push(tag);
+        }
+    }
+
+    fn pkt(src: IpAddr) -> Packet {
+        Packet::new(FlowKey::new(src, 1, 80), PacketKind::Syn)
+    }
+
+    #[test]
+    fn routes_by_source_filter() {
+        let mut c = CompositeWorld::new();
+        let off_a = c.add(
+            CidrFilter::new(IpAddr::new(10, 0, 0, 0), 8),
+            Box::new(Probe {
+                packets: 0,
+                timers: vec![],
+            }),
+        );
+        let off_b = c.add(
+            CidrFilter::any(),
+            Box::new(Probe {
+                packets: 0,
+                timers: vec![],
+            }),
+        );
+        assert_eq!(off_a, 0);
+        assert_eq!(off_b, 1 << 48);
+        let mut actions = Vec::new();
+        c.on_packet(pkt(IpAddr::new(10, 1, 1, 1)), Nanos::ZERO, &mut actions);
+        c.on_packet(pkt(IpAddr::new(192, 168, 0, 1)), Nanos::ZERO, &mut actions);
+        c.on_packet(pkt(IpAddr::new(10, 9, 9, 9)), Nanos::ZERO, &mut actions);
+        // The first part's timers got relabeled with offset 0; the second
+        // with 1<<48.
+        assert_eq!(actions.len(), 3);
+        let tags: Vec<u64> = actions
+            .iter()
+            .map(|a| match a {
+                WorldAction::SetTimer { tag, .. } => *tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![7, 7 | (1 << 48), 7]);
+    }
+
+    #[test]
+    fn timers_dispatch_to_right_part() {
+        let mut c = CompositeWorld::new();
+        c.add(
+            CidrFilter::new(IpAddr::new(10, 0, 0, 0), 8),
+            Box::new(Probe {
+                packets: 0,
+                timers: vec![],
+            }),
+        );
+        c.add(
+            CidrFilter::any(),
+            Box::new(Probe {
+                packets: 0,
+                timers: vec![],
+            }),
+        );
+        let mut actions = Vec::new();
+        c.on_timer(42, Nanos::ZERO, &mut actions);
+        c.on_timer(42 | (1 << 48), Nanos::ZERO, &mut actions);
+        c.on_timer(42 | (7 << 48), Nanos::ZERO, &mut actions); // no such part
+    }
+
+    #[test]
+    fn unmatched_packet_is_dropped() {
+        let mut c = CompositeWorld::new();
+        c.add(
+            CidrFilter::new(IpAddr::new(10, 0, 0, 0), 8),
+            Box::new(Probe {
+                packets: 0,
+                timers: vec![],
+            }),
+        );
+        let mut actions = Vec::new();
+        c.on_packet(pkt(IpAddr::new(99, 0, 0, 1)), Nanos::ZERO, &mut actions);
+        assert!(actions.is_empty());
+    }
+}

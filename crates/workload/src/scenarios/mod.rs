@@ -1,0 +1,19 @@
+//! One self-contained driver per experiment in the paper's §5.
+//!
+//! Every driver builds a kernel + server + client world, runs it for a
+//! warmup period and a measurement window, and returns a structured
+//! result. The `rcbench` binaries print these as the paper's tables and
+//! figures; the workspace integration tests assert the qualitative shapes
+//! at reduced scale.
+
+pub mod baseline;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod virtual_servers;
+
+pub use baseline::{run_baseline, BaselineParams, BaselineResult};
+pub use fig11::{run_fig11, Fig11Params, Fig11Result, Fig11System};
+pub use fig12::{run_fig12, Fig12Params, Fig12Result, Fig12System};
+pub use fig14::{run_fig14, Fig14Params, Fig14Result};
+pub use virtual_servers::{run_virtual_servers, VsParams, VsResult};

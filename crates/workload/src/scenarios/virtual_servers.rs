@@ -1,0 +1,242 @@
+//! §5.8: isolation of virtual servers (the Rent-A-Server experiment).
+//!
+//! "We created 3 top-level containers and restricted their CPU consumption
+//! to fixed CPU shares. Each container was then used as the root container
+//! for a guest server. Subsequently, three sets of clients placed varying
+//! request loads on these servers; the requests included CGI resources. We
+//! observed that the total CPU time consumed by each guest server exactly
+//! matched its allocation."
+
+use httpsim::event_driven::CgiSandbox;
+use httpsim::stats::shared_stats;
+use httpsim::{EventDrivenServer, ReqKind, ServerConfig};
+use rescon::{Attributes, ContainerId};
+use simcore::Nanos;
+use simnet::{IpAddr, Packet};
+use simos::{Kernel, KernelConfig, World, WorldAction};
+
+use crate::clients::{ClientSpec, HttpClients};
+
+/// Parameters of the virtual-server experiment.
+#[derive(Clone, Debug)]
+pub struct VsParams {
+    /// Fixed CPU share of each guest (must sum to at most 1).
+    pub shares: Vec<f64>,
+    /// Closed-loop static clients per guest (varying loads are fine; every
+    /// guest should be able to saturate its share).
+    pub clients_per_guest: Vec<usize>,
+    /// Add CGI load inside each guest ("the requests included CGI
+    /// resources"), with this CPU burn (None = static only).
+    pub cgi_cpu: Option<Nanos>,
+    /// Simulated run length.
+    pub secs: u64,
+}
+
+impl Default for VsParams {
+    fn default() -> Self {
+        VsParams {
+            shares: vec![0.5, 0.3, 0.2],
+            clients_per_guest: vec![16, 16, 16],
+            cgi_cpu: Some(Nanos::from_millis(500)),
+            secs: 20,
+        }
+    }
+}
+
+/// Result of the virtual-server experiment.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct VsResult {
+    /// Configured shares (normalized).
+    pub configured: Vec<f64>,
+    /// Measured fraction of total guest CPU consumed by each guest.
+    pub measured: Vec<f64>,
+    /// Static throughput per guest.
+    pub throughputs: Vec<f64>,
+}
+
+/// A world of per-guest client sets, routed by guest address block.
+struct GuestWorld {
+    guests: Vec<HttpClients>,
+}
+
+/// Tag block per guest.
+const GUEST_SHIFT: u32 = 32;
+
+impl World for GuestWorld {
+    fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>) {
+        // Guest `g` clients live in 10.{100+g}.x.x.
+        let (_, b, _, _) = pkt.flow.src.octets();
+        let g = (b as usize).saturating_sub(100);
+        if let Some(c) = self.guests.get_mut(g) {
+            let mut local = Vec::new();
+            c.on_packet(pkt, now, &mut local);
+            relabel(&mut local, g);
+            actions.extend(local);
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let g = (tag >> GUEST_SHIFT) as usize;
+        if let Some(c) = self.guests.get_mut(g) {
+            let mut local = Vec::new();
+            c.on_timer(tag & ((1 << GUEST_SHIFT) - 1), now, &mut local);
+            relabel(&mut local, g);
+            actions.extend(local);
+        }
+    }
+}
+
+fn relabel(actions: &mut [WorldAction], g: usize) {
+    for a in actions.iter_mut() {
+        if let WorldAction::SetTimer { tag, .. } = a {
+            *tag |= (g as u64) << GUEST_SHIFT;
+        }
+    }
+}
+
+/// Address of client `i` of guest `g`.
+pub fn guest_addr(g: usize, i: usize) -> IpAddr {
+    IpAddr::new(10, 100 + g as u8, (i / 250) as u8, (i % 250) as u8 + 1)
+}
+
+/// Runs the virtual-server isolation experiment on the RC kernel.
+pub fn run_virtual_servers(params: VsParams) -> VsResult {
+    assert_eq!(params.shares.len(), params.clients_per_guest.len());
+    let n = params.shares.len();
+    let secs = params.secs.max(4);
+    let end = Nanos::from_secs(secs);
+    let warmup = Nanos::from_secs(2).min(end / 4);
+
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+
+    // The three top-level guest containers with fixed shares.
+    let guests: Vec<ContainerId> = params
+        .shares
+        .iter()
+        .enumerate()
+        .map(|(g, &share)| {
+            k.containers
+                .create(
+                    None,
+                    Attributes::fixed_share(share).named(&format!("guest-{g}")),
+                )
+                .expect("guest container")
+        })
+        .collect();
+
+    // One server per guest, on its own port, entirely inside its guest
+    // container (process, connections, classes, CGI sandbox).
+    for (g, &guest) in guests.iter().enumerate() {
+        let stats = shared_stats();
+        let cfg = ServerConfig {
+            port: 8000 + g as u16,
+            conn_parent: Some(guest),
+            cgi_sandbox: params.cgi_cpu.map(|_| CgiSandbox {
+                share: 0.5,
+                limit: 0.5,
+                window: Nanos::from_millis(200),
+            }),
+            cgi_cpu: params.cgi_cpu.unwrap_or(Nanos::from_secs(2)),
+            ..ServerConfig::default()
+        };
+        k.spawn_process(
+            Box::new(EventDrivenServer::new(cfg, stats)),
+            &format!("guest-httpd-{g}"),
+            Some(guest),
+            Attributes::time_shared(10),
+            None,
+        );
+    }
+
+    // Client sets, one per guest; a sprinkling of CGI clients when asked.
+    let mut world = GuestWorld { guests: Vec::new() };
+    for g in 0..n {
+        let mut specs: Vec<ClientSpec> = (0..params.clients_per_guest[g])
+            .map(|i| {
+                let mut s = ClientSpec::staticloop(guest_addr(g, i), 0)
+                    .starting_at(Nanos::from_micros(10 + 7 * i as u64));
+                s.port = 8000 + g as u16;
+                s
+            })
+            .collect();
+        if params.cgi_cpu.is_some() {
+            let i = params.clients_per_guest[g];
+            let mut s = ClientSpec::staticloop(guest_addr(g, i), 1)
+                .with_kind(ReqKind::Cgi)
+                .starting_at(Nanos::from_millis(1));
+            s.port = 8000 + g as u16;
+            specs.push(s);
+        }
+        let clients = HttpClients::new(specs, warmup, end);
+        for (i, _) in (0..clients.len()).enumerate() {
+            k.arm_world_timer(
+                ((g as u64) << GUEST_SHIFT) | (i as u64 * 4),
+                Nanos::from_micros(10 + 7 * i as u64),
+            );
+        }
+        world.guests.push(clients);
+    }
+
+    // Warmup, snapshot per-guest CPU, measure.
+    k.run(&mut world, warmup);
+    let cpu0: Vec<Nanos> = guests
+        .iter()
+        .map(|&g| k.containers.subtree_cpu(g).unwrap())
+        .collect();
+    k.run(&mut world, end);
+    let deltas: Vec<Nanos> = guests
+        .iter()
+        .zip(&cpu0)
+        .map(|(&g, &c0)| k.containers.subtree_cpu(g).unwrap() - c0)
+        .collect();
+    let total: Nanos = deltas.iter().copied().sum();
+
+    let share_sum: f64 = params.shares.iter().sum();
+    VsResult {
+        configured: params.shares.iter().map(|s| s / share_sum).collect(),
+        measured: deltas.iter().map(|&d| d.ratio(total)).collect(),
+        throughputs: (0..n).map(|g| world.guests[g].metrics.throughput(0)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_cpu_matches_allocation() {
+        let r = run_virtual_servers(VsParams {
+            shares: vec![0.5, 0.3, 0.2],
+            clients_per_guest: vec![10, 10, 10],
+            cgi_cpu: None,
+            secs: 8,
+        });
+        for (c, m) in r.configured.iter().zip(&r.measured) {
+            assert!(
+                (c - m).abs() < 0.04,
+                "configured {c} vs measured {m} ({:?})",
+                r.measured
+            );
+        }
+        // Throughputs scale with shares.
+        assert!(r.throughputs[0] > r.throughputs[1]);
+        assert!(r.throughputs[1] > r.throughputs[2]);
+    }
+
+    #[test]
+    fn isolation_holds_with_cgi_load() {
+        let r = run_virtual_servers(VsParams {
+            shares: vec![0.6, 0.4],
+            clients_per_guest: vec![10, 10],
+            cgi_cpu: Some(Nanos::from_millis(100)),
+            secs: 8,
+        });
+        for (c, m) in r.configured.iter().zip(&r.measured) {
+            assert!(
+                (c - m).abs() < 0.05,
+                "configured {c} vs measured {m} ({:?})",
+                r.measured
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Prioritized client handling (paper §5.5 / Figure 11): a premium client
+//! keeps sub-millisecond response times while a mob of standard clients
+//! saturates the server — but only on the resource-container kernel.
+//!
+//! ```sh
+//! cargo run --release --example prioritized_server
+//! ```
+
+use resource_containers::prelude::*;
+
+fn main() {
+    let low_clients = 24;
+    println!("one premium client vs {low_clients} standard clients saturating the server\n");
+    println!(
+        "{:<26} {:>14} {:>14} {:>16}",
+        "system", "T_premium (ms)", "p95 (ms)", "mob throughput"
+    );
+    for system in [
+        Fig11System::Unmodified,
+        Fig11System::RcSelect,
+        Fig11System::RcEventApi,
+    ] {
+        let r = run_fig11(Fig11Params {
+            system,
+            low_clients,
+            secs: 5,
+        });
+        println!(
+            "{:<26} {:>14.3} {:>14.3} {:>13.0}/s",
+            system.label(),
+            r.t_high_ms,
+            r.t_high_p95_ms,
+            r.low_throughput
+        );
+    }
+    println!(
+        "\nThe unmodified kernel cannot protect the premium client: most of the\n\
+         per-request work happens inside the kernel, outside the application's\n\
+         control (paper §5.5). Containers + filters prioritize that kernel work;\n\
+         the scalable event API removes the residual select() scan cost."
+    );
+}

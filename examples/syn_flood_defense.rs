@@ -1,0 +1,40 @@
+//! SYN-flood immunity (paper §5.7 / Figure 14): isolating attack traffic
+//! behind a filtered, priority-zero listener.
+//!
+//! ```sh
+//! cargo run --release --example syn_flood_defense
+//! ```
+
+use resource_containers::prelude::*;
+
+fn main() {
+    println!("useful throughput under a SYN flood (16 well-behaved clients)\n");
+    println!(
+        "{:<12} {:>18} {:>18}",
+        "SYN rate", "unmodified (req/s)", "defended (req/s)"
+    );
+    for rate in [0.0, 5_000.0, 10_000.0, 30_000.0] {
+        let plain = run_fig14(Fig14Params {
+            defended: false,
+            syn_rate: rate,
+            clients: 16,
+            secs: 8,
+        });
+        let defended = run_fig14(Fig14Params {
+            defended: true,
+            syn_rate: rate,
+            clients: 16,
+            secs: 8,
+        });
+        println!(
+            "{:>8.0}/s {:>18.0} {:>18.0}",
+            rate, plain.throughput, defended.throughput
+        );
+    }
+    println!(
+        "\nThe defended server hears about SYN drops from the kernel, then binds\n\
+         a listener filtered to the attacker's prefix to a container with numeric\n\
+         priority zero: attack SYNs are discarded early at almost no cost, while\n\
+         the unmodified server starves in its own SYN queue (paper §5.7)."
+    );
+}

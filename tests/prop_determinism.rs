@@ -1,0 +1,81 @@
+//! Property tests at workspace level: arbitrary client mixes must run
+//! deterministically and keep kernel accounting conserved.
+
+use proptest::prelude::*;
+use resource_containers::prelude::*;
+
+use httpsim::stats::shared_stats;
+use simcore::Nanos;
+
+/// A compact description of a random workload.
+#[derive(Clone, Debug)]
+struct Mix {
+    static_clients: u8,
+    keepalive_clients: u8,
+    think_ms: u16,
+    kernel: u8,
+}
+
+fn mix_strategy() -> impl Strategy<Value = Mix> {
+    (1u8..6, 0u8..4, 0u16..20, 0u8..3).prop_map(|(s, ka, think_ms, kernel)| Mix {
+        static_clients: s,
+        keepalive_clients: ka,
+        think_ms,
+        kernel,
+    })
+}
+
+fn run_mix(mix: &Mix) -> (u64, u64, Nanos) {
+    let kernel = match mix.kernel {
+        0 => KernelConfig::unmodified(),
+        1 => KernelConfig::lrp(),
+        _ => KernelConfig::resource_containers(),
+    };
+    let stats = shared_stats();
+    let mut k = Kernel::new(kernel);
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut specs = Vec::new();
+    for i in 0..mix.static_clients {
+        let mut s = ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1 + i), 0);
+        s.think = Nanos::from_millis(mix.think_ms as u64);
+        specs.push(s);
+    }
+    for i in 0..mix.keepalive_clients {
+        specs.push(
+            ClientSpec::staticloop(IpAddr::new(10, 0, 1, 1 + i), 1)
+                .with_kind(ReqKind::StaticKeepAlive),
+        );
+    }
+    let mut clients = HttpClients::new(specs, Nanos::ZERO, Nanos::from_millis(400));
+    clients.arm(&mut k);
+    k.run(&mut clients, Nanos::from_millis(400));
+    let served = stats.borrow().static_served;
+    (served, k.stats().pkts_in, k.stats().charged_cpu)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The simulation is a pure function of its configuration.
+    #[test]
+    fn identical_runs_identical_results(mix in mix_strategy()) {
+        let a = run_mix(&mix);
+        let b = run_mix(&mix);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Whatever the mix, the kernel serves and accounting stays sane.
+    #[test]
+    fn any_mix_serves_and_accounts(mix in mix_strategy()) {
+        let (served, pkts, charged) = run_mix(&mix);
+        prop_assert!(served > 0, "no requests served for {mix:?}");
+        prop_assert!(pkts > 0);
+        prop_assert!(charged > Nanos::ZERO);
+    }
+}

@@ -59,6 +59,36 @@ impl ClassSpec {
     }
 }
 
+/// How static documents are backed (what a request pays beyond parsing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileBacking {
+    /// Every document is resident in memory, as in the paper's §5.3
+    /// experiments (a single cached 1 KB file).
+    AlwaysCached,
+    /// Legacy ablation: an in-process LRU of documents whose misses burn a
+    /// flat CPU cost — the pre-`simdisk` stand-in for disk I/O.
+    FlatMissCost {
+        /// LRU capacity in documents.
+        capacity: usize,
+        /// CPU burned per miss.
+        miss_cost: Nanos,
+    },
+    /// Documents live on the simulated disk: every static request issues
+    /// `read_file`, and misses in the kernel's accounted buffer cache go
+    /// through the I/O scheduler with the service time charged to the
+    /// connection's container.
+    Disk {
+        /// Offset added to document ids to form on-disk file ids, so that
+        /// servers with disjoint document trees do not share cache
+        /// entries (e.g. `tenant << 32`).
+        file_base: u64,
+    },
+}
+
+/// Tag-space bit distinguishing disk-read completions from compute
+/// continuations (connection ids stay well below this).
+const DISK_TAG: u64 = 1 << 63;
+
 /// CGI sandbox configuration (§5.6): a fixed-share parent container with a
 /// CPU limit, under which every CGI request's container is reparented.
 #[derive(Clone, Copy, Debug)]
@@ -100,8 +130,9 @@ pub struct ServerConfig {
     pub defense_mask: u8,
     /// SYN-drop notices from one prefix before it is isolated.
     pub defense_threshold: u32,
-    /// Optional file cache (None = everything is a hit, as in §5.3).
-    pub cache: Option<(usize, Nanos)>,
+    /// How static documents are backed (resident, flat miss cost, or the
+    /// simulated disk).
+    pub files: FileBacking,
     /// Hierarchy placement: per-connection and per-class containers (and
     /// the CGI sandbox) are created under this container — e.g. a guest
     /// server's root container in the Rent-A-Server experiment (§5.8).
@@ -134,7 +165,7 @@ impl Default for ServerConfig {
             defense: false,
             defense_mask: 16,
             defense_threshold: 32,
-            cache: None,
+            files: FileBacking::AlwaysCached,
             conn_parent: None,
             cgi_container_parent: None,
             preferred: None,
@@ -182,9 +213,13 @@ pub struct EventDrivenServer {
 impl EventDrivenServer {
     /// Creates a server with the given configuration and shared stats.
     pub fn new(cfg: ServerConfig, stats: SharedStats) -> Self {
-        let cache = cfg
-            .cache
-            .map(|(cap, miss)| FileCache::new(cap, cfg.response_bytes, miss));
+        let cache = match cfg.files {
+            FileBacking::FlatMissCost {
+                capacity,
+                miss_cost,
+            } => Some(FileCache::new(capacity, cfg.response_bytes, miss_cost)),
+            FileBacking::AlwaysCached | FileBacking::Disk { .. } => None,
+        };
         EventDrivenServer {
             cfg,
             stats,
@@ -380,6 +415,25 @@ impl EventDrivenServer {
         sys.compute_charged(cost, tag, charge);
     }
 
+    /// Continues a request after its parse CPU: static requests on a
+    /// disk-backed server issue `read_file` (buffer-cache hits queue the
+    /// copy immediately; misses complete out-of-band once the disk has
+    /// served them); everything else responds right away.
+    fn continue_request(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
+        if let FileBacking::Disk { file_base } = self.cfg.files {
+            if let Some(state) = self.conns.get(&conn) {
+                if let Some((ReqKind::Static | ReqKind::StaticKeepAlive, doc)) = state.pending_req {
+                    let charge = state.container.map(|(_, id)| id);
+                    let tag = DISK_TAG | conn.as_u64();
+                    self.by_tag.insert(tag, conn);
+                    sys.read_file(file_base + doc as u64, self.cfg.response_bytes, tag, charge);
+                    return;
+                }
+            }
+        }
+        self.finish_request(sys, conn);
+    }
+
     fn finish_request(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
@@ -471,6 +525,7 @@ impl EventDrivenServer {
         let _ = sys.bind_thread_default();
         if let Some(st) = self.conns.remove(&conn) {
             self.by_tag.remove(&conn.as_u64());
+            self.by_tag.remove(&(DISK_TAG | conn.as_u64()));
             if close {
                 sys.close(conn);
                 self.stats.borrow_mut().closed += 1;
@@ -487,10 +542,7 @@ impl EventDrivenServer {
         if let Some(pref) = self.cfg.preferred {
             // Best-effort user-level prioritization (Figure 11 baseline).
             ready.sort_by_key(|&s| {
-                let preferred = sys
-                    .peer_addr(s)
-                    .map(|a| pref.matches(a))
-                    .unwrap_or(false);
+                let preferred = sys.peer_addr(s).map(|a| pref.matches(a)).unwrap_or(false);
                 if preferred {
                     0u8
                 } else {
@@ -558,6 +610,20 @@ impl AppHandler for EventDrivenServer {
             AppEvent::Continue { tag } => {
                 self.pending = self.pending.saturating_sub(1);
                 if let Some(conn) = self.by_tag.get(&tag).copied() {
+                    self.continue_request(sys, conn);
+                }
+                self.rearm(sys);
+            }
+            AppEvent::FileRead { tag, .. } => {
+                if let Some(conn) = self.by_tag.remove(&tag) {
+                    // The thread may have served other connections while
+                    // the disk was busy: rebind to this connection's
+                    // container before responding on its behalf.
+                    if let Some(state) = self.conns.get(&conn) {
+                        if let Some((_, id)) = state.container {
+                            let _ = sys.bind_thread_id(id);
+                        }
+                    }
                     self.finish_request(sys, conn);
                 }
                 self.rearm(sys);

@@ -82,7 +82,12 @@ pub struct FastCgiWorker {
 
 impl FastCgiWorker {
     /// Creates a worker attached to `mailbox`.
-    pub fn new(mailbox: SharedMailbox, cpu: Nanos, response_bytes: u64, stats: SharedStats) -> Self {
+    pub fn new(
+        mailbox: SharedMailbox,
+        cpu: Nanos,
+        response_bytes: u64,
+        stats: SharedStats,
+    ) -> Self {
         FastCgiWorker {
             mailbox,
             cpu,
@@ -123,13 +128,16 @@ impl AppHandler for FastCgiWorker {
     fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
         match ev {
             AppEvent::Start => self.take_or_park(sys),
-            AppEvent::Ipc { tag: FASTCGI_RING, .. } | AppEvent::Timer { tag: FASTCGI_RING } => {
+            AppEvent::Ipc {
+                tag: FASTCGI_RING, ..
+            }
+            | AppEvent::Timer { tag: FASTCGI_RING }
+                if self.current.is_none() =>
+            {
                 // Rung (or a stale park timer fired): if idle, grab work.
-                if self.current.is_none() {
-                    let pid = sys.pid();
-                    self.mailbox.borrow_mut().idle.retain(|&p| p != pid);
-                    self.take_or_park(sys);
-                }
+                let pid = sys.pid();
+                self.mailbox.borrow_mut().idle.retain(|&p| p != pid);
+                self.take_or_park(sys);
             }
             AppEvent::Continue { .. } => {
                 if let Some(job) = self.current.take() {

@@ -38,7 +38,7 @@ pub mod threaded;
 
 pub use cache::FileCache;
 pub use cgi::CgiWorker;
-pub use event_driven::{ClassSpec, EventApi, EventDrivenServer, ServerConfig};
+pub use event_driven::{ClassSpec, EventApi, EventDrivenServer, FileBacking, ServerConfig};
 pub use fastcgi::{dispatch, shared_mailbox, FastCgiJob, FastCgiWorker};
 pub use prefork::PreforkServer;
 pub use request::{decode_request, encode_request, ReqKind};

@@ -30,7 +30,13 @@ pub struct PreforkServer {
 
 impl PreforkServer {
     /// Creates a master that will fork `workers` worker processes.
-    pub fn new(port: u16, workers: u32, parse_cost: Nanos, response_bytes: u64, stats: SharedStats) -> Self {
+    pub fn new(
+        port: u16,
+        workers: u32,
+        parse_cost: Nanos,
+        response_bytes: u64,
+        stats: SharedStats,
+    ) -> Self {
         PreforkServer {
             port,
             workers: workers.max(1),
@@ -44,29 +50,26 @@ impl PreforkServer {
 
 impl AppHandler for PreforkServer {
     fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
-        match ev {
-            AppEvent::Start => {
-                let l = sys.listen(self.port, CidrFilter::any(), false);
-                self.listener_slot.set(Some(l));
-                for i in 0..self.workers {
-                    let w = PreforkWorker {
-                        listener: self.listener_slot.clone(),
-                        parse_cost: self.parse_cost,
-                        response_bytes: self.response_bytes,
-                        stats: self.stats.clone(),
-                        conn: None,
-                    };
-                    sys.spawn_process(
-                        Box::new(w),
-                        &format!("httpd-worker-{i}"),
-                        None,
-                        rescon::Attributes::time_shared(10),
-                    );
-                }
-                // The master has nothing further to do but stay alive.
-                sys.sleep_until(Nanos::MAX, 0);
+        if let AppEvent::Start = ev {
+            let l = sys.listen(self.port, CidrFilter::any(), false);
+            self.listener_slot.set(Some(l));
+            for i in 0..self.workers {
+                let w = PreforkWorker {
+                    listener: self.listener_slot.clone(),
+                    parse_cost: self.parse_cost,
+                    response_bytes: self.response_bytes,
+                    stats: self.stats.clone(),
+                    conn: None,
+                };
+                sys.spawn_process(
+                    Box::new(w),
+                    &format!("httpd-worker-{i}"),
+                    None,
+                    rescon::Attributes::time_shared(10),
+                );
             }
-            _ => {}
+            // The master has nothing further to do but stay alive.
+            sys.sleep_until(Nanos::MAX, 0);
         }
     }
 }

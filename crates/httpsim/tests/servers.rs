@@ -125,7 +125,13 @@ fn event_driven_serves_static_under_all_kernels() {
         let stats = shared_stats();
         let mut k = Kernel::new(cfg);
         let server = EventDrivenServer::new(ServerConfig::default(), stats.clone());
-        k.spawn_process(Box::new(server), "httpd", None, Attributes::time_shared(10), None);
+        k.spawn_process(
+            Box::new(server),
+            "httpd",
+            None,
+            Attributes::time_shared(10),
+            None,
+        );
         let mut clients = ClientSet::new(vec![ReqKind::Static; 4]);
         start_clients(&mut k, 4);
         k.run(&mut clients, Nanos::from_secs(1));
@@ -166,7 +172,10 @@ fn keep_alive_connections_serve_many_requests_per_connection() {
     let stats = shared_stats();
     let mut k = Kernel::new(KernelConfig::unmodified());
     k.spawn_process(
-        Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
         "httpd",
         None,
         Attributes::time_shared(10),
@@ -195,7 +204,10 @@ fn persistent_throughput_exceeds_per_request_connections() {
         let stats = shared_stats();
         let mut k = Kernel::new(KernelConfig::unmodified());
         k.spawn_process(
-            Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+            Box::new(EventDrivenServer::new(
+                ServerConfig::default(),
+                stats.clone(),
+            )),
             "httpd",
             None,
             Attributes::time_shared(10),
@@ -236,7 +248,11 @@ fn cgi_requests_complete_and_compete() {
     start_clients(&mut k, 2);
     k.run(&mut clients, Nanos::from_secs(2));
     let s = stats.borrow();
-    assert!(s.cgi_dispatched > 5, "cgi_dispatched = {}", s.cgi_dispatched);
+    assert!(
+        s.cgi_dispatched > 5,
+        "cgi_dispatched = {}",
+        s.cgi_dispatched
+    );
     assert!(s.cgi_completed > 5, "cgi_completed = {}", s.cgi_completed);
     assert!(s.static_served > 100);
     // CGI processes come and go; beyond in-flight requests (plus a couple
@@ -286,18 +302,21 @@ fn cgi_sandbox_reparents_under_cgi_parent() {
 
 #[test]
 fn thread_pool_server_serves() {
-    for cfg in [KernelConfig::unmodified(), KernelConfig::resource_containers()] {
+    for cfg in [
+        KernelConfig::unmodified(),
+        KernelConfig::resource_containers(),
+    ] {
         let stats = shared_stats();
         let mut k = Kernel::new(cfg);
-        let server = ThreadPoolServer::new(
-            80,
-            8,
-            Nanos::from_micros(47),
-            1024,
-            true,
-            stats.clone(),
+        let server =
+            ThreadPoolServer::new(80, 8, Nanos::from_micros(47), 1024, true, stats.clone());
+        k.spawn_process(
+            Box::new(server),
+            "httpd-mt",
+            None,
+            Attributes::time_shared(10),
+            None,
         );
-        k.spawn_process(Box::new(server), "httpd-mt", None, Attributes::time_shared(10), None);
         let mut clients = ClientSet::new(vec![ReqKind::Static; 6]);
         start_clients(&mut k, 6);
         k.run(&mut clients, Nanos::from_secs(1));
@@ -313,7 +332,13 @@ fn prefork_server_serves() {
     let stats = shared_stats();
     let mut k = Kernel::new(KernelConfig::unmodified());
     let server = PreforkServer::new(80, 4, Nanos::from_micros(47), 1024, stats.clone());
-    k.spawn_process(Box::new(server), "httpd-master", None, Attributes::time_shared(10), None);
+    k.spawn_process(
+        Box::new(server),
+        "httpd-master",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
     let mut clients = ClientSet::new(vec![ReqKind::Static; 6]);
     start_clients(&mut k, 6);
     k.run(&mut clients, Nanos::from_secs(1));
@@ -328,7 +353,10 @@ fn per_request_containers_do_not_leak() {
     let stats = shared_stats();
     let mut k = Kernel::new(KernelConfig::resource_containers());
     k.spawn_process(
-        Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
         "httpd",
         None,
         Attributes::time_shared(10),
@@ -346,7 +374,7 @@ fn per_request_containers_do_not_leak() {
         "live containers = {}",
         k.containers.len()
     );
-    assert!(k.containers.destroyed_count() as u64 >= served / 2);
+    assert!(k.containers.destroyed_count() >= served / 2);
     k.containers.check_invariants();
 }
 

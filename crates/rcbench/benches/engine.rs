@@ -20,7 +20,10 @@ fn simulate(cfg: KernelConfig, clients: usize, virtual_ms: u64) -> u64 {
     let stats = shared_stats();
     let mut k = Kernel::new(cfg);
     k.spawn_process(
-        Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
         "httpd",
         None,
         Attributes::time_shared(10),

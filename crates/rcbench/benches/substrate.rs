@@ -25,10 +25,11 @@ fn bench_charge_depth(c: &mut Criterion) {
                         .expect("chain"),
                 );
             }
-            let leaf = t
-                .create(parent, Attributes::time_shared(10))
-                .expect("leaf");
-            b.iter(|| t.charge_cpu(black_box(leaf), Nanos::from_micros(1)).unwrap());
+            let leaf = t.create(parent, Attributes::time_shared(10)).expect("leaf");
+            b.iter(|| {
+                t.charge_cpu(black_box(leaf), Nanos::from_micros(1))
+                    .unwrap()
+            });
         });
     }
     g.finish();

@@ -27,9 +27,7 @@ fn bench_create_destroy(c: &mut Criterion) {
     c.bench_function("table1/create+destroy_container", |b| {
         let mut t = ContainerTable::new();
         b.iter(|| {
-            let id = t
-                .create(None, Attributes::time_shared(10))
-                .expect("create");
+            let id = t.create(None, Attributes::time_shared(10)).expect("create");
             black_box(t.drop_descriptor_ref(id).expect("destroy"));
         });
     });

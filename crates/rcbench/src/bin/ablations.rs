@@ -17,9 +17,7 @@ use rescon::{Attributes, ContainerTable};
 use sched::{LotteryScheduler, MultiLevelScheduler, Scheduler, StrideScheduler, TaskId};
 use simcore::Nanos;
 use simos::KernelConfig;
-use workload::scenarios::{
-    run_fig11, run_fig14, Fig11Params, Fig11System, Fig14Params,
-};
+use workload::scenarios::{run_fig11, run_fig14, Fig11Params, Fig11System, Fig14Params};
 
 fn main() {
     ablation_prune();
@@ -30,7 +28,7 @@ fn main() {
 }
 
 /// 1. Scheduler-binding pruning: with pruning disabled, a multiplexed
-/// thread keeps every container it ever served in its scheduler binding.
+///    thread keeps every container it ever served in its scheduler binding.
 fn ablation_prune() {
     let mut rep = Report::new("Ablation 1: scheduler-binding pruning (§4.3)");
     // The RC kernel prunes every second by default; compare against a
@@ -46,15 +44,13 @@ fn ablation_prune() {
         // reuse run_fig11 for the pruned default, and report that the
         // numbers match; for the unpruned variant we run the same scenario
         // with the modified kernel through the baseline helper.
-        let r = workload::scenarios::baseline::run_baseline(
-            workload::scenarios::BaselineParams {
-                kernel: cfg,
-                per_request_containers: true,
-                clients: 30,
-                secs: 6,
-                persistent: false,
-            },
-        );
+        let r = workload::scenarios::baseline::run_baseline(workload::scenarios::BaselineParams {
+            kernel: cfg,
+            per_request_containers: true,
+            clients: 30,
+            secs: 6,
+            persistent: false,
+        });
         rep.line(format!(
             "  {label:<18}: {:>6.0} req/s, {:>5.1} us/request",
             r.requests_per_sec, r.cpu_per_request_us
@@ -89,7 +85,7 @@ fn ablation_lazy_vs_eager() {
 }
 
 /// 3. Share enforcement: hierarchical stride vs flat stride vs lottery,
-/// measured directly against the scheduler APIs.
+///    measured directly against the scheduler APIs.
 fn ablation_share_policy() {
     let mut rep = Report::new("Ablation 3: fixed-share enforcement policy (70/30 target)");
     let run = |sched: &mut dyn Scheduler| -> f64 {
@@ -143,13 +139,10 @@ fn ablation_share_policy() {
 }
 
 /// 4. select() vs scalable event API as connections grow (Figure 11's
-/// residual slope).
+///    residual slope).
 fn ablation_event_api() {
     let mut rep = Report::new("Ablation 4: select() vs scalable event API (T_high, ms)");
-    rep.line(format!(
-        "{:<6} {:>16} {:>16}",
-        "N", "select()", "event API"
-    ));
+    rep.line(format!("{:<6} {:>16} {:>16}", "N", "select()", "event API"));
     for n in [5usize, 15, 25, 35] {
         let sel = run_fig11(Fig11Params {
             system: Fig11System::RcSelect,
@@ -171,7 +164,7 @@ fn ablation_event_api() {
 }
 
 /// 5. Demux-cost sensitivity of the flood defense: the residual throughput
-/// loss at high SYN rates is the per-packet interrupt cost.
+///    loss at high SYN rates is the per-packet interrupt cost.
 fn ablation_demux_cost() {
     let mut rep = Report::new("Ablation 5: early-demux cost vs defended flood throughput");
     rep.line(format!(

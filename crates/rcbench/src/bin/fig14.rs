@@ -35,8 +35,7 @@ fn main() {
         });
         rep.line(format!(
             "{:<14.0} {:>18.0} {:>22.0} {:>12} {:>12}",
-            rate, plain.throughput, defended.throughput, defended.early_drops,
-            defended.isolations
+            rate, plain.throughput, defended.throughput, defended.early_drops, defended.isolations
         ));
     }
     rep.blank();

@@ -241,11 +241,7 @@ impl<'a> ser::Serializer for Json<'a> {
             close: '}',
         })
     }
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, Error> {
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
         self.out.push('{');
         Ok(Compound {
             out: self.out,
@@ -461,7 +457,10 @@ mod tests {
         assert_eq!(to_string(&E::Unit).unwrap(), "\"Unit\"");
         assert_eq!(to_string(&E::New(1)).unwrap(), r#"{"New":1}"#);
         assert_eq!(to_string(&E::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
-        assert_eq!(to_string(&E::Struct { x: 3 }).unwrap(), r#"{"Struct":{"x":3}}"#);
+        assert_eq!(
+            to_string(&E::Struct { x: 3 }).unwrap(),
+            r#"{"Struct":{"x":3}}"#
+        );
     }
 
     #[test]

@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn resolve_bad_fd() {
         let (_ct, dt, _fd, _c) = setup();
-        assert_eq!(dt.resolve(ContainerFd(99)).unwrap_err(), RcError::BadDescriptor);
+        assert_eq!(
+            dt.resolve(ContainerFd(99)).unwrap_err(),
+            RcError::BadDescriptor
+        );
     }
 
     #[test]

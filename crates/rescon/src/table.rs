@@ -24,6 +24,9 @@ pub struct Container {
     /// CPU charged to this container or any (possibly destroyed)
     /// descendant.
     subtree_cpu: Nanos,
+    /// Disk service time charged to this container or any (possibly
+    /// destroyed) descendant.
+    subtree_disk: Nanos,
     /// Memory currently charged to this container or any live descendant.
     subtree_mem: u64,
     /// Open file descriptors referring to this container, across all
@@ -132,6 +135,9 @@ pub struct ContainerTable {
     /// accounting conserves: root subtree + floating subtrees + reaped =
     /// total charged).
     reaped_cpu: Nanos,
+    /// Disk-time history of destroyed parentless containers (same
+    /// conservation role as `reaped_cpu`).
+    reaped_disk: Nanos,
 }
 
 impl Default for ContainerTable {
@@ -156,6 +162,7 @@ impl ContainerTable {
             attrs: Attributes::fixed_share(1.0).named("root"),
             usage: ResourceUsage::new(),
             subtree_cpu: Nanos::ZERO,
+            subtree_disk: Nanos::ZERO,
             subtree_mem: 0,
             // The root is permanently referenced by the kernel itself.
             descriptor_refs: 1,
@@ -171,6 +178,7 @@ impl ContainerTable {
             created_count: 1,
             destroyed_count: 0,
             reaped_cpu: Nanos::ZERO,
+            reaped_disk: Nanos::ZERO,
         }
     }
 
@@ -210,6 +218,12 @@ impl ContainerTable {
         self.reaped_cpu
     }
 
+    /// Returns the disk-time history that belonged to destroyed containers
+    /// with no parent.
+    pub fn reaped_disk(&self) -> Nanos {
+        self.reaped_disk
+    }
+
     /// Returns `true` if `id` names a live container.
     pub fn contains(&self, id: ContainerId) -> bool {
         self.arena.contains(id)
@@ -229,7 +243,11 @@ impl ContainerTable {
     ///
     /// The new container starts with one descriptor reference, representing
     /// the descriptor returned to the creating process.
-    pub fn create(&mut self, parent: Option<ContainerId>, attrs: Attributes) -> Result<ContainerId> {
+    pub fn create(
+        &mut self,
+        parent: Option<ContainerId>,
+        attrs: Attributes,
+    ) -> Result<ContainerId> {
         self.create_at(parent, attrs, Nanos::ZERO)
     }
 
@@ -254,6 +272,7 @@ impl ContainerTable {
             attrs,
             usage: ResourceUsage::new(),
             subtree_cpu: Nanos::ZERO,
+            subtree_disk: Nanos::ZERO,
             subtree_mem: 0,
             descriptor_refs: 1,
             thread_bindings: 0,
@@ -324,14 +343,14 @@ impl ContainerTable {
             }
         }
         // Detach: remove contributions from the old ancestor chain.
-        let (sub_cpu, sub_mem) = {
+        let (sub_cpu, sub_disk, sub_mem) = {
             let c = self.get(id)?;
-            (c.subtree_cpu, c.subtree_mem)
+            (c.subtree_cpu, c.subtree_disk, c.subtree_mem)
         };
         let old_parent = self.get(id)?.parent;
         if let Some(op) = old_parent {
             self.arena[op].children.retain(|&c| c != id);
-            self.propagate_detach(op, sub_cpu, sub_mem);
+            self.propagate_detach(op, sub_cpu, sub_disk, sub_mem);
         } else {
             self.floating.retain(|&c| c != id);
         }
@@ -340,28 +359,30 @@ impl ContainerTable {
         match new_parent {
             Some(np) => {
                 self.arena[np].children.push(id);
-                self.propagate_attach(np, sub_cpu, sub_mem);
+                self.propagate_attach(np, sub_cpu, sub_disk, sub_mem);
             }
             None => self.floating.push(id),
         }
         Ok(())
     }
 
-    fn propagate_detach(&mut self, from: ContainerId, cpu: Nanos, mem: u64) {
+    fn propagate_detach(&mut self, from: ContainerId, cpu: Nanos, disk: Nanos, mem: u64) {
         let mut cursor = Some(from);
         while let Some(c) = cursor {
             let node = &mut self.arena[c];
             node.subtree_cpu = node.subtree_cpu.saturating_sub(cpu);
+            node.subtree_disk = node.subtree_disk.saturating_sub(disk);
             node.subtree_mem = node.subtree_mem.saturating_sub(mem);
             cursor = node.parent;
         }
     }
 
-    fn propagate_attach(&mut self, from: ContainerId, cpu: Nanos, mem: u64) {
+    fn propagate_attach(&mut self, from: ContainerId, cpu: Nanos, disk: Nanos, mem: u64) {
         let mut cursor = Some(from);
         while let Some(c) = cursor {
             let node = &mut self.arena[c];
             node.subtree_cpu = node.subtree_cpu.saturating_add(cpu);
+            node.subtree_disk = node.subtree_disk.saturating_add(disk);
             node.subtree_mem += mem;
             cursor = node.parent;
         }
@@ -452,6 +473,12 @@ impl ContainerTable {
         Ok(self.get(id)?.subtree_mem)
     }
 
+    /// Returns the cumulative disk service time charged to the container's
+    /// subtree, including already-destroyed descendants.
+    pub fn subtree_disk(&self, id: ContainerId) -> Result<Nanos> {
+        Ok(self.get(id)?.subtree_disk)
+    }
+
     /// Charges user-mode CPU time to a container and its ancestors'
     /// subtree counters.
     pub fn charge_cpu(&mut self, id: ContainerId, dt: Nanos) -> Result<()> {
@@ -471,6 +498,20 @@ impl ContainerTable {
         while let Some(cur) = cursor {
             let node = &mut self.arena[cur];
             node.subtree_cpu = node.subtree_cpu.saturating_add(dt);
+            cursor = node.parent;
+        }
+        Ok(())
+    }
+
+    /// Charges a completed disk request (service time `dt`, `bytes`
+    /// transferred) to a container and its ancestors' subtree counters.
+    pub fn charge_disk(&mut self, id: ContainerId, dt: Nanos, bytes: u64) -> Result<()> {
+        let c = self.get_mut(id)?;
+        c.usage.charge_disk(dt, bytes);
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            let node = &mut self.arena[cur];
+            node.subtree_disk = node.subtree_disk.saturating_add(dt);
             cursor = node.parent;
         }
         Ok(())
@@ -626,13 +667,13 @@ impl ContainerTable {
         // ancestors.
         let children = std::mem::take(&mut self.arena[id].children);
         for child in children {
-            let (cpu, mem) = {
+            let (cpu, disk, mem) = {
                 let c = &self.arena[child];
-                (c.subtree_cpu, c.subtree_mem)
+                (c.subtree_cpu, c.subtree_disk, c.subtree_mem)
             };
             self.arena[child].parent = None;
             self.floating.push(child);
-            self.propagate_detach(id, cpu, mem);
+            self.propagate_detach(id, cpu, disk, mem);
         }
         // Detach from the parent.
         let parent = self.arena[id].parent;
@@ -641,6 +682,7 @@ impl ContainerTable {
             // No ancestor keeps this history; record it at table level so
             // accounting still conserves.
             self.reaped_cpu = self.reaped_cpu.saturating_add(self.arena[id].subtree_cpu);
+            self.reaped_disk = self.reaped_disk.saturating_add(self.arena[id].subtree_disk);
         }
         match parent {
             Some(p) => {
@@ -707,6 +749,11 @@ impl ContainerTable {
             assert!(
                 c.subtree_cpu >= c.usage.cpu,
                 "subtree cpu < own cpu at {id:?}"
+            );
+            // Subtree disk time dominates own disk time.
+            assert!(
+                c.subtree_disk >= c.usage.disk_time,
+                "subtree disk < own disk at {id:?}"
             );
         }
         for &f in &self.floating {

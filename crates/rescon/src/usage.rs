@@ -24,10 +24,19 @@ pub struct ResourceUsage {
     pub bytes_rx: u64,
     /// Payload bytes transmitted.
     pub bytes_tx: u64,
-    /// Bytes of memory currently charged (socket buffers, PCBs, ...).
+    /// Bytes of memory currently charged (socket buffers, PCBs, buffer
+    /// cache pages, ...).
     pub mem_bytes: u64,
     /// High-water mark of `mem_bytes`.
     pub mem_peak: u64,
+    /// Disk service time (seek + rotation + transfer) charged to this
+    /// container. The paper projects containers extending to "other
+    /// resources, such as disk bandwidth" (§7); this is that counter.
+    pub disk_time: Nanos,
+    /// Disk read requests completed on behalf of this container.
+    pub disk_reads: u64,
+    /// Bytes transferred from disk on behalf of this container.
+    pub disk_bytes: u64,
     /// Sockets currently bound to this container.
     pub sockets: u64,
     /// Container-related system calls performed against this container.
@@ -71,6 +80,14 @@ impl ResourceUsage {
         self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
     }
 
+    /// Charges one completed disk request of `bytes` that occupied the
+    /// disk for `dt`.
+    pub fn charge_disk(&mut self, dt: Nanos, bytes: u64) {
+        self.disk_time += dt;
+        self.disk_reads += 1;
+        self.disk_bytes += bytes;
+    }
+
     /// Folds another usage record into this one (used when a destroyed
     /// child's residual usage is rolled into its parent).
     pub fn absorb(&mut self, other: &ResourceUsage) {
@@ -82,6 +99,9 @@ impl ResourceUsage {
         self.bytes_tx += other.bytes_tx;
         self.mem_bytes += other.mem_bytes;
         self.mem_peak = self.mem_peak.max(self.mem_bytes);
+        self.disk_time += other.disk_time;
+        self.disk_reads += other.disk_reads;
+        self.disk_bytes += other.disk_bytes;
         self.sockets += other.sockets;
         self.syscalls += other.syscalls;
     }

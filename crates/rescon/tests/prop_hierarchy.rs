@@ -30,17 +30,17 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             parent_sel,
             priority
         }),
-        (any::<usize>(), prop::sample::select(vec![5u8, 10, 25, 30, 50, 70, 90])).prop_map(
-            |(parent_sel, share_pct)| Op::CreateFs {
+        (
+            any::<usize>(),
+            prop::sample::select(vec![5u8, 10, 25, 30, 50, 70, 90])
+        )
+            .prop_map(|(parent_sel, share_pct)| Op::CreateFs {
                 parent_sel,
                 share_pct
-            }
-        ),
+            }),
         any::<usize>().prop_map(|sel| Op::Release { sel }),
-        (any::<usize>(), any::<usize>()).prop_map(|(sel, parent_sel)| Op::Reparent {
-            sel,
-            parent_sel
-        }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(sel, parent_sel)| Op::Reparent { sel, parent_sel }),
         (any::<usize>(), 1u32..10_000).prop_map(|(sel, micros)| Op::ChargeCpu { sel, micros }),
         (any::<usize>(), 1u16..u16::MAX).prop_map(|(sel, bytes)| Op::ChargeMem { sel, bytes }),
     ]

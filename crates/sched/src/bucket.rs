@@ -123,7 +123,9 @@ mod tests {
         let release = b.release_time(Nanos::ZERO);
         // Deficit 25 ms at 0.25/s refill -> 100 ms.
         let expected = Nanos::from_millis(100);
-        let diff = release.saturating_sub(expected).max(expected.saturating_sub(release));
+        let diff = release
+            .saturating_sub(expected)
+            .max(expected.saturating_sub(release));
         assert!(diff < Nanos::from_micros(10), "release = {release}");
         assert!(b.eligible(release));
     }

@@ -314,8 +314,12 @@ mod tests {
         // and its kernel network thread) must be charged as one principal,
         // competing as one unit against an independent hog.
         let mut table = ContainerTable::new();
-        let proc_a = table.create(None, rescon::Attributes::time_shared(10)).unwrap();
-        let proc_b = table.create(None, rescon::Attributes::time_shared(10)).unwrap();
+        let proc_a = table
+            .create(None, rescon::Attributes::time_shared(10))
+            .unwrap();
+        let proc_b = table
+            .create(None, rescon::Attributes::time_shared(10))
+            .unwrap();
         let mut s = DecayUsageScheduler::new();
         s.add_task(TaskId(1), &[proc_a], Nanos::ZERO); // A's app thread
         s.add_task(TaskId(2), &[proc_a], Nanos::ZERO); // A's kthread

@@ -497,12 +497,13 @@ impl Scheduler for MultiLevelScheduler {
                 Ok(SchedPolicy::TimeShared { .. }) => {
                     // Time-shared work charges the pool of its nearest
                     // fixed-share ancestor (strict mode: the direct parent).
-                    let is_parent_pool = !matches!(
-                        table.policy(parent),
-                        Ok(SchedPolicy::TimeShared { .. })
-                    );
+                    let is_parent_pool =
+                        !matches!(table.policy(parent), Ok(SchedPolicy::TimeShared { .. }));
                     if is_parent_pool {
-                        let children = table.children(parent).map(|c| c.to_vec()).unwrap_or_default();
+                        let children = table
+                            .children(parent)
+                            .map(|c| c.to_vec())
+                            .unwrap_or_default();
                         let fs_sum: f64 = children
                             .iter()
                             .filter_map(|&c| table.policy(c).ok().and_then(|p| p.share()))
@@ -648,7 +649,12 @@ mod tests {
         s.add_task(TaskId(1), &[ca], Nanos::ZERO);
         s.set_runnable(TaskId(1), true, Nanos::ZERO);
         // Only a 10%-share container is active; it still gets the whole CPU.
-        let got = run_shares(&mut table, &mut s, &[(TaskId(1), ca)], Nanos::from_millis(100));
+        let got = run_shares(
+            &mut table,
+            &mut s,
+            &[(TaskId(1), ca)],
+            Nanos::from_millis(100),
+        );
         assert_eq!(got[&TaskId(1)], Nanos::from_millis(100));
     }
 
@@ -745,8 +751,12 @@ mod tests {
         let mut table = ContainerTable::new();
         let ga = table.create(None, Attributes::fixed_share(0.5)).unwrap();
         let gb = table.create(None, Attributes::fixed_share(0.5)).unwrap();
-        let a1 = table.create(Some(ga), Attributes::fixed_share(0.8)).unwrap();
-        let a2 = table.create(Some(ga), Attributes::fixed_share(0.2)).unwrap();
+        let a1 = table
+            .create(Some(ga), Attributes::fixed_share(0.8))
+            .unwrap();
+        let a2 = table
+            .create(Some(ga), Attributes::fixed_share(0.2))
+            .unwrap();
         let ca1 = table.create(Some(a1), Attributes::time_shared(10)).unwrap();
         let ca2 = table.create(Some(a2), Attributes::time_shared(10)).unwrap();
         let cb = table.create(Some(gb), Attributes::time_shared(10)).unwrap();

@@ -81,8 +81,14 @@ impl<T> fmt::Debug for Idx<T> {
 }
 
 enum Slot<T> {
-    Vacant { next_free: Option<u32>, generation: u32 },
-    Occupied { generation: u32, value: T },
+    Vacant {
+        next_free: Option<u32>,
+        generation: u32,
+    },
+    Occupied {
+        generation: u32,
+        value: T,
+    },
 }
 
 /// A generational arena: O(1) insert, remove, and lookup with stable ids.

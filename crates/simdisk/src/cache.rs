@@ -1,0 +1,343 @@
+//! A buffer cache whose resident bytes are charged to resource containers.
+//!
+//! The paper's memory accounting (§4.1) charges kernel memory — socket
+//! buffers, PCBs — to the container on whose behalf it is held. The buffer
+//! cache is the natural next consumer: a tenant that streams large files
+//! should fill *its own* memory allowance, not evict a neighbour's working
+//! set. This cache:
+//!
+//! - charges each resident file's bytes to its owning container via
+//!   [`rescon::ContainerTable::charge_mem`] on insert, and releases them on
+//!   eviction;
+//! - enforces the container's (and every ancestor's) `mem_limit`: a
+//!   container at its limit evicts its **own** least-recently-used files
+//!   first, and if it still cannot fit the new file the insert is refused
+//!   (the read completes uncached) rather than stealing from others;
+//! - evicts the globally least-recently-used file under global capacity
+//!   pressure, whoever owns it — capacity is a shared physical resource,
+//!   limits are per-container policy.
+
+use std::collections::HashMap;
+
+use rescon::{ContainerId, ContainerTable};
+
+/// What happened to an insert attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The file is now resident and charged to its owner.
+    Cached,
+    /// The owner's memory limit (or an ancestor's) left no room even after
+    /// evicting all of the owner's own files; the file stays uncached.
+    RefusedByLimit,
+    /// The file is larger than the whole cache.
+    TooLarge,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    bytes: u64,
+    owner: ContainerId,
+    /// Monotonic recency stamp; smallest = least recently used.
+    last_use: u64,
+}
+
+/// A whole-file LRU cache with per-container memory accounting.
+///
+/// # Examples
+///
+/// ```
+/// use rescon::{Attributes, ContainerTable};
+/// use simdisk::{BufferCache, CacheOutcome};
+///
+/// let mut table = ContainerTable::new();
+/// let c = table
+///     .create(None, Attributes::time_shared(5).with_mem_limit(8192))
+///     .unwrap();
+/// let mut cache = BufferCache::new(1 << 20);
+/// assert_eq!(cache.insert(1, 4096, c, &mut table), CacheOutcome::Cached);
+/// assert!(cache.lookup(1).is_some());
+/// // A second file would exceed the 8 KiB limit; the first (the owner's
+/// // own LRU victim) is evicted to make room.
+/// assert_eq!(cache.insert(2, 8192, c, &mut table), CacheOutcome::Cached);
+/// assert!(cache.lookup(1).is_none());
+/// assert_eq!(table.usage(c).unwrap().mem_bytes, 8192);
+/// ```
+pub struct BufferCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    refusals: u64,
+}
+
+impl BufferCache {
+    /// Creates an empty cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        BufferCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            refusals: 0,
+        }
+    }
+
+    /// Looks `file` up, refreshing its recency. Returns its size if
+    /// resident.
+    pub fn lookup(&mut self, file: u64) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&file) {
+            Some(e) => {
+                e.last_use = clock;
+                self.hits += 1;
+                Some(e.bytes)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Makes `file` resident, charged to `owner`. Evicts under global
+    /// pressure (globally LRU file) and under the owner's memory limit
+    /// (owner's own LRU file); refuses rather than exceed a limit.
+    pub fn insert(
+        &mut self,
+        file: u64,
+        bytes: u64,
+        owner: ContainerId,
+        table: &mut ContainerTable,
+    ) -> CacheOutcome {
+        if bytes > self.capacity {
+            self.refusals += 1;
+            return CacheOutcome::TooLarge;
+        }
+        if let Some(old) = self.entries.get(&file).copied() {
+            // Re-insert (e.g. the file changed owner or size): drop the
+            // old residency first so accounting stays exact.
+            self.evict_file(file, old, table);
+        }
+        // Global capacity pressure: evict whoever is least recent.
+        while self.used + bytes > self.capacity {
+            let Some(victim) = self.lru_victim(None) else {
+                break;
+            };
+            let e = self.entries[&victim];
+            self.evict_file(victim, e, table);
+        }
+        // Per-container limit: evict only the owner's own files, and give
+        // up (uncached read) when none are left to evict.
+        loop {
+            match table.charge_mem(owner, bytes) {
+                Ok(()) => break,
+                Err(_) => {
+                    let Some(victim) = self.lru_victim(Some(owner)) else {
+                        self.refusals += 1;
+                        return CacheOutcome::RefusedByLimit;
+                    };
+                    let e = self.entries[&victim];
+                    self.evict_file(victim, e, table);
+                }
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(
+            file,
+            Entry {
+                bytes,
+                owner,
+                last_use: self.clock,
+            },
+        );
+        self.used += bytes;
+        CacheOutcome::Cached
+    }
+
+    /// Drops `file` if resident, releasing its owner's memory charge.
+    pub fn invalidate(&mut self, file: u64, table: &mut ContainerTable) -> bool {
+        match self.entries.get(&file).copied() {
+            Some(e) => {
+                self.evict_file(file, e, table);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every file owned by `owner` (e.g. when a tenant is removed).
+    pub fn evict_owner(&mut self, owner: ContainerId, table: &mut ContainerTable) {
+        let files: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.owner == owner)
+            .map(|(&f, _)| f)
+            .collect();
+        for f in files {
+            let e = self.entries[&f];
+            self.evict_file(f, e, table);
+        }
+    }
+
+    fn evict_file(&mut self, file: u64, e: Entry, table: &mut ContainerTable) {
+        self.entries.remove(&file);
+        self.used -= e.bytes;
+        self.evictions += 1;
+        // The owner may have been destroyed since insertion; its memory
+        // accounting died with it.
+        let _ = table.release_mem(e.owner, e.bytes);
+    }
+
+    /// Least-recently-used resident file, optionally restricted to one
+    /// owner. Ties break on the lower file id for determinism.
+    fn lru_victim(&self, owner: Option<ContainerId>) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| owner.is_none_or(|o| e.owner == o))
+            .min_by_key(|(&f, e)| (e.last_use, f))
+            .map(|(&f, _)| f)
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions, refusals)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.refusals)
+    }
+
+    /// Bytes resident on behalf of `owner`.
+    pub fn resident_bytes(&self, owner: ContainerId) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.owner == owner)
+            .map(|e| e.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescon::Attributes;
+
+    #[test]
+    fn global_lru_eviction_under_capacity_pressure() {
+        let mut table = ContainerTable::new();
+        let root = table.root();
+        let mut cache = BufferCache::new(10_000);
+        assert_eq!(
+            cache.insert(1, 4_000, root, &mut table),
+            CacheOutcome::Cached
+        );
+        assert_eq!(
+            cache.insert(2, 4_000, root, &mut table),
+            CacheOutcome::Cached
+        );
+        cache.lookup(1); // make file 2 the LRU
+        assert_eq!(
+            cache.insert(3, 4_000, root, &mut table),
+            CacheOutcome::Cached
+        );
+        assert!(cache.lookup(2).is_none(), "LRU file evicted");
+        assert!(cache.lookup(1).is_some());
+        assert_eq!(cache.used(), 8_000);
+        assert_eq!(table.usage(root).unwrap().mem_bytes, 8_000);
+    }
+
+    #[test]
+    fn limit_evicts_own_files_not_neighbours() {
+        let mut table = ContainerTable::new();
+        let a = table
+            .create(None, Attributes::time_shared(5).with_mem_limit(8_192))
+            .unwrap();
+        let b = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut cache = BufferCache::new(1 << 20);
+        assert_eq!(cache.insert(10, 4_096, a, &mut table), CacheOutcome::Cached);
+        assert_eq!(cache.insert(20, 4_096, b, &mut table), CacheOutcome::Cached);
+        assert_eq!(cache.insert(11, 4_096, a, &mut table), CacheOutcome::Cached);
+        // `a` is at its limit; inserting another of its files evicts a's
+        // LRU (file 10), never b's.
+        assert_eq!(cache.insert(12, 4_096, a, &mut table), CacheOutcome::Cached);
+        assert!(cache.lookup(10).is_none());
+        assert!(cache.lookup(20).is_some(), "neighbour untouched");
+        assert_eq!(table.usage(a).unwrap().mem_bytes, 8_192);
+    }
+
+    #[test]
+    fn refuses_file_bigger_than_limit() {
+        let mut table = ContainerTable::new();
+        let a = table
+            .create(None, Attributes::time_shared(5).with_mem_limit(4_096))
+            .unwrap();
+        let mut cache = BufferCache::new(1 << 20);
+        assert_eq!(
+            cache.insert(1, 8_192, a, &mut table),
+            CacheOutcome::RefusedByLimit
+        );
+        assert_eq!(table.usage(a).unwrap().mem_bytes, 0);
+        assert_eq!(cache.used(), 0);
+    }
+
+    #[test]
+    fn file_bigger_than_cache_is_too_large() {
+        let mut table = ContainerTable::new();
+        let root = table.root();
+        let mut cache = BufferCache::new(1_000);
+        assert_eq!(
+            cache.insert(1, 2_000, root, &mut table),
+            CacheOutcome::TooLarge
+        );
+    }
+
+    #[test]
+    fn invalidate_releases_charge() {
+        let mut table = ContainerTable::new();
+        let root = table.root();
+        let mut cache = BufferCache::new(1 << 20);
+        cache.insert(1, 4_096, root, &mut table);
+        assert!(cache.invalidate(1, &mut table));
+        assert!(!cache.invalidate(1, &mut table));
+        assert_eq!(table.usage(root).unwrap().mem_bytes, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn evict_owner_clears_only_that_owner() {
+        let mut table = ContainerTable::new();
+        let a = table.create(None, Attributes::time_shared(5)).unwrap();
+        let b = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut cache = BufferCache::new(1 << 20);
+        cache.insert(1, 100, a, &mut table);
+        cache.insert(2, 200, a, &mut table);
+        cache.insert(3, 300, b, &mut table);
+        cache.evict_owner(a, &mut table);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(b), 300);
+        assert_eq!(table.usage(a).unwrap().mem_bytes, 0);
+    }
+}

@@ -301,7 +301,10 @@ impl NetStack {
                 Self::evict_expired_syns(ls, now);
                 if ls.syn_queue.iter().any(|&(f, _)| f == pkt.flow) {
                     // Duplicate SYN: re-send the SYN-ACK.
-                    return vec![NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::SynAck))];
+                    return vec![NetEvent::PacketOut(Packet::new(
+                        pkt.flow,
+                        PacketKind::SynAck,
+                    ))];
                 }
                 let mut evs = Vec::new();
                 if ls.syn_queue.len() >= ls.syn_backlog {
@@ -323,7 +326,10 @@ impl NetStack {
                     }
                 }
                 ls.syn_queue.push_back((pkt.flow, now + self.syn_timeout));
-                evs.push(NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::SynAck)));
+                evs.push(NetEvent::PacketOut(Packet::new(
+                    pkt.flow,
+                    PacketKind::SynAck,
+                )));
                 evs
             }
             PacketKind::Ack => {
@@ -400,7 +406,10 @@ impl NetStack {
                 let container = self.sockets.get(id).and_then(|s| s.container);
                 self.sockets.remove(id);
                 self.closed += 1;
-                vec![NetEvent::ConnReset { conn: id, container }]
+                vec![NetEvent::ConnReset {
+                    conn: id,
+                    container,
+                }]
             }
             PacketKind::Ack => Vec::new(),
             PacketKind::Syn | PacketKind::SynAck => Vec::new(),
@@ -669,11 +678,17 @@ mod tests {
         }
         assert_eq!(s.syn_queue_len(l), 4);
         // 6 s later the old entries have expired: a new SYN fits.
-        let ev = s.handle_packet(Packet::new(flow(9, 80), PacketKind::Syn), Nanos::from_secs(6));
+        let ev = s.handle_packet(
+            Packet::new(flow(9, 80), PacketKind::Syn),
+            Nanos::from_secs(6),
+        );
         assert!(matches!(ev[0], NetEvent::PacketOut(_)));
         assert_eq!(s.syn_queue_len(l), 1);
         // The expired handshake can no longer complete.
-        let ev = s.handle_packet(Packet::new(flow(0, 80), PacketKind::Ack), Nanos::from_secs(6));
+        let ev = s.handle_packet(
+            Packet::new(flow(0, 80), PacketKind::Ack),
+            Nanos::from_secs(6),
+        );
         assert!(ev.is_empty());
     }
 

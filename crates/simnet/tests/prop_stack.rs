@@ -17,7 +17,11 @@ fn arb_kind() -> impl Strategy<Value = PacketKind> {
 }
 
 fn arb_flow() -> impl Strategy<Value = FlowKey> {
-    (0u32..8, 1000u16..1006, prop::sample::select(vec![80u16, 81]))
+    (
+        0u32..8,
+        1000u16..1006,
+        prop::sample::select(vec![80u16, 81]),
+    )
         .prop_map(|(h, p, port)| FlowKey::new(IpAddr(0x0a000000 + h), p, port))
 }
 

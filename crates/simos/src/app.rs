@@ -39,6 +39,17 @@ pub enum AppEvent {
         /// The application-chosen tag.
         tag: u64,
     },
+    /// A file read issued with [`SysCtx::read_file`] finished: the data is
+    /// in user space (after a buffer-cache hit or a disk read plus copy).
+    FileRead {
+        /// The application-chosen tag.
+        tag: u64,
+        /// Bytes delivered.
+        bytes: u64,
+        /// `true` if served from the buffer cache without touching the
+        /// disk.
+        cached: bool,
+    },
     /// The kernel dropped a SYN because a listen queue overflowed, and the
     /// application had asked to be notified (§5.7).
     SynDropNotice {

@@ -93,6 +93,15 @@ pub struct CostModel {
     /// Obtain a handle for an existing container: 1.90 µs.
     pub rc_handle: Nanos,
 
+    // --- File I/O ---
+    /// Interrupt-level handling of a disk completion (the disk interrupt
+    /// itself; the request's *service time* is disk time, charged to the
+    /// owning container by `simdisk`, not CPU).
+    pub disk_intr: Nanos,
+    /// CPU cost of copying file data to the application, per KiB; paid on
+    /// buffer-cache hits and on miss completions alike.
+    pub file_copy_per_kb: Nanos,
+
     // --- Link model ---
     /// One-way wire+switch latency between client and server.
     pub link_latency: Nanos,
@@ -144,6 +153,8 @@ impl CostModel {
             rc_attrs: Nanos::from_nanos(2_100),
             rc_pass: Nanos::from_nanos(3_150),
             rc_handle: Nanos::from_nanos(1_900),
+            disk_intr: us(10),
+            file_copy_per_kb: us(3),
             link_latency: us(40),
         }
     }
@@ -180,6 +191,8 @@ impl CostModel {
             rc_attrs: one,
             rc_pass: one,
             rc_handle: one,
+            disk_intr: one,
+            file_copy_per_kb: Nanos::from_nanos(100),
             link_latency: Nanos::ZERO,
         }
     }
@@ -192,6 +205,12 @@ impl CostModel {
     /// Cost of delivering `n` events through the scalable event API.
     pub fn event_delivery(&self, n: usize) -> Nanos {
         self.event_api_base + self.event_api_per_event * n as u64
+    }
+
+    /// CPU cost of copying `bytes` of file data to the application
+    /// (rounded up to whole KiB).
+    pub fn file_copy(&self, bytes: u64) -> Nanos {
+        self.file_copy_per_kb * bytes.div_ceil(1024).max(1)
     }
 
     /// Protocol-processing cost of a received packet by kind.

@@ -30,9 +30,8 @@ use sched::{
     DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, Scheduler, StrideScheduler, TaskId,
 };
 use simcore::{EventQueue, Nanos};
-use simnet::{
-    CidrFilter, Demux, NetDiscipline, NetEvent, NetStack, Packet, PendingQueues, SockId,
-};
+use simdisk::{BufferCache, DiskParams, DiskRequest, FifoIoSched, ReqId, ShareIoSched, SimDisk};
+use simnet::{CidrFilter, Demux, NetDiscipline, NetEvent, NetStack, Packet, PendingQueues, SockId};
 
 use crate::app::{AppEvent, AppHandler};
 use crate::cost::CostModel;
@@ -55,6 +54,17 @@ pub enum SchedPolicyKind {
     Stride,
     /// Flat lottery scheduling with the given seed (ablation).
     Lottery(u64),
+}
+
+/// Which discipline orders pending disk requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskSchedKind {
+    /// Arrival order — the unmodified kernel's single disk queue, where a
+    /// container with a deep backlog delays every other principal.
+    Fifo,
+    /// Per-container virtual-time dispatch weighted by effective share
+    /// (the disk-bandwidth analogue of the container CPU guarantee).
+    Share,
 }
 
 /// Kernel configuration: one per simulated system variant.
@@ -90,6 +100,13 @@ pub struct KernelConfig {
     /// socket buffers); a container subtree over its memory limit refuses
     /// new connections.
     pub sockbuf_bytes: u64,
+    /// Physical cost model of the disk.
+    pub disk: DiskParams,
+    /// Disk request ordering discipline.
+    pub disk_sched: DiskSchedKind,
+    /// Buffer-cache capacity in bytes; resident files are charged to their
+    /// owning container's memory counter.
+    pub buffer_cache_bytes: u64,
 }
 
 impl KernelConfig {
@@ -109,6 +126,9 @@ impl KernelConfig {
             prune_interval: Nanos::ZERO,
             prune_age: Nanos::from_millis(500),
             sockbuf_bytes: 16 * 1024,
+            disk: DiskParams::default(),
+            disk_sched: DiskSchedKind::Fifo,
+            buffer_cache_bytes: 16 * 1024 * 1024,
         }
     }
 
@@ -129,6 +149,7 @@ impl KernelConfig {
             scheduler: SchedPolicyKind::MultiLevel,
             containers_enabled: true,
             prune_interval: Nanos::from_secs(1),
+            disk_sched: DiskSchedKind::Share,
             ..Self::unmodified()
         }
     }
@@ -136,6 +157,18 @@ impl KernelConfig {
     /// Replaces the cost model (builder style).
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Replaces the disk cost model (builder style).
+    pub fn with_disk(mut self, disk: DiskParams) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Sets the buffer-cache capacity (builder style).
+    pub fn with_buffer_cache(mut self, bytes: u64) -> Self {
+        self.buffer_cache_bytes = bytes;
         self
     }
 }
@@ -153,6 +186,17 @@ enum KernelEvent {
     TimerFired(TaskId, u64),
     /// Periodic scheduler-binding pruning.
     Prune,
+    /// The disk's in-flight request finished.
+    DiskTick,
+}
+
+/// A thread parked on a disk read.
+#[derive(Clone, Copy, Debug)]
+struct DiskWaiter {
+    task: TaskId,
+    tag: u64,
+    /// Insert the file into the buffer cache on completion.
+    cache: bool,
 }
 
 fn build_scheduler(kind: SchedPolicyKind) -> Box<dyn Scheduler> {
@@ -185,6 +229,14 @@ pub struct Kernel {
     sock_owner: HashMap<SockId, Pid>,
     /// Socket-buffer memory charged per connection (released on close).
     sockbuf_charges: HashMap<SockId, (ContainerId, u64)>,
+    /// The disk device (public: harnesses read busy time and queue depth).
+    pub disk: SimDisk,
+    /// The accounted buffer cache (public: harnesses read hit/miss stats).
+    pub disk_cache: BufferCache,
+    /// Threads waiting on in-flight disk reads.
+    disk_waiters: HashMap<ReqId, DiskWaiter>,
+    /// Whether a `DiskTick` is scheduled for the current in-flight request.
+    disk_tick_armed: bool,
     next_task: u32,
     next_pid: u32,
     stats: KernelStats,
@@ -200,6 +252,14 @@ impl Kernel {
     /// Boots a kernel with the given configuration.
     pub fn new(cfg: KernelConfig) -> Self {
         let scheduler = build_scheduler(cfg.scheduler);
+        let disk = SimDisk::new(
+            cfg.disk,
+            match cfg.disk_sched {
+                DiskSchedKind::Fifo => Box::new(FifoIoSched::new()),
+                DiskSchedKind::Share => Box::new(ShareIoSched::new()),
+            },
+        );
+        let disk_cache = BufferCache::new(cfg.buffer_cache_bytes);
         let mut k = Kernel {
             containers: ContainerTable::new(),
             stack: NetStack::new(cfg.syn_timeout),
@@ -212,6 +272,10 @@ impl Kernel {
             kthreads: BTreeMap::new(),
             sock_owner: HashMap::new(),
             sockbuf_charges: HashMap::new(),
+            disk,
+            disk_cache,
+            disk_waiters: HashMap::new(),
+            disk_tick_armed: false,
             next_task: 1,
             next_pid: 1,
             clock: Nanos::ZERO,
@@ -382,7 +446,9 @@ impl Kernel {
                         continue;
                     }
                     let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
-                    let horizon = until.min(next_ev).min(self.clock.saturating_add(pick.slice));
+                    let horizon = until
+                        .min(next_ev)
+                        .min(self.clock.saturating_add(pick.slice));
                     let budget = horizon.saturating_sub(self.clock);
                     let dt = th.remaining.min(budget);
                     if !dt.is_zero() {
@@ -489,7 +555,104 @@ impl Kernel {
             }
             KernelEvent::TimerFired(task, tag) => self.timer_fired(task, tag),
             KernelEvent::Prune => self.prune_bindings(),
+            KernelEvent::DiskTick => self.disk_tick(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Disk I/O
+    // ------------------------------------------------------------------
+
+    /// Submits a disk read on behalf of `task`; the completion delivers
+    /// `AppEvent::FileRead { tag, .. }` once the service time has elapsed
+    /// and the copy cost has been consumed.
+    pub(crate) fn submit_disk_read(
+        &mut self,
+        file: u64,
+        bytes: u64,
+        principal: ContainerId,
+        task: TaskId,
+        tag: u64,
+        cache: bool,
+    ) {
+        let req = self.disk.submit(
+            DiskRequest {
+                file,
+                bytes,
+                charge_to: principal,
+            },
+            &self.containers,
+            self.clock,
+        );
+        self.disk_waiters
+            .insert(req, DiskWaiter { task, tag, cache });
+        self.arm_disk_tick();
+    }
+
+    /// Disk-interrupt completion path: the device charges service time to
+    /// the owning containers, the interrupt handler pays a small CPU cost
+    /// at interrupt level, and the waiting thread receives the copy work
+    /// plus upcall, charged to the request's principal.
+    fn disk_tick(&mut self) {
+        self.disk_tick_armed = false;
+        let completions = self.disk.advance(self.clock, &mut self.containers);
+        for c in completions {
+            self.overhead_deficit += self.cfg.cost.disk_intr;
+            let Some(w) = self.disk_waiters.remove(&c.req) else {
+                continue;
+            };
+            if w.cache && self.containers.contains(c.charge_to) {
+                let _ = self
+                    .disk_cache
+                    .insert(c.file, c.bytes, c.charge_to, &mut self.containers);
+            }
+            self.deliver_disk_upcall(
+                w.task,
+                WorkItem {
+                    cost: self.cfg.cost.file_copy(c.bytes),
+                    op: Op::Upcall(AppEvent::FileRead {
+                        tag: w.tag,
+                        bytes: c.bytes,
+                        cached: false,
+                    }),
+                    charge_to: Some(c.charge_to),
+                    kernel_mode: true,
+                },
+            );
+        }
+        self.arm_disk_tick();
+    }
+
+    /// Schedules the next `DiskTick` at the in-flight request's finish
+    /// time. The disk is non-preemptive, so a started request's finish
+    /// time never changes and one tick per completion suffices.
+    fn arm_disk_tick(&mut self) {
+        if self.disk_tick_armed {
+            return;
+        }
+        if let Some(t) = self.disk.next_completion_time() {
+            self.events
+                .schedule(t.max(self.clock), KernelEvent::DiskTick);
+            self.disk_tick_armed = true;
+        }
+    }
+
+    /// Wakes `task` with disk-read completion work, restoring its previous
+    /// wait (select, event API, ...) after the queue drains — the same
+    /// out-of-band pattern as timers and IPC doorbells.
+    fn deliver_disk_upcall(&mut self, task: TaskId, item: WorkItem) {
+        let Some(th) = self.threads.get_mut(&task) else {
+            return;
+        };
+        if th.state == ThreadState::Exited {
+            return;
+        }
+        if let ThreadState::Blocked(w) = th.state.clone() {
+            self.resume_waits.entry(task).or_insert(w);
+        }
+        th.state = ThreadState::Runnable;
+        th.push_work(item);
+        self.scheduler.set_runnable(task, true, self.clock);
     }
 
     fn apply_world_actions(&mut self, actions: Vec<WorldAction>) {
@@ -1248,7 +1411,11 @@ impl Kernel {
         for sock in p.sockets.clone() {
             self.release_sockbuf(sock);
             let bound = self.stack.container_of(sock);
-            match self.stack.socket(sock).map(|s| matches!(s.kind, simnet::SocketKind::Listen(_))) {
+            match self
+                .stack
+                .socket(sock)
+                .map(|s| matches!(s.kind, simnet::SocketKind::Listen(_)))
+            {
                 Some(true) => {
                     // Drain queued-but-unaccepted connections first so their
                     // container bindings are released.

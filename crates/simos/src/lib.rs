@@ -43,7 +43,7 @@ pub mod world;
 pub use app::{AppEvent, AppHandler};
 pub use cost::CostModel;
 pub use ids::Pid;
-pub use kernel::{Kernel, KernelConfig, SchedPolicyKind};
+pub use kernel::{DiskSchedKind, Kernel, KernelConfig, SchedPolicyKind};
 pub use stats::KernelStats;
 pub use syscall::SysCtx;
 pub use thread::WaitFor;

@@ -225,6 +225,42 @@ impl<'a> SysCtx<'a> {
         }
     }
 
+    /// Reads `bytes` of `file` from the filesystem. On a buffer-cache hit
+    /// only the copy cost is queued on the calling thread; on a miss the
+    /// request goes through the disk scheduler and completes
+    /// asynchronously (the thread may block or keep serving other work —
+    /// the completion is delivered out-of-band like a timer). Either way
+    /// the thread receives [`crate::AppEvent::FileRead`] carrying `tag`
+    /// once the data is in user space.
+    ///
+    /// Disk service time, buffer-cache residency, and the copy CPU are all
+    /// charged to `charge_to` (defaulting to the thread's resource
+    /// binding), extending the paper's accounting to disk bandwidth (§7).
+    pub fn read_file(&mut self, file: u64, bytes: u64, tag: u64, charge_to: Option<ContainerId>) {
+        let cm = self.k.cost_model();
+        self.charge(cm.read_syscall);
+        let principal = charge_to
+            .or_else(|| self.current_binding())
+            .unwrap_or_else(|| self.k.containers.root());
+        if self.k.disk_cache.lookup(file).is_some() {
+            if let Some(th) = self.k.thread_mut(self.thread) {
+                th.push_work(WorkItem {
+                    cost: cm.file_copy(bytes),
+                    op: Op::Upcall(crate::app::AppEvent::FileRead {
+                        tag,
+                        bytes,
+                        cached: true,
+                    }),
+                    charge_to: Some(principal),
+                    kernel_mode: true,
+                });
+            }
+        } else {
+            self.k
+                .submit_disk_read(file, bytes, principal, self.thread, tag, true);
+        }
+    }
+
     /// Transfers ownership of a socket to another process (descriptor
     /// passing); subsequent readiness events go to the receiver.
     pub fn pass_socket(&mut self, sock: SockId, to: Pid) {
@@ -330,7 +366,11 @@ impl<'a> SysCtx<'a> {
     }
 
     /// Sets a container's attributes (§4.6 "Container attributes").
-    pub fn set_container_attrs(&mut self, fd: ContainerFd, attrs: Attributes) -> Result<(), RcError> {
+    pub fn set_container_attrs(
+        &mut self,
+        fd: ContainerFd,
+        attrs: Attributes,
+    ) -> Result<(), RcError> {
         self.require_containers()?;
         let cost = self.k.cost_model().rc_attrs;
         self.charge(cost);
@@ -407,7 +447,10 @@ impl<'a> SysCtx<'a> {
         if !self.containers_enabled() {
             return Ok(());
         }
-        let c = self.k.process_container(self.pid).ok_or(RcError::NotFound)?;
+        let c = self
+            .k
+            .process_container(self.pid)
+            .ok_or(RcError::NotFound)?;
         if self.current_binding() == Some(c) {
             return Ok(());
         }

@@ -5,7 +5,9 @@ use rescon::Attributes;
 use sched::TaskId;
 use simcore::Nanos;
 use simnet::{CidrFilter, FlowKey, IpAddr, Packet, PacketKind, SockId};
-use simos::{AppEvent, AppHandler, Kernel, KernelConfig, NullWorld, Pid, SysCtx, World, WorldAction};
+use simos::{
+    AppEvent, AppHandler, Kernel, KernelConfig, NullWorld, Pid, SysCtx, World, WorldAction,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -23,7 +25,9 @@ impl AppHandler for Recorder {
                 sys.sleep_until(self.deadline, 7);
             }
             AppEvent::Timer { tag } => {
-                self.log.borrow_mut().push(format!("timer{tag}@{}", sys.now().as_micros()));
+                self.log
+                    .borrow_mut()
+                    .push(format!("timer{tag}@{}", sys.now().as_micros()));
                 sys.sleep_until(Nanos::MAX, 99);
             }
             AppEvent::Ipc { from, tag } => {
@@ -96,7 +100,9 @@ fn ipc_doorbell_wakes_a_parked_process() {
     k.run(&mut NullWorld, Nanos::from_millis(5));
     let entries = log.borrow().clone();
     assert!(
-        entries.iter().any(|e| e.starts_with("ipc pid") && e.ends_with("42")),
+        entries
+            .iter()
+            .any(|e| e.starts_with("ipc pid") && e.ends_with("42")),
         "{entries:?}"
     );
 }
@@ -183,9 +189,7 @@ fn process_exit_releases_all_kernel_state() {
         fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
             if let AppEvent::Start = ev {
                 let _l = sys.listen(80, CidrFilter::any(), false);
-                let fd = sys
-                    .create_container(None, Attributes::time_shared(5))
-                    .ok();
+                let fd = sys.create_container(None, Attributes::time_shared(5)).ok();
                 let _ = fd;
                 sys.exit();
             }

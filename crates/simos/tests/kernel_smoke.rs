@@ -6,9 +6,7 @@ use rescon::Attributes;
 use sched::TaskId;
 use simcore::Nanos;
 use simnet::{CidrFilter, FlowKey, IpAddr, Packet, PacketKind, SockId};
-use simos::{
-    AppEvent, AppHandler, Kernel, KernelConfig, SysCtx, World, WorldAction,
-};
+use simos::{AppEvent, AppHandler, Kernel, KernelConfig, SysCtx, World, WorldAction};
 
 /// A tiny event-driven server: accept, read request, burn some user CPU,
 /// send a 1 KB response, close.
@@ -42,10 +40,7 @@ impl AppHandler for MiniServer {
                         if bytes > 0 {
                             // Parse + handle: 40 us of user CPU, then respond.
                             self.pending += 1;
-                            sys.compute(
-                                Nanos::from_micros(40),
-                                PARSE_TAG_BASE + s.as_u64(),
-                            );
+                            sys.compute(Nanos::from_micros(40), PARSE_TAG_BASE + s.as_u64());
                         }
                     }
                 }
@@ -268,12 +263,15 @@ fn cpu_accounting_conserves() {
     // charged + interrupt + overhead + idle == elapsed (within the final
     // partial slice).
     let total = s.total();
-    let diff = total.saturating_sub(horizon).max(horizon.saturating_sub(total));
+    let diff = total
+        .saturating_sub(horizon)
+        .max(horizon.saturating_sub(total));
     assert!(
         diff < Nanos::from_micros(500),
         "accounting drift {diff} (total {total})"
     );
     // And the charged CPU equals what the container table recorded.
-    let root_cpu = k.containers.subtree_cpu(k.containers.root()).unwrap() + k.containers.reaped_cpu();
+    let root_cpu =
+        k.containers.subtree_cpu(k.containers.root()).unwrap() + k.containers.reaped_cpu();
     assert_eq!(root_cpu, s.charged_cpu);
 }

@@ -49,7 +49,8 @@ impl AppHandler for ApiWalker {
                 out.created = true;
 
                 // Reparent the child under the parent (§4.6).
-                sys.set_container_parent(child, Some(parent)).expect("reparent");
+                sys.set_container_parent(child, Some(parent))
+                    .expect("reparent");
                 out.reparented = true;
 
                 // Attributes round-trip.
@@ -180,6 +181,65 @@ fn container_api_disabled_on_baseline_kernels() {
     );
     k.run(&mut NullWorld, Nanos::from_millis(5));
     assert!(out.borrow().disabled_errors);
+}
+
+/// `read_file`: the first read misses (disk service time lands on the
+/// caller's container, `cached: false`), the second read of the same file
+/// hits the buffer cache (`cached: true`, no extra disk time), and the
+/// resident bytes are charged to the container's memory.
+#[test]
+fn read_file_miss_then_hit() {
+    #[derive(Default)]
+    struct DiskOut {
+        first_cached: Option<bool>,
+        second_cached: Option<bool>,
+        principal: Option<rescon::ContainerId>,
+    }
+    struct Reader {
+        out: Rc<RefCell<DiskOut>>,
+    }
+    impl AppHandler for Reader {
+        fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+            match ev {
+                AppEvent::Start => {
+                    self.out.borrow_mut().principal = sys.default_container();
+                    sys.read_file(7, 8192, 1, None);
+                }
+                AppEvent::FileRead { tag: 1, cached, .. } => {
+                    self.out.borrow_mut().first_cached = Some(cached);
+                    sys.read_file(7, 8192, 2, None);
+                }
+                AppEvent::FileRead { tag: 2, cached, .. } => {
+                    self.out.borrow_mut().second_cached = Some(cached);
+                    sys.sleep_until(Nanos::MAX, 0);
+                }
+                _ => {}
+            }
+        }
+    }
+    let out = Rc::new(RefCell::new(DiskOut::default()));
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+    k.spawn_process(
+        Box::new(Reader { out: out.clone() }),
+        "reader",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    k.run(&mut NullWorld, Nanos::from_millis(200));
+    assert_eq!(out.borrow().first_cached, Some(false));
+    assert_eq!(out.borrow().second_cached, Some(true));
+    // The one miss is the disk's whole history, all charged to containers.
+    assert!(!k.disk.total_busy().is_zero());
+    assert_eq!(
+        k.containers.subtree_disk(k.containers.root()).unwrap() + k.containers.reaped_disk(),
+        k.disk.total_busy()
+    );
+    // 8 KiB resident in the buffer cache, charged as container memory.
+    assert_eq!(k.disk_cache.used(), 8192);
+    let principal = out.borrow().principal.expect("default container");
+    assert_eq!(k.disk_cache.resident_bytes(principal), 8192);
+    assert_eq!(k.containers.usage(principal).unwrap().mem_bytes, 8192);
 }
 
 /// In-model Table 1: the kernel charges the paper's measured cost for each

@@ -26,6 +26,11 @@ pub struct ClientSpec {
     pub kind: ReqKind,
     /// Document id requested.
     pub doc: u32,
+    /// Cycle through `doc .. doc + doc_cycle` across successive requests
+    /// (≤ 1 = always request `doc`). Lets a client sweep a document set
+    /// larger than any cache, forcing steady misses on disk-backed
+    /// servers.
+    pub doc_cycle: u32,
     /// Metrics class.
     pub class: usize,
     /// Idle time between response and next request (0 = closed loop at
@@ -48,6 +53,7 @@ impl ClientSpec {
             port: 80,
             kind: ReqKind::Static,
             doc: 0,
+            doc_cycle: 0,
             class,
             think: Nanos::ZERO,
             timeout: None,
@@ -73,6 +79,12 @@ impl ClientSpec {
         self.start_at = t;
         self
     }
+
+    /// Cycles through `n` documents starting at `doc` (builder style).
+    pub fn cycling_docs(mut self, n: u32) -> Self {
+        self.doc_cycle = n;
+        self
+    }
 }
 
 #[derive(Debug)]
@@ -86,6 +98,8 @@ struct ClientState {
     on_conn: u32,
     /// Waiting for a response right now.
     in_flight: bool,
+    /// Offset into the client's document cycle.
+    doc_off: u32,
 }
 
 /// Timer-tag sub-spaces within a client's tag block.
@@ -117,6 +131,7 @@ impl HttpClients {
                 started_at: Nanos::ZERO,
                 on_conn: 0,
                 in_flight: false,
+                doc_off: 0,
             })
             .collect();
         HttpClients {
@@ -158,11 +173,21 @@ impl HttpClients {
     }
 
     fn flow(&self, i: usize) -> FlowKey {
-        FlowKey::new(self.specs[i].addr, self.states[i].next_port, self.specs[i].port)
+        FlowKey::new(
+            self.specs[i].addr,
+            self.states[i].next_port,
+            self.specs[i].port,
+        )
     }
 
-    fn request_len(&self, i: usize) -> u32 {
-        encode_request(self.specs[i].kind, self.specs[i].doc)
+    /// Encodes the next request, advancing the document cycle.
+    fn request_len(&mut self, i: usize) -> u32 {
+        let spec = &self.specs[i];
+        let doc = spec.doc + self.states[i].doc_off;
+        if spec.doc_cycle > 1 {
+            self.states[i].doc_off = (self.states[i].doc_off + 1) % spec.doc_cycle;
+        }
+        encode_request(spec.kind, doc)
     }
 
     /// Opens a fresh connection and sends a SYN.
@@ -271,12 +296,10 @@ impl World for HttpClients {
                 self.metrics.record(class, latency, now);
                 self.after_response(i, now, actions);
             }
-            PacketKind::Rst => {
+            PacketKind::Rst if self.states[i].in_flight => {
                 // Connection refused or torn down: retry from scratch.
-                if self.states[i].in_flight {
-                    self.metrics.record_abandoned(self.specs[i].class);
-                    self.new_connection(i, now, actions);
-                }
+                self.metrics.record_abandoned(self.specs[i].class);
+                self.new_connection(i, now, actions);
             }
             _ => {}
         }
@@ -288,32 +311,27 @@ impl World for HttpClients {
             return;
         }
         match tag % TAGS_PER_CLIENT {
-            TAG_START => {
-                if !self.states[i].in_flight {
-                    if self.states[i].on_conn > 0
-                        && self.specs[i].kind == ReqKind::StaticKeepAlive
-                    {
-                        self.next_request(i, now, actions);
-                    } else {
-                        self.new_connection(i, now, actions);
-                    }
-                }
-            }
-            TAG_TIMEOUT => {
-                // Abandon the request if it is still the one we armed the
-                // timer for (sequence numbers disambiguate).
-                if self.states[i].in_flight
-                    && now.saturating_sub(self.states[i].started_at)
-                        >= self.specs[i].timeout.unwrap_or(Nanos::MAX)
-                {
-                    self.metrics.record_abandoned(self.specs[i].class);
-                    // Reset the server side and retry immediately.
-                    actions.push(WorldAction::SendPacket {
-                        pkt: Packet::new(self.flow(i), PacketKind::Rst),
-                        delay: Nanos::ZERO,
-                    });
+            TAG_START if !self.states[i].in_flight => {
+                if self.states[i].on_conn > 0 && self.specs[i].kind == ReqKind::StaticKeepAlive {
+                    self.next_request(i, now, actions);
+                } else {
                     self.new_connection(i, now, actions);
                 }
+            }
+            // Abandon the request if it is still the one we armed the
+            // timer for (sequence numbers disambiguate).
+            TAG_TIMEOUT
+                if self.states[i].in_flight
+                    && now.saturating_sub(self.states[i].started_at)
+                        >= self.specs[i].timeout.unwrap_or(Nanos::MAX) =>
+            {
+                self.metrics.record_abandoned(self.specs[i].class);
+                // Reset the server side and retry immediately.
+                actions.push(WorldAction::SendPacket {
+                    pkt: Packet::new(self.flow(i), PacketKind::Rst),
+                    delay: Nanos::ZERO,
+                });
+                self.new_connection(i, now, actions);
             }
             _ => {}
         }
@@ -346,20 +364,14 @@ mod tests {
 
     #[test]
     fn single_client_completes_requests() {
-        let c = run_clients(
-            vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)],
-            1,
-        );
+        let c = run_clients(vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)], 1);
         assert!(c.metrics.class(0).completed > 1000);
         assert!(c.metrics.mean_latency_ms(0) < 1.0);
     }
 
     #[test]
     fn persistent_client_faster_than_per_request() {
-        let per_req = run_clients(
-            vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)],
-            1,
-        );
+        let per_req = run_clients(vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)], 1);
         let keep = run_clients(
             vec![ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0)
                 .with_kind(ReqKind::StaticKeepAlive)],

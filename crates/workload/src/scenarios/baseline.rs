@@ -181,8 +181,7 @@ mod tests {
             secs: 3,
             ..BaselineParams::default()
         });
-        let delta = (base.requests_per_sec - with.requests_per_sec).abs()
-            / base.requests_per_sec;
+        let delta = (base.requests_per_sec - with.requests_per_sec).abs() / base.requests_per_sec;
         assert!(delta < 0.05, "overhead = {:.1}%", delta * 100.0);
     }
 }

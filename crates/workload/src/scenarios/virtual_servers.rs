@@ -195,7 +195,9 @@ pub fn run_virtual_servers(params: VsParams) -> VsResult {
     VsResult {
         configured: params.shares.iter().map(|s| s / share_sum).collect(),
         measured: deltas.iter().map(|&d| d.ratio(total)).collect(),
-        throughputs: (0..n).map(|g| world.guests[g].metrics.throughput(0)).collect(),
+        throughputs: (0..n)
+            .map(|g| world.guests[g].metrics.throughput(0))
+            .collect(),
     }
 }
 

@@ -9,9 +9,7 @@ use resource_containers::prelude::*;
 
 fn main() {
     let cgi_clients = 4;
-    println!(
-        "static throughput with {cgi_clients} concurrent CPU-hungry CGI requests\n"
-    );
+    println!("static throughput with {cgi_clients} concurrent CPU-hungry CGI requests\n");
     println!(
         "{:<22} {:>16} {:>14}",
         "system", "static req/s", "CGI CPU share"

@@ -1,0 +1,39 @@
+//! Disk-bandwidth isolation (paper §7): a disk-hog tenant and a
+//! small-file tenant with 70/30 fixed shares contend for one disk, under
+//! the FIFO I/O scheduler (the unmodified-kernel ablation) and under the
+//! container-share scheduler.
+//!
+//! ```sh
+//! cargo run --release --example disk_tenants
+//! ```
+
+use resource_containers::prelude::*;
+
+fn main() {
+    println!("two disk-bound tenants, 70/30 fixed shares, 8 clients each\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>14}",
+        "sched", "hog disk%", "victim disk%", "hog req/s", "victim req/s"
+    );
+    for sched in [DiskSchedKind::Fifo, DiskSchedKind::Share] {
+        let r = run_disk_tenants(DiskTenantsParams {
+            sched,
+            secs: 10,
+            ..DiskTenantsParams::default()
+        });
+        println!(
+            "{:<8} {:>11.1}% {:>11.1}% {:>14.1} {:>14.1}",
+            r.sched,
+            r.disk_fractions[0] * 100.0,
+            r.disk_fractions[1] * 100.0,
+            r.throughputs[0],
+            r.throughputs[1]
+        );
+    }
+    println!(
+        "\nThe disk charges every request's seek+rotation+transfer time to the\n\
+         requesting container; the share-aware I/O scheduler dispatches queued\n\
+         requests by container share, so the measured bandwidth split tracks\n\
+         the configured 70/30 no matter how hard the hog pushes (§7)."
+    );
+}

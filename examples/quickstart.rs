@@ -40,8 +40,14 @@ fn main() {
     let ks = kernel.stats();
     println!("simulated 1 second of a loaded web server");
     println!("  requests served : {}", s.static_served);
-    println!("  connections     : {} accepted / {} closed", s.accepted, s.closed);
-    println!("  packets         : {} in / {} out", ks.pkts_in, ks.pkts_out);
+    println!(
+        "  connections     : {} accepted / {} closed",
+        s.accepted, s.closed
+    );
+    println!(
+        "  packets         : {} in / {} out",
+        ks.pkts_in, ks.pkts_out
+    );
     println!(
         "  CPU             : {:.1}% charged to containers, {:.1}% interrupt, {:.1}% idle",
         ks.charged_cpu.ratio(ks.total()) * 100.0,

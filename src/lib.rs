@@ -14,6 +14,10 @@
 //! - [`simnet`] — the simulated TCP/IP subsystem: sockets, SYN/accept
 //!   queues, the filter sockaddr namespace (§4.8), and per-principal LRP
 //!   queues (§4.7).
+//! - [`simdisk`] — the simulated disk: seek/rotation/transfer service
+//!   times charged to containers, FIFO vs container-share I/O scheduling,
+//!   and a buffer cache whose residency is charged to container memory
+//!   (the §7 extension to "other system resources").
 //! - [`simos`] — the simulated monolithic kernel: processes, threads, the
 //!   container syscall surface (§4.6), software interrupts, and the cost
 //!   model calibrated to §5.3.
@@ -43,6 +47,7 @@ pub use httpsim;
 pub use rescon;
 pub use sched;
 pub use simcore;
+pub use simdisk;
 pub use simnet;
 pub use simos;
 pub use workload;
@@ -50,16 +55,20 @@ pub use workload;
 /// The most commonly used items, one `use` away.
 pub mod prelude {
     pub use httpsim::{
-        encode_request, ClassSpec, EventApi, EventDrivenServer, PreforkServer, ReqKind,
-        ServerConfig, ThreadPoolServer,
+        encode_request, ClassSpec, EventApi, EventDrivenServer, FileBacking, PreforkServer,
+        ReqKind, ServerConfig, ThreadPoolServer,
     };
     pub use rescon::{Attributes, ContainerTable, SchedPolicy, SchedulerBinding};
     pub use simcore::Nanos;
+    pub use simdisk::{BufferCache, DiskParams, FifoIoSched, ShareIoSched, SimDisk};
     pub use simnet::{CidrFilter, IpAddr, NetDiscipline};
-    pub use simos::{AppEvent, AppHandler, Kernel, KernelConfig, SysCtx, World, WorldAction};
+    pub use simos::{
+        AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, SysCtx, World, WorldAction,
+    };
     pub use workload::scenarios::{
-        run_baseline, run_fig11, run_fig12, run_fig14, run_virtual_servers, BaselineParams,
-        Fig11Params, Fig11System, Fig12Params, Fig12System, Fig14Params, VsParams,
+        run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_virtual_servers,
+        BaselineParams, DiskTenantsParams, Fig11Params, Fig11System, Fig12Params, Fig12System,
+        Fig14Params, VsParams,
     };
     pub use workload::{ClientSpec, HttpClients, SynFlood};
 }

@@ -34,7 +34,10 @@ fn run_mix(mix: &Mix) -> (u64, u64, Nanos) {
     let stats = shared_stats();
     let mut k = Kernel::new(kernel);
     k.spawn_process(
-        Box::new(EventDrivenServer::new(ServerConfig::default(), stats.clone())),
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
         "httpd",
         None,
         Attributes::time_shared(10),

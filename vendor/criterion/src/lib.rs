@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal benchmarking harness with criterion's API shape:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. It warms up briefly, then reports the mean
+//! wall-clock time per iteration — no statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures over repeated iterations.
+pub struct Bencher {
+    iters_hint: u64,
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs for a
+        // perceptible but short window.
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < Duration::from_millis(20) && calibration_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = start.elapsed() / calibration_iters.max(1) as u32;
+        let target = Duration::from_millis(100);
+        let iters = if per_iter.is_zero() {
+            self.iters_hint.max(1_000)
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)) as u64
+        }
+        .clamp(1, 10_000_000)
+        .max(self.iters_hint);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, 10, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum iteration count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size as u64, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size as u64,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, iters_hint: u64, mut f: F) {
+    let mut b = Bencher {
+        iters_hint,
+        measured: None,
+    };
+    f(&mut b);
+    match b.measured {
+        Some((elapsed, iters)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!(
+                "{id:<50} time: {}   ({iters} iterations)",
+                fmt_nanos(per_iter)
+            );
+        }
+        None => println!("{id:<50} (no measurement)"),
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

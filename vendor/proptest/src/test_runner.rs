@@ -1,0 +1,73 @@
+//! Case-driving machinery: configuration and the deterministic RNG.
+
+/// Test-run configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the simulation-heavy properties
+        // in this workspace set explicit counts, so the default only
+        // covers cheap substrate tests.
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty choice");
+        self.next_u64() % n
+    }
+}
+
+/// Runs `case` once per configured case count, each with a deterministic
+/// RNG derived from the test name and case index.
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: &Config, name: &str, mut case: F) {
+    let base = fnv1a(name.as_bytes());
+    for i in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        case(&mut rng);
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}

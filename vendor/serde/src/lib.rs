@@ -1,0 +1,18 @@
+//! Offline stand-in for the serialization half of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, API-compatible implementation of the parts it
+//! uses: the [`Serialize`] / [`Serializer`] traits (full method set,
+//! enough for `rcbench::json`'s hand-rolled JSON serializer), `Serialize`
+//! impls for the std types that appear in experiment-result structs, and
+//! — behind the `derive` feature — a `#[derive(Serialize)]` proc macro
+//! for plain structs and enums.
+
+#![forbid(unsafe_code)]
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

@@ -1,0 +1,268 @@
+//! Offline stand-in for serde's `#[derive(Serialize)]`.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` available in
+//! this offline environment) and emits a `serde::ser::Serialize` impl.
+//! Supports what the workspace actually derives on: non-generic structs
+//! with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, newtype, tuple, or struct-like.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the vendored derive".into());
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => expand_struct(&name, tokens.get(i)),
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                expand_enum(&name, g.stream())
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive Serialize for `{other}` items")),
+    }?;
+
+    let out = format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .map_err(|e| format!("derive emitted bad code: {e:?}"))
+}
+
+fn expand_struct(name: &str, body: Option<&TokenTree>) -> Result<String, String> {
+    match body {
+        // Unit struct (`struct S;`).
+        None | Some(TokenTree::Punct(_)) => {
+            Ok(format!("__serializer.serialize_unit_struct({name:?})"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_fields(g.stream())?;
+            let mut out = String::new();
+            out.push_str("#[allow(unused_imports)] use ::serde::ser::SerializeStruct as _;\n");
+            out.push_str(&format!(
+                "let mut __st = __serializer.serialize_struct({name:?}, {})?;\n",
+                fields.len()
+            ));
+            for f in &fields {
+                out.push_str(&format!("__st.serialize_field({f:?}, &self.{f})?;\n"));
+            }
+            out.push_str("__st.end()");
+            Ok(out)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_tuple_fields(g.stream());
+            if n == 1 {
+                return Ok(format!(
+                    "__serializer.serialize_newtype_struct({name:?}, &self.0)"
+                ));
+            }
+            let mut out = String::new();
+            out.push_str("#[allow(unused_imports)] use ::serde::ser::SerializeTupleStruct as _;\n");
+            out.push_str(&format!(
+                "let mut __st = __serializer.serialize_tuple_struct({name:?}, {n})?;\n"
+            ));
+            for idx in 0..n {
+                out.push_str(&format!("__st.serialize_field(&self.{idx})?;\n"));
+            }
+            out.push_str("__st.end()");
+            Ok(out)
+        }
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+fn expand_enum(name: &str, body: TokenStream) -> Result<String, String> {
+    let mut arms = String::new();
+    let mut idx = 0u32;
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes on the variant.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            // Unit variant.
+            None => {
+                arms.push_str(&unit_arm(name, idx, &variant));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                arms.push_str(&unit_arm(name, idx, &variant));
+                i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Discriminant: skip to the comma.
+                while !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                    if i >= tokens.len() {
+                        break;
+                    }
+                }
+                arms.push_str(&unit_arm(name, idx, &variant));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n == 1 {
+                    arms.push_str(&format!(
+                        "{name}::{variant}(__f0) => \
+                         __serializer.serialize_newtype_variant({name:?}, {idx}, {variant:?}, __f0),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..n).map(|k| format!("__f{k}")).collect();
+                    arms.push_str(&format!(
+                        "{name}::{variant}({}) => {{\n\
+                         let mut __tv = __serializer.serialize_tuple_variant({name:?}, {idx}, {variant:?}, {n})?;\n",
+                        binds.join(", ")
+                    ));
+                    for b in &binds {
+                        arms.push_str(&format!("__tv.serialize_field({b})?;\n"));
+                    }
+                    arms.push_str("__tv.end()\n},\n");
+                }
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                arms.push_str(&format!(
+                    "{name}::{variant} {{ {} }} => {{\n\
+                     let mut __sv = __serializer.serialize_struct_variant({name:?}, {idx}, {variant:?}, {})?;\n",
+                    fields.join(", "),
+                    fields.len()
+                ));
+                for f in &fields {
+                    arms.push_str(&format!("__sv.serialize_field({f:?}, {f})?;\n"));
+                }
+                arms.push_str("__sv.end()\n},\n");
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            other => return Err(format!("unsupported variant shape: {other:?}")),
+        }
+        idx += 1;
+    }
+    let uses = "#[allow(unused_imports)] use ::serde::ser::SerializeTupleVariant as _;\n\
+                #[allow(unused_imports)] use ::serde::ser::SerializeStructVariant as _;\n";
+    Ok(format!("{uses}match self {{\n{arms}}}"))
+}
+
+fn unit_arm(name: &str, idx: u32, variant: &str) -> String {
+    format!(
+        "{name}::{variant} => \
+         __serializer.serialize_unit_variant({name:?}, {idx}, {variant:?}),\n"
+    )
+}
+
+/// Extracts field names from a named-fields body, skipping attributes,
+/// visibility, and types (commas inside angle brackets don't split).
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut expect_name = true;
+    let mut angle_depth = 0i32;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && expect_name => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if expect_name && id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if expect_name => {
+                fields.push(id.to_string());
+                expect_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expect_name = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple body by top-level commas (angle-bracket
+/// aware, tolerant of a trailing comma).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token {
+                    n += 1;
+                    saw_token = false;
+                }
+                continue;
+            }
+            _ => saw_token = true,
+        }
+    }
+    if saw_token {
+        n += 1;
+    }
+    n
+}

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use rescon::{Attributes, ContainerFd, ContainerId};
 
 use sched::TaskId;
+use simcore::trace::NO_CONTAINER;
 use simcore::Nanos;
 use simnet::{CidrFilter, IpAddr, SockId};
 use simos::{AppEvent, AppHandler, SysCtx};
@@ -181,6 +182,9 @@ struct Conn {
     container: Option<(ContainerFd, ContainerId)>,
     /// Decoded request awaiting its parse continuation.
     pending_req: Option<(ReqKind, u32)>,
+    /// Virtual time the in-flight request was read off the socket; feeds
+    /// the per-container latency histogram when the response goes out.
+    req_start: Nanos,
 }
 
 /// The event-driven server application.
@@ -375,6 +379,7 @@ impl EventDrivenServer {
                     class,
                     container,
                     pending_req: None,
+                    req_start: Nanos::ZERO,
                 },
             );
         }
@@ -397,6 +402,7 @@ impl EventDrivenServer {
             return;
         };
         state.pending_req = Some((kind, doc));
+        state.req_start = sys.now();
         // Charge user work to the connection's activity: set the thread's
         // resource binding (§4.8) and tag the work item explicitly.
         let charge = state.container.map(|(_, id)| id);
@@ -442,10 +448,26 @@ impl EventDrivenServer {
             return;
         };
         let class = state.class;
+        let started = state.req_start;
+        let conn_container = state.container.map(|(_, id)| id);
         match kind {
             ReqKind::Static | ReqKind::StaticKeepAlive => {
                 sys.send(conn, self.cfg.response_bytes);
-                self.stats.borrow_mut().record_static(class, sys.now());
+                let now = sys.now();
+                self.stats.borrow_mut().record_static(class, now);
+                if rctrace::active() {
+                    // Attribute the latency to the request's activity: its
+                    // own container if it has one, else its class's.
+                    let principal = conn_container
+                        .or_else(|| {
+                            self.class_containers
+                                .get(class)
+                                .and_then(|c| c.map(|(_, id)| id))
+                        })
+                        .map(|c| c.as_u64())
+                        .unwrap_or(NO_CONTAINER);
+                    rctrace::record_latency(principal, now - started);
+                }
                 if kind == ReqKind::Static {
                     self.teardown_conn(sys, conn, true);
                 }

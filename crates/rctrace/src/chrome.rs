@@ -1,0 +1,351 @@
+//! Chrome trace-event exporter (loadable in Perfetto and `chrome://tracing`).
+//!
+//! Track layout:
+//!
+//! - **pid 1 "cpu"** — one `X` (complete) slice per scheduled run, derived
+//!   from the [`CtxSwitch`](simcore::trace::TraceEventKind::CtxSwitch)
+//!   stream: each slice spans from one switch to the next and is named
+//!   after the running task, with the charged container in `args`.
+//! - **pid 2 "disk"** — one `X` slice per disk request service period
+//!   (`DiskStart` carries the exact service time; the disk is
+//!   non-preemptive, so start + service is the completion).
+//! - **pid 10+** — one process per container, ordered by container id:
+//!   instants for lifecycle events, syscalls, packet drops, and LRP
+//!   dispatches, plus `C` (counter) tracks sampled from the metrics
+//!   timelines: cumulative CPU and disk charge (ms), runnable depth,
+//!   SYN-queue occupancy, and cache residency.
+//!
+//! `Charge` events are deliberately *not* exported individually — the
+//! counter tracks carry the same information at sample resolution without
+//! drowning the viewer — but they remain available in the raw
+//! [`TraceBuffer`](simcore::trace::TraceBuffer).
+//!
+//! The exporter walks the retained ring and the sample series in order and
+//! formats every number from integers, so the document is byte-identical
+//! across runs of the same simulation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use simcore::trace::{TraceEventKind, NO_CONTAINER};
+use simcore::Nanos;
+
+use crate::json::{micros, millis6, quote};
+use crate::TraceSession;
+
+const CPU_PID: u32 = 1;
+const DISK_PID: u32 = 2;
+const CONTAINER_PID_BASE: u32 = 10;
+
+/// The container a trace event is attributed to, if any.
+fn event_container(kind: &TraceEventKind) -> Option<u64> {
+    match *kind {
+        TraceEventKind::CtxSwitch { container, .. }
+        | TraceEventKind::SyscallEnter { container, .. }
+        | TraceEventKind::PacketDemux { container, .. }
+        | TraceEventKind::PacketDrop { container, .. }
+        | TraceEventKind::LrpDispatch { container, .. }
+        | TraceEventKind::DiskQueue { container, .. }
+        | TraceEventKind::DiskStart { container, .. }
+        | TraceEventKind::DiskComplete { container, .. }
+        | TraceEventKind::CacheHit { container, .. }
+        | TraceEventKind::CacheEvict { container, .. }
+        | TraceEventKind::ContainerCreate { container, .. }
+        | TraceEventKind::ContainerDestroy { container }
+        | TraceEventKind::Charge { container, .. } => Some(container),
+        TraceEventKind::ThreadState { .. }
+        | TraceEventKind::SyscallExit { .. }
+        | TraceEventKind::CacheMiss { .. }
+        | TraceEventKind::SchedPick { .. } => None,
+    }
+}
+
+fn meta_name(pid: u32, name: &str) -> String {
+    format!(
+        "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+        quote(name)
+    )
+}
+
+fn instant(pid: u32, ts_ns: u64, cat: &str, name: &str) -> String {
+    format!(
+        "{{\"ph\":\"i\",\"name\":{},\"cat\":{},\"pid\":{pid},\"tid\":0,\"ts\":{},\"s\":\"p\"}}",
+        quote(name),
+        quote(cat),
+        micros(ts_ns)
+    )
+}
+
+fn counter(pid: u32, ts_ns: u64, name: &str, value: &str) -> String {
+    format!(
+        "{{\"ph\":\"C\",\"name\":{},\"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{{\"v\":{value}}}}}",
+        quote(name),
+        micros(ts_ns)
+    )
+}
+
+/// Renders the session as Chrome trace-event JSON.
+pub fn chrome_trace_json(session: &TraceSession) -> String {
+    // One Chrome "process" per container, ordered by container id; the
+    // union of containers seen in the trace ring and in the metrics.
+    let mut ids: BTreeSet<u64> = session.metrics.containers.keys().copied().collect();
+    for ev in &session.trace.events {
+        if let Some(c) = event_container(&ev.kind) {
+            if c != NO_CONTAINER {
+                ids.insert(c);
+            }
+        }
+    }
+    let pid_of: BTreeMap<u64, u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, CONTAINER_PID_BASE + i as u32))
+        .collect();
+    let name_of = |c: u64| -> String {
+        session
+            .metrics
+            .containers
+            .get(&c)
+            .map(|e| e.display_name(c))
+            .unwrap_or_else(|| format!("c{c}"))
+    };
+    // A container's instants land on its own track; unattributed events
+    // land on the CPU track.
+    let pid_for = |c: u64| -> u32 { pid_of.get(&c).copied().unwrap_or(CPU_PID) };
+
+    let end_ns = session
+        .metrics
+        .globals
+        .end
+        .max(
+            session
+                .trace
+                .events
+                .last()
+                .map(|e| e.at)
+                .unwrap_or(Nanos::ZERO),
+        )
+        .as_nanos();
+
+    let mut evs: Vec<String> = Vec::new();
+    evs.push(meta_name(CPU_PID, "cpu"));
+    evs.push(meta_name(DISK_PID, "disk"));
+    for (&c, &pid) in &pid_of {
+        evs.push(meta_name(pid, &format!("container {}", name_of(c))));
+    }
+
+    // Scheduled-run slices on the CPU track plus per-event instants.
+    let mut open: Option<(u64, u32, u64)> = None; // (start ns, task, container)
+    let close_slice = |evs: &mut Vec<String>, start: u64, end: u64, task: u32, cont: u64| {
+        let dur = end.saturating_sub(start);
+        evs.push(format!(
+            "{{\"ph\":\"X\",\"name\":{},\"cat\":\"sched\",\"pid\":{CPU_PID},\"tid\":0,\
+             \"ts\":{},\"dur\":{},\"args\":{{\"container\":{}}}}}",
+            quote(&format!("task {task}")),
+            micros(start),
+            micros(dur),
+            quote(&name_of(cont)),
+        ));
+    };
+    for ev in &session.trace.events {
+        let at = ev.at.as_nanos();
+        match ev.kind {
+            TraceEventKind::CtxSwitch { to, container, .. } => {
+                if let Some((start, task, cont)) = open.take() {
+                    close_slice(&mut evs, start, at, task, cont);
+                }
+                open = Some((at, to, container));
+            }
+            TraceEventKind::DiskStart {
+                req,
+                file,
+                container,
+                service,
+            } => {
+                evs.push(format!(
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"disk\",\"pid\":{DISK_PID},\"tid\":0,\
+                     \"ts\":{},\"dur\":{},\"args\":{{\"req\":{req},\"container\":{}}}}}",
+                    quote(&format!("file {file}")),
+                    micros(at),
+                    micros(service.as_nanos()),
+                    quote(&name_of(container)),
+                ));
+            }
+            TraceEventKind::ContainerCreate { container, .. } => {
+                evs.push(instant(pid_for(container), at, "lifecycle", "create"));
+            }
+            TraceEventKind::ContainerDestroy { container } => {
+                evs.push(instant(pid_for(container), at, "lifecycle", "destroy"));
+            }
+            TraceEventKind::PacketDrop { reason, container } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "net",
+                    &format!("drop: {reason}"),
+                ));
+            }
+            TraceEventKind::SyscallEnter {
+                name, container, ..
+            } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "sys",
+                    &format!("sys {name}"),
+                ));
+            }
+            TraceEventKind::LrpDispatch { task, container } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "net",
+                    &format!("lrp task {task}"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if let Some((start, task, cont)) = open {
+        close_slice(&mut evs, start, end_ns.max(start), task, cont);
+    }
+
+    // Counter tracks from the sampled metrics timelines.
+    for (&c, series) in &session.metrics.containers {
+        let pid = pid_of[&c];
+        for p in &series.samples {
+            let ts = p.at.as_nanos();
+            evs.push(counter(
+                pid,
+                ts,
+                "cpu_charge_ms",
+                &millis6(p.cpu.as_nanos()),
+            ));
+            evs.push(counter(
+                pid,
+                ts,
+                "disk_charge_ms",
+                &millis6(p.disk.as_nanos()),
+            ));
+            evs.push(counter(pid, ts, "runnable", &p.runnable.to_string()));
+            evs.push(counter(pid, ts, "syn_queue", &p.syn_queue.to_string()));
+            evs.push(counter(pid, ts, "cache_bytes", &p.cache_bytes.to_string()));
+        }
+    }
+
+    let mut out = String::with_capacity(64 + evs.iter().map(|e| e.len() + 1).sum::<usize>());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in evs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(e);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ContainerSample, GlobalTotals, Metrics};
+    use simcore::trace::{TraceBuffer, TraceEvent};
+
+    fn session() -> TraceSession {
+        let mut trace = TraceBuffer::default();
+        let push = |t: &mut TraceBuffer, at: u64, kind: TraceEventKind| {
+            t.events.push(TraceEvent {
+                at: Nanos::from_micros(at),
+                kind,
+            });
+            t.emitted += 1;
+        };
+        push(
+            &mut trace,
+            1,
+            TraceEventKind::ContainerCreate {
+                container: 7,
+                parent: 0,
+            },
+        );
+        push(
+            &mut trace,
+            2,
+            TraceEventKind::CtxSwitch {
+                from: u32::MAX,
+                to: 3,
+                container: 7,
+            },
+        );
+        push(
+            &mut trace,
+            5,
+            TraceEventKind::CtxSwitch {
+                from: 3,
+                to: 4,
+                container: 0,
+            },
+        );
+        push(
+            &mut trace,
+            6,
+            TraceEventKind::DiskStart {
+                req: 0,
+                file: 42,
+                container: 7,
+                service: Nanos::from_micros(100),
+            },
+        );
+        push(
+            &mut trace,
+            7,
+            TraceEventKind::PacketDrop {
+                reason: "queue-full",
+                container: 7,
+            },
+        );
+        let mut metrics = Metrics::new(Nanos::from_millis(1));
+        let mut usage = rescon::ResourceUsage::new();
+        usage.charge_cpu(Nanos::from_micros(3), false);
+        let row = ContainerSample {
+            container: 7,
+            name: "web".to_string(),
+            usage,
+            subtree_cpu: Nanos::from_micros(3),
+            subtree_disk: Nanos::ZERO,
+            cache_bytes: 4096,
+            runnable: 2,
+            syn_queue: 1,
+            effective_share: 0.25,
+        };
+        metrics.record_sample(Nanos::from_millis(1), std::slice::from_ref(&row));
+        metrics.record_totals(
+            GlobalTotals {
+                end: Nanos::from_millis(2),
+                ..GlobalTotals::default()
+            },
+            &[row],
+        );
+        TraceSession { trace, metrics }
+    }
+
+    #[test]
+    fn tracks_cover_containers_and_devices() {
+        let json = chrome_trace_json(&session());
+        assert!(json.contains("\"name\":\"cpu\""));
+        assert!(json.contains("\"name\":\"disk\""));
+        assert!(json.contains("container web"));
+        assert!(json.contains("\"cpu_charge_ms\""));
+        assert!(json.contains("\"disk_charge_ms\""));
+        assert!(json.contains("drop: queue-full"));
+        // Slices closed: one per context switch.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace_json(&session());
+        let b = chrome_trace_json(&session());
+        assert_eq!(a, b);
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+}

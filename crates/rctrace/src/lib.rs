@@ -1,0 +1,199 @@
+//! Kernel-wide observability: trace sessions, per-container metrics
+//! timelines, and exporters.
+//!
+//! A *session* couples two collectors:
+//!
+//! - the typed trace ring in [`simcore::trace`], which every subsystem
+//!   (`simos`, `simnet`, `simdisk`, `sched`, `rescon`) records its decision
+//!   points into, and
+//! - a [`Metrics`] registry the kernel samples at a configurable
+//!   virtual-time interval: per-container runnable depth, charge counters,
+//!   effective share, SYN-queue occupancy, cache residency, plus
+//!   request-latency histograms wired in by `httpsim`.
+//!
+//! Both are zero-cost when no session is active: emit sites evaluate
+//! nothing beyond one thread-local flag read, and the kernel's sampling
+//! hook is purely observational (it injects no events), so an instrumented
+//! run replays exactly the virtual-time schedule of an uninstrumented one.
+//!
+//! Like the ring itself the registry is thread-local: the simulation is
+//! single-threaded and the Rust test harness gives every test its own
+//! thread, so concurrent sessions never interfere.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::Nanos;
+//!
+//! rctrace::start(rctrace::TraceConfig::default());
+//! // ... run a kernel: subsystems emit trace events, the kernel records
+//! // metric samples, httpsim records latencies ...
+//! rctrace::record_latency(0, Nanos::from_micros(750));
+//! let session = rctrace::finish().expect("session was started");
+//! let chrome = rctrace::chrome_trace_json(&session);
+//! let metrics = rctrace::metrics_json(&session);
+//! assert!(chrome.starts_with('{') && metrics.starts_with('{'));
+//! assert!(rctrace::finish().is_none(), "finish is one-shot");
+//! ```
+
+mod chrome;
+mod json;
+pub mod metrics;
+
+pub use chrome::chrome_trace_json;
+pub use metrics::{
+    metrics_json, ContainerSample, ContainerSeries, ContainerTotals, GlobalTotals, Metrics,
+    SamplePoint,
+};
+
+use std::cell::{Cell, RefCell};
+
+use simcore::trace::TraceBuffer;
+use simcore::Nanos;
+
+/// Configuration of a trace session.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Capacity of the structured trace ring; the oldest events are
+    /// evicted (and counted) beyond it.
+    pub ring_capacity: usize,
+    /// Virtual-time interval between metric samples.
+    pub sample_interval: Nanos,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 1 << 20,
+            sample_interval: Nanos::from_millis(10),
+        }
+    }
+}
+
+/// Everything captured by one session: the retained trace ring and the
+/// metrics registry.
+#[derive(Clone, Debug)]
+pub struct TraceSession {
+    /// The structured trace events (most recent window, ring-bounded).
+    pub trace: TraceBuffer,
+    /// Sampled timelines, latency histograms, and final aggregates.
+    pub metrics: Metrics,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static METRICS: RefCell<Option<Metrics>> = const { RefCell::new(None) };
+}
+
+/// Starts a session: enables the trace ring and installs a fresh metrics
+/// registry. Restarting an active session discards its data.
+pub fn start(cfg: TraceConfig) {
+    simcore::trace::start(cfg.ring_capacity);
+    METRICS.with(|m| *m.borrow_mut() = Some(Metrics::new(cfg.sample_interval)));
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Returns `true` while a session is active.
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Ends the session, returning everything captured; `None` when no
+/// session is active.
+pub fn finish() -> Option<TraceSession> {
+    if !active() {
+        return None;
+    }
+    ACTIVE.with(|a| a.set(false));
+    let trace = simcore::trace::stop();
+    let metrics = METRICS.with(|m| m.borrow_mut().take())?;
+    Some(TraceSession { trace, metrics })
+}
+
+/// Returns `true` if a metric sample is due at virtual time `now`.
+/// One thread-local flag read when no session is active.
+pub fn sample_due(now: Nanos) -> bool {
+    if !active() {
+        return false;
+    }
+    METRICS.with(|m| m.borrow().as_ref().is_some_and(|m| now >= m.next_due()))
+}
+
+/// Records one sample row per live container at virtual time `at` and
+/// advances the next-due time past `at`. No-op without a session.
+pub fn record_sample(at: Nanos, rows: &[ContainerSample]) {
+    if !active() {
+        return;
+    }
+    METRICS.with(|m| {
+        if let Some(m) = m.borrow_mut().as_mut() {
+            m.record_sample(at, rows);
+        }
+    });
+}
+
+/// Records one completed-request latency against `container`. No-op
+/// without a session.
+pub fn record_latency(container: u64, latency: Nanos) {
+    if !active() {
+        return;
+    }
+    METRICS.with(|m| {
+        if let Some(m) = m.borrow_mut().as_mut() {
+            m.record_latency(container, latency);
+        }
+    });
+}
+
+/// Records end-of-run aggregates (global totals plus one final row per
+/// live container); the last call wins. No-op without a session.
+pub fn record_totals(globals: GlobalTotals, rows: &[ContainerSample]) {
+    if !active() {
+        return;
+    }
+    METRICS.with(|m| {
+        if let Some(m) = m.borrow_mut().as_mut() {
+            m.record_totals(globals, rows);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_session_is_inert() {
+        assert!(!active());
+        assert!(!sample_due(Nanos::from_secs(100)));
+        record_latency(1, Nanos::from_micros(5));
+        record_sample(Nanos::ZERO, &[]);
+        record_totals(GlobalTotals::default(), &[]);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn session_collects_trace_and_metrics() {
+        start(TraceConfig {
+            ring_capacity: 16,
+            sample_interval: Nanos::from_millis(1),
+        });
+        assert!(active());
+        assert!(sample_due(Nanos::ZERO), "baseline sample due at start");
+        simcore::trace::emit_at(Nanos::from_micros(3), || {
+            simcore::trace::TraceEventKind::SchedPick {
+                task: 1,
+                slice: Nanos::from_micros(100),
+            }
+        });
+        record_sample(Nanos::from_millis(1), &[]);
+        assert!(!sample_due(Nanos::from_millis(1)));
+        assert!(sample_due(Nanos::from_millis(2)));
+        record_latency(9, Nanos::from_micros(42));
+        let s = finish().expect("active session");
+        assert_eq!(s.trace.events.len(), 1);
+        assert_eq!(s.metrics.containers[&9].latency.count(), 1);
+        assert!(!active());
+        assert!(!simcore::trace::enabled(), "ring disabled after finish");
+    }
+}

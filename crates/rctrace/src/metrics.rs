@@ -1,0 +1,453 @@
+//! Per-container metrics timelines and the compact metrics dump.
+//!
+//! The kernel samples the registry *opportunistically* from its main loop:
+//! when [`crate::sample_due`] reports a due sample it builds one
+//! [`ContainerSample`] row per live container and hands the batch to
+//! [`crate::record_sample`]. No kernel events are injected and nothing in
+//! the simulation observes the registry, so an instrumented run replays
+//! exactly the schedule of an uninstrumented one.
+//!
+//! Sample points store *cumulative* counters; charge rates and the
+//! received share are derived between consecutive points at export time.
+//! The final [`ContainerTotals`] are copied verbatim from the container
+//! table when the run ends, so the dump's per-container totals equal the
+//! kernel's [`ResourceUsage`] aggregates exactly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rescon::ResourceUsage;
+use simcore::{Histogram, Nanos};
+
+use crate::json::{f6, quote};
+use crate::TraceSession;
+
+/// One row of a metrics sample (or of the final snapshot), built by the
+/// kernel for a single live container.
+#[derive(Clone, Debug)]
+pub struct ContainerSample {
+    /// Stable container id (`Idx::as_u64`).
+    pub container: u64,
+    /// Attribute name; empty for anonymous containers.
+    pub name: String,
+    /// Cumulative usage as accounted by the container table.
+    pub usage: ResourceUsage,
+    /// Cumulative CPU of the container's subtree (destroyed descendants
+    /// included).
+    pub subtree_cpu: Nanos,
+    /// Cumulative disk service time of the container's subtree.
+    pub subtree_disk: Nanos,
+    /// Buffer-cache bytes currently resident on behalf of this container.
+    pub cache_bytes: u64,
+    /// Runnable threads currently charging this container.
+    pub runnable: u32,
+    /// SYN-queue entries across listeners bound to this container.
+    pub syn_queue: u32,
+    /// Guaranteed machine fraction (product of fixed shares to the root).
+    pub effective_share: f64,
+}
+
+/// One stored point of a container's time series (cumulative counters).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplePoint {
+    /// Virtual time of the sample.
+    pub at: Nanos,
+    /// Cumulative CPU charged (user + kernel).
+    pub cpu: Nanos,
+    /// Cumulative kernel-mode CPU charged.
+    pub kernel_cpu: Nanos,
+    /// Cumulative disk service time charged.
+    pub disk: Nanos,
+    /// Cumulative packets received.
+    pub pkts_rx: u64,
+    /// Memory bytes currently charged.
+    pub mem_bytes: u64,
+    /// Buffer-cache bytes currently resident.
+    pub cache_bytes: u64,
+    /// Runnable threads charging this container at the sample instant.
+    pub runnable: u32,
+    /// SYN-queue occupancy at the sample instant.
+    pub syn_queue: u32,
+    /// Effective (guaranteed) share at the sample instant.
+    pub effective_share: f64,
+}
+
+/// Final aggregates for one container, copied from the container table at
+/// the end of the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ContainerTotals {
+    /// The table's usage record, verbatim.
+    pub usage: ResourceUsage,
+    /// Subtree CPU including destroyed descendants.
+    pub subtree_cpu: Nanos,
+    /// Subtree disk time including destroyed descendants.
+    pub subtree_disk: Nanos,
+}
+
+/// Whole-system aggregates recorded at the end of the run.
+///
+/// CPU conservation holds exactly:
+/// `root_subtree_cpu + floating_cpu + reaped_cpu == charged_cpu`, and the
+/// disk analogue sums to `disk_busy`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GlobalTotals {
+    /// Virtual time at which the run ended.
+    pub end: Nanos,
+    /// CPU charged to containers by the scheduler.
+    pub charged_cpu: Nanos,
+    /// Interrupt-level CPU charged to no principal.
+    pub interrupt_cpu: Nanos,
+    /// Context-switch and other uncharged overhead.
+    pub overhead_cpu: Nanos,
+    /// Idle CPU.
+    pub idle_cpu: Nanos,
+    /// Subtree CPU of the root container.
+    pub root_subtree_cpu: Nanos,
+    /// Subtree CPU of floating (orphaned) containers.
+    pub floating_cpu: Nanos,
+    /// CPU history of destroyed parentless containers.
+    pub reaped_cpu: Nanos,
+    /// Total disk busy time.
+    pub disk_busy: Nanos,
+    /// Subtree disk time of the root container.
+    pub root_subtree_disk: Nanos,
+    /// Subtree disk time of floating containers.
+    pub floating_disk: Nanos,
+    /// Disk history of destroyed parentless containers.
+    pub reaped_disk: Nanos,
+    /// Packets received by the NIC.
+    pub pkts_in: u64,
+    /// Packets transmitted.
+    pub pkts_out: u64,
+    /// Packets dropped at early demultiplexing.
+    pub early_drops: u64,
+    /// Scheduler context switches.
+    pub ctx_switches: u64,
+}
+
+/// Time series, latency histogram, and final totals for one container.
+#[derive(Clone, Debug)]
+pub struct ContainerSeries {
+    /// Attribute name; empty for anonymous containers.
+    pub name: String,
+    /// Sampled time series, in sample order.
+    pub samples: Vec<SamplePoint>,
+    /// Request-completion latency histogram (wired in by `httpsim`).
+    pub latency: Histogram,
+    /// Final aggregates (copied from the table at the end of the run).
+    pub totals: ContainerTotals,
+}
+
+impl ContainerSeries {
+    fn new() -> Self {
+        ContainerSeries {
+            name: String::new(),
+            samples: Vec::new(),
+            latency: Histogram::new(),
+            totals: ContainerTotals::default(),
+        }
+    }
+
+    /// Human-readable name: the attribute name, or `c<id>` when anonymous.
+    pub fn display_name(&self, id: u64) -> String {
+        if self.name.is_empty() {
+            format!("c{id}")
+        } else {
+            self.name.clone()
+        }
+    }
+}
+
+/// The per-session metrics registry.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    interval: Nanos,
+    next_due: Nanos,
+    /// Per-container series, keyed by stable container id.
+    pub containers: BTreeMap<u64, ContainerSeries>,
+    /// Whole-system aggregates (filled in at the end of the run).
+    pub globals: GlobalTotals,
+}
+
+impl Metrics {
+    pub(crate) fn new(interval: Nanos) -> Self {
+        Metrics {
+            interval: interval.max(Nanos::from_nanos(1)),
+            // Zero: the first due check fires an initial (baseline)
+            // snapshot at the start of the run.
+            next_due: Nanos::ZERO,
+            containers: BTreeMap::new(),
+            globals: GlobalTotals::default(),
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn interval(&self) -> Nanos {
+        self.interval
+    }
+
+    pub(crate) fn next_due(&self) -> Nanos {
+        self.next_due
+    }
+
+    pub(crate) fn record_sample(&mut self, at: Nanos, rows: &[ContainerSample]) {
+        while self.next_due <= at {
+            self.next_due += self.interval;
+        }
+        for r in rows {
+            let e = self
+                .containers
+                .entry(r.container)
+                .or_insert_with(ContainerSeries::new);
+            if e.name.is_empty() && !r.name.is_empty() {
+                e.name = r.name.clone();
+            }
+            e.samples.push(SamplePoint {
+                at,
+                cpu: r.usage.cpu,
+                kernel_cpu: r.usage.kernel_cpu,
+                disk: r.usage.disk_time,
+                pkts_rx: r.usage.pkts_rx,
+                mem_bytes: r.usage.mem_bytes,
+                cache_bytes: r.cache_bytes,
+                runnable: r.runnable,
+                syn_queue: r.syn_queue,
+                effective_share: r.effective_share,
+            });
+        }
+    }
+
+    pub(crate) fn record_latency(&mut self, container: u64, latency: Nanos) {
+        self.containers
+            .entry(container)
+            .or_insert_with(ContainerSeries::new)
+            .latency
+            .record(latency);
+    }
+
+    pub(crate) fn record_totals(&mut self, globals: GlobalTotals, rows: &[ContainerSample]) {
+        self.globals = globals;
+        for r in rows {
+            let e = self
+                .containers
+                .entry(r.container)
+                .or_insert_with(ContainerSeries::new);
+            if e.name.is_empty() && !r.name.is_empty() {
+                e.name = r.name.clone();
+            }
+            e.totals = ContainerTotals {
+                usage: r.usage,
+                subtree_cpu: r.subtree_cpu,
+                subtree_disk: r.subtree_disk,
+            };
+        }
+    }
+}
+
+/// Renders the compact metrics dump: global aggregates, trace-ring
+/// statistics, and per-container totals, latency summaries, and sampled
+/// time series. All durations are integer nanoseconds; the document is
+/// byte-identical across runs of the same simulation.
+pub fn metrics_json(session: &TraceSession) -> String {
+    let m = &session.metrics;
+    let g = &m.globals;
+    let mut out = String::with_capacity(1 << 14);
+    let _ = write!(out, "{{\"interval_ns\":{}", m.interval().as_nanos());
+    let _ = write!(
+        out,
+        ",\"globals\":{{\"end_ns\":{},\"charged_cpu_ns\":{},\"interrupt_cpu_ns\":{},\
+         \"overhead_cpu_ns\":{},\"idle_cpu_ns\":{},\"root_subtree_cpu_ns\":{},\
+         \"floating_cpu_ns\":{},\"reaped_cpu_ns\":{},\"disk_busy_ns\":{},\
+         \"root_subtree_disk_ns\":{},\"floating_disk_ns\":{},\"reaped_disk_ns\":{},\
+         \"pkts_in\":{},\"pkts_out\":{},\"early_drops\":{},\"ctx_switches\":{}}}",
+        g.end.as_nanos(),
+        g.charged_cpu.as_nanos(),
+        g.interrupt_cpu.as_nanos(),
+        g.overhead_cpu.as_nanos(),
+        g.idle_cpu.as_nanos(),
+        g.root_subtree_cpu.as_nanos(),
+        g.floating_cpu.as_nanos(),
+        g.reaped_cpu.as_nanos(),
+        g.disk_busy.as_nanos(),
+        g.root_subtree_disk.as_nanos(),
+        g.floating_disk.as_nanos(),
+        g.reaped_disk.as_nanos(),
+        g.pkts_in,
+        g.pkts_out,
+        g.early_drops,
+        g.ctx_switches,
+    );
+    let _ = write!(
+        out,
+        ",\"trace\":{{\"emitted\":{},\"dropped\":{},\"retained\":{}}}",
+        session.trace.emitted,
+        session.trace.dropped,
+        session.trace.events.len()
+    );
+    out.push_str(",\"containers\":[");
+    for (i, (&id, series)) in m.containers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let t = &series.totals;
+        let u = &t.usage;
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{}",
+            id,
+            quote(&series.display_name(id))
+        );
+        let _ = write!(
+            out,
+            ",\"totals\":{{\"cpu_ns\":{},\"kernel_cpu_ns\":{},\"pkts_rx\":{},\"pkts_tx\":{},\
+             \"bytes_rx\":{},\"bytes_tx\":{},\"mem_bytes\":{},\"mem_peak\":{},\"disk_ns\":{},\
+             \"disk_reads\":{},\"disk_bytes\":{},\"sockets\":{},\"syscalls\":{},\
+             \"subtree_cpu_ns\":{},\"subtree_disk_ns\":{}}}",
+            u.cpu.as_nanos(),
+            u.kernel_cpu.as_nanos(),
+            u.pkts_rx,
+            u.pkts_tx,
+            u.bytes_rx,
+            u.bytes_tx,
+            u.mem_bytes,
+            u.mem_peak,
+            u.disk_time.as_nanos(),
+            u.disk_reads,
+            u.disk_bytes,
+            u.sockets,
+            u.syscalls,
+            t.subtree_cpu.as_nanos(),
+            t.subtree_disk.as_nanos(),
+        );
+        let l = &series.latency;
+        let _ = write!(
+            out,
+            ",\"latency\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            l.count(),
+            l.mean().as_nanos(),
+            l.quantile_upper_bound(0.5).as_nanos(),
+            l.quantile_upper_bound(0.99).as_nanos(),
+            l.max().as_nanos(),
+        );
+        out.push_str(",\"samples\":[");
+        let mut prev = SamplePoint {
+            at: Nanos::ZERO,
+            cpu: Nanos::ZERO,
+            kernel_cpu: Nanos::ZERO,
+            disk: Nanos::ZERO,
+            pkts_rx: 0,
+            mem_bytes: 0,
+            cache_bytes: 0,
+            runnable: 0,
+            syn_queue: 0,
+            effective_share: 0.0,
+        };
+        for (j, p) in series.samples.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let dt = p.at.saturating_sub(prev.at);
+            let dt_s = dt.as_secs_f64();
+            let (received_share, disk_rate, pkt_rate) = if dt_s > 0.0 {
+                (
+                    p.cpu.saturating_sub(prev.cpu).as_secs_f64() / dt_s,
+                    p.disk.saturating_sub(prev.disk).as_secs_f64() / dt_s,
+                    p.pkts_rx.saturating_sub(prev.pkts_rx) as f64 / dt_s,
+                )
+            } else {
+                (0.0, 0.0, 0.0)
+            };
+            let _ = write!(
+                out,
+                "{{\"at_ns\":{},\"cpu_ns\":{},\"kernel_cpu_ns\":{},\"disk_ns\":{},\
+                 \"pkts_rx\":{},\"mem_bytes\":{},\"cache_bytes\":{},\"runnable\":{},\
+                 \"syn_queue\":{},\"effective_share\":{},\"received_share\":{},\
+                 \"disk_rate\":{},\"pkt_rate\":{}}}",
+                p.at.as_nanos(),
+                p.cpu.as_nanos(),
+                p.kernel_cpu.as_nanos(),
+                p.disk.as_nanos(),
+                p.pkts_rx,
+                p.mem_bytes,
+                p.cache_bytes,
+                p.runnable,
+                p.syn_queue,
+                f6(p.effective_share),
+                f6(received_share),
+                f6(disk_rate),
+                f6(pkt_rate),
+            );
+            prev = *p;
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64, cpu_us: u64) -> ContainerSample {
+        let mut usage = ResourceUsage::new();
+        usage.charge_cpu(Nanos::from_micros(cpu_us), false);
+        ContainerSample {
+            container: id,
+            name: String::new(),
+            usage,
+            subtree_cpu: Nanos::from_micros(cpu_us),
+            subtree_disk: Nanos::ZERO,
+            cache_bytes: 0,
+            runnable: 1,
+            syn_queue: 0,
+            effective_share: 0.5,
+        }
+    }
+
+    #[test]
+    fn next_due_advances_past_sample_time() {
+        let mut m = Metrics::new(Nanos::from_millis(10));
+        assert!(Nanos::ZERO >= m.next_due());
+        m.record_sample(Nanos::from_millis(25), &[row(0, 100)]);
+        assert_eq!(m.next_due(), Nanos::from_millis(30));
+        assert_eq!(m.containers[&0].samples.len(), 1);
+    }
+
+    #[test]
+    fn totals_copied_verbatim() {
+        let mut m = Metrics::new(Nanos::from_millis(10));
+        let r = row(3, 250);
+        m.record_totals(
+            GlobalTotals {
+                charged_cpu: Nanos::from_micros(250),
+                ..GlobalTotals::default()
+            },
+            std::slice::from_ref(&r),
+        );
+        assert_eq!(m.containers[&3].totals.usage, r.usage);
+        assert_eq!(m.globals.charged_cpu, Nanos::from_micros(250));
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_balanced() {
+        let build = || {
+            let mut m = Metrics::new(Nanos::from_millis(10));
+            m.record_sample(Nanos::from_millis(10), &[row(0, 10), row(7, 20)]);
+            m.record_sample(Nanos::from_millis(20), &[row(0, 30), row(7, 40)]);
+            m.record_latency(7, Nanos::from_micros(900));
+            m.record_totals(GlobalTotals::default(), &[row(0, 30), row(7, 40)]);
+            let session = TraceSession {
+                trace: simcore::trace::TraceBuffer::default(),
+                metrics: m,
+            };
+            metrics_json(&session)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.contains("\"received_share\":"));
+    }
+}

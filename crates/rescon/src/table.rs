@@ -1,6 +1,7 @@
 //! The kernel-side container table: hierarchy, attributes, accounting, and
 //! lifetime management (paper §4.1, §4.5, §4.6).
 
+use simcore::trace::{self, ChargeKind, TraceEventKind};
 use simcore::{Arena, Idx, Nanos};
 
 use crate::attrs::{Attributes, SchedPolicy};
@@ -281,6 +282,10 @@ impl ContainerTable {
         });
         self.created_count += 1;
         self.arena[parent].children.push(id);
+        trace::emit_at(now, || TraceEventKind::ContainerCreate {
+            container: id.as_u64(),
+            parent: parent.as_u64(),
+        });
         Ok(id)
     }
 
@@ -494,6 +499,15 @@ impl ContainerTable {
     fn charge_cpu_mode(&mut self, id: ContainerId, dt: Nanos, kernel: bool) -> Result<()> {
         let c = self.get_mut(id)?;
         c.usage.charge_cpu(dt, kernel);
+        trace::emit(|| TraceEventKind::Charge {
+            container: id.as_u64(),
+            kind: if kernel {
+                ChargeKind::KernelCpu
+            } else {
+                ChargeKind::Cpu
+            },
+            amount: dt.as_nanos(),
+        });
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
             let node = &mut self.arena[cur];
@@ -508,6 +522,11 @@ impl ContainerTable {
     pub fn charge_disk(&mut self, id: ContainerId, dt: Nanos, bytes: u64) -> Result<()> {
         let c = self.get_mut(id)?;
         c.usage.charge_disk(dt, bytes);
+        trace::emit(|| TraceEventKind::Charge {
+            container: id.as_u64(),
+            kind: ChargeKind::Disk,
+            amount: dt.as_nanos(),
+        });
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
             let node = &mut self.arena[cur];
@@ -520,12 +539,22 @@ impl ContainerTable {
     /// Charges a received packet to a container.
     pub fn charge_rx(&mut self, id: ContainerId, bytes: u64) -> Result<()> {
         self.get_mut(id)?.usage.charge_rx(bytes);
+        trace::emit(|| TraceEventKind::Charge {
+            container: id.as_u64(),
+            kind: ChargeKind::RxBytes,
+            amount: bytes,
+        });
         Ok(())
     }
 
     /// Charges a transmitted packet to a container.
     pub fn charge_tx(&mut self, id: ContainerId, bytes: u64) -> Result<()> {
         self.get_mut(id)?.usage.charge_tx(bytes);
+        trace::emit(|| TraceEventKind::Charge {
+            container: id.as_u64(),
+            kind: ChargeKind::TxBytes,
+            amount: bytes,
+        });
         Ok(())
     }
 
@@ -550,6 +579,11 @@ impl ContainerTable {
             cursor = node.parent;
         }
         self.get_mut(id)?.usage.charge_mem(bytes);
+        trace::emit(|| TraceEventKind::Charge {
+            container: id.as_u64(),
+            kind: ChargeKind::Mem,
+            amount: bytes,
+        });
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
             let node = &mut self.arena[cur];
@@ -698,6 +732,9 @@ impl ContainerTable {
         }
         self.arena.remove(id);
         self.destroyed_count += 1;
+        trace::emit(|| TraceEventKind::ContainerDestroy {
+            container: id.as_u64(),
+        });
         Ok(true)
     }
 

@@ -13,6 +13,7 @@
 use std::collections::HashMap;
 
 use rescon::{ContainerId, ContainerTable};
+use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
 use crate::api::{Pick, Scheduler, TaskId};
@@ -159,8 +160,14 @@ impl Scheduler for DecayUsageScheduler {
         }
     }
 
-    fn set_runnable(&mut self, task: TaskId, runnable: bool, _now: Nanos) {
+    fn set_runnable(&mut self, task: TaskId, runnable: bool, now: Nanos) {
         if let Some(t) = self.tasks.get_mut(&task) {
+            if t.runnable != runnable {
+                trace::emit_at(now, || TraceEventKind::ThreadState {
+                    task: task.0,
+                    runnable,
+                });
+            }
             t.runnable = runnable;
         }
     }
@@ -187,6 +194,10 @@ impl Scheduler for DecayUsageScheduler {
             .get_mut(&task)
             .expect("picked task exists")
             .last_scheduled = now;
+        trace::emit_at(now, || TraceEventKind::SchedPick {
+            task: task.0,
+            slice: self.quantum,
+        });
         Some(Pick {
             task,
             slice: self.quantum,

@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 
 use rescon::{ContainerId, ContainerTable};
+use simcore::trace::{self, TraceEventKind};
 use simcore::{Nanos, SimRng};
 
 use crate::api::{Pick, Scheduler, TaskId};
@@ -80,8 +81,14 @@ impl Scheduler for LotteryScheduler {
         }
     }
 
-    fn set_runnable(&mut self, task: TaskId, runnable: bool, _now: Nanos) {
+    fn set_runnable(&mut self, task: TaskId, runnable: bool, now: Nanos) {
         if let Some(t) = self.tasks.get_mut(&task) {
+            if t.runnable != runnable {
+                trace::emit_at(now, || TraceEventKind::ThreadState {
+                    task: task.0,
+                    runnable,
+                });
+            }
             t.runnable = runnable;
         }
     }
@@ -90,7 +97,7 @@ impl Scheduler for LotteryScheduler {
         self.tasks.get(&task).map(|t| t.runnable).unwrap_or(false)
     }
 
-    fn pick(&mut self, table: &ContainerTable, _now: Nanos) -> Option<Pick> {
+    fn pick(&mut self, table: &ContainerTable, now: Nanos) -> Option<Pick> {
         let mut total = 0.0;
         let mut entries: Vec<(TaskId, f64)> = Vec::new();
         for &id in &self.order {
@@ -107,18 +114,21 @@ impl Scheduler for LotteryScheduler {
         }
         let draw = self.rng.uniform_f64() * total;
         let mut acc = 0.0;
+        // Floating-point edge: fall back to the last entry.
+        let mut winner = entries.last().map(|&(id, _)| id)?;
         for (id, tickets) in &entries {
             acc += tickets;
             if draw < acc {
-                return Some(Pick {
-                    task: *id,
-                    slice: self.quantum,
-                });
+                winner = *id;
+                break;
             }
         }
-        // Floating-point edge: fall back to the last entry.
-        entries.last().map(|&(id, _)| Pick {
-            task: id,
+        trace::emit_at(now, || TraceEventKind::SchedPick {
+            task: winner.0,
+            slice: self.quantum,
+        });
+        Some(Pick {
+            task: winner,
             slice: self.quantum,
         })
     }

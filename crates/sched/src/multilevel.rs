@@ -28,6 +28,7 @@
 use std::collections::HashMap;
 
 use rescon::{ContainerId, ContainerTable, SchedPolicy};
+use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
 use crate::api::{Pick, Scheduler, TaskId};
@@ -437,8 +438,14 @@ impl Scheduler for MultiLevelScheduler {
         self.attach_binding(task, binding);
     }
 
-    fn set_runnable(&mut self, task: TaskId, runnable: bool, _now: Nanos) {
+    fn set_runnable(&mut self, task: TaskId, runnable: bool, now: Nanos) {
         if let Some(t) = self.tasks.get_mut(&task) {
+            if t.runnable != runnable {
+                trace::emit_at(now, || TraceEventKind::ThreadState {
+                    task: task.0,
+                    runnable,
+                });
+            }
             t.runnable = runnable;
         }
     }
@@ -453,6 +460,10 @@ impl Scheduler for MultiLevelScheduler {
         let task = self
             .pick_node(table, &throttled, root, now, false)
             .or_else(|| self.pick_node(table, &throttled, root, now, true))?;
+        trace::emit_at(now, || TraceEventKind::SchedPick {
+            task: task.0,
+            slice: self.quantum,
+        });
         Some(Pick {
             task,
             slice: self.quantum,

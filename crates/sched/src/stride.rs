@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use rescon::{ContainerId, ContainerTable, SchedPolicy};
+use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
 use crate::api::{Pick, Scheduler, TaskId};
@@ -103,13 +104,19 @@ impl Scheduler for StrideScheduler {
         }
     }
 
-    fn set_runnable(&mut self, task: TaskId, runnable: bool, _now: Nanos) {
+    fn set_runnable(&mut self, task: TaskId, runnable: bool, now: Nanos) {
         let vt = self.vtime;
         if let Some(t) = self.tasks.get_mut(&task) {
             if runnable && !t.runnable {
                 // Idle-credit revocation: a waking task joins at the
                 // current virtual time rather than cashing in idle time.
                 t.pass = t.pass.max(vt);
+            }
+            if t.runnable != runnable {
+                trace::emit_at(now, || TraceEventKind::ThreadState {
+                    task: task.0,
+                    runnable,
+                });
             }
             t.runnable = runnable;
         }
@@ -119,7 +126,7 @@ impl Scheduler for StrideScheduler {
         self.tasks.get(&task).map(|t| t.runnable).unwrap_or(false)
     }
 
-    fn pick(&mut self, _table: &ContainerTable, _now: Nanos) -> Option<Pick> {
+    fn pick(&mut self, _table: &ContainerTable, now: Nanos) -> Option<Pick> {
         let mut best: Option<(f64, TaskId)> = None;
         for (&id, t) in &self.tasks {
             if !t.runnable {
@@ -133,7 +140,12 @@ impl Scheduler for StrideScheduler {
                 best = Some((t.pass, id));
             }
         }
-        best.map(|(_, task)| Pick {
+        let (_, task) = best?;
+        trace::emit_at(now, || TraceEventKind::SchedPick {
+            task: task.0,
+            slice: self.quantum,
+        });
+        Some(Pick {
             task,
             slice: self.quantum,
         })

@@ -13,8 +13,9 @@
 //!   entire simulation is reproducible from a single `u64` seed.
 //! - [`stats`]: histograms, running summaries, and time-weighted averages
 //!   used by the experiment harnesses.
-//! - [`trace`]: a cheap, optionally-enabled trace ring for debugging
-//!   scheduler and network interleavings.
+//! - [`trace`]: typed, zero-cost-when-disabled kernel tracing — a bounded
+//!   ring of structured [`TraceEvent`]s every subsystem records its
+//!   decision points into.
 //!
 //! Nothing in this crate knows about resource containers; it is a pure
 //! simulation toolkit.
@@ -31,4 +32,4 @@ pub use event::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary, TimeWeighted};
 pub use time::Nanos;
-pub use trace::TraceRing;
+pub use trace::{ChargeKind, TraceBuffer, TraceEvent, TraceEventKind, NO_CONTAINER};

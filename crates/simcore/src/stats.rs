@@ -29,7 +29,6 @@ use crate::time::Nanos;
 #[derive(Clone, Debug, Default)]
 pub struct Summary {
     samples: Vec<f64>,
-    sorted: bool,
 }
 
 impl Summary {
@@ -41,7 +40,6 @@ impl Summary {
     /// Records one sample.
     pub fn record(&mut self, v: f64) {
         self.samples.push(v);
-        self.sorted = false;
     }
 
     /// Records a duration sample in milliseconds.
@@ -85,19 +83,18 @@ impl Summary {
     }
 
     /// Returns the `q`-quantile (0.0..=1.0) using the nearest-rank method,
-    /// or 0.0 with no samples.
-    pub fn quantile(&mut self, q: f64) -> f64 {
+    /// or 0.0 with no samples. Read-only: selection runs on a scratch
+    /// copy, so reporting code does not need a `mut` summary.
+    pub fn quantile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-            self.sorted = true;
-        }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
-        self.samples[rank - 1]
+        let mut scratch = self.samples.clone();
+        let (_, v, _) =
+            scratch.select_nth_unstable_by(rank - 1, |a, b| a.partial_cmp(b).expect("NaN sample"));
+        *v
     }
 
     /// Returns the population standard deviation, or 0.0 with < 2 samples.

@@ -1,85 +1,322 @@
-//! A cheap, bounded trace ring for debugging simulation interleavings.
+//! Typed, zero-cost-when-disabled kernel tracing.
 //!
-//! Tracing is off by default and, when off, costs one branch per call.
-//! When on, the most recent `capacity` entries are retained; this is enough
-//! to post-mortem a scheduling anomaly without unbounded memory growth in
-//! multi-minute simulated runs.
+//! Every subsystem in the workspace (`simos`, `simnet`, `simdisk`,
+//! `sched`, `rescon`) records structured [`TraceEvent`]s into a bounded
+//! thread-local ring at its decision points: context switches, thread
+//! state changes, syscall entry/exit, packet demultiplexing and drops,
+//! LRP kthread dispatch, disk queue/start/complete, cache hits and
+//! evictions, container lifecycle and charges, and scheduler picks.
+//!
+//! Tracing is **off by default** and, when off, every [`emit`] costs one
+//! thread-local branch; the event-construction closure is never
+//! evaluated. Recording is side-effect-free with respect to the
+//! simulation: enabling tracing must never change a run's virtual-time
+//! results (property-tested at workspace level).
+//!
+//! The session is thread-local because a simulation is single-threaded
+//! by construction; the Rust test harness gives each test its own
+//! thread, so concurrent tests never share a ring.
+//!
+//! Higher-level session management (metrics sampling, exporters) lives in
+//! the `rctrace` crate; this module is only the event taxonomy and the
+//! ring.
 
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
 use crate::time::Nanos;
 
-/// One trace entry: a timestamp and a preformatted message.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TraceEntry {
+/// Sentinel for "no owning container" in a trace event. Real container
+/// ids are `Idx::as_u64()` values, whose generation-in-the-high-bits
+/// encoding never produces `u64::MAX`.
+pub const NO_CONTAINER: u64 = u64::MAX;
+
+/// What kind of consumption a [`TraceEventKind::Charge`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChargeKind {
+    /// User-mode CPU time (nanoseconds).
+    Cpu,
+    /// Kernel-mode CPU time (nanoseconds).
+    KernelCpu,
+    /// Disk service time (nanoseconds).
+    Disk,
+    /// Received bytes.
+    RxBytes,
+    /// Transmitted bytes.
+    TxBytes,
+    /// Kernel memory charged (bytes).
+    Mem,
+}
+
+impl ChargeKind {
+    /// Stable lower-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChargeKind::Cpu => "cpu",
+            ChargeKind::KernelCpu => "kernel_cpu",
+            ChargeKind::Disk => "disk",
+            ChargeKind::RxBytes => "rx_bytes",
+            ChargeKind::TxBytes => "tx_bytes",
+            ChargeKind::Mem => "mem",
+        }
+    }
+}
+
+/// A structured kernel trace event.
+///
+/// Fields use primitive ids: task ids are the scheduler's raw `u32`,
+/// containers are `Idx::as_u64()` values (or [`NO_CONTAINER`]), so the
+/// substrate stays ignorant of the higher crates' types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The CPU switched from one thread to another.
+    CtxSwitch {
+        /// Previously running task (`u32::MAX` when coming from idle).
+        from: u32,
+        /// Task now running.
+        to: u32,
+        /// Container the new task charges by default.
+        container: u64,
+    },
+    /// A thread became runnable or blocked.
+    ThreadState {
+        /// The task whose state changed.
+        task: u32,
+        /// `true` = runnable, `false` = blocked/parked.
+        runnable: bool,
+    },
+    /// A syscall was entered.
+    SyscallEnter {
+        /// Static syscall name.
+        name: &'static str,
+        /// Calling task.
+        task: u32,
+        /// Calling process.
+        pid: u32,
+        /// The calling thread's resource binding.
+        container: u64,
+    },
+    /// A syscall returned.
+    SyscallExit {
+        /// Static syscall name.
+        name: &'static str,
+        /// Calling task.
+        task: u32,
+    },
+    /// Early demultiplexing classified a received packet.
+    PacketDemux {
+        /// Destination port of the packet.
+        port: u16,
+        /// Whether a socket matched.
+        matched: bool,
+        /// Owning container of the matched socket.
+        container: u64,
+    },
+    /// A packet was dropped before protocol processing.
+    PacketDrop {
+        /// Static reason ("no-owner", "queue-full", "syn-evict",
+        /// "accept-overflow").
+        reason: &'static str,
+        /// Container charged for the packet, when known.
+        container: u64,
+    },
+    /// The LRP kernel thread dequeued a packet for protocol processing.
+    LrpDispatch {
+        /// The kernel network thread.
+        task: u32,
+        /// Principal whose queue was served.
+        container: u64,
+    },
+    /// A disk request entered the I/O scheduler queue.
+    DiskQueue {
+        /// Request id.
+        req: u64,
+        /// File identifier.
+        file: u64,
+        /// Transfer size in bytes.
+        bytes: u64,
+        /// Container charged for the service time.
+        container: u64,
+    },
+    /// The disk started servicing a request.
+    DiskStart {
+        /// Request id.
+        req: u64,
+        /// File identifier.
+        file: u64,
+        /// Container charged.
+        container: u64,
+        /// Seek + rotation + transfer service time.
+        service: Nanos,
+    },
+    /// A disk request completed.
+    DiskComplete {
+        /// Request id.
+        req: u64,
+        /// Container charged.
+        container: u64,
+        /// Service time charged.
+        service: Nanos,
+    },
+    /// The buffer cache served a lookup from memory.
+    CacheHit {
+        /// File identifier.
+        file: u64,
+        /// Owner of the resident bytes.
+        container: u64,
+    },
+    /// The buffer cache missed.
+    CacheMiss {
+        /// File identifier.
+        file: u64,
+    },
+    /// The buffer cache evicted a resident file.
+    CacheEvict {
+        /// File identifier.
+        file: u64,
+        /// Bytes released.
+        bytes: u64,
+        /// Owner whose memory charge was released.
+        container: u64,
+    },
+    /// A resource container was created.
+    ContainerCreate {
+        /// The new container.
+        container: u64,
+        /// Its parent ([`NO_CONTAINER`] for the root or parentless).
+        parent: u64,
+    },
+    /// A resource container was destroyed.
+    ContainerDestroy {
+        /// The destroyed container.
+        container: u64,
+    },
+    /// Consumption was charged to a container.
+    Charge {
+        /// The charged container.
+        container: u64,
+        /// What resource.
+        kind: ChargeKind,
+        /// Nanoseconds or bytes, per [`ChargeKind`].
+        amount: u64,
+    },
+    /// The CPU scheduler picked a task.
+    SchedPick {
+        /// The picked task.
+        task: u32,
+        /// Granted slice length.
+        slice: Nanos,
+    },
+}
+
+/// One recorded event: virtual time plus the structured payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
     /// Virtual time at which the event was recorded.
     pub at: Nanos,
-    /// Human-readable description.
-    pub msg: String,
+    /// The structured payload.
+    pub kind: TraceEventKind,
 }
 
-/// A bounded ring buffer of trace entries.
-///
-/// # Examples
-///
-/// ```
-/// use simcore::{Nanos, TraceRing};
-///
-/// let mut t = TraceRing::new(2);
-/// t.set_enabled(true);
-/// t.record(Nanos::ZERO, || "a".to_string());
-/// t.record(Nanos::from_micros(1), || "b".to_string());
-/// t.record(Nanos::from_micros(2), || "c".to_string());
-/// let msgs: Vec<&str> = t.entries().iter().map(|e| e.msg.as_str()).collect();
-/// assert_eq!(msgs, ["b", "c"]);
-/// ```
-#[derive(Debug)]
-pub struct TraceRing {
-    entries: VecDeque<TraceEntry>,
+/// The drained contents of a trace session.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    /// Retained events, oldest first (the most recent `capacity`).
+    pub events: Vec<TraceEvent>,
+    /// Total events emitted while enabled (including evicted ones).
+    pub emitted: u64,
+    /// Events evicted because the ring was full.
+    pub dropped: u64,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
     capacity: usize,
-    enabled: bool,
+    emitted: u64,
+    dropped: u64,
 }
 
-impl TraceRing {
-    /// Creates a disabled ring that retains at most `capacity` entries.
-    pub fn new(capacity: usize) -> Self {
-        TraceRing {
-            entries: VecDeque::new(),
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static NOW: Cell<Nanos> = const { Cell::new(Nanos::ZERO) };
+    static RING: RefCell<Option<Ring>> = const { RefCell::new(None) };
+}
+
+/// Returns `true` if tracing is enabled on this thread.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Starts a trace session retaining at most `capacity` events. Any
+/// previous session's events are discarded.
+pub fn start(capacity: usize) {
+    RING.with(|r| {
+        *r.borrow_mut() = Some(Ring {
+            events: VecDeque::new(),
             capacity: capacity.max(1),
-            enabled: false,
+            emitted: 0,
+            dropped: 0,
+        });
+    });
+    NOW.with(|n| n.set(Nanos::ZERO));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stops the session and returns everything recorded. Idempotent: a
+/// second call returns an empty buffer.
+pub fn stop() -> TraceBuffer {
+    ENABLED.with(|e| e.set(false));
+    RING.with(|r| match r.borrow_mut().take() {
+        Some(ring) => TraceBuffer {
+            events: ring.events.into(),
+            emitted: ring.emitted,
+            dropped: ring.dropped,
+        },
+        None => TraceBuffer::default(),
+    })
+}
+
+/// Advances the session clock; subsequent [`emit`]s are stamped with
+/// `at`. The kernel calls this wherever it advances its own clock.
+#[inline]
+pub fn set_now(at: Nanos) {
+    if enabled() {
+        NOW.with(|n| n.set(at));
+    }
+}
+
+/// Records an event at the current session clock. `f` is only evaluated
+/// when tracing is enabled.
+#[inline]
+pub fn emit(f: impl FnOnce() -> TraceEventKind) {
+    if !enabled() {
+        return;
+    }
+    record(NOW.with(|n| n.get()), f());
+}
+
+/// Records an event at an explicit virtual time (for call sites that
+/// know `now` but run outside the kernel's clock updates).
+#[inline]
+pub fn emit_at(at: Nanos, f: impl FnOnce() -> TraceEventKind) {
+    if !enabled() {
+        return;
+    }
+    record(at, f());
+}
+
+fn record(at: Nanos, kind: TraceEventKind) {
+    RING.with(|r| {
+        if let Some(ring) = r.borrow_mut().as_mut() {
+            ring.emitted += 1;
+            if ring.events.len() == ring.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back(TraceEvent { at, kind });
         }
-    }
-
-    /// Enables or disables recording.
-    pub fn set_enabled(&mut self, on: bool) {
-        self.enabled = on;
-    }
-
-    /// Returns `true` if recording is enabled.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Records a message; `f` is only evaluated when tracing is enabled.
-    pub fn record(&mut self, at: Nanos, f: impl FnOnce() -> String) {
-        if !self.enabled {
-            return;
-        }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-        }
-        self.entries.push_back(TraceEntry { at, msg: f() });
-    }
-
-    /// Returns the retained entries, oldest first.
-    pub fn entries(&self) -> &VecDeque<TraceEntry> {
-        &self.entries
-    }
-
-    /// Drops all retained entries.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
+    });
 }
 
 #[cfg(test)]
@@ -87,37 +324,75 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_records_nothing() {
-        let mut t = TraceRing::new(8);
-        t.record(Nanos::ZERO, || panic!("must not evaluate"));
-        assert!(t.entries().is_empty());
+    fn disabled_emits_nothing_and_never_evaluates() {
+        let _ = stop();
+        emit(|| panic!("must not evaluate"));
+        emit_at(Nanos::ZERO, || panic!("must not evaluate"));
+        assert!(!enabled());
+        assert!(stop().events.is_empty());
     }
 
     #[test]
-    fn ring_evicts_oldest() {
-        let mut t = TraceRing::new(3);
-        t.set_enabled(true);
+    fn events_are_stamped_with_session_clock() {
+        start(16);
+        set_now(Nanos::from_micros(5));
+        emit(|| TraceEventKind::CacheMiss { file: 7 });
+        emit_at(Nanos::from_micros(9), || TraceEventKind::CacheMiss {
+            file: 8,
+        });
+        let buf = stop();
+        assert_eq!(buf.events.len(), 2);
+        assert_eq!(buf.events[0].at, Nanos::from_micros(5));
+        assert_eq!(buf.events[1].at, Nanos::from_micros(9));
+        assert_eq!(buf.emitted, 2);
+        assert_eq!(buf.dropped, 0);
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        start(3);
         for i in 0..5 {
-            t.record(Nanos::from_nanos(i), || format!("e{i}"));
+            emit_at(Nanos::from_nanos(i), || TraceEventKind::CacheMiss {
+                file: i,
+            });
         }
-        let msgs: Vec<&str> = t.entries().iter().map(|e| e.msg.as_str()).collect();
-        assert_eq!(msgs, ["e2", "e3", "e4"]);
+        let buf = stop();
+        assert_eq!(buf.events.len(), 3);
+        assert_eq!(buf.emitted, 5);
+        assert_eq!(buf.dropped, 2);
+        let files: Vec<u64> = buf
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                TraceEventKind::CacheMiss { file } => file,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(files, [2, 3, 4]);
     }
 
     #[test]
-    fn clear_empties() {
-        let mut t = TraceRing::new(3);
-        t.set_enabled(true);
-        t.record(Nanos::ZERO, || "x".into());
-        t.clear();
-        assert!(t.entries().is_empty());
+    fn stop_is_idempotent_and_restartable() {
+        start(4);
+        emit(|| TraceEventKind::CacheMiss { file: 1 });
+        assert_eq!(stop().events.len(), 1);
+        assert_eq!(stop().events.len(), 0);
+        start(4);
+        assert!(enabled());
+        assert!(stop().events.is_empty());
     }
 
     #[test]
-    fn capacity_zero_clamped() {
-        let mut t = TraceRing::new(0);
-        t.set_enabled(true);
-        t.record(Nanos::ZERO, || "x".into());
-        assert_eq!(t.entries().len(), 1);
+    fn charge_kind_labels_are_stable() {
+        for (k, l) in [
+            (ChargeKind::Cpu, "cpu"),
+            (ChargeKind::KernelCpu, "kernel_cpu"),
+            (ChargeKind::Disk, "disk"),
+            (ChargeKind::RxBytes, "rx_bytes"),
+            (ChargeKind::TxBytes, "tx_bytes"),
+            (ChargeKind::Mem, "mem"),
+        ] {
+            assert_eq!(k.label(), l);
+        }
     }
 }

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use rescon::{ContainerId, ContainerTable};
+use simcore::trace::{self, TraceEventKind};
 
 /// What happened to an insert attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,10 +98,16 @@ impl BufferCache {
             Some(e) => {
                 e.last_use = clock;
                 self.hits += 1;
+                let owner = e.owner;
+                trace::emit(|| TraceEventKind::CacheHit {
+                    file,
+                    container: owner.as_u64(),
+                });
                 Some(e.bytes)
             }
             None => {
                 self.misses += 1;
+                trace::emit(|| TraceEventKind::CacheMiss { file });
                 None
             }
         }
@@ -190,6 +197,11 @@ impl BufferCache {
         self.entries.remove(&file);
         self.used -= e.bytes;
         self.evictions += 1;
+        trace::emit(|| TraceEventKind::CacheEvict {
+            file,
+            bytes: e.bytes,
+            container: e.owner.as_u64(),
+        });
         // The owner may have been destroyed since insertion; its memory
         // accounting died with it.
         let _ = table.release_mem(e.owner, e.bytes);

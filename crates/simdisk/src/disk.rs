@@ -26,6 +26,7 @@
 //! holds exactly (pinned by a proptest in `tests/prop_disk.rs`).
 
 use rescon::{ContainerId, ContainerTable};
+use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
 use crate::iosched::{IoSched, QueuedRequest};
@@ -178,6 +179,12 @@ impl SimDisk {
             charge_to: req.charge_to,
         };
         self.sched.enqueue(queued, table);
+        trace::emit_at(now, || TraceEventKind::DiskQueue {
+            req: id.0,
+            file: req.file,
+            bytes: req.bytes,
+            container: req.charge_to.as_u64(),
+        });
         if self.inflight.is_none() {
             self.start_next(table, now);
         }
@@ -210,6 +217,11 @@ impl SimDisk {
             }
             self.total_busy += inflight.service;
             self.completed += 1;
+            trace::emit_at(inflight.finish, || TraceEventKind::DiskComplete {
+                req: inflight.req.id.0,
+                container: charged_to.as_u64(),
+                service: inflight.service,
+            });
             done.push(Completion {
                 req: inflight.req.id,
                 file: inflight.req.file,
@@ -232,6 +244,12 @@ impl SimDisk {
         };
         let service = self.params.service(req.file, req.bytes, self.last_file);
         self.sched.charge(req.charge_to, service, table);
+        trace::emit_at(start, || TraceEventKind::DiskStart {
+            req: req.id.0,
+            file: req.file,
+            container: req.charge_to.as_u64(),
+            service,
+        });
         self.last_file = Some(req.file);
         self.inflight = Some(InFlight {
             req,

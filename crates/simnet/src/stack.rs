@@ -10,6 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use rescon::ContainerId;
+use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{Arena, Idx, Nanos};
 
 use crate::addr::{CidrFilter, IpAddr};
@@ -316,6 +317,12 @@ impl NetStack {
                     // source is what the notification (§5.7) reports.
                     let evicted = ls.syn_queue.pop_front();
                     ls.syn_drops += 1;
+                    trace::emit_at(now, || TraceEventKind::PacketDrop {
+                        reason: "syn-evict",
+                        container: listener_container
+                            .map(|c| c.as_u64())
+                            .unwrap_or(NO_CONTAINER),
+                    });
                     if ls.notify_syn_drops {
                         if let Some((flow, _)) = evicted {
                             evs.push(NetEvent::SynDropped {
@@ -341,6 +348,12 @@ impl NetStack {
                 ls.syn_queue.remove(pos);
                 if ls.accept_queue.len() >= ls.accept_backlog {
                     ls.accept_drops += 1;
+                    trace::emit_at(now, || TraceEventKind::PacketDrop {
+                        reason: "accept-overflow",
+                        container: listener_container
+                            .map(|c| c.as_u64())
+                            .unwrap_or(NO_CONTAINER),
+                    });
                     return vec![NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst))];
                 }
                 let conn = self.sockets.insert(Socket {
@@ -568,6 +581,19 @@ impl NetStack {
     /// Returns the number of live sockets.
     pub fn socket_count(&self) -> usize {
         self.sockets.len()
+    }
+
+    /// Returns `(bound container, half-open entries)` for every listening
+    /// socket, in slot order; used by the metrics sampler to report
+    /// per-container SYN-queue occupancy.
+    pub fn listener_syn_occupancy(&self) -> Vec<(Option<ContainerId>, usize)> {
+        self.sockets
+            .iter()
+            .filter_map(|(_, s)| match &s.kind {
+                SocketKind::Listen(ls) => Some((s.container, ls.syn_queue.len())),
+                SocketKind::Conn(_) => None,
+            })
+            .collect()
     }
 
     /// Returns the number of half-open entries on a listener.

@@ -29,6 +29,7 @@ use rescon::{Attributes, ContainerId, ContainerTable};
 use sched::{
     DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, Scheduler, StrideScheduler, TaskId,
 };
+use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{EventQueue, Nanos};
 use simdisk::{BufferCache, DiskParams, DiskRequest, FifoIoSched, ReqId, ShareIoSched, SimDisk};
 use simnet::{CidrFilter, Demux, NetDiscipline, NetEvent, NetStack, Packet, PendingQueues, SockId};
@@ -402,6 +403,13 @@ impl Kernel {
             while let Some((_, ev)) = self.events.pop_due(self.clock) {
                 self.handle_event(ev, world);
             }
+            // Metrics sampling is purely observational: it reads kernel
+            // state and injects no events, so an instrumented run replays
+            // exactly the uninstrumented schedule.
+            if rctrace::sample_due(self.clock) {
+                let rows = self.container_rows();
+                rctrace::record_sample(self.clock, &rows);
+            }
             if self.clock >= until {
                 break;
             }
@@ -420,6 +428,7 @@ impl Kernel {
                 self.stats.interrupt_cpu += dt - sw;
                 self.overhead_deficit -= dt;
                 self.clock += dt;
+                trace::set_now(self.clock);
                 continue;
             }
             // 3. Run scheduled work.
@@ -430,6 +439,15 @@ impl Kernel {
                         // ahead of the *next* scheduling decision, and run
                         // the picked task now (re-picking here would let an
                         // equal-usage peer grab the CPU and livelock).
+                        trace::emit_at(self.clock, || TraceEventKind::CtxSwitch {
+                            from: self.last_task.map(|t| t.0).unwrap_or(u32::MAX),
+                            to: pick.task.0,
+                            container: self
+                                .threads
+                                .get(&pick.task)
+                                .map(|t| t.charge_container().as_u64())
+                                .unwrap_or(NO_CONTAINER),
+                        });
                         self.stats.ctx_switches += 1;
                         self.overhead_deficit += self.cfg.cost.ctx_switch;
                         self.switch_deficit += self.cfg.cost.ctx_switch;
@@ -466,6 +484,7 @@ impl Kernel {
                             let _ = self.containers.charge_cpu(target, dt);
                         }
                         self.clock += dt;
+                        trace::set_now(self.clock);
                         self.scheduler
                             .charge(pick.task, target, dt, &self.containers, self.clock);
                         self.stats.charged_cpu += dt;
@@ -523,6 +542,7 @@ impl Kernel {
                         // Nothing will ever happen again.
                         self.stats.idle_cpu += until - self.clock;
                         self.clock = until;
+                        trace::set_now(self.clock);
                         break;
                     }
                     if target <= self.clock {
@@ -531,8 +551,13 @@ impl Kernel {
                     }
                     self.stats.idle_cpu += target - self.clock;
                     self.clock = target;
+                    trace::set_now(self.clock);
                 }
             }
+        }
+        if rctrace::active() {
+            let rows = self.container_rows();
+            rctrace::record_totals(self.global_totals(), &rows);
         }
     }
 
@@ -679,6 +704,14 @@ impl Kernel {
             Demux::Conn(s) | Demux::Listen(s) => Some(s),
             Demux::NoMatch => None,
         };
+        trace::emit_at(self.clock, || TraceEventKind::PacketDemux {
+            port: pkt.flow.dst_port,
+            matched: sock.is_some(),
+            container: sock
+                .and_then(|s| self.stack.container_of(s))
+                .map(|c| c.as_u64())
+                .unwrap_or(NO_CONTAINER),
+        });
         match self.cfg.discipline {
             NetDiscipline::Interrupt => {
                 // Full protocol processing at interrupt level, charged to
@@ -697,6 +730,14 @@ impl Kernel {
                 };
                 let Some(owner) = self.sock_owner.get(&sock).copied() else {
                     self.stats.early_drops += 1;
+                    trace::emit_at(self.clock, || TraceEventKind::PacketDrop {
+                        reason: "no-owner",
+                        container: self
+                            .stack
+                            .container_of(sock)
+                            .map(|c| c.as_u64())
+                            .unwrap_or(NO_CONTAINER),
+                    });
                     return;
                 };
                 let principal = self.packet_principal(sock, owner);
@@ -707,6 +748,10 @@ impl Kernel {
                     .or_insert_with(|| PendingQueues::new(cap));
                 if !q.push(principal, pkt) {
                     self.stats.early_drops += 1;
+                    trace::emit_at(self.clock, || TraceEventKind::PacketDrop {
+                        reason: "queue-full",
+                        container: principal.as_u64(),
+                    });
                     return;
                 }
                 self.ensure_kthread(owner);
@@ -834,6 +879,10 @@ impl Kernel {
         };
         match popped {
             Some((principal, pkt)) => {
+                trace::emit_at(self.clock, || TraceEventKind::LrpDispatch {
+                    task: ktid.0,
+                    container: principal.as_u64(),
+                });
                 let cost = self.cfg.cost.rx_cost(pkt.kind);
                 if let Some(th) = self.threads.get_mut(&ktid) {
                     th.push_work(WorkItem {
@@ -1592,5 +1641,76 @@ impl Kernel {
         );
         self.register_socket(s, pid);
         s
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (rctrace)
+    // ------------------------------------------------------------------
+
+    /// One metrics row per live container: its usage aggregates plus the
+    /// instantaneous state a post-hoc exporter could not reconstruct
+    /// (runnable depth, SYN-queue occupancy, cache residency, effective
+    /// share).
+    fn container_rows(&self) -> Vec<rctrace::ContainerSample> {
+        let mut runnable: HashMap<u64, u32> = HashMap::new();
+        for th in self.threads.values() {
+            if th.state == ThreadState::Runnable {
+                *runnable.entry(th.charge_container().as_u64()).or_insert(0) += 1;
+            }
+        }
+        let mut syn: HashMap<u64, u32> = HashMap::new();
+        for (c, depth) in self.stack.listener_syn_occupancy() {
+            if let Some(c) = c {
+                *syn.entry(c.as_u64()).or_insert(0) += depth as u32;
+            }
+        }
+        self.containers
+            .iter()
+            .map(|(id, c)| {
+                let key = id.as_u64();
+                rctrace::ContainerSample {
+                    container: key,
+                    name: c.attrs().name.clone().unwrap_or_default(),
+                    usage: *c.usage(),
+                    subtree_cpu: self.containers.subtree_cpu(id).unwrap_or(Nanos::ZERO),
+                    subtree_disk: self.containers.subtree_disk(id).unwrap_or(Nanos::ZERO),
+                    cache_bytes: self.disk_cache.resident_bytes(id),
+                    runnable: runnable.get(&key).copied().unwrap_or(0),
+                    syn_queue: syn.get(&key).copied().unwrap_or(0),
+                    effective_share: self.containers.effective_share(id).unwrap_or(0.0),
+                }
+            })
+            .collect()
+    }
+
+    /// End-of-run aggregates for the conservation identity: root subtree
+    /// plus floating subtrees plus reaped history equals the charged
+    /// totals, for CPU and disk alike.
+    fn global_totals(&self) -> rctrace::GlobalTotals {
+        let root = self.containers.root();
+        let mut floating_cpu = Nanos::ZERO;
+        let mut floating_disk = Nanos::ZERO;
+        for &f in self.containers.floating() {
+            floating_cpu += self.containers.subtree_cpu(f).unwrap_or(Nanos::ZERO);
+            floating_disk += self.containers.subtree_disk(f).unwrap_or(Nanos::ZERO);
+        }
+        rctrace::GlobalTotals {
+            end: self.clock,
+            charged_cpu: self.stats.charged_cpu,
+            interrupt_cpu: self.stats.interrupt_cpu,
+            overhead_cpu: self.stats.overhead_cpu,
+            idle_cpu: self.stats.idle_cpu,
+            root_subtree_cpu: self.containers.subtree_cpu(root).unwrap_or(Nanos::ZERO),
+            floating_cpu,
+            reaped_cpu: self.containers.reaped_cpu(),
+            disk_busy: self.disk.total_busy(),
+            root_subtree_disk: self.containers.subtree_disk(root).unwrap_or(Nanos::ZERO),
+            floating_disk,
+            reaped_disk: self.containers.reaped_disk(),
+            pkts_in: self.stats.pkts_in,
+            pkts_out: self.stats.pkts_out,
+            early_drops: self.stats.early_drops,
+            ctx_switches: self.stats.ctx_switches,
+        }
     }
 }

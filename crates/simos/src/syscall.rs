@@ -12,6 +12,7 @@
 
 use rescon::{Attributes, ContainerFd, ContainerId, RcError, ResourceUsage};
 use sched::TaskId;
+use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::Nanos;
 use simnet::{CidrFilter, SockId};
 
@@ -49,6 +50,31 @@ impl<'a> SysCtx<'a> {
         self.k.cfg.containers_enabled
     }
 
+    /// Emits a paired syscall enter/exit trace record. Simulated syscalls
+    /// apply their control-plane effects instantly (the CPU cost is queued
+    /// separately on the thread), so the pair brackets a zero-width
+    /// interval at the call's issue time.
+    fn trace_sys(&self, name: &'static str) {
+        if !trace::enabled() {
+            return;
+        }
+        let now = self.k.clock_now();
+        let container = self
+            .current_binding()
+            .map(|c| c.as_u64())
+            .unwrap_or(NO_CONTAINER);
+        trace::emit_at(now, || TraceEventKind::SyscallEnter {
+            name,
+            task: self.thread.0,
+            pid: self.pid.0,
+            container,
+        });
+        trace::emit_at(now, || TraceEventKind::SyscallExit {
+            name,
+            task: self.thread.0,
+        });
+    }
+
     fn charge(&mut self, cost: Nanos) {
         if let Some(th) = self.k.thread_mut(self.thread) {
             th.push_work(WorkItem {
@@ -79,6 +105,7 @@ impl<'a> SysCtx<'a> {
     /// (§4.8). The listener is initially bound to the process's default
     /// container.
     pub fn listen(&mut self, port: u16, filter: CidrFilter, notify_syn_drops: bool) -> SockId {
+        self.trace_sys("listen");
         let cost = self.k.cost_model().listen_syscall;
         self.charge(cost);
         let mut container = self.k.process_container(self.pid);
@@ -100,6 +127,7 @@ impl<'a> SysCtx<'a> {
     /// Accepts one established connection, if available. The new socket
     /// inherits the listener's container binding.
     pub fn accept(&mut self, listener: SockId) -> Option<SockId> {
+        self.trace_sys("accept");
         let cost = self.k.cost_model().accept_syscall;
         self.charge(cost);
         let conn = self.k.stack.accept(listener)?;
@@ -109,6 +137,7 @@ impl<'a> SysCtx<'a> {
 
     /// Reads all buffered payload bytes; returns `(bytes, eof)`.
     pub fn read(&mut self, sock: SockId) -> (u64, bool) {
+        self.trace_sys("read");
         let cost = self.k.cost_model().read_syscall;
         self.charge(cost);
         self.k.stack.read(sock)
@@ -134,6 +163,7 @@ impl<'a> SysCtx<'a> {
     /// Queues `bytes` for transmission. The CPU cost (syscall + per-packet
     /// transmit work) is consumed before any packet leaves the NIC.
     pub fn send(&mut self, sock: SockId, bytes: u64) {
+        self.trace_sys("send");
         let cm = self.k.cost_model();
         let pkts = self.k.stack.send(sock, bytes);
         if pkts.is_empty() {
@@ -145,6 +175,7 @@ impl<'a> SysCtx<'a> {
 
     /// Closes a connection after all previously queued work completes.
     pub fn close(&mut self, sock: SockId) {
+        self.trace_sys("close");
         let cm = self.k.cost_model();
         self.push(cm.close_syscall + cm.fin_tx, Op::CloseSock { sock });
     }
@@ -152,6 +183,7 @@ impl<'a> SysCtx<'a> {
     /// Blocks the thread in `select()` over `socks` once queued work
     /// drains. The scan cost is linear in the interest-set size (§5.5).
     pub fn select_wait(&mut self, socks: Vec<SockId>) {
+        self.trace_sys("select");
         let cost = self.k.cost_model().select_scan(socks.len());
         self.push(cost, Op::Block(WaitFor::Select { socks }));
     }
@@ -175,6 +207,7 @@ impl<'a> SysCtx<'a> {
 
     /// Blocks on the scalable event API once queued work drains.
     pub fn event_wait(&mut self) {
+        self.trace_sys("event_wait");
         let cost = self.k.cost_model().event_api_base;
         self.push(cost, Op::Block(WaitFor::Event));
     }
@@ -237,6 +270,7 @@ impl<'a> SysCtx<'a> {
     /// charged to `charge_to` (defaulting to the thread's resource
     /// binding), extending the paper's accounting to disk bandwidth (§7).
     pub fn read_file(&mut self, file: u64, bytes: u64, tag: u64, charge_to: Option<ContainerId>) {
+        self.trace_sys("read_file");
         let cm = self.k.cost_model();
         self.charge(cm.read_syscall);
         let principal = charge_to
@@ -272,6 +306,7 @@ impl<'a> SysCtx<'a> {
     /// workers). The receiver gets [`crate::AppEvent::Ipc`] on its first
     /// thread; costs one write syscall on the sender.
     pub fn send_ipc(&mut self, to: Pid, tag: u64) {
+        self.trace_sys("send_ipc");
         let cost = self.k.cost_model().write_syscall;
         self.charge(cost);
         let from = self.pid;
@@ -281,6 +316,7 @@ impl<'a> SysCtx<'a> {
     /// Terminates the calling thread after queued work completes; the
     /// process exits with its last thread.
     pub fn exit(&mut self) {
+        self.trace_sys("exit");
         let cost = self.k.cost_model().exit;
         self.push(cost, Op::Exit);
     }
@@ -304,6 +340,7 @@ impl<'a> SysCtx<'a> {
         attrs: Attributes,
     ) -> Result<ContainerFd, RcError> {
         self.require_containers()?;
+        self.trace_sys("rc_create");
         let cost = self.k.cost_model().rc_create;
         self.charge(cost);
         let parent_id = match parent {
@@ -341,6 +378,7 @@ impl<'a> SysCtx<'a> {
     /// Releases a container descriptor (§4.6 "Container release").
     pub fn close_container(&mut self, fd: ContainerFd) -> Result<bool, RcError> {
         self.require_containers()?;
+        self.trace_sys("rc_release");
         let cost = self.k.cost_model().rc_destroy;
         self.charge(cost);
         let p = self.k.process_mut(self.pid).ok_or(RcError::NotFound)?;
@@ -390,6 +428,7 @@ impl<'a> SysCtx<'a> {
     /// Reads a container's usage (§4.6 "Container usage information").
     pub fn container_usage(&mut self, fd: ContainerFd) -> Result<ResourceUsage, RcError> {
         self.require_containers()?;
+        self.trace_sys("rc_usage");
         let cost = self.k.cost_model().rc_usage;
         self.charge(cost);
         let id = self.resolve_fd(fd)?;
@@ -400,6 +439,7 @@ impl<'a> SysCtx<'a> {
     /// to a container"). Subsequent consumption is charged there.
     pub fn bind_thread(&mut self, fd: ContainerFd) -> Result<(), RcError> {
         self.require_containers()?;
+        self.trace_sys("rc_bind_thread");
         let cost = self.k.cost_model().rc_bind;
         self.charge(cost);
         let id = self.resolve_fd(fd)?;
@@ -521,6 +561,7 @@ impl<'a> SysCtx<'a> {
     /// charged there.
     pub fn bind_socket(&mut self, sock: SockId, fd: ContainerFd) -> Result<(), RcError> {
         self.require_containers()?;
+        self.trace_sys("rc_bind_socket");
         let cost = self.k.cost_model().rc_bind;
         self.charge(cost);
         let id = self.resolve_fd(fd)?;
@@ -565,6 +606,7 @@ impl<'a> SysCtx<'a> {
         container_parent: Option<ContainerId>,
         attrs: Attributes,
     ) -> Pid {
+        self.trace_sys("fork");
         let cost = self.k.cost_model().fork;
         self.charge(cost);
         self.k

@@ -142,8 +142,8 @@ pub fn run_fig11(params: Fig11Params) -> Fig11Result {
     clients.arm(&mut k);
     k.run(&mut clients, end);
 
-    let m = &mut clients.metrics;
-    let t_high_p95_ms = m.class_mut(0).latency_ms.quantile(0.95);
+    let m = &clients.metrics;
+    let t_high_p95_ms = m.class(0).latency_ms.quantile(0.95);
     Fig11Result {
         t_high_ms: m.mean_latency_ms(0),
         t_high_p95_ms,

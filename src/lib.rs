@@ -25,6 +25,9 @@
 //!   thread-pool, pre-forked, CGI workers, the SYN-flood defense.
 //! - [`workload`] — clients, attackers, and one driver per experiment in
 //!   the evaluation (§5.3–§5.8).
+//! - [`rctrace`] — observability: session control for the kernel-wide
+//!   structured trace, per-container metrics timelines, and the
+//!   Chrome-trace / metrics-dump exporters.
 //! - [`simcore`] — the deterministic discrete-event substrate.
 //!
 //! # Quickstart
@@ -44,6 +47,7 @@
 //! ```
 
 pub use httpsim;
+pub use rctrace;
 pub use rescon;
 pub use sched;
 pub use simcore;
@@ -58,6 +62,7 @@ pub mod prelude {
         encode_request, ClassSpec, EventApi, EventDrivenServer, FileBacking, PreforkServer,
         ReqKind, ServerConfig, ThreadPoolServer,
     };
+    pub use rctrace::{chrome_trace_json, metrics_json, TraceConfig, TraceSession};
     pub use rescon::{Attributes, ContainerTable, SchedPolicy, SchedulerBinding};
     pub use simcore::Nanos;
     pub use simdisk::{BufferCache, DiskParams, FifoIoSched, ShareIoSched, SimDisk};

@@ -62,6 +62,18 @@ fn run_mix(mix: &Mix) -> (u64, u64, Nanos) {
     (served, k.stats().pkts_in, k.stats().charged_cpu)
 }
 
+/// `run_mix` with tracing on; returns the same result tuple plus both
+/// rendered observability artifacts.
+fn run_mix_traced(mix: &Mix) -> ((u64, u64, Nanos), String, String) {
+    rctrace::start(TraceConfig {
+        ring_capacity: 1 << 16,
+        sample_interval: Nanos::from_millis(10),
+    });
+    let result = run_mix(mix);
+    let session = rctrace::finish().expect("trace session active");
+    (result, chrome_trace_json(&session), metrics_json(&session))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -80,5 +92,22 @@ proptest! {
         prop_assert!(served > 0, "no requests served for {mix:?}");
         prop_assert!(pkts > 0);
         prop_assert!(charged > Nanos::ZERO);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The exporters are pure too: same seed, byte-identical artifacts —
+    /// and tracing observes the run without perturbing it.
+    #[test]
+    fn traced_runs_are_deterministic_and_unperturbed(mix in mix_strategy()) {
+        let untraced = run_mix(&mix);
+        let (a, chrome_a, metrics_a) = run_mix_traced(&mix);
+        let (b, chrome_b, metrics_b) = run_mix_traced(&mix);
+        prop_assert_eq!(a, untraced, "tracing changed the simulation for {:?}", mix);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(chrome_a, chrome_b, "chrome trace not byte-identical");
+        prop_assert_eq!(metrics_a, metrics_b, "metrics dump not byte-identical");
     }
 }

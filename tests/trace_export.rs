@@ -1,0 +1,162 @@
+//! Exporter tests: byte-determinism of both artifacts, a golden metrics
+//! dump, tracing-overhead invariance, and exact conservation between the
+//! metrics dump and the kernel's own accounting.
+
+use httpsim::stats::shared_stats;
+use resource_containers::prelude::*;
+use simcore::Nanos;
+
+fn mini_end() -> Nanos {
+    Nanos::from_millis(10)
+}
+
+/// A tiny fixed workload: one closed-loop static client and one
+/// keep-alive client against the containers kernel, 10 ms of virtual
+/// time. Small enough for a golden file, busy enough to exercise every
+/// event source (sched, net, syscalls, per-connection containers).
+fn mini_run(trace: bool) -> (simos::Kernel, u64) {
+    if trace {
+        rctrace::start(TraceConfig {
+            ring_capacity: 1 << 16,
+            sample_interval: Nanos::from_millis(2),
+        });
+    }
+    let stats = shared_stats();
+    let mut k = simos::Kernel::new(KernelConfig::resource_containers());
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let specs = vec![
+        ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0),
+        ClientSpec::staticloop(IpAddr::new(10, 0, 0, 2), 0).with_kind(ReqKind::StaticKeepAlive),
+    ];
+    let mut clients = HttpClients::new(specs, Nanos::ZERO, mini_end());
+    clients.arm(&mut k);
+    k.run(&mut clients, mini_end());
+    let served = stats.borrow().static_served;
+    (k, served)
+}
+
+fn mini_session() -> (simos::Kernel, u64, TraceSession) {
+    let (k, served) = mini_run(true);
+    let session = rctrace::finish().expect("active session");
+    (k, served, session)
+}
+
+#[test]
+fn exports_are_byte_identical_across_runs() {
+    let (_, served_a, sa) = mini_session();
+    let (_, served_b, sb) = mini_session();
+    assert_eq!(served_a, served_b);
+    assert_eq!(chrome_trace_json(&sa), chrome_trace_json(&sb));
+    assert_eq!(metrics_json(&sa), metrics_json(&sb));
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let (k_off, served_off) = mini_run(false);
+    let (k_on, served_on, _session) = mini_session();
+    assert_eq!(served_off, served_on);
+    let (a, b) = (k_off.stats(), k_on.stats());
+    assert_eq!(a.charged_cpu, b.charged_cpu);
+    assert_eq!(a.interrupt_cpu, b.interrupt_cpu);
+    assert_eq!(a.idle_cpu, b.idle_cpu);
+    assert_eq!(a.pkts_in, b.pkts_in);
+    assert_eq!(a.pkts_out, b.pkts_out);
+    assert_eq!(a.ctx_switches, b.ctx_switches);
+}
+
+#[test]
+fn metrics_totals_equal_kernel_accounting() {
+    let (k, _, session) = mini_session();
+    // Per-container totals are copied verbatim from the table.
+    for (id, c) in k.containers.iter() {
+        let series = session
+            .metrics
+            .containers
+            .get(&id.as_u64())
+            .unwrap_or_else(|| panic!("container {id:?} missing from metrics"));
+        assert_eq!(series.totals.usage, *c.usage(), "usage mismatch for {id:?}");
+        assert_eq!(
+            series.totals.subtree_cpu,
+            k.containers.subtree_cpu(id).unwrap()
+        );
+        assert_eq!(
+            series.totals.subtree_disk,
+            k.containers.subtree_disk(id).unwrap()
+        );
+    }
+    // Conservation: every charged nanosecond is in exactly one subtree.
+    let g = &session.metrics.globals;
+    assert_eq!(
+        g.root_subtree_cpu + g.floating_cpu + g.reaped_cpu,
+        g.charged_cpu,
+        "CPU conservation violated"
+    );
+    assert_eq!(g.charged_cpu, k.stats().charged_cpu);
+    assert_eq!(
+        g.root_subtree_disk + g.floating_disk + g.reaped_disk,
+        g.disk_busy,
+        "disk conservation violated"
+    );
+    assert_eq!(g.disk_busy, k.disk.total_busy());
+}
+
+#[test]
+fn chrome_trace_has_expected_tracks() {
+    let (k, _, session) = mini_session();
+    let chrome = chrome_trace_json(&session);
+    // One named track per live container, plus the cpu and disk tracks.
+    assert!(chrome.contains("\"name\":\"cpu\""));
+    assert!(chrome.contains("\"name\":\"disk\""));
+    for (id, c) in k.containers.iter() {
+        let label = match &c.attrs().name {
+            Some(n) => format!("container {n}"),
+            None => format!("container c{}", id.as_u64()),
+        };
+        assert!(chrome.contains(&label), "missing track {label:?}");
+    }
+    // Charge counters ride as counter tracks.
+    for counter in [
+        "cpu_charge_ms",
+        "disk_charge_ms",
+        "runnable",
+        "syn_queue",
+        "cache_bytes",
+    ] {
+        assert!(chrome.contains(counter), "missing counter {counter}");
+    }
+    // Real work happened: CPU slices and context switches are present.
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert!(session.trace.emitted > 0);
+    assert_eq!(session.trace.dropped, 0);
+}
+
+/// Golden-file check on the metrics dump. Regenerate with
+/// `BLESS=1 cargo test -p resource-containers --test trace_export`.
+#[test]
+fn metrics_dump_matches_golden() {
+    let (_, _, session) = mini_session();
+    let dump = metrics_json(&session);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_mini_metrics.json"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &dump).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file; BLESS=1 to create");
+    assert_eq!(
+        dump, golden,
+        "metrics dump diverged from the golden file; \
+         rerun with BLESS=1 if the change is intentional"
+    );
+}

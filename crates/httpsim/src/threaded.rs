@@ -2,11 +2,13 @@
 //!
 //! A pool of kernel threads shares one listening socket; an idle thread
 //! accepts a connection, serves requests on it to completion, and returns
-//! to accepting. Under resource containers each thread sets its resource
-//! binding to its connection's container (§4.8: "assigns one of a pool of
-//! free threads to service the connection ... Any subsequent kernel
-//! processing for this connection is charged to the connection's resource
-//! container").
+//! to accepting. Persistent (keep-alive) requests leave the connection
+//! open and the worker parked in `read()` for the next request, like the
+//! event-driven server. Under resource containers each thread sets its
+//! resource binding to its connection's container (§4.8: "assigns one of
+//! a pool of free threads to service the connection ... Any subsequent
+//! kernel processing for this connection is charged to the connection's
+//! resource container").
 
 use std::collections::HashMap;
 
@@ -28,6 +30,9 @@ enum Worker {
     Serving {
         conn: SockId,
         container: Option<(ContainerFd, ContainerId)>,
+        /// The in-progress request is persistent: respond without closing
+        /// and wait for the next request on the same connection.
+        keep: bool,
     },
 }
 
@@ -89,8 +94,14 @@ impl ThreadPoolServer {
                 } else {
                     None
                 };
-                self.workers
-                    .insert(thread, Worker::Serving { conn, container });
+                self.workers.insert(
+                    thread,
+                    Worker::Serving {
+                        conn,
+                        container,
+                        keep: false,
+                    },
+                );
                 sys.read_wait(conn);
             }
             None => {
@@ -101,7 +112,10 @@ impl ThreadPoolServer {
     }
 
     fn serve_readable(&mut self, sys: &mut SysCtx<'_>, thread: TaskId) {
-        let Some(Worker::Serving { conn, container }) = self.workers.get(&thread) else {
+        let Some(Worker::Serving {
+            conn, container, ..
+        }) = self.workers.get(&thread)
+        else {
             return;
         };
         let conn = *conn;
@@ -116,7 +130,10 @@ impl ThreadPoolServer {
             return;
         }
         match decode_request(bytes) {
-            Some((_kind, _doc)) => {
+            Some((kind, _doc)) => {
+                if let Some(Worker::Serving { keep, .. }) = self.workers.get_mut(&thread) {
+                    *keep = kind == crate::request::ReqKind::StaticKeepAlive;
+                }
                 sys.compute_charged(self.parse_cost, thread.0 as u64, charge);
             }
             None => self.finish_conn(sys, thread, true),
@@ -124,19 +141,26 @@ impl ThreadPoolServer {
     }
 
     fn respond(&mut self, sys: &mut SysCtx<'_>, thread: TaskId) {
-        let Some(Worker::Serving { conn, .. }) = self.workers.get(&thread) else {
+        let Some(Worker::Serving { conn, keep, .. }) = self.workers.get(&thread) else {
             return;
         };
-        let conn = *conn;
+        let (conn, keep) = (*conn, *keep);
         sys.send(conn, self.response_bytes);
         self.stats.borrow_mut().record_static(0, sys.now());
-        self.finish_conn(sys, thread, true);
+        if keep {
+            sys.read_wait(conn);
+        } else {
+            self.finish_conn(sys, thread, true);
+        }
     }
 
     fn finish_conn(&mut self, sys: &mut SysCtx<'_>, thread: TaskId, close: bool) {
         let _ = sys.bind_thread_default();
         sys.reset_scheduler_binding();
-        if let Some(Worker::Serving { conn, container }) = self.workers.remove(&thread) {
+        if let Some(Worker::Serving {
+            conn, container, ..
+        }) = self.workers.remove(&thread)
+        {
             if close {
                 sys.close(conn);
                 self.stats.borrow_mut().closed += 1;

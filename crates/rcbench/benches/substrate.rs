@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use rescon::{Attributes, ContainerId, ContainerTable};
-use sched::{MultiLevelScheduler, Scheduler, TaskId};
+use sched::{CoreScheduler, MultiLevelScheduler, TaskId};
 use simcore::Nanos;
 use simnet::{CidrFilter, FlowKey, IpAddr, NetStack, Packet, PacketKind, PendingQueues};
 

@@ -14,7 +14,7 @@
 
 use rcbench::Report;
 use rescon::{Attributes, ContainerTable};
-use sched::{LotteryScheduler, MultiLevelScheduler, Scheduler, StrideScheduler, TaskId};
+use sched::{CoreScheduler, LotteryScheduler, MultiLevelScheduler, StrideScheduler, TaskId};
 use simcore::Nanos;
 use simos::KernelConfig;
 use workload::scenarios::{run_fig11, run_fig14, Fig11Params, Fig11System, Fig14Params};
@@ -88,7 +88,7 @@ fn ablation_lazy_vs_eager() {
 ///    measured directly against the scheduler APIs.
 fn ablation_share_policy() {
     let mut rep = Report::new("Ablation 3: fixed-share enforcement policy (70/30 target)");
-    let run = |sched: &mut dyn Scheduler| -> f64 {
+    let run = |sched: &mut dyn CoreScheduler| -> f64 {
         let mut table = ContainerTable::new();
         let a = table.create(None, Attributes::fixed_share(0.7)).unwrap();
         let b = table.create(None, Attributes::fixed_share(0.3)).unwrap();

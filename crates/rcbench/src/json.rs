@@ -592,11 +592,23 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|e| Error(e.to_string()))?;
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 character. The input is
+                    // a &str, so the sequence is valid; decode only its
+                    // own bytes (validating the whole remaining input here
+                    // would make string parsing quadratic).
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|e| Error(e.to_string()))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -35,6 +35,10 @@ use crate::TraceSession;
 const CPU_PID: u32 = 1;
 const DISK_PID: u32 = 2;
 const CONTAINER_PID_BASE: u32 = 10;
+/// Per-CPU track pids on multiprocessor runs. The base is far above the
+/// container pid range, which grows from [`CONTAINER_PID_BASE`] with one
+/// pid per container (per-connection containers can make that large).
+const CPU_TRACK_BASE: u32 = 1_000_000;
 
 /// The container a trace event is attributed to, if any.
 fn event_container(kind: &TraceEventKind) -> Option<u64> {
@@ -51,6 +55,7 @@ fn event_container(kind: &TraceEventKind) -> Option<u64> {
         | TraceEventKind::CacheEvict { container, .. }
         | TraceEventKind::ContainerCreate { container, .. }
         | TraceEventKind::ContainerDestroy { container }
+        | TraceEventKind::Migrate { container, .. }
         | TraceEventKind::Charge { container, .. } => Some(container),
         TraceEventKind::ThreadState { .. }
         | TraceEventKind::SyscallExit { .. }
@@ -126,34 +131,100 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
         )
         .as_nanos();
 
+    // Multiprocessor detection: any event on a CPU other than 0, or a
+    // multi-entry per-CPU totals table. Uniprocessor sessions keep the
+    // legacy single "cpu" track (pid 1) byte-for-byte.
+    let mut ncpus: u32 = session.metrics.per_cpu.len() as u32;
+    for ev in &session.trace.events {
+        let c = match ev.kind {
+            TraceEventKind::CtxSwitch { cpu, .. } => cpu,
+            TraceEventKind::Migrate {
+                from_cpu, to_cpu, ..
+            } => from_cpu.max(to_cpu),
+            _ => 0,
+        };
+        ncpus = ncpus.max(c + 1);
+    }
+    let multi = ncpus > 1;
+    let cpu_pid = |cpu: u32| -> u32 {
+        if multi {
+            CPU_TRACK_BASE + cpu
+        } else {
+            CPU_PID
+        }
+    };
+
     let mut evs: Vec<String> = Vec::new();
-    evs.push(meta_name(CPU_PID, "cpu"));
+    if multi {
+        for cpu in 0..ncpus {
+            evs.push(meta_name(cpu_pid(cpu), &format!("cpu{cpu}")));
+        }
+        // Unattributed instants still land on pid 1.
+        evs.push(meta_name(CPU_PID, "unattributed"));
+    } else {
+        evs.push(meta_name(CPU_PID, "cpu"));
+    }
     evs.push(meta_name(DISK_PID, "disk"));
     for (&c, &pid) in &pid_of {
         evs.push(meta_name(pid, &format!("container {}", name_of(c))));
     }
 
-    // Scheduled-run slices on the CPU track plus per-event instants.
-    let mut open: Option<(u64, u32, u64)> = None; // (start ns, task, container)
-    let close_slice = |evs: &mut Vec<String>, start: u64, end: u64, task: u32, cont: u64| {
-        let dur = end.saturating_sub(start);
-        evs.push(format!(
-            "{{\"ph\":\"X\",\"name\":{},\"cat\":\"sched\",\"pid\":{CPU_PID},\"tid\":0,\
-             \"ts\":{},\"dur\":{},\"args\":{{\"container\":{}}}}}",
-            quote(&format!("task {task}")),
-            micros(start),
-            micros(dur),
-            quote(&name_of(cont)),
-        ));
-    };
+    // Scheduled-run slices on the per-CPU tracks plus per-event instants.
+    // (start ns, task, container) per CPU; on a uniprocessor this map
+    // holds a single entry, reproducing the old single-slot tracker.
+    let mut open: BTreeMap<u32, (u64, u32, u64)> = BTreeMap::new();
+    let close_slice =
+        |evs: &mut Vec<String>, cpu: u32, start: u64, end: u64, task: u32, cont: u64| {
+            let dur = end.saturating_sub(start);
+            evs.push(format!(
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":\"sched\",\"pid\":{},\"tid\":0,\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"container\":{}}}}}",
+                quote(&format!("task {task}")),
+                cpu_pid(cpu),
+                micros(start),
+                micros(dur),
+                quote(&name_of(cont)),
+            ));
+        };
+    // Chrome flow-event ids tie each migration's start/finish arrow pair.
+    let mut flow_id: u64 = 0;
     for ev in &session.trace.events {
         let at = ev.at.as_nanos();
         match ev.kind {
-            TraceEventKind::CtxSwitch { to, container, .. } => {
-                if let Some((start, task, cont)) = open.take() {
-                    close_slice(&mut evs, start, at, task, cont);
+            TraceEventKind::CtxSwitch {
+                to, container, cpu, ..
+            } => {
+                if let Some((start, task, cont)) = open.remove(&cpu) {
+                    close_slice(&mut evs, cpu, start, at, task, cont);
                 }
-                open = Some((at, to, container));
+                open.insert(cpu, (at, to, container));
+            }
+            TraceEventKind::Migrate {
+                task,
+                from_cpu,
+                to_cpu,
+                ..
+            } => {
+                flow_id += 1;
+                let name = quote(&format!("migrate t{task}"));
+                evs.push(format!(
+                    "{{\"ph\":\"s\",\"id\":{flow_id},\"name\":{name},\"cat\":\"migrate\",\
+                     \"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    cpu_pid(from_cpu),
+                    micros(at),
+                ));
+                evs.push(format!(
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"name\":{name},\
+                     \"cat\":\"migrate\",\"pid\":{},\"tid\":0,\"ts\":{}}}",
+                    cpu_pid(to_cpu),
+                    micros(at),
+                ));
+                evs.push(instant(
+                    cpu_pid(to_cpu),
+                    at,
+                    "migrate",
+                    &format!("t{task} \u{2190} cpu{from_cpu}"),
+                ));
             }
             TraceEventKind::DiskStart {
                 req,
@@ -205,8 +276,8 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             _ => {}
         }
     }
-    if let Some((start, task, cont)) = open {
-        close_slice(&mut evs, start, end_ns.max(start), task, cont);
+    for (cpu, (start, task, cont)) in open {
+        close_slice(&mut evs, cpu, start, end_ns.max(start), task, cont);
     }
 
     // Counter tracks from the sampled metrics timelines.
@@ -274,6 +345,7 @@ mod tests {
                 from: u32::MAX,
                 to: 3,
                 container: 7,
+                cpu: 0,
             },
         );
         push(
@@ -283,6 +355,7 @@ mod tests {
                 from: 3,
                 to: 4,
                 container: 0,
+                cpu: 0,
             },
         );
         push(
@@ -347,5 +420,49 @@ mod tests {
         let b = chrome_trace_json(&session());
         assert_eq!(a, b);
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn multi_cpu_sessions_get_per_cpu_tracks_and_migration_arrows() {
+        let mut s = session();
+        let push = |t: &mut TraceBuffer, at: u64, kind: TraceEventKind| {
+            t.events.push(TraceEvent {
+                at: Nanos::from_micros(at),
+                kind,
+            });
+            t.emitted += 1;
+        };
+        push(
+            &mut s.trace,
+            8,
+            TraceEventKind::CtxSwitch {
+                from: u32::MAX,
+                to: 9,
+                container: 7,
+                cpu: 1,
+            },
+        );
+        push(
+            &mut s.trace,
+            9,
+            TraceEventKind::Migrate {
+                task: 3,
+                from_cpu: 0,
+                to_cpu: 1,
+                container: 7,
+            },
+        );
+        let json = chrome_trace_json(&s);
+        assert!(json.contains("\"name\":\"cpu0\""));
+        assert!(json.contains("\"name\":\"cpu1\""));
+        assert!(!json.contains("\"name\":\"cpu\","), "legacy track absent");
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("migrate t3"));
+        // Two slices on cpu0 (closed by the switch chain + end), one on
+        // cpu1, one disk slice.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        let a = chrome_trace_json(&s);
+        assert_eq!(a, json);
     }
 }

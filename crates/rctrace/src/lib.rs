@@ -42,8 +42,8 @@ pub mod metrics;
 
 pub use chrome::chrome_trace_json;
 pub use metrics::{
-    metrics_json, ContainerSample, ContainerSeries, ContainerTotals, GlobalTotals, Metrics,
-    SamplePoint,
+    metrics_json, ContainerSample, ContainerSeries, ContainerTotals, CpuTotals, GlobalTotals,
+    Metrics, SamplePoint,
 };
 
 use std::cell::{Cell, RefCell};
@@ -154,6 +154,19 @@ pub fn record_totals(globals: GlobalTotals, rows: &[ContainerSample]) {
     METRICS.with(|m| {
         if let Some(m) = m.borrow_mut().as_mut() {
             m.record_totals(globals, rows);
+        }
+    });
+}
+
+/// Records end-of-run per-CPU accounting; the last call wins. No-op
+/// without a session.
+pub fn record_cpu_totals(cpus: &[CpuTotals]) {
+    if !active() {
+        return;
+    }
+    METRICS.with(|m| {
+        if let Some(m) = m.borrow_mut().as_mut() {
+            m.record_cpu_totals(cpus);
         }
     });
 }

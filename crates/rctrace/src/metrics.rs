@@ -125,6 +125,25 @@ pub struct GlobalTotals {
     pub ctx_switches: u64,
 }
 
+/// End-of-run accounting for one simulated CPU.
+///
+/// On every CPU the four time categories partition that CPU's
+/// wall-clock exactly, so summing `charged + interrupt + overhead +
+/// idle` over all CPUs yields `ncpus × end`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CpuTotals {
+    /// CPU time charged to containers by the scheduler on this CPU.
+    pub charged_cpu: Nanos,
+    /// Interrupt-level time consumed on this CPU.
+    pub interrupt_cpu: Nanos,
+    /// Context-switch and other uncharged overhead on this CPU.
+    pub overhead_cpu: Nanos,
+    /// Idle time on this CPU.
+    pub idle_cpu: Nanos,
+    /// Context switches taken on this CPU.
+    pub ctx_switches: u64,
+}
+
 /// Time series, latency histogram, and final totals for one container.
 #[derive(Clone, Debug)]
 pub struct ContainerSeries {
@@ -167,6 +186,10 @@ pub struct Metrics {
     pub containers: BTreeMap<u64, ContainerSeries>,
     /// Whole-system aggregates (filled in at the end of the run).
     pub globals: GlobalTotals,
+    /// Per-CPU accounting (filled in at the end of the run; empty for
+    /// sessions recorded before the kernel reports CPUs, and length 1
+    /// on a uniprocessor).
+    pub per_cpu: Vec<CpuTotals>,
 }
 
 impl Metrics {
@@ -178,6 +201,7 @@ impl Metrics {
             next_due: Nanos::ZERO,
             containers: BTreeMap::new(),
             globals: GlobalTotals::default(),
+            per_cpu: Vec::new(),
         }
     }
 
@@ -242,6 +266,10 @@ impl Metrics {
             };
         }
     }
+
+    pub(crate) fn record_cpu_totals(&mut self, cpus: &[CpuTotals]) {
+        self.per_cpu = cpus.to_vec();
+    }
 }
 
 /// Renders the compact metrics dump: global aggregates, trace-ring
@@ -284,6 +312,28 @@ pub fn metrics_json(session: &TraceSession) -> String {
         session.trace.dropped,
         session.trace.events.len()
     );
+    // A per-CPU section appears only on multiprocessor runs so that
+    // uniprocessor dumps (and their golden files) are unchanged.
+    if m.per_cpu.len() > 1 {
+        out.push_str(",\"cpus\":[");
+        for (i, c) in m.per_cpu.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"cpu\":{},\"charged_cpu_ns\":{},\"interrupt_cpu_ns\":{},\
+                 \"overhead_cpu_ns\":{},\"idle_cpu_ns\":{},\"ctx_switches\":{}}}",
+                i,
+                c.charged_cpu.as_nanos(),
+                c.interrupt_cpu.as_nanos(),
+                c.overhead_cpu.as_nanos(),
+                c.idle_cpu.as_nanos(),
+                c.ctx_switches,
+            );
+        }
+        out.push(']');
+    }
     out.push_str(",\"containers\":[");
     for (i, (&id, series)) in m.containers.iter().enumerate() {
         if i > 0 {

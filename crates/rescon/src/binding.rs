@@ -40,8 +40,12 @@ use crate::table::ContainerId;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SchedulerBinding {
-    /// Containers and the last virtual time the thread served each.
-    entries: Vec<(ContainerId, Nanos)>,
+    /// Bound containers, in insertion order. Kept separate from the
+    /// timestamps so [`SchedulerBinding::containers`] can hand the
+    /// scheduler a borrowed slice instead of allocating on every rebind.
+    ids: Vec<ContainerId>,
+    /// Last virtual time the thread served `ids[i]`.
+    stamps: Vec<Nanos>,
 }
 
 impl SchedulerBinding {
@@ -54,13 +58,12 @@ impl SchedulerBinding {
     ///
     /// Inserts the container if absent; refreshes its timestamp otherwise.
     pub fn touch(&mut self, c: ContainerId, now: Nanos) {
-        for entry in &mut self.entries {
-            if entry.0 == c {
-                entry.1 = now;
-                return;
-            }
+        if let Some(i) = self.ids.iter().position(|&id| id == c) {
+            self.stamps[i] = now;
+        } else {
+            self.ids.push(c);
+            self.stamps.push(now);
         }
-        self.entries.push((c, now));
     }
 
     /// Removes entries the thread has not served since `now - max_age`
@@ -71,20 +74,20 @@ impl SchedulerBinding {
     /// Returns the number of entries removed.
     pub fn prune(&mut self, now: Nanos, max_age: Nanos) -> usize {
         let cutoff = now.saturating_sub(max_age);
-        let before = self.entries.len();
-        self.entries.retain(|&(_, last)| last >= cutoff);
-        before - self.entries.len()
+        self.retain_pairs(|_, last| last >= cutoff)
     }
 
     /// Resets the binding to contain only `current` (§4.6).
     pub fn reset(&mut self, current: ContainerId, now: Nanos) {
-        self.entries.clear();
-        self.entries.push((current, now));
+        self.ids.clear();
+        self.stamps.clear();
+        self.ids.push(current);
+        self.stamps.push(now);
     }
 
     /// Removes a specific container (used when a container is destroyed).
     pub fn remove(&mut self, c: ContainerId) {
-        self.entries.retain(|&(id, _)| id != c);
+        self.retain_pairs(|id, _| id != c);
     }
 
     /// Drops entries rejected by `live` (containers that have been
@@ -92,35 +95,58 @@ impl SchedulerBinding {
     /// multiplexed thread's binding tracks only live activities instead of
     /// growing with connection churn until the next periodic prune.
     pub fn retain_live(&mut self, live: impl Fn(ContainerId) -> bool) {
-        self.entries.retain(|&(id, _)| live(id));
+        self.retain_pairs(|id, _| live(id));
     }
 
-    /// Returns the bound containers, in insertion order.
-    pub fn containers(&self) -> Vec<ContainerId> {
-        self.entries.iter().map(|&(c, _)| c).collect()
+    /// Keeps only the entries passing `keep`, preserving order; returns
+    /// the number removed.
+    fn retain_pairs(&mut self, mut keep: impl FnMut(ContainerId, Nanos) -> bool) -> usize {
+        let before = self.ids.len();
+        let mut write = 0;
+        for read in 0..before {
+            if keep(self.ids[read], self.stamps[read]) {
+                self.ids.swap(write, read);
+                self.stamps.swap(write, read);
+                write += 1;
+            }
+        }
+        self.ids.truncate(write);
+        self.stamps.truncate(write);
+        before - write
+    }
+
+    /// Returns the bound containers, in insertion order, without
+    /// allocating — this sits on the kernel's rebind hot path.
+    pub fn containers(&self) -> &[ContainerId] {
+        &self.ids
+    }
+
+    /// Iterates over the bound containers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.ids.iter().copied()
     }
 
     /// Returns the number of bound containers.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Returns `true` if no containers are bound.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
     }
 
     /// Returns `true` if `c` is in the binding.
     pub fn contains(&self, c: ContainerId) -> bool {
-        self.entries.iter().any(|&(id, _)| id == c)
+        self.ids.contains(&c)
     }
 
     /// Returns the last time `c` was served, if bound.
     pub fn last_served(&self, c: ContainerId) -> Option<Nanos> {
-        self.entries
+        self.ids
             .iter()
-            .find(|&&(id, _)| id == c)
-            .map(|&(_, t)| t)
+            .position(|&id| id == c)
+            .map(|i| self.stamps[i])
     }
 }
 

@@ -1,4 +1,15 @@
 //! The scheduler protocol: how the kernel talks to a CPU scheduler.
+//!
+//! Two layers:
+//!
+//! - [`CoreScheduler`] is the per-CPU policy protocol. Every policy in
+//!   this crate (stride, decay, lottery, multilevel) implements it and
+//!   manages exactly one run queue; policies are entirely unaware of
+//!   multiprocessing.
+//! - [`Scheduler`] is the SMP-aware surface the kernel drives. It routes
+//!   every call to the right per-CPU core and supports migrating tasks
+//!   between cores. [`PerCpu`] lifts any `CoreScheduler` into a
+//!   `Scheduler` by instantiating one core per CPU.
 
 use rescon::{ContainerId, ContainerTable};
 use simcore::Nanos;
@@ -13,6 +24,16 @@ impl std::fmt::Display for TaskId {
     }
 }
 
+/// Identifier of a simulated CPU, dense from zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuId(pub u32);
+
+impl std::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
 /// The outcome of a scheduling decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Pick {
@@ -23,23 +44,25 @@ pub struct Pick {
     pub slice: Nanos,
 }
 
-/// A CPU scheduler whose resource principals are containers.
+/// A single-CPU scheduling policy whose resource principals are
+/// containers.
 ///
-/// The kernel:
+/// The kernel (through the [`Scheduler`] layer):
 ///
-/// 1. registers each thread with [`Scheduler::add_task`], giving its
+/// 1. registers each thread with [`CoreScheduler::add_task`], giving its
 ///    scheduler binding (the containers it serves, paper §4.3);
-/// 2. keeps the binding current via [`Scheduler::set_binding`] as the
+/// 2. keeps the binding current via [`CoreScheduler::set_binding`] as the
 ///    thread's resource binding moves between containers;
-/// 3. flips [`Scheduler::set_runnable`] as the thread blocks and wakes;
-/// 4. calls [`Scheduler::pick`] whenever the CPU is free or an event may
-///    have changed the best choice, runs the picked task for at most
+/// 3. flips [`CoreScheduler::set_runnable`] as the thread blocks and
+///    wakes;
+/// 4. calls [`CoreScheduler::pick`] whenever the CPU is free or an event
+///    may have changed the best choice, runs the picked task for at most
 ///    `slice`, and then
 /// 5. reports the CPU actually consumed — and which container it was
-///    charged to — via [`Scheduler::charge`].
+///    charged to — via [`CoreScheduler::charge`].
 ///
 /// Implementations must be deterministic given the same call sequence.
-pub trait Scheduler {
+pub trait CoreScheduler {
     /// Registers a task with its initial scheduler binding. The task starts
     /// not runnable.
     fn add_task(&mut self, task: TaskId, binding: &[ContainerId], now: Nanos);
@@ -82,6 +105,66 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
 }
 
+/// The SMP scheduler surface the kernel drives: per-CPU run queues with
+/// task-to-CPU placement and migration.
+///
+/// Calls that identify the CPU explicitly ([`Scheduler::add_task`],
+/// [`Scheduler::pick`], [`Scheduler::next_release_time`]) address a
+/// specific core; the rest resolve the owning core from the task's
+/// current home CPU.
+pub trait Scheduler {
+    /// Registers a task on `cpu` with its initial scheduler binding. The
+    /// task starts not runnable.
+    fn add_task(&mut self, task: TaskId, binding: &[ContainerId], cpu: CpuId, now: Nanos);
+
+    /// Unregisters a task (thread exit).
+    fn remove_task(&mut self, task: TaskId);
+
+    /// Replaces the task's scheduler binding on its home CPU.
+    fn set_binding(&mut self, task: TaskId, binding: &[ContainerId], now: Nanos);
+
+    /// Marks the task runnable or blocked on its home CPU.
+    fn set_runnable(&mut self, task: TaskId, runnable: bool, now: Nanos);
+
+    /// Returns `true` if the task is currently marked runnable.
+    fn is_runnable(&self, task: TaskId) -> bool;
+
+    /// Returns the task's current home CPU, if registered.
+    fn cpu_of(&self, task: TaskId) -> Option<CpuId>;
+
+    /// Moves a task to `to`, preserving its binding and runnable state.
+    /// Returns `false` if the task is unknown or already homed there.
+    fn migrate(&mut self, task: TaskId, to: CpuId, now: Nanos) -> bool;
+
+    /// Chooses the next task to run on `cpu`.
+    fn pick(&mut self, cpu: CpuId, table: &ContainerTable, now: Nanos) -> Option<Pick>;
+
+    /// Accounts `dt` of CPU consumed by `task` (on its home CPU).
+    fn charge(
+        &mut self,
+        task: TaskId,
+        container: ContainerId,
+        dt: Nanos,
+        table: &ContainerTable,
+        now: Nanos,
+    );
+
+    /// If every runnable task on `cpu` is throttled by a CPU limit,
+    /// returns the earliest time one becomes eligible again.
+    fn next_release_time(
+        &mut self,
+        cpu: CpuId,
+        table: &ContainerTable,
+        now: Nanos,
+    ) -> Option<Nanos>;
+
+    /// Number of simulated CPUs.
+    fn ncpus(&self) -> u32;
+
+    /// A short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +178,11 @@ mod tests {
     fn task_id_ordering() {
         assert!(TaskId(1) < TaskId(2));
         assert_eq!(TaskId(3), TaskId(3));
+    }
+
+    #[test]
+    fn cpu_id_display_and_ordering() {
+        assert_eq!(CpuId(2).to_string(), "cpu2");
+        assert!(CpuId(0) < CpuId(1));
     }
 }

@@ -16,7 +16,7 @@ use rescon::{ContainerId, ContainerTable};
 use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
-use crate::api::{Pick, Scheduler, TaskId};
+use crate::api::{CoreScheduler, Pick, TaskId};
 use crate::usage_decay::UsageDecay;
 
 /// The accounting key: the process's container, or the task itself.
@@ -45,7 +45,7 @@ struct TaskState {
 ///
 /// ```
 /// use rescon::ContainerTable;
-/// use sched::{DecayUsageScheduler, Scheduler, TaskId};
+/// use sched::{CoreScheduler, DecayUsageScheduler, TaskId};
 /// use simcore::Nanos;
 ///
 /// let table = ContainerTable::new();
@@ -103,7 +103,7 @@ impl DecayUsageScheduler {
     }
 }
 
-impl Scheduler for DecayUsageScheduler {
+impl CoreScheduler for DecayUsageScheduler {
     fn add_task(&mut self, task: TaskId, binding: &[ContainerId], now: Nanos) {
         let key = Self::key_for(task, binding);
         if !self.usages.contains_key(&key) {

@@ -1,7 +1,8 @@
 //! CPU schedulers that treat resource containers as their resource
 //! principals (paper §4.3, §5.1).
 //!
-//! Four schedulers are provided behind one [`Scheduler`] trait:
+//! Four scheduling policies are provided behind one [`CoreScheduler`]
+//! trait, each managing a single CPU's run queue:
 //!
 //! - [`DecayUsageScheduler`]: a classic 4.3BSD-style decay-usage
 //!   time-sharing scheduler whose principals are *tasks* (threads/
@@ -19,24 +20,29 @@
 //!   that the container abstraction composes with other scheduling
 //!   policies (§4.4: "resource containers are just a mechanism").
 //!
-//! The kernel drives a scheduler through a narrow protocol: register tasks
-//! and their scheduler bindings, flip runnability, ask [`Scheduler::pick`]
-//! what to run and for how long, and report consumed CPU via
-//! [`Scheduler::charge`]. All container bookkeeping (usage, hierarchy)
-//! lives in [`rescon::ContainerTable`]; schedulers keep only policy state.
+//! The kernel drives schedulers through the SMP-aware [`Scheduler`]
+//! trait: register tasks on a CPU with their scheduler bindings, flip
+//! runnability, ask [`Scheduler::pick`] what a given CPU should run and
+//! for how long, report consumed CPU via [`Scheduler::charge`], and
+//! migrate tasks between CPUs. [`PerCpu`] lifts any `CoreScheduler`
+//! policy into that surface by instantiating one core per simulated CPU.
+//! All container bookkeeping (usage, hierarchy) lives in
+//! [`rescon::ContainerTable`]; schedulers keep only policy state.
 
 pub mod api;
 pub mod bucket;
 pub mod decay;
 pub mod lottery;
 pub mod multilevel;
+pub mod smp;
 pub mod stride;
 pub mod usage_decay;
 
-pub use api::{Pick, Scheduler, TaskId};
+pub use api::{CoreScheduler, CpuId, Pick, Scheduler, TaskId};
 pub use bucket::TokenBucket;
 pub use decay::DecayUsageScheduler;
 pub use lottery::LotteryScheduler;
 pub use multilevel::MultiLevelScheduler;
+pub use smp::PerCpu;
 pub use stride::StrideScheduler;
 pub use usage_decay::UsageDecay;

@@ -8,7 +8,7 @@ use rescon::{ContainerId, ContainerTable};
 use simcore::trace::{self, TraceEventKind};
 use simcore::{Nanos, SimRng};
 
-use crate::api::{Pick, Scheduler, TaskId};
+use crate::api::{CoreScheduler, Pick, TaskId};
 use crate::stride::StrideScheduler;
 
 #[derive(Debug)]
@@ -26,7 +26,7 @@ struct LotteryTask {
 ///
 /// ```
 /// use rescon::{Attributes, ContainerTable};
-/// use sched::{LotteryScheduler, Scheduler, TaskId};
+/// use sched::{CoreScheduler, LotteryScheduler, TaskId};
 /// use simcore::Nanos;
 ///
 /// let mut table = ContainerTable::new();
@@ -56,7 +56,7 @@ impl LotteryScheduler {
     }
 }
 
-impl Scheduler for LotteryScheduler {
+impl CoreScheduler for LotteryScheduler {
     fn add_task(&mut self, task: TaskId, binding: &[ContainerId], _now: Nanos) {
         self.tasks.insert(
             task,

@@ -31,7 +31,7 @@ use rescon::{ContainerId, ContainerTable, SchedPolicy};
 use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
-use crate::api::{Pick, Scheduler, TaskId};
+use crate::api::{CoreScheduler, Pick, TaskId};
 use crate::bucket::TokenBucket;
 use crate::usage_decay::UsageDecay;
 
@@ -47,7 +47,7 @@ struct MlTask {
 ///
 /// ```
 /// use rescon::{Attributes, ContainerTable};
-/// use sched::{MultiLevelScheduler, Scheduler, TaskId};
+/// use sched::{CoreScheduler, MultiLevelScheduler, TaskId};
 /// use simcore::Nanos;
 ///
 /// let mut table = ContainerTable::new();
@@ -416,7 +416,7 @@ impl MultiLevelScheduler {
     }
 }
 
-impl Scheduler for MultiLevelScheduler {
+impl CoreScheduler for MultiLevelScheduler {
     fn add_task(&mut self, task: TaskId, binding: &[ContainerId], _now: Nanos) {
         self.tasks.insert(
             task,

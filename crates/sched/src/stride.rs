@@ -13,7 +13,7 @@ use rescon::{ContainerId, ContainerTable, SchedPolicy};
 use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
-use crate::api::{Pick, Scheduler, TaskId};
+use crate::api::{CoreScheduler, Pick, TaskId};
 
 #[derive(Debug)]
 struct StrideTask {
@@ -29,7 +29,7 @@ struct StrideTask {
 ///
 /// ```
 /// use rescon::{Attributes, ContainerTable};
-/// use sched::{Scheduler, StrideScheduler, TaskId};
+/// use sched::{CoreScheduler, StrideScheduler, TaskId};
 /// use simcore::Nanos;
 ///
 /// let mut table = ContainerTable::new();
@@ -82,7 +82,7 @@ impl StrideScheduler {
     }
 }
 
-impl Scheduler for StrideScheduler {
+impl CoreScheduler for StrideScheduler {
     fn add_task(&mut self, task: TaskId, binding: &[ContainerId], _now: Nanos) {
         self.tasks.insert(
             task,

@@ -4,13 +4,13 @@
 
 use proptest::prelude::*;
 use rescon::{Attributes, ContainerId, ContainerTable};
-use sched::{MultiLevelScheduler, Scheduler, StrideScheduler, TaskId};
+use sched::{CoreScheduler, MultiLevelScheduler, StrideScheduler, TaskId};
 use simcore::Nanos;
 
 /// Runs a scheduler with one always-runnable task per container and
 /// returns each task's CPU fraction.
 fn run_shares(
-    sched: &mut dyn Scheduler,
+    sched: &mut dyn CoreScheduler,
     table: &mut ContainerTable,
     leaves: &[ContainerId],
     duration: Nanos,

@@ -69,13 +69,27 @@ impl ChargeKind {
 /// substrate stays ignorant of the higher crates' types.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEventKind {
-    /// The CPU switched from one thread to another.
+    /// A CPU switched from one thread to another.
     CtxSwitch {
         /// Previously running task (`u32::MAX` when coming from idle).
         from: u32,
         /// Task now running.
         to: u32,
         /// Container the new task charges by default.
+        container: u64,
+        /// The CPU on which the switch happened (always 0 on a
+        /// uniprocessor configuration).
+        cpu: u32,
+    },
+    /// The load balancer migrated a thread between CPUs.
+    Migrate {
+        /// The migrated task.
+        task: u32,
+        /// CPU the task left.
+        from_cpu: u32,
+        /// CPU the task now runs on.
+        to_cpu: u32,
+        /// Container whose imbalance motivated the migration.
         container: u64,
     },
     /// A thread became runnable or blocked.

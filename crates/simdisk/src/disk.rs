@@ -93,6 +93,9 @@ pub struct DiskRequest {
     pub bytes: u64,
     /// Container charged for the service time.
     pub charge_to: ContainerId,
+    /// CPU whose interrupt path will handle the completion (0 on a
+    /// uniprocessor).
+    pub intr_cpu: u32,
 }
 
 /// A finished request, returned by [`SimDisk::advance`].
@@ -110,6 +113,8 @@ pub struct Completion {
     pub service: Nanos,
     /// Simulated time at which the request finished.
     pub finish: Nanos,
+    /// CPU whose interrupt path handles the completion.
+    pub intr_cpu: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -131,7 +136,7 @@ struct InFlight {
 /// let mut table = ContainerTable::new();
 /// let mut disk = SimDisk::new(DiskParams::fast(), Box::new(FifoIoSched::new()));
 /// disk.submit(
-///     DiskRequest { file: 7, bytes: 8192, charge_to: table.root() },
+///     DiskRequest { file: 7, bytes: 8192, charge_to: table.root(), intr_cpu: 0 },
 ///     &table,
 ///     Nanos::ZERO,
 /// );
@@ -177,6 +182,7 @@ impl SimDisk {
             file: req.file,
             bytes: req.bytes,
             charge_to: req.charge_to,
+            intr_cpu: req.intr_cpu,
         };
         self.sched.enqueue(queued, table);
         trace::emit_at(now, || TraceEventKind::DiskQueue {
@@ -229,6 +235,7 @@ impl SimDisk {
                 charge_to: charged_to,
                 service: inflight.service,
                 finish: inflight.finish,
+                intr_cpu: inflight.req.intr_cpu,
             });
             // Back-to-back service starts at the completion instant, not
             // at `now`, so a late `advance` call does not stretch time.
@@ -332,6 +339,7 @@ mod tests {
                 file: 1,
                 bytes: 65536,
                 charge_to: c,
+                intr_cpu: 0,
             },
             &table,
             Nanos::ZERO,
@@ -356,6 +364,7 @@ mod tests {
                     file: i,
                     bytes: 4096,
                     charge_to: root,
+                    intr_cpu: 0,
                 },
                 &table,
                 Nanos::ZERO,
@@ -387,6 +396,7 @@ mod tests {
                         file: f,
                         bytes: 32768,
                         charge_to: c,
+                        intr_cpu: 0,
                     },
                     &table,
                     now,
@@ -402,6 +412,7 @@ mod tests {
                         file: c.file.wrapping_add(i),
                         bytes: 32768,
                         charge_to: c.charge_to,
+                        intr_cpu: 0,
                     },
                     &table,
                     now,
@@ -424,6 +435,7 @@ mod tests {
                 file: 1,
                 bytes: 4096,
                 charge_to: c,
+                intr_cpu: 0,
             },
             &table,
             Nanos::ZERO,

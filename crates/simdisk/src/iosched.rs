@@ -27,6 +27,9 @@ pub struct QueuedRequest {
     pub bytes: u64,
     /// Container that pays for the service time.
     pub charge_to: ContainerId,
+    /// CPU whose interrupt path handles the completion (0 on a
+    /// uniprocessor).
+    pub intr_cpu: u32,
 }
 
 /// Dispatch order policy for pending disk requests.
@@ -63,7 +66,7 @@ pub trait IoSched {
 ///
 /// let table = ContainerTable::new();
 /// let mut q = FifoIoSched::new();
-/// let req = QueuedRequest { id: ReqId(0), file: 1, bytes: 4096, charge_to: table.root() };
+/// let req = QueuedRequest { id: ReqId(0), file: 1, bytes: 4096, charge_to: table.root(), intr_cpu: 0 };
 /// q.enqueue(req, &table);
 /// assert_eq!(q.dequeue(&table), Some(req));
 /// assert!(q.dequeue(&table).is_none());
@@ -209,6 +212,7 @@ mod tests {
             file: id,
             bytes: 4096,
             charge_to,
+            intr_cpu: 0,
         }
     }
 

@@ -56,6 +56,7 @@ fn run_ops(ops: &[Op], sched: Box<dyn IoSched>) {
                         file: file as u64,
                         bytes: kib as u64 * 1024,
                         charge_to: c,
+                        intr_cpu: 0,
                     },
                     &table,
                     now,

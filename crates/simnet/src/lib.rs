@@ -31,6 +31,6 @@ pub mod stack;
 
 pub use addr::{CidrFilter, IpAddr};
 pub use discipline::NetDiscipline;
-pub use packet::{FlowKey, Packet, PacketKind};
+pub use packet::{rss_cpu, FlowKey, Packet, PacketKind};
 pub use queues::PendingQueues;
 pub use stack::{ConnState, Demux, NetEvent, NetStack, SockId, Socket, SocketKind};

@@ -3,11 +3,22 @@
 //!
 //! # Execution model
 //!
-//! One simulated CPU. Time advances only by consuming CPU (scheduled work,
-//! interrupt-level work, context-switch overhead) or by explicit idling to
-//! the next event. Work items carry their CPU cost and apply their effects
-//! only after the cost has been consumed, so application-visible latencies
-//! reflect contention faithfully.
+//! `ncpus` simulated CPUs (one by default). Each CPU has its own clock,
+//! run queue, and accounting; a CPU's clock advances only by consuming CPU
+//! (scheduled work, interrupt-level work, context-switch overhead) or by
+//! explicit idling to the next event. The event loop always steps the
+//! CPU(s) whose clock is furthest behind (the *frontier*), so kernel
+//! events are delivered in global time order and a single-CPU
+//! configuration reproduces the classic uniprocessor loop exactly. Work
+//! items carry their CPU cost and apply their effects only after the cost
+//! has been consumed, so application-visible latencies reflect contention
+//! faithfully.
+//!
+//! Fixed-share guarantees remain *global*: per-CPU queues divide each
+//! CPU locally, and a periodic container-aware load balancer
+//! ([`KernelEvent::Balance`], multiprocessor only) migrates threads so
+//! every container's runnable threads stay spread across CPUs, ranked by
+//! how far each container lags its entitlement.
 //!
 //! # Interrupt level
 //!
@@ -27,7 +38,8 @@ use std::collections::{BTreeMap, HashMap};
 
 use rescon::{Attributes, ContainerId, ContainerTable};
 use sched::{
-    DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, Scheduler, StrideScheduler, TaskId,
+    CpuId, DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, PerCpu, Scheduler,
+    StrideScheduler, TaskId,
 };
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{EventQueue, Nanos};
@@ -108,6 +120,11 @@ pub struct KernelConfig {
     /// Buffer-cache capacity in bytes; resident files are charged to their
     /// owning container's memory counter.
     pub buffer_cache_bytes: u64,
+    /// Number of simulated CPUs (clamped to at least 1 at boot).
+    pub ncpus: u32,
+    /// Interval of the container-aware load balancer. Only armed on
+    /// multiprocessor configurations (`ncpus > 1`); zero disables it.
+    pub balance_interval: Nanos,
 }
 
 impl KernelConfig {
@@ -130,6 +147,8 @@ impl KernelConfig {
             disk: DiskParams::default(),
             disk_sched: DiskSchedKind::Fifo,
             buffer_cache_bytes: 16 * 1024 * 1024,
+            ncpus: 1,
+            balance_interval: Nanos::from_millis(5),
         }
     }
 
@@ -172,6 +191,12 @@ impl KernelConfig {
         self.buffer_cache_bytes = bytes;
         self
     }
+
+    /// Sets the number of simulated CPUs (builder style).
+    pub fn with_ncpus(mut self, n: u32) -> Self {
+        self.ncpus = n.max(1);
+        self
+    }
 }
 
 /// Internal kernel events.
@@ -189,6 +214,10 @@ enum KernelEvent {
     Prune,
     /// The disk's in-flight request finished.
     DiskTick,
+    /// Periodic container-aware load balancing (multiprocessor only; never
+    /// scheduled on a uniprocessor, so single-CPU event schedules are
+    /// untouched).
+    Balance,
 }
 
 /// A thread parked on a disk read.
@@ -200,13 +229,54 @@ struct DiskWaiter {
     cache: bool,
 }
 
-fn build_scheduler(kind: SchedPolicyKind) -> Box<dyn Scheduler> {
+/// Builds the SMP scheduler: one core policy instance per CPU behind a
+/// [`PerCpu`] router. With one CPU this is a pure pass-through, so each
+/// policy observes exactly the uniprocessor call sequence.
+fn build_scheduler(kind: SchedPolicyKind, ncpus: u32) -> Box<dyn Scheduler> {
+    let n = ncpus.max(1) as usize;
     match kind {
-        SchedPolicyKind::DecayUsage => Box::new(DecayUsageScheduler::new()),
-        SchedPolicyKind::MultiLevel => Box::new(MultiLevelScheduler::new()),
-        SchedPolicyKind::Stride => Box::new(StrideScheduler::new()),
-        SchedPolicyKind::Lottery(seed) => Box::new(LotteryScheduler::new(seed)),
+        SchedPolicyKind::DecayUsage => Box::new(PerCpu::new(
+            (0..n).map(|_| DecayUsageScheduler::new()).collect(),
+        )),
+        SchedPolicyKind::MultiLevel => Box::new(PerCpu::new(
+            (0..n).map(|_| MultiLevelScheduler::new()).collect(),
+        )),
+        SchedPolicyKind::Stride => Box::new(PerCpu::new(
+            (0..n).map(|_| StrideScheduler::new()).collect(),
+        )),
+        SchedPolicyKind::Lottery(seed) => Box::new(PerCpu::new(
+            // Distinct per-CPU seeds keep the cores' draws independent;
+            // CPU 0 keeps the configured seed, so a single-CPU run is
+            // unchanged.
+            (0..n)
+                .map(|i| LotteryScheduler::new(seed.wrapping_add(i as u64)))
+                .collect(),
+        )),
     }
+}
+
+/// Per-CPU mutable state: its clock, pending uncharged work, and the
+/// bookkeeping needed to detect context switches locally.
+#[derive(Clone, Copy, Debug, Default)]
+struct CpuState {
+    clock: Nanos,
+    /// Interrupt + context-switch work owed; paid before scheduled work.
+    overhead_deficit: Nanos,
+    /// Portion of `overhead_deficit` that is context-switch overhead (the
+    /// rest is interrupt work).
+    switch_deficit: Nanos,
+    last_task: Option<TaskId>,
+    stats: crate::stats::CpuStats,
+}
+
+/// Result of giving one CPU a chance to run at the frontier.
+enum StepOutcome {
+    /// The CPU consumed time or changed scheduler state; re-derive the
+    /// frontier before stepping anyone else.
+    Progress,
+    /// Nothing to run on this CPU before the given time (`Nanos::MAX` =
+    /// nothing ever again).
+    Idle(Nanos),
 }
 
 /// The simulated kernel.
@@ -241,18 +311,24 @@ pub struct Kernel {
     next_task: u32,
     next_pid: u32,
     stats: KernelStats,
-    /// Interrupt + context-switch work owed; paid before scheduled work.
-    overhead_deficit: Nanos,
-    /// Portion of `overhead_deficit` that is context-switch overhead (the
-    /// rest is interrupt work).
-    switch_deficit: Nanos,
-    last_task: Option<TaskId>,
+    /// One state block per simulated CPU (`cfg.ncpus` entries).
+    cpus: Vec<CpuState>,
+    /// Round-robin cursor for placing new application threads.
+    next_app_cpu: u32,
+    /// Home CPU per container (kernel network threads run there), plus the
+    /// round-robin cursor assigning homes on first use.
+    container_home: HashMap<u64, u32>,
+    next_home_cpu: u32,
+    /// `subtree_cpu` per container at the previous balance tick, for
+    /// computing per-window lag.
+    balance_snapshot: HashMap<u64, Nanos>,
 }
 
 impl Kernel {
     /// Boots a kernel with the given configuration.
-    pub fn new(cfg: KernelConfig) -> Self {
-        let scheduler = build_scheduler(cfg.scheduler);
+    pub fn new(mut cfg: KernelConfig) -> Self {
+        cfg.ncpus = cfg.ncpus.max(1);
+        let scheduler = build_scheduler(cfg.scheduler, cfg.ncpus);
         let disk = SimDisk::new(
             cfg.disk,
             match cfg.disk_sched {
@@ -282,14 +358,20 @@ impl Kernel {
             clock: Nanos::ZERO,
             events: EventQueue::new(),
             stats: KernelStats::default(),
-            overhead_deficit: Nanos::ZERO,
-            switch_deficit: Nanos::ZERO,
-            last_task: None,
+            cpus: vec![CpuState::default(); cfg.ncpus as usize],
+            next_app_cpu: 0,
+            container_home: HashMap::new(),
+            next_home_cpu: 0,
+            balance_snapshot: HashMap::new(),
             cfg,
         };
         if !k.cfg.prune_interval.is_zero() {
             let t = k.cfg.prune_interval;
             k.events.schedule(t, KernelEvent::Prune);
+        }
+        if k.cfg.ncpus > 1 && !k.cfg.balance_interval.is_zero() {
+            let t = k.cfg.balance_interval;
+            k.events.schedule(t, KernelEvent::Balance);
         }
         k
     }
@@ -299,9 +381,21 @@ impl Kernel {
         self.clock
     }
 
-    /// Kernel-level CPU statistics.
+    /// Kernel-level CPU statistics, aggregated over all CPUs.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// Number of simulated CPUs.
+    pub fn ncpus(&self) -> u32 {
+        self.cfg.ncpus
+    }
+
+    /// Per-CPU accounting, one entry per simulated CPU. Each entry's
+    /// `charged + interrupt + overhead + idle` equals that CPU's elapsed
+    /// clock.
+    pub fn per_cpu_stats(&self) -> Vec<crate::stats::CpuStats> {
+        self.cpus.iter().map(|c| c.stats).collect()
     }
 
     /// The default container of a process.
@@ -328,6 +422,31 @@ impl Kernel {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         id
+    }
+
+    /// Initial CPU for a new application thread: round-robin, so
+    /// multi-threaded servers start spread. Always CPU 0 on a
+    /// uniprocessor.
+    fn alloc_app_cpu(&mut self) -> CpuId {
+        let cpu = self.next_app_cpu % self.cfg.ncpus;
+        self.next_app_cpu += 1;
+        CpuId(cpu)
+    }
+
+    /// The home CPU of a container: assigned round-robin on first use and
+    /// sticky thereafter. Kernel network threads run on the home CPU of
+    /// their owning container, so protocol work is charged there.
+    fn home_cpu(&mut self, c: ContainerId) -> CpuId {
+        if self.cfg.ncpus <= 1 {
+            return CpuId(0);
+        }
+        if let Some(&cpu) = self.container_home.get(&c.as_u64()) {
+            return CpuId(cpu);
+        }
+        let cpu = self.next_home_cpu % self.cfg.ncpus;
+        self.next_home_cpu += 1;
+        self.container_home.insert(c.as_u64(), cpu);
+        CpuId(cpu)
     }
 
     /// Spawns a process with a state-machine handler.
@@ -362,8 +481,9 @@ impl Kernel {
             kernel_mode: false,
         });
         proc.threads.push(tid);
+        let cpu = self.alloc_app_cpu();
         self.scheduler
-            .add_task(tid, &thread.sched_binding.containers(), self.clock);
+            .add_task(tid, thread.sched_binding.containers(), cpu, self.clock);
         self.scheduler.set_runnable(tid, true, self.clock);
         self.threads.insert(tid, thread);
         self.processes.insert(pid, proc);
@@ -385,8 +505,9 @@ impl Kernel {
             kernel_mode: false,
         });
         self.processes.get_mut(&pid)?.threads.push(tid);
+        let cpu = self.alloc_app_cpu();
         self.scheduler
-            .add_task(tid, &thread.sched_binding.containers(), self.clock);
+            .add_task(tid, thread.sched_binding.containers(), cpu, self.clock);
         self.scheduler.set_runnable(tid, true, self.clock);
         self.threads.insert(tid, thread);
         Some(tid)
@@ -397,9 +518,29 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// Runs the simulation until virtual time `until`.
+    ///
+    /// The loop steps the *frontier* — the CPU(s) whose clock is furthest
+    /// behind. Kernel events are delivered at the frontier time, so a CPU
+    /// never runs past an event another CPU has yet to cause, and with one
+    /// CPU the loop degenerates to the classic uniprocessor event loop.
     pub fn run(&mut self, world: &mut dyn World, until: Nanos) {
-        loop {
-            // 1. Deliver all due events.
+        'outer: loop {
+            let min_clock = self
+                .cpus
+                .iter()
+                .map(|c| c.clock)
+                .min()
+                .expect("at least one CPU");
+            self.clock = min_clock;
+            if self.cpus.len() > 1 {
+                // A CPU ahead of the frontier may have left the trace
+                // clock in its future; rewind it for event handling. (On
+                // a uniprocessor the trace clock already equals the
+                // frontier, and skipping the call keeps the classic
+                // emission sequence bit-for-bit.)
+                trace::set_now(self.clock);
+            }
+            // 1. Deliver all due events (interrupt context).
             while let Some((_, ev)) = self.events.pop_due(self.clock) {
                 self.handle_event(ev, world);
             }
@@ -413,151 +554,254 @@ impl Kernel {
             if self.clock >= until {
                 break;
             }
-            // 2. Pay interrupt / overhead debt ahead of scheduled work.
-            if !self.overhead_deficit.is_zero() {
-                let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
-                let horizon = until.min(next_ev.max(self.clock));
-                let dt = self.overhead_deficit.min(horizon - self.clock);
-                if dt.is_zero() {
-                    // An event is due right now; handle it first.
+            // 2. Give every frontier CPU one chance to run, in id order.
+            //    Any progress re-derives the frontier; idle verdicts stay
+            //    valid because an idle step never wakes another CPU's
+            //    threads.
+            let mut idle_until: Vec<Nanos> = Vec::new();
+            for cpu in 0..self.cpus.len() {
+                if self.cpus[cpu].clock != min_clock {
                     continue;
                 }
-                let sw = self.switch_deficit.min(dt);
-                self.switch_deficit -= sw;
-                self.stats.overhead_cpu += sw;
-                self.stats.interrupt_cpu += dt - sw;
-                self.overhead_deficit -= dt;
-                self.clock += dt;
+                match self.step_cpu(cpu, until, world) {
+                    StepOutcome::Progress => continue 'outer,
+                    StepOutcome::Idle(t) => idle_until.push(t),
+                }
+            }
+            // 3. The whole frontier is idle: advance it in lockstep.
+            let frontier_is_all = idle_until.len() == self.cpus.len();
+            if frontier_is_all && idle_until.iter().all(|&t| t == Nanos::MAX) {
+                // Nothing will ever happen again.
+                for cpu in self.cpus.iter_mut() {
+                    let dt = until - cpu.clock;
+                    cpu.stats.idle_cpu += dt;
+                    cpu.clock = until;
+                    self.stats.idle_cpu += dt;
+                }
+                self.clock = until;
                 trace::set_now(self.clock);
-                continue;
+                break;
             }
-            // 3. Run scheduled work.
-            match self.scheduler.pick(&self.containers, self.clock) {
-                Some(pick) => {
-                    if self.last_task != Some(pick.task) {
-                        // Register the switch cost as overhead to be paid
-                        // ahead of the *next* scheduling decision, and run
-                        // the picked task now (re-picking here would let an
-                        // equal-usage peer grab the CPU and livelock).
-                        trace::emit_at(self.clock, || TraceEventKind::CtxSwitch {
-                            from: self.last_task.map(|t| t.0).unwrap_or(u32::MAX),
-                            to: pick.task.0,
-                            container: self
-                                .threads
-                                .get(&pick.task)
-                                .map(|t| t.charge_container().as_u64())
-                                .unwrap_or(NO_CONTAINER),
-                        });
-                        self.stats.ctx_switches += 1;
-                        self.overhead_deficit += self.cfg.cost.ctx_switch;
-                        self.switch_deficit += self.cfg.cost.ctx_switch;
-                        self.last_task = Some(pick.task);
-                    }
-                    let Some(th) = self.threads.get_mut(&pick.task) else {
-                        self.scheduler.remove_task(pick.task);
-                        continue;
-                    };
-                    if !th.has_work() {
-                        // Defensive: a runnable thread without work parks.
-                        th.state = ThreadState::Blocked(WaitFor::Idle);
-                        self.scheduler.set_runnable(pick.task, false, self.clock);
-                        continue;
-                    }
-                    let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
-                    let horizon = until
-                        .min(next_ev)
-                        .min(self.clock.saturating_add(pick.slice));
-                    let budget = horizon.saturating_sub(self.clock);
-                    let dt = th.remaining.min(budget);
-                    if !dt.is_zero() {
-                        th.remaining -= dt;
-                        let container = th.charge_container();
-                        let kernel_mode = th.charge_kernel_mode();
-                        let target = if self.containers.contains(container) {
-                            container
-                        } else {
-                            self.containers.root()
-                        };
-                        if kernel_mode {
-                            let _ = self.containers.charge_cpu_kernel(target, dt);
-                        } else {
-                            let _ = self.containers.charge_cpu(target, dt);
-                        }
-                        self.clock += dt;
-                        trace::set_now(self.clock);
-                        self.scheduler
-                            .charge(pick.task, target, dt, &self.containers, self.clock);
-                        self.stats.charged_cpu += dt;
-                    }
-                    let finished = self
-                        .threads
-                        .get(&pick.task)
-                        .map(|t| t.remaining.is_zero())
-                        .unwrap_or(false);
-                    if finished {
-                        self.complete_item(pick.task, world);
-                    } else if dt.is_zero() {
-                        // No budget at all: an event is due or `until` was
-                        // reached; loop around.
-                        if self.clock >= until {
-                            break;
-                        }
-                    }
-                }
-                None => {
-                    // Before idling, hand parked kernel network threads
-                    // their pending (possibly starvable) backlog: priority
-                    // zero means "run only when nothing else wants the
-                    // CPU" — which is now.
-                    let parked: Vec<(Pid, TaskId)> = self
-                        .kthreads
-                        .iter()
-                        .filter(|(pid, ktid)| {
-                            self.threads
-                                .get(ktid)
-                                .map(|t| !t.has_work())
-                                .unwrap_or(false)
-                                && self
-                                    .pending
-                                    .get(pid)
-                                    .map(|q| !q.is_empty())
-                                    .unwrap_or(false)
-                        })
-                        .map(|(&pid, &ktid)| (pid, ktid))
-                        .collect();
-                    if !parked.is_empty() {
-                        for (pid, ktid) in parked {
-                            self.kthread_refill_inner(pid, ktid, true);
-                        }
-                        continue;
-                    }
-                    let mut target = until.min(self.events.peek_time().unwrap_or(Nanos::MAX));
-                    if let Some(r) = self
-                        .scheduler
-                        .next_release_time(&self.containers, self.clock)
-                    {
-                        target = target.min(r.max(self.clock));
-                    }
-                    if target == Nanos::MAX {
-                        // Nothing will ever happen again.
-                        self.stats.idle_cpu += until - self.clock;
-                        self.clock = until;
-                        trace::set_now(self.clock);
-                        break;
-                    }
-                    if target <= self.clock {
-                        // Events due now; loop to deliver them.
-                        continue;
-                    }
-                    self.stats.idle_cpu += target - self.clock;
-                    self.clock = target;
-                    trace::set_now(self.clock);
+            // Idle to the earliest of: an idle target, `until`, or a CPU
+            // ahead of the frontier (whose step may wake this one).
+            let mut target = until;
+            for &t in &idle_until {
+                target = target.min(t);
+            }
+            for c in &self.cpus {
+                if c.clock > min_clock {
+                    target = target.min(c.clock);
                 }
             }
+            debug_assert!(target > min_clock, "idle advance must make progress");
+            for cpu in self.cpus.iter_mut() {
+                if cpu.clock == min_clock {
+                    let dt = target - cpu.clock;
+                    cpu.stats.idle_cpu += dt;
+                    cpu.clock = target;
+                    self.stats.idle_cpu += dt;
+                }
+            }
+            self.clock = target;
+            trace::set_now(self.clock);
         }
         if rctrace::active() {
             let rows = self.container_rows();
             rctrace::record_totals(self.global_totals(), &rows);
+            let totals: Vec<rctrace::CpuTotals> = self
+                .cpus
+                .iter()
+                .map(|c| rctrace::CpuTotals {
+                    charged_cpu: c.stats.charged_cpu,
+                    interrupt_cpu: c.stats.interrupt_cpu,
+                    overhead_cpu: c.stats.overhead_cpu,
+                    idle_cpu: c.stats.idle_cpu,
+                    ctx_switches: c.stats.ctx_switches,
+                })
+                .collect();
+            rctrace::record_cpu_totals(&totals);
+        }
+    }
+
+    /// One scheduling step on `cpu`, whose clock sits at the frontier:
+    /// pay overhead debt, else run the picked thread, else report when the
+    /// CPU could next have work.
+    fn step_cpu(&mut self, cpu: usize, until: Nanos, world: &mut dyn World) -> StepOutcome {
+        let now = self.cpus[cpu].clock;
+        // Pay interrupt / overhead debt ahead of scheduled work.
+        if !self.cpus[cpu].overhead_deficit.is_zero() {
+            let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
+            let horizon = until.min(next_ev.max(now));
+            let dt = self.cpus[cpu].overhead_deficit.min(horizon - now);
+            if dt.is_zero() {
+                // An event is due right now; handle it first.
+                return StepOutcome::Progress;
+            }
+            let cs = &mut self.cpus[cpu];
+            let sw = cs.switch_deficit.min(dt);
+            cs.switch_deficit -= sw;
+            cs.stats.overhead_cpu += sw;
+            cs.stats.interrupt_cpu += dt - sw;
+            cs.overhead_deficit -= dt;
+            cs.clock += dt;
+            self.stats.overhead_cpu += sw;
+            self.stats.interrupt_cpu += dt - sw;
+            self.clock = self.cpus[cpu].clock;
+            trace::set_now(self.clock);
+            return StepOutcome::Progress;
+        }
+        // Run scheduled work.
+        match self
+            .scheduler
+            .pick(CpuId(cpu as u32), &self.containers, now)
+        {
+            Some(pick) => {
+                if self.cpus[cpu].last_task != Some(pick.task) {
+                    // Register the switch cost as overhead to be paid
+                    // ahead of the *next* scheduling decision, and run
+                    // the picked task now (re-picking here would let an
+                    // equal-usage peer grab the CPU and livelock).
+                    let from = self.cpus[cpu].last_task.map(|t| t.0).unwrap_or(u32::MAX);
+                    trace::emit_at(now, || TraceEventKind::CtxSwitch {
+                        from,
+                        to: pick.task.0,
+                        container: self
+                            .threads
+                            .get(&pick.task)
+                            .map(|t| t.charge_container().as_u64())
+                            .unwrap_or(NO_CONTAINER),
+                        cpu: cpu as u32,
+                    });
+                    self.stats.ctx_switches += 1;
+                    let cs = &mut self.cpus[cpu];
+                    cs.stats.ctx_switches += 1;
+                    cs.overhead_deficit += self.cfg.cost.ctx_switch;
+                    cs.switch_deficit += self.cfg.cost.ctx_switch;
+                    cs.last_task = Some(pick.task);
+                }
+                let Some(th) = self.threads.get_mut(&pick.task) else {
+                    self.scheduler.remove_task(pick.task);
+                    return StepOutcome::Progress;
+                };
+                if !th.has_work() {
+                    // Defensive: a runnable thread without work parks.
+                    th.state = ThreadState::Blocked(WaitFor::Idle);
+                    self.scheduler.set_runnable(pick.task, false, now);
+                    return StepOutcome::Progress;
+                }
+                let next_ev = self.events.peek_time().unwrap_or(Nanos::MAX);
+                let horizon = until.min(next_ev).min(now.saturating_add(pick.slice));
+                let budget = horizon.saturating_sub(now);
+                let dt = th.remaining.min(budget);
+                if !dt.is_zero() {
+                    th.remaining -= dt;
+                    let container = th.charge_container();
+                    let kernel_mode = th.charge_kernel_mode();
+                    let target = if self.containers.contains(container) {
+                        container
+                    } else {
+                        self.containers.root()
+                    };
+                    self.charge_scheduled(target, dt, kernel_mode);
+                    let cs = &mut self.cpus[cpu];
+                    cs.stats.charged_cpu += dt;
+                    cs.clock += dt;
+                    self.clock = cs.clock;
+                    trace::set_now(self.clock);
+                    self.scheduler
+                        .charge(pick.task, target, dt, &self.containers, self.clock);
+                    self.stats.charged_cpu += dt;
+                }
+                let finished = self
+                    .threads
+                    .get(&pick.task)
+                    .map(|t| t.remaining.is_zero())
+                    .unwrap_or(false);
+                if finished {
+                    self.complete_item(pick.task, world);
+                }
+                StepOutcome::Progress
+            }
+            None => {
+                // Before idling, hand parked kernel network threads
+                // their pending (possibly starvable) backlog: priority
+                // zero means "run only when nothing else wants the
+                // CPU" — which is now.
+                let parked: Vec<(Pid, TaskId)> = self
+                    .kthreads
+                    .iter()
+                    .filter(|(pid, ktid)| {
+                        self.threads
+                            .get(ktid)
+                            .map(|t| !t.has_work())
+                            .unwrap_or(false)
+                            && self
+                                .pending
+                                .get(pid)
+                                .map(|q| !q.is_empty())
+                                .unwrap_or(false)
+                    })
+                    .map(|(&pid, &ktid)| (pid, ktid))
+                    .collect();
+                if !parked.is_empty() {
+                    for (pid, ktid) in parked {
+                        self.kthread_refill_inner(pid, ktid, true);
+                    }
+                    return StepOutcome::Progress;
+                }
+                // Work conservation (multiprocessor only): before going
+                // idle, steal a waiting application thread from the CPU
+                // with the deepest runnable backlog. The periodic
+                // balancer enforces *shares*; stealing keeps CPUs from
+                // idling while work queues elsewhere between its ticks.
+                if self.cpus.len() > 1 {
+                    if let Some((task, from)) = self.steal_candidate(cpu) {
+                        self.scheduler.migrate(task, CpuId(cpu as u32), now);
+                        self.stats.migrations += 1;
+                        let container = self
+                            .threads
+                            .get(&task)
+                            .map(|t| t.charge_container().as_u64())
+                            .unwrap_or(NO_CONTAINER);
+                        let (f, t) = (from as u32, cpu as u32);
+                        trace::emit_at(now, || TraceEventKind::Migrate {
+                            task: task.0,
+                            from_cpu: f,
+                            to_cpu: t,
+                            container,
+                        });
+                        return StepOutcome::Progress;
+                    }
+                }
+                let mut target = until.min(self.events.peek_time().unwrap_or(Nanos::MAX));
+                if let Some(r) =
+                    self.scheduler
+                        .next_release_time(CpuId(cpu as u32), &self.containers, now)
+                {
+                    target = target.min(r.max(now));
+                }
+                if target == Nanos::MAX {
+                    return StepOutcome::Idle(Nanos::MAX);
+                }
+                if target <= now {
+                    // Events due now; loop to deliver them.
+                    return StepOutcome::Progress;
+                }
+                StepOutcome::Idle(target)
+            }
+        }
+    }
+
+    /// The single charge path for scheduled CPU time, shared by every
+    /// configuration: kernel-mode work charges the container's kernel CPU
+    /// sub-account, user work the plain CPU account, and either way the
+    /// container table emits the `Charge` trace event. Keeping one helper
+    /// prevents the SMP path from drifting from the uniprocessor path.
+    fn charge_scheduled(&mut self, target: ContainerId, dt: Nanos, kernel_mode: bool) {
+        if kernel_mode {
+            let _ = self.containers.charge_cpu_kernel(target, dt);
+        } else {
+            let _ = self.containers.charge_cpu(target, dt);
         }
     }
 
@@ -581,7 +825,146 @@ impl Kernel {
             KernelEvent::TimerFired(task, tag) => self.timer_fired(task, tag),
             KernelEvent::Prune => self.prune_bindings(),
             KernelEvent::DiskTick => self.disk_tick(),
+            KernelEvent::Balance => self.rebalance(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Container-aware load balancing (multiprocessor only)
+    // ------------------------------------------------------------------
+
+    /// Periodic container-aware load balancing. Containers are ranked by
+    /// how far they lag their *global* entitlement over the last window
+    /// (`effective_share × ncpus × window` versus the growth of their
+    /// subtree CPU usage); in that order, each container's runnable
+    /// application threads are spread evenly across CPUs, preferring the
+    /// globally least-loaded CPU as the target. The most underserved
+    /// container therefore claims presence on underused CPUs first, which
+    /// is what keeps fixed shares global while run queues are per-CPU.
+    /// Kernel network threads are pinned to their container's home CPU and
+    /// never migrate.
+    /// Picks a thread for an idle CPU to steal: the lowest-id runnable
+    /// application thread on the CPU with the deepest runnable backlog
+    /// (ties broken toward the lowest CPU id). Only CPUs with at least
+    /// two waiting threads are victims — stealing a CPU's sole runnable
+    /// thread would just move the work without creating parallelism.
+    fn steal_candidate(&self, thief: usize) -> Option<(TaskId, usize)> {
+        let ncpus = self.cpus.len();
+        let mut best: Vec<TaskId> = Vec::new();
+        let mut from = thief;
+        for victim in 0..ncpus {
+            if victim == thief {
+                continue;
+            }
+            let mut queued: Vec<TaskId> = Vec::new();
+            for (&tid, th) in self.threads.iter() {
+                if th.kind == ThreadKind::App
+                    && th.state == ThreadState::Runnable
+                    && self.scheduler.cpu_of(tid) == Some(CpuId(victim as u32))
+                {
+                    queued.push(tid);
+                }
+            }
+            if queued.len() >= 2 && queued.len() > best.len() {
+                best = queued;
+                from = victim;
+            }
+        }
+        best.first().map(|&t| (t, from))
+    }
+
+    fn rebalance(&mut self) {
+        let ncpus = self.cfg.ncpus as usize;
+        if ncpus > 1 {
+            // Rank containers by entitlement lag over the last window.
+            let window = self.cfg.balance_interval.as_secs_f64();
+            let mut ranked: Vec<(ContainerId, f64)> = Vec::new();
+            for (id, _c) in self.containers.iter() {
+                let used = self.containers.subtree_cpu(id).unwrap_or(Nanos::ZERO);
+                let prev = self
+                    .balance_snapshot
+                    .insert(id.as_u64(), used)
+                    .unwrap_or(Nanos::ZERO);
+                let got = (used.saturating_sub(prev)).as_secs_f64();
+                let entitled =
+                    self.containers.effective_share(id).unwrap_or(0.0) * ncpus as f64 * window;
+                ranked.push((id, entitled - got));
+            }
+            ranked.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.as_u64().cmp(&b.0.as_u64()))
+            });
+            // Global per-CPU load of runnable threads — including pinned
+            // kernel network threads, so the CPUs hosting hot protocol
+            // threads are dispreferred as migration targets.
+            let mut load = vec![0i64; ncpus];
+            for (&tid, th) in self.threads.iter() {
+                if th.state == ThreadState::Runnable {
+                    if let Some(c) = self.scheduler.cpu_of(tid) {
+                        load[c.0 as usize] += 1;
+                    }
+                }
+            }
+            for (cid, _lag) in ranked {
+                // This container's runnable application threads, grouped
+                // by current CPU (BTreeMap order: ascending task id).
+                let mut on_cpu: Vec<Vec<TaskId>> = vec![Vec::new(); ncpus];
+                let mut total = 0usize;
+                for (&tid, th) in self.threads.iter() {
+                    if th.kind == ThreadKind::App
+                        && th.state == ThreadState::Runnable
+                        && th.charge_container() == cid
+                    {
+                        if let Some(c) = self.scheduler.cpu_of(tid) {
+                            on_cpu[c.0 as usize].push(tid);
+                            total += 1;
+                        }
+                    }
+                }
+                if total < 2 {
+                    continue;
+                }
+                // Move threads from the container's most- to its
+                // least-populated CPU until no pair differs by more than
+                // one.
+                loop {
+                    let mut from = 0usize;
+                    let mut to = 0usize;
+                    for i in 1..ncpus {
+                        if on_cpu[i].len() > on_cpu[from].len() {
+                            from = i;
+                        }
+                        if on_cpu[i].len() < on_cpu[to].len()
+                            || (on_cpu[i].len() == on_cpu[to].len() && load[i] < load[to])
+                        {
+                            to = i;
+                        }
+                    }
+                    if on_cpu[from].len() - on_cpu[to].len() <= 1 {
+                        break;
+                    }
+                    let task = on_cpu[from].remove(0);
+                    if !self.scheduler.migrate(task, CpuId(to as u32), self.clock) {
+                        break;
+                    }
+                    on_cpu[to].push(task);
+                    load[from] -= 1;
+                    load[to] += 1;
+                    self.stats.migrations += 1;
+                    let container = cid.as_u64();
+                    let (f, t) = (from as u32, to as u32);
+                    trace::emit_at(self.clock, || TraceEventKind::Migrate {
+                        task: task.0,
+                        from_cpu: f,
+                        to_cpu: t,
+                        container,
+                    });
+                }
+            }
+        }
+        self.events
+            .schedule(self.clock + self.cfg.balance_interval, KernelEvent::Balance);
     }
 
     // ------------------------------------------------------------------
@@ -600,11 +983,15 @@ impl Kernel {
         tag: u64,
         cache: bool,
     ) {
+        // The completion interrupt fires on the CPU the waiting thread
+        // currently runs on (CPU 0 on a uniprocessor).
+        let intr_cpu = self.scheduler.cpu_of(task).map(|c| c.0).unwrap_or(0);
         let req = self.disk.submit(
             DiskRequest {
                 file,
                 bytes,
                 charge_to: principal,
+                intr_cpu,
             },
             &self.containers,
             self.clock,
@@ -622,7 +1009,8 @@ impl Kernel {
         self.disk_tick_armed = false;
         let completions = self.disk.advance(self.clock, &mut self.containers);
         for c in completions {
-            self.overhead_deficit += self.cfg.cost.disk_intr;
+            let cpu = (c.intr_cpu as usize).min(self.cpus.len() - 1);
+            self.cpus[cpu].overhead_deficit += self.cfg.cost.disk_intr;
             let Some(w) = self.disk_waiters.remove(&c.req) else {
                 continue;
             };
@@ -695,10 +1083,14 @@ impl Kernel {
         }
     }
 
-    /// Interrupt-level receive path.
+    /// Interrupt-level receive path. The packet's flow hash picks the CPU
+    /// whose interrupt handler classifies it (RSS-style steering; always
+    /// CPU 0 on a uniprocessor), and any interrupt-level protocol work
+    /// runs there too.
     fn receive_packet(&mut self, pkt: Packet) {
         self.stats.pkts_in += 1;
-        self.overhead_deficit += self.cfg.cost.intr_demux;
+        let cpu = simnet::rss_cpu(&pkt.flow, self.cfg.ncpus) as usize;
+        self.cpus[cpu].overhead_deficit += self.cfg.cost.intr_demux;
         let demux = self.stack.classify(&pkt);
         let sock = match demux {
             Demux::Conn(s) | Demux::Listen(s) => Some(s),
@@ -716,16 +1108,16 @@ impl Kernel {
             NetDiscipline::Interrupt => {
                 // Full protocol processing at interrupt level, charged to
                 // no principal (§3.2).
-                self.overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
+                self.cpus[cpu].overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
                 let evs = self.stack.handle_packet(pkt, self.clock);
-                self.apply_net_events_interrupt(evs);
+                self.apply_net_events_interrupt(evs, cpu);
             }
             NetDiscipline::Lrp | NetDiscipline::Container => {
                 let Some(sock) = sock else {
                     // No owner: respond at interrupt level (stray packet).
-                    self.overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
+                    self.cpus[cpu].overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
                     let evs = self.stack.handle_packet(pkt, self.clock);
-                    self.apply_net_events_interrupt(evs);
+                    self.apply_net_events_interrupt(evs, cpu);
                     return;
                 };
                 let Some(owner) = self.sock_owner.get(&sock).copied() else {
@@ -791,8 +1183,11 @@ impl Kernel {
         let mut th = Thread::new(tid, pid, ThreadKind::KernelNet, container, self.clock);
         th.state = ThreadState::Blocked(WaitFor::Idle);
         let _ = self.containers.bind_thread(container);
+        // Protocol processing runs — and is charged — on the owning
+        // container's home CPU.
+        let cpu = self.home_cpu(container);
         self.scheduler
-            .add_task(tid, &th.sched_binding.containers(), self.clock);
+            .add_task(tid, th.sched_binding.containers(), cpu, self.clock);
         self.threads.insert(tid, th);
         self.kthreads.insert(pid, tid);
     }
@@ -934,13 +1329,14 @@ impl Kernel {
     // Net event application
     // ------------------------------------------------------------------
 
-    /// Applies protocol-processing results in interrupt context: transmit
-    /// costs are interrupt work; wakeups happen immediately.
-    fn apply_net_events_interrupt(&mut self, evs: Vec<NetEvent>) {
+    /// Applies protocol-processing results in interrupt context on `cpu`:
+    /// transmit costs are interrupt work there; wakeups happen
+    /// immediately.
+    fn apply_net_events_interrupt(&mut self, evs: Vec<NetEvent>, cpu: usize) {
         for ev in evs {
             match ev {
                 NetEvent::PacketOut(p) => {
-                    self.overhead_deficit += self.cfg.cost.tx_cost(p.kind);
+                    self.cpus[cpu].overhead_deficit += self.cfg.cost.tx_cost(p.kind);
                     self.transmit(p);
                 }
                 other => self.apply_wakeup_event(other),
@@ -1210,7 +1606,7 @@ impl Kernel {
             // The current resource binding always stays.
             th.sched_binding.touch(th.resource_binding, now);
             if removed > 0 {
-                updates.push((tid, th.sched_binding.containers()));
+                updates.push((tid, th.sched_binding.containers().to_vec()));
             }
         }
         for (tid, binding) in updates {

@@ -27,8 +27,10 @@
 //! consumed on the simulated CPU, so response-time measurements reflect
 //! scheduling and queueing faithfully.
 //!
-//! The simulated machine has one CPU, matching the uniprocessor used in
-//! the paper's evaluation.
+//! The simulated machine has `ncpus` CPUs (one by default, matching the
+//! uniprocessor used in the paper's evaluation). Each CPU owns a run
+//! queue and its own accounting; fixed-share guarantees stay global via a
+//! periodic container-aware load balancer (see [`kernel`]).
 
 pub mod app;
 pub mod cost;
@@ -44,7 +46,7 @@ pub use app::{AppEvent, AppHandler};
 pub use cost::CostModel;
 pub use ids::Pid;
 pub use kernel::{DiskSchedKind, Kernel, KernelConfig, SchedPolicyKind};
-pub use stats::KernelStats;
+pub use stats::{CpuStats, KernelStats};
 pub use syscall::SysCtx;
 pub use thread::WaitFor;
 pub use world::{NullWorld, World, WorldAction};

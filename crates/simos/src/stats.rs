@@ -29,6 +29,9 @@ pub struct KernelStats {
     pub upcalls: u64,
     /// Scheduler context switches (picked task differs from previous).
     pub ctx_switches: u64,
+    /// Threads moved between CPUs by the load balancer (always zero on a
+    /// uniprocessor configuration).
+    pub migrations: u64,
 }
 
 impl KernelStats {
@@ -46,6 +49,32 @@ impl KernelStats {
     /// Busy (non-idle) CPU time.
     pub fn busy(&self) -> Nanos {
         self.charged_cpu + self.interrupt_cpu + self.overhead_cpu
+    }
+}
+
+/// Per-CPU slice of the kernel accounting: one entry per simulated CPU.
+///
+/// Each CPU's clock only advances by consuming CPU or idling, so for every
+/// CPU `charged + interrupt + overhead + idle == elapsed`, and the sum over
+/// all CPUs equals `ncpus × elapsed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// CPU time consumed by scheduled threads on this CPU.
+    pub charged_cpu: Nanos,
+    /// Software-interrupt-level time consumed on this CPU.
+    pub interrupt_cpu: Nanos,
+    /// Context-switch and other uncharged overhead on this CPU.
+    pub overhead_cpu: Nanos,
+    /// Idle time on this CPU.
+    pub idle_cpu: Nanos,
+    /// Context switches taken on this CPU.
+    pub ctx_switches: u64,
+}
+
+impl CpuStats {
+    /// Total CPU time accounted for on this CPU.
+    pub fn total(&self) -> Nanos {
+        self.charged_cpu + self.interrupt_cpu + self.overhead_cpu + self.idle_cpu
     }
 }
 

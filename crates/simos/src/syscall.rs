@@ -472,7 +472,7 @@ impl<'a> SysCtx<'a> {
         let binding = self
             .k
             .thread_ref(self.thread)
-            .map(|t| t.sched_binding.containers())
+            .map(|t| t.sched_binding.containers().to_vec())
             .unwrap_or_default();
         self.k
             .scheduler_mut()
@@ -530,7 +530,7 @@ impl<'a> SysCtx<'a> {
                 .ok_or(RcError::NotFound)?;
             th.sched_binding.retain_live(|c| containers.contains(c));
             th.sched_binding.touch(id, now);
-            th.sched_binding.containers()
+            th.sched_binding.containers().to_vec()
         };
         self.k
             .scheduler_mut()
@@ -549,7 +549,7 @@ impl<'a> SysCtx<'a> {
                 return;
             };
             th.sched_binding.reset(th.resource_binding, now);
-            th.sched_binding.containers()
+            th.sched_binding.containers().to_vec()
         };
         self.k
             .scheduler_mut()

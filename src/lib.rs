@@ -71,9 +71,9 @@ pub mod prelude {
         AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, SysCtx, World, WorldAction,
     };
     pub use workload::scenarios::{
-        run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_virtual_servers,
-        BaselineParams, DiskTenantsParams, Fig11Params, Fig11System, Fig12Params, Fig12System,
-        Fig14Params, VsParams,
+        run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_smp_tenants,
+        run_virtual_servers, BaselineParams, DiskTenantsParams, Fig11Params, Fig11System,
+        Fig12Params, Fig12System, Fig14Params, SmpTenantsParams, VsParams,
     };
     pub use workload::{ClientSpec, HttpClients, SynFlood};
 }

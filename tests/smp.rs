@@ -1,0 +1,177 @@
+//! SMP kernel invariants at workspace level: per-CPU time conservation
+//! under arbitrary workloads and CPU counts, and exact single-CPU
+//! equivalence with the pre-SMP golden artifacts.
+
+use proptest::prelude::*;
+use resource_containers::prelude::*;
+
+use httpsim::stats::shared_stats;
+use simcore::Nanos;
+
+const END_MS: u64 = 400;
+
+/// A compact description of a random workload on a random machine size.
+#[derive(Clone, Debug)]
+struct SmpMix {
+    ncpus: u32,
+    static_clients: u8,
+    keepalive_clients: u8,
+    think_ms: u16,
+}
+
+fn smp_mix_strategy() -> impl Strategy<Value = SmpMix> {
+    (1u32..=4, 1u8..6, 0u8..4, 0u16..20).prop_map(|(ncpus, s, ka, think_ms)| SmpMix {
+        ncpus,
+        static_clients: s,
+        keepalive_clients: ka,
+        think_ms,
+    })
+}
+
+fn run_smp_mix(mix: &SmpMix) -> simos::Kernel {
+    let stats = shared_stats();
+    let mut k = Kernel::new(KernelConfig::resource_containers().with_ncpus(mix.ncpus));
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut specs = Vec::new();
+    for i in 0..mix.static_clients {
+        let mut s = ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1 + i), 0);
+        s.think = Nanos::from_millis(mix.think_ms as u64);
+        specs.push(s);
+    }
+    for i in 0..mix.keepalive_clients {
+        specs.push(
+            ClientSpec::staticloop(IpAddr::new(10, 0, 1, 1 + i), 1)
+                .with_kind(ReqKind::StaticKeepAlive),
+        );
+    }
+    let end = Nanos::from_millis(END_MS);
+    let mut clients = HttpClients::new(specs, Nanos::ZERO, end);
+    clients.arm(&mut k);
+    k.run(&mut clients, end);
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every simulated CPU accounts for every nanosecond of the run:
+    /// per CPU, `charged + interrupt + overhead + idle` equals the
+    /// wall-clock, so the machine-wide sum is `ncpus × wall-clock` — no
+    /// time is lost or double-counted by the frontier loop, migrations,
+    /// or idle stealing.
+    #[test]
+    fn per_cpu_time_is_conserved(mix in smp_mix_strategy()) {
+        let k = run_smp_mix(&mix);
+        let end = Nanos::from_millis(END_MS);
+        let per_cpu = k.per_cpu_stats();
+        prop_assert_eq!(per_cpu.len(), mix.ncpus as usize);
+        let mut machine_total = Nanos::ZERO;
+        for (i, c) in per_cpu.iter().enumerate() {
+            prop_assert_eq!(
+                c.total(), end,
+                "CPU {} accounts {:?} of a {:?} run ({:?})", i, c.total(), end, c
+            );
+            machine_total += c.total();
+        }
+        prop_assert_eq!(machine_total, end * mix.ncpus as u64);
+        // The per-CPU breakdown sums to the kernel-wide aggregates.
+        let g = k.stats();
+        let sum = |f: fn(&simos::CpuStats) -> Nanos| -> Nanos {
+            per_cpu.iter().map(f).sum()
+        };
+        prop_assert_eq!(sum(|c| c.charged_cpu), g.charged_cpu);
+        prop_assert_eq!(sum(|c| c.interrupt_cpu), g.interrupt_cpu);
+        prop_assert_eq!(sum(|c| c.overhead_cpu), g.overhead_cpu);
+        prop_assert_eq!(sum(|c| c.idle_cpu), g.idle_cpu);
+        prop_assert_eq!(per_cpu.iter().map(|c| c.ctx_switches).sum::<u64>(), g.ctx_switches);
+    }
+
+    /// A multiprocessor run is a pure function of its configuration,
+    /// exactly like the uniprocessor one.
+    #[test]
+    fn smp_runs_are_deterministic(mix in smp_mix_strategy()) {
+        let a = run_smp_mix(&mix);
+        let b = run_smp_mix(&mix);
+        let key = |k: &simos::Kernel| {
+            let s = k.stats();
+            (s.charged_cpu, s.idle_cpu, s.pkts_in, s.pkts_out, s.ctx_switches, s.migrations)
+        };
+        prop_assert_eq!(key(&a), key(&b));
+        prop_assert_eq!(a.per_cpu_stats(), b.per_cpu_stats());
+    }
+}
+
+/// The trace-export mini fixture from `tests/trace_export.rs`, with the
+/// CPU count made explicit.
+fn mini_run_ncpus(ncpus: u32) -> simos::Kernel {
+    rctrace::start(TraceConfig {
+        ring_capacity: 1 << 16,
+        sample_interval: Nanos::from_millis(2),
+    });
+    let stats = shared_stats();
+    let mut k = simos::Kernel::new(KernelConfig::resource_containers().with_ncpus(ncpus));
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(ServerConfig::default(), stats)),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let specs = vec![
+        ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1), 0),
+        ClientSpec::staticloop(IpAddr::new(10, 0, 0, 2), 0).with_kind(ReqKind::StaticKeepAlive),
+    ];
+    let end = Nanos::from_millis(10);
+    let mut clients = HttpClients::new(specs, Nanos::ZERO, end);
+    clients.arm(&mut k);
+    k.run(&mut clients, end);
+    k
+}
+
+/// An explicit `ncpus = 1` kernel reproduces the pre-SMP golden metrics
+/// dump byte for byte: the SMP refactor is invisible on a uniprocessor.
+#[test]
+fn ncpus_1_matches_single_cpu_golden() {
+    let _k = mini_run_ncpus(1);
+    let session = rctrace::finish().expect("active session");
+    let dump = metrics_json(&session);
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/trace_mini_metrics.json"
+    ))
+    .expect("golden file (created by tests/trace_export.rs with BLESS=1)");
+    assert_eq!(
+        dump, golden,
+        "explicit ncpus=1 diverged from the single-CPU golden dump"
+    );
+}
+
+/// The same fixture on a 4-CPU machine stays deterministic and grows
+/// per-CPU tracks in the Chrome export, without touching the golden.
+#[test]
+fn ncpus_4_mini_run_exports_per_cpu_tracks() {
+    let k = mini_run_ncpus(4);
+    let session = rctrace::finish().expect("active session");
+    assert_eq!(k.ncpus(), 4);
+    let chrome = chrome_trace_json(&session);
+    for cpu in 0..4 {
+        assert!(
+            chrome.contains(&format!("\"name\":\"cpu{cpu}\"")),
+            "missing per-CPU track cpu{cpu}"
+        );
+    }
+    let metrics = metrics_json(&session);
+    assert!(
+        metrics.contains("\"cpus\""),
+        "multiprocessor metrics dump must carry the per-CPU section"
+    );
+}

@@ -636,7 +636,7 @@ impl AppHandler for EventDrivenServer {
                 }
                 self.rearm(sys);
             }
-            AppEvent::FileRead { tag, .. } => {
+            AppEvent::FileRead { tag, bytes, .. } => {
                 if let Some(conn) = self.by_tag.remove(&tag) {
                     // The thread may have served other connections while
                     // the disk was busy: rebind to this connection's
@@ -646,11 +646,26 @@ impl AppHandler for EventDrivenServer {
                             let _ = sys.bind_thread_id(id);
                         }
                     }
-                    self.finish_request(sys, conn);
+                    if bytes == 0 {
+                        // Short read: the disk failed the request. The
+                        // connection already paid for the parse and the
+                        // wasted service time; abort it rather than send
+                        // a response backed by nothing.
+                        self.stats.borrow_mut().io_errors += 1;
+                        self.teardown_conn(sys, conn, true);
+                    } else {
+                        self.finish_request(sys, conn);
+                    }
                 }
                 self.rearm(sys);
             }
             AppEvent::SynDropNotice { listener, src } => self.handle_syn_drop(sys, listener, src),
+            AppEvent::ConnReset { conn } => {
+                // Peer reset mid-stream: the kernel already dropped the
+                // socket; release our connection state and its container.
+                // (Delivered out-of-band: no re-arm.)
+                self.teardown_conn(sys, conn, true);
+            }
             AppEvent::Timer { .. } => self.rearm(sys),
             AppEvent::ChildExited { .. } => {
                 // CGI child finished; nothing to do — it answered the

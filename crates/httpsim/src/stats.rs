@@ -25,6 +25,9 @@ pub struct ServerStats {
     pub per_class_served: Vec<u64>,
     /// SYN-drop notices received (§5.7).
     pub syn_drop_notices: u64,
+    /// Requests aborted because the disk read failed (injected I/O
+    /// error); the connection is charged for the work and closed.
+    pub io_errors: u64,
     /// Flood sources isolated behind a priority-zero listener (§5.7).
     pub isolations: u64,
     /// Virtual time of the last served response.

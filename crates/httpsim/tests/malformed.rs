@@ -1,0 +1,205 @@
+//! Hardening tests for the request path: malformed and truncated
+//! requests must never panic the server — the offending connection is
+//! charged for the protocol work it caused and then closed — and a
+//! keep-alive client abandoning mid-stream must release the
+//! connection's container binding.
+
+use proptest::prelude::*;
+
+use httpsim::stats::shared_stats;
+use httpsim::{decode_request, encode_request, EventDrivenServer, ReqKind, ServerConfig};
+use rescon::Attributes;
+use simcore::Nanos;
+use simnet::{FlowKey, IpAddr, Packet, PacketKind};
+use simos::{Kernel, KernelConfig, World, WorldAction};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `decode_request` is total: any length decodes to `None` or to a
+    /// valid `(kind, doc)` — and in the latter case re-encoding gives
+    /// back the same length (no aliasing between encodings).
+    #[test]
+    fn decode_request_total_and_consistent(len in any::<u64>()) {
+        if let Some((kind, doc)) = decode_request(len) {
+            // Wire Data lengths are u32; beyond that `decode_request`
+            // truncates, so lengths past u32::MAX alias small encodings
+            // by construction. Within the wire range the roundtrip is
+            // exact.
+            if len <= u32::MAX as u64 {
+                prop_assert_eq!(encode_request(kind, doc) as u64, len);
+            }
+        }
+    }
+
+    /// Truncated reads — any prefix of a valid encoding's length — never
+    /// decode to a different valid request by accident: either `None` or
+    /// the value itself.
+    #[test]
+    fn truncated_lengths_never_alias(doc in 0u32..10_000, cut in 1u64..200) {
+        let full = encode_request(ReqKind::Static, doc) as u64;
+        let truncated = full.saturating_sub(cut);
+        if let Some((kind, d)) = decode_request(truncated) {
+            prop_assert_eq!(encode_request(kind, d) as u64, truncated);
+        }
+    }
+}
+
+/// What the scripted client should send once the handshake completes.
+#[derive(Clone, Copy)]
+enum Script {
+    /// Ack only; never send a request.
+    HandshakeOnly,
+    /// Ack plus a Data packet of the given (invalid) length.
+    Malformed(u32),
+    /// Keep-alive request, and on the first response a second request
+    /// immediately followed by a mid-stream Rst (client abandons).
+    KeepAliveAbandon,
+}
+
+struct ScriptedClient {
+    script: Script,
+    flow: FlowKey,
+    responses: u64,
+    rst_sent: bool,
+}
+
+impl ScriptedClient {
+    fn new(script: Script) -> Self {
+        ScriptedClient {
+            script,
+            flow: FlowKey::new(IpAddr::new(10, 0, 0, 1), 1000, 80),
+            responses: 0,
+            rst_sent: false,
+        }
+    }
+
+    fn send(&self, kind: PacketKind, actions: &mut Vec<WorldAction>) {
+        actions.push(WorldAction::SendPacket {
+            pkt: Packet::new(self.flow, kind),
+            delay: Nanos::ZERO,
+        });
+    }
+}
+
+impl World for ScriptedClient {
+    fn on_packet(&mut self, pkt: Packet, _now: Nanos, actions: &mut Vec<WorldAction>) {
+        if pkt.flow != self.flow {
+            return;
+        }
+        match pkt.kind {
+            PacketKind::SynAck => {
+                self.send(PacketKind::Ack, actions);
+                match self.script {
+                    Script::HandshakeOnly => {}
+                    Script::Malformed(len) => self.send(PacketKind::Data { bytes: len }, actions),
+                    Script::KeepAliveAbandon => self.send(
+                        PacketKind::Data {
+                            bytes: encode_request(ReqKind::StaticKeepAlive, 0),
+                        },
+                        actions,
+                    ),
+                }
+            }
+            PacketKind::Data { .. } => {
+                self.responses += 1;
+                if matches!(self.script, Script::KeepAliveAbandon) && !self.rst_sent {
+                    // Second request goes out, then the client vanishes
+                    // mid-stream with a reset.
+                    self.send(
+                        PacketKind::Data {
+                            bytes: encode_request(ReqKind::StaticKeepAlive, 0),
+                        },
+                        actions,
+                    );
+                    self.send(PacketKind::Rst, actions);
+                    self.rst_sent = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _tag: u64, _now: Nanos, actions: &mut Vec<WorldAction>) {
+        self.send(PacketKind::Syn, actions);
+    }
+}
+
+/// Runs one scripted client against an event-driven server on the RC
+/// kernel (per-connection containers on) and returns the finished
+/// kernel, the stats handle, and the client world.
+fn run_script(script: Script) -> (Kernel, httpsim::stats::SharedStats, ScriptedClient) {
+    let stats = shared_stats();
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut client = ScriptedClient::new(script);
+    k.arm_world_timer(0, Nanos::from_micros(10));
+    k.run(&mut client, Nanos::from_millis(100));
+    (k, stats, client)
+}
+
+/// A malformed request never panics the server: the connection is torn
+/// down (accepted and closed), no response is produced, the container
+/// that classified the connection is charged for the protocol work the
+/// garbage caused, and its per-connection container is released.
+#[test]
+fn malformed_request_charges_and_closes() {
+    let bad = encode_request(ReqKind::Static, 3) + 7; // (len-200)%16 == 10
+    assert_eq!(decode_request(bad as u64), None);
+
+    let (k_base, stats_base, _) = run_script(Script::HandshakeOnly);
+    let (k, stats, client) = run_script(Script::Malformed(bad));
+
+    let s = stats.borrow();
+    assert_eq!(s.static_served, 0, "garbage must not be served");
+    assert_eq!(s.accepted, 1);
+    assert_eq!(s.closed, 1, "connection not torn down");
+    assert_eq!(client.responses, 0, "server responded to garbage");
+    // The per-connection container existed and was released on teardown.
+    assert!(k.containers.destroyed_count() >= 1);
+    // The garbage Data packet's protocol work was charged (to the
+    // connection's container), beyond what the bare handshake costs.
+    assert!(
+        k.stats().charged_cpu > k_base.stats().charged_cpu,
+        "malformed request charged no work: {:?} vs {:?}",
+        k.stats().charged_cpu,
+        k_base.stats().charged_cpu
+    );
+    drop(stats_base);
+}
+
+/// A keep-alive client that abandons mid-stream (reset with a request in
+/// flight) releases the connection's container binding: the server
+/// tears the connection down and the per-connection container is
+/// destroyed rather than staying bound forever.
+#[test]
+fn keepalive_abandon_releases_container_binding() {
+    let (k, stats, client) = run_script(Script::KeepAliveAbandon);
+    let s = stats.borrow();
+    assert_eq!(
+        s.static_served, 1,
+        "first keep-alive request must be served"
+    );
+    assert!(client.responses >= 1);
+    assert_eq!(s.accepted, 1);
+    assert_eq!(s.closed, 1, "abandoned connection never torn down");
+    assert!(
+        k.containers.destroyed_count() >= 1,
+        "per-connection container still live after abandon"
+    );
+    // Every container the run created was also released: nothing stays
+    // bound to the dead connection.
+    assert_eq!(
+        k.containers.created_count() - k.containers.destroyed_count(),
+        k.containers.iter().count() as u64,
+    );
+}

@@ -56,11 +56,19 @@ fn event_container(kind: &TraceEventKind) -> Option<u64> {
         | TraceEventKind::ContainerCreate { container, .. }
         | TraceEventKind::ContainerDestroy { container }
         | TraceEventKind::Migrate { container, .. }
-        | TraceEventKind::Charge { container, .. } => Some(container),
+        | TraceEventKind::Charge { container, .. }
+        | TraceEventKind::FaultPacketDrop { container, .. }
+        | TraceEventKind::FaultPacketCorrupt { container, .. }
+        | TraceEventKind::FaultPacketDelay { container, .. }
+        | TraceEventKind::FaultDiskError { container, .. }
+        | TraceEventKind::FaultDiskSpike { container, .. } => Some(container),
         TraceEventKind::ThreadState { .. }
         | TraceEventKind::SyscallExit { .. }
         | TraceEventKind::CacheMiss { .. }
-        | TraceEventKind::SchedPick { .. } => None,
+        | TraceEventKind::SchedPick { .. }
+        | TraceEventKind::FaultClientAbandon { .. }
+        | TraceEventKind::FaultClientMalformed { .. }
+        | TraceEventKind::FaultClientSlow { .. } => None,
     }
 }
 
@@ -271,6 +279,78 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                     at,
                     "net",
                     &format!("lrp task {task}"),
+                ));
+            }
+            TraceEventKind::FaultPacketDrop { port, container } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "fault",
+                    &format!("fault: pkt-drop :{port}"),
+                ));
+            }
+            TraceEventKind::FaultPacketCorrupt { port, container } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "fault",
+                    &format!("fault: pkt-corrupt :{port}"),
+                ));
+            }
+            TraceEventKind::FaultPacketDelay {
+                port,
+                delay,
+                container,
+            } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "fault",
+                    &format!("fault: pkt-delay :{port} +{}us", delay.as_micros()),
+                ));
+            }
+            TraceEventKind::FaultDiskError { file, container } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "fault",
+                    &format!("fault: disk-error file {file}"),
+                ));
+            }
+            TraceEventKind::FaultDiskSpike {
+                file,
+                extra,
+                container,
+            } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "fault",
+                    &format!("fault: disk-spike file {file} +{}us", extra.as_micros()),
+                ));
+            }
+            TraceEventKind::FaultClientAbandon { client } => {
+                evs.push(instant(
+                    CPU_PID,
+                    at,
+                    "fault",
+                    &format!("fault: client {client} abandon"),
+                ));
+            }
+            TraceEventKind::FaultClientMalformed { client } => {
+                evs.push(instant(
+                    CPU_PID,
+                    at,
+                    "fault",
+                    &format!("fault: client {client} malformed"),
+                ));
+            }
+            TraceEventKind::FaultClientSlow { client, delay } => {
+                evs.push(instant(
+                    CPU_PID,
+                    at,
+                    "fault",
+                    &format!("fault: client {client} slow +{}us", delay.as_micros()),
                 ));
             }
             _ => {}

@@ -16,12 +16,16 @@
 //! - [`trace`]: typed, zero-cost-when-disabled kernel tracing — a bounded
 //!   ring of structured [`TraceEvent`]s every subsystem records its
 //!   decision points into.
+//! - [`fault`]: seeded, virtual-time fault injection ([`FaultPlan`] /
+//!   [`FaultInjector`]) — deterministic packet loss, disk errors, and
+//!   client misbehaviour drawn from independent per-category streams.
 //!
 //! Nothing in this crate knows about resource containers; it is a pure
 //! simulation toolkit.
 
 pub mod arena;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -29,6 +33,7 @@ pub mod trace;
 
 pub use arena::{Arena, Idx};
 pub use event::EventQueue;
+pub use fault::{ClientFault, DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary, TimeWeighted};
 pub use time::Nanos;

@@ -221,6 +221,64 @@ pub enum TraceEventKind {
         /// Granted slice length.
         slice: Nanos,
     },
+    /// Fault injection silently dropped an inbound packet before the
+    /// stack saw it.
+    FaultPacketDrop {
+        /// Destination port of the lost packet.
+        port: u16,
+        /// Container the packet would have charged, when known
+        /// ([`NO_CONTAINER`] when it was lost before classification).
+        container: u64,
+    },
+    /// Fault injection corrupted an inbound packet's payload.
+    FaultPacketCorrupt {
+        /// Destination port of the corrupted packet.
+        port: u16,
+        /// Container the packet charges, when known.
+        container: u64,
+    },
+    /// Fault injection delayed an inbound packet in flight.
+    FaultPacketDelay {
+        /// Destination port of the delayed packet.
+        port: u16,
+        /// Extra in-flight delay.
+        delay: Nanos,
+        /// Container the packet charges, when known.
+        container: u64,
+    },
+    /// Fault injection failed a disk request with an I/O error.
+    FaultDiskError {
+        /// File identifier of the failed request.
+        file: u64,
+        /// Container charged for the wasted service time.
+        container: u64,
+    },
+    /// Fault injection added a latency spike to a disk request.
+    FaultDiskSpike {
+        /// File identifier of the spiked request.
+        file: u64,
+        /// Extra service time added.
+        extra: Nanos,
+        /// Container charged.
+        container: u64,
+    },
+    /// Fault injection made a client abandon its request mid-stream.
+    FaultClientAbandon {
+        /// Index of the misbehaving client.
+        client: u32,
+    },
+    /// Fault injection made a client send a malformed request.
+    FaultClientMalformed {
+        /// Index of the misbehaving client.
+        client: u32,
+    },
+    /// Fault injection slowed a client's request transmission.
+    FaultClientSlow {
+        /// Index of the misbehaving client.
+        client: u32,
+        /// Extra transmission delay.
+        delay: Nanos,
+    },
 }
 
 /// One recorded event: virtual time plus the structured payload.

@@ -115,6 +115,10 @@ pub struct Completion {
     pub finish: Nanos,
     /// CPU whose interrupt path handles the completion.
     pub intr_cpu: u32,
+    /// `false` when the request failed with an injected I/O error. The
+    /// service time is charged either way: a failed transfer occupies
+    /// the spindle exactly like a successful one.
+    pub ok: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -175,6 +179,22 @@ impl SimDisk {
     /// otherwise the request waits in the scheduler's queue. Returns the
     /// id that the eventual [`Completion`] will carry.
     pub fn submit(&mut self, req: DiskRequest, table: &ContainerTable, now: Nanos) -> ReqId {
+        self.submit_with_fault(req, Nanos::ZERO, false, table, now)
+    }
+
+    /// Submits a read carrying an injected fault: `extra_service` is
+    /// added to the physical service time (a latency spike) and `fail`
+    /// marks the eventual [`Completion`] as an I/O error. The fault is
+    /// decided at submit time so the device itself stays deterministic
+    /// and clockless.
+    pub fn submit_with_fault(
+        &mut self,
+        req: DiskRequest,
+        extra_service: Nanos,
+        fail: bool,
+        table: &ContainerTable,
+        now: Nanos,
+    ) -> ReqId {
         let id = ReqId(self.next_id);
         self.next_id += 1;
         let queued = QueuedRequest {
@@ -183,6 +203,8 @@ impl SimDisk {
             bytes: req.bytes,
             charge_to: req.charge_to,
             intr_cpu: req.intr_cpu,
+            extra_service,
+            fail,
         };
         self.sched.enqueue(queued, table);
         trace::emit_at(now, || TraceEventKind::DiskQueue {
@@ -236,6 +258,7 @@ impl SimDisk {
                 service: inflight.service,
                 finish: inflight.finish,
                 intr_cpu: inflight.req.intr_cpu,
+                ok: !inflight.req.fail,
             });
             // Back-to-back service starts at the completion instant, not
             // at `now`, so a late `advance` call does not stretch time.
@@ -249,7 +272,7 @@ impl SimDisk {
         let Some(req) = self.sched.dequeue(table) else {
             return;
         };
-        let service = self.params.service(req.file, req.bytes, self.last_file);
+        let service = self.params.service(req.file, req.bytes, self.last_file) + req.extra_service;
         self.sched.charge(req.charge_to, service, table);
         trace::emit_at(start, || TraceEventKind::DiskStart {
             req: req.id.0,
@@ -423,6 +446,51 @@ mod tests {
         let ts = table.usage(small).unwrap().disk_time;
         let frac = tb.ratio(tb + ts);
         assert!((frac - 0.7).abs() < 0.05, "big disk-time fraction = {frac}");
+    }
+
+    #[test]
+    fn injected_faults_still_charge_full_service() {
+        let mut table = ContainerTable::new();
+        let c = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut disk = SimDisk::new(DiskParams::fast(), Box::new(FifoIoSched::new()));
+        let base = DiskParams::fast().service(1, 4096, None);
+        let spike = Nanos::from_micros(700);
+        disk.submit_with_fault(
+            DiskRequest {
+                file: 1,
+                bytes: 4096,
+                charge_to: c,
+                intr_cpu: 0,
+            },
+            spike,
+            false,
+            &table,
+            Nanos::ZERO,
+        );
+        disk.submit_with_fault(
+            DiskRequest {
+                file: 1,
+                bytes: 4096,
+                charge_to: c,
+                intr_cpu: 0,
+            },
+            Nanos::ZERO,
+            true,
+            &table,
+            Nanos::ZERO,
+        );
+        let done = drain(&mut disk, &mut table);
+        assert_eq!(done.len(), 2);
+        assert!(done[0].ok);
+        assert_eq!(done[0].service, base + spike, "spike extends service");
+        assert!(!done[1].ok, "second request fails");
+        // Failed transfers occupy the spindle and bill the owner exactly
+        // like successful ones, so the conservation identity holds.
+        assert_eq!(
+            table.usage(c).unwrap().disk_time,
+            disk.total_busy(),
+            "charged == busy with faults in play"
+        );
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct QueuedRequest {
     /// CPU whose interrupt path handles the completion (0 on a
     /// uniprocessor).
     pub intr_cpu: u32,
+    /// Injected latency spike added to the physical service time.
+    pub extra_service: Nanos,
+    /// Injected I/O error: the completion is delivered failed after the
+    /// full (charged) service time.
+    pub fail: bool,
 }
 
 /// Dispatch order policy for pending disk requests.
@@ -62,11 +67,15 @@ pub trait IoSched {
 ///
 /// ```
 /// use rescon::ContainerTable;
+/// use simcore::Nanos;
 /// use simdisk::{FifoIoSched, IoSched, QueuedRequest, ReqId};
 ///
 /// let table = ContainerTable::new();
 /// let mut q = FifoIoSched::new();
-/// let req = QueuedRequest { id: ReqId(0), file: 1, bytes: 4096, charge_to: table.root(), intr_cpu: 0 };
+/// let req = QueuedRequest {
+///     id: ReqId(0), file: 1, bytes: 4096, charge_to: table.root(), intr_cpu: 0,
+///     extra_service: Nanos::ZERO, fail: false,
+/// };
 /// q.enqueue(req, &table);
 /// assert_eq!(q.dequeue(&table), Some(req));
 /// assert!(q.dequeue(&table).is_none());
@@ -213,6 +222,8 @@ mod tests {
             bytes: 4096,
             charge_to,
             intr_cpu: 0,
+            extra_service: Nanos::ZERO,
+            fail: false,
         }
     }
 

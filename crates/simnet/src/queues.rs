@@ -37,6 +37,7 @@ pub struct PendingQueues<P: Ord + Copy> {
     queues: BTreeMap<P, VecDeque<Packet>>,
     capacity: usize,
     dropped: u64,
+    drops_by_principal: BTreeMap<P, u64>,
     queued: u64,
 }
 
@@ -47,16 +48,18 @@ impl<P: Ord + Copy> PendingQueues<P> {
             queues: BTreeMap::new(),
             capacity: capacity.max(1),
             dropped: 0,
+            drops_by_principal: BTreeMap::new(),
             queued: 0,
         }
     }
 
     /// Appends a packet to `principal`'s queue. Returns `false` (and
-    /// counts an early drop) if the queue is full.
+    /// counts an early drop against `principal`) if the queue is full.
     pub fn push(&mut self, principal: P, packet: Packet) -> bool {
         let q = self.queues.entry(principal).or_default();
         if q.len() >= self.capacity {
             self.dropped += 1;
+            *self.drops_by_principal.entry(principal).or_insert(0) += 1;
             return false;
         }
         q.push_back(packet);
@@ -147,6 +150,22 @@ impl<P: Ord + Copy> PendingQueues<P> {
         self.dropped
     }
 
+    /// Packets dropped at classification time because `principal`'s own
+    /// queue was full — the charge record that makes the attacker-pays
+    /// invariant assertable: each early drop is billed to the principal
+    /// the packet classified to, never to whoever shares the interface.
+    pub fn dropped_of(&self, principal: P) -> u64 {
+        self.drops_by_principal
+            .get(&principal)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-principal early-drop counts, in key order.
+    pub fn drops_by_principal(&self) -> impl Iterator<Item = (P, u64)> + '_ {
+        self.drops_by_principal.iter().map(|(&p, &n)| (p, n))
+    }
+
     /// Total packets ever queued successfully.
     pub fn queued(&self) -> u64 {
         self.queued
@@ -215,6 +234,27 @@ mod tests {
         assert_eq!(q.queued(), 3);
         assert_eq!(q.len_of(1), 2);
         assert_eq!(q.total_len(), 3);
+    }
+
+    #[test]
+    fn drops_are_counted_per_principal() {
+        let mut q: PendingQueues<u32> = PendingQueues::new(1);
+        // Principal 1 overflows twice, principal 2 once, principal 3 never.
+        assert!(q.push(1, pkt(1)));
+        assert!(!q.push(1, pkt(2)));
+        assert!(!q.push(1, pkt(3)));
+        assert!(q.push(2, pkt(4)));
+        assert!(!q.push(2, pkt(5)));
+        assert!(q.push(3, pkt(6)));
+        assert_eq!(q.dropped(), 3);
+        assert_eq!(q.dropped_of(1), 2);
+        assert_eq!(q.dropped_of(2), 1);
+        assert_eq!(q.dropped_of(3), 0);
+        assert_eq!(q.dropped_of(99), 0);
+        let per: Vec<(u32, u64)> = q.drops_by_principal().collect();
+        assert_eq!(per, vec![(1, 2), (2, 1)]);
+        // The global counter is exactly the per-principal sum.
+        assert_eq!(q.dropped(), per.iter().map(|(_, n)| n).sum::<u64>());
     }
 
     #[test]

@@ -606,6 +606,34 @@ impl NetStack {
             _ => 0,
         }
     }
+
+    /// Evicts expired half-open entries from a listener's SYN queue.
+    /// Eviction is otherwise lazy (it runs when the listener processes a
+    /// handshake packet), so admission control — which refuses packets
+    /// *before* they reach the protocol code — must trigger it
+    /// explicitly or stale flood entries would pin the queue at its
+    /// budget forever.
+    pub fn expire_syns(&mut self, listener: SockId, now: Nanos) {
+        if let Some(Socket {
+            kind: SocketKind::Listen(ls),
+            ..
+        }) = self.sockets.get_mut(listener)
+        {
+            Self::evict_expired_syns(ls, now);
+        }
+    }
+
+    /// Whether a listener asked to be notified of dropped SYNs (§5.7).
+    /// `false` for non-listeners.
+    pub fn notify_syn_drops(&self, listener: SockId) -> bool {
+        match self.sockets.get(listener) {
+            Some(Socket {
+                kind: SocketKind::Listen(ls),
+                ..
+            }) => ls.notify_syn_drops,
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Property tests for the CIDR filter namespace (§4.8) as early
+//! demultiplexing uses it: overlapping filters resolve by longest
+//! prefix, port sharing never misroutes, and every packet lands on
+//! exactly one container (or the default listener's).
+
+use proptest::prelude::*;
+use rescon::{Attributes, ContainerId, ContainerTable};
+use simcore::Nanos;
+use simnet::{CidrFilter, Demux, FlowKey, IpAddr, NetStack, Packet, PacketKind, SockId};
+
+/// Random filters drawn from a handful of overlapping prefix families so
+/// collisions (same prefix, nested prefixes, adjacent blocks) are common
+/// rather than astronomically rare.
+fn arb_filter() -> impl Strategy<Value = CidrFilter> {
+    (0u32..4, 0u32..4, 0u8..=32).prop_map(|(a, b, len)| {
+        CidrFilter::new(
+            IpAddr::new(10 + a as u8, (b * 64) as u8, (a * 16 + b) as u8, 1),
+            len,
+        )
+    })
+}
+
+/// Like [`arb_filter`] but never the match-everything mask, so these
+/// are always more specific than a default listener.
+fn arb_specific_filter() -> impl Strategy<Value = CidrFilter> {
+    (0u32..4, 0u32..4, 1u8..=32).prop_map(|(a, b, len)| {
+        CidrFilter::new(
+            IpAddr::new(10 + a as u8, (b * 64) as u8, (a * 16 + b) as u8, 1),
+            len,
+        )
+    })
+}
+
+fn arb_probe() -> impl Strategy<Value = IpAddr> {
+    (0u32..4, 0u32..4, 0u32..256)
+        .prop_map(|(a, b, d)| IpAddr::new(10 + a as u8, (b * 64) as u8, 0, d as u8))
+}
+
+fn syn(addr: IpAddr, port: u16) -> Packet {
+    Packet::new(FlowKey::new(addr, 1234, port), PacketKind::Syn)
+}
+
+/// The listener the stack *should* pick among `filters` (in insertion
+/// order): the first-inserted one with the longest matching prefix.
+fn oracle_winner(filters: &[(CidrFilter, SockId)], addr: IpAddr) -> Option<SockId> {
+    let mut best: Option<(u8, SockId)> = None;
+    for &(f, id) in filters {
+        if !f.matches(addr) {
+            continue;
+        }
+        match best {
+            Some((bs, _)) if f.specificity() <= bs => {}
+            _ => best = Some((f.specificity(), id)),
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Among arbitrarily overlapping filters on one port, the winner is
+    /// always the first-inserted listener with the longest matching
+    /// prefix — not merely *a* listener of the right specificity.
+    #[test]
+    fn overlapping_filters_resolve_to_longest_prefix(
+        filters in prop::collection::vec(arb_filter(), 1..8),
+        probe in arb_probe(),
+    ) {
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let installed: Vec<(CidrFilter, SockId)> = filters
+            .iter()
+            .map(|&f| (f, s.listen(80, f, None, 4, 4, false)))
+            .collect();
+        let got = s.classify(&syn(probe, 80));
+        match (got, oracle_winner(&installed, probe)) {
+            (Demux::Listen(id), Some(want)) => prop_assert_eq!(id, want),
+            (Demux::NoMatch, None) => {}
+            other => prop_assert!(false, "stack and oracle disagree: {other:?}"),
+        }
+    }
+
+    /// Filters installed on several ports never misroute: a packet only
+    /// ever classifies to a listener on its own destination port, and
+    /// that listener's filter really matches the source.
+    #[test]
+    fn port_sharing_never_misroutes(
+        per_port in prop::collection::vec((prop::sample::select(vec![80u16, 81, 8080]), arb_filter()), 1..10),
+        probe in arb_probe(),
+        dst in prop::sample::select(vec![80u16, 81, 8080, 9999]),
+    ) {
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let mut by_sock: Vec<(SockId, u16, CidrFilter)> = Vec::new();
+        for &(port, f) in &per_port {
+            let id = s.listen(port, f, None, 4, 4, false);
+            by_sock.push((id, port, f));
+        }
+        match s.classify(&syn(probe, dst)) {
+            Demux::Listen(id) => {
+                let (_, port, f) = *by_sock.iter().find(|(s, _, _)| *s == id).unwrap();
+                prop_assert_eq!(port, dst, "listener on port {} got a packet for port {}", port, dst);
+                prop_assert!(f.matches(probe), "filter {:?} does not match {}", f, probe);
+            }
+            Demux::NoMatch => {
+                // Fine only if genuinely nothing on that port matches.
+                prop_assert!(
+                    by_sock.iter().all(|(_, p, f)| *p != dst || !f.matches(probe)),
+                    "NoMatch although a filter on port {} matches {}", dst, probe
+                );
+            }
+            Demux::Conn(_) => prop_assert!(false, "no connections exist"),
+        }
+    }
+
+    /// With a default (match-all) listener installed, every packet
+    /// classifies to exactly one container: a specific filter's when one
+    /// matches, the default's otherwise — never neither, never an
+    /// unrelated one.
+    #[test]
+    fn every_packet_lands_on_one_container_or_default(
+        filters in prop::collection::vec(arb_specific_filter(), 0..6),
+        probe in arb_probe(),
+    ) {
+        let mut table = ContainerTable::new();
+        let mut s = NetStack::new(Nanos::from_secs(5));
+        let default_c = table.create(None, Attributes::time_shared(10)).unwrap();
+        let specific: Vec<(CidrFilter, ContainerId)> = filters
+            .iter()
+            .map(|&f| {
+                let c = table.create(None, Attributes::time_shared(10)).unwrap();
+                s.listen(80, f, Some(c), 4, 4, false);
+                (f, c)
+            })
+            .collect();
+        s.listen(80, CidrFilter::any(), Some(default_c), 4, 4, false);
+
+        let demux = s.classify(&syn(probe, 80));
+        let Demux::Listen(id) = demux else {
+            prop_assert!(false, "no listener selected despite a default: {demux:?}");
+            unreachable!();
+        };
+        let got = s.container_of(id).expect("every listener has a container");
+        let any_specific = specific.iter().any(|(f, _)| f.matches(probe));
+        if any_specific {
+            prop_assert!(
+                specific.iter().any(|&(f, c)| c == got && f.matches(probe)),
+                "winner's container is not one whose filter matches"
+            );
+            prop_assert!(got != default_c, "default won although a specific filter matches");
+        } else {
+            prop_assert_eq!(got, default_c);
+        }
+    }
+}

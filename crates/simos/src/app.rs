@@ -58,6 +58,14 @@ pub enum AppEvent {
         /// Source address of the dropped SYN.
         src: IpAddr,
     },
+    /// The peer reset an established connection. The kernel has already
+    /// released the socket and its buffers; the application must drop its
+    /// own per-connection state (and container references, §4.6) or they
+    /// stay bound to a dead connection forever.
+    ConnReset {
+        /// The connection that was reset.
+        conn: SockId,
+    },
     /// A child process exited.
     ChildExited {
         /// The exited child.

@@ -41,6 +41,7 @@ use sched::{
     CpuId, DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, PerCpu, Scheduler,
     StrideScheduler, TaskId,
 };
+use simcore::fault::{DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{EventQueue, Nanos};
 use simdisk::{BufferCache, DiskParams, DiskRequest, FifoIoSched, ReqId, ShareIoSched, SimDisk};
@@ -125,6 +126,18 @@ pub struct KernelConfig {
     /// Interval of the container-aware load balancer. Only armed on
     /// multiprocessor configurations (`ncpus > 1`); zero disables it.
     pub balance_interval: Nanos,
+    /// Seeded fault-injection schedule; `None` (the default) injects
+    /// nothing and leaves every run byte-identical to a fault-free build.
+    pub fault: Option<FaultPlan>,
+    /// Per-listener admission budget on half-open (SYN) connections: a
+    /// SYN classifying to a listener whose SYN queue already holds this
+    /// many entries is dropped at interrupt level, charged to the
+    /// *classifying* container (the attacker pays, not the listener).
+    /// Zero disables admission control.
+    pub syn_budget: usize,
+    /// Per-listener admission budget on the accept queue, enforced the
+    /// same way on the final ACK. Zero disables it.
+    pub accept_budget: usize,
 }
 
 impl KernelConfig {
@@ -149,6 +162,9 @@ impl KernelConfig {
             buffer_cache_bytes: 16 * 1024 * 1024,
             ncpus: 1,
             balance_interval: Nanos::from_millis(5),
+            fault: None,
+            syn_budget: 0,
+            accept_budget: 0,
         }
     }
 
@@ -195,6 +211,20 @@ impl KernelConfig {
     /// Sets the number of simulated CPUs (builder style).
     pub fn with_ncpus(mut self, n: u32) -> Self {
         self.ncpus = n.max(1);
+        self
+    }
+
+    /// Installs a fault-injection plan (builder style).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the per-listener admission budgets (builder style). Zero
+    /// disables the corresponding limit.
+    pub fn with_admission(mut self, syn_budget: usize, accept_budget: usize) -> Self {
+        self.syn_budget = syn_budget;
+        self.accept_budget = accept_budget;
         self
     }
 }
@@ -322,6 +352,14 @@ pub struct Kernel {
     /// `subtree_cpu` per container at the previous balance tick, for
     /// computing per-window lag.
     balance_snapshot: HashMap<u64, Nanos>,
+    /// Fault-decision streams derived from `cfg.fault` (absent when no
+    /// plan is configured; the hot paths then skip every draw).
+    injector: Option<FaultInjector>,
+    /// Early-drop charges per container (`Idx::as_u64()` keys): every
+    /// packet dropped before protocol processing — no-owner, queue-full,
+    /// or admission-control — is billed here to the container the packet
+    /// *classified to*, making the attacker-pays invariant assertable.
+    drop_charges: BTreeMap<u64, u64>,
 }
 
 impl Kernel {
@@ -363,6 +401,8 @@ impl Kernel {
             container_home: HashMap::new(),
             next_home_cpu: 0,
             balance_snapshot: HashMap::new(),
+            injector: cfg.fault.as_ref().map(FaultInjector::new),
+            drop_charges: BTreeMap::new(),
             cfg,
         };
         if !k.cfg.prune_interval.is_zero() {
@@ -986,13 +1026,43 @@ impl Kernel {
         // The completion interrupt fires on the CPU the waiting thread
         // currently runs on (CPU 0 on a uniprocessor).
         let intr_cpu = self.scheduler.cpu_of(task).map(|c| c.0).unwrap_or(0);
-        let req = self.disk.submit(
+        // Fault decision at submit time: a spike stretches the service
+        // time (charged to the request's principal, like real degraded
+        // media), an error completes the request failed after its full
+        // service time.
+        let (extra, fail) = match self
+            .injector
+            .as_mut()
+            .and_then(|i| i.disk_fault(self.clock))
+        {
+            Some(DiskFault::Spike(extra)) => {
+                let cu = principal.as_u64();
+                trace::emit_at(self.clock, || TraceEventKind::FaultDiskSpike {
+                    file,
+                    extra,
+                    container: cu,
+                });
+                (extra, false)
+            }
+            Some(DiskFault::Error) => {
+                let cu = principal.as_u64();
+                trace::emit_at(self.clock, || TraceEventKind::FaultDiskError {
+                    file,
+                    container: cu,
+                });
+                (Nanos::ZERO, true)
+            }
+            None => (Nanos::ZERO, false),
+        };
+        let req = self.disk.submit_with_fault(
             DiskRequest {
                 file,
                 bytes,
                 charge_to: principal,
                 intr_cpu,
             },
+            extra,
+            fail,
             &self.containers,
             self.clock,
         );
@@ -1014,18 +1084,22 @@ impl Kernel {
             let Some(w) = self.disk_waiters.remove(&c.req) else {
                 continue;
             };
-            if w.cache && self.containers.contains(c.charge_to) {
+            if c.ok && w.cache && self.containers.contains(c.charge_to) {
                 let _ = self
                     .disk_cache
                     .insert(c.file, c.bytes, c.charge_to, &mut self.containers);
             }
+            // A failed request delivers `bytes: 0`: the application sees
+            // a short read and must treat it as an I/O error. The copy
+            // cost is only paid for bytes actually transferred.
+            let delivered = if c.ok { c.bytes } else { 0 };
             self.deliver_disk_upcall(
                 w.task,
                 WorkItem {
-                    cost: self.cfg.cost.file_copy(c.bytes),
+                    cost: self.cfg.cost.file_copy(delivered),
                     op: Op::Upcall(AppEvent::FileRead {
                         tag: w.tag,
-                        bytes: c.bytes,
+                        bytes: delivered,
                         cached: false,
                     }),
                     charge_to: Some(c.charge_to),
@@ -1087,7 +1161,52 @@ impl Kernel {
     /// whose interrupt handler classifies it (RSS-style steering; always
     /// CPU 0 on a uniprocessor), and any interrupt-level protocol work
     /// runs there too.
+    ///
+    /// When a fault plan is active, the wire itself may misbehave first:
+    /// the packet can be lost, corrupted, or delayed (reordered) before
+    /// the NIC counts it. Delayed packets are rescheduled as fresh
+    /// arrivals and re-draw on delivery, so a packet's total extra delay
+    /// is a geometric sum that terminates with probability one.
     fn receive_packet(&mut self, pkt: Packet) {
+        let mut pkt = pkt;
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.net_fault(self.clock) {
+                Some(NetFault::Drop) => {
+                    trace::emit_at(self.clock, || TraceEventKind::FaultPacketDrop {
+                        port: pkt.flow.dst_port,
+                        container: NO_CONTAINER,
+                    });
+                    return;
+                }
+                Some(NetFault::Delay(d)) => {
+                    trace::emit_at(self.clock, || TraceEventKind::FaultPacketDelay {
+                        port: pkt.flow.dst_port,
+                        delay: d,
+                        container: NO_CONTAINER,
+                    });
+                    self.events
+                        .schedule(self.clock + d, KernelEvent::PacketIn(pkt));
+                    return;
+                }
+                Some(NetFault::Corrupt) => {
+                    trace::emit_at(self.clock, || TraceEventKind::FaultPacketCorrupt {
+                        port: pkt.flow.dst_port,
+                        container: NO_CONTAINER,
+                    });
+                    match pkt.kind {
+                        // Garble the payload length: the server's request
+                        // decoder must reject it without panicking.
+                        simnet::PacketKind::Data { ref mut bytes } => {
+                            *bytes = bytes.wrapping_add(7);
+                        }
+                        // Control packets have no payload to garble; a
+                        // corrupted one fails its checksum and is lost.
+                        _ => return,
+                    }
+                }
+                None => {}
+            }
+        }
         self.stats.pkts_in += 1;
         let cpu = simnet::rss_cpu(&pkt.flow, self.cfg.ncpus) as usize;
         self.cpus[cpu].overhead_deficit += self.cfg.cost.intr_demux;
@@ -1122,17 +1241,57 @@ impl Kernel {
                 };
                 let Some(owner) = self.sock_owner.get(&sock).copied() else {
                     self.stats.early_drops += 1;
+                    let cu = self
+                        .stack
+                        .container_of(sock)
+                        .map(|c| c.as_u64())
+                        .unwrap_or(NO_CONTAINER);
+                    if cu != NO_CONTAINER {
+                        *self.drop_charges.entry(cu).or_insert(0) += 1;
+                    }
                     trace::emit_at(self.clock, || TraceEventKind::PacketDrop {
                         reason: "no-owner",
-                        container: self
-                            .stack
-                            .container_of(sock)
-                            .map(|c| c.as_u64())
-                            .unwrap_or(NO_CONTAINER),
+                        container: cu,
                     });
                     return;
                 };
                 let principal = self.packet_principal(sock, owner);
+                // Per-container admission control: a handshake packet
+                // classifying to a listener whose SYN or accept queue is
+                // already at its budget is refused here, at interrupt
+                // level, *before* any protocol work is queued — and the
+                // drop is charged to the classifying (attacker's)
+                // container, not to the listener (§5.7 made cheap).
+                if let Demux::Listen(listener) = demux {
+                    self.stack.expire_syns(listener, self.clock);
+                    if self.admission_reject(listener, &pkt) {
+                        self.stats.early_drops += 1;
+                        let cu = principal.as_u64();
+                        *self.drop_charges.entry(cu).or_insert(0) += 1;
+                        let _ = self
+                            .containers
+                            .charge_rx(principal, pkt.wire_bytes() as u64);
+                        trace::emit_at(self.clock, || TraceEventKind::PacketDrop {
+                            reason: "admission",
+                            container: cu,
+                        });
+                        // The paper's SYN-drop notification (§5.7) fires
+                        // for admission drops too, so the application's
+                        // reactive defense still sees the flood.
+                        if pkt.kind == simnet::PacketKind::Syn
+                            && self.stack.notify_syn_drops(listener)
+                        {
+                            self.deliver_oob_upcall(
+                                owner,
+                                AppEvent::SynDropNotice {
+                                    listener,
+                                    src: pkt.flow.src,
+                                },
+                            );
+                        }
+                        return;
+                    }
+                }
                 let cap = self.cfg.pending_cap;
                 let q = self
                     .pending
@@ -1140,6 +1299,7 @@ impl Kernel {
                     .or_insert_with(|| PendingQueues::new(cap));
                 if !q.push(principal, pkt) {
                     self.stats.early_drops += 1;
+                    *self.drop_charges.entry(principal.as_u64()).or_insert(0) += 1;
                     trace::emit_at(self.clock, || TraceEventKind::PacketDrop {
                         reason: "queue-full",
                         container: principal.as_u64(),
@@ -1149,6 +1309,23 @@ impl Kernel {
                 self.ensure_kthread(owner);
                 self.kthread_maybe_refill(owner);
             }
+        }
+    }
+
+    /// Whether admission control refuses a handshake packet for being
+    /// over the configured per-listener budget. Budgets of zero disable
+    /// the check, leaving the stack's own backlog bounds (and the BSD
+    /// syncache eviction they imply) as the only limit.
+    fn admission_reject(&self, listener: SockId, pkt: &Packet) -> bool {
+        match pkt.kind {
+            simnet::PacketKind::Syn => {
+                self.cfg.syn_budget > 0 && self.stack.syn_queue_len(listener) >= self.cfg.syn_budget
+            }
+            simnet::PacketKind::Ack => {
+                self.cfg.accept_budget > 0
+                    && self.stack.accept_queue_len(listener) >= self.cfg.accept_budget
+            }
+            _ => false,
         }
     }
 
@@ -1432,6 +1609,10 @@ impl Kernel {
                     if let Some(p) = self.processes.get_mut(&owner) {
                         p.forget_socket(conn);
                     }
+                    // Tell the owner so it can drop its per-connection
+                    // state; without this, an abandoning client leaves its
+                    // container bound in the application forever.
+                    self.deliver_oob_upcall(owner, AppEvent::ConnReset { conn });
                 }
             }
         }
@@ -1638,7 +1819,7 @@ impl Kernel {
                     .filter(|&s| self.sock_ready(s))
                     .collect();
                 if ready.is_empty() {
-                    self.block_thread(task, WaitFor::Select { socks });
+                    self.block_or_defer(task, WaitFor::Select { socks });
                 } else {
                     self.stats.upcalls += 1;
                     self.deliver_upcall(pid, task, AppEvent::SelectReady { ready });
@@ -1655,7 +1836,7 @@ impl Kernel {
                     }
                 }
                 if events.is_empty() {
-                    self.block_thread(task, WaitFor::Event);
+                    self.block_or_defer(task, WaitFor::Event);
                 } else {
                     if self.cfg.containers_enabled {
                         // §5.5: the kernel delivers events in container
@@ -1707,19 +1888,7 @@ impl Kernel {
             }
             Op::Block(wait) => {
                 self.resume_waits.remove(&task);
-                let has_more = self
-                    .threads
-                    .get(&task)
-                    .map(|t| t.has_work())
-                    .unwrap_or(false);
-                if has_more {
-                    // Out-of-band work (an IPC doorbell, a SYN-drop
-                    // notice) was queued behind this wait: run it first,
-                    // then restore the wait when the queue drains.
-                    self.resume_waits.insert(task, wait);
-                } else {
-                    self.block_thread(task, wait);
-                }
+                self.block_or_defer(task, wait);
             }
             Op::ProtoRx { pkt } => {
                 let principal = item.charge_to;
@@ -1759,6 +1928,23 @@ impl Kernel {
 
     /// Blocks a thread on `wait`, unless the condition already holds — in
     /// which case the wake work is queued immediately.
+    /// Blocks `task` on `wait` — unless out-of-band work (an IPC
+    /// doorbell, a SYN-drop notice, a connection reset) was queued behind
+    /// the wait, in which case the thread keeps running and the wait is
+    /// restored once its queue drains.
+    fn block_or_defer(&mut self, task: TaskId, wait: WaitFor) {
+        let has_more = self
+            .threads
+            .get(&task)
+            .map(|t| t.has_work())
+            .unwrap_or(false);
+        if has_more {
+            self.resume_waits.insert(task, wait);
+        } else {
+            self.block_thread(task, wait);
+        }
+    }
+
     fn block_thread(&mut self, task: TaskId, wait: WaitFor) {
         let ready_now = match &wait {
             WaitFor::Select { socks } => socks.iter().any(|&s| self.sock_ready(s)),
@@ -2037,6 +2223,32 @@ impl Kernel {
         );
         self.register_socket(s, pid);
         s
+    }
+
+    /// Early-drop charges per container (`Idx::as_u64()` keys): one count
+    /// per packet discarded before protocol processing, billed to the
+    /// container the packet *classified to* — the attacker-pays ledger.
+    /// Covers no-owner, queue-full, and admission-control drops.
+    pub fn drop_charges(&self) -> &BTreeMap<u64, u64> {
+        &self.drop_charges
+    }
+
+    /// Early-drop charges attributed to `container` (zero when it never
+    /// overflowed anything).
+    pub fn drop_charges_of(&self, container: ContainerId) -> u64 {
+        self.drop_charges
+            .get(&container.as_u64())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Faults injected so far under the configured [`FaultPlan`]
+    /// (all-zero when no plan is configured).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.injector
+            .as_ref()
+            .map(|i| i.counts())
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------------------------

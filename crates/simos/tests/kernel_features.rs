@@ -211,3 +211,113 @@ fn process_exit_releases_all_kernel_state() {
     assert_eq!(k.containers.len(), 1);
     k.containers.check_invariants();
 }
+
+/// Listens on two classes — an attacker prefix and everyone else, each
+/// bound to its own container — and never completes handshakes, so the
+/// SYN queues only drain by expiry.
+struct TwoClassSink {
+    listeners: Vec<SockId>,
+}
+
+impl AppHandler for TwoClassSink {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                let classes = [
+                    (
+                        CidrFilter::new(IpAddr::new(192, 168, 0, 0), 16),
+                        "attacker-class",
+                    ),
+                    (CidrFilter::any(), "good-class"),
+                ];
+                for (filter, name) in classes {
+                    let l = sys.listen(80, filter, false);
+                    if let Ok(fd) =
+                        sys.create_container(None, Attributes::time_shared(10).named(name))
+                    {
+                        let _ = sys.bind_socket(l, fd);
+                    }
+                    self.listeners.push(l);
+                }
+                sys.select_wait(self.listeners.clone());
+            }
+            AppEvent::SelectReady { .. } => sys.select_wait(self.listeners.clone()),
+            _ => {}
+        }
+    }
+}
+
+/// §5.7 made cheap: admission drops happen before any protocol work is
+/// queued, and each one is charged to the container the packet
+/// classified to — the attacker's class absorbs its own overload while
+/// the well-behaved class is charged nothing.
+#[test]
+fn admission_drops_charge_the_classifying_container() {
+    let mut k = Kernel::new(KernelConfig::resource_containers().with_admission(4, 0));
+    k.spawn_process(
+        Box::new(TwoClassSink {
+            listeners: Vec::new(),
+        }),
+        "sink",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+
+    /// One burst: forty attacker SYNs (distinct flows, never acked) and
+    /// two legitimate ones.
+    struct ClassedSyns;
+    impl World for ClassedSyns {
+        fn on_packet(&mut self, _p: Packet, _n: Nanos, _a: &mut Vec<WorldAction>) {}
+        fn on_timer(&mut self, _tag: u64, _n: Nanos, a: &mut Vec<WorldAction>) {
+            for i in 0..40u16 {
+                a.push(WorldAction::SendPacket {
+                    pkt: Packet::new(
+                        FlowKey::new(IpAddr::new(192, 168, 1, (i % 250) as u8 + 1), 3000 + i, 80),
+                        PacketKind::Syn,
+                    ),
+                    delay: Nanos::ZERO,
+                });
+            }
+            for i in 0..2u16 {
+                a.push(WorldAction::SendPacket {
+                    pkt: Packet::new(
+                        FlowKey::new(IpAddr::new(10, 0, 0, i as u8 + 1), 4000 + i, 80),
+                        PacketKind::Syn,
+                    ),
+                    delay: Nanos::ZERO,
+                });
+            }
+        }
+    }
+    // Two bursts: the first fills the attacker listener's SYN queue well
+    // past the budget (admission sees an empty queue until the kernel
+    // thread has run); the second, a millisecond later, is refused
+    // packet-for-packet at interrupt level.
+    k.arm_world_timer(0, Nanos::from_micros(10));
+    k.arm_world_timer(1, Nanos::from_millis(1));
+    k.run(&mut ClassedSyns, Nanos::from_millis(5));
+
+    let by_name = |name: &str| {
+        k.containers
+            .iter()
+            .find(|(_, c)| c.attrs().name.as_deref() == Some(name))
+            .map(|(id, _)| id)
+            .expect("class container exists")
+    };
+    let attacker = by_name("attacker-class");
+    let good = by_name("good-class");
+
+    // The second burst's 40 attacker SYNs all arrive over budget; every
+    // refusal lands on the attacker's ledger. The good class never
+    // exceeds its budget of 4 (two SYNs per burst), so it pays nothing.
+    assert_eq!(k.drop_charges_of(attacker), 40);
+    assert_eq!(k.drop_charges_of(good), 0, "victim charged for the flood");
+    assert_eq!(k.stats().early_drops, 40);
+    assert_eq!(k.drop_charges().values().sum::<u64>(), 40);
+    // The dropped packets' wire bytes were charged to the attacker too.
+    let usage = k.containers.usage(attacker).unwrap();
+    assert!(usage.bytes_rx > 0, "drops charged no rx bytes");
+    assert_eq!(k.containers.usage(good).unwrap().bytes_rx, 0);
+    k.containers.check_invariants();
+}

@@ -9,6 +9,8 @@
 //! infrastructure).
 
 use httpsim::{encode_request, ReqKind};
+use simcore::fault::{ClientFault, FaultCounts, FaultInjector, FaultPlan};
+use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 use simnet::{FlowKey, IpAddr, Packet, PacketKind};
 use simos::{World, WorldAction};
@@ -43,6 +45,10 @@ pub struct ClientSpec {
     pub start_at: Nanos,
     /// Requests per connection for persistent clients (None = unlimited).
     pub requests_per_conn: Option<u32>,
+    /// Base retry backoff after an abandoned or refused request: the k-th
+    /// consecutive failure waits `backoff * 2^min(k, 6)` before retrying
+    /// (zero = classic S-Client immediate retry).
+    pub backoff: Nanos,
 }
 
 impl ClientSpec {
@@ -59,6 +65,7 @@ impl ClientSpec {
             timeout: None,
             start_at: Nanos::from_micros(10),
             requests_per_conn: None,
+            backoff: Nanos::ZERO,
         }
     }
 
@@ -85,6 +92,12 @@ impl ClientSpec {
         self.doc_cycle = n;
         self
     }
+
+    /// Sets the exponential retry backoff base (builder style).
+    pub fn with_backoff(mut self, base: Nanos) -> Self {
+        self.backoff = base;
+        self
+    }
 }
 
 #[derive(Debug)]
@@ -100,6 +113,9 @@ struct ClientState {
     in_flight: bool,
     /// Offset into the client's document cycle.
     doc_off: u32,
+    /// Consecutive failures since the last completed response; drives the
+    /// exponential backoff when [`ClientSpec::backoff`] is non-zero.
+    retries: u32,
 }
 
 /// Timer-tag sub-spaces within a client's tag block.
@@ -114,6 +130,8 @@ const TAGS_PER_CLIENT: u64 = 4;
 pub struct HttpClients {
     specs: Vec<ClientSpec>,
     states: Vec<ClientState>,
+    /// Client-side fault injector (slow / abandoning / malformed clients).
+    injector: Option<FaultInjector>,
     /// Collected metrics (read after the run).
     pub metrics: ClientMetrics,
 }
@@ -132,13 +150,32 @@ impl HttpClients {
                 on_conn: 0,
                 in_flight: false,
                 doc_off: 0,
+                retries: 0,
             })
             .collect();
         HttpClients {
             specs,
             states,
+            injector: None,
             metrics: ClientMetrics::new(n_classes, window_start, window_end),
         }
+    }
+
+    /// Enables client-side fault injection (builder style). Only the
+    /// client category of `plan` is consulted; packet and disk faults are
+    /// drawn by the kernel from its own streams, so the two never
+    /// interfere.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Self {
+        self.injector = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// Counts of faults this world has injected so far.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.injector
+            .as_ref()
+            .map(|i| i.counts())
+            .unwrap_or_default()
     }
 
     /// Arms every client's start timer on the kernel.
@@ -210,17 +247,72 @@ impl HttpClients {
 
     /// Sends the next request on the established connection.
     fn next_request(&mut self, i: usize, now: Nanos, actions: &mut Vec<WorldAction>) {
-        let len = self.request_len(i);
         let st = &mut self.states[i];
         st.req_seq += 1;
         st.started_at = now;
         st.on_conn += 1;
         st.in_flight = true;
+        self.send_request(i, now, actions);
+        self.arm_timeout(i, actions);
+    }
+
+    /// Emits the Data packet for the client's next request, applying any
+    /// client-side fault drawn for it. An abandoning client goes silent —
+    /// the request stays in flight so the timeout machinery (if armed)
+    /// records the abandon and retries.
+    fn send_request(&mut self, i: usize, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let mut len = self.request_len(i);
+        let mut delay = Nanos::ZERO;
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.client_fault(now) {
+                Some(ClientFault::Abandon) => {
+                    trace::emit_at(now, || TraceEventKind::FaultClientAbandon {
+                        client: i as u32,
+                    });
+                    return;
+                }
+                Some(ClientFault::Malformed) => {
+                    trace::emit_at(now, || TraceEventKind::FaultClientMalformed {
+                        client: i as u32,
+                    });
+                    // Shift the encoded kind out of range so the server
+                    // rejects the request as garbage.
+                    len = len.wrapping_add(7);
+                }
+                Some(ClientFault::Slow(d)) => {
+                    trace::emit_at(now, || TraceEventKind::FaultClientSlow {
+                        client: i as u32,
+                        delay: d,
+                    });
+                    delay = d;
+                }
+                None => {}
+            }
+        }
         actions.push(WorldAction::SendPacket {
             pkt: Packet::new(self.flow(i), PacketKind::Data { bytes: len }),
-            delay: Nanos::ZERO,
+            delay,
         });
-        self.arm_timeout(i, actions);
+    }
+
+    /// Schedules the next attempt after a failure, honouring the spec's
+    /// exponential backoff (immediate S-Client retry when it is zero).
+    fn retry_after_failure(&mut self, i: usize, now: Nanos, actions: &mut Vec<WorldAction>) {
+        let backoff = self.specs[i].backoff;
+        if backoff.is_zero() {
+            self.new_connection(i, now, actions);
+            return;
+        }
+        let st = &mut self.states[i];
+        st.in_flight = false;
+        // Reconnect from scratch once the backoff expires.
+        st.on_conn = 0;
+        let k = st.retries.min(6);
+        st.retries += 1;
+        actions.push(WorldAction::SetTimer {
+            tag: i as u64 * TAGS_PER_CLIENT + TAG_START,
+            delay: backoff * (1u64 << k),
+        });
     }
 
     fn arm_timeout(&self, i: usize, actions: &mut Vec<WorldAction>) {
@@ -276,16 +368,12 @@ impl World for HttpClients {
                 if !self.states[i].in_flight {
                     return; // Duplicate SYN-ACK after we gave up.
                 }
-                let len = self.request_len(i);
                 self.states[i].on_conn = 1;
                 actions.push(WorldAction::SendPacket {
                     pkt: Packet::new(pkt.flow, PacketKind::Ack),
                     delay: Nanos::ZERO,
                 });
-                actions.push(WorldAction::SendPacket {
-                    pkt: Packet::new(pkt.flow, PacketKind::Data { bytes: len }),
-                    delay: Nanos::ZERO,
-                });
+                self.send_request(i, now, actions);
             }
             PacketKind::Data { .. } => {
                 if !self.states[i].in_flight {
@@ -294,12 +382,13 @@ impl World for HttpClients {
                 let latency = now - self.states[i].started_at;
                 let class = self.specs[i].class;
                 self.metrics.record(class, latency, now);
+                self.states[i].retries = 0;
                 self.after_response(i, now, actions);
             }
             PacketKind::Rst if self.states[i].in_flight => {
                 // Connection refused or torn down: retry from scratch.
                 self.metrics.record_abandoned(self.specs[i].class);
-                self.new_connection(i, now, actions);
+                self.retry_after_failure(i, now, actions);
             }
             _ => {}
         }
@@ -326,12 +415,13 @@ impl World for HttpClients {
                         >= self.specs[i].timeout.unwrap_or(Nanos::MAX) =>
             {
                 self.metrics.record_abandoned(self.specs[i].class);
-                // Reset the server side and retry immediately.
+                // Reset the server side and retry (immediately, unless the
+                // spec asks for backoff).
                 actions.push(WorldAction::SendPacket {
                     pkt: Packet::new(self.flow(i), PacketKind::Rst),
                     delay: Nanos::ZERO,
                 });
-                self.new_connection(i, now, actions);
+                self.retry_after_failure(i, now, actions);
             }
             _ => {}
         }

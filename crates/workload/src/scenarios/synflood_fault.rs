@@ -1,0 +1,328 @@
+//! Graceful degradation under a SYN flood *plus* injected faults.
+//!
+//! The paper's Figure 14 shows the defended system surviving a flood by
+//! isolating attack prefixes after SYN-drop notifications. This scenario
+//! hardens that story: the kernel runs with per-listener admission
+//! control (bounded SYN queues, early drops charged to the classifying
+//! container — attacker pays) while a seeded [`FaultPlan`] perturbs the
+//! run with packet loss/corruption/delay and misbehaving clients. The
+//! claim under test is *graceful degradation*: with admission control
+//! and S-Client backoff, the victims' throughput stays within a few
+//! percent of the fault-free baseline, their tail latency stays bounded,
+//! and virtually all early-drop charges land on the attacker's isolated
+//! container rather than on well-behaved principals.
+
+use httpsim::stats::shared_stats;
+use httpsim::{ClassSpec, EventDrivenServer, ServerConfig};
+use rescon::Attributes;
+use simcore::fault::FaultPlan;
+use simcore::Nanos;
+use simnet::{CidrFilter, Packet};
+use simos::{Kernel, KernelConfig, World, WorldAction};
+
+use crate::clients::{ClientSpec, HttpClients};
+use crate::scenarios::fig14::{good_addr, ATTACK_BASE};
+use crate::synflood::SynFlood;
+
+/// Timer tag reserved for the flooder (out of the clients' `i*4` space).
+const FLOOD_TAG: u64 = 1 << 40;
+
+/// Parameters of one `synflood_fault` run.
+#[derive(Clone, Debug)]
+pub struct SynfloodFaultParams {
+    /// Number of simulated CPUs.
+    pub ncpus: u32,
+    /// Well-behaved closed-loop clients.
+    pub clients: usize,
+    /// Aggregate SYN-flood rate in SYNs/second (0 = no flood).
+    pub syn_rate: f64,
+    /// Seed of the fault plan.
+    pub fault_seed: u64,
+    /// Inject faults at all (false = fault-free baseline).
+    pub faults: bool,
+    /// Per-listener SYN-queue admission budget (0 = off).
+    pub syn_budget: usize,
+    /// Simulated run length.
+    pub secs: u64,
+}
+
+impl Default for SynfloodFaultParams {
+    fn default() -> Self {
+        SynfloodFaultParams {
+            ncpus: 4,
+            clients: 12,
+            syn_rate: 8_000.0,
+            fault_seed: 7,
+            faults: true,
+            syn_budget: 64,
+            secs: 12,
+        }
+    }
+}
+
+impl SynfloodFaultParams {
+    /// The fault-free, flood-free baseline for the same machine and
+    /// client population.
+    pub fn baseline(&self) -> Self {
+        SynfloodFaultParams {
+            syn_rate: 0.0,
+            faults: false,
+            ..self.clone()
+        }
+    }
+
+    /// The fault plan this run injects (empty when `faults` is off).
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.fault_seed)
+            .with_packet_faults(0.0003, 0.0002, 0.005, Nanos::from_micros(200))
+            .with_disk_faults(0.0005, 0.001, Nanos::from_millis(2))
+            .with_client_faults(0.0005, 0.0005, 0.002, Nanos::from_micros(200))
+            // A burst inside the measurement window: one second where
+            // every probability is scaled tenfold, a brown-out the
+            // system must ride through.
+            .with_window(Nanos::from_secs(8), Nanos::from_secs(9), 10.0)
+    }
+}
+
+/// Result of one `synflood_fault` run.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SynfloodFaultResult {
+    /// Victim (well-behaved) windowed throughput in requests/second.
+    pub throughput: f64,
+    /// Victim p99 response latency in milliseconds.
+    pub p99_ms: f64,
+    /// Victim mean response latency in milliseconds.
+    pub mean_ms: f64,
+    /// Requests the victims abandoned (timeouts, resets).
+    pub abandoned: u64,
+    /// SYNs the flooder sent.
+    pub syns_sent: u64,
+    /// Packets dropped at early demultiplexing.
+    pub early_drops: u64,
+    /// Early-drop charges across all containers.
+    pub drop_charges_total: u64,
+    /// Early-drop charges that landed on isolated (attacker) containers.
+    pub drop_charges_attacker: u64,
+    /// Attacker share of early-drop charges (1.0 when there were none).
+    pub attacker_drop_share: f64,
+    /// Flood prefixes the server isolated.
+    pub isolations: u64,
+    /// Network faults the kernel injected (drop + corrupt + delay).
+    pub net_faults: u64,
+    /// Disk faults the kernel injected (error + spike).
+    pub disk_faults: u64,
+    /// Client faults the workload injected (abandon + malformed + slow).
+    pub client_faults: u64,
+    /// Requests the server aborted on injected disk errors.
+    pub io_errors: u64,
+}
+
+/// Well-behaved clients plus the attacker, routed by source prefix.
+struct FaultFloodWorld {
+    clients: HttpClients,
+    flood: SynFlood,
+    attack_filter: CidrFilter,
+}
+
+impl World for FaultFloodWorld {
+    fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>) {
+        if self.attack_filter.matches(pkt.flow.src) {
+            self.flood.on_packet(pkt, now, actions);
+        } else {
+            self.clients.on_packet(pkt, now, actions);
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, now: Nanos, actions: &mut Vec<WorldAction>) {
+        if tag >= FLOOD_TAG {
+            let mut local = Vec::new();
+            self.flood.on_timer(tag - FLOOD_TAG, now, &mut local);
+            for a in &mut local {
+                if let WorldAction::SetTimer { tag, .. } = a {
+                    *tag += FLOOD_TAG;
+                }
+            }
+            actions.extend(local);
+        } else {
+            self.clients.on_timer(tag, now, actions);
+        }
+    }
+}
+
+/// Runs one `synflood_fault` point on the defended RC kernel.
+pub fn run_synflood_fault(params: SynfloodFaultParams) -> SynfloodFaultResult {
+    let secs = params.secs.max(4);
+    let end = Nanos::from_secs(secs);
+    // Like Figure 14: the flood's opening seconds poison the default
+    // listener's (admission-bounded) SYN queue with half-open entries
+    // that only expire after the 5 s SYN timeout, so steady state
+    // starts after that.
+    let warmup = Nanos::from_secs(7).min(end / 2);
+
+    let mut kcfg = KernelConfig::resource_containers()
+        .with_ncpus(params.ncpus.max(1))
+        .with_admission(params.syn_budget, 0);
+    if params.faults {
+        kcfg = kcfg.with_fault(params.plan());
+    }
+
+    let stats = shared_stats();
+    let mut k = Kernel::new(kcfg);
+    let cfg = ServerConfig {
+        defense: true,
+        defense_mask: 16,
+        defense_threshold: 16,
+        classes: vec![ClassSpec {
+            name: "default".to_string(),
+            filter: CidrFilter::any(),
+            priority: 10,
+            notify_syn_drops: true,
+        }],
+        ..ServerConfig::default()
+    };
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(cfg, stats.clone())),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+
+    // Lightly-loaded victims: think time keeps the server below
+    // saturation so latency reflects service, not queueing; a short
+    // timeout plus exponential backoff is the S-Client side of graceful
+    // degradation (abandon fast, retry politely).
+    let specs: Vec<ClientSpec> = (0..params.clients)
+        .map(|i| {
+            let mut s = ClientSpec::staticloop(good_addr(i), 0)
+                .with_timeout(Nanos::from_millis(25))
+                .with_backoff(Nanos::from_millis(5))
+                .starting_at(Nanos::from_micros(10 + 7 * i as u64));
+            s.think = Nanos::from_millis(5);
+            s
+        })
+        .collect();
+    let mut clients = HttpClients::new(specs, warmup, end);
+    if params.faults {
+        clients = clients.with_faults(&params.plan());
+    }
+    clients.arm(&mut k);
+
+    let flood = SynFlood::new(ATTACK_BASE, 1024, params.syn_rate, 80);
+    if params.syn_rate > 0.0 {
+        k.arm_world_timer(FLOOD_TAG, flood.start_at);
+    }
+
+    let mut world = FaultFloodWorld {
+        clients,
+        flood,
+        attack_filter: CidrFilter::new(ATTACK_BASE, 16),
+    };
+    k.run(&mut world, end);
+
+    let (isolations, io_errors) = {
+        let s = stats.borrow();
+        (s.isolations, s.io_errors)
+    };
+    let drop_charges_total: u64 = k.drop_charges().values().sum();
+    let drop_charges_attacker: u64 = k
+        .containers
+        .iter()
+        .filter(|(_, c)| c.attrs().name.as_deref() == Some("isolated"))
+        .map(|(id, _)| k.drop_charges_of(id))
+        .sum();
+    let kernel_faults = k.fault_counts();
+    let client_counts = world.clients.fault_counts();
+    let m = &world.clients.metrics;
+    SynfloodFaultResult {
+        throughput: m.throughput(0),
+        p99_ms: m.class(0).latency_ms.quantile(0.99),
+        mean_ms: m.mean_latency_ms(0),
+        abandoned: m.class(0).abandoned,
+        syns_sent: world.flood.sent,
+        early_drops: k.stats().early_drops,
+        drop_charges_total,
+        drop_charges_attacker,
+        attacker_drop_share: if drop_charges_total == 0 {
+            1.0
+        } else {
+            drop_charges_attacker as f64 / drop_charges_total as f64
+        },
+        isolations,
+        net_faults: kernel_faults.pkt_dropped
+            + kernel_faults.pkt_corrupted
+            + kernel_faults.pkt_delayed,
+        disk_faults: kernel_faults.disk_errors + kernel_faults.disk_spikes,
+        client_faults: client_counts.client_abandons
+            + client_counts.client_malformed
+            + client_counts.client_slowed,
+        io_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reduced() -> SynfloodFaultParams {
+        SynfloodFaultParams {
+            clients: 8,
+            secs: 12,
+            ..SynfloodFaultParams::default()
+        }
+    }
+
+    #[test]
+    fn degrades_gracefully_under_flood_and_faults() {
+        let base = run_synflood_fault(reduced().baseline());
+        let faulted = run_synflood_fault(reduced());
+        assert!(base.throughput > 500.0, "baseline {}", base.throughput);
+        assert!(
+            faulted.throughput >= 0.9 * base.throughput,
+            "victim throughput {} vs baseline {}",
+            faulted.throughput,
+            base.throughput
+        );
+        assert!(
+            faulted.p99_ms <= 2.0 * base.p99_ms.max(0.5),
+            "p99 {} ms vs baseline {} ms",
+            faulted.p99_ms,
+            base.p99_ms
+        );
+        assert!(faulted.net_faults > 0, "no network faults injected");
+        assert!(faulted.client_faults > 0, "no client faults injected");
+        assert!(faulted.isolations >= 1, "flood prefix never isolated");
+        assert!(
+            faulted.attacker_drop_share >= 0.95,
+            "attacker absorbed only {:.1}% of drop charges",
+            faulted.attacker_drop_share * 100.0
+        );
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let a = run_synflood_fault(reduced());
+        let b = run_synflood_fault(reduced());
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.abandoned, b.abandoned);
+        assert_eq!(a.net_faults, b.net_faults);
+        assert_eq!(a.client_faults, b.client_faults);
+        assert_eq!(a.drop_charges_total, b.drop_charges_total);
+    }
+
+    #[test]
+    fn different_fault_seed_changes_injections_only_in_count() {
+        let a = run_synflood_fault(reduced());
+        let b = run_synflood_fault(SynfloodFaultParams {
+            fault_seed: 8,
+            ..reduced()
+        });
+        // Different seeds draw different injection sequences...
+        assert!(
+            a.net_faults != b.net_faults || a.client_faults != b.client_faults,
+            "seeds 7 and 8 injected identical fault sequences"
+        );
+        // ...but the system still degrades gracefully.
+        assert!(b.isolations >= 1);
+    }
+}

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use resource_containers::prelude::*;
 
 use httpsim::stats::shared_stats;
+use simcore::fault::FaultPlan;
 use simcore::Nanos;
 
 /// A compact description of a random workload.
@@ -110,4 +111,129 @@ proptest! {
         prop_assert_eq!(chrome_a, chrome_b, "chrome trace not byte-identical");
         prop_assert_eq!(metrics_a, metrics_b, "metrics dump not byte-identical");
     }
+}
+
+/// An aggressive all-category fault plan for determinism tests (client
+/// faults ride on the same plan via the workload's injector).
+fn fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_packet_faults(0.01, 0.005, 0.02, Nanos::from_micros(100))
+        .with_client_faults(0.01, 0.01, 0.02, Nanos::from_micros(100))
+        .with_window(Nanos::from_millis(100), Nanos::from_millis(200), 4.0)
+}
+
+/// One traced, faulted run of `mix` with fault seed `seed`.
+struct FaultRun {
+    served: u64,
+    /// Faults injected by kernel + workload.
+    injected: u64,
+    chrome: String,
+    /// Per-CPU accounting conservation: on every CPU, charged +
+    /// interrupt + overhead + idle covers the whole run, and the
+    /// per-CPU buckets sum to the global ones.
+    conserved: bool,
+}
+
+fn run_fault_mix(mix: &Mix, seed: u64) -> FaultRun {
+    rctrace::start(TraceConfig {
+        ring_capacity: 1 << 16,
+        sample_interval: Nanos::from_millis(10),
+    });
+    let kernel = match mix.kernel {
+        0 => KernelConfig::unmodified(),
+        1 => KernelConfig::lrp(),
+        _ => KernelConfig::resource_containers(),
+    }
+    .with_ncpus(2)
+    .with_fault(fault_plan(seed))
+    .with_admission(32, 0);
+    let stats = shared_stats();
+    let mut k = Kernel::new(kernel);
+    k.spawn_process(
+        Box::new(EventDrivenServer::new(
+            ServerConfig::default(),
+            stats.clone(),
+        )),
+        "httpd",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+    let mut specs = Vec::new();
+    for i in 0..mix.static_clients {
+        let mut s = ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1 + i), 0)
+            .with_timeout(Nanos::from_millis(40))
+            .with_backoff(Nanos::from_millis(2));
+        s.think = Nanos::from_millis(mix.think_ms as u64);
+        specs.push(s);
+    }
+    for i in 0..mix.keepalive_clients {
+        specs.push(
+            ClientSpec::staticloop(IpAddr::new(10, 0, 1, 1 + i), 1)
+                .with_kind(ReqKind::StaticKeepAlive)
+                .with_timeout(Nanos::from_millis(40))
+                .with_backoff(Nanos::from_millis(2)),
+        );
+    }
+    let mut clients = HttpClients::new(specs, Nanos::ZERO, Nanos::from_millis(400))
+        .with_faults(&fault_plan(seed));
+    clients.arm(&mut k);
+    k.run(&mut clients, Nanos::from_millis(400));
+
+    let per_cpu = k.per_cpu_stats();
+    let elapsed = k.clock();
+    let sum = |f: fn(&simos::CpuStats) -> Nanos| -> Nanos { per_cpu.iter().map(f).sum() };
+    let g = k.stats();
+    let conserved = per_cpu.iter().all(|c| c.total() == elapsed)
+        && sum(|c| c.charged_cpu) == g.charged_cpu
+        && sum(|c| c.interrupt_cpu) == g.interrupt_cpu
+        && sum(|c| c.overhead_cpu) == g.overhead_cpu
+        && sum(|c| c.idle_cpu) == g.idle_cpu;
+    let injected = k.fault_counts().total() + clients.fault_counts().total();
+    let session = rctrace::finish().expect("trace session active");
+    let served = stats.borrow().static_served;
+    FaultRun {
+        served,
+        injected,
+        chrome: chrome_trace_json(&session),
+        conserved,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fault injection is part of the determinism contract: same seed
+    /// and plan, byte-identical Chrome export — and accounting stays
+    /// conserved per CPU with faults flying.
+    #[test]
+    fn faulted_runs_are_deterministic(mix in mix_strategy()) {
+        let a = run_fault_mix(&mix, 41);
+        let b = run_fault_mix(&mix, 41);
+        prop_assert!(a.injected > 0, "plan injected nothing for {mix:?}");
+        prop_assert!(a.conserved, "per-CPU accounting not conserved for {mix:?}");
+        prop_assert_eq!(a.served, b.served);
+        prop_assert_eq!(a.injected, b.injected);
+        prop_assert_eq!(a.chrome, b.chrome, "faulted chrome trace not byte-identical");
+    }
+}
+
+/// Changing only the fault seed changes the injections but never breaks
+/// conservation: time charged on every CPU still adds up exactly.
+#[test]
+fn different_fault_seed_different_injections_same_conservation() {
+    let mix = Mix {
+        static_clients: 4,
+        keepalive_clients: 2,
+        think_ms: 0,
+        kernel: 2,
+    };
+    let a = run_fault_mix(&mix, 1);
+    let b = run_fault_mix(&mix, 2);
+    assert!(a.injected > 0 && b.injected > 0);
+    assert!(
+        a.chrome != b.chrome,
+        "seeds 1 and 2 produced identical traces"
+    );
+    assert!(a.conserved && b.conserved);
 }

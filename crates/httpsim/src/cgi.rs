@@ -28,6 +28,8 @@ pub struct CgiWorker {
     /// The request's container (resource-containers mode).
     container: Option<ContainerId>,
     stats: SharedStats,
+    /// Response bytes still unsent because of send backpressure.
+    pending_tx: u64,
 }
 
 impl CgiWorker {
@@ -46,7 +48,17 @@ impl CgiWorker {
             response_bytes,
             container,
             stats,
+            pending_tx: 0,
         }
+    }
+
+    /// Closes the client connection and exits the worker.
+    fn finish(&mut self, sys: &mut SysCtx<'_>) {
+        let _ = sys.close(self.conn);
+        self.stats.borrow_mut().cgi_completed += 1;
+        // Unbind before exit so the request container can die.
+        let _ = sys.bind_thread_default();
+        sys.exit();
     }
 }
 
@@ -61,18 +73,32 @@ impl AppHandler for CgiWorker {
                     // otherwise its default process container would let it
                     // escape the CGI sandbox (§4.6 "Reset the scheduler
                     // binding").
-                    let _ = sys.bind_thread_id(c);
+                    let _ = sys.bind_thread(c);
                     sys.reset_scheduler_binding();
                 }
                 sys.compute(self.cpu, 0);
             }
             AppEvent::Continue { .. } => {
-                sys.send(self.conn, self.response_bytes);
-                sys.close(self.conn);
-                self.stats.borrow_mut().cgi_completed += 1;
-                // Unbind before exit so the request container can die.
-                let _ = sys.bind_thread_default();
-                sys.exit();
+                let want = self.response_bytes;
+                let sent = sys.send(self.conn, want).unwrap_or(want);
+                if sent < want {
+                    // Backpressure: drain the response before closing.
+                    self.pending_tx = want - sent;
+                    sys.send_wait(self.conn);
+                    return;
+                }
+                self.finish(sys);
+            }
+            AppEvent::Writable { .. } => {
+                let remaining = self.pending_tx;
+                let sent = sys.send(self.conn, remaining).unwrap_or(remaining);
+                if sent < remaining {
+                    self.pending_tx = remaining - sent;
+                    sys.send_wait(self.conn);
+                    return;
+                }
+                self.pending_tx = 0;
+                self.finish(sys);
             }
             _ => {}
         }

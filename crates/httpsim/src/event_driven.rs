@@ -17,7 +17,7 @@ use sched::TaskId;
 use simcore::trace::NO_CONTAINER;
 use simcore::Nanos;
 use simnet::{CidrFilter, IpAddr, SockId};
-use simos::{AppEvent, AppHandler, SysCtx};
+use simos::{AppEvent, AppHandler, ListenSpec, SysCtx};
 
 use crate::cache::FileCache;
 use crate::cgi::CgiWorker;
@@ -196,6 +196,9 @@ pub struct EventDrivenServer {
     /// Class container of each listener (containers mode).
     class_containers: Vec<Option<(ContainerFd, ContainerId)>>,
     conns: HashMap<SockId, Conn>,
+    /// Responses stalled by send backpressure: remaining bytes and
+    /// whether the connection closes once the response drains.
+    tx_pending: HashMap<SockId, (u64, bool)>,
     by_tag: HashMap<u64, SockId>,
     cgi_parent: Option<(ContainerFd, ContainerId)>,
     /// Open handle to `cfg.conn_parent`, if any.
@@ -230,6 +233,7 @@ impl EventDrivenServer {
             listeners: Vec::new(),
             class_containers: Vec::new(),
             conns: HashMap::new(),
+            tx_pending: HashMap::new(),
             by_tag: HashMap::new(),
             cgi_parent: None,
             conn_parent_fd: None,
@@ -254,7 +258,11 @@ impl EventDrivenServer {
         let parent_fd = self.conn_parent_fd;
         let classes = self.cfg.classes.clone();
         for class in &classes {
-            let l = sys.listen(self.cfg.port, class.filter, class.notify_syn_drops);
+            let mut spec = ListenSpec::port(self.cfg.port).filter(class.filter);
+            if class.notify_syn_drops {
+                spec = spec.notify_syn_drops();
+            }
+            let l = sys.listen(spec);
             let cc = if sys.containers_enabled() {
                 let fd = sys
                     .create_container(
@@ -389,7 +397,12 @@ impl EventDrivenServer {
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };
-        let (bytes, eof) = sys.read(conn);
+        let Ok((bytes, eof)) = sys.read(conn) else {
+            // The socket vanished under us (e.g. reset while the event was
+            // queued): drop our state without a redundant close.
+            self.teardown_conn(sys, conn, false);
+            return;
+        };
         if bytes == 0 {
             if eof {
                 self.teardown_conn(sys, conn, true);
@@ -407,7 +420,7 @@ impl EventDrivenServer {
         // resource binding (§4.8) and tag the work item explicitly.
         let charge = state.container.map(|(_, id)| id);
         if let Some(id) = charge {
-            let _ = sys.bind_thread_id(id);
+            let _ = sys.bind_thread(id);
         }
         let mut cost = self.cfg.parse_cost;
         if let Some(cache) = self.cache.as_mut() {
@@ -452,7 +465,8 @@ impl EventDrivenServer {
         let conn_container = state.container.map(|(_, id)| id);
         match kind {
             ReqKind::Static | ReqKind::StaticKeepAlive => {
-                sys.send(conn, self.cfg.response_bytes);
+                let want = self.cfg.response_bytes;
+                let sent = sys.send(conn, want).unwrap_or(want);
                 let now = sys.now();
                 self.stats.borrow_mut().record_static(class, now);
                 if rctrace::active() {
@@ -468,7 +482,18 @@ impl EventDrivenServer {
                         .unwrap_or(NO_CONTAINER);
                     rctrace::record_latency(principal, now - started);
                 }
-                if kind == ReqKind::Static {
+                if sent < want {
+                    // Send backpressure (§4.4's sockbuf limit made real):
+                    // remember the unsent tail and finish as the link
+                    // drains — by writability event under the scalable
+                    // API, by blocking under classic select().
+                    self.tx_pending
+                        .insert(conn, (want - sent, kind == ReqKind::Static));
+                    match self.cfg.api {
+                        EventApi::Scalable => sys.event_register_writable(conn),
+                        EventApi::Select => sys.send_wait(conn),
+                    }
+                } else if kind == ReqKind::Static {
                     self.teardown_conn(sys, conn, true);
                 }
             }
@@ -541,22 +566,60 @@ impl EventDrivenServer {
         }
     }
 
+    /// Continues a response stalled by send backpressure: the kernel
+    /// signalled the socket writable, so push the remaining bytes (again
+    /// charged to the connection's activity) and finish the teardown or
+    /// pipeline once the response has fully drained.
+    fn continue_send(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
+        let Some(&(remaining, close_after)) = self.tx_pending.get(&conn) else {
+            return;
+        };
+        if let Some(state) = self.conns.get(&conn) {
+            if let Some((_, id)) = state.container {
+                let _ = sys.bind_thread(id);
+            }
+        }
+        let sent = sys.send(conn, remaining).unwrap_or(remaining);
+        if sent >= remaining {
+            self.tx_pending.remove(&conn);
+            if self.cfg.api == EventApi::Scalable {
+                sys.event_deregister_writable(conn);
+            }
+            let _ = sys.bind_thread_default();
+            if close_after {
+                self.teardown_conn(sys, conn, true);
+            } else {
+                // A readable event may have been coalesced with this
+                // writability notice; poll the socket so pipelined
+                // requests are not stranded.
+                self.handle_readable(sys, conn);
+            }
+        } else {
+            self.tx_pending
+                .insert(conn, (remaining - sent, close_after));
+            if self.cfg.api == EventApi::Select {
+                sys.send_wait(conn);
+            }
+        }
+    }
+
     fn teardown_conn(&mut self, sys: &mut SysCtx<'_>, conn: SockId, close: bool) {
         // Rebind away from the per-connection container before dropping
         // the final references so it can be destroyed.
         let _ = sys.bind_thread_default();
+        self.tx_pending.remove(&conn);
         if let Some(st) = self.conns.remove(&conn) {
             self.by_tag.remove(&conn.as_u64());
             self.by_tag.remove(&(DISK_TAG | conn.as_u64()));
             if close {
-                sys.close(conn);
+                let _ = sys.close(conn);
                 self.stats.borrow_mut().closed += 1;
             }
             if let Some((fd, _)) = st.container {
                 let _ = sys.close_container(fd);
             }
         } else if close {
-            sys.close(conn);
+            let _ = sys.close(conn);
         }
     }
 
@@ -575,6 +638,9 @@ impl EventDrivenServer {
         for s in ready {
             if self.listeners.contains(&s) {
                 self.accept_all(sys, s);
+            } else if self.tx_pending.contains_key(&s) {
+                // Writability notice: a stalled response may resume.
+                self.continue_send(sys, s);
             } else if self.conns.contains_key(&s) {
                 self.handle_readable(sys, s);
             }
@@ -602,7 +668,7 @@ impl EventDrivenServer {
         self.isolated.push(prefix);
         self.stats.borrow_mut().isolations += 1;
         let flt = CidrFilter::new(IpAddr(prefix), self.cfg.defense_mask);
-        let l = sys.listen(self.cfg.port, flt, false);
+        let l = sys.listen(ListenSpec::port(self.cfg.port).filter(flt));
         if let Ok(fd) = sys.create_container(None, Attributes::time_shared(0).named("isolated")) {
             let _ = sys.bind_socket(l, fd);
         }
@@ -643,7 +709,7 @@ impl AppHandler for EventDrivenServer {
                     // container before responding on its behalf.
                     if let Some(state) = self.conns.get(&conn) {
                         if let Some((_, id)) = state.container {
-                            let _ = sys.bind_thread_id(id);
+                            let _ = sys.bind_thread(id);
                         }
                     }
                     if bytes == 0 {
@@ -658,6 +724,16 @@ impl AppHandler for EventDrivenServer {
                     }
                 }
                 self.rearm(sys);
+            }
+            AppEvent::Writable { sock } => {
+                // Out-of-band writability upcall (the select()-mode
+                // blocking path): resume the stalled response. If it
+                // drained, the blocking send released the thread — re-arm
+                // the wait it displaced.
+                self.continue_send(sys, sock);
+                if !self.tx_pending.contains_key(&sock) {
+                    self.rearm(sys);
+                }
             }
             AppEvent::SynDropNotice { listener, src } => self.handle_syn_drop(sys, listener, src),
             AppEvent::ConnReset { conn } => {

@@ -78,6 +78,9 @@ pub struct FastCgiWorker {
     pub response_bytes: u64,
     stats: SharedStats,
     current: Option<FastCgiJob>,
+    /// Response bytes still unsent because of send backpressure; the job
+    /// is not complete (and the worker takes no new one) until it drains.
+    pending_tx: u64,
 }
 
 impl FastCgiWorker {
@@ -94,7 +97,17 @@ impl FastCgiWorker {
             response_bytes,
             stats,
             current: None,
+            pending_tx: 0,
         }
+    }
+
+    /// Closes the finished job's connection, rebinds, and reports done.
+    fn finish_job(&mut self, sys: &mut SysCtx<'_>, job: FastCgiJob) {
+        let _ = sys.close(job.conn);
+        let _ = sys.bind_thread_default();
+        sys.reset_scheduler_binding();
+        self.mailbox.borrow_mut().completed += 1;
+        self.stats.borrow_mut().cgi_completed += 1;
     }
 
     /// Takes the next job if any; otherwise parks as idle.
@@ -108,7 +121,7 @@ impl FastCgiWorker {
                     // §4.8: dynamic processing is charged to the request's
                     // container; a persistent worker serves one activity at
                     // a time, so it also resets its scheduler binding.
-                    let _ = sys.bind_thread_id(c);
+                    let _ = sys.bind_thread(c);
                     sys.reset_scheduler_binding();
                 }
                 sys.compute(self.cpu, 0);
@@ -140,13 +153,32 @@ impl AppHandler for FastCgiWorker {
                 self.take_or_park(sys);
             }
             AppEvent::Continue { .. } => {
-                if let Some(job) = self.current.take() {
-                    sys.send(job.conn, self.response_bytes);
-                    sys.close(job.conn);
-                    let _ = sys.bind_thread_default();
-                    sys.reset_scheduler_binding();
-                    self.mailbox.borrow_mut().completed += 1;
-                    self.stats.borrow_mut().cgi_completed += 1;
+                if let Some(job) = self.current {
+                    let want = self.response_bytes;
+                    let sent = sys.send(job.conn, want).unwrap_or(want);
+                    if sent < want {
+                        // Backpressure: stay on this job until it drains.
+                        self.pending_tx = want - sent;
+                        sys.send_wait(job.conn);
+                        return;
+                    }
+                    self.current = None;
+                    self.finish_job(sys, job);
+                }
+                self.take_or_park(sys);
+            }
+            AppEvent::Writable { .. } => {
+                if let Some(job) = self.current {
+                    let remaining = self.pending_tx;
+                    let sent = sys.send(job.conn, remaining).unwrap_or(remaining);
+                    if sent < remaining {
+                        self.pending_tx = remaining - sent;
+                        sys.send_wait(job.conn);
+                        return;
+                    }
+                    self.pending_tx = 0;
+                    self.current = None;
+                    self.finish_job(sys, job);
                 }
                 self.take_or_park(sys);
             }

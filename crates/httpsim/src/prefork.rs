@@ -10,8 +10,8 @@ use std::rc::Rc;
 
 use sched::TaskId;
 use simcore::Nanos;
-use simnet::{CidrFilter, SockId};
-use simos::{AppEvent, AppHandler, SysCtx};
+use simnet::SockId;
+use simos::{AppEvent, AppHandler, ListenSpec, SysCtx};
 
 use crate::request::decode_request;
 use crate::stats::SharedStats;
@@ -51,7 +51,7 @@ impl PreforkServer {
 impl AppHandler for PreforkServer {
     fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
         if let AppEvent::Start = ev {
-            let l = sys.listen(self.port, CidrFilter::any(), false);
+            let l = sys.listen(ListenSpec::port(self.port));
             self.listener_slot.set(Some(l));
             for i in 0..self.workers {
                 let w = PreforkWorker {
@@ -60,6 +60,7 @@ impl AppHandler for PreforkServer {
                     response_bytes: self.response_bytes,
                     stats: self.stats.clone(),
                     conn: None,
+                    pending_tx: 0,
                 };
                 sys.spawn_process(
                     Box::new(w),
@@ -81,6 +82,8 @@ struct PreforkWorker {
     response_bytes: u64,
     stats: SharedStats,
     conn: Option<SockId>,
+    /// Response bytes still unsent because of send backpressure.
+    pending_tx: u64,
 }
 
 impl PreforkWorker {
@@ -108,10 +111,16 @@ impl AppHandler for PreforkWorker {
             AppEvent::Start => self.try_accept(sys),
             AppEvent::SelectReady { ready } => match self.conn {
                 Some(conn) if ready.contains(&conn) => {
-                    let (bytes, eof) = sys.read(conn);
+                    let Ok((bytes, eof)) = sys.read(conn) else {
+                        // Socket vanished (e.g. reset): recycle the worker.
+                        self.conn = None;
+                        self.try_accept(sys);
+                        return;
+                    };
                     if bytes == 0 {
                         if eof {
-                            sys.close(conn);
+                            let _ = sys.close(conn);
+                            self.conn = None;
                             self.stats.borrow_mut().closed += 1;
                             self.try_accept(sys);
                         } else {
@@ -120,7 +129,8 @@ impl AppHandler for PreforkWorker {
                     } else if decode_request(bytes).is_some() {
                         sys.compute(self.parse_cost, 0);
                     } else {
-                        sys.close(conn);
+                        let _ = sys.close(conn);
+                        self.conn = None;
                         self.try_accept(sys);
                     }
                 }
@@ -128,10 +138,34 @@ impl AppHandler for PreforkWorker {
                 None => self.try_accept(sys),
             },
             AppEvent::Continue { .. } => {
-                if let Some(conn) = self.conn.take() {
-                    sys.send(conn, self.response_bytes);
+                if let Some(conn) = self.conn {
+                    let want = self.response_bytes;
+                    let sent = sys.send(conn, want).unwrap_or(want);
                     self.stats.borrow_mut().record_static(0, sys.now());
-                    sys.close(conn);
+                    if sent < want {
+                        // Backpressure: block until the socket drains.
+                        self.pending_tx = want - sent;
+                        sys.send_wait(conn);
+                        return;
+                    }
+                    let _ = sys.close(conn);
+                    self.conn = None;
+                    self.stats.borrow_mut().closed += 1;
+                }
+                self.try_accept(sys);
+            }
+            AppEvent::Writable { .. } => {
+                if let Some(conn) = self.conn {
+                    let remaining = self.pending_tx;
+                    let sent = sys.send(conn, remaining).unwrap_or(remaining);
+                    if sent < remaining {
+                        self.pending_tx = remaining - sent;
+                        sys.send_wait(conn);
+                        return;
+                    }
+                    self.pending_tx = 0;
+                    let _ = sys.close(conn);
+                    self.conn = None;
                     self.stats.borrow_mut().closed += 1;
                 }
                 self.try_accept(sys);

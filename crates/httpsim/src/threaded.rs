@@ -15,8 +15,8 @@ use std::collections::HashMap;
 use rescon::{Attributes, ContainerFd, ContainerId};
 use sched::TaskId;
 use simcore::Nanos;
-use simnet::{CidrFilter, SockId};
-use simos::{AppEvent, AppHandler, SysCtx};
+use simnet::SockId;
+use simos::{AppEvent, AppHandler, ListenSpec, SysCtx};
 
 use crate::request::decode_request;
 use crate::stats::SharedStats;
@@ -33,6 +33,9 @@ enum Worker {
         /// The in-progress request is persistent: respond without closing
         /// and wait for the next request on the same connection.
         keep: bool,
+        /// Response bytes still unsent because of send backpressure; the
+        /// worker blocks in `send_wait` until the socket drains.
+        pending_tx: u64,
     },
 }
 
@@ -85,7 +88,7 @@ impl ThreadPoolServer {
                             // Dedicated thread: bind it to the connection's
                             // container for the connection's lifetime, and
                             // serve only that activity (§4.6).
-                            let _ = sys.bind_thread_id(id);
+                            let _ = sys.bind_thread(id);
                             sys.reset_scheduler_binding();
                             Some((fd, id))
                         }
@@ -100,6 +103,7 @@ impl ThreadPoolServer {
                         conn,
                         container,
                         keep: false,
+                        pending_tx: 0,
                     },
                 );
                 sys.read_wait(conn);
@@ -120,7 +124,11 @@ impl ThreadPoolServer {
         };
         let conn = *conn;
         let charge = container.map(|(_, id)| id);
-        let (bytes, eof) = sys.read(conn);
+        let Ok((bytes, eof)) = sys.read(conn) else {
+            // Socket vanished (e.g. reset): release the worker.
+            self.finish_conn(sys, thread, false);
+            return;
+        };
         if bytes == 0 {
             if eof {
                 self.finish_conn(sys, thread, true);
@@ -145,9 +153,46 @@ impl ThreadPoolServer {
             return;
         };
         let (conn, keep) = (*conn, *keep);
-        sys.send(conn, self.response_bytes);
+        let want = self.response_bytes;
+        let sent = sys.send(conn, want).unwrap_or(want);
         self.stats.borrow_mut().record_static(0, sys.now());
-        if keep {
+        if sent < want {
+            // Send backpressure: a dedicated worker simply blocks until
+            // the socket is writable again (§4.8's thread-per-connection
+            // idiom).
+            if let Some(Worker::Serving { pending_tx, .. }) = self.workers.get_mut(&thread) {
+                *pending_tx = want - sent;
+            }
+            sys.send_wait(conn);
+        } else if keep {
+            sys.read_wait(conn);
+        } else {
+            self.finish_conn(sys, thread, true);
+        }
+    }
+
+    /// Continues a backpressured response after a writability wake-up.
+    fn continue_send(&mut self, sys: &mut SysCtx<'_>, thread: TaskId) {
+        let Some(Worker::Serving {
+            conn,
+            keep,
+            pending_tx,
+            ..
+        }) = self.workers.get(&thread)
+        else {
+            return;
+        };
+        let (conn, keep, remaining) = (*conn, *keep, *pending_tx);
+        if remaining == 0 {
+            return;
+        }
+        let sent = sys.send(conn, remaining).unwrap_or(remaining);
+        if let Some(Worker::Serving { pending_tx, .. }) = self.workers.get_mut(&thread) {
+            *pending_tx = remaining - sent;
+        }
+        if sent < remaining {
+            sys.send_wait(conn);
+        } else if keep {
             sys.read_wait(conn);
         } else {
             self.finish_conn(sys, thread, true);
@@ -162,7 +207,7 @@ impl ThreadPoolServer {
         }) = self.workers.remove(&thread)
         {
             if close {
-                sys.close(conn);
+                let _ = sys.close(conn);
                 self.stats.borrow_mut().closed += 1;
             }
             if let Some((fd, _)) = container {
@@ -179,7 +224,7 @@ impl AppHandler for ThreadPoolServer {
             AppEvent::Start => {
                 if !self.started {
                     self.started = true;
-                    self.listener = Some(sys.listen(self.port, CidrFilter::any(), false));
+                    self.listener = Some(sys.listen(ListenSpec::port(self.port)));
                     for _ in 1..self.pool_size {
                         sys.spawn_thread();
                     }
@@ -202,6 +247,7 @@ impl AppHandler for ThreadPoolServer {
                 }
             }
             AppEvent::Continue { .. } => self.respond(sys, thread),
+            AppEvent::Writable { .. } => self.continue_send(sys, thread),
             _ => {}
         }
     }

@@ -9,6 +9,10 @@
 //! - **pid 2 "disk"** — one `X` slice per disk request service period
 //!   (`DiskStart` carries the exact service time; the disk is
 //!   non-preemptive, so start + service is the completion).
+//! - **pid 3 "link"** — one `X` slice per packet transmission on the
+//!   finite-bandwidth link (`LinkStart` carries the exact wire time).
+//!   The track (and the per-container `tx_charge_ms` counters) appears
+//!   only on link-modelled runs, so linkless exports are unchanged.
 //! - **pid 10+** — one process per container, ordered by container id:
 //!   instants for lifecycle events, syscalls, packet drops, and LRP
 //!   dispatches, plus `C` (counter) tracks sampled from the metrics
@@ -34,6 +38,7 @@ use crate::TraceSession;
 
 const CPU_PID: u32 = 1;
 const DISK_PID: u32 = 2;
+const LINK_PID: u32 = 3;
 const CONTAINER_PID_BASE: u32 = 10;
 /// Per-CPU track pids on multiprocessor runs. The base is far above the
 /// container pid range, which grows from [`CONTAINER_PID_BASE`] with one
@@ -61,7 +66,10 @@ fn event_container(kind: &TraceEventKind) -> Option<u64> {
         | TraceEventKind::FaultPacketCorrupt { container, .. }
         | TraceEventKind::FaultPacketDelay { container, .. }
         | TraceEventKind::FaultDiskError { container, .. }
-        | TraceEventKind::FaultDiskSpike { container, .. } => Some(container),
+        | TraceEventKind::FaultDiskSpike { container, .. }
+        | TraceEventKind::LinkQueue { container, .. }
+        | TraceEventKind::LinkStart { container, .. }
+        | TraceEventKind::LinkDrop { container, .. } => Some(container),
         TraceEventKind::ThreadState { .. }
         | TraceEventKind::SyscallExit { .. }
         | TraceEventKind::CacheMiss { .. }
@@ -173,6 +181,16 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
         evs.push(meta_name(CPU_PID, "cpu"));
     }
     evs.push(meta_name(DISK_PID, "disk"));
+    // The link track appears only when the run modelled a finite link.
+    let link_present = session.metrics.globals.link_configured
+        || session
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::LinkStart { .. }));
+    if link_present {
+        evs.push(meta_name(LINK_PID, "link"));
+    }
     for (&c, &pid) in &pid_of {
         evs.push(meta_name(pid, &format!("container {}", name_of(c))));
     }
@@ -247,6 +265,29 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                     micros(at),
                     micros(service.as_nanos()),
                     quote(&name_of(container)),
+                ));
+            }
+            TraceEventKind::LinkStart {
+                port,
+                bytes,
+                container,
+                wire,
+            } => {
+                evs.push(format!(
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"link\",\"pid\":{LINK_PID},\"tid\":0,\
+                     \"ts\":{},\"dur\":{},\"args\":{{\"bytes\":{bytes},\"container\":{}}}}}",
+                    quote(&format!("tx :{port}")),
+                    micros(at),
+                    micros(wire.as_nanos()),
+                    quote(&name_of(container)),
+                ));
+            }
+            TraceEventKind::LinkDrop { port, container } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "link",
+                    &format!("link drop :{port}"),
                 ));
             }
             TraceEventKind::ContainerCreate { container, .. } => {
@@ -377,6 +418,14 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                 "disk_charge_ms",
                 &millis6(p.disk.as_nanos()),
             ));
+            if link_present {
+                evs.push(counter(
+                    pid,
+                    ts,
+                    "tx_charge_ms",
+                    &millis6(p.tx_time.as_nanos()),
+                ));
+            }
             evs.push(counter(pid, ts, "runnable", &p.runnable.to_string()));
             evs.push(counter(pid, ts, "syn_queue", &p.syn_queue.to_string()));
             evs.push(counter(pid, ts, "cache_bytes", &p.cache_bytes.to_string()));
@@ -465,6 +514,7 @@ mod tests {
             usage,
             subtree_cpu: Nanos::from_micros(3),
             subtree_disk: Nanos::ZERO,
+            subtree_tx: Nanos::ZERO,
             cache_bytes: 4096,
             runnable: 2,
             syn_queue: 1,

@@ -37,6 +37,8 @@ pub struct ContainerSample {
     pub subtree_cpu: Nanos,
     /// Cumulative disk service time of the container's subtree.
     pub subtree_disk: Nanos,
+    /// Cumulative transmit wire time of the container's subtree.
+    pub subtree_tx: Nanos,
     /// Buffer-cache bytes currently resident on behalf of this container.
     pub cache_bytes: u64,
     /// Runnable threads currently charging this container.
@@ -58,6 +60,8 @@ pub struct SamplePoint {
     pub kernel_cpu: Nanos,
     /// Cumulative disk service time charged.
     pub disk: Nanos,
+    /// Cumulative transmit wire time charged by the link scheduler.
+    pub tx_time: Nanos,
     /// Cumulative packets received.
     pub pkts_rx: u64,
     /// Memory bytes currently charged.
@@ -82,6 +86,8 @@ pub struct ContainerTotals {
     pub subtree_cpu: Nanos,
     /// Subtree disk time including destroyed descendants.
     pub subtree_disk: Nanos,
+    /// Subtree transmit wire time including destroyed descendants.
+    pub subtree_tx: Nanos,
 }
 
 /// Whole-system aggregates recorded at the end of the run.
@@ -123,6 +129,23 @@ pub struct GlobalTotals {
     pub early_drops: u64,
     /// Scheduler context switches.
     pub ctx_switches: u64,
+    /// Whether the kernel modelled a finite-bandwidth transmit link.
+    /// When `false`, every link field below is zero and the metrics dump
+    /// omits the link section entirely (keeping linkless goldens
+    /// byte-identical).
+    pub link_configured: bool,
+    /// Total wire time the link spent transmitting.
+    pub link_busy: Nanos,
+    /// Total wire bytes transmitted.
+    pub link_bytes: u64,
+    /// Total packets transmitted over the finite link.
+    pub link_pkts: u64,
+    /// Subtree transmit wire time of the root container.
+    pub root_subtree_tx: Nanos,
+    /// Subtree transmit wire time of floating containers.
+    pub floating_tx: Nanos,
+    /// Transmit history of destroyed parentless containers.
+    pub reaped_tx: Nanos,
 }
 
 /// End-of-run accounting for one simulated CPU.
@@ -231,6 +254,7 @@ impl Metrics {
                 cpu: r.usage.cpu,
                 kernel_cpu: r.usage.kernel_cpu,
                 disk: r.usage.disk_time,
+                tx_time: r.usage.tx_time,
                 pkts_rx: r.usage.pkts_rx,
                 mem_bytes: r.usage.mem_bytes,
                 cache_bytes: r.cache_bytes,
@@ -263,6 +287,7 @@ impl Metrics {
                 usage: r.usage,
                 subtree_cpu: r.subtree_cpu,
                 subtree_disk: r.subtree_disk,
+                subtree_tx: r.subtree_tx,
             };
         }
     }
@@ -305,6 +330,22 @@ pub fn metrics_json(session: &TraceSession) -> String {
         g.early_drops,
         g.ctx_switches,
     );
+    // A link section appears only when a finite-bandwidth link was
+    // configured, so that linkless dumps (and their golden files) are
+    // unchanged.
+    if g.link_configured {
+        let _ = write!(
+            out,
+            ",\"link\":{{\"busy_ns\":{},\"wire_bytes\":{},\"pkts\":{},\
+             \"root_subtree_tx_ns\":{},\"floating_tx_ns\":{},\"reaped_tx_ns\":{}}}",
+            g.link_busy.as_nanos(),
+            g.link_bytes,
+            g.link_pkts,
+            g.root_subtree_tx.as_nanos(),
+            g.floating_tx.as_nanos(),
+            g.reaped_tx.as_nanos(),
+        );
+    }
     let _ = write!(
         out,
         ",\"trace\":{{\"emitted\":{},\"dropped\":{},\"retained\":{}}}",
@@ -352,7 +393,7 @@ pub fn metrics_json(session: &TraceSession) -> String {
             ",\"totals\":{{\"cpu_ns\":{},\"kernel_cpu_ns\":{},\"pkts_rx\":{},\"pkts_tx\":{},\
              \"bytes_rx\":{},\"bytes_tx\":{},\"mem_bytes\":{},\"mem_peak\":{},\"disk_ns\":{},\
              \"disk_reads\":{},\"disk_bytes\":{},\"sockets\":{},\"syscalls\":{},\
-             \"subtree_cpu_ns\":{},\"subtree_disk_ns\":{}}}",
+             \"subtree_cpu_ns\":{},\"subtree_disk_ns\":{}",
             u.cpu.as_nanos(),
             u.kernel_cpu.as_nanos(),
             u.pkts_rx,
@@ -369,6 +410,16 @@ pub fn metrics_json(session: &TraceSession) -> String {
             t.subtree_cpu.as_nanos(),
             t.subtree_disk.as_nanos(),
         );
+        // Transmit fields ride along only on link-modelled runs.
+        if g.link_configured {
+            let _ = write!(
+                out,
+                ",\"tx_ns\":{},\"subtree_tx_ns\":{}",
+                u.tx_time.as_nanos(),
+                t.subtree_tx.as_nanos(),
+            );
+        }
+        out.push('}');
         let l = &series.latency;
         let _ = write!(
             out,
@@ -385,6 +436,7 @@ pub fn metrics_json(session: &TraceSession) -> String {
             cpu: Nanos::ZERO,
             kernel_cpu: Nanos::ZERO,
             disk: Nanos::ZERO,
+            tx_time: Nanos::ZERO,
             pkts_rx: 0,
             mem_bytes: 0,
             cache_bytes: 0,
@@ -412,7 +464,7 @@ pub fn metrics_json(session: &TraceSession) -> String {
                 "{{\"at_ns\":{},\"cpu_ns\":{},\"kernel_cpu_ns\":{},\"disk_ns\":{},\
                  \"pkts_rx\":{},\"mem_bytes\":{},\"cache_bytes\":{},\"runnable\":{},\
                  \"syn_queue\":{},\"effective_share\":{},\"received_share\":{},\
-                 \"disk_rate\":{},\"pkt_rate\":{}}}",
+                 \"disk_rate\":{},\"pkt_rate\":{}",
                 p.at.as_nanos(),
                 p.cpu.as_nanos(),
                 p.kernel_cpu.as_nanos(),
@@ -427,6 +479,21 @@ pub fn metrics_json(session: &TraceSession) -> String {
                 f6(disk_rate),
                 f6(pkt_rate),
             );
+            if g.link_configured {
+                let dt_s2 = p.at.saturating_sub(prev.at).as_secs_f64();
+                let tx_rate = if dt_s2 > 0.0 {
+                    p.tx_time.saturating_sub(prev.tx_time).as_secs_f64() / dt_s2
+                } else {
+                    0.0
+                };
+                let _ = write!(
+                    out,
+                    ",\"tx_ns\":{},\"tx_rate\":{}",
+                    p.tx_time.as_nanos(),
+                    f6(tx_rate),
+                );
+            }
+            out.push('}');
             prev = *p;
         }
         out.push_str("]}");
@@ -448,6 +515,7 @@ mod tests {
             usage,
             subtree_cpu: Nanos::from_micros(cpu_us),
             subtree_disk: Nanos::ZERO,
+            subtree_tx: Nanos::ZERO,
             cache_bytes: 0,
             runnable: 1,
             syn_queue: 0,

@@ -114,6 +114,9 @@ pub struct NetQos {
     pub weight: u32,
     /// Maximum socket-buffer bytes chargeable to this container.
     pub sockbuf_limit: Option<u64>,
+    /// Optional hard cap on transmit bandwidth, in bits per second,
+    /// applied to the container's subtree by the link scheduler.
+    pub rate_bps: Option<u64>,
 }
 
 impl Default for NetQos {
@@ -121,6 +124,7 @@ impl Default for NetQos {
         NetQos {
             weight: 1,
             sockbuf_limit: None,
+            rate_bps: None,
         }
     }
 }
@@ -180,6 +184,31 @@ impl Attributes {
         self
     }
 
+    /// Sets the relative network transmit weight (builder style).
+    ///
+    /// A weight of zero is normalized to 1; the link scheduler divides
+    /// bandwidth among competing containers in proportion to effective
+    /// weights resolved over the hierarchy.
+    pub fn with_net_weight(mut self, weight: u32) -> Self {
+        self.qos.weight = weight.max(1);
+        self
+    }
+
+    /// Caps the socket-buffer bytes chargeable to this container
+    /// (builder style). With a finite-bandwidth link configured this is
+    /// enforced as send backpressure.
+    pub fn with_sockbuf_limit(mut self, bytes: u64) -> Self {
+        self.qos.sockbuf_limit = Some(bytes);
+        self
+    }
+
+    /// Caps the container subtree's transmit bandwidth in bits per
+    /// second (builder style).
+    pub fn with_net_rate(mut self, bps: u64) -> Self {
+        self.qos.rate_bps = Some(bps);
+        self
+    }
+
     /// Sets a debug label (builder style).
     pub fn named(mut self, name: &str) -> Self {
         self.name = Some(name.to_string());
@@ -230,12 +259,21 @@ mod tests {
         let a = Attributes::fixed_share(0.3)
             .with_cpu_limit(0.3, Nanos::from_secs(10))
             .with_mem_limit(1 << 20)
+            .with_net_weight(3)
+            .with_sockbuf_limit(64 << 10)
             .named("cgi-parent");
         assert!(a.validate().is_ok());
         assert_eq!(a.policy.share(), Some(0.3));
         assert_eq!(a.cpu_limit.unwrap().fraction, 0.3);
         assert_eq!(a.mem_limit, Some(1 << 20));
+        assert_eq!(a.qos.weight, 3);
+        assert_eq!(a.qos.sockbuf_limit, Some(64 << 10));
         assert_eq!(a.name.as_deref(), Some("cgi-parent"));
+    }
+
+    #[test]
+    fn zero_net_weight_normalized() {
+        assert_eq!(Attributes::time_shared(1).with_net_weight(0).qos.weight, 1);
     }
 
     #[test]

@@ -17,6 +17,34 @@ use crate::table::{ContainerId, ContainerTable};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ContainerFd(pub u32);
 
+/// Either way an application can name a container: through a
+/// process-local descriptor (the common case, §4.6) or directly by
+/// kernel id (trusted in-kernel callers and harness code).
+///
+/// Syscalls that bind resources to containers accept
+/// `impl Into<ContainerRef>`, so call sites pass a [`ContainerFd`] or a
+/// [`ContainerId`](crate::ContainerId) without choosing between parallel
+/// `_fd`/`_id` method variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContainerRef {
+    /// A descriptor in the calling process's table.
+    Fd(ContainerFd),
+    /// A raw container id, bypassing the descriptor table.
+    Id(ContainerId),
+}
+
+impl From<ContainerFd> for ContainerRef {
+    fn from(fd: ContainerFd) -> Self {
+        ContainerRef::Fd(fd)
+    }
+}
+
+impl From<ContainerId> for ContainerRef {
+    fn from(id: ContainerId) -> Self {
+        ContainerRef::Id(id)
+    }
+}
+
 /// A per-process table mapping descriptors to containers.
 ///
 /// # Examples

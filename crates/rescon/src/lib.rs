@@ -60,7 +60,7 @@ pub mod usage;
 
 pub use attrs::{Attributes, CpuLimit, NetQos, SchedPolicy};
 pub use binding::SchedulerBinding;
-pub use descriptor::{ContainerFd, DescriptorTable};
+pub use descriptor::{ContainerFd, ContainerRef, DescriptorTable};
 pub use error::RcError;
 pub use table::{ContainerId, ContainerTable};
 pub use usage::ResourceUsage;

@@ -28,6 +28,9 @@ pub struct Container {
     /// Disk service time charged to this container or any (possibly
     /// destroyed) descendant.
     subtree_disk: Nanos,
+    /// Link wire time charged to this container or any (possibly
+    /// destroyed) descendant.
+    subtree_tx: Nanos,
     /// Memory currently charged to this container or any live descendant.
     subtree_mem: u64,
     /// Open file descriptors referring to this container, across all
@@ -139,6 +142,9 @@ pub struct ContainerTable {
     /// Disk-time history of destroyed parentless containers (same
     /// conservation role as `reaped_cpu`).
     reaped_disk: Nanos,
+    /// Link wire-time history of destroyed parentless containers (same
+    /// conservation role as `reaped_cpu`).
+    reaped_tx: Nanos,
 }
 
 impl Default for ContainerTable {
@@ -164,6 +170,7 @@ impl ContainerTable {
             usage: ResourceUsage::new(),
             subtree_cpu: Nanos::ZERO,
             subtree_disk: Nanos::ZERO,
+            subtree_tx: Nanos::ZERO,
             subtree_mem: 0,
             // The root is permanently referenced by the kernel itself.
             descriptor_refs: 1,
@@ -180,6 +187,7 @@ impl ContainerTable {
             destroyed_count: 0,
             reaped_cpu: Nanos::ZERO,
             reaped_disk: Nanos::ZERO,
+            reaped_tx: Nanos::ZERO,
         }
     }
 
@@ -223,6 +231,12 @@ impl ContainerTable {
     /// with no parent.
     pub fn reaped_disk(&self) -> Nanos {
         self.reaped_disk
+    }
+
+    /// Returns the link wire-time history that belonged to destroyed
+    /// containers with no parent.
+    pub fn reaped_tx(&self) -> Nanos {
+        self.reaped_tx
     }
 
     /// Returns `true` if `id` names a live container.
@@ -274,6 +288,7 @@ impl ContainerTable {
             usage: ResourceUsage::new(),
             subtree_cpu: Nanos::ZERO,
             subtree_disk: Nanos::ZERO,
+            subtree_tx: Nanos::ZERO,
             subtree_mem: 0,
             descriptor_refs: 1,
             thread_bindings: 0,
@@ -348,14 +363,14 @@ impl ContainerTable {
             }
         }
         // Detach: remove contributions from the old ancestor chain.
-        let (sub_cpu, sub_disk, sub_mem) = {
+        let (sub_cpu, sub_disk, sub_tx, sub_mem) = {
             let c = self.get(id)?;
-            (c.subtree_cpu, c.subtree_disk, c.subtree_mem)
+            (c.subtree_cpu, c.subtree_disk, c.subtree_tx, c.subtree_mem)
         };
         let old_parent = self.get(id)?.parent;
         if let Some(op) = old_parent {
             self.arena[op].children.retain(|&c| c != id);
-            self.propagate_detach(op, sub_cpu, sub_disk, sub_mem);
+            self.propagate_detach(op, sub_cpu, sub_disk, sub_tx, sub_mem);
         } else {
             self.floating.retain(|&c| c != id);
         }
@@ -364,30 +379,46 @@ impl ContainerTable {
         match new_parent {
             Some(np) => {
                 self.arena[np].children.push(id);
-                self.propagate_attach(np, sub_cpu, sub_disk, sub_mem);
+                self.propagate_attach(np, sub_cpu, sub_disk, sub_tx, sub_mem);
             }
             None => self.floating.push(id),
         }
         Ok(())
     }
 
-    fn propagate_detach(&mut self, from: ContainerId, cpu: Nanos, disk: Nanos, mem: u64) {
+    fn propagate_detach(
+        &mut self,
+        from: ContainerId,
+        cpu: Nanos,
+        disk: Nanos,
+        tx: Nanos,
+        mem: u64,
+    ) {
         let mut cursor = Some(from);
         while let Some(c) = cursor {
             let node = &mut self.arena[c];
             node.subtree_cpu = node.subtree_cpu.saturating_sub(cpu);
             node.subtree_disk = node.subtree_disk.saturating_sub(disk);
+            node.subtree_tx = node.subtree_tx.saturating_sub(tx);
             node.subtree_mem = node.subtree_mem.saturating_sub(mem);
             cursor = node.parent;
         }
     }
 
-    fn propagate_attach(&mut self, from: ContainerId, cpu: Nanos, disk: Nanos, mem: u64) {
+    fn propagate_attach(
+        &mut self,
+        from: ContainerId,
+        cpu: Nanos,
+        disk: Nanos,
+        tx: Nanos,
+        mem: u64,
+    ) {
         let mut cursor = Some(from);
         while let Some(c) = cursor {
             let node = &mut self.arena[c];
             node.subtree_cpu = node.subtree_cpu.saturating_add(cpu);
             node.subtree_disk = node.subtree_disk.saturating_add(disk);
+            node.subtree_tx = node.subtree_tx.saturating_add(tx);
             node.subtree_mem += mem;
             cursor = node.parent;
         }
@@ -484,6 +515,12 @@ impl ContainerTable {
         Ok(self.get(id)?.subtree_disk)
     }
 
+    /// Returns the cumulative link wire time charged to the container's
+    /// subtree, including already-destroyed descendants.
+    pub fn subtree_tx(&self, id: ContainerId) -> Result<Nanos> {
+        Ok(self.get(id)?.subtree_tx)
+    }
+
     /// Charges user-mode CPU time to a container and its ancestors'
     /// subtree counters.
     pub fn charge_cpu(&mut self, id: ContainerId, dt: Nanos) -> Result<()> {
@@ -558,6 +595,24 @@ impl ContainerTable {
         Ok(())
     }
 
+    /// Charges link wire time to a container and its ancestors' subtree
+    /// counters (finite-bandwidth transmit links only).
+    pub fn charge_tx_time(&mut self, id: ContainerId, dt: Nanos) -> Result<()> {
+        self.get_mut(id)?.usage.charge_tx_time(dt);
+        trace::emit(|| TraceEventKind::Charge {
+            container: id.as_u64(),
+            kind: ChargeKind::TxTime,
+            amount: dt.as_nanos(),
+        });
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            let node = &mut self.arena[cur];
+            node.subtree_tx = node.subtree_tx.saturating_add(dt);
+            cursor = node.parent;
+        }
+        Ok(())
+    }
+
     /// Increments the syscall counter of a container.
     pub fn charge_syscall(&mut self, id: ContainerId) -> Result<()> {
         self.get_mut(id)?.usage.syscalls += 1;
@@ -621,6 +676,49 @@ impl ContainerTable {
             cursor = node.parent;
         }
         Ok(share)
+    }
+
+    /// Returns the chain of `(container, net weight, rate cap)` triples
+    /// from the root down to `id` (root first, `id` last). The transmit
+    /// link scheduler uses this path to place the container in its class
+    /// hierarchy, with each node's bandwidth divided among its active
+    /// children in proportion to their weights — the same parent/child
+    /// interpretation the multi-level CPU scheduler gives fixed shares.
+    pub fn net_weight_path(&self, id: ContainerId) -> Result<Vec<(u64, u32, Option<u64>)>> {
+        let leaf = self.get(id)?;
+        let mut path = vec![(
+            id.as_u64(),
+            leaf.attrs.qos.weight.max(1),
+            leaf.attrs.qos.rate_bps,
+        )];
+        let mut cursor = leaf.parent;
+        while let Some(cur) = cursor {
+            let node = self.get(cur)?;
+            path.push((
+                cur.as_u64(),
+                node.attrs.qos.weight.max(1),
+                node.attrs.qos.rate_bps,
+            ));
+            cursor = node.parent;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Returns the tightest `sockbuf_limit` along the container's ancestor
+    /// chain (paper §4.1: network QoS attributes), or `None` if no
+    /// container on the path sets one.
+    pub fn effective_sockbuf_limit(&self, id: ContainerId) -> Result<Option<u64>> {
+        let mut limit: Option<u64> = None;
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            let node = self.get(cur)?;
+            if let Some(l) = node.attrs.qos.sockbuf_limit {
+                limit = Some(limit.map_or(l, |cur| cur.min(l)));
+            }
+            cursor = node.parent;
+        }
+        Ok(limit)
     }
 
     // --- Reference counting and destruction (§4.6 "Container release") ---
@@ -701,13 +799,13 @@ impl ContainerTable {
         // ancestors.
         let children = std::mem::take(&mut self.arena[id].children);
         for child in children {
-            let (cpu, disk, mem) = {
+            let (cpu, disk, tx, mem) = {
                 let c = &self.arena[child];
-                (c.subtree_cpu, c.subtree_disk, c.subtree_mem)
+                (c.subtree_cpu, c.subtree_disk, c.subtree_tx, c.subtree_mem)
             };
             self.arena[child].parent = None;
             self.floating.push(child);
-            self.propagate_detach(id, cpu, disk, mem);
+            self.propagate_detach(id, cpu, disk, tx, mem);
         }
         // Detach from the parent.
         let parent = self.arena[id].parent;
@@ -717,6 +815,7 @@ impl ContainerTable {
             // accounting still conserves.
             self.reaped_cpu = self.reaped_cpu.saturating_add(self.arena[id].subtree_cpu);
             self.reaped_disk = self.reaped_disk.saturating_add(self.arena[id].subtree_disk);
+            self.reaped_tx = self.reaped_tx.saturating_add(self.arena[id].subtree_tx);
         }
         match parent {
             Some(p) => {
@@ -791,6 +890,11 @@ impl ContainerTable {
             assert!(
                 c.subtree_disk >= c.usage.disk_time,
                 "subtree disk < own disk at {id:?}"
+            );
+            // Subtree link time dominates own link time.
+            assert!(
+                c.subtree_tx >= c.usage.tx_time,
+                "subtree tx < own tx at {id:?}"
             );
         }
         for &f in &self.floating {
@@ -1042,6 +1146,62 @@ mod tests {
         let c = t.create(Some(b), Attributes::time_shared(1)).unwrap();
         assert_eq!(t.ancestors(c), vec![b, a, t.root()]);
         assert_eq!(t.ancestors(t.root()), Vec::<ContainerId>::new());
+    }
+
+    #[test]
+    fn tx_time_propagates_and_reaps_like_disk() {
+        let mut t = table();
+        let a = t.create(None, Attributes::fixed_share(0.5)).unwrap();
+        let c = t.create(Some(a), Attributes::time_shared(1)).unwrap();
+        t.charge_tx_time(c, Nanos::from_micros(30)).unwrap();
+        assert_eq!(t.usage(c).unwrap().tx_time, Nanos::from_micros(30));
+        assert_eq!(t.subtree_tx(a).unwrap(), Nanos::from_micros(30));
+        assert_eq!(t.subtree_tx(t.root()).unwrap(), Nanos::from_micros(30));
+        // Destroying the child keeps the history with the ancestors.
+        t.drop_descriptor_ref(c).unwrap();
+        assert_eq!(t.subtree_tx(a).unwrap(), Nanos::from_micros(30));
+        // Orphan + destroy: history moves to the reaped bucket, so
+        // root-subtree + floating + reaped always equals total charged.
+        t.set_parent(a, None).unwrap();
+        assert_eq!(t.subtree_tx(t.root()).unwrap(), Nanos::ZERO);
+        t.drop_descriptor_ref(a).unwrap();
+        assert_eq!(t.reaped_tx(), Nanos::from_micros(30));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn net_weight_path_root_first() {
+        let mut t = table();
+        let a = t
+            .create(None, Attributes::fixed_share(0.5).with_net_weight(3))
+            .unwrap();
+        let b = t
+            .create(Some(a), Attributes::time_shared(1).with_net_weight(2))
+            .unwrap();
+        assert_eq!(
+            t.net_weight_path(b).unwrap(),
+            vec![
+                (t.root().as_u64(), 1, None),
+                (a.as_u64(), 3, None),
+                (b.as_u64(), 2, None)
+            ]
+        );
+    }
+
+    #[test]
+    fn effective_sockbuf_limit_is_tightest_on_chain() {
+        let mut t = table();
+        let a = t
+            .create(None, Attributes::fixed_share(0.5).with_sockbuf_limit(1000))
+            .unwrap();
+        let b = t.create(Some(a), Attributes::time_shared(1)).unwrap();
+        let c = t
+            .create(Some(a), Attributes::time_shared(1).with_sockbuf_limit(500))
+            .unwrap();
+        assert_eq!(t.effective_sockbuf_limit(b).unwrap(), Some(1000));
+        assert_eq!(t.effective_sockbuf_limit(c).unwrap(), Some(500));
+        let free = t.create(None, Attributes::time_shared(1)).unwrap();
+        assert_eq!(t.effective_sockbuf_limit(free).unwrap(), None);
     }
 
     #[test]

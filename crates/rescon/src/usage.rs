@@ -24,6 +24,9 @@ pub struct ResourceUsage {
     pub bytes_rx: u64,
     /// Payload bytes transmitted.
     pub bytes_tx: u64,
+    /// Wire time the transmit link spent on this container's packets.
+    /// Zero unless the kernel models a finite-bandwidth link.
+    pub tx_time: Nanos,
     /// Bytes of memory currently charged (socket buffers, PCBs, buffer
     /// cache pages, ...).
     pub mem_bytes: u64,
@@ -69,6 +72,11 @@ impl ResourceUsage {
         self.bytes_tx += bytes;
     }
 
+    /// Charges wire time on the transmit link.
+    pub fn charge_tx_time(&mut self, dt: Nanos) {
+        self.tx_time += dt;
+    }
+
     /// Charges `bytes` of memory; updates the peak.
     pub fn charge_mem(&mut self, bytes: u64) {
         self.mem_bytes += bytes;
@@ -97,6 +105,7 @@ impl ResourceUsage {
         self.pkts_tx += other.pkts_tx;
         self.bytes_rx += other.bytes_rx;
         self.bytes_tx += other.bytes_tx;
+        self.tx_time += other.tx_time;
         self.mem_bytes += other.mem_bytes;
         self.mem_peak = self.mem_peak.max(self.mem_bytes);
         self.disk_time += other.disk_time;
@@ -158,12 +167,14 @@ mod tests {
         let mut b = ResourceUsage::new();
         b.charge_cpu(Nanos::from_micros(5), false);
         b.charge_tx(2);
+        b.charge_tx_time(Nanos::from_micros(7));
         b.syscalls = 3;
         a.absorb(&b);
         assert_eq!(a.cpu, Nanos::from_micros(15));
         assert_eq!(a.kernel_cpu, Nanos::from_micros(10));
         assert_eq!(a.pkts_rx, 1);
         assert_eq!(a.pkts_tx, 1);
+        assert_eq!(a.tx_time, Nanos::from_micros(7));
         assert_eq!(a.syscalls, 3);
     }
 }

@@ -44,6 +44,8 @@ pub enum ChargeKind {
     RxBytes,
     /// Transmitted bytes.
     TxBytes,
+    /// Link wire time (nanoseconds) on a finite-bandwidth transmit link.
+    TxTime,
     /// Kernel memory charged (bytes).
     Mem,
 }
@@ -57,6 +59,7 @@ impl ChargeKind {
             ChargeKind::Disk => "disk",
             ChargeKind::RxBytes => "rx_bytes",
             ChargeKind::TxBytes => "tx_bytes",
+            ChargeKind::TxTime => "tx_time",
             ChargeKind::Mem => "mem",
         }
     }
@@ -171,6 +174,34 @@ pub enum TraceEventKind {
         container: u64,
         /// Service time charged.
         service: Nanos,
+    },
+    /// An outbound packet entered the transmit link scheduler queue.
+    LinkQueue {
+        /// Destination port of the queued packet.
+        port: u16,
+        /// Wire bytes (headers + payload) of the packet.
+        bytes: u64,
+        /// Container whose queue it joined.
+        container: u64,
+    },
+    /// The transmit link started putting a packet on the wire.
+    LinkStart {
+        /// Destination port of the packet.
+        port: u16,
+        /// Wire bytes (headers + payload) of the packet.
+        bytes: u64,
+        /// Container charged for the wire time.
+        container: u64,
+        /// Time the packet occupies the link.
+        wire: Nanos,
+    },
+    /// An outbound packet was dropped by the transmit link scheduler
+    /// (rate cap or queue bound).
+    LinkDrop {
+        /// Destination port of the dropped packet.
+        port: u16,
+        /// Container charged for the drop.
+        container: u64,
     },
     /// The buffer cache served a lookup from memory.
     CacheHit {
@@ -462,6 +493,7 @@ mod tests {
             (ChargeKind::Disk, "disk"),
             (ChargeKind::RxBytes, "rx_bytes"),
             (ChargeKind::TxBytes, "tx_bytes"),
+            (ChargeKind::TxTime, "tx_time"),
             (ChargeKind::Mem, "mem"),
         ] {
             assert_eq!(k.label(), l);

@@ -18,6 +18,9 @@
 //! - [`discipline`]: the three processing disciplines compared in the
 //!   paper — eager interrupt-level processing (classic BSD), LRP with
 //!   per-process queues, and resource-container queues.
+//! - [`txsched`]: the transmit side — a finite-bandwidth link model with
+//!   FIFO and hierarchical weighted-fair queueing disciplines driven by
+//!   the containers' network QoS attributes (§4.1).
 //!
 //! The crate is *passive*: it performs state transitions and reports
 //! [`stack::NetEvent`]s; all CPU-cost charging and scheduling decisions
@@ -28,9 +31,11 @@ pub mod discipline;
 pub mod packet;
 pub mod queues;
 pub mod stack;
+pub mod txsched;
 
 pub use addr::{CidrFilter, IpAddr};
 pub use discipline::NetDiscipline;
 pub use packet::{rss_cpu, FlowKey, Packet, PacketKind};
 pub use queues::PendingQueues;
 pub use stack::{ConnState, Demux, NetEvent, NetStack, SockId, Socket, SocketKind};
+pub use txsched::{Dispatch, FifoLink, LinkParams, LinkSched, QdiscKind, WfqLink};

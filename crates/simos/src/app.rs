@@ -50,6 +50,13 @@ pub enum AppEvent {
         /// disk.
         cached: bool,
     },
+    /// A socket blocked by send backpressure has headroom again: either a
+    /// [`SysCtx::send_wait`] unblocked or the socket was registered for
+    /// writability with [`SysCtx::event_register_writable`].
+    Writable {
+        /// The socket that became writable.
+        sock: SockId,
+    },
     /// The kernel dropped a SYN because a listen queue overflowed, and the
     /// application had asked to be notified (§5.7).
     SynDropNotice {

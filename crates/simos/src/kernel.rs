@@ -45,14 +45,17 @@ use simcore::fault::{DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault}
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{EventQueue, Nanos};
 use simdisk::{BufferCache, DiskParams, DiskRequest, FifoIoSched, ReqId, ShareIoSched, SimDisk};
-use simnet::{CidrFilter, Demux, NetDiscipline, NetEvent, NetStack, Packet, PendingQueues, SockId};
+use simnet::{
+    Demux, Dispatch, LinkParams, LinkSched, NetDiscipline, NetEvent, NetStack, Packet,
+    PendingQueues, QdiscKind, SockId,
+};
 
 use crate::app::{AppEvent, AppHandler};
 use crate::cost::CostModel;
 use crate::ids::Pid;
 use crate::process::Process;
 use crate::stats::KernelStats;
-use crate::syscall::SysCtx;
+use crate::syscall::{ListenSpec, SysCtx};
 use crate::thread::{Op, Thread, ThreadKind, ThreadState, WaitFor, WorkItem};
 use crate::world::{World, WorldAction};
 
@@ -138,6 +141,11 @@ pub struct KernelConfig {
     /// Per-listener admission budget on the accept queue, enforced the
     /// same way on the final ACK. Zero disables it.
     pub accept_budget: usize,
+    /// Finite-bandwidth transmit link model. `None` (the default) keeps
+    /// the classic infinite-bandwidth wire: packets leave after
+    /// `cost.link_latency` with no queueing, no transmit charging, and no
+    /// backpressure, leaving existing runs byte-identical.
+    pub link: Option<LinkParams>,
 }
 
 impl KernelConfig {
@@ -165,6 +173,7 @@ impl KernelConfig {
             fault: None,
             syn_budget: 0,
             accept_budget: 0,
+            link: None,
         }
     }
 
@@ -227,6 +236,15 @@ impl KernelConfig {
         self.accept_budget = accept_budget;
         self
     }
+
+    /// Models a finite-bandwidth transmit link with the given queueing
+    /// discipline (builder style). Transmitted wire time is charged to the
+    /// owning container and `sockbuf_limit` becomes real send
+    /// backpressure.
+    pub fn with_link(mut self, bandwidth_bps: u64, qdisc: QdiscKind) -> Self {
+        self.link = Some(LinkParams::new(bandwidth_bps, qdisc));
+        self
+    }
 }
 
 /// Internal kernel events.
@@ -248,6 +266,10 @@ enum KernelEvent {
     /// scheduled on a uniprocessor, so single-CPU event schedules are
     /// untouched).
     Balance,
+    /// The link either finished its in-flight packet or a rate cap opened
+    /// up. Only armed when a finite link is configured, so linkless event
+    /// schedules are untouched.
+    LinkTick,
 }
 
 /// A thread parked on a disk read.
@@ -360,6 +382,37 @@ pub struct Kernel {
     /// or admission-control — is billed here to the container the packet
     /// *classified to*, making the attacker-pays invariant assertable.
     drop_charges: BTreeMap<u64, u64>,
+    /// The transmit queueing discipline (present iff `cfg.link` is set).
+    link: Option<Box<dyn LinkSched>>,
+    /// The packet currently occupying the wire.
+    link_inflight: Option<LinkInflight>,
+    /// Deadline of the earliest armed throttle `LinkTick`, to avoid
+    /// flooding the event queue with redundant ticks.
+    link_wait_until: Option<Nanos>,
+    /// Reverse map from `Idx::as_u64()` keys handed to the link scheduler
+    /// back to live container ids for wire-time charging.
+    link_owner_ids: HashMap<u64, ContainerId>,
+    /// Unsent payload bytes reserved against each owner's sockbuf limit
+    /// (`Idx::as_u64()` keys); grows at `send()`, drains at wire
+    /// completion.
+    tx_backlog: HashMap<u64, u64>,
+    /// Total wire time the link spent transmitting.
+    link_busy: Nanos,
+    /// Total wire bytes transmitted.
+    link_wire_bytes: u64,
+    /// Total packets transmitted over the finite link.
+    link_pkts: u64,
+    /// Per-listener admission budgets `(syn, accept)` installed by
+    /// `ListenSpec`; listeners absent here use the global config budgets.
+    listener_budgets: HashMap<SockId, (usize, usize)>,
+}
+
+/// The packet currently being clocked out on the finite link.
+struct LinkInflight {
+    pkt: Packet,
+    owner: u64,
+    done: Nanos,
+    wire: Nanos,
 }
 
 impl Kernel {
@@ -403,6 +456,15 @@ impl Kernel {
             balance_snapshot: HashMap::new(),
             injector: cfg.fault.as_ref().map(FaultInjector::new),
             drop_charges: BTreeMap::new(),
+            link: cfg.link.as_ref().map(|p| p.build_sched()),
+            link_inflight: None,
+            link_wait_until: None,
+            link_owner_ids: HashMap::new(),
+            tx_backlog: HashMap::new(),
+            link_busy: Nanos::ZERO,
+            link_wire_bytes: 0,
+            link_pkts: 0,
+            listener_budgets: HashMap::new(),
             cfg,
         };
         if !k.cfg.prune_interval.is_zero() {
@@ -866,6 +928,7 @@ impl Kernel {
             KernelEvent::Prune => self.prune_bindings(),
             KernelEvent::DiskTick => self.disk_tick(),
             KernelEvent::Balance => self.rebalance(),
+            KernelEvent::LinkTick => self.link_tick(),
         }
     }
 
@@ -1317,15 +1380,39 @@ impl Kernel {
     /// the check, leaving the stack's own backlog bounds (and the BSD
     /// syncache eviction they imply) as the only limit.
     fn admission_reject(&self, listener: SockId, pkt: &Packet) -> bool {
+        let (syn_budget, accept_budget) = self
+            .listener_budgets
+            .get(&listener)
+            .copied()
+            .unwrap_or((self.cfg.syn_budget, self.cfg.accept_budget));
         match pkt.kind {
             simnet::PacketKind::Syn => {
-                self.cfg.syn_budget > 0 && self.stack.syn_queue_len(listener) >= self.cfg.syn_budget
+                syn_budget > 0 && self.stack.syn_queue_len(listener) >= syn_budget
             }
             simnet::PacketKind::Ack => {
-                self.cfg.accept_budget > 0
-                    && self.stack.accept_queue_len(listener) >= self.cfg.accept_budget
+                accept_budget > 0 && self.stack.accept_queue_len(listener) >= accept_budget
             }
             _ => false,
+        }
+    }
+
+    /// Installs per-listener admission budgets (from a
+    /// [`ListenSpec`](crate::syscall::ListenSpec)); entries of `None` fall
+    /// back to the global config budgets.
+    pub(crate) fn set_listener_budgets(
+        &mut self,
+        listener: SockId,
+        syn_budget: Option<usize>,
+        accept_budget: Option<usize>,
+    ) {
+        if syn_budget.is_some() || accept_budget.is_some() {
+            self.listener_budgets.insert(
+                listener,
+                (
+                    syn_budget.unwrap_or(self.cfg.syn_budget),
+                    accept_budget.unwrap_or(self.cfg.accept_budget),
+                ),
+            );
         }
     }
 
@@ -1576,7 +1663,7 @@ impl Kernel {
                                 if let Some(rst) = self.stack.close(conn) {
                                     let mut rst = rst;
                                     rst.kind = simnet::PacketKind::Rst;
-                                    self.transmit(rst);
+                                    self.transmit_from(rst, c);
                                 }
                                 self.sock_owner.remove(&conn);
                                 if let Some(p) = self.processes.get_mut(&owner) {
@@ -1870,11 +1957,24 @@ impl Kernel {
                     self.transmit(p);
                 }
             }
+            Op::DeliverWritable { sock } => {
+                if self.sock_writable(sock) {
+                    self.stats.upcalls += 1;
+                    self.deliver_upcall(pid, task, AppEvent::Writable { sock });
+                } else {
+                    // The headroom was consumed again before this thread
+                    // ran; go back to sleep on the same condition.
+                    self.block_or_defer(task, WaitFor::Writable(sock));
+                }
+            }
             Op::CloseSock { sock } => {
                 self.release_sockbuf(sock);
                 let bound = self.stack.container_of(sock);
+                // Capture the transmit principal before the close frees
+                // the socket: the FIN's wire time is still the closer's.
+                let tx_owner = self.tx_principal(sock);
                 if let Some(fin) = self.stack.close(sock) {
-                    self.transmit(fin);
+                    self.transmit_from(fin, tx_owner);
                 }
                 if let Some(c) = bound {
                     // Dropping the socket's container binding may destroy
@@ -1956,6 +2056,7 @@ impl Kernel {
                     .map(|p| !p.event_queue.is_empty())
                     .unwrap_or(false)
             }
+            WaitFor::Writable(s) => self.sock_writable(*s),
             WaitFor::Timer { .. } | WaitFor::Idle => false,
         };
         if ready_now {
@@ -1993,6 +2094,12 @@ impl Kernel {
                         kernel_mode: true,
                     }
                 }
+                WaitFor::Writable(s) => WorkItem {
+                    cost: self.cfg.cost.write_syscall,
+                    op: Op::DeliverWritable { sock: *s },
+                    charge_to: None,
+                    kernel_mode: true,
+                },
                 WaitFor::Timer { .. } | WaitFor::Idle => unreachable!(),
             };
             if let Some(th) = self.threads.get_mut(&task) {
@@ -2051,24 +2158,28 @@ impl Kernel {
                     // Drain queued-but-unaccepted connections first so their
                     // container bindings are released.
                     while let Some(conn) = self.stack.accept(sock) {
+                        let tx_owner = self.tx_principal(conn);
                         if let Some(c) = self.stack.container_of(conn) {
                             let _ = self.containers.unbind_socket(c);
                         }
                         if let Some(fin) = self.stack.close(conn) {
-                            self.transmit(fin);
+                            self.transmit_from(fin, tx_owner);
                         }
                         self.sock_owner.remove(&conn);
                     }
+                    let tx_owner = self.tx_principal(sock);
                     for rst in self.stack.close_listen(sock) {
-                        self.transmit(rst);
+                        self.transmit_from(rst, tx_owner);
                     }
+                    self.listener_budgets.remove(&sock);
                     if let Some(c) = bound {
                         let _ = self.containers.unbind_socket(c);
                     }
                 }
                 Some(false) => {
+                    let tx_owner = self.tx_principal(sock);
                     if let Some(fin) = self.stack.close(sock) {
-                        self.transmit(fin);
+                        self.transmit_from(fin, tx_owner);
                     }
                     if let Some(c) = bound {
                         let _ = self.containers.unbind_socket(c);
@@ -2100,11 +2211,254 @@ impl Kernel {
     }
 
     fn transmit(&mut self, pkt: Packet) {
-        self.stats.pkts_out += 1;
-        self.events.schedule(
-            self.clock + self.cfg.cost.link_latency,
-            KernelEvent::PacketToWorld(pkt),
-        );
+        if self.link.is_none() {
+            self.stats.pkts_out += 1;
+            self.events.schedule(
+                self.clock + self.cfg.cost.link_latency,
+                KernelEvent::PacketToWorld(pkt),
+            );
+            return;
+        }
+        let owner = match self.stack.classify(&pkt) {
+            Demux::Conn(s) | Demux::Listen(s) => self.tx_principal(s),
+            Demux::NoMatch => self.containers.root(),
+        };
+        self.transmit_link(pkt, owner);
+    }
+
+    /// Transmits a packet whose owning socket is already gone (FIN after
+    /// close, RST on teardown), charging `owner`'s container for the wire
+    /// time. Falls back to the root container if `owner` has since been
+    /// destroyed. Identical to [`transmit`](Self::transmit) when no finite
+    /// link is configured.
+    fn transmit_from(&mut self, pkt: Packet, owner: ContainerId) {
+        if self.link.is_none() {
+            self.transmit(pkt);
+            return;
+        }
+        let owner = if self.containers.contains(owner) {
+            owner
+        } else {
+            self.containers.root()
+        };
+        self.transmit_link(pkt, owner);
+    }
+
+    /// The container charged for bytes transmitted on `sock`: its bound
+    /// container if live, else the owning process's default container,
+    /// else root.
+    fn tx_principal(&self, sock: SockId) -> ContainerId {
+        self.stack
+            .container_of(sock)
+            .filter(|c| self.containers.contains(*c))
+            .or_else(|| {
+                self.sock_owner
+                    .get(&sock)
+                    .and_then(|pid| self.processes.get(pid))
+                    .map(|p| p.default_container)
+                    .filter(|c| self.containers.contains(*c))
+            })
+            .unwrap_or_else(|| self.containers.root())
+    }
+
+    /// Hands a packet to the link scheduler and starts the wire if idle.
+    fn transmit_link(&mut self, pkt: Packet, owner: ContainerId) {
+        let key = owner.as_u64();
+        self.link_owner_ids.insert(key, owner);
+        let path = self
+            .containers
+            .net_weight_path(owner)
+            .unwrap_or_else(|_| vec![(key, 1, None)]);
+        let wire_bytes = pkt.wire_bytes() as u64;
+        let wire = self
+            .cfg
+            .link
+            .as_ref()
+            .expect("transmit_link requires a configured link")
+            .wire_time(wire_bytes);
+        trace::emit_at(self.clock, || TraceEventKind::LinkQueue {
+            port: pkt.flow.dst_port,
+            bytes: wire_bytes,
+            container: key,
+        });
+        if let Some(link) = self.link.as_mut() {
+            link.enqueue(&path, pkt, wire, self.clock);
+        }
+        self.link_kick();
+    }
+
+    /// Starts the next packet on an idle wire, or arms a throttle tick if
+    /// every backlogged container is rate-capped.
+    fn link_kick(&mut self) {
+        if self.link_inflight.is_some() {
+            return;
+        }
+        let Some(link) = self.link.as_mut() else {
+            return;
+        };
+        match link.dispatch(self.clock) {
+            Dispatch::Start { pkt, owner, wire } => {
+                trace::emit_at(self.clock, || TraceEventKind::LinkStart {
+                    port: pkt.flow.dst_port,
+                    bytes: pkt.wire_bytes() as u64,
+                    container: owner,
+                    wire,
+                });
+                let done = self.clock + wire;
+                self.link_inflight = Some(LinkInflight {
+                    pkt,
+                    owner,
+                    done,
+                    wire,
+                });
+                self.events.schedule(done, KernelEvent::LinkTick);
+            }
+            Dispatch::Throttled(at) => {
+                let at = at.max(self.clock);
+                if self.link_wait_until.is_none_or(|w| at < w) {
+                    self.link_wait_until = Some(at);
+                    self.events.schedule(at, KernelEvent::LinkTick);
+                }
+            }
+            Dispatch::Idle => {}
+        }
+    }
+
+    /// A `LinkTick` fired: complete the in-flight packet (charging its
+    /// wire time and releasing send backpressure) and restart the wire.
+    fn link_tick(&mut self) {
+        self.link_wait_until = None;
+        if let Some(inf) = &self.link_inflight {
+            if inf.done > self.clock {
+                // A stale throttle tick fired while the wire is busy; the
+                // completion tick for the in-flight packet is still queued.
+                return;
+            }
+            let LinkInflight {
+                pkt, owner, wire, ..
+            } = self.link_inflight.take().expect("checked above");
+            self.link_busy += wire;
+            self.link_wire_bytes += pkt.wire_bytes() as u64;
+            self.link_pkts += 1;
+            let cid = self
+                .link_owner_ids
+                .get(&owner)
+                .copied()
+                .filter(|c| self.containers.contains(*c))
+                .unwrap_or_else(|| self.containers.root());
+            let _ = self.containers.charge_tx_time(cid, wire);
+            let payload = pkt.kind.payload_bytes() as u64;
+            if payload > 0 {
+                if let Some(b) = self.tx_backlog.get_mut(&owner) {
+                    *b = b.saturating_sub(payload);
+                    if *b == 0 {
+                        self.tx_backlog.remove(&owner);
+                    }
+                }
+                self.wake_writable(owner);
+            }
+            self.stats.pkts_out += 1;
+            self.events.schedule(
+                self.clock + self.cfg.cost.link_latency,
+                KernelEvent::PacketToWorld(pkt),
+            );
+        }
+        self.link_kick();
+    }
+
+    /// Wakes threads blocked on writability of sockets charged to `owner`
+    /// whose backpressure has drained, and queues writability events for
+    /// processes with event-API writable interest.
+    fn wake_writable(&mut self, owner: u64) {
+        let mut woken: Vec<(TaskId, SockId)> = Vec::new();
+        for (&tid, th) in self.threads.iter() {
+            if let ThreadState::Blocked(WaitFor::Writable(s)) = th.state {
+                if self.tx_principal(s).as_u64() == owner && self.sock_writable(s) {
+                    woken.push((tid, s));
+                }
+            }
+        }
+        for (tid, sock) in woken {
+            let cost = self.cfg.cost.write_syscall;
+            if let Some(th) = self.threads.get_mut(&tid) {
+                th.state = ThreadState::Runnable;
+                th.push_work(WorkItem {
+                    cost,
+                    op: Op::DeliverWritable { sock },
+                    charge_to: None,
+                    kernel_mode: true,
+                });
+            }
+            self.scheduler.set_runnable(tid, true, self.clock);
+        }
+        let pids: Vec<Pid> = self.processes.keys().copied().collect();
+        for pid in pids {
+            let interested: Vec<SockId> = self
+                .processes
+                .get(&pid)
+                .map(|p| p.event_interest_w.clone())
+                .unwrap_or_default();
+            let mut queued = false;
+            for s in interested {
+                if self.tx_principal(s).as_u64() == owner && self.sock_writable(s) {
+                    if let Some(p) = self.processes.get_mut(&pid) {
+                        queued |= p.queue_writable_event(s);
+                    }
+                }
+            }
+            if queued {
+                self.wake_event_waiter(pid);
+            }
+        }
+    }
+
+    /// Whether `sock` can accept more send bytes without queueing past
+    /// its principal's sockbuf limit. Always true without a finite link;
+    /// false for closed or listening sockets.
+    pub(crate) fn sock_writable(&self, sock: SockId) -> bool {
+        if self.link.is_none() {
+            return true;
+        }
+        match self.stack.socket(sock).map(|s| &s.kind) {
+            Some(simnet::SocketKind::Conn(_)) => self.tx_headroom(sock) > 0,
+            _ => false,
+        }
+    }
+
+    /// Send bytes `sock`'s principal may still queue before hitting its
+    /// effective sockbuf limit. `u64::MAX` when unlimited.
+    pub(crate) fn tx_headroom(&self, sock: SockId) -> u64 {
+        if self.link.is_none() {
+            return u64::MAX;
+        }
+        let owner = self.tx_principal(sock);
+        match self
+            .containers
+            .effective_sockbuf_limit(owner)
+            .ok()
+            .flatten()
+        {
+            Some(limit) => {
+                let used = self.tx_backlog.get(&owner.as_u64()).copied().unwrap_or(0);
+                limit.saturating_sub(used)
+            }
+            None => u64::MAX,
+        }
+    }
+
+    /// Reserves send-backlog bytes against `sock`'s principal; released
+    /// as the queued data clocks out on the wire.
+    pub(crate) fn link_reserve(&mut self, sock: SockId, bytes: u64) {
+        if self.link.is_none() || bytes == 0 {
+            return;
+        }
+        let owner = self.tx_principal(sock).as_u64();
+        *self.tx_backlog.entry(owner).or_insert(0) += bytes;
+    }
+
+    /// Whether a finite-bandwidth link is configured.
+    pub(crate) fn link_configured(&self) -> bool {
+        self.link.is_some()
     }
 
     /// Delivers an upcall to the process handler, giving it a [`SysCtx`].
@@ -2202,10 +2556,8 @@ impl Kernel {
     pub fn setup_listen(
         &mut self,
         pid: Pid,
-        port: u16,
-        filter: CidrFilter,
+        spec: ListenSpec,
         container: Option<ContainerId>,
-        notify_syn_drops: bool,
     ) -> SockId {
         let mut container = container.or_else(|| self.process_container(pid));
         if let Some(c) = container {
@@ -2214,13 +2566,14 @@ impl Kernel {
             }
         }
         let s = self.stack.listen(
-            port,
-            filter,
+            spec.port,
+            spec.filter,
             container,
             self.cfg.syn_backlog,
             self.cfg.accept_backlog,
-            notify_syn_drops,
+            spec.notify_syn_drops,
         );
+        self.set_listener_budgets(s, spec.syn_budget, spec.accept_budget);
         self.register_socket(s, pid);
         s
     }
@@ -2237,6 +2590,27 @@ impl Kernel {
     /// overflowed anything).
     pub fn drop_charges_of(&self, container: ContainerId) -> u64 {
         self.drop_charges
+            .get(&container.as_u64())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total wire time, wire bytes, and packets the finite link has
+    /// transmitted (all zero without a configured link).
+    pub fn link_totals(&self) -> (Nanos, u64, u64) {
+        (self.link_busy, self.link_wire_bytes, self.link_pkts)
+    }
+
+    /// Wire time charged to `container`'s subtree by the link scheduler.
+    pub fn subtree_tx_of(&self, container: ContainerId) -> Nanos {
+        self.containers.subtree_tx(container).unwrap_or(Nanos::ZERO)
+    }
+
+    /// Unsent response bytes currently reserved against `container`'s
+    /// socket-buffer limit (zero without a configured link). Never
+    /// exceeds the container's effective `sockbuf_limit`.
+    pub fn tx_backlog_of(&self, container: ContainerId) -> u64 {
+        self.tx_backlog
             .get(&container.as_u64())
             .copied()
             .unwrap_or(0)
@@ -2282,6 +2656,7 @@ impl Kernel {
                     usage: *c.usage(),
                     subtree_cpu: self.containers.subtree_cpu(id).unwrap_or(Nanos::ZERO),
                     subtree_disk: self.containers.subtree_disk(id).unwrap_or(Nanos::ZERO),
+                    subtree_tx: self.containers.subtree_tx(id).unwrap_or(Nanos::ZERO),
                     cache_bytes: self.disk_cache.resident_bytes(id),
                     runnable: runnable.get(&key).copied().unwrap_or(0),
                     syn_queue: syn.get(&key).copied().unwrap_or(0),
@@ -2298,9 +2673,11 @@ impl Kernel {
         let root = self.containers.root();
         let mut floating_cpu = Nanos::ZERO;
         let mut floating_disk = Nanos::ZERO;
+        let mut floating_tx = Nanos::ZERO;
         for &f in self.containers.floating() {
             floating_cpu += self.containers.subtree_cpu(f).unwrap_or(Nanos::ZERO);
             floating_disk += self.containers.subtree_disk(f).unwrap_or(Nanos::ZERO);
+            floating_tx += self.containers.subtree_tx(f).unwrap_or(Nanos::ZERO);
         }
         rctrace::GlobalTotals {
             end: self.clock,
@@ -2319,6 +2696,13 @@ impl Kernel {
             pkts_out: self.stats.pkts_out,
             early_drops: self.stats.early_drops,
             ctx_switches: self.stats.ctx_switches,
+            link_configured: self.link.is_some(),
+            link_busy: self.link_busy,
+            link_bytes: self.link_wire_bytes,
+            link_pkts: self.link_pkts,
+            root_subtree_tx: self.containers.subtree_tx(root).unwrap_or(Nanos::ZERO),
+            floating_tx,
+            reaped_tx: self.containers.reaped_tx(),
         }
     }
 }

@@ -46,7 +46,8 @@ pub use app::{AppEvent, AppHandler};
 pub use cost::CostModel;
 pub use ids::Pid;
 pub use kernel::{DiskSchedKind, Kernel, KernelConfig, SchedPolicyKind};
+pub use simnet::{LinkParams, QdiscKind};
 pub use stats::{CpuStats, KernelStats};
-pub use syscall::SysCtx;
+pub use syscall::{ListenSpec, SysCtx, SysError};
 pub use thread::WaitFor;
 pub use world::{NullWorld, World, WorldAction};

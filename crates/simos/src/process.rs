@@ -26,6 +26,9 @@ pub struct Process {
     pub sockets: Vec<SockId>,
     /// Sockets registered with the scalable event API.
     pub event_interest: Vec<SockId>,
+    /// Sockets registered for writability notification (send
+    /// backpressure drain) with the scalable event API.
+    pub event_interest_w: Vec<SockId>,
     /// Pending event-API deliveries (sockets with unconsumed events).
     pub event_queue: VecDeque<SockId>,
     /// Parent process, if any.
@@ -44,6 +47,7 @@ impl Process {
             threads: Vec::new(),
             sockets: Vec::new(),
             event_interest: Vec::new(),
+            event_interest_w: Vec::new(),
             event_queue: VecDeque::new(),
             parent,
             name: name.to_string(),
@@ -63,10 +67,24 @@ impl Process {
         true
     }
 
+    /// Queues a writability notification for `sock` unless one is
+    /// already pending; requires writable interest.
+    pub fn queue_writable_event(&mut self, sock: SockId) -> bool {
+        if !self.event_interest_w.contains(&sock) {
+            return false;
+        }
+        if self.event_queue.contains(&sock) {
+            return false;
+        }
+        self.event_queue.push_back(sock);
+        true
+    }
+
     /// Removes a socket from all per-process tracking.
     pub fn forget_socket(&mut self, sock: SockId) {
         self.sockets.retain(|&s| s != sock);
         self.event_interest.retain(|&s| s != sock);
+        self.event_interest_w.retain(|&s| s != sock);
         self.event_queue.retain(|&s| s != sock);
     }
 }

@@ -10,7 +10,7 @@
 //! The container operations implement §4.6 of the paper one-for-one, with
 //! the per-operation costs of Table 1 charged to the calling thread.
 
-use rescon::{Attributes, ContainerFd, ContainerId, RcError, ResourceUsage};
+use rescon::{Attributes, ContainerFd, ContainerId, ContainerRef, RcError, ResourceUsage};
 use sched::TaskId;
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::Nanos;
@@ -20,6 +20,87 @@ use crate::app::AppHandler;
 use crate::ids::Pid;
 use crate::kernel::Kernel;
 use crate::thread::{Op, ThreadKind, WaitFor, WorkItem};
+
+/// Errors returned by data-plane socket syscalls (`send`, `read`,
+/// `close`) when the socket id does not name a live socket of the right
+/// kind. One convention across the surface: silent no-ops hide
+/// use-after-close bugs in applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SysError {
+    /// Unknown, closed, or wrong-kind socket.
+    BadSocket,
+}
+
+/// Builder-style specification of a listening socket, passed to
+/// [`SysCtx::listen`] (and [`Kernel::setup_listen`]).
+///
+/// Replaces the old positional `(port, filter, notify_syn_drops)`
+/// argument list and folds in per-listener admission budgets (§5.7): a
+/// listener may bound its own SYN and accept queues independently of the
+/// global [`crate::KernelConfig::with_admission`] defaults.
+///
+/// # Examples
+///
+/// ```
+/// use simos::ListenSpec;
+/// use simnet::CidrFilter;
+///
+/// let spec = ListenSpec::port(80)
+///     .filter(CidrFilter::any())
+///     .notify_syn_drops()
+///     .syn_budget(64);
+/// let _ = spec;
+/// ```
+#[derive(Clone, Debug)]
+pub struct ListenSpec {
+    pub(crate) port: u16,
+    pub(crate) filter: CidrFilter,
+    pub(crate) notify_syn_drops: bool,
+    pub(crate) syn_budget: Option<usize>,
+    pub(crate) accept_budget: Option<usize>,
+}
+
+impl ListenSpec {
+    /// Listens on `port`, accepting any foreign address, without SYN-drop
+    /// notification, under the global admission budgets.
+    pub fn port(port: u16) -> Self {
+        ListenSpec {
+            port,
+            filter: CidrFilter::any(),
+            notify_syn_drops: false,
+            syn_budget: None,
+            accept_budget: None,
+        }
+    }
+
+    /// Restricts the listener to clients matching `filter` (§4.8).
+    pub fn filter(mut self, filter: CidrFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Asks for [`crate::AppEvent::SynDropNotice`] upcalls when this
+    /// listener's SYN queue overflows (§5.7).
+    pub fn notify_syn_drops(mut self) -> Self {
+        self.notify_syn_drops = true;
+        self
+    }
+
+    /// Bounds this listener's half-open (SYN) queue: excess SYNs are
+    /// dropped at interrupt level and charged to the *classifying*
+    /// container (the attacker pays). Overrides the global default.
+    pub fn syn_budget(mut self, n: usize) -> Self {
+        self.syn_budget = Some(n);
+        self
+    }
+
+    /// Bounds this listener's accept queue the same way, enforced on the
+    /// final handshake ACK. Overrides the global default.
+    pub fn accept_budget(mut self, n: usize) -> Self {
+        self.accept_budget = Some(n);
+        self
+    }
+}
 
 /// The per-upcall syscall context: the calling process and thread plus a
 /// mutable view of the kernel.
@@ -101,10 +182,9 @@ impl<'a> SysCtx<'a> {
     // Sockets
     // ------------------------------------------------------------------
 
-    /// Creates a listening socket on `port` with a foreign-address filter
-    /// (§4.8). The listener is initially bound to the process's default
-    /// container.
-    pub fn listen(&mut self, port: u16, filter: CidrFilter, notify_syn_drops: bool) -> SockId {
+    /// Creates a listening socket from a [`ListenSpec`]. The listener is
+    /// initially bound to the process's default container.
+    pub fn listen(&mut self, spec: ListenSpec) -> SockId {
         self.trace_sys("listen");
         let cost = self.k.cost_model().listen_syscall;
         self.charge(cost);
@@ -116,10 +196,16 @@ impl<'a> SysCtx<'a> {
             }
         }
         let (syn_b, acc_b) = (self.k.cfg.syn_backlog, self.k.cfg.accept_backlog);
-        let s = self
-            .k
-            .stack
-            .listen(port, filter, container, syn_b, acc_b, notify_syn_drops);
+        let s = self.k.stack.listen(
+            spec.port,
+            spec.filter,
+            container,
+            syn_b,
+            acc_b,
+            spec.notify_syn_drops,
+        );
+        self.k
+            .set_listener_budgets(s, spec.syn_budget, spec.accept_budget);
         self.k.register_socket(s, self.pid);
         s
     }
@@ -136,11 +222,20 @@ impl<'a> SysCtx<'a> {
     }
 
     /// Reads all buffered payload bytes; returns `(bytes, eof)`.
-    pub fn read(&mut self, sock: SockId) -> (u64, bool) {
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::BadSocket`] if `sock` is not a live connection; no cost
+    /// is charged.
+    pub fn read(&mut self, sock: SockId) -> Result<(u64, bool), SysError> {
         self.trace_sys("read");
+        match self.k.stack.socket(sock).map(|s| &s.kind) {
+            Some(simnet::SocketKind::Conn(_)) => {}
+            _ => return Err(SysError::BadSocket),
+        }
         let cost = self.k.cost_model().read_syscall;
         self.charge(cost);
-        self.k.stack.read(sock)
+        Ok(self.k.stack.read(sock))
     }
 
     /// Returns the foreign address of a connection (like `getpeername`).
@@ -160,24 +255,79 @@ impl<'a> SysCtx<'a> {
         self.k.stack.readable(sock) || self.k.stack.accept_queue_len(sock) > 0
     }
 
-    /// Queues `bytes` for transmission. The CPU cost (syscall + per-packet
-    /// transmit work) is consumed before any packet leaves the NIC.
-    pub fn send(&mut self, sock: SockId, bytes: u64) {
+    /// Queues at most `bytes` for transmission, returning how many were
+    /// accepted. The CPU cost (syscall + per-packet transmit work) is
+    /// consumed before any packet leaves the NIC.
+    ///
+    /// With a finite link configured, the accepted count is clamped to
+    /// the sending principal's remaining sockbuf headroom
+    /// ([`SysCtx::tx_headroom`]): a partial or zero return is
+    /// backpressure, and the caller should wait for writability via
+    /// [`SysCtx::send_wait`] or [`SysCtx::event_register_writable`].
+    /// Without a link every byte is always accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::BadSocket`] if `sock` is not a live connection; no cost
+    /// is charged.
+    pub fn send(&mut self, sock: SockId, bytes: u64) -> Result<u64, SysError> {
         self.trace_sys("send");
-        let cm = self.k.cost_model();
-        let pkts = self.k.stack.send(sock, bytes);
-        if pkts.is_empty() {
-            return;
+        match self.k.stack.socket(sock).map(|s| &s.kind) {
+            Some(simnet::SocketKind::Conn(_)) => {}
+            _ => return Err(SysError::BadSocket),
         }
+        let cm = self.k.cost_model();
+        let accepted = bytes.min(self.k.tx_headroom(sock));
+        let pkts = self.k.stack.send(sock, accepted);
+        if pkts.is_empty() {
+            return Ok(0);
+        }
+        self.k.link_reserve(sock, accepted);
         let cost = cm.write_syscall + cm.data_tx * pkts.len() as u64;
         self.push(cost, Op::Transmit { pkts });
+        Ok(accepted)
+    }
+
+    /// Blocks the thread until `sock` has send headroom again, then
+    /// delivers [`crate::AppEvent::Writable`]. Without a finite link the
+    /// wake is immediate (everything is always writable).
+    pub fn send_wait(&mut self, sock: SockId) {
+        self.trace_sys("send_wait");
+        let cost = self.k.cost_model().write_syscall;
+        self.push(cost, Op::Block(WaitFor::Writable(sock)));
+    }
+
+    /// Whether `sock` can accept send bytes without queueing past its
+    /// principal's sockbuf limit.
+    pub fn sock_writable(&self, sock: SockId) -> bool {
+        self.k.sock_writable(sock)
+    }
+
+    /// Send bytes `sock`'s principal may queue before backpressure;
+    /// `u64::MAX` when unlimited.
+    pub fn tx_headroom(&self, sock: SockId) -> u64 {
+        self.k.tx_headroom(sock)
+    }
+
+    /// Whether the kernel models a finite-bandwidth transmit link.
+    pub fn link_configured(&self) -> bool {
+        self.k.link_configured()
     }
 
     /// Closes a connection after all previously queued work completes.
-    pub fn close(&mut self, sock: SockId) {
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::BadSocket`] if `sock` is not a live socket; no cost is
+    /// charged.
+    pub fn close(&mut self, sock: SockId) -> Result<(), SysError> {
         self.trace_sys("close");
+        if self.k.stack.socket(sock).is_none() {
+            return Err(SysError::BadSocket);
+        }
         let cm = self.k.cost_model();
         self.push(cm.close_syscall + cm.fin_tx, Op::CloseSock { sock });
+        Ok(())
     }
 
     /// Blocks the thread in `select()` over `socks` once queued work
@@ -202,6 +352,51 @@ impl<'a> SysCtx<'a> {
                     p.queue_event(sock);
                 }
             }
+        }
+    }
+
+    /// Registers a socket for *writability* notification with the
+    /// scalable event API: when send backpressure on the socket drains,
+    /// the process receives [`crate::AppEvent::Writable`] (if a thread is
+    /// parked in [`SysCtx::event_wait`], it wakes with the socket in its
+    /// batch). Without a finite link sockets are always writable, so the
+    /// notification fires immediately.
+    pub fn event_register_writable(&mut self, sock: SockId) {
+        let cost = self.k.cost_model().event_api_base;
+        self.charge(cost);
+        let writable = self.k.sock_writable(sock);
+        if let Some(p) = self.k.process_mut(self.pid) {
+            if !p.event_interest_w.contains(&sock) {
+                p.event_interest_w.push(sock);
+            }
+            // A socket that is already writable must not be missed.
+            if writable {
+                p.queue_writable_event(sock);
+            }
+        }
+    }
+
+    /// Drops *writability* interest only (read interest is untouched):
+    /// the natural bookend to [`SysCtx::event_register_writable`] once a
+    /// backpressured response has drained.
+    pub fn event_deregister_writable(&mut self, sock: SockId) {
+        let cost = self.k.cost_model().event_api_base;
+        self.charge(cost);
+        if let Some(p) = self.k.process_mut(self.pid) {
+            p.event_interest_w.retain(|&s| s != sock);
+        }
+    }
+
+    /// Removes a socket from the scalable event API: clears read and
+    /// write interest and drops any queued-but-undelivered events for it.
+    /// The socket stays open; it simply delivers no further events.
+    pub fn event_deregister(&mut self, sock: SockId) {
+        let cost = self.k.cost_model().event_api_base;
+        self.charge(cost);
+        if let Some(p) = self.k.process_mut(self.pid) {
+            p.event_interest.retain(|&s| s != sock);
+            p.event_interest_w.retain(|&s| s != sock);
+            p.event_queue.retain(|&s| s != sock);
         }
     }
 
@@ -437,20 +632,23 @@ impl<'a> SysCtx<'a> {
 
     /// Sets the calling thread's resource binding (§4.6 "Binding a thread
     /// to a container"). Subsequent consumption is charged there.
-    pub fn bind_thread(&mut self, fd: ContainerFd) -> Result<(), RcError> {
+    ///
+    /// Accepts either a [`ContainerFd`] (the application path: resolved
+    /// through the descriptor table, charged the Table 1 bind cost) or a
+    /// raw [`ContainerId`] (the trusted in-process path used by
+    /// library-based resource handlers, §2: no descriptor check, no
+    /// charge), via `impl Into<ContainerRef>`.
+    pub fn bind_thread(&mut self, c: impl Into<ContainerRef>) -> Result<(), RcError> {
         self.require_containers()?;
-        self.trace_sys("rc_bind_thread");
-        let cost = self.k.cost_model().rc_bind;
-        self.charge(cost);
-        let id = self.resolve_fd(fd)?;
-        self.bind_thread_id(id)
-    }
-
-    /// Like [`SysCtx::bind_thread`] but takes a raw container id; used by
-    /// trusted in-process modules (e.g. library-based dynamic resource
-    /// handlers, §2).
-    pub fn bind_thread_id(&mut self, id: ContainerId) -> Result<(), RcError> {
-        self.require_containers()?;
+        let id = match c.into() {
+            ContainerRef::Fd(fd) => {
+                self.trace_sys("rc_bind_thread");
+                let cost = self.k.cost_model().rc_bind;
+                self.charge(cost);
+                self.resolve_fd(fd)?
+            }
+            ContainerRef::Id(id) => id,
+        };
         let now = self.k.clock_now();
         self.k.containers.bind_thread(id)?;
         let old = {
@@ -496,7 +694,7 @@ impl<'a> SysCtx<'a> {
         }
         let cost = self.k.cost_model().rc_bind;
         self.charge(cost);
-        self.bind_thread_id(c)
+        self.bind_thread(c)
     }
 
     /// Returns the process's default container id.
@@ -558,19 +756,20 @@ impl<'a> SysCtx<'a> {
 
     /// Binds a socket to a container (§4.6 "Binding a socket or file to a
     /// container"); subsequent kernel consumption for the socket is
-    /// charged there.
-    pub fn bind_socket(&mut self, sock: SockId, fd: ContainerFd) -> Result<(), RcError> {
+    /// charged there. Like [`SysCtx::bind_thread`], accepts a descriptor
+    /// (charged, checked) or a raw id (trusted) via
+    /// `impl Into<ContainerRef>`.
+    pub fn bind_socket(&mut self, sock: SockId, c: impl Into<ContainerRef>) -> Result<(), RcError> {
         self.require_containers()?;
-        self.trace_sys("rc_bind_socket");
-        let cost = self.k.cost_model().rc_bind;
-        self.charge(cost);
-        let id = self.resolve_fd(fd)?;
-        self.bind_socket_id(sock, id)
-    }
-
-    /// Like [`SysCtx::bind_socket`] with a raw container id.
-    pub fn bind_socket_id(&mut self, sock: SockId, id: ContainerId) -> Result<(), RcError> {
-        self.require_containers()?;
+        let id = match c.into() {
+            ContainerRef::Fd(fd) => {
+                self.trace_sys("rc_bind_socket");
+                let cost = self.k.cost_model().rc_bind;
+                self.charge(cost);
+                self.resolve_fd(fd)?
+            }
+            ContainerRef::Id(id) => id,
+        };
         let old = self.k.stack.container_of(sock);
         self.k.containers.bind_socket(id)?;
         self.k.stack.set_container(sock, Some(id));

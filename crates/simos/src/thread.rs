@@ -32,6 +32,9 @@ pub enum WaitFor {
     /// A specific listener has an acceptable connection (blocking
     /// `accept()`).
     Acceptable(SockId),
+    /// A specific socket has send headroom again (blocking writers under
+    /// link backpressure).
+    Writable(SockId),
     /// A timer deadline.
     Timer {
         /// Application tag delivered on expiry.
@@ -62,6 +65,12 @@ pub enum Op {
     Transmit {
         /// Packets to hand to the NIC.
         pkts: Vec<Packet>,
+    },
+    /// Re-check writability and deliver `Writable` (or re-block if the
+    /// headroom was consumed again before the thread ran).
+    DeliverWritable {
+        /// The socket whose backpressure drained.
+        sock: SockId,
     },
     /// Close a connection socket and transmit its FIN.
     CloseSock {

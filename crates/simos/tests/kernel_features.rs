@@ -6,7 +6,8 @@ use sched::TaskId;
 use simcore::Nanos;
 use simnet::{CidrFilter, FlowKey, IpAddr, Packet, PacketKind, SockId};
 use simos::{
-    AppEvent, AppHandler, Kernel, KernelConfig, NullWorld, Pid, SysCtx, World, WorldAction,
+    AppEvent, AppHandler, Kernel, KernelConfig, ListenSpec, NullWorld, Pid, SysCtx, World,
+    WorldAction,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -118,7 +119,7 @@ impl AppHandler for LimitServer {
     fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
         match ev {
             AppEvent::Start => {
-                let l = sys.listen(80, CidrFilter::any(), false);
+                let l = sys.listen(ListenSpec::port(80));
                 self.listener = Some(l);
                 sys.select_wait(vec![l]);
             }
@@ -188,7 +189,7 @@ fn process_exit_releases_all_kernel_state() {
     impl AppHandler for Ephemeral {
         fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
             if let AppEvent::Start = ev {
-                let _l = sys.listen(80, CidrFilter::any(), false);
+                let _l = sys.listen(ListenSpec::port(80));
                 let fd = sys.create_container(None, Attributes::time_shared(5)).ok();
                 let _ = fd;
                 sys.exit();
@@ -212,6 +213,126 @@ fn process_exit_releases_all_kernel_state() {
     k.containers.check_invariants();
 }
 
+/// Accepts connections on the scalable event API, registering every
+/// socket — then immediately *deregisters* the first accepted
+/// connection, leaving it open. Per-socket event counts distinguish the
+/// silenced socket from its still-registered sibling.
+struct DeregServer {
+    listener: Option<SockId>,
+    conns: Rc<RefCell<Vec<SockId>>>,
+    events: Rc<RefCell<std::collections::HashMap<u64, u32>>>,
+}
+
+impl AppHandler for DeregServer {
+    fn on_event(&mut self, sys: &mut SysCtx<'_>, _t: TaskId, ev: AppEvent) {
+        match ev {
+            AppEvent::Start => {
+                let l = sys.listen(ListenSpec::port(80));
+                self.listener = Some(l);
+                sys.event_register(l);
+                sys.event_wait();
+            }
+            AppEvent::EventReady { events } => {
+                for s in events {
+                    if Some(s) == self.listener {
+                        while let Some(conn) = sys.accept(self.listener.unwrap()) {
+                            sys.event_register(conn);
+                            if self.conns.borrow().is_empty() {
+                                sys.event_deregister(conn);
+                            }
+                            self.conns.borrow_mut().push(conn);
+                        }
+                    } else {
+                        *self.events.borrow_mut().entry(s.as_u64()).or_insert(0) += 1;
+                        let _ = sys.read(s);
+                    }
+                }
+                sys.event_wait();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// §5.5's deregistration half: a socket removed from the event set stays
+/// open and keeps receiving data, but delivers no further events — while
+/// a sibling socket registered the same way keeps delivering.
+#[test]
+fn deregistered_socket_stays_open_but_delivers_no_events() {
+    let conns = Rc::new(RefCell::new(Vec::new()));
+    let events = Rc::new(RefCell::new(std::collections::HashMap::new()));
+    let mut k = Kernel::new(KernelConfig::resource_containers());
+    k.spawn_process(
+        Box::new(DeregServer {
+            listener: None,
+            conns: conns.clone(),
+            events: events.clone(),
+        }),
+        "srv",
+        None,
+        Attributes::time_shared(10),
+        None,
+    );
+
+    /// Two clients handshake, then keep sending data on both flows.
+    struct TwoTalkers;
+    impl TwoTalkers {
+        fn flow(i: u64) -> FlowKey {
+            FlowKey::new(IpAddr::new(10, 0, 0, i as u8 + 1), 2000, 80)
+        }
+    }
+    impl World for TwoTalkers {
+        fn on_packet(&mut self, pkt: Packet, _n: Nanos, a: &mut Vec<WorldAction>) {
+            if pkt.kind == PacketKind::SynAck {
+                a.push(WorldAction::SendPacket {
+                    pkt: Packet::new(pkt.flow, PacketKind::Ack),
+                    delay: Nanos::ZERO,
+                });
+            }
+        }
+        fn on_timer(&mut self, tag: u64, _n: Nanos, a: &mut Vec<WorldAction>) {
+            if tag < 2 {
+                a.push(WorldAction::SendPacket {
+                    pkt: Packet::new(Self::flow(tag), PacketKind::Syn),
+                    delay: Nanos::ZERO,
+                });
+            } else {
+                // Periodic data on both established flows.
+                for i in 0..2 {
+                    a.push(WorldAction::SendPacket {
+                        pkt: Packet::new(Self::flow(i), PacketKind::Data { bytes: 64 }),
+                        delay: Nanos::ZERO,
+                    });
+                }
+            }
+        }
+    }
+    // Client 0 connects first (its conn is the deregistered one), client
+    // 1 second; then five rounds of data on both flows.
+    k.arm_world_timer(0, Nanos::from_micros(10));
+    k.arm_world_timer(1, Nanos::from_micros(200));
+    for round in 0..5u64 {
+        k.arm_world_timer(2 + round, Nanos::from_millis(1 + round));
+    }
+    k.run(&mut TwoTalkers, Nanos::from_millis(10));
+
+    let conns = conns.borrow();
+    assert_eq!(conns.len(), 2, "both clients must connect");
+    let events = events.borrow();
+    assert_eq!(
+        events.get(&conns[0].as_u64()),
+        None,
+        "deregistered socket delivered events: {events:?}"
+    );
+    assert!(
+        events.get(&conns[1].as_u64()).copied().unwrap_or(0) >= 1,
+        "registered sibling delivered nothing: {events:?}"
+    );
+    // Deregistration is not close: listener + both conns are still open.
+    assert_eq!(k.stack.socket_count(), 3);
+    k.containers.check_invariants();
+}
+
 /// Listens on two classes — an attacker prefix and everyone else, each
 /// bound to its own container — and never completes handshakes, so the
 /// SYN queues only drain by expiry.
@@ -231,7 +352,7 @@ impl AppHandler for TwoClassSink {
                     (CidrFilter::any(), "good-class"),
                 ];
                 for (filter, name) in classes {
-                    let l = sys.listen(80, filter, false);
+                    let l = sys.listen(ListenSpec::port(80).filter(filter));
                     if let Ok(fd) =
                         sys.create_container(None, Attributes::time_shared(10).named(name))
                     {

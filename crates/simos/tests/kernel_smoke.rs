@@ -5,8 +5,8 @@
 use rescon::Attributes;
 use sched::TaskId;
 use simcore::Nanos;
-use simnet::{CidrFilter, FlowKey, IpAddr, Packet, PacketKind, SockId};
-use simos::{AppEvent, AppHandler, Kernel, KernelConfig, SysCtx, World, WorldAction};
+use simnet::{FlowKey, IpAddr, Packet, PacketKind, SockId};
+use simos::{AppEvent, AppHandler, Kernel, KernelConfig, ListenSpec, SysCtx, World, WorldAction};
 
 /// A tiny event-driven server: accept, read request, burn some user CPU,
 /// send a 1 KB response, close.
@@ -25,7 +25,7 @@ impl AppHandler for MiniServer {
     fn on_event(&mut self, sys: &mut SysCtx<'_>, _thread: TaskId, ev: AppEvent) {
         match ev {
             AppEvent::Start => {
-                let l = sys.listen(80, CidrFilter::any(), false);
+                let l = sys.listen(ListenSpec::port(80));
                 self.listener = Some(l);
                 self.rearm(sys);
             }
@@ -36,7 +36,7 @@ impl AppHandler for MiniServer {
                             self.conns.push(conn);
                         }
                     } else {
-                        let (bytes, _eof) = sys.read(s);
+                        let bytes = sys.read(s).map(|(b, _eof)| b).unwrap_or(0);
                         if bytes > 0 {
                             // Parse + handle: 40 us of user CPU, then respond.
                             self.pending += 1;
@@ -55,8 +55,8 @@ impl AppHandler for MiniServer {
                         .iter()
                         .find(|c| c.as_u64() == tag - PARSE_TAG_BASE)
                     {
-                        sys.send(conn, 1024);
-                        sys.close(conn);
+                        let _ = sys.send(conn, 1024);
+                        let _ = sys.close(conn);
                         self.conns.retain(|&c| c != conn);
                         self.served.set(self.served.get() + 1);
                     }

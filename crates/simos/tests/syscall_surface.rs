@@ -9,8 +9,7 @@ use std::rc::Rc;
 use rescon::{Attributes, ContainerFd, RcError};
 use sched::TaskId;
 use simcore::Nanos;
-use simnet::CidrFilter;
-use simos::{AppEvent, AppHandler, Kernel, KernelConfig, NullWorld, Pid, SysCtx};
+use simos::{AppEvent, AppHandler, Kernel, KernelConfig, ListenSpec, NullWorld, Pid, SysCtx};
 
 #[derive(Default)]
 struct Outcome {
@@ -76,7 +75,7 @@ impl AppHandler for ApiWalker {
                 out.bound = true;
 
                 // Bind a socket to the child.
-                let l = sys.listen(8080, CidrFilter::any(), false);
+                let l = sys.listen(ListenSpec::port(8080));
                 sys.bind_socket(l, child).expect("bind socket");
                 out.socket_bound = true;
 

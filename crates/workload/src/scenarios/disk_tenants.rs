@@ -86,13 +86,14 @@ pub struct DiskTenantsResult {
 }
 
 /// Per-tenant client sets, routed by tenant address block (tenant `g`
-/// clients live in `10.{100+g}.x.x`).
-struct TenantWorld {
-    tenants: Vec<HttpClients>,
+/// clients live in `10.{100+g}.x.x`). Shared with the link-bandwidth
+/// tenant experiment ([`super::qos_tenants`]).
+pub(crate) struct TenantWorld {
+    pub(crate) tenants: Vec<HttpClients>,
 }
 
 /// Timer-tag block per tenant.
-const TENANT_SHIFT: u32 = 32;
+pub(crate) const TENANT_SHIFT: u32 = 32;
 
 impl World for TenantWorld {
     fn on_packet(&mut self, pkt: Packet, now: Nanos, actions: &mut Vec<WorldAction>) {
@@ -126,7 +127,7 @@ fn relabel(actions: &mut [WorldAction], g: usize) {
 }
 
 /// Address of client `i` of tenant `g`.
-fn tenant_addr(g: usize, i: usize) -> IpAddr {
+pub(crate) fn tenant_addr(g: usize, i: usize) -> IpAddr {
     IpAddr::new(10, 100 + g as u8, (i / 250) as u8, (i % 250) as u8 + 1)
 }
 

@@ -68,12 +68,14 @@ pub mod prelude {
     pub use simdisk::{BufferCache, DiskParams, FifoIoSched, ShareIoSched, SimDisk};
     pub use simnet::{CidrFilter, IpAddr, NetDiscipline};
     pub use simos::{
-        AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, SysCtx, World, WorldAction,
+        AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, ListenSpec, QdiscKind, SysCtx,
+        SysError, World, WorldAction,
     };
     pub use workload::scenarios::{
-        run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_smp_tenants,
-        run_virtual_servers, BaselineParams, DiskTenantsParams, Fig11Params, Fig11System,
-        Fig12Params, Fig12System, Fig14Params, SmpTenantsParams, VsParams,
+        run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_qos_tenants,
+        run_smp_tenants, run_virtual_servers, BaselineParams, DiskTenantsParams, Fig11Params,
+        Fig11System, Fig12Params, Fig12System, Fig14Params, QosTenantsParams, SmpTenantsParams,
+        VsParams,
     };
     pub use workload::{ClientSpec, HttpClients, SynFlood};
 }

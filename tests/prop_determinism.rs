@@ -132,14 +132,24 @@ struct FaultRun {
     /// interrupt + overhead + idle covers the whole run, and the
     /// per-CPU buckets sum to the global ones.
     conserved: bool,
+    /// Wire time spent by the finite link (zero when no link is
+    /// configured).
+    link_busy: Nanos,
+    /// Transmit conservation from the metrics globals: every charged
+    /// wire nanosecond is in exactly one subtree (root, floating, or
+    /// reaped).
+    tx_conserved: bool,
 }
 
-fn run_fault_mix(mix: &Mix, seed: u64) -> FaultRun {
+/// `link = true` puts a finite 40 Mbit/s WFQ link on the transmit path,
+/// so every faulted run also exercises wire-time charging, send
+/// backpressure, and link-queue drops under packet loss + SMP.
+fn run_fault_mix(mix: &Mix, seed: u64, link: bool) -> FaultRun {
     rctrace::start(TraceConfig {
         ring_capacity: 1 << 16,
         sample_interval: Nanos::from_millis(10),
     });
-    let kernel = match mix.kernel {
+    let mut kernel = match mix.kernel {
         0 => KernelConfig::unmodified(),
         1 => KernelConfig::lrp(),
         _ => KernelConfig::resource_containers(),
@@ -147,6 +157,9 @@ fn run_fault_mix(mix: &Mix, seed: u64) -> FaultRun {
     .with_ncpus(2)
     .with_fault(fault_plan(seed))
     .with_admission(32, 0);
+    if link {
+        kernel = kernel.with_link(40_000_000, QdiscKind::Wfq);
+    }
     let stats = shared_stats();
     let mut k = Kernel::new(kernel);
     k.spawn_process(
@@ -192,11 +205,15 @@ fn run_fault_mix(mix: &Mix, seed: u64) -> FaultRun {
     let injected = k.fault_counts().total() + clients.fault_counts().total();
     let session = rctrace::finish().expect("trace session active");
     let served = stats.borrow().static_served;
+    let g = &session.metrics.globals;
+    let tx_conserved = g.root_subtree_tx + g.floating_tx + g.reaped_tx == g.link_busy;
     FaultRun {
         served,
         injected,
         chrome: chrome_trace_json(&session),
         conserved,
+        link_busy: g.link_busy,
+        tx_conserved,
     }
 }
 
@@ -208,13 +225,91 @@ proptest! {
     /// conserved per CPU with faults flying.
     #[test]
     fn faulted_runs_are_deterministic(mix in mix_strategy()) {
-        let a = run_fault_mix(&mix, 41);
-        let b = run_fault_mix(&mix, 41);
+        let a = run_fault_mix(&mix, 41, false);
+        let b = run_fault_mix(&mix, 41, false);
         prop_assert!(a.injected > 0, "plan injected nothing for {mix:?}");
         prop_assert!(a.conserved, "per-CPU accounting not conserved for {mix:?}");
         prop_assert_eq!(a.served, b.served);
         prop_assert_eq!(a.injected, b.injected);
         prop_assert_eq!(a.chrome, b.chrome, "faulted chrome trace not byte-identical");
+    }
+
+    /// With a finite WFQ link on the transmit path, faulted SMP runs
+    /// stay deterministic and *transmit* accounting is conserved too:
+    /// every wire nanosecond the link spent is charged to exactly one
+    /// container subtree, with packet faults flying.
+    #[test]
+    fn linked_faulted_runs_conserve_tx(mix in mix_strategy()) {
+        let a = run_fault_mix(&mix, 43, true);
+        let b = run_fault_mix(&mix, 43, true);
+        prop_assert!(a.link_busy > Nanos::ZERO, "link never transmitted for {mix:?}");
+        prop_assert!(a.tx_conserved, "tx accounting not conserved for {mix:?}");
+        prop_assert!(b.tx_conserved);
+        prop_assert!(a.conserved, "per-CPU accounting not conserved for {mix:?}");
+        prop_assert_eq!(a.served, b.served);
+        prop_assert_eq!(a.injected, b.injected);
+        prop_assert_eq!(a.chrome, b.chrome, "linked faulted chrome trace not byte-identical");
+    }
+}
+
+/// Runs `clients` static clients against a linked kernel whose server
+/// container carries `sockbuf_limit = limit`, sampling the container's
+/// unsent-byte backlog at eight staged points during the run. Returns
+/// `(served, backlog_ok)` where `backlog_ok` means the reservation
+/// never exceeded the limit at any observation point.
+fn run_sockbuf_mix(limit: u64, clients: u8, response_kib: u64) -> (u64, bool) {
+    let stats = shared_stats();
+    let mut k =
+        Kernel::new(KernelConfig::resource_containers().with_link(20_000_000, QdiscKind::Wfq));
+    let pid = k.spawn_process(
+        Box::new(EventDrivenServer::new(
+            ServerConfig {
+                response_bytes: response_kib * 1024,
+                // Connections share the process-default container, so
+                // the limit under test is the one charged at the link.
+                container_per_connection: false,
+                ..ServerConfig::default()
+            },
+            stats.clone(),
+        )),
+        "httpd",
+        None,
+        Attributes::time_shared(10).with_sockbuf_limit(limit),
+        None,
+    );
+    let principal = k.process_container(pid).expect("server process exists");
+    let specs: Vec<ClientSpec> = (0..clients)
+        .map(|i| ClientSpec::staticloop(IpAddr::new(10, 0, 0, 1 + i), 0))
+        .collect();
+    let end = Nanos::from_millis(400);
+    let mut world = HttpClients::new(specs, Nanos::ZERO, end);
+    world.arm(&mut k);
+    let mut ok = true;
+    for slice in 1..=8u64 {
+        k.run(&mut world, end * slice / 8);
+        ok &= k.tx_backlog_of(principal) <= limit;
+    }
+    let served = stats.borrow().static_served;
+    (served, ok)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// §4.4 as an invariant: whatever the limit, client count, and
+    /// response size, the unsent bytes reserved against the container
+    /// never exceed its `sockbuf_limit` — backpressure queues the
+    /// excess in the application, not the kernel — and the server still
+    /// makes progress through the partial-send path.
+    #[test]
+    fn sockbuf_limit_bounds_tx_backlog(
+        limit_kib in 2u64..64,
+        clients in 1u8..5,
+        response_kib in 1u64..32,
+    ) {
+        let (served, ok) = run_sockbuf_mix(limit_kib * 1024, clients, response_kib);
+        prop_assert!(ok, "tx backlog exceeded sockbuf_limit ({limit_kib} KiB)");
+        prop_assert!(served > 0, "no requests served under backpressure");
     }
 }
 
@@ -228,8 +323,8 @@ fn different_fault_seed_different_injections_same_conservation() {
         think_ms: 0,
         kernel: 2,
     };
-    let a = run_fault_mix(&mix, 1);
-    let b = run_fault_mix(&mix, 2);
+    let a = run_fault_mix(&mix, 1, false);
+    let b = run_fault_mix(&mix, 2, false);
     assert!(a.injected > 0 && b.injected > 0);
     assert!(
         a.chrome != b.chrome,

@@ -15,6 +15,10 @@ fn mini_end() -> Nanos {
 /// time. Small enough for a golden file, busy enough to exercise every
 /// event source (sched, net, syscalls, per-connection containers).
 fn mini_run(trace: bool) -> (simos::Kernel, u64) {
+    mini_run_on(KernelConfig::resource_containers(), trace)
+}
+
+fn mini_run_on(cfg: KernelConfig, trace: bool) -> (simos::Kernel, u64) {
     if trace {
         rctrace::start(TraceConfig {
             ring_capacity: 1 << 16,
@@ -22,7 +26,7 @@ fn mini_run(trace: bool) -> (simos::Kernel, u64) {
         });
     }
     let stats = shared_stats();
-    let mut k = simos::Kernel::new(KernelConfig::resource_containers());
+    let mut k = simos::Kernel::new(cfg);
     k.spawn_process(
         Box::new(EventDrivenServer::new(
             ServerConfig::default(),
@@ -137,6 +141,40 @@ fn chrome_trace_has_expected_tracks() {
     assert!(chrome.contains("\"ph\":\"X\""));
     assert!(session.trace.emitted > 0);
     assert_eq!(session.trace.dropped, 0);
+}
+
+/// The same mini workload over a finite 40 Mbit/s WFQ link: the link
+/// track and per-container transmit counters appear in the Chrome
+/// export, the metrics dump grows a link section, and transmit wire
+/// time is conserved exactly against the kernel's own link accounting —
+/// while the linkless golden below stays byte-identical.
+#[test]
+fn linked_run_exports_link_track_and_conserves_tx() {
+    let (k, served) = mini_run_on(
+        KernelConfig::resource_containers().with_link(40_000_000, QdiscKind::Wfq),
+        true,
+    );
+    let session = rctrace::finish().expect("active session");
+    assert!(served > 0);
+
+    let g = &session.metrics.globals;
+    assert!(g.link_configured);
+    assert!(g.link_busy > Nanos::ZERO, "link never transmitted");
+    assert_eq!(
+        g.root_subtree_tx + g.floating_tx + g.reaped_tx,
+        g.link_busy,
+        "tx conservation violated"
+    );
+    let (busy, bytes, pkts) = k.link_totals();
+    assert_eq!(g.link_busy, busy);
+    assert_eq!(g.link_bytes, bytes);
+    assert_eq!(g.link_pkts, pkts);
+
+    let chrome = chrome_trace_json(&session);
+    assert!(chrome.contains("\"name\":\"link\""), "link track missing");
+    assert!(chrome.contains("tx_charge_ms"), "tx counter track missing");
+    let metrics = metrics_json(&session);
+    assert!(metrics.contains("\"link\""), "metrics link section missing");
 }
 
 /// Golden-file check on the metrics dump. Regenerate with

@@ -702,8 +702,9 @@ impl AppHandler for EventDrivenServer {
                 }
                 self.rearm(sys);
             }
-            AppEvent::FileRead { tag, bytes, .. } => {
+            AppEvent::FileRead { tag, bytes, cached } => {
                 if let Some(conn) = self.by_tag.remove(&tag) {
+                    self.stats.borrow_mut().record_cache(cached);
                     // The thread may have served other connections while
                     // the disk was busy: rebind to this connection's
                     // container before responding on its behalf.
@@ -750,6 +751,12 @@ impl AppHandler for EventDrivenServer {
             AppEvent::Ipc { .. } => {
                 // This server model does not use IPC (see the FastCGI
                 // pool). Delivered out-of-band: no re-arm.
+            }
+            AppEvent::MemKill { .. } => {
+                // A container this server held kernel memory under was
+                // OOM-killed; the per-connection teardown already arrived
+                // as individual ConnReset upcalls. (Out-of-band: no
+                // re-arm.)
             }
         }
     }

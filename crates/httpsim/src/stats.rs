@@ -30,6 +30,10 @@ pub struct ServerStats {
     pub io_errors: u64,
     /// Flood sources isolated behind a priority-zero listener (§5.7).
     pub isolations: u64,
+    /// File reads satisfied from the buffer cache.
+    pub cache_hits: u64,
+    /// File reads that went to the simulated disk.
+    pub cache_misses: u64,
     /// Virtual time of the last served response.
     pub last_served_at: Nanos,
 }
@@ -51,6 +55,26 @@ impl ServerStats {
         }
         self.per_class_served[class] += 1;
         self.last_served_at = now;
+    }
+
+    /// Records whether a file read was served from the buffer cache.
+    pub fn record_cache(&mut self, cached: bool) {
+        if cached {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
+    }
+
+    /// Buffer-cache hit rate over all recorded file reads (1.0 when no
+    /// reads happened, so "no disk traffic" counts as perfect).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 

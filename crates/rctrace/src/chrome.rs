@@ -69,7 +69,13 @@ fn event_container(kind: &TraceEventKind) -> Option<u64> {
         | TraceEventKind::FaultDiskSpike { container, .. }
         | TraceEventKind::LinkQueue { container, .. }
         | TraceEventKind::LinkStart { container, .. }
-        | TraceEventKind::LinkDrop { container, .. } => Some(container),
+        | TraceEventKind::LinkDrop { container, .. }
+        | TraceEventKind::MemPressure { container, .. }
+        | TraceEventKind::MemRefused { container, .. } => Some(container),
+        // Reclaim and OOM attribute to the container that lost memory.
+        TraceEventKind::Reclaim { victim, .. } | TraceEventKind::OomKill { victim, .. } => {
+            Some(victim)
+        }
         TraceEventKind::ThreadState { .. }
         | TraceEventKind::SyscallExit { .. }
         | TraceEventKind::CacheMiss { .. }
@@ -191,6 +197,9 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
     if link_present {
         evs.push(meta_name(LINK_PID, "link"));
     }
+    // Per-class memory counter tracks appear only on simmem runs, so
+    // memory-unlimited exports are unchanged.
+    let mem_present = session.metrics.globals.mem_configured;
     for (&c, &pid) in &pid_of {
         evs.push(meta_name(pid, &format!("container {}", name_of(c))));
     }
@@ -394,6 +403,57 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                     &format!("fault: client {client} slow +{}us", delay.as_micros()),
                 ));
             }
+            TraceEventKind::MemPressure {
+                container,
+                used,
+                limit,
+            } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "mem",
+                    &format!("mem pressure {used}/{limit}B"),
+                ));
+            }
+            TraceEventKind::Reclaim {
+                victim,
+                file,
+                bytes,
+                ..
+            } => {
+                evs.push(instant(
+                    pid_for(victim),
+                    at,
+                    "mem",
+                    &format!("reclaim file {file} ({bytes}B)"),
+                ));
+            }
+            TraceEventKind::OomKill { victim, bytes, .. } => {
+                evs.push(instant(
+                    pid_for(victim),
+                    at,
+                    "mem",
+                    &format!("oom kill ({bytes}B)"),
+                ));
+            }
+            TraceEventKind::MemRefused {
+                container,
+                refusing,
+                wanted,
+                ..
+            } => {
+                let by = if refusing == NO_CONTAINER {
+                    "budget".to_string()
+                } else {
+                    format!("c{refusing}")
+                };
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "mem",
+                    &format!("mem refused {wanted}B ({by})"),
+                ));
+            }
             _ => {}
         }
     }
@@ -425,6 +485,17 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                     "tx_charge_ms",
                     &millis6(p.tx_time.as_nanos()),
                 ));
+            }
+            if mem_present {
+                evs.push(counter(pid, ts, "mem_bytes", &p.mem_bytes.to_string()));
+                for class in rescon::MemClass::ALL {
+                    evs.push(counter(
+                        pid,
+                        ts,
+                        &format!("mem_{}_bytes", class.label()),
+                        &p.mem_by_class[class.index()].to_string(),
+                    ));
+                }
             }
             evs.push(counter(pid, ts, "runnable", &p.runnable.to_string()));
             evs.push(counter(pid, ts, "syn_queue", &p.syn_queue.to_string()));

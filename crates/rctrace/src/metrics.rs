@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use rescon::ResourceUsage;
+use rescon::{MemClass, ResourceUsage};
 use simcore::{Histogram, Nanos};
 
 use crate::json::{f6, quote};
@@ -66,6 +66,9 @@ pub struct SamplePoint {
     pub pkts_rx: u64,
     /// Memory bytes currently charged.
     pub mem_bytes: u64,
+    /// Per-class memory breakdown (indexed by `MemClass::index()`; all
+    /// zeros on runs without the memory subsystem).
+    pub mem_by_class: [u64; 5],
     /// Buffer-cache bytes currently resident.
     pub cache_bytes: u64,
     /// Runnable threads charging this container at the sample instant.
@@ -146,6 +149,25 @@ pub struct GlobalTotals {
     pub floating_tx: Nanos,
     /// Transmit history of destroyed parentless containers.
     pub reaped_tx: Nanos,
+    /// Whether the kernel ran with the `simmem` memory subsystem. When
+    /// `false`, every mem field below is zero and the metrics dump omits
+    /// the mem section entirely (keeping memory-unlimited goldens
+    /// byte-identical).
+    pub mem_configured: bool,
+    /// Kernel memory currently accounted, all classes.
+    pub mem_total: u64,
+    /// Per-class breakdown, indexed by `rescon::MemClass::index()`.
+    pub mem_by_class: [u64; 5],
+    /// Cache pages stolen to satisfy charges.
+    pub mem_reclaims: u64,
+    /// Bytes freed by those steals.
+    pub mem_reclaimed_bytes: u64,
+    /// Container-targeted OOM kills.
+    pub mem_oom_kills: u64,
+    /// Hard allocations refused after reclaim and OOM.
+    pub mem_refusals: u64,
+    /// Memory-pressure events emitted.
+    pub mem_pressure_events: u64,
 }
 
 /// End-of-run accounting for one simulated CPU.
@@ -257,6 +279,7 @@ impl Metrics {
                 tx_time: r.usage.tx_time,
                 pkts_rx: r.usage.pkts_rx,
                 mem_bytes: r.usage.mem_bytes,
+                mem_by_class: r.usage.mem_by_class,
                 cache_bytes: r.cache_bytes,
                 runnable: r.runnable,
                 syn_queue: r.syn_queue,
@@ -346,6 +369,36 @@ pub fn metrics_json(session: &TraceSession) -> String {
             g.reaped_tx.as_nanos(),
         );
     }
+    // Likewise the mem section only appears when the kernel ran with the
+    // `simmem` memory subsystem.
+    if g.mem_configured {
+        let _ = write!(
+            out,
+            ",\"mem\":{{\"total_bytes\":{},\"by_class\":{{",
+            g.mem_total
+        );
+        for (i, class) in MemClass::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{}",
+                quote(class.label()),
+                g.mem_by_class[class.index()]
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\"reclaims\":{},\"reclaimed_bytes\":{},\"oom_kills\":{},\
+             \"refusals\":{},\"pressure_events\":{}}}",
+            g.mem_reclaims,
+            g.mem_reclaimed_bytes,
+            g.mem_oom_kills,
+            g.mem_refusals,
+            g.mem_pressure_events,
+        );
+    }
     let _ = write!(
         out,
         ",\"trace\":{{\"emitted\":{},\"dropped\":{},\"retained\":{}}}",
@@ -419,6 +472,22 @@ pub fn metrics_json(session: &TraceSession) -> String {
                 t.subtree_tx.as_nanos(),
             );
         }
+        // Per-class memory breakdown rides along only on simmem runs.
+        if g.mem_configured {
+            out.push_str(",\"mem_by_class\":{");
+            for (j, class) in MemClass::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{}:{}",
+                    quote(class.label()),
+                    u.mem_by_class[class.index()]
+                );
+            }
+            out.push('}');
+        }
         out.push('}');
         let l = &series.latency;
         let _ = write!(
@@ -439,6 +508,7 @@ pub fn metrics_json(session: &TraceSession) -> String {
             tx_time: Nanos::ZERO,
             pkts_rx: 0,
             mem_bytes: 0,
+            mem_by_class: [0; 5],
             cache_bytes: 0,
             runnable: 0,
             syn_queue: 0,

@@ -32,13 +32,34 @@ pub enum RcError {
     Destroyed,
     /// The container still has live references and cannot be destroyed.
     StillReferenced,
-    /// A memory or socket-buffer allocation would exceed the container's
-    /// limit.
-    LimitExceeded,
+    /// A memory or socket-buffer allocation would exceed a limit somewhere
+    /// on the container's ancestor chain. Carries the refusing container
+    /// (as its raw `Idx::as_u64()` key), its configured limit, and its
+    /// subtree usage at the time of refusal, so callers can target reclaim
+    /// at the violating subtree.
+    LimitExceeded {
+        /// Raw id of the container whose limit refused the charge.
+        container: u64,
+        /// The refusing container's configured limit in bytes.
+        limit: u64,
+        /// The refusing container's subtree usage in bytes when refused.
+        used: u64,
+    },
 }
 
 impl fmt::Display for RcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let RcError::LimitExceeded {
+            container,
+            limit,
+            used,
+        } = self
+        {
+            return write!(
+                f,
+                "resource limit exceeded: container {container} at {used}/{limit} bytes"
+            );
+        }
         let msg = match self {
             RcError::NotFound => "container not found",
             RcError::Cycle => "reparenting would create a cycle",
@@ -50,7 +71,7 @@ impl fmt::Display for RcError {
             RcError::BadDescriptor => "bad container descriptor",
             RcError::Destroyed => "container has been destroyed",
             RcError::StillReferenced => "container still referenced",
-            RcError::LimitExceeded => "resource limit exceeded",
+            RcError::LimitExceeded { .. } => unreachable!("handled above"),
         };
         f.write_str(msg)
     }
@@ -78,10 +99,28 @@ mod tests {
             RcError::BadDescriptor,
             RcError::Destroyed,
             RcError::StillReferenced,
-            RcError::LimitExceeded,
+            RcError::LimitExceeded {
+                container: 3,
+                limit: 1000,
+                used: 900,
+            },
         ];
         for e in all {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn limit_exceeded_names_the_refusing_container() {
+        let e = RcError::LimitExceeded {
+            container: 7,
+            limit: 4096,
+            used: 4000,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains('7') && s.contains("4096") && s.contains("4000"),
+            "{s}"
+        );
     }
 }

@@ -63,4 +63,4 @@ pub use binding::SchedulerBinding;
 pub use descriptor::{ContainerFd, ContainerRef, DescriptorTable};
 pub use error::RcError;
 pub use table::{ContainerId, ContainerTable};
-pub use usage::ResourceUsage;
+pub use usage::{MemClass, ResourceUsage};

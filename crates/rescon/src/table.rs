@@ -6,7 +6,7 @@ use simcore::{Arena, Idx, Nanos};
 
 use crate::attrs::{Attributes, SchedPolicy};
 use crate::error::{RcError, Result};
-use crate::usage::ResourceUsage;
+use crate::usage::{MemClass, ResourceUsage};
 
 /// Tolerance used when validating that sibling fixed shares sum to at most 1.
 const SHARE_EPSILON: f64 = 1e-9;
@@ -619,21 +619,64 @@ impl ContainerTable {
         Ok(())
     }
 
-    /// Charges memory to a container, enforcing the memory limits of the
-    /// container and every ancestor against their subtree totals.
+    /// Charges untagged ([`MemClass::Other`]) memory to a container,
+    /// enforcing the memory limits of the container and every ancestor
+    /// against their subtree totals.
     pub fn charge_mem(&mut self, id: ContainerId, bytes: u64) -> Result<()> {
-        // Validate the whole chain before mutating anything.
+        self.charge_mem_class(id, MemClass::Other, bytes)
+    }
+
+    /// Dry-run of the limit validation [`ContainerTable::charge_mem_class`]
+    /// performs: would charging `bytes` to `id` fit under every limit on
+    /// the ancestor chain? Emits nothing and mutates nothing, so reclaim
+    /// drivers can poll it between steals.
+    ///
+    /// # Errors
+    ///
+    /// [`RcError::LimitExceeded`] naming the nearest refusing container,
+    /// its limit, and its current subtree usage.
+    pub fn check_mem(&self, id: ContainerId, bytes: u64) -> Result<()> {
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
             let node = self.get(cur)?;
             if let Some(limit) = node.attrs.mem_limit {
                 if node.subtree_mem + bytes > limit {
-                    return Err(RcError::LimitExceeded);
+                    return Err(RcError::LimitExceeded {
+                        container: cur.as_u64(),
+                        limit,
+                        used: node.subtree_mem,
+                    });
                 }
             }
             cursor = node.parent;
         }
-        self.get_mut(id)?.usage.charge_mem(bytes);
+        Ok(())
+    }
+
+    /// Charges `bytes` of `class` memory to a container, enforcing the
+    /// memory limits of the container and every ancestor against their
+    /// subtree totals. A refusal identifies the refusing ancestor in both
+    /// the error and a [`TraceEventKind::MemRefused`] trace event.
+    pub fn charge_mem_class(&mut self, id: ContainerId, class: MemClass, bytes: u64) -> Result<()> {
+        // Validate the whole chain before mutating anything.
+        if let Err(e) = self.check_mem(id, bytes) {
+            if let RcError::LimitExceeded {
+                container,
+                limit,
+                used,
+            } = e
+            {
+                trace::emit(|| TraceEventKind::MemRefused {
+                    container: id.as_u64(),
+                    refusing: container,
+                    limit,
+                    used,
+                    wanted: bytes,
+                });
+            }
+            return Err(e);
+        }
+        self.get_mut(id)?.usage.charge_mem_class(bytes, class);
         trace::emit(|| TraceEventKind::Charge {
             container: id.as_u64(),
             kind: ChargeKind::Mem,
@@ -648,10 +691,21 @@ impl ContainerTable {
         Ok(())
     }
 
-    /// Releases memory previously charged with
-    /// [`ContainerTable::charge_mem`].
+    /// Releases untagged ([`MemClass::Other`]) memory previously charged
+    /// with [`ContainerTable::charge_mem`].
     pub fn release_mem(&mut self, id: ContainerId, bytes: u64) -> Result<()> {
-        self.get_mut(id)?.usage.release_mem(bytes);
+        self.release_mem_class(id, MemClass::Other, bytes)
+    }
+
+    /// Releases `bytes` of `class` memory previously charged with
+    /// [`ContainerTable::charge_mem_class`].
+    pub fn release_mem_class(
+        &mut self,
+        id: ContainerId,
+        class: MemClass,
+        bytes: u64,
+    ) -> Result<()> {
+        self.get_mut(id)?.usage.release_mem_class(bytes, class);
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
             let node = &mut self.arena[cur];
@@ -659,6 +713,22 @@ impl ContainerTable {
             cursor = node.parent;
         }
         Ok(())
+    }
+
+    /// Returns `true` if `id` is `root` or a live descendant of `root`
+    /// (used by reclaim to restrict stealing to the violating subtree).
+    pub fn in_subtree(&self, id: ContainerId, root: ContainerId) -> bool {
+        if !self.arena.contains(id) {
+            return false;
+        }
+        let mut cursor = Some(id);
+        while let Some(cur) = cursor {
+            if cur == root {
+                return true;
+            }
+            cursor = self.arena.get(cur).and_then(|c| c.parent);
+        }
+        false
     }
 
     /// Returns the fraction of the whole machine guaranteed to this
@@ -1096,12 +1166,35 @@ mod tests {
         let c1 = t.create(Some(p), Attributes::time_shared(1)).unwrap();
         let c2 = t.create(Some(p), Attributes::time_shared(1)).unwrap();
         t.charge_mem(c1, 600).unwrap();
-        assert_eq!(t.charge_mem(c2, 500).unwrap_err(), RcError::LimitExceeded);
+        // The refusal names the refusing ancestor and its limit/usage.
+        assert_eq!(
+            t.charge_mem(c2, 500).unwrap_err(),
+            RcError::LimitExceeded {
+                container: p.as_u64(),
+                limit: 1000,
+                used: 600,
+            }
+        );
+        assert!(t.check_mem(c2, 500).is_err());
+        assert!(t.check_mem(c2, 400).is_ok());
         t.charge_mem(c2, 400).unwrap();
         t.release_mem(c1, 600).unwrap();
         t.charge_mem(c2, 600).unwrap();
         assert_eq!(t.subtree_mem(p).unwrap(), 1000);
         t.check_invariants();
+    }
+
+    #[test]
+    fn in_subtree_walks_ancestors() {
+        let mut t = table();
+        let p = t.create(None, Attributes::fixed_share(0.5)).unwrap();
+        let c = t.create(Some(p), Attributes::time_shared(1)).unwrap();
+        let other = t.create(None, Attributes::time_shared(1)).unwrap();
+        assert!(t.in_subtree(c, p));
+        assert!(t.in_subtree(p, p));
+        assert!(t.in_subtree(c, t.root()));
+        assert!(!t.in_subtree(other, p));
+        assert!(!t.in_subtree(p, c));
     }
 
     #[test]

@@ -4,6 +4,71 @@
 
 use simcore::Nanos;
 
+/// The kind of kernel memory a charge represents (the `simmem`
+/// taxonomy). Every byte of kernel memory charged to a container is
+/// tagged with one class, so pressure and reclaim can distinguish
+/// memory that can be stolen back (cache pages) from memory that is
+/// pinned until its owner releases it (socket buffers, protocol
+/// control blocks, thread stacks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemClass {
+    /// Socket receive/send buffers, charged per established connection.
+    SockBuf,
+    /// Per-connection protocol state (PCBs and friends).
+    ConnState,
+    /// Thread kernel stacks, charged on spawn and released on exit.
+    ThreadStack,
+    /// Buffer-cache pages; the only reclaimable class.
+    CachePage,
+    /// Anything else (application-reserved kernel memory, legacy
+    /// untagged charges).
+    Other,
+}
+
+impl MemClass {
+    /// Number of memory classes (size of the per-class breakdown array).
+    pub const COUNT: usize = 5;
+
+    /// Every class, in breakdown-array order.
+    pub const ALL: [MemClass; MemClass::COUNT] = [
+        MemClass::SockBuf,
+        MemClass::ConnState,
+        MemClass::ThreadStack,
+        MemClass::CachePage,
+        MemClass::Other,
+    ];
+
+    /// Index of this class in a per-class breakdown array.
+    pub fn index(self) -> usize {
+        match self {
+            MemClass::SockBuf => 0,
+            MemClass::ConnState => 1,
+            MemClass::ThreadStack => 2,
+            MemClass::CachePage => 3,
+            MemClass::Other => 4,
+        }
+    }
+
+    /// Stable lower-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemClass::SockBuf => "sockbuf",
+            MemClass::ConnState => "connstate",
+            MemClass::ThreadStack => "stack",
+            MemClass::CachePage => "cache",
+            MemClass::Other => "other",
+        }
+    }
+
+    /// Whether the kernel may steal this memory back under pressure
+    /// without the owner's cooperation. Only cache pages are; everything
+    /// else is pinned until explicitly released (or its principal is
+    /// OOM-killed).
+    pub fn reclaimable(self) -> bool {
+        matches!(self, MemClass::CachePage)
+    }
+}
+
 /// Accumulated resource consumption charged to one container.
 ///
 /// `cpu` is the headline metric — every scheduling decision in the paper's
@@ -32,6 +97,10 @@ pub struct ResourceUsage {
     pub mem_bytes: u64,
     /// High-water mark of `mem_bytes`.
     pub mem_peak: u64,
+    /// Per-[`MemClass`] breakdown of `mem_bytes`; indexed by
+    /// [`MemClass::index`] and summing to `mem_bytes` as long as charges
+    /// and releases use matching classes.
+    pub mem_by_class: [u64; MemClass::COUNT],
     /// Disk service time (seek + rotation + transfer) charged to this
     /// container. The paper projects containers extending to "other
     /// resources, such as disk bandwidth" (§7); this is that counter.
@@ -77,15 +146,30 @@ impl ResourceUsage {
         self.tx_time += dt;
     }
 
-    /// Charges `bytes` of memory; updates the peak.
+    /// Charges `bytes` of memory; updates the peak. Untagged charges
+    /// count as [`MemClass::Other`].
     pub fn charge_mem(&mut self, bytes: u64) {
+        self.charge_mem_class(bytes, MemClass::Other);
+    }
+
+    /// Charges `bytes` of `class` memory; updates the peak.
+    pub fn charge_mem_class(&mut self, bytes: u64, class: MemClass) {
         self.mem_bytes += bytes;
+        self.mem_by_class[class.index()] += bytes;
         self.mem_peak = self.mem_peak.max(self.mem_bytes);
     }
 
-    /// Releases `bytes` of memory, saturating at zero.
+    /// Releases `bytes` of memory, saturating at zero. Untagged releases
+    /// count against [`MemClass::Other`].
     pub fn release_mem(&mut self, bytes: u64) {
+        self.release_mem_class(bytes, MemClass::Other);
+    }
+
+    /// Releases `bytes` of `class` memory, saturating at zero.
+    pub fn release_mem_class(&mut self, bytes: u64, class: MemClass) {
         self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+        let slot = &mut self.mem_by_class[class.index()];
+        *slot = slot.saturating_sub(bytes);
     }
 
     /// Charges one completed disk request of `bytes` that occupied the
@@ -107,6 +191,9 @@ impl ResourceUsage {
         self.bytes_tx += other.bytes_tx;
         self.tx_time += other.tx_time;
         self.mem_bytes += other.mem_bytes;
+        for (mine, theirs) in self.mem_by_class.iter_mut().zip(other.mem_by_class.iter()) {
+            *mine += theirs;
+        }
         self.mem_peak = self.mem_peak.max(self.mem_bytes);
         self.disk_time += other.disk_time;
         self.disk_reads += other.disk_reads;
@@ -157,6 +244,40 @@ mod tests {
         assert_eq!(u.mem_peak, 150);
         u.release_mem(1000);
         assert_eq!(u.mem_bytes, 0);
+    }
+
+    #[test]
+    fn per_class_breakdown_sums_to_total() {
+        let mut u = ResourceUsage::new();
+        u.charge_mem_class(100, MemClass::SockBuf);
+        u.charge_mem_class(200, MemClass::CachePage);
+        u.charge_mem(50); // Other
+        assert_eq!(u.mem_bytes, 350);
+        assert_eq!(u.mem_by_class[MemClass::SockBuf.index()], 100);
+        assert_eq!(u.mem_by_class[MemClass::CachePage.index()], 200);
+        assert_eq!(u.mem_by_class[MemClass::Other.index()], 50);
+        assert_eq!(u.mem_by_class.iter().sum::<u64>(), u.mem_bytes);
+        u.release_mem_class(150, MemClass::CachePage);
+        assert_eq!(u.mem_by_class[MemClass::CachePage.index()], 50);
+        assert_eq!(u.mem_by_class.iter().sum::<u64>(), u.mem_bytes);
+    }
+
+    #[test]
+    fn mem_class_taxonomy_is_stable() {
+        assert_eq!(MemClass::ALL.len(), MemClass::COUNT);
+        for (i, c) in MemClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.label().is_empty());
+        }
+        assert!(MemClass::CachePage.reclaimable());
+        for c in [
+            MemClass::SockBuf,
+            MemClass::ConnState,
+            MemClass::ThreadStack,
+            MemClass::Other,
+        ] {
+            assert!(!c.reclaimable(), "{c:?} must be pinned");
+        }
     }
 
     #[test]

@@ -104,7 +104,7 @@ proptest! {
                     if let Some(id) = pick(&ids, sel) {
                         match t.charge_mem(id, bytes as u64) {
                             Ok(()) => t.release_mem(id, bytes as u64).unwrap(),
-                            Err(RcError::LimitExceeded) | Err(RcError::NotFound) => {}
+                            Err(RcError::LimitExceeded { .. }) | Err(RcError::NotFound) => {}
                             Err(e) => panic!("unexpected error {e}"),
                         }
                     }

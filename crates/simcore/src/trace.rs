@@ -252,6 +252,54 @@ pub enum TraceEventKind {
         /// Granted slice length.
         slice: Nanos,
     },
+    /// A subtree with a memory limit crossed its pressure threshold
+    /// (usage above the configured fraction of the limit) after a
+    /// successful charge.
+    MemPressure {
+        /// The limited container under pressure.
+        container: u64,
+        /// Its subtree memory usage in bytes.
+        used: u64,
+        /// Its configured memory limit in bytes.
+        limit: u64,
+    },
+    /// The reclaim driver stole a reclaimable (cache) page set to make
+    /// room under a violated memory limit.
+    Reclaim {
+        /// The limited container whose subtree was over budget.
+        container: u64,
+        /// The owner the bytes were stolen from (within that subtree).
+        victim: u64,
+        /// File identifier of the stolen cache entry.
+        file: u64,
+        /// Bytes reclaimed.
+        bytes: u64,
+    },
+    /// Reclaim could not satisfy a hard allocation; the OOM killer
+    /// targeted the offending principal (largest charge in the violating
+    /// subtree).
+    OomKill {
+        /// The limited container whose subtree was over budget.
+        container: u64,
+        /// The principal that was killed.
+        victim: u64,
+        /// The victim's charged bytes at kill time.
+        bytes: u64,
+    },
+    /// A memory charge was refused by a limit on the ancestor chain
+    /// (after any reclaim and OOM attempts).
+    MemRefused {
+        /// The container the charge was for.
+        container: u64,
+        /// The ancestor whose limit refused it.
+        refusing: u64,
+        /// The refusing ancestor's configured limit in bytes.
+        limit: u64,
+        /// The refusing ancestor's subtree usage in bytes.
+        used: u64,
+        /// Bytes the caller wanted to charge.
+        wanted: u64,
+    },
     /// Fault injection silently dropped an inbound packet before the
     /// stack saw it.
     FaultPacketDrop {

@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use rescon::{ContainerId, ContainerTable};
+use rescon::{ContainerId, ContainerTable, MemClass};
 use simcore::trace::{self, TraceEventKind};
 
 /// What happened to an insert attempt.
@@ -67,6 +67,10 @@ pub struct BufferCache {
     capacity: u64,
     used: u64,
     entries: HashMap<u64, Entry>,
+    /// Per-owner resident byte totals (keyed by `ContainerId::as_u64`),
+    /// maintained on insert/evict so `resident_bytes` is O(1) — it runs
+    /// once per container per metrics sample.
+    resident: HashMap<u64, u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -81,6 +85,7 @@ impl BufferCache {
             capacity,
             used: 0,
             entries: HashMap::new(),
+            resident: HashMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -143,7 +148,7 @@ impl BufferCache {
         // Per-container limit: evict only the owner's own files, and give
         // up (uncached read) when none are left to evict.
         loop {
-            match table.charge_mem(owner, bytes) {
+            match table.charge_mem_class(owner, MemClass::CachePage, bytes) {
                 Ok(()) => break,
                 Err(_) => {
                     let Some(victim) = self.lru_victim(Some(owner)) else {
@@ -165,6 +170,7 @@ impl BufferCache {
             },
         );
         self.used += bytes;
+        *self.resident.entry(owner.as_u64()).or_insert(0) += bytes;
         CacheOutcome::Cached
     }
 
@@ -196,6 +202,12 @@ impl BufferCache {
     fn evict_file(&mut self, file: u64, e: Entry, table: &mut ContainerTable) {
         self.entries.remove(&file);
         self.used -= e.bytes;
+        if let Some(r) = self.resident.get_mut(&e.owner.as_u64()) {
+            *r = r.saturating_sub(e.bytes);
+            if *r == 0 {
+                self.resident.remove(&e.owner.as_u64());
+            }
+        }
         self.evictions += 1;
         trace::emit(|| TraceEventKind::CacheEvict {
             file,
@@ -204,7 +216,28 @@ impl BufferCache {
         });
         // The owner may have been destroyed since insertion; its memory
         // accounting died with it.
-        let _ = table.release_mem(e.owner, e.bytes);
+        let _ = table.release_mem_class(e.owner, MemClass::CachePage, e.bytes);
+    }
+
+    /// Steals the least-recently-used resident file whose owner satisfies
+    /// `member` (typically "is in the violating subtree"), releasing its
+    /// memory charge. Returns `(file, bytes, owner_key)` of the stolen
+    /// entry, or `None` when nothing eligible remains. The caller (the
+    /// reclaim driver) is responsible for tracing the steal.
+    pub fn reclaim_one(
+        &mut self,
+        table: &mut ContainerTable,
+        member: impl Fn(ContainerId) -> bool,
+    ) -> Option<(u64, u64, u64)> {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| member(e.owner))
+            .min_by_key(|(&f, e)| (e.last_use, f))
+            .map(|(&f, _)| f)?;
+        let e = self.entries[&victim];
+        self.evict_file(victim, e, table);
+        Some((victim, e.bytes, e.owner.as_u64()))
     }
 
     /// Least-recently-used resident file, optionally restricted to one
@@ -242,13 +275,10 @@ impl BufferCache {
         (self.hits, self.misses, self.evictions, self.refusals)
     }
 
-    /// Bytes resident on behalf of `owner`.
+    /// Bytes resident on behalf of `owner` (O(1): maintained on
+    /// insert/evict rather than scanned).
     pub fn resident_bytes(&self, owner: ContainerId) -> u64 {
-        self.entries
-            .values()
-            .filter(|e| e.owner == owner)
-            .map(|e| e.bytes)
-            .sum()
+        self.resident.get(&owner.as_u64()).copied().unwrap_or(0)
     }
 }
 
@@ -351,5 +381,46 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.resident_bytes(b), 300);
         assert_eq!(table.usage(a).unwrap().mem_bytes, 0);
+    }
+
+    #[test]
+    fn resident_counter_tracks_insert_reinsert_and_evict() {
+        let mut table = ContainerTable::new();
+        let a = table.create(None, Attributes::time_shared(5)).unwrap();
+        let b = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut cache = BufferCache::new(1 << 20);
+        cache.insert(1, 100, a, &mut table);
+        cache.insert(2, 200, a, &mut table);
+        assert_eq!(cache.resident_bytes(a), 300);
+        // Re-insert with a new size and a new owner.
+        cache.insert(1, 150, b, &mut table);
+        assert_eq!(cache.resident_bytes(a), 200);
+        assert_eq!(cache.resident_bytes(b), 150);
+        cache.invalidate(2, &mut table);
+        assert_eq!(cache.resident_bytes(a), 0);
+        // Counter matches charged memory classes exactly.
+        assert_eq!(
+            table.usage(b).unwrap().mem_by_class[MemClass::CachePage.index()],
+            150
+        );
+    }
+
+    #[test]
+    fn reclaim_one_steals_lru_within_membership() {
+        let mut table = ContainerTable::new();
+        let a = table.create(None, Attributes::time_shared(5)).unwrap();
+        let b = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut cache = BufferCache::new(1 << 20);
+        cache.insert(1, 100, a, &mut table);
+        cache.insert(2, 200, b, &mut table);
+        cache.insert(3, 300, a, &mut table);
+        cache.lookup(1); // file 3 is now a's LRU
+        let stolen = cache.reclaim_one(&mut table, |o| o == a);
+        assert_eq!(stolen, Some((3, 300, a.as_u64())));
+        assert!(cache.lookup(2).is_some(), "non-member untouched");
+        assert_eq!(cache.resident_bytes(a), 100);
+        assert_eq!(table.usage(a).unwrap().mem_bytes, 100);
+        // Nothing eligible: predicate matches no owner.
+        assert_eq!(cache.reclaim_one(&mut table, |_| false), None);
     }
 }

@@ -73,6 +73,15 @@ pub enum AppEvent {
         /// The connection that was reset.
         conn: SockId,
     },
+    /// A container-targeted OOM kill hit a container this process owned
+    /// resources under: the kernel has released the container's socket
+    /// buffers (connections were reset), cache pages, and explicit
+    /// [`SysCtx::kmem_reserve`] reservations. The application must drop
+    /// its own state for the killed activity.
+    MemKill {
+        /// Raw key of the killed container.
+        container: u64,
+    },
     /// A child process exited.
     ChildExited {
         /// The exited child.

@@ -36,7 +36,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use rescon::{Attributes, ContainerId, ContainerTable};
+use rescon::{Attributes, ContainerId, ContainerTable, MemClass};
 use sched::{
     CpuId, DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, PerCpu, Scheduler,
     StrideScheduler, TaskId,
@@ -53,6 +53,7 @@ use simnet::{
 use crate::app::{AppEvent, AppHandler};
 use crate::cost::CostModel;
 use crate::ids::Pid;
+use crate::mem::{self, MemAccountant, MemFailure, MemParams};
 use crate::process::Process;
 use crate::stats::KernelStats;
 use crate::syscall::{ListenSpec, SysCtx};
@@ -146,6 +147,13 @@ pub struct KernelConfig {
     /// `cost.link_latency` with no queueing, no transmit charging, and no
     /// backpressure, leaving existing runs byte-identical.
     pub link: Option<LinkParams>,
+    /// Kernel memory subsystem (`simmem`). `None` (the default) keeps the
+    /// legacy ad-hoc socket-buffer charging with no stacks, no protocol
+    /// control blocks, no reclaim, and no OOM, leaving existing runs
+    /// byte-identical. `Some` routes every kernel allocation through a
+    /// [`MemAccountant`] with pressure, reclaim, and container-targeted
+    /// OOM (§4.4).
+    pub mem: Option<MemParams>,
 }
 
 impl KernelConfig {
@@ -174,6 +182,7 @@ impl KernelConfig {
             syn_budget: 0,
             accept_budget: 0,
             link: None,
+            mem: None,
         }
     }
 
@@ -243,6 +252,15 @@ impl KernelConfig {
     /// backpressure.
     pub fn with_link(mut self, bandwidth_bps: u64, qdisc: QdiscKind) -> Self {
         self.link = Some(LinkParams::new(bandwidth_bps, qdisc));
+        self
+    }
+
+    /// Enables the kernel memory subsystem (builder style): all kernel
+    /// memory — socket buffers, protocol state, thread stacks, cache
+    /// pages, reservations — is charged per class against container
+    /// `mem_limit`s, with reclaim and container-targeted OOM.
+    pub fn with_mem(mut self, params: MemParams) -> Self {
+        self.mem = Some(params);
         self
     }
 }
@@ -352,6 +370,17 @@ pub struct Kernel {
     sock_owner: HashMap<SockId, Pid>,
     /// Socket-buffer memory charged per connection (released on close).
     sockbuf_charges: HashMap<SockId, (ContainerId, u64)>,
+    /// Protocol-control-block memory charged per connection when the
+    /// memory subsystem is configured (class `ConnState`).
+    pcb_charges: HashMap<SockId, (ContainerId, u64)>,
+    /// Kernel-stack memory charged per thread when the memory subsystem
+    /// is configured (class `ThreadStack`), released at thread exit.
+    stack_charges: HashMap<TaskId, (ContainerId, u64)>,
+    /// Pinned memory reserved via `kmem_reserve` per process (class
+    /// `Other`), released explicitly, at exit, or by an OOM kill.
+    kmem_charges: BTreeMap<Pid, (ContainerId, u64)>,
+    /// The kernel memory accountant (present iff `cfg.mem` is set).
+    mem: Option<MemAccountant>,
     /// The disk device (public: harnesses read busy time and queue depth).
     pub disk: SimDisk,
     /// The accounted buffer cache (public: harnesses read hit/miss stats).
@@ -440,6 +469,10 @@ impl Kernel {
             kthreads: BTreeMap::new(),
             sock_owner: HashMap::new(),
             sockbuf_charges: HashMap::new(),
+            pcb_charges: HashMap::new(),
+            stack_charges: HashMap::new(),
+            kmem_charges: BTreeMap::new(),
+            mem: cfg.mem.map(MemAccountant::new),
             disk,
             disk_cache,
             disk_waiters: HashMap::new(),
@@ -583,6 +616,9 @@ impl Kernel {
             kernel_mode: false,
         });
         proc.threads.push(tid);
+        // The boot thread's kernel stack is charged best-effort: a process
+        // must be able to start even under memory pressure.
+        let _ = self.charge_thread_stack(tid, default_container);
         let cpu = self.alloc_app_cpu();
         self.scheduler
             .add_task(tid, thread.sched_binding.containers(), cpu, self.clock);
@@ -594,10 +630,15 @@ impl Kernel {
     }
 
     /// Spawns an additional thread in an existing process (multi-threaded
-    /// servers). The thread starts with a `Start` upcall.
+    /// servers). The thread starts with a `Start` upcall. Returns `None`
+    /// when the kernel-stack memory charge is refused (memory subsystem
+    /// configured and the subtree is hard over its limit).
     pub fn spawn_thread(&mut self, pid: Pid) -> Option<TaskId> {
         let default_container = self.processes.get(&pid)?.default_container;
         let tid = self.alloc_task();
+        if !self.charge_thread_stack(tid, default_container) {
+            return None;
+        }
         let mut thread = Thread::new(tid, pid, ThreadKind::App, default_container, self.clock);
         self.containers.bind_thread(default_container).ok()?;
         thread.push_work(WorkItem {
@@ -1148,9 +1189,20 @@ impl Kernel {
                 continue;
             };
             if c.ok && w.cache && self.containers.contains(c.charge_to) {
-                let _ = self
-                    .disk_cache
-                    .insert(c.file, c.bytes, c.charge_to, &mut self.containers);
+                if let Some(acct) = self.mem.as_mut() {
+                    let _ = mem::cache_insert_accounted(
+                        &mut self.disk_cache,
+                        &mut self.containers,
+                        acct,
+                        c.file,
+                        c.bytes,
+                        c.charge_to,
+                    );
+                } else {
+                    let _ =
+                        self.disk_cache
+                            .insert(c.file, c.bytes, c.charge_to, &mut self.containers);
+                }
             }
             // A failed request delivers `bytes: 0`: the application sees
             // a short read and must treat it as an I/O error. The copy
@@ -1444,6 +1496,9 @@ impl Kernel {
         };
         let container = p.default_container;
         let tid = self.alloc_task();
+        // Kernel network threads need a stack too; charged best-effort —
+        // the thread must exist for protocol processing to happen at all.
+        let _ = self.charge_thread_stack(tid, container);
         let mut th = Thread::new(tid, pid, ThreadKind::KernelNet, container, self.clock);
         th.state = ThreadState::Blocked(WaitFor::Idle);
         let _ = self.containers.bind_thread(container);
@@ -1650,27 +1705,37 @@ impl Kernel {
                             self.stack.set_container(conn, None);
                         }
                         let _ = self.containers.charge_rx(c, 0);
-                        // Socket-buffer memory accounting (§4.4): refuse
-                        // the connection if the container subtree is over
-                        // its memory limit.
-                        match self.containers.charge_mem(c, self.cfg.sockbuf_bytes) {
-                            Ok(()) => {
-                                self.sockbuf_charges
-                                    .insert(conn, (c, self.cfg.sockbuf_bytes));
-                            }
-                            Err(_) => {
-                                let _ = self.containers.unbind_socket(c);
-                                if let Some(rst) = self.stack.close(conn) {
-                                    let mut rst = rst;
-                                    rst.kind = simnet::PacketKind::Rst;
-                                    self.transmit_from(rst, c);
+                        // Socket-buffer and protocol-state memory (§4.4):
+                        // refuse the connection if the container subtree
+                        // is hard over its memory limit (after reclaim and
+                        // OOM when the memory subsystem is configured).
+                        let sockbuf = self.cfg.sockbuf_bytes;
+                        let mut ok = self.charge_kernel_mem(c, MemClass::SockBuf, sockbuf);
+                        if ok {
+                            self.sockbuf_charges.insert(conn, (c, sockbuf));
+                            let pcb = self.mem.as_ref().map_or(0, |m| m.params.pcb_bytes);
+                            if pcb > 0 {
+                                if self.charge_kernel_mem(c, MemClass::ConnState, pcb) {
+                                    self.pcb_charges.insert(conn, (c, pcb));
+                                } else {
+                                    ok = false;
                                 }
-                                self.sock_owner.remove(&conn);
-                                if let Some(p) = self.processes.get_mut(&owner) {
-                                    p.forget_socket(conn);
-                                }
-                                return;
                             }
+                        }
+                        if !ok {
+                            // Roll back whatever part was charged.
+                            self.release_sockbuf(conn);
+                            let _ = self.containers.unbind_socket(c);
+                            if let Some(rst) = self.stack.close(conn) {
+                                let mut rst = rst;
+                                rst.kind = simnet::PacketKind::Rst;
+                                self.transmit_from(rst, c);
+                            }
+                            self.sock_owner.remove(&conn);
+                            if let Some(p) = self.processes.get_mut(&owner) {
+                                p.forget_socket(conn);
+                            }
+                            return;
                         }
                     }
                 }
@@ -2122,6 +2187,7 @@ impl Kernel {
         th.state = ThreadState::Exited;
         self.scheduler.remove_task(task);
         self.resume_waits.remove(&task);
+        self.release_thread_stack(task);
         let _ = self.containers.unbind_thread(th.resource_binding);
         let pid = th.pid;
         let (last, parent) = match self.processes.get_mut(&pid) {
@@ -2197,17 +2263,262 @@ impl Kernel {
             if let Some(kth) = self.threads.remove(&ktid) {
                 let _ = self.containers.unbind_thread(kth.resource_binding);
             }
+            self.release_thread_stack(ktid);
             self.scheduler.remove_task(ktid);
+        }
+        // Return any outstanding `kmem_reserve` memory.
+        if let Some((c, bytes)) = self.kmem_charges.remove(&pid) {
+            self.release_kernel_mem(c, MemClass::Other, bytes);
         }
         self.pending.remove(&pid);
         self.handlers.remove(&pid);
     }
 
-    /// Releases the socket-buffer memory charged to a connection, if any.
+    /// Releases the socket-buffer and protocol-state memory charged to a
+    /// connection, if any.
     fn release_sockbuf(&mut self, sock: SockId) {
         if let Some((c, bytes)) = self.sockbuf_charges.remove(&sock) {
-            let _ = self.containers.release_mem(c, bytes);
+            let _ = self
+                .containers
+                .release_mem_class(c, MemClass::SockBuf, bytes);
+            if let Some(acct) = self.mem.as_mut() {
+                acct.note_release(MemClass::SockBuf, bytes);
+            }
         }
+        if let Some((c, bytes)) = self.pcb_charges.remove(&sock) {
+            self.release_kernel_mem(c, MemClass::ConnState, bytes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel memory (`simmem`): charge, reclaim, OOM
+    // ------------------------------------------------------------------
+
+    /// The kernel memory accountant, when the subsystem is configured.
+    pub fn mem_acct(&self) -> Option<&MemAccountant> {
+        self.mem.as_ref()
+    }
+
+    /// Charges `bytes` of class `class` kernel memory to container `c`.
+    ///
+    /// Without the memory subsystem this is the legacy hierarchy-limit
+    /// check (and in practice never refuses, because no `mem_limit`s are
+    /// set in those configurations). With it, the charge first squeezes
+    /// reclaimable cache pages out of the violating subtree; if that is
+    /// not enough, a container-targeted OOM kill frees the largest
+    /// over-limit principal and the charge is retried once. Returns
+    /// `false` when the charge is finally refused.
+    fn charge_kernel_mem(&mut self, c: ContainerId, class: MemClass, bytes: u64) -> bool {
+        if self.mem.is_none() {
+            return self.containers.charge_mem_class(c, class, bytes).is_ok();
+        }
+        let acct = self.mem.as_mut().expect("configured");
+        match mem::charge_with_reclaim(
+            &mut self.containers,
+            &mut self.disk_cache,
+            acct,
+            c,
+            class,
+            bytes,
+        ) {
+            Ok(()) => {
+                self.mem_pressure_check(c);
+                return true;
+            }
+            Err(fail) => {
+                self.oom_kill(&fail);
+            }
+        }
+        let acct = self.mem.as_mut().expect("configured");
+        match mem::charge_with_reclaim(
+            &mut self.containers,
+            &mut self.disk_cache,
+            acct,
+            c,
+            class,
+            bytes,
+        ) {
+            Ok(()) => {
+                self.mem_pressure_check(c);
+                true
+            }
+            Err(_) => {
+                self.mem.as_mut().expect("configured").refusals += 1;
+                false
+            }
+        }
+    }
+
+    /// Releases a charge made with [`Self::charge_kernel_mem`].
+    fn release_kernel_mem(&mut self, c: ContainerId, class: MemClass, bytes: u64) {
+        let _ = self.containers.release_mem_class(c, class, bytes);
+        if let Some(acct) = self.mem.as_mut() {
+            acct.note_release(class, bytes);
+        }
+    }
+
+    /// Charges the fixed kernel-stack size for a new thread (no-op when
+    /// the memory subsystem is off). Returns `false` on refusal; on
+    /// success the charge is remembered for release at thread exit.
+    fn charge_thread_stack(&mut self, tid: TaskId, c: ContainerId) -> bool {
+        let Some(bytes) = self.mem.as_ref().map(|m| m.params.stack_bytes) else {
+            return true;
+        };
+        if bytes == 0 {
+            return true;
+        }
+        if self.charge_kernel_mem(c, MemClass::ThreadStack, bytes) {
+            self.stack_charges.insert(tid, (c, bytes));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_thread_stack(&mut self, tid: TaskId) {
+        if let Some((c, bytes)) = self.stack_charges.remove(&tid) {
+            self.release_kernel_mem(c, MemClass::ThreadStack, bytes);
+        }
+    }
+
+    /// Backs [`SysCtx::kmem_reserve`]: pins `bytes` of kernel memory on
+    /// behalf of `pid`, charged to its default container. Returns `false`
+    /// when refused (only possible with the memory subsystem configured
+    /// and the subtree hard over its limit).
+    pub(crate) fn kmem_reserve(&mut self, pid: Pid, bytes: u64) -> bool {
+        let Some(c) = self.process_container(pid) else {
+            return false;
+        };
+        if bytes == 0 {
+            return true;
+        }
+        if !self.charge_kernel_mem(c, MemClass::Other, bytes) {
+            return false;
+        }
+        // The OOM triggered by this very charge may have wiped the pid's
+        // previous reservation; the entry re-created here holds only what
+        // is actually charged now.
+        let e = self.kmem_charges.entry(pid).or_insert((c, 0));
+        e.0 = c;
+        e.1 += bytes;
+        true
+    }
+
+    /// Backs [`SysCtx::kmem_release`]: returns up to `bytes` of a prior
+    /// reservation.
+    pub(crate) fn kmem_release(&mut self, pid: Pid, bytes: u64) {
+        let Some(&(c, held)) = self.kmem_charges.get(&pid) else {
+            return;
+        };
+        let rel = bytes.min(held);
+        if rel == 0 {
+            return;
+        }
+        if rel == held {
+            self.kmem_charges.remove(&pid);
+        } else if let Some(e) = self.kmem_charges.get_mut(&pid) {
+            e.1 -= rel;
+        }
+        self.release_kernel_mem(c, MemClass::Other, rel);
+    }
+
+    /// Container-targeted OOM (§4.4): the victim is the principal with
+    /// the largest own memory charge inside the violating subtree — not
+    /// an arbitrary process, and never a principal outside the subtree
+    /// that caused the shortage. Its cache pages, connections, and
+    /// reservations are released; every owning process gets one
+    /// `AppEvent::MemKill`.
+    fn oom_kill(&mut self, fail: &MemFailure) {
+        let Some((victim_key, victim_bytes)) =
+            mem::pick_oom_victim(&self.containers, fail.refusing)
+        else {
+            return;
+        };
+        let Some(victim_id) = self
+            .containers
+            .iter()
+            .find(|(id, _)| id.as_u64() == victim_key)
+            .map(|(id, _)| id)
+        else {
+            return;
+        };
+        if let Some(acct) = self.mem.as_mut() {
+            acct.oom_kills += 1;
+        }
+        trace::emit(|| TraceEventKind::OomKill {
+            container: fail.refusing,
+            victim: victim_key,
+            bytes: victim_bytes,
+        });
+        // 1. Drop the victim's cache pages (net delta keeps the
+        //    accountant's CachePage ledger exact).
+        let before = self.disk_cache.used();
+        self.disk_cache.evict_owner(victim_id, &mut self.containers);
+        let freed = before - self.disk_cache.used();
+        if let Some(acct) = self.mem.as_mut() {
+            acct.note_release(MemClass::CachePage, freed);
+        }
+        let mut pids: std::collections::BTreeSet<Pid> = std::collections::BTreeSet::new();
+        // 2. Reset every connection whose buffers are charged to the
+        //    victim (sorted for determinism: the charge map is a HashMap).
+        let mut conns: Vec<SockId> = self
+            .sockbuf_charges
+            .iter()
+            .filter(|(_, &(c, _))| c == victim_id)
+            .map(|(&s, _)| s)
+            .collect();
+        conns.sort();
+        for conn in conns {
+            self.release_sockbuf(conn);
+            let tx_owner = self.tx_principal(conn);
+            if let Some(cb) = self.stack.container_of(conn) {
+                let _ = self.containers.unbind_socket(cb);
+            }
+            if let Some(rst) = self.stack.close(conn) {
+                let mut rst = rst;
+                rst.kind = simnet::PacketKind::Rst;
+                self.transmit_from(rst, tx_owner);
+            }
+            if let Some(owner) = self.sock_owner.remove(&conn) {
+                if let Some(p) = self.processes.get_mut(&owner) {
+                    p.forget_socket(conn);
+                }
+                pids.insert(owner);
+            }
+        }
+        // 3. Return the victim's pinned reservations.
+        let kpids: Vec<Pid> = self
+            .kmem_charges
+            .iter()
+            .filter(|(_, &(c, _))| c == victim_id)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in kpids {
+            if let Some((c, bytes)) = self.kmem_charges.remove(&p) {
+                self.release_kernel_mem(c, MemClass::Other, bytes);
+                pids.insert(p);
+            }
+        }
+        // 4. Notify the owners, in pid order.
+        for pid in pids {
+            if self.processes.contains_key(&pid) {
+                self.deliver_oob_upcall(
+                    pid,
+                    AppEvent::MemKill {
+                        container: victim_key,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Emits `MemPressure` for limited ancestors sitting above the
+    /// configured fraction of their `mem_limit` after a successful charge.
+    fn mem_pressure_check(&mut self, c: ContainerId) {
+        let Some(acct) = self.mem.as_mut() else {
+            return;
+        };
+        mem::pressure_check(&self.containers, acct, c);
     }
 
     fn transmit(&mut self, pkt: Packet) {
@@ -2703,6 +3014,14 @@ impl Kernel {
             root_subtree_tx: self.containers.subtree_tx(root).unwrap_or(Nanos::ZERO),
             floating_tx,
             reaped_tx: self.containers.reaped_tx(),
+            mem_configured: self.mem.is_some(),
+            mem_total: self.mem.as_ref().map_or(0, |m| m.total()),
+            mem_by_class: self.mem.as_ref().map_or([0; 5], |m| m.by_class()),
+            mem_reclaims: self.mem.as_ref().map_or(0, |m| m.reclaims),
+            mem_reclaimed_bytes: self.mem.as_ref().map_or(0, |m| m.reclaimed_bytes),
+            mem_oom_kills: self.mem.as_ref().map_or(0, |m| m.oom_kills),
+            mem_refusals: self.mem.as_ref().map_or(0, |m| m.refusals),
+            mem_pressure_events: self.mem.as_ref().map_or(0, |m| m.pressure_events),
         }
     }
 }

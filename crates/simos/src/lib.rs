@@ -36,6 +36,7 @@ pub mod app;
 pub mod cost;
 pub mod ids;
 pub mod kernel;
+pub mod mem;
 pub mod process;
 pub mod stats;
 pub mod syscall;
@@ -46,6 +47,7 @@ pub use app::{AppEvent, AppHandler};
 pub use cost::CostModel;
 pub use ids::Pid;
 pub use kernel::{DiskSchedKind, Kernel, KernelConfig, SchedPolicyKind};
+pub use mem::{MemAccountant, MemParams};
 pub use simnet::{LinkParams, QdiscKind};
 pub use stats::{CpuStats, KernelStats};
 pub use syscall::{ListenSpec, SysCtx, SysError};

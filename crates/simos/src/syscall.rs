@@ -29,6 +29,12 @@ use crate::thread::{Op, ThreadKind, WaitFor, WorkItem};
 pub enum SysError {
     /// Unknown, closed, or wrong-kind socket.
     BadSocket,
+    /// A kernel memory reservation could not be satisfied: the requesting
+    /// container's subtree is over its `mem_limit` (or the global budget
+    /// is exhausted) and reclaim plus container-targeted OOM freed too
+    /// little (§4.4). Only returned when the kernel was built with
+    /// [`crate::MemParams`].
+    NoMem,
 }
 
 /// Builder-style specification of a listening socket, passed to
@@ -514,6 +520,34 @@ impl<'a> SysCtx<'a> {
         self.trace_sys("exit");
         let cost = self.k.cost_model().exit;
         self.push(cost, Op::Exit);
+    }
+
+    /// Reserves `bytes` of pinned kernel memory on behalf of the calling
+    /// process (modelling pageable structures an application asks the
+    /// kernel to hold: e.g. large routing or translation tables). The
+    /// charge lands on the process's default container under
+    /// `MemClass::Other` and stays until [`SysCtx::kmem_release`], process
+    /// exit, or a container-targeted OOM kill. When the kernel memory
+    /// subsystem is configured and the charge cannot be satisfied even
+    /// after reclaim and OOM, returns [`SysError::NoMem`].
+    pub fn kmem_reserve(&mut self, bytes: u64) -> Result<(), SysError> {
+        self.trace_sys("kmem_reserve");
+        let cost = self.k.cost_model().rc_usage;
+        self.charge(cost);
+        if self.k.kmem_reserve(self.pid, bytes) {
+            Ok(())
+        } else {
+            Err(SysError::NoMem)
+        }
+    }
+
+    /// Returns up to `bytes` of a previous [`SysCtx::kmem_reserve`] to the
+    /// kernel (silently capped at the amount actually held).
+    pub fn kmem_release(&mut self, bytes: u64) {
+        self.trace_sys("kmem_release");
+        let cost = self.k.cost_model().rc_usage;
+        self.charge(cost);
+        self.k.kmem_release(self.pid, bytes);
     }
 
     // ------------------------------------------------------------------

@@ -11,6 +11,7 @@ pub mod disk_tenants;
 pub mod fig11;
 pub mod fig12;
 pub mod fig14;
+pub mod memhog_tenants;
 pub mod qos_tenants;
 pub mod smp_tenants;
 pub mod synflood_fault;
@@ -21,6 +22,10 @@ pub use disk_tenants::{run_disk_tenants, DiskTenantsParams, DiskTenantsResult};
 pub use fig11::{run_fig11, Fig11Params, Fig11Result, Fig11System};
 pub use fig12::{run_fig12, Fig12Params, Fig12Result, Fig12System};
 pub use fig14::{run_fig14, Fig14Params, Fig14Result};
+pub use memhog_tenants::{
+    run_memhog_tenants, HogSnapshot, MemCounters, MemhogTenantsParams, MemhogTenantsResult,
+    TenantSnapshot,
+};
 pub use qos_tenants::{run_qos_tenants, QosTenantsParams, QosTenantsResult};
 pub use smp_tenants::{run_smp_tenants, SmpTenantsParams, SmpTenantsResult};
 pub use synflood_fault::{run_synflood_fault, SynfloodFaultParams, SynfloodFaultResult};

@@ -177,6 +177,50 @@ fn linked_run_exports_link_track_and_conserves_tx() {
     assert!(metrics.contains("\"link\""), "metrics link section missing");
 }
 
+/// The same mini workload on a memory-configured kernel: the metrics
+/// dump grows a mem section, per-class memory counters ride in the
+/// Chrome export, and the accountant's ledger is conserved exactly
+/// against the metrics globals — while the memoryless golden below
+/// stays byte-identical.
+#[test]
+fn mem_run_exports_mem_section_and_conserves_ledger() {
+    let (k, served) = mini_run_on(
+        KernelConfig::resource_containers().with_mem(simos::MemParams::new()),
+        true,
+    );
+    let session = rctrace::finish().expect("active session");
+    assert!(served > 0);
+
+    let g = &session.metrics.globals;
+    assert!(g.mem_configured);
+    let acct = k.mem_acct().expect("memory-configured kernel");
+    assert_eq!(g.mem_total, acct.total());
+    assert_eq!(g.mem_by_class, acct.by_class());
+    assert_eq!(
+        g.mem_total,
+        g.mem_by_class.iter().sum::<u64>(),
+        "mem conservation violated"
+    );
+    // The still-running server holds charged thread stacks at minimum.
+    assert!(
+        g.mem_total > 0,
+        "nothing charged in a memory-configured run"
+    );
+
+    let chrome = chrome_trace_json(&session);
+    assert!(chrome.contains("mem_bytes"), "mem counter track missing");
+    assert!(
+        chrome.contains("mem_stack_bytes"),
+        "per-class mem counter missing"
+    );
+    let metrics = metrics_json(&session);
+    assert!(metrics.contains("\"mem\""), "metrics mem section missing");
+    assert!(
+        metrics.contains("\"sockbuf\""),
+        "per-class breakdown missing"
+    );
+}
+
 /// Golden-file check on the metrics dump. Regenerate with
 /// `BLESS=1 cargo test -p resource-containers --test trace_export`.
 #[test]

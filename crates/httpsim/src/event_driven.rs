@@ -149,6 +149,12 @@ pub struct ServerConfig {
     /// Persistent FastCGI workers (paper §2); 0 = classic fork-per-request
     /// CGI.
     pub fastcgi_workers: u32,
+    /// Kernel memory reserved per in-flight request (modelling request
+    /// parse buffers and response headers), released when the response is
+    /// prepared or the connection torn down. Zero (the default) skips the
+    /// reservation entirely; on memory-limited kernels a non-zero value
+    /// drives the simmem charge/reclaim path once per request.
+    pub request_kmem: u64,
 }
 
 impl Default for ServerConfig {
@@ -171,6 +177,7 @@ impl Default for ServerConfig {
             cgi_container_parent: None,
             preferred: None,
             fastcgi_workers: 0,
+            request_kmem: 0,
         }
     }
 }
@@ -185,6 +192,9 @@ struct Conn {
     /// Virtual time the in-flight request was read off the socket; feeds
     /// the per-container latency histogram when the response goes out.
     req_start: Nanos,
+    /// Kernel memory currently reserved for the in-flight request
+    /// (non-zero only with [`ServerConfig::request_kmem`]).
+    kmem: u64,
 }
 
 /// The event-driven server application.
@@ -388,6 +398,7 @@ impl EventDrivenServer {
                     container,
                     pending_req: None,
                     req_start: Nanos::ZERO,
+                    kmem: 0,
                 },
             );
         }
@@ -416,11 +427,20 @@ impl EventDrivenServer {
         };
         state.pending_req = Some((kind, doc));
         state.req_start = sys.now();
+        // Attach the connection's request span (rcspan) to the serving
+        // thread so the parse/compute work items are attributed to it.
+        sys.span_attach(conn);
         // Charge user work to the connection's activity: set the thread's
         // resource binding (§4.8) and tag the work item explicitly.
         let charge = state.container.map(|(_, id)| id);
         if let Some(id) = charge {
             let _ = sys.bind_thread(id);
+        }
+        // Per-request kernel buffers: charged to the request's principal,
+        // so a memory-limited tenant pays its own reclaim stalls here.
+        let want_kmem = self.cfg.request_kmem;
+        if want_kmem > 0 && sys.kmem_reserve(want_kmem).is_ok() {
+            state.kmem += want_kmem;
         }
         let mut cost = self.cfg.parse_cost;
         if let Some(cache) = self.cache.as_mut() {
@@ -460,6 +480,10 @@ impl EventDrivenServer {
         let Some((kind, _doc)) = state.pending_req.take() else {
             return;
         };
+        if state.kmem > 0 {
+            sys.kmem_release(state.kmem);
+            state.kmem = 0;
+        }
         let class = state.class;
         let started = state.req_start;
         let conn_container = state.container.map(|(_, id)| id);
@@ -480,7 +504,12 @@ impl EventDrivenServer {
                         })
                         .map(|c| c.as_u64())
                         .unwrap_or(NO_CONTAINER);
-                    rctrace::record_latency(principal, now - started);
+                    rctrace::record_latency(principal, now - started, now, sys.span_of(conn));
+                }
+                if sent >= want {
+                    // Response fully queued: the request's span finishes
+                    // when its last byte leaves the wire.
+                    sys.span_finish_on_tx(conn);
                 }
                 if sent < want {
                     // Send backpressure (§4.4's sockbuf limit made real):
@@ -508,6 +537,10 @@ impl EventDrivenServer {
             return;
         };
         let container = state.container;
+        if state.kmem > 0 {
+            sys.kmem_release(state.kmem);
+            state.kmem = 0;
+        }
         self.stats.borrow_mut().cgi_dispatched += 1;
         // §5.6: each CGI request's container becomes a child of the
         // CGI-parent container, putting it inside the resource sandbox.
@@ -581,6 +614,9 @@ impl EventDrivenServer {
         }
         let sent = sys.send(conn, remaining).unwrap_or(remaining);
         if sent >= remaining {
+            // The backpressured tail is fully queued: arm the span's
+            // finish-on-last-wire-byte.
+            sys.span_finish_on_tx(conn);
             self.tx_pending.remove(&conn);
             if self.cfg.api == EventApi::Scalable {
                 sys.event_deregister_writable(conn);
@@ -611,6 +647,9 @@ impl EventDrivenServer {
         if let Some(st) = self.conns.remove(&conn) {
             self.by_tag.remove(&conn.as_u64());
             self.by_tag.remove(&(DISK_TAG | conn.as_u64()));
+            if st.kmem > 0 {
+                sys.kmem_release(st.kmem);
+            }
             if close {
                 let _ = sys.close(conn);
                 self.stats.borrow_mut().closed += 1;
@@ -713,6 +752,7 @@ impl AppHandler for EventDrivenServer {
                             let _ = sys.bind_thread(id);
                         }
                     }
+                    sys.span_attach(conn);
                     if bytes == 0 {
                         // Short read: the disk failed the request. The
                         // connection already paid for the parse and the

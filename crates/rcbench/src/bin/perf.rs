@@ -1,0 +1,158 @@
+//! Simulator self-benchmark: how fast does the simulator itself run?
+//!
+//! Executes a named scenario untraced, times it on the wall clock, and
+//! reports kernel events per wall-second, the virtual-time/wall-time
+//! ratio, and peak RSS. The result is written as `BENCH_<scenario>.json`
+//! in the working directory; the checked-in copy at the repo root is the
+//! baseline future PRs compare against.
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin perf
+//! cargo run --release -p rcbench --bin perf -- baseline --floor 50000
+//! cargo run --release -p rcbench --bin perf -- span_tenants --reduced
+//! ```
+//!
+//! `--floor N` exits nonzero below N events per wall-second — the CI
+//! regression tripwire. `--reduced` shrinks the run for smoke tests.
+//! Wall-clock numbers are inherently noisy; the floor should sit well
+//! below (~5-10x) the typical release-build rate.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rcbench::json;
+use workload::scenarios::{run_baseline, run_span_tenants, BaselineParams, SpanTenantsParams};
+
+#[derive(serde::Serialize)]
+struct BenchResult {
+    scenario: String,
+    sim_events: u64,
+    sim_secs: f64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    sim_wall_ratio: f64,
+    peak_rss_kib: u64,
+    requests_completed: u64,
+}
+
+/// Peak resident set size in KiB, from `VmHWM` in `/proc/self/status`
+/// (0 where procfs is unavailable).
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<(), String> {
+    let start = Instant::now();
+    let (sim_events, sim_secs, completed) = match scenario {
+        "baseline" => {
+            let secs = if reduced { 3 } else { 10 };
+            let r = run_baseline(BaselineParams {
+                clients: if reduced { 12 } else { 24 },
+                secs,
+                ..BaselineParams::default()
+            });
+            (r.sim_events, secs as f64, r.completed)
+        }
+        "span_tenants" => {
+            let secs = if reduced { 4 } else { 8 };
+            let r = run_span_tenants(SpanTenantsParams {
+                clients: if reduced { (4, 8) } else { (6, 12) },
+                secs,
+                ..SpanTenantsParams::default()
+            });
+            let completed = (r.throughputs.iter().sum::<f64>() * sim_window(secs)) as u64;
+            (r.sim_events, secs as f64, completed)
+        }
+        other => {
+            return Err(format!(
+                "unknown scenario '{other}' (expected baseline | span_tenants)"
+            ));
+        }
+    };
+    let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let result = BenchResult {
+        scenario: scenario.to_string(),
+        sim_events,
+        sim_secs,
+        wall_secs,
+        events_per_sec: sim_events as f64 / wall_secs,
+        sim_wall_ratio: sim_secs / wall_secs,
+        peak_rss_kib: peak_rss_kib(),
+        requests_completed: completed,
+    };
+    println!(
+        "perf {scenario}: {} events in {:.2} s wall -> {:.0} events/s, \
+         {:.1}x realtime, peak RSS {} KiB",
+        result.sim_events,
+        result.wall_secs,
+        result.events_per_sec,
+        result.sim_wall_ratio,
+        result.peak_rss_kib,
+    );
+
+    let out = json::to_string(&result).map_err(|e| e.to_string())?;
+    json::parse(&out).map_err(|e| format!("bench result not valid JSON: {e}"))?;
+    let path = format!("BENCH_{scenario}.json");
+    std::fs::write(&path, format!("{out}\n")).map_err(|e| e.to_string())?;
+    println!("{path} written");
+
+    if let Some(floor) = floor {
+        if result.events_per_sec < floor {
+            return Err(format!(
+                "perf floor failed: {:.0} events/s < {floor:.0}",
+                result.events_per_sec
+            ));
+        }
+        println!(
+            "floor ok: {:.0} >= {floor:.0} events/s",
+            result.events_per_sec
+        );
+    }
+    Ok(())
+}
+
+/// Measurement-window length the scenarios use (run minus warmup), for
+/// converting windowed throughput back to a request count.
+fn sim_window(secs: u64) -> f64 {
+    (secs as f64 - 2.0).max(secs as f64 * 0.75)
+}
+
+fn main() -> ExitCode {
+    let mut scenario = None;
+    let mut reduced = false;
+    let mut floor = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reduced" => reduced = true,
+            "--floor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(f) => floor = Some(f),
+                None => {
+                    eprintln!("--floor requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if scenario.is_none() => scenario = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let scenario = scenario.unwrap_or_else(|| "baseline".to_string());
+    match run(&scenario, reduced, floor) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perf run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

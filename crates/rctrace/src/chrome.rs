@@ -71,7 +71,8 @@ fn event_container(kind: &TraceEventKind) -> Option<u64> {
         | TraceEventKind::LinkStart { container, .. }
         | TraceEventKind::LinkDrop { container, .. }
         | TraceEventKind::MemPressure { container, .. }
-        | TraceEventKind::MemRefused { container, .. } => Some(container),
+        | TraceEventKind::MemRefused { container, .. }
+        | TraceEventKind::SloViolation { container, .. } => Some(container),
         // Reclaim and OOM attribute to the container that lost memory.
         TraceEventKind::Reclaim { victim, .. } | TraceEventKind::OomKill { victim, .. } => {
             Some(victim)
@@ -454,6 +455,23 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                     &format!("mem refused {wanted}B ({by})"),
                 ));
             }
+            TraceEventKind::SloViolation {
+                container,
+                request,
+                latency,
+                threshold,
+            } => {
+                evs.push(instant(
+                    pid_for(container),
+                    at,
+                    "slo",
+                    &format!(
+                        "SLO violation req {request}: {}us > {}us",
+                        latency.as_micros(),
+                        threshold.as_micros()
+                    ),
+                ));
+            }
             _ => {}
         }
     }
@@ -500,6 +518,66 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             evs.push(counter(pid, ts, "runnable", &p.runnable.to_string()));
             evs.push(counter(pid, ts, "syn_queue", &p.syn_queue.to_string()));
             evs.push(counter(pid, ts, "cache_bytes", &p.cache_bytes.to_string()));
+        }
+    }
+
+    // Per-request async tracks (rcspan): one nestable-async span per
+    // ledger on its container's process, with one nested slice per phase
+    // segment. Disk-service and wire segments additionally carry flow
+    // arrows onto the device tracks, so a request's journey through the
+    // disk and the link can be followed visually in Perfetto.
+    if let Some(spans) = &session.spans {
+        for l in &spans.ledgers {
+            let pid = pid_for(l.container);
+            let rid = l.request;
+            let name = quote(&format!("req {rid}"));
+            evs.push(format!(
+                "{{\"ph\":\"b\",\"id\":{rid},\"name\":{name},\"cat\":\"request\",\
+                 \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                micros(l.start.as_nanos()),
+            ));
+            for (i, &(seg_start, phase)) in l.log.iter().enumerate() {
+                let seg_end = l.log.get(i + 1).map(|s| s.0).unwrap_or(l.end);
+                if seg_end <= seg_start {
+                    continue;
+                }
+                let pname = quote(phase.label());
+                evs.push(format!(
+                    "{{\"ph\":\"b\",\"id\":{rid},\"name\":{pname},\"cat\":\"request\",\
+                     \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                    micros(seg_start.as_nanos()),
+                ));
+                evs.push(format!(
+                    "{{\"ph\":\"e\",\"id\":{rid},\"name\":{pname},\"cat\":\"request\",\
+                     \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                    micros(seg_end.as_nanos()),
+                ));
+                let device_pid = match phase {
+                    simcore::span::Phase::DiskService => Some(DISK_PID),
+                    simcore::span::Phase::Wire if link_present => Some(LINK_PID),
+                    _ => None,
+                };
+                if let Some(dev) = device_pid {
+                    flow_id += 1;
+                    let fname = quote(&format!("req {rid} {}", phase.label()));
+                    evs.push(format!(
+                        "{{\"ph\":\"s\",\"id\":{flow_id},\"name\":{fname},\"cat\":\"request\",\
+                         \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
+                        micros(seg_start.as_nanos()),
+                    ));
+                    evs.push(format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"name\":{fname},\
+                         \"cat\":\"request\",\"pid\":{dev},\"tid\":0,\"ts\":{}}}",
+                        micros(seg_start.as_nanos()),
+                    ));
+                }
+            }
+            evs.push(format!(
+                "{{\"ph\":\"e\",\"id\":{rid},\"name\":{name},\"cat\":\"request\",\
+                 \"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{{\"outcome\":{}}}}}",
+                micros(l.end.as_nanos()),
+                quote(l.outcome.label()),
+            ));
         }
     }
 
@@ -599,7 +677,11 @@ mod tests {
             },
             &[row],
         );
-        TraceSession { trace, metrics }
+        TraceSession {
+            trace,
+            metrics,
+            spans: None,
+        }
     }
 
     #[test]
@@ -621,6 +703,60 @@ mod tests {
         let b = chrome_trace_json(&session());
         assert_eq!(a, b);
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn request_spans_export_async_slices_and_flow_arrows() {
+        use simcore::span::{Outcome, Phase, SpanBuffer, SpanLedger, NUM_PHASES};
+        let mut s = session();
+        let mut phases = [Nanos::ZERO; NUM_PHASES];
+        phases[Phase::CpuRun.index()] = Nanos::from_micros(4);
+        phases[Phase::DiskService.index()] = Nanos::from_micros(6);
+        s.spans = Some(SpanBuffer {
+            ledgers: vec![SpanLedger {
+                request: 1,
+                container: 7,
+                start: Nanos::from_micros(10),
+                end: Nanos::from_micros(20),
+                phases,
+                log: vec![
+                    (Nanos::from_micros(10), Phase::CpuRun),
+                    (Nanos::from_micros(14), Phase::DiskService),
+                ],
+                outcome: Outcome::Completed,
+            }],
+            minted: 1,
+            finished: 1,
+            dropped: 0,
+        });
+        let json = chrome_trace_json(&s);
+        assert!(json.contains("\"ph\":\"b\",\"id\":1,\"name\":\"req 1\""));
+        assert!(json.contains("\"name\":\"cpu-run\""));
+        assert!(json.contains("\"name\":\"disk-service\""));
+        assert!(json.contains("\"outcome\":\"completed\""));
+        // The disk-service segment carries a flow arrow onto the disk
+        // track.
+        assert!(json.contains("\"name\":\"req 1 disk-service\""));
+        assert!(json.contains(&format!("\"pid\":{DISK_PID},\"tid\":0")));
+        let again = chrome_trace_json(&s);
+        assert_eq!(json, again);
+    }
+
+    #[test]
+    fn slo_violations_export_instants() {
+        let mut s = session();
+        s.trace.events.push(TraceEvent {
+            at: Nanos::from_micros(30),
+            kind: TraceEventKind::SloViolation {
+                container: 7,
+                request: 5,
+                latency: Nanos::from_micros(900),
+                threshold: Nanos::from_micros(500),
+            },
+        });
+        s.trace.emitted += 1;
+        let json = chrome_trace_json(&s);
+        assert!(json.contains("SLO violation req 5: 900us > 500us"));
     }
 
     #[test]

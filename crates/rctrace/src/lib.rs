@@ -28,7 +28,7 @@
 //! rctrace::start(rctrace::TraceConfig::default());
 //! // ... run a kernel: subsystems emit trace events, the kernel records
 //! // metric samples, httpsim records latencies ...
-//! rctrace::record_latency(0, Nanos::from_micros(750));
+//! rctrace::record_latency(0, Nanos::from_micros(750), Nanos::from_micros(750), 0);
 //! let session = rctrace::finish().expect("session was started");
 //! let chrome = rctrace::chrome_trace_json(&session);
 //! let metrics = rctrace::metrics_json(&session);
@@ -43,11 +43,12 @@ pub mod metrics;
 pub use chrome::chrome_trace_json;
 pub use metrics::{
     metrics_json, ContainerSample, ContainerSeries, ContainerTotals, CpuTotals, GlobalTotals,
-    Metrics, SamplePoint,
+    Metrics, SamplePoint, SloSpec, SloState,
 };
 
 use std::cell::{Cell, RefCell};
 
+use simcore::span::SpanBuffer;
 use simcore::trace::TraceBuffer;
 use simcore::Nanos;
 
@@ -59,6 +60,11 @@ pub struct TraceConfig {
     pub ring_capacity: usize,
     /// Virtual-time interval between metric samples.
     pub sample_interval: Nanos,
+    /// Record per-request causal spans (`rcspan`): phase ledgers for every
+    /// request, aggregated into the metrics dump's blame breakdown and the
+    /// Chrome trace's async request tracks. Off by default; purely
+    /// observational either way (span-off runs are byte-identical).
+    pub spans: bool,
 }
 
 impl Default for TraceConfig {
@@ -66,6 +72,7 @@ impl Default for TraceConfig {
         TraceConfig {
             ring_capacity: 1 << 20,
             sample_interval: Nanos::from_millis(10),
+            spans: false,
         }
     }
 }
@@ -78,10 +85,14 @@ pub struct TraceSession {
     pub trace: TraceBuffer,
     /// Sampled timelines, latency histograms, and final aggregates.
     pub metrics: Metrics,
+    /// Per-request phase ledgers (`None` unless the session was started
+    /// with [`TraceConfig::spans`]).
+    pub spans: Option<SpanBuffer>,
 }
 
 thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static SPANS: Cell<bool> = const { Cell::new(false) };
     static METRICS: RefCell<Option<Metrics>> = const { RefCell::new(None) };
 }
 
@@ -89,6 +100,10 @@ thread_local! {
 /// registry. Restarting an active session discards its data.
 pub fn start(cfg: TraceConfig) {
     simcore::trace::start(cfg.ring_capacity);
+    if cfg.spans {
+        simcore::span::start(cfg.ring_capacity);
+    }
+    SPANS.with(|s| s.set(cfg.spans));
     METRICS.with(|m| *m.borrow_mut() = Some(Metrics::new(cfg.sample_interval)));
     ACTIVE.with(|a| a.set(true));
 }
@@ -106,8 +121,17 @@ pub fn finish() -> Option<TraceSession> {
     }
     ACTIVE.with(|a| a.set(false));
     let trace = simcore::trace::stop();
+    let spans = if SPANS.with(|s| s.replace(false)) {
+        Some(simcore::span::stop())
+    } else {
+        None
+    };
     let metrics = METRICS.with(|m| m.borrow_mut().take())?;
-    Some(TraceSession { trace, metrics })
+    Some(TraceSession {
+        trace,
+        metrics,
+        spans,
+    })
 }
 
 /// Returns `true` if a metric sample is due at virtual time `now`.
@@ -132,15 +156,32 @@ pub fn record_sample(at: Nanos, rows: &[ContainerSample]) {
     });
 }
 
-/// Records one completed-request latency against `container`. No-op
-/// without a session.
-pub fn record_latency(container: u64, latency: Nanos) {
+/// Registers per-tenant latency objectives; each completed request is
+/// checked against them online (see [`SloSpec`]). Replaces any previous
+/// registration. No-op without a session.
+pub fn register_slos(specs: Vec<SloSpec>) {
     if !active() {
         return;
     }
     METRICS.with(|m| {
         if let Some(m) = m.borrow_mut().as_mut() {
-            m.record_latency(container, latency);
+            m.register_slos(specs);
+        }
+    });
+}
+
+/// Records one completed-request latency against `container`, feeding the
+/// per-container histogram and the online SLO monitors. `at` is the
+/// completion instant (used to timestamp violation trace events) and
+/// `request` the rcspan request id (`0` when spans are off). No-op
+/// without a session.
+pub fn record_latency(container: u64, latency: Nanos, at: Nanos, request: u64) {
+    if !active() {
+        return;
+    }
+    METRICS.with(|m| {
+        if let Some(m) = m.borrow_mut().as_mut() {
+            m.record_latency(container, latency, at, request);
         }
     });
 }
@@ -179,7 +220,7 @@ mod tests {
     fn inactive_session_is_inert() {
         assert!(!active());
         assert!(!sample_due(Nanos::from_secs(100)));
-        record_latency(1, Nanos::from_micros(5));
+        record_latency(1, Nanos::from_micros(5), Nanos::from_micros(5), 0);
         record_sample(Nanos::ZERO, &[]);
         record_totals(GlobalTotals::default(), &[]);
         assert!(finish().is_none());
@@ -190,6 +231,7 @@ mod tests {
         start(TraceConfig {
             ring_capacity: 16,
             sample_interval: Nanos::from_millis(1),
+            spans: false,
         });
         assert!(active());
         assert!(sample_due(Nanos::ZERO), "baseline sample due at start");
@@ -202,11 +244,45 @@ mod tests {
         record_sample(Nanos::from_millis(1), &[]);
         assert!(!sample_due(Nanos::from_millis(1)));
         assert!(sample_due(Nanos::from_millis(2)));
-        record_latency(9, Nanos::from_micros(42));
+        record_latency(9, Nanos::from_micros(42), Nanos::from_micros(50), 0);
         let s = finish().expect("active session");
         assert_eq!(s.trace.events.len(), 1);
         assert_eq!(s.metrics.containers[&9].latency.count(), 1);
+        assert!(s.spans.is_none(), "spans off by default");
         assert!(!active());
         assert!(!simcore::trace::enabled(), "ring disabled after finish");
+    }
+
+    #[test]
+    fn span_session_drains_ledgers_and_monitors_slos() {
+        use simcore::span::{self, Outcome, Phase};
+        start(TraceConfig {
+            ring_capacity: 64,
+            sample_interval: Nanos::from_millis(1),
+            spans: true,
+        });
+        assert!(span::enabled());
+        register_slos(vec![SloSpec {
+            container: 4,
+            label: "tenant".to_string(),
+            quantile: 0.5,
+            threshold: Nanos::from_micros(10),
+        }]);
+        let id = span::mint(Nanos::ZERO, 4, Phase::CpuRun);
+        span::finish(id, Nanos::from_micros(20), Outcome::Completed);
+        // Over threshold and past the 50% error budget: a violation.
+        record_latency(4, Nanos::from_micros(20), Nanos::from_micros(20), id);
+        let s = finish().expect("active session");
+        assert!(!span::enabled(), "span recording disabled after finish");
+        let spans = s.spans.expect("span buffer drained");
+        assert_eq!(spans.ledgers.len(), 1);
+        assert_eq!(spans.ledgers[0].request, id);
+        assert_eq!(s.metrics.slos.len(), 1);
+        assert_eq!(s.metrics.slos[0].violations, 1);
+        assert!(s
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, simcore::trace::TraceEventKind::SloViolation { .. })));
     }
 }

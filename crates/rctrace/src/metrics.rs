@@ -17,10 +17,46 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use rescon::{MemClass, ResourceUsage};
+use simcore::span::{Outcome, Phase, SpanBuffer, NUM_PHASES};
+use simcore::trace::TraceEventKind;
 use simcore::{Histogram, Nanos};
 
 use crate::json::{f6, quote};
 use crate::TraceSession;
+
+/// A declarative per-tenant latency objective: "quantile `quantile` of
+/// `container`'s request latencies stays under `threshold`".
+///
+/// The monitor is *online*: each completed request consumes error budget
+/// when it exceeds the threshold, and once more than a `1 - quantile`
+/// fraction of requests have done so, every further over-threshold
+/// request is counted as a violation and emits an
+/// [`TraceEventKind::SloViolation`] trace instant at its completion time.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Stable container id the objective applies to.
+    pub container: u64,
+    /// Human label for reports (e.g. the tenant name).
+    pub label: String,
+    /// Quantile the objective constrains (e.g. `0.99`).
+    pub quantile: f64,
+    /// Latency bound at that quantile.
+    pub threshold: Nanos,
+}
+
+/// Online monitoring state for one registered [`SloSpec`].
+#[derive(Clone, Debug)]
+pub struct SloState {
+    /// The registered objective.
+    pub spec: SloSpec,
+    /// Completed requests observed for the spec's container.
+    pub total: u64,
+    /// Requests whose latency exceeded the threshold.
+    pub over: u64,
+    /// Over-threshold requests arriving after the error budget was
+    /// exhausted (each also emitted a trace instant).
+    pub violations: u64,
+}
 
 /// One row of a metrics sample (or of the final snapshot), built by the
 /// kernel for a single live container.
@@ -235,6 +271,9 @@ pub struct Metrics {
     /// sessions recorded before the kernel reports CPUs, and length 1
     /// on a uniprocessor).
     pub per_cpu: Vec<CpuTotals>,
+    /// Registered latency objectives and their online monitoring state
+    /// (empty unless [`crate::register_slos`] was called).
+    pub slos: Vec<SloState>,
 }
 
 impl Metrics {
@@ -247,6 +286,7 @@ impl Metrics {
             containers: BTreeMap::new(),
             globals: GlobalTotals::default(),
             per_cpu: Vec::new(),
+            slos: Vec::new(),
         }
     }
 
@@ -288,12 +328,54 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn record_latency(&mut self, container: u64, latency: Nanos) {
+    pub(crate) fn register_slos(&mut self, specs: Vec<SloSpec>) {
+        self.slos = specs
+            .into_iter()
+            .map(|spec| SloState {
+                spec,
+                total: 0,
+                over: 0,
+                violations: 0,
+            })
+            .collect();
+    }
+
+    pub(crate) fn record_latency(
+        &mut self,
+        container: u64,
+        latency: Nanos,
+        at: Nanos,
+        request: u64,
+    ) {
         self.containers
             .entry(container)
             .or_insert_with(ContainerSeries::new)
             .latency
             .record(latency);
+        for s in self
+            .slos
+            .iter_mut()
+            .filter(|s| s.spec.container == container)
+        {
+            s.total += 1;
+            if latency <= s.spec.threshold {
+                continue;
+            }
+            s.over += 1;
+            // Error budget: an SLO at quantile q tolerates a 1-q fraction
+            // of requests over the threshold. Once that budget is burned,
+            // each further over-threshold request is a violation.
+            if s.over as f64 > (1.0 - s.spec.quantile) * s.total as f64 {
+                s.violations += 1;
+                let (c, threshold) = (s.spec.container, s.spec.threshold);
+                simcore::trace::emit_at(at, || TraceEventKind::SloViolation {
+                    container: c,
+                    request,
+                    latency,
+                    threshold,
+                });
+            }
+        }
     }
 
     pub(crate) fn record_totals(&mut self, globals: GlobalTotals, rows: &[ContainerSample]) {
@@ -406,6 +488,41 @@ pub fn metrics_json(session: &TraceSession) -> String {
         session.trace.dropped,
         session.trace.events.len()
     );
+    // SLO and span sections appear only when SLOs were registered /
+    // span recording was on, so that all pre-rcspan dumps (and their
+    // golden files) are unchanged.
+    if !m.slos.is_empty() {
+        out.push_str(",\"slo\":[");
+        for (i, s) in m.slos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let achieved = m
+                .containers
+                .get(&s.spec.container)
+                .map(|c| c.latency.quantile_upper_bound(s.spec.quantile))
+                .unwrap_or(Nanos::ZERO);
+            let _ = write!(
+                out,
+                "{{\"container\":{},\"label\":{},\"quantile\":{},\"threshold_ns\":{},\
+                 \"requests\":{},\"over_threshold\":{},\"violations\":{},\
+                 \"achieved_ns\":{},\"met\":{}}}",
+                s.spec.container,
+                quote(&s.spec.label),
+                f6(s.spec.quantile),
+                s.spec.threshold.as_nanos(),
+                s.total,
+                s.over,
+                s.violations,
+                achieved.as_nanos(),
+                s.violations == 0,
+            );
+        }
+        out.push(']');
+    }
+    if let Some(spans) = &session.spans {
+        write_spans(&mut out, m, spans);
+    }
     // A per-CPU section appears only on multiprocessor runs so that
     // uniprocessor dumps (and their golden files) are unchanged.
     if m.per_cpu.len() > 1 {
@@ -492,11 +609,13 @@ pub fn metrics_json(session: &TraceSession) -> String {
         let l = &series.latency;
         let _ = write!(
             out,
-            ",\"latency\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            ",\"latency\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\
+             \"p999_ns\":{},\"max_ns\":{}}}",
             l.count(),
             l.mean().as_nanos(),
             l.quantile_upper_bound(0.5).as_nanos(),
             l.quantile_upper_bound(0.99).as_nanos(),
+            l.quantile_upper_bound(0.999).as_nanos(),
             l.max().as_nanos(),
         );
         out.push_str(",\"samples\":[");
@@ -572,6 +691,163 @@ pub fn metrics_json(session: &TraceSession) -> String {
     out
 }
 
+/// Nearest-rank quantile over an ascending-sorted sample set (rank =
+/// `ceil(q·n)` clamped to `[1, n]`); `0` for an empty set.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Renders the `"spans"` section: global span counters plus, per
+/// container, outcome counts, end-to-end quantiles, per-phase totals and
+/// quantiles, and the p99 blame verdict (which phase dominates the
+/// slowest 1% of requests). Latency statistics cover *completed* spans
+/// only; dropped/aborted/unfinished requests appear in the outcome
+/// counts but would skew the blame breakdown.
+fn write_spans(out: &mut String, m: &Metrics, spans: &SpanBuffer) {
+    let _ = write!(
+        out,
+        ",\"spans\":{{\"minted\":{},\"finished\":{},\"retained\":{},\"dropped\":{}",
+        spans.minted,
+        spans.finished,
+        spans.ledgers.len(),
+        spans.dropped,
+    );
+    let mut by_container: BTreeMap<u64, Vec<&simcore::span::SpanLedger>> = BTreeMap::new();
+    for l in &spans.ledgers {
+        by_container.entry(l.container).or_default().push(l);
+    }
+    out.push_str(",\"containers\":[");
+    for (i, (&id, ledgers)) in by_container.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = m
+            .containers
+            .get(&id)
+            .map(|c| c.display_name(id))
+            .unwrap_or_else(|| format!("c{id}"));
+        let mut outcomes = [0u64; 4];
+        for l in ledgers {
+            let slot = match l.outcome {
+                Outcome::Completed => 0,
+                Outcome::Dropped => 1,
+                Outcome::Aborted => 2,
+                Outcome::Unfinished => 3,
+            };
+            outcomes[slot] += 1;
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{},\"outcomes\":{{\"completed\":{},\"dropped\":{},\
+             \"aborted\":{},\"unfinished\":{}}}",
+            id,
+            quote(&name),
+            outcomes[0],
+            outcomes[1],
+            outcomes[2],
+            outcomes[3],
+        );
+        let completed: Vec<&&simcore::span::SpanLedger> = ledgers
+            .iter()
+            .filter(|l| l.outcome == Outcome::Completed)
+            .collect();
+        let mut e2e: Vec<u64> = completed
+            .iter()
+            .map(|l| (l.end - l.start).as_nanos())
+            .collect();
+        e2e.sort_unstable();
+        let p99 = nearest_rank(&e2e, 0.99);
+        let _ = write!(
+            out,
+            ",\"e2e\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+            e2e.len(),
+            nearest_rank(&e2e, 0.5),
+            p99,
+            nearest_rank(&e2e, 0.999),
+            e2e.last().copied().unwrap_or(0),
+        );
+        out.push_str(",\"phases\":[");
+        let mut first = true;
+        for phase in Phase::ALL {
+            let mut samples: Vec<u64> = completed
+                .iter()
+                .map(|l| l.phases[phase.index()].as_nanos())
+                .collect();
+            let total: u64 = samples.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            samples.sort_unstable();
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"phase\":{},\"total_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+                quote(phase.label()),
+                total,
+                nearest_rank(&samples, 0.5),
+                nearest_rank(&samples, 0.99),
+                nearest_rank(&samples, 0.999),
+            );
+        }
+        out.push(']');
+        // The blame verdict: among the slowest 1% of completed requests
+        // (those at or above the e2e p99), which phase holds the largest
+        // share of their time?
+        let slow: Vec<&&&simcore::span::SpanLedger> = completed
+            .iter()
+            .filter(|l| (l.end - l.start).as_nanos() >= p99)
+            .collect();
+        if !slow.is_empty() && p99 > 0 {
+            let mut sums = [0u64; NUM_PHASES];
+            for l in &slow {
+                for (s, p) in sums.iter_mut().zip(l.phases.iter()) {
+                    *s += p.as_nanos();
+                }
+            }
+            let total: u64 = sums.iter().sum();
+            let (bi, bsum) = sums
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by_key(|&(i, s)| (s, std::cmp::Reverse(i)))
+                .unwrap_or((0, 0));
+            let _ = write!(
+                out,
+                ",\"p99_blame\":{{\"phase\":{},\"share\":{},\"requests\":{},\"breakdown\":{{",
+                quote(Phase::ALL[bi].label()),
+                f6(if total > 0 {
+                    bsum as f64 / total as f64
+                } else {
+                    0.0
+                }),
+                slow.len(),
+            );
+            let mut first = true;
+            for phase in Phase::ALL {
+                if sums[phase.index()] == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "{}:{}", quote(phase.label()), sums[phase.index()]);
+            }
+            out.push_str("}}");
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -623,11 +899,12 @@ mod tests {
             let mut m = Metrics::new(Nanos::from_millis(10));
             m.record_sample(Nanos::from_millis(10), &[row(0, 10), row(7, 20)]);
             m.record_sample(Nanos::from_millis(20), &[row(0, 30), row(7, 40)]);
-            m.record_latency(7, Nanos::from_micros(900));
+            m.record_latency(7, Nanos::from_micros(900), Nanos::from_millis(20), 0);
             m.record_totals(GlobalTotals::default(), &[row(0, 30), row(7, 40)]);
             let session = TraceSession {
                 trace: simcore::trace::TraceBuffer::default(),
                 metrics: m,
+                spans: None,
             };
             metrics_json(&session)
         };
@@ -637,5 +914,64 @@ mod tests {
         assert_eq!(a.matches('{').count(), a.matches('}').count());
         assert_eq!(a.matches('[').count(), a.matches(']').count());
         assert!(a.contains("\"received_share\":"));
+        assert!(a.contains("\"p999_ns\":"));
+        assert!(!a.contains("\"spans\":"), "span section gated on capture");
+        assert!(!a.contains("\"slo\":"), "slo section gated on registration");
+    }
+
+    #[test]
+    fn nearest_rank_matches_convention() {
+        let v: Vec<u64> = (1..=1000).collect();
+        assert_eq!(nearest_rank(&v, 0.5), 500);
+        assert_eq!(nearest_rank(&v, 0.99), 990);
+        assert_eq!(nearest_rank(&v, 0.999), 999);
+        assert_eq!(nearest_rank(&v, 1.0), 1000);
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn span_section_aggregates_blame_and_balances() {
+        use simcore::span::SpanLedger;
+        let mut phases = [Nanos::ZERO; NUM_PHASES];
+        phases[Phase::CpuRun.index()] = Nanos::from_micros(10);
+        phases[Phase::DiskQueue.index()] = Nanos::from_micros(90);
+        let slow = SpanLedger {
+            request: 1,
+            container: 7,
+            start: Nanos::ZERO,
+            end: Nanos::from_micros(100),
+            phases,
+            log: vec![(Nanos::ZERO, Phase::CpuRun)],
+            outcome: Outcome::Completed,
+        };
+        let mut fast = slow.clone();
+        fast.request = 2;
+        fast.end = Nanos::from_micros(20);
+        fast.phases = [Nanos::ZERO; NUM_PHASES];
+        fast.phases[Phase::CpuRun.index()] = Nanos::from_micros(20);
+        let mut aborted = slow.clone();
+        aborted.request = 3;
+        aborted.outcome = Outcome::Aborted;
+        let session = TraceSession {
+            trace: simcore::trace::TraceBuffer::default(),
+            metrics: Metrics::new(Nanos::from_millis(10)),
+            spans: Some(SpanBuffer {
+                ledgers: vec![slow, fast, aborted],
+                minted: 3,
+                finished: 3,
+                dropped: 0,
+            }),
+        };
+        let dump = metrics_json(&session);
+        assert_eq!(dump.matches('{').count(), dump.matches('}').count());
+        assert!(
+            dump.contains("\"spans\":{\"minted\":3,\"finished\":3,\"retained\":3,\"dropped\":0")
+        );
+        assert!(dump.contains(
+            "\"outcomes\":{\"completed\":2,\"dropped\":0,\"aborted\":1,\"unfinished\":0}"
+        ));
+        // The slowest request is all disk-queue: the p99 blame names it.
+        assert!(dump.contains("\"p99_blame\":{\"phase\":\"disk-queue\""));
     }
 }

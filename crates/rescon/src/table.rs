@@ -470,6 +470,16 @@ impl ContainerTable {
         Ok(&self.get(id)?.attrs)
     }
 
+    /// Looks up a live container by its attribute name (first match in id
+    /// order; names are a labelling convenience, not enforced unique).
+    /// Monitoring layers use this to resolve per-tenant declarations —
+    /// e.g. a latency-SLO spec naming "tenant-a" — against the hierarchy.
+    pub fn find_by_name(&self, name: &str) -> Option<ContainerId> {
+        self.iter()
+            .find(|(_, c)| c.attrs().name.as_deref() == Some(name))
+            .map(|(id, _)| id)
+    }
+
     /// Replaces the container's attributes, revalidating hierarchy
     /// constraints (§4.6).
     pub fn set_attrs(&mut self, id: ContainerId, attrs: Attributes) -> Result<()> {

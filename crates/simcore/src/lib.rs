@@ -16,6 +16,9 @@
 //! - [`trace`]: typed, zero-cost-when-disabled kernel tracing — a bounded
 //!   ring of structured [`TraceEvent`]s every subsystem records its
 //!   decision points into.
+//! - [`span`]: request-scoped causal spans (`rcspan`) — per-request
+//!   phase ledgers whose nine phases partition end-to-end latency
+//!   exactly; zero-cost when disabled like [`trace`].
 //! - [`fault`]: seeded, virtual-time fault injection ([`FaultPlan`] /
 //!   [`FaultInjector`]) — deterministic packet loss, disk errors, and
 //!   client misbehaviour drawn from independent per-category streams.
@@ -27,6 +30,7 @@ pub mod arena;
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -35,6 +39,7 @@ pub use arena::{Arena, Idx};
 pub use event::EventQueue;
 pub use fault::{ClientFault, DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault};
 pub use rng::SimRng;
+pub use span::{Outcome, Phase, RequestId, SpanBuffer, SpanLedger, SpanRef};
 pub use stats::{Counter, Histogram, Summary, TimeWeighted};
 pub use time::Nanos;
 pub use trace::{ChargeKind, TraceBuffer, TraceEvent, TraceEventKind, NO_CONTAINER};

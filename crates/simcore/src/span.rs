@@ -1,0 +1,551 @@
+//! Request-scoped causal spans (`rcspan`): per-request phase ledgers.
+//!
+//! The paper's central object is the *activity* — a unit of work that
+//! crosses protection domains while staying bound to one resource
+//! container. This module gives each such activity a [`RequestId`],
+//! minted at packet classification, that rides alongside the container
+//! binding through LRP dispatch, thread scheduling, syscalls, disk
+//! queue/service, memory-reclaim stalls, and the transmit link. Each
+//! span accumulates a **phase ledger**: an exhaustive partition of the
+//! request's end-to-end latency into the nine [`Phase`]s.
+//!
+//! Conservation is by construction: a span is always in exactly one
+//! phase, [`transition`] closes the current phase segment at the same
+//! instant it opens the next, and clock skew between per-CPU clocks is
+//! clamped so segments never run backwards. Therefore for every ledger
+//! `end - start == phases.iter().sum()` holds exactly in integer
+//! nanoseconds (property-tested at workspace level).
+//!
+//! Like [`crate::trace`], span recording is **off by default** and
+//! zero-cost when disabled: every hook costs one thread-local branch and
+//! recording is purely observational — enabling spans must never change
+//! a run's virtual-time results. The session is thread-local because a
+//! simulation is single-threaded by construction.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+use crate::time::Nanos;
+
+/// Identifies one request activity. `0` means "no span"; real ids are
+/// minted sequentially starting from 1.
+pub type RequestId = u64;
+
+/// Number of phases in the taxonomy (length of a ledger's array).
+pub const NUM_PHASES: usize = 9;
+
+/// The phase taxonomy: where a request's time is spent. Every
+/// nanosecond of a request's end-to-end latency lands in exactly one
+/// of these buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// SYN received, waiting in the listen socket's SYN queue (plus the
+    /// handshake round-trip until the peer's ACK arrives).
+    SynWait,
+    /// Connection established, waiting in the accept queue for the
+    /// application to call `accept`.
+    AcceptWait,
+    /// Work on behalf of the request is queued on a thread that is not
+    /// currently running (runnable-wait plus queued-behind-other-work).
+    CpuQueue,
+    /// A CPU is executing work charged to the request.
+    CpuRun,
+    /// Waiting in the disk I/O scheduler queue.
+    DiskQueue,
+    /// The disk is servicing the request's transfer.
+    DiskService,
+    /// The executing thread is stalled paying for memory reclaim on the
+    /// request's behalf.
+    ReclaimStall,
+    /// Response bytes queued in the transmit link scheduler.
+    TxQueue,
+    /// Response bytes occupying the wire.
+    Wire,
+}
+
+impl Phase {
+    /// All phases, in ledger-array order.
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::SynWait,
+        Phase::AcceptWait,
+        Phase::CpuQueue,
+        Phase::CpuRun,
+        Phase::DiskQueue,
+        Phase::DiskService,
+        Phase::ReclaimStall,
+        Phase::TxQueue,
+        Phase::Wire,
+    ];
+
+    /// Index into a ledger's `phases` array.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable kebab-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::SynWait => "syn-wait",
+            Phase::AcceptWait => "accept-wait",
+            Phase::CpuQueue => "cpu-queue",
+            Phase::CpuRun => "cpu-run",
+            Phase::DiskQueue => "disk-queue",
+            Phase::DiskService => "disk-service",
+            Phase::ReclaimStall => "reclaim-stall",
+            Phase::TxQueue => "tx-queue",
+            Phase::Wire => "wire",
+        }
+    }
+}
+
+/// A span handle carried inside kernel work items. Besides the id it
+/// records whether the work is a reclaim stall, so the CPU hooks know
+/// to attribute the execution time to [`Phase::ReclaimStall`] rather
+/// than [`Phase::CpuRun`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRef {
+    /// The request the work belongs to (`0` = none).
+    pub id: RequestId,
+    /// `true` when the work models a memory-reclaim stall.
+    pub stall: bool,
+}
+
+impl SpanRef {
+    /// The "no span" handle.
+    pub const NONE: SpanRef = SpanRef {
+        id: 0,
+        stall: false,
+    };
+
+    /// A plain (non-stall) handle for `id`.
+    #[inline]
+    pub fn of(id: RequestId) -> SpanRef {
+        SpanRef { id, stall: false }
+    }
+}
+
+/// How a span ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The full response reached the wire.
+    Completed,
+    /// Dropped before a connection existed (SYN eviction/expiry,
+    /// admission refusal, queue overflow).
+    Dropped,
+    /// The connection was torn down mid-request (reset, OOM kill,
+    /// client abandon).
+    Aborted,
+    /// Still open when the session stopped; force-closed at its last
+    /// transition instant.
+    Unfinished,
+}
+
+impl Outcome {
+    /// Stable lower-case label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Completed => "completed",
+            Outcome::Dropped => "dropped",
+            Outcome::Aborted => "aborted",
+            Outcome::Unfinished => "unfinished",
+        }
+    }
+}
+
+/// The finished record of one request.
+#[derive(Clone, Debug)]
+pub struct SpanLedger {
+    /// The minted request id.
+    pub request: RequestId,
+    /// Owning container at finish time.
+    pub container: u64,
+    /// Mint instant (SYN classification, or first byte for keep-alive
+    /// follow-on requests).
+    pub start: Nanos,
+    /// Finish instant (last response byte off the wire, or the
+    /// drop/abort instant).
+    pub end: Nanos,
+    /// Time spent in each phase, indexed by [`Phase::index`]. Sums to
+    /// `end - start` exactly.
+    pub phases: [Nanos; NUM_PHASES],
+    /// The transition log: `(instant, phase entered)`, oldest first.
+    /// The first entry is at `start`; segment `i` runs from `log[i].0`
+    /// to `log[i + 1].0` (or to `end` for the last).
+    pub log: Vec<(Nanos, Phase)>,
+    /// How the request ended.
+    pub outcome: Outcome,
+}
+
+impl SpanLedger {
+    /// Sum of all phase durations (equals `end - start`).
+    pub fn total(&self) -> Nanos {
+        self.phases.iter().fold(Nanos::ZERO, |acc, p| acc + *p)
+    }
+}
+
+/// The drained contents of a span session.
+#[derive(Clone, Debug, Default)]
+pub struct SpanBuffer {
+    /// Finished ledgers, oldest first (the most recent `capacity`).
+    pub ledgers: Vec<SpanLedger>,
+    /// Spans minted while enabled.
+    pub minted: u64,
+    /// Spans finished (including force-closed unfinished ones).
+    pub finished: u64,
+    /// Finished ledgers evicted because the retention cap was reached.
+    pub dropped: u64,
+}
+
+struct OpenSpan {
+    container: u64,
+    start: Nanos,
+    phase: Phase,
+    phase_since: Nanos,
+    phases: [Nanos; NUM_PHASES],
+    log: Vec<(Nanos, Phase)>,
+}
+
+struct Session {
+    next_id: RequestId,
+    // BTreeMap for deterministic force-close order in `stop`.
+    open: BTreeMap<RequestId, OpenSpan>,
+    ledgers: Vec<SpanLedger>,
+    capacity: usize,
+    minted: u64,
+    finished: u64,
+    dropped: u64,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SESSION: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// Returns `true` if span recording is enabled on this thread.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Starts a span session retaining at most `capacity` finished ledgers.
+/// Any previous session's state is discarded.
+pub fn start(capacity: usize) {
+    SESSION.with(|s| {
+        *s.borrow_mut() = Some(Session {
+            next_id: 1,
+            open: BTreeMap::new(),
+            ledgers: Vec::new(),
+            capacity: capacity.max(1),
+            minted: 0,
+            finished: 0,
+            dropped: 0,
+        });
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stops the session and returns everything recorded. Spans still open
+/// are force-closed at their last transition instant with
+/// [`Outcome::Unfinished`]. Idempotent: a second call returns an empty
+/// buffer.
+pub fn stop() -> SpanBuffer {
+    ENABLED.with(|e| e.set(false));
+    SESSION.with(|s| match s.borrow_mut().take() {
+        Some(mut sess) => {
+            let open = std::mem::take(&mut sess.open);
+            for (id, span) in open {
+                let at = span.phase_since;
+                sess.close(id, span, at, Outcome::Unfinished);
+            }
+            SpanBuffer {
+                ledgers: sess.ledgers,
+                minted: sess.minted,
+                finished: sess.finished,
+                dropped: sess.dropped,
+            }
+        }
+        None => SpanBuffer::default(),
+    })
+}
+
+impl Session {
+    fn close(&mut self, id: RequestId, mut span: OpenSpan, at: Nanos, outcome: Outcome) {
+        let end = at.max(span.phase_since);
+        span.phases[span.phase.index()] += end - span.phase_since;
+        self.finished += 1;
+        if self.ledgers.len() == self.capacity {
+            self.ledgers.remove(0);
+            self.dropped += 1;
+        }
+        self.ledgers.push(SpanLedger {
+            request: id,
+            container: span.container,
+            start: span.start,
+            end,
+            phases: span.phases,
+            log: span.log,
+            outcome,
+        });
+    }
+}
+
+/// Mints a new span starting in `phase` at `at`, owned by `container`.
+/// Returns `0` when disabled.
+pub fn mint(at: Nanos, container: u64, phase: Phase) -> RequestId {
+    if !enabled() {
+        return 0;
+    }
+    SESSION.with(|s| {
+        let mut b = s.borrow_mut();
+        let Some(sess) = b.as_mut() else { return 0 };
+        let id = sess.next_id;
+        sess.next_id += 1;
+        sess.minted += 1;
+        sess.open.insert(
+            id,
+            OpenSpan {
+                container,
+                start: at,
+                phase,
+                phase_since: at,
+                phases: [Nanos::ZERO; NUM_PHASES],
+                log: vec![(at, phase)],
+            },
+        );
+        id
+    })
+}
+
+/// Returns `true` if `id` names a currently-open span.
+#[inline]
+pub fn is_open(id: RequestId) -> bool {
+    if id == 0 || !enabled() {
+        return false;
+    }
+    SESSION.with(|s| {
+        s.borrow()
+            .as_ref()
+            .is_some_and(|sess| sess.open.contains_key(&id))
+    })
+}
+
+/// Reassigns the span's owning container (e.g. when a connection moves
+/// from the listener's principal to a per-connection container).
+pub fn set_container(id: RequestId, container: u64) {
+    if id == 0 || !enabled() {
+        return;
+    }
+    SESSION.with(|s| {
+        if let Some(span) = s
+            .borrow_mut()
+            .as_mut()
+            .and_then(|sess| sess.open.get_mut(&id))
+        {
+            span.container = container;
+        }
+    });
+}
+
+/// Moves the span into `phase` at `at`, closing the current phase
+/// segment. `at` is clamped to the segment start so per-CPU clock skew
+/// can never produce a negative segment; re-entering the current phase
+/// is a no-op. Unknown/closed ids are ignored.
+pub fn transition(id: RequestId, phase: Phase, at: Nanos) {
+    if id == 0 || !enabled() {
+        return;
+    }
+    SESSION.with(|s| {
+        if let Some(span) = s
+            .borrow_mut()
+            .as_mut()
+            .and_then(|sess| sess.open.get_mut(&id))
+        {
+            apply_transition(span, phase, at);
+        }
+    });
+}
+
+fn apply_transition(span: &mut OpenSpan, phase: Phase, at: Nanos) {
+    if span.phase == phase {
+        return;
+    }
+    let at = at.max(span.phase_since);
+    span.phases[span.phase.index()] += at - span.phase_since;
+    span.phase = phase;
+    span.phase_since = at;
+    span.log.push((at, phase));
+}
+
+/// CPU-side transition: applies only while the span is in a CPU-bound
+/// phase ([`Phase::CpuQueue`], [`Phase::CpuRun`], or
+/// [`Phase::ReclaimStall`]). Stray queued work (e.g. syscall-cost
+/// accounting items completing after a disk submit) therefore cannot
+/// yank a request out of its disk/tx/wire phases.
+pub fn cpu_transition(id: RequestId, phase: Phase, at: Nanos) {
+    if id == 0 || !enabled() {
+        return;
+    }
+    SESSION.with(|s| {
+        if let Some(span) = s
+            .borrow_mut()
+            .as_mut()
+            .and_then(|sess| sess.open.get_mut(&id))
+        {
+            if matches!(
+                span.phase,
+                Phase::CpuQueue | Phase::CpuRun | Phase::ReclaimStall
+            ) {
+                apply_transition(span, phase, at);
+            }
+        }
+    });
+}
+
+/// Finishes the span at `at` with `outcome`, closing its final phase
+/// segment. Unknown/closed ids are ignored (finish is idempotent).
+pub fn finish(id: RequestId, at: Nanos, outcome: Outcome) {
+    if id == 0 || !enabled() {
+        return;
+    }
+    SESSION.with(|s| {
+        let mut b = s.borrow_mut();
+        let Some(sess) = b.as_mut() else { return };
+        if let Some(span) = sess.open.remove(&id) {
+            sess.close(id, span, at, outcome);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let _ = stop();
+        assert_eq!(mint(Nanos::ZERO, 1, Phase::SynWait), 0);
+        transition(1, Phase::CpuRun, Nanos::from_micros(1));
+        finish(1, Nanos::from_micros(2), Outcome::Completed);
+        assert!(!is_open(1));
+        let buf = stop();
+        assert!(buf.ledgers.is_empty());
+        assert_eq!(buf.minted, 0);
+    }
+
+    #[test]
+    fn phases_partition_end_to_end_latency() {
+        start(16);
+        let id = mint(Nanos::from_micros(10), 7, Phase::SynWait);
+        assert!(is_open(id));
+        transition(id, Phase::AcceptWait, Nanos::from_micros(15));
+        transition(id, Phase::CpuQueue, Nanos::from_micros(18));
+        transition(id, Phase::CpuRun, Nanos::from_micros(20));
+        transition(id, Phase::Wire, Nanos::from_micros(29));
+        finish(id, Nanos::from_micros(32), Outcome::Completed);
+        let buf = stop();
+        assert_eq!(buf.ledgers.len(), 1);
+        let l = &buf.ledgers[0];
+        assert_eq!(l.outcome, Outcome::Completed);
+        assert_eq!(l.end - l.start, Nanos::from_micros(22));
+        assert_eq!(l.total(), l.end - l.start);
+        assert_eq!(l.phases[Phase::SynWait.index()], Nanos::from_micros(5));
+        assert_eq!(l.phases[Phase::AcceptWait.index()], Nanos::from_micros(3));
+        assert_eq!(l.phases[Phase::CpuQueue.index()], Nanos::from_micros(2));
+        assert_eq!(l.phases[Phase::CpuRun.index()], Nanos::from_micros(9));
+        assert_eq!(l.phases[Phase::Wire.index()], Nanos::from_micros(3));
+        assert_eq!(l.log.len(), 5);
+    }
+
+    #[test]
+    fn skewed_clocks_are_clamped_and_conserved() {
+        start(16);
+        let id = mint(Nanos::from_micros(10), 1, Phase::CpuQueue);
+        // A transition stamped *earlier* than the current segment start
+        // (cross-CPU skew) is clamped: zero-width segment, no panic.
+        transition(id, Phase::CpuRun, Nanos::from_micros(8));
+        transition(id, Phase::CpuQueue, Nanos::from_micros(12));
+        finish(id, Nanos::from_micros(9), Outcome::Completed);
+        let buf = stop();
+        let l = &buf.ledgers[0];
+        assert_eq!(l.total(), l.end - l.start);
+        assert_eq!(l.end, Nanos::from_micros(12));
+    }
+
+    #[test]
+    fn cpu_transition_cannot_leave_io_phases() {
+        start(16);
+        let id = mint(Nanos::from_micros(1), 1, Phase::CpuRun);
+        transition(id, Phase::DiskQueue, Nanos::from_micros(2));
+        // A stray queued work item completing must not yank the span out
+        // of the disk phase...
+        cpu_transition(id, Phase::CpuQueue, Nanos::from_micros(3));
+        let buf_peek = SESSION.with(|s| s.borrow().as_ref().unwrap().open[&id].phase);
+        assert_eq!(buf_peek, Phase::DiskQueue);
+        // ...but a forced transition (the disk upcall) can.
+        transition(id, Phase::CpuQueue, Nanos::from_micros(4));
+        cpu_transition(id, Phase::CpuRun, Nanos::from_micros(5));
+        finish(id, Nanos::from_micros(6), Outcome::Completed);
+        let buf = stop();
+        let l = &buf.ledgers[0];
+        assert_eq!(l.total(), l.end - l.start);
+        assert_eq!(l.phases[Phase::DiskQueue.index()], Nanos::from_micros(2));
+        assert_eq!(l.phases[Phase::CpuRun.index()], Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn stop_force_closes_open_spans_as_unfinished() {
+        start(16);
+        let a = mint(Nanos::from_micros(1), 1, Phase::SynWait);
+        let b = mint(Nanos::from_micros(2), 2, Phase::CpuQueue);
+        transition(b, Phase::CpuRun, Nanos::from_micros(5));
+        let buf = stop();
+        assert_eq!(buf.minted, 2);
+        assert_eq!(buf.finished, 2);
+        assert_eq!(buf.ledgers.len(), 2);
+        for l in &buf.ledgers {
+            assert_eq!(l.outcome, Outcome::Unfinished);
+            assert_eq!(l.total(), l.end - l.start);
+        }
+        assert_eq!(buf.ledgers[0].request, a);
+        assert_eq!(buf.ledgers[1].request, b);
+    }
+
+    #[test]
+    fn retention_cap_evicts_and_counts() {
+        start(2);
+        for i in 0..4u64 {
+            let id = mint(Nanos::from_micros(i), 1, Phase::CpuRun);
+            finish(id, Nanos::from_micros(i + 1), Outcome::Completed);
+        }
+        let buf = stop();
+        assert_eq!(buf.ledgers.len(), 2);
+        assert_eq!(buf.minted, 4);
+        assert_eq!(buf.finished, 4);
+        assert_eq!(buf.dropped, 2);
+        assert_eq!(buf.ledgers[0].request, 3);
+        assert_eq!(buf.ledgers[1].request, 4);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "syn-wait",
+                "accept-wait",
+                "cpu-queue",
+                "cpu-run",
+                "disk-queue",
+                "disk-service",
+                "reclaim-stall",
+                "tx-queue",
+                "wire"
+            ]
+        );
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

@@ -305,6 +305,27 @@ mod tests {
     }
 
     #[test]
+    fn summary_tail_quantiles_nearest_rank() {
+        // 1000 distinct samples: nearest-rank p50/p99/p999 land on
+        // predictable order statistics, and p999 > p99 once the tail
+        // has enough resolution.
+        let mut s = Summary::new();
+        for v in (1..=1000u64).rev() {
+            s.record(v as f64);
+        }
+        assert_eq!(s.quantile(0.5), 500.0);
+        assert_eq!(s.quantile(0.99), 990.0);
+        assert_eq!(s.quantile(0.999), 999.0);
+        assert!(s.quantile(0.999) > s.quantile(0.99));
+        // With a single sample every quantile collapses to it.
+        let mut one = Summary::new();
+        one.record(42.0);
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(one.quantile(q), 42.0);
+        }
+    }
+
+    #[test]
     fn summary_stddev() {
         let mut s = Summary::new();
         s.record(2.0);

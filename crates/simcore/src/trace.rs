@@ -351,6 +351,18 @@ pub enum TraceEventKind {
         /// Index of the misbehaving client.
         client: u32,
     },
+    /// A request completed over a declared latency SLO threshold (the
+    /// online monitor fires one instant per violating sample).
+    SloViolation {
+        /// The tenant container the SLO is declared on.
+        container: u64,
+        /// The minted request id of the violating request.
+        request: u64,
+        /// The request's end-to-end latency.
+        latency: Nanos,
+        /// The declared threshold it exceeded.
+        threshold: Nanos,
+    },
     /// Fault injection slowed a client's request transmission.
     FaultClientSlow {
         /// Index of the misbehaving client.

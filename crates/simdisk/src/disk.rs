@@ -26,6 +26,7 @@
 //! holds exactly (pinned by a proptest in `tests/prop_disk.rs`).
 
 use rescon::{ContainerId, ContainerTable};
+use simcore::span;
 use simcore::trace::{self, TraceEventKind};
 use simcore::Nanos;
 
@@ -96,6 +97,8 @@ pub struct DiskRequest {
     /// CPU whose interrupt path will handle the completion (0 on a
     /// uniprocessor).
     pub intr_cpu: u32,
+    /// Request span waiting on this transfer (`0` = none).
+    pub span: u64,
 }
 
 /// A finished request, returned by [`SimDisk::advance`].
@@ -140,7 +143,7 @@ struct InFlight {
 /// let mut table = ContainerTable::new();
 /// let mut disk = SimDisk::new(DiskParams::fast(), Box::new(FifoIoSched::new()));
 /// disk.submit(
-///     DiskRequest { file: 7, bytes: 8192, charge_to: table.root(), intr_cpu: 0 },
+///     DiskRequest { file: 7, bytes: 8192, charge_to: table.root(), intr_cpu: 0, span: 0 },
 ///     &table,
 ///     Nanos::ZERO,
 /// );
@@ -205,6 +208,7 @@ impl SimDisk {
             intr_cpu: req.intr_cpu,
             extra_service,
             fail,
+            span: req.span,
         };
         self.sched.enqueue(queued, table);
         trace::emit_at(now, || TraceEventKind::DiskQueue {
@@ -213,6 +217,7 @@ impl SimDisk {
             bytes: req.bytes,
             container: req.charge_to.as_u64(),
         });
+        span::transition(req.span, span::Phase::DiskQueue, now);
         if self.inflight.is_none() {
             self.start_next(table, now);
         }
@@ -280,6 +285,7 @@ impl SimDisk {
             container: req.charge_to.as_u64(),
             service,
         });
+        span::transition(req.span, span::Phase::DiskService, start);
         self.last_file = Some(req.file);
         self.inflight = Some(InFlight {
             req,
@@ -363,6 +369,7 @@ mod tests {
                 bytes: 65536,
                 charge_to: c,
                 intr_cpu: 0,
+                span: 0,
             },
             &table,
             Nanos::ZERO,
@@ -388,6 +395,7 @@ mod tests {
                     bytes: 4096,
                     charge_to: root,
                     intr_cpu: 0,
+                    span: 0,
                 },
                 &table,
                 Nanos::ZERO,
@@ -420,6 +428,7 @@ mod tests {
                         bytes: 32768,
                         charge_to: c,
                         intr_cpu: 0,
+                        span: 0,
                     },
                     &table,
                     now,
@@ -436,6 +445,7 @@ mod tests {
                         bytes: 32768,
                         charge_to: c.charge_to,
                         intr_cpu: 0,
+                        span: 0,
                     },
                     &table,
                     now,
@@ -461,6 +471,7 @@ mod tests {
                 bytes: 4096,
                 charge_to: c,
                 intr_cpu: 0,
+                span: 0,
             },
             spike,
             false,
@@ -473,6 +484,7 @@ mod tests {
                 bytes: 4096,
                 charge_to: c,
                 intr_cpu: 0,
+                span: 0,
             },
             Nanos::ZERO,
             true,
@@ -504,6 +516,7 @@ mod tests {
                 bytes: 4096,
                 charge_to: c,
                 intr_cpu: 0,
+                span: 0,
             },
             &table,
             Nanos::ZERO,

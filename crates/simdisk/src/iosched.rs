@@ -35,6 +35,8 @@ pub struct QueuedRequest {
     /// Injected I/O error: the completion is delivered failed after the
     /// full (charged) service time.
     pub fail: bool,
+    /// Request span waiting on this transfer (`0` = none).
+    pub span: u64,
 }
 
 /// Dispatch order policy for pending disk requests.
@@ -74,7 +76,7 @@ pub trait IoSched {
 /// let mut q = FifoIoSched::new();
 /// let req = QueuedRequest {
 ///     id: ReqId(0), file: 1, bytes: 4096, charge_to: table.root(), intr_cpu: 0,
-///     extra_service: Nanos::ZERO, fail: false,
+///     extra_service: Nanos::ZERO, fail: false, span: 0,
 /// };
 /// q.enqueue(req, &table);
 /// assert_eq!(q.dequeue(&table), Some(req));
@@ -224,6 +226,7 @@ mod tests {
             intr_cpu: 0,
             extra_service: Nanos::ZERO,
             fail: false,
+            span: 0,
         }
     }
 

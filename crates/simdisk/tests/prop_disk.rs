@@ -57,6 +57,7 @@ fn run_ops(ops: &[Op], sched: Box<dyn IoSched>) {
                         bytes: kib as u64 * 1024,
                         charge_to: c,
                         intr_cpu: 0,
+                        span: 0,
                     },
                     &table,
                     now,

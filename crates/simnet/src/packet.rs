@@ -89,12 +89,27 @@ pub struct Packet {
     pub flow: FlowKey,
     /// Segment type and payload.
     pub kind: PacketKind,
+    /// Request span riding the segment (`0` = none). Outbound response
+    /// data carries the request's span so the transmit path can
+    /// attribute queueing and wire time; pure protocol segments (SYN,
+    /// handshake replies, FIN, RST) carry none.
+    pub span: u64,
 }
 
 impl Packet {
-    /// Creates a packet.
+    /// Creates a packet with no request span.
     pub fn new(flow: FlowKey, kind: PacketKind) -> Self {
-        Packet { flow, kind }
+        Packet {
+            flow,
+            kind,
+            span: 0,
+        }
+    }
+
+    /// Stamps the packet with a request span id.
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = span;
+        self
     }
 
     /// Approximate bytes on the wire: 40-byte TCP/IP header plus payload.

@@ -10,6 +10,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use rescon::ContainerId;
+use simcore::span::{self, Outcome, Phase};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{Arena, Idx, Nanos};
 
@@ -29,8 +30,9 @@ pub struct ListenState {
     pub port: u16,
     /// Foreign-address filter from the paper's new sockaddr namespace.
     pub filter: CidrFilter,
-    /// Half-open connections awaiting the final ACK: `(flow, expiry)`.
-    syn_queue: VecDeque<(FlowKey, Nanos)>,
+    /// Half-open connections awaiting the final ACK:
+    /// `(flow, expiry, span)`.
+    syn_queue: VecDeque<(FlowKey, Nanos, u64)>,
     /// Maximum half-open entries.
     pub syn_backlog: usize,
     /// Fully established connections awaiting `accept()`.
@@ -65,6 +67,8 @@ pub struct ConnSocket {
     pub recv_bytes: u64,
     /// Listener the connection came from.
     pub listener: SockId,
+    /// Request span currently riding the connection (`0` = none).
+    pub span: u64,
 }
 
 /// The two kinds of socket.
@@ -229,6 +233,30 @@ impl NetStack {
         self.sockets.get(id).and_then(|s| s.container)
     }
 
+    /// Returns the request span riding a connection (`0` when none or
+    /// not a connection).
+    pub fn span_of(&self, id: SockId) -> u64 {
+        match self.sockets.get(id) {
+            Some(Socket {
+                kind: SocketKind::Conn(cs),
+                ..
+            }) => cs.span,
+            _ => 0,
+        }
+    }
+
+    /// Sets the request span riding a connection (keep-alive requests
+    /// mint a fresh span per request on the same connection).
+    pub fn set_span(&mut self, id: SockId, span: u64) {
+        if let Some(Socket {
+            kind: SocketKind::Conn(cs),
+            ..
+        }) = self.sockets.get_mut(id)
+        {
+            cs.span = span;
+        }
+    }
+
     /// Early demultiplexing: finds the socket a packet belongs to.
     ///
     /// Established flows win; otherwise the listening socket on the packet's
@@ -267,9 +295,10 @@ impl NetStack {
     }
 
     fn evict_expired_syns(ls: &mut ListenState, now: Nanos) {
-        while let Some(&(_, expiry)) = ls.syn_queue.front() {
+        while let Some(&(_, expiry, sp)) = ls.syn_queue.front() {
             if expiry <= now {
                 ls.syn_queue.pop_front();
+                span::finish(sp, expiry, Outcome::Dropped);
             } else {
                 break;
             }
@@ -300,8 +329,11 @@ impl NetStack {
         match pkt.kind {
             PacketKind::Syn => {
                 Self::evict_expired_syns(ls, now);
-                if ls.syn_queue.iter().any(|&(f, _)| f == pkt.flow) {
-                    // Duplicate SYN: re-send the SYN-ACK.
+                if ls.syn_queue.iter().any(|&(f, _, _)| f == pkt.flow) {
+                    // Duplicate SYN: re-send the SYN-ACK. The freshly
+                    // minted span (if any) is redundant with the queued
+                    // entry's.
+                    span::finish(pkt.span, now, Outcome::Dropped);
                     return vec![NetEvent::PacketOut(Packet::new(
                         pkt.flow,
                         PacketKind::SynAck,
@@ -323,8 +355,9 @@ impl NetStack {
                             .map(|c| c.as_u64())
                             .unwrap_or(NO_CONTAINER),
                     });
-                    if ls.notify_syn_drops {
-                        if let Some((flow, _)) = evicted {
+                    if let Some((flow, _, sp)) = evicted {
+                        span::finish(sp, now, Outcome::Dropped);
+                        if ls.notify_syn_drops {
                             evs.push(NetEvent::SynDropped {
                                 listener: id,
                                 src: flow.src,
@@ -332,7 +365,8 @@ impl NetStack {
                         }
                     }
                 }
-                ls.syn_queue.push_back((pkt.flow, now + self.syn_timeout));
+                ls.syn_queue
+                    .push_back((pkt.flow, now + self.syn_timeout, pkt.span));
                 evs.push(NetEvent::PacketOut(Packet::new(
                     pkt.flow,
                     PacketKind::SynAck,
@@ -341,11 +375,11 @@ impl NetStack {
             }
             PacketKind::Ack => {
                 Self::evict_expired_syns(ls, now);
-                let pos = ls.syn_queue.iter().position(|&(f, _)| f == pkt.flow);
+                let pos = ls.syn_queue.iter().position(|&(f, _, _)| f == pkt.flow);
                 let Some(pos) = pos else {
                     return Vec::new(); // Stray or expired handshake.
                 };
-                ls.syn_queue.remove(pos);
+                let sp = ls.syn_queue.remove(pos).map(|(_, _, sp)| sp).unwrap_or(0);
                 if ls.accept_queue.len() >= ls.accept_backlog {
                     ls.accept_drops += 1;
                     trace::emit_at(now, || TraceEventKind::PacketDrop {
@@ -354,8 +388,12 @@ impl NetStack {
                             .map(|c| c.as_u64())
                             .unwrap_or(NO_CONTAINER),
                     });
+                    span::finish(sp, now, Outcome::Dropped);
                     return vec![NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst))];
                 }
+                // The handshake is complete: the request now waits for the
+                // application to accept it.
+                span::transition(sp, Phase::AcceptWait, now);
                 let conn = self.sockets.insert(Socket {
                     container: listener_container,
                     kind: SocketKind::Conn(ConnSocket {
@@ -363,6 +401,7 @@ impl NetStack {
                         state: ConnState::Established,
                         recv_bytes: 0,
                         listener: id,
+                        span: sp,
                     }),
                 });
                 // Re-borrow the listener (the arena insert above may have
@@ -386,7 +425,14 @@ impl NetStack {
             // An RST for a half-open connection frees its SYN-queue slot
             // immediately (RFC 793 SYN-RECEIVED handling).
             PacketKind::Rst => {
-                ls.syn_queue.retain(|&(f, _)| f != pkt.flow);
+                ls.syn_queue.retain(|&(f, _, sp)| {
+                    if f == pkt.flow {
+                        span::finish(sp, now, Outcome::Dropped);
+                        false
+                    } else {
+                        true
+                    }
+                });
                 Vec::new()
             }
             PacketKind::SynAck => Vec::new(),
@@ -504,18 +550,18 @@ impl NetStack {
     /// Queues `bytes` of payload for transmission; returns the segments to
     /// send (MSS-sized).
     pub fn send(&mut self, conn: SockId, bytes: u64) -> Vec<Packet> {
-        let flow = match self.sockets.get(conn) {
+        let (flow, sp) = match self.sockets.get(conn) {
             Some(Socket {
                 kind: SocketKind::Conn(cs),
                 ..
-            }) => cs.flow,
+            }) => (cs.flow, cs.span),
             _ => return Vec::new(),
         };
         let mut out = Vec::new();
         let mut remaining = bytes;
         while remaining > 0 {
             let chunk = remaining.min(MSS as u64) as u32;
-            out.push(Packet::new(flow, PacketKind::Data { bytes: chunk }));
+            out.push(Packet::new(flow, PacketKind::Data { bytes: chunk }).with_span(sp));
             remaining -= chunk as u64;
         }
         out

@@ -42,8 +42,9 @@ use sched::{
     StrideScheduler, TaskId,
 };
 use simcore::fault::{DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault};
+use simcore::span::{self, Outcome, Phase};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
-use simcore::{EventQueue, Nanos};
+use simcore::{EventQueue, Nanos, SpanRef};
 use simdisk::{BufferCache, DiskParams, DiskRequest, FifoIoSched, ReqId, ShareIoSched, SimDisk};
 use simnet::{
     Demux, Dispatch, LinkParams, LinkSched, NetDiscipline, NetEvent, NetStack, Packet,
@@ -297,6 +298,22 @@ struct DiskWaiter {
     tag: u64,
     /// Insert the file into the buffer cache on completion.
     cache: bool,
+    /// Request span waiting on this read (`0` = none).
+    span: u64,
+}
+
+/// Per-span transmit bookkeeping for the causal-tracing layer: how many
+/// of the request's response packets are queued towards the link or on
+/// the wire, and whether the application armed finish-on-last-wire-byte
+/// ([`SysCtx::span_finish_on_tx`]). Purely observational.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanTxState {
+    /// Response packets accepted by `send` but not yet fully transmitted.
+    queued: u32,
+    /// Response packets currently occupying the wire.
+    wire: u32,
+    /// Finish the span `Completed` once `queued` and `wire` drain.
+    armed: bool,
 }
 
 /// Builds the SMP scheduler: one core policy instance per CPU behind a
@@ -387,6 +404,9 @@ pub struct Kernel {
     pub disk_cache: BufferCache,
     /// Threads waiting on in-flight disk reads.
     disk_waiters: HashMap<ReqId, DiskWaiter>,
+    /// Transmit bookkeeping per open request span (empty when the span
+    /// layer is off).
+    span_tx: HashMap<u64, SpanTxState>,
     /// Whether a `DiskTick` is scheduled for the current in-flight request.
     disk_tick_armed: bool,
     next_task: u32,
@@ -476,6 +496,7 @@ impl Kernel {
             disk,
             disk_cache,
             disk_waiters: HashMap::new(),
+            span_tx: HashMap::new(),
             disk_tick_armed: false,
             next_task: 1,
             next_pid: 1,
@@ -614,6 +635,7 @@ impl Kernel {
             op: Op::Upcall(AppEvent::Start),
             charge_to: None,
             kernel_mode: false,
+            span: SpanRef::NONE,
         });
         proc.threads.push(tid);
         // The boot thread's kernel stack is charged best-effort: a process
@@ -646,6 +668,7 @@ impl Kernel {
             op: Op::Upcall(AppEvent::Start),
             charge_to: None,
             kernel_mode: false,
+            span: SpanRef::NONE,
         });
         self.processes.get_mut(&pid)?.threads.push(tid);
         let cpu = self.alloc_app_cpu();
@@ -836,8 +859,17 @@ impl Kernel {
                 let horizon = until.min(next_ev).min(now.saturating_add(pick.slice));
                 let budget = horizon.saturating_sub(now);
                 let dt = th.remaining.min(budget);
+                let span = th.queue.front().map(|i| i.span).unwrap_or(SpanRef::NONE);
                 if !dt.is_zero() {
                     th.remaining -= dt;
+                    if span.id != 0 {
+                        let ph = if span.stall {
+                            Phase::ReclaimStall
+                        } else {
+                            Phase::CpuRun
+                        };
+                        span::cpu_transition(span.id, ph, now);
+                    }
                     let container = th.charge_container();
                     let kernel_mode = th.charge_kernel_mode();
                     let target = if self.containers.contains(container) {
@@ -862,6 +894,10 @@ impl Kernel {
                     .unwrap_or(false);
                 if finished {
                     self.complete_item(pick.task, world);
+                } else if span.id != 0 {
+                    // Preempted mid-item: the request is back to waiting
+                    // for the CPU.
+                    span::cpu_transition(span.id, Phase::CpuQueue, self.clock);
                 }
                 StepOutcome::Progress
             }
@@ -953,6 +989,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn handle_event(&mut self, ev: KernelEvent, world: &mut dyn World) {
+        self.stats.sim_events += 1;
         match ev {
             KernelEvent::PacketIn(pkt) => self.receive_packet(pkt),
             KernelEvent::PacketToWorld(pkt) => {
@@ -1117,7 +1154,8 @@ impl Kernel {
 
     /// Submits a disk read on behalf of `task`; the completion delivers
     /// `AppEvent::FileRead { tag, .. }` once the service time has elapsed
-    /// and the copy cost has been consumed.
+    /// and the copy cost has been consumed. Completed reads populate the
+    /// buffer cache.
     pub(crate) fn submit_disk_read(
         &mut self,
         file: u64,
@@ -1125,7 +1163,7 @@ impl Kernel {
         principal: ContainerId,
         task: TaskId,
         tag: u64,
-        cache: bool,
+        span: u64,
     ) {
         // The completion interrupt fires on the CPU the waiting thread
         // currently runs on (CPU 0 on a uniprocessor).
@@ -1164,14 +1202,22 @@ impl Kernel {
                 bytes,
                 charge_to: principal,
                 intr_cpu,
+                span,
             },
             extra,
             fail,
             &self.containers,
             self.clock,
         );
-        self.disk_waiters
-            .insert(req, DiskWaiter { task, tag, cache });
+        self.disk_waiters.insert(
+            req,
+            DiskWaiter {
+                task,
+                tag,
+                cache: true,
+                span,
+            },
+        );
         self.arm_disk_tick();
     }
 
@@ -1208,6 +1254,10 @@ impl Kernel {
             // a short read and must treat it as an I/O error. The copy
             // cost is only paid for bytes actually transferred.
             let delivered = if c.ok { c.bytes } else { 0 };
+            if w.span != 0 {
+                // Disk service is over; the copy work now waits for CPU.
+                span::transition(w.span, Phase::CpuQueue, self.clock);
+            }
             self.deliver_disk_upcall(
                 w.task,
                 WorkItem {
@@ -1219,6 +1269,7 @@ impl Kernel {
                     }),
                     charge_to: Some(c.charge_to),
                     kernel_mode: true,
+                    span: SpanRef::of(w.span),
                 },
             );
         }
@@ -1338,8 +1389,33 @@ impl Kernel {
                 .map(|c| c.as_u64())
                 .unwrap_or(NO_CONTAINER),
         });
+        if span::enabled() {
+            if let (Demux::Conn(conn), simnet::PacketKind::Data { .. }) = (demux, pkt.kind) {
+                // Request data on an established connection rides the
+                // connection's open span; on an idle keep-alive
+                // connection a fresh request span is minted here, at
+                // classification.
+                let mut sp = self.stack.span_of(conn);
+                if !span::is_open(sp) {
+                    let cu = self
+                        .stack
+                        .container_of(conn)
+                        .map(|c| c.as_u64())
+                        .unwrap_or(0);
+                    sp = span::mint(self.clock, cu, Phase::CpuQueue);
+                    self.stack.set_span(conn, sp);
+                }
+                pkt.span = sp;
+            }
+        }
         match self.cfg.discipline {
             NetDiscipline::Interrupt => {
+                if span::enabled() && pkt.kind == simnet::PacketKind::Syn {
+                    if let Some(s) = sock {
+                        let cu = self.stack.container_of(s).map(|c| c.as_u64()).unwrap_or(0);
+                        pkt.span = span::mint(self.clock, cu, Phase::SynWait);
+                    }
+                }
                 // Full protocol processing at interrupt level, charged to
                 // no principal (§3.2).
                 self.cpus[cpu].overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
@@ -1407,6 +1483,12 @@ impl Kernel {
                         return;
                     }
                 }
+                // A SYN that survived admission mints the request span:
+                // the request now exists and is waiting in the SYN queue.
+                if span::enabled() && pkt.kind == simnet::PacketKind::Syn {
+                    pkt.span = span::mint(self.clock, principal.as_u64(), Phase::SynWait);
+                }
+                let psp = pkt.span;
                 let cap = self.cfg.pending_cap;
                 let q = self
                     .pending
@@ -1419,6 +1501,7 @@ impl Kernel {
                         reason: "queue-full",
                         container: principal.as_u64(),
                     });
+                    span::finish(psp, self.clock, Outcome::Dropped);
                     return;
                 }
                 self.ensure_kthread(owner);
@@ -1598,12 +1681,14 @@ impl Kernel {
                     container: principal.as_u64(),
                 });
                 let cost = self.cfg.cost.rx_cost(pkt.kind);
+                let psp = pkt.span;
                 if let Some(th) = self.threads.get_mut(&ktid) {
                     th.push_work(WorkItem {
                         cost,
                         op: Op::ProtoRx { pkt },
                         charge_to: Some(principal),
                         kernel_mode: true,
+                        span: SpanRef::of(psp),
                     });
                     th.sched_binding.touch(principal, self.clock);
                     th.state = ThreadState::Runnable;
@@ -1681,6 +1766,7 @@ impl Kernel {
                             op: Op::Transmit { pkts: vec![p] },
                             charge_to: principal,
                             kernel_mode: true,
+                            span: SpanRef::NONE,
                         });
                     }
                 }
@@ -1724,6 +1810,7 @@ impl Kernel {
                         }
                         if !ok {
                             // Roll back whatever part was charged.
+                            self.span_conn_teardown(conn, Outcome::Dropped);
                             self.release_sockbuf(conn);
                             let _ = self.containers.unbind_socket(c);
                             if let Some(rst) = self.stack.close(conn) {
@@ -1786,6 +1873,7 @@ impl Kernel {
                             },
                             charge_to: None,
                             kernel_mode: true,
+                            span: SpanRef::NONE,
                         })
                     } else {
                         None
@@ -1796,12 +1884,14 @@ impl Kernel {
                     op: Op::DeliverSelect { socks: vec![sock] },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 }),
                 ThreadState::Blocked(WaitFor::Acceptable(l)) if *l == sock => Some(WorkItem {
                     cost: self.cfg.cost.accept_syscall,
                     op: Op::DeliverSelect { socks: vec![sock] },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 }),
                 _ => None,
             };
@@ -1857,6 +1947,7 @@ impl Kernel {
                         op: Op::DeliverEvents,
                         charge_to: None,
                         kernel_mode: true,
+                        span: SpanRef::NONE,
                     });
                     self.scheduler.set_runnable(tid, true, self.clock);
                 }
@@ -1888,6 +1979,7 @@ impl Kernel {
             op: Op::Upcall(ev),
             charge_to: None,
             kernel_mode: true,
+            span: SpanRef::NONE,
         });
         self.scheduler.set_runnable(tid, true, self.clock);
     }
@@ -1904,6 +1996,7 @@ impl Kernel {
                     op: Op::Upcall(AppEvent::Timer { tag }),
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 });
                 self.scheduler.set_runnable(task, true, self.clock);
             }
@@ -1915,6 +2008,7 @@ impl Kernel {
                     op: Op::Upcall(AppEvent::Timer { tag }),
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 });
                 if matches!(th.state, ThreadState::Blocked(_)) {
                     if let ThreadState::Blocked(w) = th.state.clone() {
@@ -1961,6 +2055,15 @@ impl Kernel {
             return;
         };
         let pid = th.pid;
+        if item.span.id != 0 {
+            // The thread is now acting on this request: work it pushes
+            // from the upcall inherits the span, and until that work runs
+            // the request is queued for the CPU again. Operation-specific
+            // sites below override the phase at the same timestamp
+            // (zero-width segments conserve trivially).
+            th.cur_span = item.span.id;
+            span::cpu_transition(item.span.id, Phase::CpuQueue, self.clock);
+        }
         match item.op {
             Op::Nop => {}
             Op::Upcall(ev) => self.deliver_upcall(pid, task, ev),
@@ -2033,6 +2136,7 @@ impl Kernel {
                 }
             }
             Op::CloseSock { sock } => {
+                self.span_conn_teardown(sock, Outcome::Aborted);
                 self.release_sockbuf(sock);
                 let bound = self.stack.container_of(sock);
                 // Capture the transmit principal before the close frees
@@ -2133,18 +2237,21 @@ impl Kernel {
                     },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 },
                 WaitFor::Readable(s) => WorkItem {
                     cost: self.cfg.cost.read_syscall,
                     op: Op::DeliverSelect { socks: vec![*s] },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 },
                 WaitFor::Acceptable(l) => WorkItem {
                     cost: self.cfg.cost.accept_syscall,
                     op: Op::DeliverSelect { socks: vec![*l] },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 },
                 WaitFor::Event => {
                     let pid = self.threads.get(&task).map(|t| t.pid);
@@ -2157,6 +2264,7 @@ impl Kernel {
                         op: Op::DeliverEvents,
                         charge_to: None,
                         kernel_mode: true,
+                        span: SpanRef::NONE,
                     }
                 }
                 WaitFor::Writable(s) => WorkItem {
@@ -2164,6 +2272,7 @@ impl Kernel {
                     op: Op::DeliverWritable { sock: *s },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 },
                 WaitFor::Timer { .. } | WaitFor::Idle => unreachable!(),
             };
@@ -2224,6 +2333,7 @@ impl Kernel {
                     // Drain queued-but-unaccepted connections first so their
                     // container bindings are released.
                     while let Some(conn) = self.stack.accept(sock) {
+                        self.span_conn_teardown(conn, Outcome::Aborted);
                         let tx_owner = self.tx_principal(conn);
                         if let Some(c) = self.stack.container_of(conn) {
                             let _ = self.containers.unbind_socket(c);
@@ -2243,6 +2353,7 @@ impl Kernel {
                     }
                 }
                 Some(false) => {
+                    self.span_conn_teardown(sock, Outcome::Aborted);
                     let tx_owner = self.tx_principal(sock);
                     if let Some(fin) = self.stack.close(sock) {
                         self.transmit_from(fin, tx_owner);
@@ -2469,6 +2580,7 @@ impl Kernel {
             .collect();
         conns.sort();
         for conn in conns {
+            self.span_conn_teardown(conn, Outcome::Aborted);
             self.release_sockbuf(conn);
             let tx_owner = self.tx_principal(conn);
             if let Some(cb) = self.stack.container_of(conn) {
@@ -2521,13 +2633,102 @@ impl Kernel {
         mem::pressure_check(&self.containers, acct, c);
     }
 
+    // ------------------------------------------------------------------
+    // Request-span transmit bookkeeping (rcspan; purely observational)
+    // ------------------------------------------------------------------
+
+    /// Counts `n` freshly queued response packets against span `sp`
+    /// (called from the `send` syscall, where the packets are created).
+    pub(crate) fn span_tx_queued(&mut self, sp: u64, n: u32) {
+        if sp == 0 || !span::enabled() {
+            return;
+        }
+        self.span_tx.entry(sp).or_default().queued += n;
+    }
+
+    /// Arms finish-on-last-wire-byte for span `sp`: once every counted
+    /// response packet has cleared the wire, the span finishes
+    /// `Completed`. Finishes immediately if nothing is outstanding.
+    pub(crate) fn span_arm_finish(&mut self, sp: u64) {
+        if sp == 0 || !span::enabled() {
+            return;
+        }
+        let st = self.span_tx.entry(sp).or_default();
+        st.armed = true;
+        self.span_tx_check_done(sp);
+    }
+
+    /// Finishes span `sp` `Completed` if it is armed and fully drained.
+    fn span_tx_check_done(&mut self, sp: u64) {
+        let done = self
+            .span_tx
+            .get(&sp)
+            .map(|st| st.armed && st.queued == 0 && st.wire == 0)
+            .unwrap_or(false);
+        if done {
+            self.span_tx.remove(&sp);
+            span::finish(sp, self.clock, Outcome::Completed);
+        }
+    }
+
+    /// One response packet of span `sp` has left the simulated machine
+    /// (wire completion, or instantly on the linkless path).
+    fn span_tx_pkt_done(&mut self, sp: u64, wired: bool) {
+        if sp == 0 {
+            return;
+        }
+        let Some(st) = self.span_tx.get_mut(&sp) else {
+            return;
+        };
+        if wired {
+            st.wire = st.wire.saturating_sub(1);
+        } else {
+            st.queued = st.queued.saturating_sub(1);
+        }
+        if st.armed && st.queued == 0 && st.wire == 0 {
+            self.span_tx.remove(&sp);
+            span::finish(sp, self.clock, Outcome::Completed);
+        } else if st.queued > 0 && st.wire == 0 {
+            // More of the response is still queued behind other
+            // principals' traffic.
+            span::transition(sp, Phase::TxQueue, self.clock);
+        } else if st.queued == 0 && st.wire == 0 {
+            // Response bytes so far are on the far side; the request is
+            // back to CPU work (e.g. producing the rest under
+            // backpressure).
+            span::transition(sp, Phase::CpuQueue, self.clock);
+        }
+    }
+
+    /// Finishes the open span of a connection being torn down, unless the
+    /// span is armed — then the in-flight transmit machinery owns the
+    /// finish (the response is already on its way out).
+    fn span_conn_teardown(&mut self, conn: SockId, outcome: Outcome) {
+        if !span::enabled() {
+            return;
+        }
+        let sp = self.stack.span_of(conn);
+        if sp == 0 || !span::is_open(sp) {
+            return;
+        }
+        let armed = self.span_tx.get(&sp).map(|st| st.armed).unwrap_or(false);
+        if !armed {
+            self.span_tx.remove(&sp);
+            span::finish(sp, self.clock, outcome);
+        }
+    }
+
     fn transmit(&mut self, pkt: Packet) {
         if self.link.is_none() {
             self.stats.pkts_out += 1;
+            let sp = pkt.span;
             self.events.schedule(
                 self.clock + self.cfg.cost.link_latency,
                 KernelEvent::PacketToWorld(pkt),
             );
+            // No finite link: the packet leaves instantly, so the span
+            // sees zero tx-queue and wire time.
+            self.span_tx_pkt_done(sp, false);
             return;
         }
         let owner = match self.stack.classify(&pkt) {
@@ -2592,6 +2793,19 @@ impl Kernel {
             bytes: wire_bytes,
             container: key,
         });
+        if pkt.span != 0 {
+            // The response packet now sits in the link scheduler; unless
+            // an earlier packet of the same request already occupies the
+            // wire, the request is link-queued.
+            let on_wire = self
+                .span_tx
+                .get(&pkt.span)
+                .map(|st| st.wire > 0)
+                .unwrap_or(false);
+            if !on_wire {
+                span::transition(pkt.span, Phase::TxQueue, self.clock);
+            }
+        }
         if let Some(link) = self.link.as_mut() {
             link.enqueue(&path, pkt, wire, self.clock);
         }
@@ -2615,6 +2829,13 @@ impl Kernel {
                     container: owner,
                     wire,
                 });
+                if pkt.span != 0 {
+                    if let Some(st) = self.span_tx.get_mut(&pkt.span) {
+                        st.queued = st.queued.saturating_sub(1);
+                        st.wire += 1;
+                    }
+                    span::transition(pkt.span, Phase::Wire, self.clock);
+                }
                 let done = self.clock + wire;
                 self.link_inflight = Some(LinkInflight {
                     pkt,
@@ -2669,10 +2890,12 @@ impl Kernel {
                 self.wake_writable(owner);
             }
             self.stats.pkts_out += 1;
+            let sp = pkt.span;
             self.events.schedule(
                 self.clock + self.cfg.cost.link_latency,
                 KernelEvent::PacketToWorld(pkt),
             );
+            self.span_tx_pkt_done(sp, true);
         }
         self.link_kick();
     }
@@ -2698,6 +2921,7 @@ impl Kernel {
                     op: Op::DeliverWritable { sock },
                     charge_to: None,
                     kernel_mode: true,
+                    span: SpanRef::NONE,
                 });
             }
             self.scheduler.set_runnable(tid, true, self.clock);

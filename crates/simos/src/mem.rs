@@ -34,6 +34,7 @@
 
 use rescon::{ContainerId, ContainerTable, MemClass, RcError};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
+use simcore::Nanos;
 use simdisk::{BufferCache, CacheOutcome};
 use std::collections::HashSet;
 
@@ -52,6 +53,11 @@ pub struct MemParams {
     /// Fraction of a subtree's `mem_limit` above which a `MemPressure`
     /// trace event fires on each successful charge into that subtree.
     pub pressure_frac: f64,
+    /// Kernel CPU cost per reclaimed byte, modelling the page-steal work
+    /// the allocating thread performs synchronously. Zero (the default)
+    /// keeps reclaim instantaneous — and every existing run
+    /// byte-identical; span scenarios opt in to see reclaim stalls.
+    pub reclaim_cost_per_kb: Nanos,
 }
 
 impl MemParams {
@@ -61,6 +67,7 @@ impl MemParams {
             pcb_bytes: 1024,
             global_budget: None,
             pressure_frac: 0.9,
+            reclaim_cost_per_kb: Nanos::ZERO,
         }
     }
 
@@ -81,6 +88,11 @@ impl MemParams {
 
     pub fn with_pressure_frac(mut self, frac: f64) -> Self {
         self.pressure_frac = frac;
+        self
+    }
+
+    pub fn with_reclaim_cost_per_kb(mut self, cost: Nanos) -> Self {
+        self.reclaim_cost_per_kb = cost;
         self
     }
 }

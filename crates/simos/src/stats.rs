@@ -32,6 +32,9 @@ pub struct KernelStats {
     /// Threads moved between CPUs by the load balancer (always zero on a
     /// uniprocessor configuration).
     pub migrations: u64,
+    /// Kernel events delivered by the main loop (packets, timers, ticks):
+    /// the denominator of the simulator's events-per-second self-benchmark.
+    pub sim_events: u64,
 }
 
 impl KernelStats {

@@ -12,8 +12,9 @@
 
 use rescon::{Attributes, ContainerFd, ContainerId, ContainerRef, RcError, ResourceUsage};
 use sched::TaskId;
+use simcore::span::{self, Phase};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
-use simcore::Nanos;
+use simcore::{Nanos, SpanRef};
 use simnet::{CidrFilter, SockId};
 
 use crate::app::AppHandler;
@@ -164,22 +165,26 @@ impl<'a> SysCtx<'a> {
 
     fn charge(&mut self, cost: Nanos) {
         if let Some(th) = self.k.thread_mut(self.thread) {
+            let span = SpanRef::of(th.cur_span);
             th.push_work(WorkItem {
                 cost,
                 op: Op::Nop,
                 charge_to: None,
                 kernel_mode: true,
+                span,
             });
         }
     }
 
     fn push(&mut self, cost: Nanos, op: Op) {
         if let Some(th) = self.k.thread_mut(self.thread) {
+            let span = SpanRef::of(th.cur_span);
             th.push_work(WorkItem {
                 cost,
                 op,
                 charge_to: None,
                 kernel_mode: false,
+                span,
             });
         }
     }
@@ -224,6 +229,18 @@ impl<'a> SysCtx<'a> {
         self.charge(cost);
         let conn = self.k.stack.accept(listener)?;
         self.k.register_socket(conn, self.pid);
+        if span::enabled() {
+            // Accept ends the request's accept-queue wait; it is now the
+            // application's CPU problem. The accepting thread starts
+            // acting on its behalf.
+            let sp = self.k.stack.span_of(conn);
+            if sp != 0 {
+                span::transition(sp, Phase::CpuQueue, self.k.clock_now());
+                if let Some(th) = self.k.thread_mut(self.thread) {
+                    th.cur_span = sp;
+                }
+            }
+        }
         Some(conn)
     }
 
@@ -289,6 +306,10 @@ impl<'a> SysCtx<'a> {
             return Ok(0);
         }
         self.k.link_reserve(sock, accepted);
+        let sp = pkts.first().map(|p| p.span).unwrap_or(0);
+        if sp != 0 {
+            self.k.span_tx_queued(sp, pkts.len() as u32);
+        }
         let cost = cm.write_syscall + cm.data_tx * pkts.len() as u64;
         self.push(cost, Op::Transmit { pkts });
         Ok(accepted)
@@ -436,11 +457,13 @@ impl<'a> SysCtx<'a> {
     /// `AppEvent::Continue { tag }`.
     pub fn compute(&mut self, cost: Nanos, tag: u64) {
         if let Some(th) = self.k.thread_mut(self.thread) {
+            let span = SpanRef::of(th.cur_span);
             th.push_work(WorkItem {
                 cost,
                 op: Op::Upcall(crate::app::AppEvent::Continue { tag }),
                 charge_to: None,
                 kernel_mode: false,
+                span,
             });
         }
     }
@@ -450,11 +473,13 @@ impl<'a> SysCtx<'a> {
     /// runs — needed when several connections' work is queued at once.
     pub fn compute_charged(&mut self, cost: Nanos, tag: u64, charge_to: Option<ContainerId>) {
         if let Some(th) = self.k.thread_mut(self.thread) {
+            let span = SpanRef::of(th.cur_span);
             th.push_work(WorkItem {
                 cost,
                 op: Op::Upcall(crate::app::AppEvent::Continue { tag }),
                 charge_to,
                 kernel_mode: false,
+                span,
             });
         }
     }
@@ -479,6 +504,7 @@ impl<'a> SysCtx<'a> {
             .unwrap_or_else(|| self.k.containers.root());
         if self.k.disk_cache.lookup(file).is_some() {
             if let Some(th) = self.k.thread_mut(self.thread) {
+                let span = SpanRef::of(th.cur_span);
                 th.push_work(WorkItem {
                     cost: cm.file_copy(bytes),
                     op: Op::Upcall(crate::app::AppEvent::FileRead {
@@ -488,11 +514,17 @@ impl<'a> SysCtx<'a> {
                     }),
                     charge_to: Some(principal),
                     kernel_mode: true,
+                    span,
                 });
             }
         } else {
+            let sp = self
+                .k
+                .thread_ref(self.thread)
+                .map(|t| t.cur_span)
+                .unwrap_or(0);
             self.k
-                .submit_disk_read(file, bytes, principal, self.thread, tag, true);
+                .submit_disk_read(file, bytes, principal, self.thread, tag, sp);
         }
     }
 
@@ -534,7 +566,43 @@ impl<'a> SysCtx<'a> {
         self.trace_sys("kmem_reserve");
         let cost = self.k.cost_model().rc_usage;
         self.charge(cost);
-        if self.k.kmem_reserve(self.pid, bytes) {
+        let reclaimed_before = self.k.mem_acct().map(|m| m.reclaimed_bytes).unwrap_or(0);
+        let ok = self.k.kmem_reserve(self.pid, bytes);
+        // With a non-zero reclaim cost configured, page stealing that
+        // this charge forced shows up as a kernel-mode stall on the
+        // calling thread, attributed to the current request span as
+        // reclaim time (zero pages stolen or zero cost: no extra work,
+        // and every pre-existing run stays byte-identical).
+        let per_kb = self
+            .k
+            .mem_acct()
+            .map(|m| m.params.reclaim_cost_per_kb)
+            .unwrap_or(Nanos::ZERO);
+        if !per_kb.is_zero() {
+            let reclaimed = self
+                .k
+                .mem_acct()
+                .map(|m| m.reclaimed_bytes)
+                .unwrap_or(0)
+                .saturating_sub(reclaimed_before);
+            if reclaimed > 0 {
+                let stall = Nanos::from_nanos(per_kb.as_nanos() * reclaimed.div_ceil(1024));
+                if let Some(th) = self.k.thread_mut(self.thread) {
+                    let span = SpanRef {
+                        id: th.cur_span,
+                        stall: true,
+                    };
+                    th.push_work(WorkItem {
+                        cost: stall,
+                        op: Op::Nop,
+                        charge_to: None,
+                        kernel_mode: true,
+                        span,
+                    });
+                }
+            }
+        }
+        if ok {
             Ok(())
         } else {
             Err(SysError::NoMem)
@@ -548,6 +616,48 @@ impl<'a> SysCtx<'a> {
         let cost = self.k.cost_model().rc_usage;
         self.charge(cost);
         self.k.kmem_release(self.pid, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Request spans (rcspan)
+    // ------------------------------------------------------------------
+
+    /// Declares that the calling thread is now working on behalf of the
+    /// request span riding `conn`. Costless and purely observational:
+    /// subsequent queued work (syscall costs, `compute`, `read_file`) is
+    /// attributed to that span's phase ledger. A no-op when the span
+    /// layer is off or the connection carries no open span.
+    pub fn span_attach(&mut self, conn: SockId) {
+        if !span::enabled() {
+            return;
+        }
+        let sp = self.k.stack.span_of(conn);
+        if let Some(th) = self.k.thread_mut(self.thread) {
+            th.cur_span = sp;
+        }
+    }
+
+    /// The request span riding `conn` (`0` when none or the layer is
+    /// off). Applications use it to correlate their own logs with the
+    /// exported trace.
+    pub fn span_of(&self, conn: SockId) -> u64 {
+        if !span::enabled() {
+            return 0;
+        }
+        self.k.stack.span_of(conn)
+    }
+
+    /// Arms finish-on-transmit for the request span riding `conn`: the
+    /// span finishes `Completed` when the last queued response packet
+    /// clears the (possibly finite) link — so end-to-end latency is
+    /// measured to the last wire byte, not to the `send` syscall.
+    /// Costless, observational, and a no-op when the layer is off.
+    pub fn span_finish_on_tx(&mut self, conn: SockId) {
+        if !span::enabled() {
+            return;
+        }
+        let sp = self.k.stack.span_of(conn);
+        self.k.span_arm_finish(sp);
     }
 
     // ------------------------------------------------------------------

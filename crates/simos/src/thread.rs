@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use rescon::{ContainerId, SchedulerBinding};
 use sched::TaskId;
-use simcore::Nanos;
+use simcore::{Nanos, SpanRef};
 use simnet::{Packet, SockId};
 
 use crate::app::AppEvent;
@@ -102,6 +102,9 @@ pub struct WorkItem {
     pub charge_to: Option<ContainerId>,
     /// Charge as kernel-mode time.
     pub kernel_mode: bool,
+    /// Request span this work executes on behalf of
+    /// ([`SpanRef::NONE`] when none); purely observational.
+    pub span: SpanRef,
 }
 
 /// Scheduling state of a thread.
@@ -146,6 +149,11 @@ pub struct Thread {
     pub remaining: Nanos,
     /// Scheduling state.
     pub state: ThreadState,
+    /// Request span the thread is currently working on behalf of
+    /// (`0` = none). Set when a span-tagged work item completes and
+    /// inherited by work the thread pushes from syscalls; purely
+    /// observational.
+    pub cur_span: u64,
 }
 
 impl Thread {
@@ -162,6 +170,7 @@ impl Thread {
             queue: VecDeque::new(),
             remaining: Nanos::ZERO,
             state: ThreadState::Runnable,
+            cur_span: 0,
         }
     }
 
@@ -224,6 +233,7 @@ mod tests {
             op: Op::Nop,
             charge_to: None,
             kernel_mode: false,
+            span: SpanRef::NONE,
         }
     }
 
@@ -262,6 +272,7 @@ mod tests {
             op: Op::Nop,
             charge_to: Some(other),
             kernel_mode: true,
+            span: SpanRef::NONE,
         });
         assert_eq!(th.charge_container(), other);
         assert!(th.charge_kernel_mode());

@@ -14,6 +14,7 @@ pub mod fig14;
 pub mod memhog_tenants;
 pub mod qos_tenants;
 pub mod smp_tenants;
+pub mod span_tenants;
 pub mod synflood_fault;
 pub mod virtual_servers;
 
@@ -28,5 +29,6 @@ pub use memhog_tenants::{
 };
 pub use qos_tenants::{run_qos_tenants, QosTenantsParams, QosTenantsResult};
 pub use smp_tenants::{run_smp_tenants, SmpTenantsParams, SmpTenantsResult};
+pub use span_tenants::{run_span_tenants, SpanTenantsParams, SpanTenantsResult, TENANT_NAMES};
 pub use synflood_fault::{run_synflood_fault, SynfloodFaultParams, SynfloodFaultResult};
 pub use virtual_servers::{run_virtual_servers, VsParams, VsResult};

@@ -6,6 +6,7 @@ use resource_containers::prelude::*;
 
 use httpsim::stats::shared_stats;
 use simcore::fault::FaultPlan;
+use simcore::span::SpanBuffer;
 use simcore::Nanos;
 
 /// A compact description of a random workload.
@@ -69,6 +70,7 @@ fn run_mix_traced(mix: &Mix) -> ((u64, u64, Nanos), String, String) {
     rctrace::start(TraceConfig {
         ring_capacity: 1 << 16,
         sample_interval: Nanos::from_millis(10),
+        spans: false,
     });
     let result = run_mix(mix);
     let session = rctrace::finish().expect("trace session active");
@@ -139,15 +141,19 @@ struct FaultRun {
     /// wire nanosecond is in exactly one subtree (root, floating, or
     /// reaped).
     tx_conserved: bool,
+    /// Drained request-span ledgers (`None` unless spans were on).
+    spans: Option<SpanBuffer>,
 }
 
 /// `link = true` puts a finite 40 Mbit/s WFQ link on the transmit path,
 /// so every faulted run also exercises wire-time charging, send
 /// backpressure, and link-queue drops under packet loss + SMP.
-fn run_fault_mix(mix: &Mix, seed: u64, link: bool) -> FaultRun {
+/// `spans = true` additionally records per-request causal spans.
+fn run_fault_mix(mix: &Mix, seed: u64, link: bool, spans: bool) -> FaultRun {
     rctrace::start(TraceConfig {
         ring_capacity: 1 << 16,
         sample_interval: Nanos::from_millis(10),
+        spans,
     });
     let mut kernel = match mix.kernel {
         0 => KernelConfig::unmodified(),
@@ -214,6 +220,7 @@ fn run_fault_mix(mix: &Mix, seed: u64, link: bool) -> FaultRun {
         conserved,
         link_busy: g.link_busy,
         tx_conserved,
+        spans: session.spans.clone(),
     }
 }
 
@@ -225,8 +232,8 @@ proptest! {
     /// conserved per CPU with faults flying.
     #[test]
     fn faulted_runs_are_deterministic(mix in mix_strategy()) {
-        let a = run_fault_mix(&mix, 41, false);
-        let b = run_fault_mix(&mix, 41, false);
+        let a = run_fault_mix(&mix, 41, false, false);
+        let b = run_fault_mix(&mix, 41, false, false);
         prop_assert!(a.injected > 0, "plan injected nothing for {mix:?}");
         prop_assert!(a.conserved, "per-CPU accounting not conserved for {mix:?}");
         prop_assert_eq!(a.served, b.served);
@@ -240,8 +247,8 @@ proptest! {
     /// container subtree, with packet faults flying.
     #[test]
     fn linked_faulted_runs_conserve_tx(mix in mix_strategy()) {
-        let a = run_fault_mix(&mix, 43, true);
-        let b = run_fault_mix(&mix, 43, true);
+        let a = run_fault_mix(&mix, 43, true, false);
+        let b = run_fault_mix(&mix, 43, true, false);
         prop_assert!(a.link_busy > Nanos::ZERO, "link never transmitted for {mix:?}");
         prop_assert!(a.tx_conserved, "tx accounting not conserved for {mix:?}");
         prop_assert!(b.tx_conserved);
@@ -249,6 +256,44 @@ proptest! {
         prop_assert_eq!(a.served, b.served);
         prop_assert_eq!(a.injected, b.injected);
         prop_assert_eq!(a.chrome, b.chrome, "linked faulted chrome trace not byte-identical");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// rcspan's two structural invariants survive the worst conditions
+    /// the simulator can compose — faults flying, two CPUs, a finite
+    /// WFQ link: every span minted is closed by the time the session
+    /// drains, and every ledger's phase durations sum *exactly* to its
+    /// end-to-end latency in integer nanoseconds. Recording spans must
+    /// also leave the simulation itself untouched.
+    #[test]
+    fn spans_close_and_conserve_under_faults(mix in mix_strategy()) {
+        let plain = run_fault_mix(&mix, 47, true, false);
+        let spanned = run_fault_mix(&mix, 47, true, true);
+        prop_assert_eq!(
+            spanned.served, plain.served,
+            "span recording perturbed the run for {:?}", &mix
+        );
+        prop_assert_eq!(spanned.injected, plain.injected);
+        prop_assert!(spanned.conserved);
+
+        let buf = spanned.spans.expect("span session was on");
+        prop_assert!(buf.minted > 0, "no spans minted for {:?}", &mix);
+        prop_assert_eq!(
+            buf.minted, buf.finished,
+            "a minted span never closed for {:?}", &mix
+        );
+        prop_assert_eq!(buf.dropped, 0, "retention cap hit in a mini run");
+        for l in &buf.ledgers {
+            prop_assert!(l.end >= l.start, "span {} runs backwards", l.request);
+            prop_assert_eq!(
+                l.total(), l.end - l.start,
+                "span {} leaks time: phases sum to {:?}, e2e {:?}",
+                l.request, l.total(), l.end - l.start
+            );
+        }
     }
 }
 
@@ -323,8 +368,8 @@ fn different_fault_seed_different_injections_same_conservation() {
         think_ms: 0,
         kernel: 2,
     };
-    let a = run_fault_mix(&mix, 1, false);
-    let b = run_fault_mix(&mix, 2, false);
+    let a = run_fault_mix(&mix, 1, false, false);
+    let b = run_fault_mix(&mix, 2, false, false);
     assert!(a.injected > 0 && b.injected > 0);
     assert!(
         a.chrome != b.chrome,

@@ -116,6 +116,7 @@ fn mini_run_ncpus(ncpus: u32) -> simos::Kernel {
     rctrace::start(TraceConfig {
         ring_capacity: 1 << 16,
         sample_interval: Nanos::from_millis(2),
+        spans: false,
     });
     let stats = shared_stats();
     let mut k = simos::Kernel::new(KernelConfig::resource_containers().with_ncpus(ncpus));

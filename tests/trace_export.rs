@@ -19,11 +19,19 @@ fn mini_run(trace: bool) -> (simos::Kernel, u64) {
 }
 
 fn mini_run_on(cfg: KernelConfig, trace: bool) -> (simos::Kernel, u64) {
-    if trace {
-        rctrace::start(TraceConfig {
+    mini_run_cfg(
+        cfg,
+        trace.then_some(TraceConfig {
             ring_capacity: 1 << 16,
             sample_interval: Nanos::from_millis(2),
-        });
+            spans: false,
+        }),
+    )
+}
+
+fn mini_run_cfg(cfg: KernelConfig, trace: Option<TraceConfig>) -> (simos::Kernel, u64) {
+    if let Some(tc) = trace {
+        rctrace::start(tc);
     }
     let stats = shared_stats();
     let mut k = simos::Kernel::new(cfg);
@@ -218,6 +226,90 @@ fn mem_run_exports_mem_section_and_conserves_ledger() {
     assert!(
         metrics.contains("\"sockbuf\""),
         "per-class breakdown missing"
+    );
+}
+
+/// A deliberately tiny ring must overflow on the mini workload, and the
+/// dump must surface the loss — emitted, dropped, and retained counts —
+/// instead of silently truncating the window.
+#[test]
+fn trace_ring_overflow_is_surfaced_in_dump() {
+    let (_k, served) = mini_run_cfg(
+        KernelConfig::resource_containers(),
+        Some(TraceConfig {
+            ring_capacity: 64,
+            sample_interval: Nanos::from_millis(2),
+            spans: false,
+        }),
+    );
+    let session = rctrace::finish().expect("active session");
+    assert!(served > 0);
+    assert!(
+        session.trace.dropped > 0,
+        "a 64-slot ring survived the mini workload without overflow"
+    );
+    assert_eq!(
+        session.trace.events.len(),
+        64,
+        "ring retained over capacity"
+    );
+    assert_eq!(
+        session.trace.emitted,
+        session.trace.dropped + session.trace.events.len() as u64,
+        "overflow accounting does not balance"
+    );
+    let dump = metrics_json(&session);
+    let expect = format!(
+        "\"trace\":{{\"emitted\":{},\"dropped\":{},\"retained\":64}}",
+        session.trace.emitted, session.trace.dropped
+    );
+    assert!(
+        dump.contains(&expect),
+        "dump does not surface the overflow: wanted {expect}"
+    );
+}
+
+/// The mini workload with request spans on: the simulation itself is
+/// untouched (span recording is purely observational), every minted
+/// span closes with its phases summing exactly to its end-to-end
+/// latency, and both exporters grow their span sections.
+#[test]
+fn span_enabled_mini_run_exports_span_sections() {
+    let (k_off, served_off) = mini_run(false);
+    let (k_on, served) = mini_run_cfg(
+        KernelConfig::resource_containers(),
+        Some(TraceConfig {
+            ring_capacity: 1 << 16,
+            sample_interval: Nanos::from_millis(2),
+            spans: true,
+        }),
+    );
+    let session = rctrace::finish().expect("active session");
+    assert_eq!(served, served_off, "span recording perturbed the run");
+    assert_eq!(k_off.stats().charged_cpu, k_on.stats().charged_cpu);
+    assert_eq!(k_off.stats().ctx_switches, k_on.stats().ctx_switches);
+
+    let spans = session.spans.as_ref().expect("span buffer drained");
+    assert!(spans.minted > 0, "no spans minted");
+    assert_eq!(spans.minted, spans.finished, "a span never closed");
+    for l in &spans.ledgers {
+        assert_eq!(
+            l.total(),
+            l.end - l.start,
+            "span {} phases do not sum to its latency",
+            l.request
+        );
+    }
+
+    let dump = metrics_json(&session);
+    assert!(
+        dump.contains("\"spans\":{"),
+        "metrics spans section missing"
+    );
+    let chrome = chrome_trace_json(&session);
+    assert!(
+        chrome.contains("\"cat\":\"request\""),
+        "chrome request spans missing"
     );
 }
 

@@ -1,0 +1,47 @@
+//! The hot-swappable policy plane.
+//!
+//! The simulated kernel has three scheduling seams — CPU
+//! ([`sched::Scheduler`]), disk ([`simdisk::IoSched`]), and link
+//! ([`simnet::LinkSched`]) — that historically were chosen at boot and
+//! fixed for the life of the run. This crate refactors them into one
+//! *policy plane*: a common lifecycle ([`Policy`]) under which any of the
+//! three can be detached mid-run, its in-flight state exported through a
+//! policy-neutral snapshot, and a freshly built replacement attached with
+//! that state replayed into it. The paper frames resource containers as
+//! *mechanism*, explicitly separate from scheduling *policy* (§4.4); this
+//! crate is that separation made operational — policies become the
+//! swappable half.
+//!
+//! Three rules make mid-run swaps safe:
+//!
+//! 1. **Snapshots carry only what the kernel said.** A CPU snapshot is
+//!    (task, home CPU, binding, runnable); a disk snapshot is the queued
+//!    requests; a link snapshot is the queued packets with their class
+//!    chains. Nothing the detaching policy *invented* — passes, virtual
+//!    times, decayed usages, token buckets — crosses the swap.
+//! 2. **Fresh ledgers for everyone at once.** The attaching policy starts
+//!    every principal at its own notion of "just joined". This is the
+//!    repo-wide sleeper-rejoin rule (no banked credit) applied to the
+//!    whole machine simultaneously, so no principal gains or loses
+//!    relative standing from the swap itself.
+//! 3. **Accounting lives below the policy.** Charged CPU/disk/wire time
+//!    is recorded in [`rescon::ContainerTable`] and device totals, which a
+//!    swap never touches — so conservation invariants hold across any
+//!    swap schedule, and a run that never swaps is byte-identical to one
+//!    built before this crate existed.
+//!
+//! [`build_cpu`], [`build_disk`], and [`build_link`] form the policy
+//! registry: the single place where policy kinds become instances (the
+//! kernel's old hard-coded constructor matches moved here). [`spec`]
+//! parses human-written policy specs (`"edf"`, `"decay->edf@2s"`) for
+//! CLIs and the A/B harness.
+
+pub mod lifecycle;
+pub mod registry;
+pub mod spec;
+
+pub use lifecycle::{swap, Plane, Policy};
+pub use registry::{build_cpu, build_disk, build_link, CpuPolicyKind, DiskPolicyKind};
+pub use spec::{
+    parse_cpu, parse_cpu_schedule, parse_disk, parse_duration, parse_link, CpuSchedule,
+};

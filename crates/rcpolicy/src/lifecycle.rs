@@ -1,0 +1,245 @@
+//! The policy lifecycle: detach a live policy, export its policy-neutral
+//! state, and replay that state into a freshly built replacement.
+
+use rescon::ContainerTable;
+use sched::{Scheduler, TaskSnapshot};
+use simcore::Nanos;
+use simdisk::{IoSched, QueuedRequest};
+use simnet::{LinkSched, TxSnapshot};
+
+/// The three resource planes whose scheduling policy can be swapped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Plane {
+    /// CPU scheduling ([`sched::Scheduler`]).
+    Cpu,
+    /// Disk request ordering ([`simdisk::IoSched`]).
+    Disk,
+    /// Transmit link queueing ([`simnet::LinkSched`]).
+    Link,
+}
+
+impl Plane {
+    /// Stable lowercase label used in trace events and metrics dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Plane::Cpu => "cpu",
+            Plane::Disk => "disk",
+            Plane::Link => "link",
+        }
+    }
+}
+
+/// A swappable scheduling policy: the common lifecycle over all three
+/// planes.
+///
+/// `Snapshot` is the plane's policy-neutral state — everything the kernel
+/// handed to the policy, nothing the policy computed from it. `Ctx` is
+/// whatever extra context the plane's `import` needs (only the disk
+/// plane needs one: its disciplines read container shares at enqueue
+/// time).
+///
+/// A swap is `export_state` on the detaching instance followed by
+/// `import_state` on a freshly built replacement; [`swap`] packages the
+/// sequence. Implementations must make export → import → export a
+/// fixpoint: importing a snapshot and immediately exporting again yields
+/// the same snapshot (same items, same order), which is what makes swap
+/// schedules composable and replayable.
+pub trait Policy {
+    /// The plane's policy-neutral state.
+    type Snapshot;
+    /// Extra context `import_state` needs, borrowed from the kernel.
+    type Ctx<'a>;
+
+    /// Short stable policy name for trace events and reports.
+    fn policy_name(&self) -> &'static str;
+
+    /// Detaches: removes and returns all in-flight state in a
+    /// deterministic order.
+    fn export_state(&mut self) -> Self::Snapshot;
+
+    /// Attaches: replays exported state into this (freshly built)
+    /// policy. Policy-internal ledgers start fresh.
+    fn import_state(&mut self, snap: Self::Snapshot, ctx: Self::Ctx<'_>, now: Nanos);
+}
+
+impl Policy for Box<dyn Scheduler> {
+    type Snapshot = Vec<TaskSnapshot>;
+    type Ctx<'a> = ();
+
+    fn policy_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn export_state(&mut self) -> Vec<TaskSnapshot> {
+        self.export_tasks()
+    }
+
+    fn import_state(&mut self, snap: Vec<TaskSnapshot>, _ctx: (), now: Nanos) {
+        self.import_tasks(&snap, now);
+    }
+}
+
+impl Policy for Box<dyn IoSched> {
+    type Snapshot = Vec<QueuedRequest>;
+    type Ctx<'a> = &'a ContainerTable;
+
+    fn policy_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn export_state(&mut self) -> Vec<QueuedRequest> {
+        self.drain()
+    }
+
+    fn import_state(&mut self, snap: Vec<QueuedRequest>, table: &ContainerTable, _now: Nanos) {
+        for req in snap {
+            self.enqueue(req, table);
+        }
+    }
+}
+
+impl Policy for Box<dyn LinkSched> {
+    type Snapshot = Vec<TxSnapshot>;
+    type Ctx<'a> = ();
+
+    fn policy_name(&self) -> &'static str {
+        self.name()
+    }
+
+    fn export_state(&mut self) -> Vec<TxSnapshot> {
+        self.drain()
+    }
+
+    fn import_state(&mut self, snap: Vec<TxSnapshot>, _ctx: (), now: Nanos) {
+        for s in snap {
+            self.enqueue(&s.path, s.pkt, s.wire, now);
+        }
+    }
+}
+
+/// Swaps the policy in `slot` for `fresh`, draining the old instance's
+/// state through the plane's snapshot and replaying it into the new one.
+/// Returns `(detached name, attached name)` for the swap trace event.
+///
+/// The disk plane's device-side twin is [`simdisk::SimDisk::replace_sched`]
+/// (the device owns its discipline, so the kernel swaps through it); both
+/// paths implement the same export/import sequence.
+pub fn swap<P: Policy>(
+    slot: &mut P,
+    mut fresh: P,
+    ctx: P::Ctx<'_>,
+    now: Nanos,
+) -> (&'static str, &'static str) {
+    let from = slot.policy_name();
+    let to = fresh.policy_name();
+    let snap = slot.export_state();
+    fresh.import_state(snap, ctx, now);
+    *slot = fresh;
+    (from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{build_cpu, build_disk, build_link, CpuPolicyKind, DiskPolicyKind};
+    use rescon::Attributes;
+    use sched::{CpuId, TaskId};
+    use simdisk::ReqId;
+    use simnet::{Dispatch, FlowKey, IpAddr, Packet, PacketKind, QdiscKind};
+
+    #[test]
+    fn plane_labels() {
+        assert_eq!(Plane::Cpu.label(), "cpu");
+        assert_eq!(Plane::Disk.label(), "disk");
+        assert_eq!(Plane::Link.label(), "link");
+    }
+
+    #[test]
+    fn cpu_swap_preserves_tasks_bindings_and_runnability() {
+        let mut table = ContainerTable::new();
+        let c = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut sched = build_cpu(CpuPolicyKind::DecayUsage, 2);
+        sched.add_task(TaskId(1), &[c], CpuId(0), Nanos::ZERO);
+        sched.add_task(TaskId(2), &[c], CpuId(1), Nanos::ZERO);
+        sched.set_runnable(TaskId(1), true, Nanos::ZERO);
+        let now = Nanos::from_millis(7);
+        let (from, to) = swap(&mut sched, build_cpu(CpuPolicyKind::Edf, 2), (), now);
+        assert_eq!((from, to), ("decay-usage", "edf"));
+        assert_eq!(sched.cpu_of(TaskId(1)), Some(CpuId(0)));
+        assert_eq!(sched.cpu_of(TaskId(2)), Some(CpuId(1)));
+        assert!(sched.is_runnable(TaskId(1)));
+        assert!(!sched.is_runnable(TaskId(2)));
+        let p = sched.pick(CpuId(0), &table, now).unwrap();
+        assert_eq!(p.task, TaskId(1));
+    }
+
+    #[test]
+    fn cpu_export_import_export_is_a_fixpoint() {
+        let mut table = ContainerTable::new();
+        let c = table.create(None, Attributes::time_shared(5)).unwrap();
+        let mut a = build_cpu(CpuPolicyKind::Stride, 2);
+        for i in 0..6 {
+            a.add_task(TaskId(i), &[c], CpuId(i % 2), Nanos::ZERO);
+            if i % 3 == 0 {
+                a.set_runnable(TaskId(i), true, Nanos::ZERO);
+            }
+        }
+        let snap = a.export_state();
+        let mut b = build_cpu(CpuPolicyKind::Lottery(42), 2);
+        b.import_state(snap.clone(), (), Nanos::ZERO);
+        assert_eq!(b.export_state(), snap);
+    }
+
+    #[test]
+    fn disk_swap_replays_queue_in_order() {
+        let table = ContainerTable::new();
+        let mut disk = build_disk(DiskPolicyKind::Share);
+        for i in 0..5 {
+            disk.enqueue(
+                QueuedRequest {
+                    id: ReqId(i),
+                    file: i,
+                    bytes: 4096,
+                    charge_to: table.root(),
+                    intr_cpu: 0,
+                    extra_service: Nanos::ZERO,
+                    fail: false,
+                    span: 0,
+                },
+                &table,
+            );
+        }
+        let (from, to) = {
+            let fresh = build_disk(DiskPolicyKind::Fifo);
+            swap(&mut disk, fresh, &table, Nanos::ZERO)
+        };
+        assert_eq!((from, to), ("share", "fifo"));
+        for i in 0..5 {
+            assert_eq!(disk.dequeue(&table).unwrap().id, ReqId(i));
+        }
+    }
+
+    #[test]
+    fn link_swap_replays_packets_in_arrival_order() {
+        let mut link = build_link(QdiscKind::Wfq);
+        for i in 0..4u64 {
+            link.enqueue(
+                &[(1, 1, None), (10 + i % 2, 1, None)],
+                Packet::new(
+                    FlowKey::new(IpAddr::new(10, 0, 0, 1), 4000, 80),
+                    PacketKind::Data { bytes: 100 },
+                ),
+                Nanos::from_micros(10),
+                Nanos::ZERO,
+            );
+        }
+        let (from, to) = swap(&mut link, build_link(QdiscKind::Fifo), (), Nanos::ZERO);
+        assert_eq!((from, to), ("wfq", "fifo"));
+        assert_eq!(link.queued_pkts(), 4);
+        let mut order = Vec::new();
+        while let Dispatch::Start { owner, .. } = link.dispatch(Nanos::ZERO) {
+            order.push(owner);
+        }
+        assert_eq!(order, [10, 11, 10, 11]);
+    }
+}

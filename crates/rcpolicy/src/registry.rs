@@ -1,0 +1,136 @@
+//! The policy registry: the single place where policy kinds become
+//! running instances. The kernel's old hard-coded constructor matches
+//! (one in `Kernel::new` per plane) moved here so boot-time construction
+//! and mid-run swaps build policies identically.
+
+use sched::{
+    DecayUsageScheduler, EdfScheduler, LotteryScheduler, MultiLevelScheduler, PerCpu, Scheduler,
+    StrideScheduler,
+};
+use simdisk::{FifoIoSched, IoSched, ShareIoSched};
+use simnet::{LinkSched, QdiscKind};
+
+/// Which CPU scheduling policy to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuPolicyKind {
+    /// Classic decay-usage time sharing over tasks (the "unmodified"
+    /// baseline and the LRP configuration).
+    DecayUsage,
+    /// The paper's container-aware multi-level scheduler.
+    MultiLevel,
+    /// Flat stride scheduling (ablation).
+    Stride,
+    /// Flat lottery scheduling with the given seed (stride's randomized
+    /// ablation twin).
+    Lottery(u64),
+    /// Earliest-deadline-first over per-container latency targets
+    /// ([`rescon::Attributes::with_deadline`]).
+    Edf,
+}
+
+impl CpuPolicyKind {
+    /// The name the built policy will report, for display before
+    /// construction.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuPolicyKind::DecayUsage => "decay-usage",
+            CpuPolicyKind::MultiLevel => "multilevel-rc",
+            CpuPolicyKind::Stride => "stride",
+            CpuPolicyKind::Lottery(_) => "lottery",
+            CpuPolicyKind::Edf => "edf",
+        }
+    }
+}
+
+/// Which disk request-ordering policy to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskPolicyKind {
+    /// Arrival order — the unmodified kernel's single disk queue, where a
+    /// container with a deep backlog delays every other principal.
+    Fifo,
+    /// Per-container virtual-time dispatch weighted by effective share
+    /// (the disk-bandwidth analogue of the container CPU guarantee).
+    Share,
+}
+
+impl DiskPolicyKind {
+    /// The name the built policy will report.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiskPolicyKind::Fifo => "fifo",
+            DiskPolicyKind::Share => "share",
+        }
+    }
+}
+
+/// Builds the SMP CPU scheduler: one core policy instance per CPU behind
+/// a [`PerCpu`] router. With one CPU this is a pure pass-through, so each
+/// policy observes exactly the uniprocessor call sequence.
+pub fn build_cpu(kind: CpuPolicyKind, ncpus: u32) -> Box<dyn Scheduler> {
+    let n = ncpus.max(1) as usize;
+    match kind {
+        CpuPolicyKind::DecayUsage => Box::new(PerCpu::new(
+            (0..n).map(|_| DecayUsageScheduler::new()).collect(),
+        )),
+        CpuPolicyKind::MultiLevel => Box::new(PerCpu::new(
+            (0..n).map(|_| MultiLevelScheduler::new()).collect(),
+        )),
+        CpuPolicyKind::Stride => Box::new(PerCpu::new(
+            (0..n).map(|_| StrideScheduler::new()).collect(),
+        )),
+        CpuPolicyKind::Lottery(seed) => Box::new(PerCpu::new(
+            // Distinct per-CPU seeds keep the cores' draws independent;
+            // CPU 0 keeps the configured seed, so a single-CPU run is
+            // unchanged.
+            (0..n)
+                .map(|i| LotteryScheduler::new(seed.wrapping_add(i as u64)))
+                .collect(),
+        )),
+        CpuPolicyKind::Edf => Box::new(PerCpu::new((0..n).map(|_| EdfScheduler::new()).collect())),
+    }
+}
+
+/// Builds a disk request-ordering policy.
+pub fn build_disk(kind: DiskPolicyKind) -> Box<dyn IoSched> {
+    match kind {
+        DiskPolicyKind::Fifo => Box::new(FifoIoSched::new()),
+        DiskPolicyKind::Share => Box::new(ShareIoSched::new()),
+    }
+}
+
+/// Builds a transmit link queueing policy.
+pub fn build_link(qdisc: QdiscKind) -> Box<dyn LinkSched> {
+    match qdisc {
+        QdiscKind::Fifo => Box::new(simnet::FifoLink::new()),
+        QdiscKind::Wfq => Box::new(simnet::WfqLink::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_built_instances() {
+        for kind in [
+            CpuPolicyKind::DecayUsage,
+            CpuPolicyKind::MultiLevel,
+            CpuPolicyKind::Stride,
+            CpuPolicyKind::Lottery(7),
+            CpuPolicyKind::Edf,
+        ] {
+            assert_eq!(build_cpu(kind, 1).name(), kind.name());
+        }
+        for kind in [DiskPolicyKind::Fifo, DiskPolicyKind::Share] {
+            assert_eq!(build_disk(kind).name(), kind.name());
+        }
+        assert_eq!(build_link(QdiscKind::Fifo).name(), "fifo");
+        assert_eq!(build_link(QdiscKind::Wfq).name(), "wfq");
+    }
+
+    #[test]
+    fn build_cpu_clamps_zero_cpus() {
+        assert_eq!(build_cpu(CpuPolicyKind::Stride, 0).ncpus(), 1);
+        assert_eq!(build_cpu(CpuPolicyKind::Edf, 4).ncpus(), 4);
+    }
+}

@@ -83,7 +83,8 @@ fn event_container(kind: &TraceEventKind) -> Option<u64> {
         | TraceEventKind::SchedPick { .. }
         | TraceEventKind::FaultClientAbandon { .. }
         | TraceEventKind::FaultClientMalformed { .. }
-        | TraceEventKind::FaultClientSlow { .. } => None,
+        | TraceEventKind::FaultClientSlow { .. }
+        | TraceEventKind::PolicySwap { .. } => None,
     }
 }
 
@@ -470,6 +471,21 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                         latency.as_micros(),
                         threshold.as_micros()
                     ),
+                ));
+            }
+            TraceEventKind::PolicySwap { plane, from, to } => {
+                // Pin the instant to the plane's own device/CPU track so
+                // the swap is visible where its effect is.
+                let pid = match plane {
+                    "disk" => DISK_PID,
+                    "link" => LINK_PID,
+                    _ => CPU_PID,
+                };
+                evs.push(instant(
+                    pid,
+                    at,
+                    "policy",
+                    &format!("{plane} policy {from} -> {to}"),
                 ));
             }
             _ => {}

@@ -274,6 +274,11 @@ pub struct Metrics {
     /// Registered latency objectives and their online monitoring state
     /// (empty unless [`crate::register_slos`] was called).
     pub slos: Vec<SloState>,
+    /// Mid-run policy swaps as `(at, plane, from, to)`, in order of
+    /// application. Recorded directly (not scraped from the trace ring)
+    /// so a long run cannot evict them; empty for swap-free runs, which
+    /// keeps the `policy` metrics section gated off.
+    pub policy_swaps: Vec<(Nanos, &'static str, &'static str, &'static str)>,
 }
 
 impl Metrics {
@@ -287,6 +292,7 @@ impl Metrics {
             globals: GlobalTotals::default(),
             per_cpu: Vec::new(),
             slos: Vec::new(),
+            policy_swaps: Vec::new(),
         }
     }
 
@@ -545,6 +551,19 @@ pub fn metrics_json(session: &TraceSession) -> String {
         }
         out.push(']');
     }
+    // A policy section appears only when at least one mid-run policy
+    // swap occurred, so swap-free dumps (and all pre-rcpolicy goldens)
+    // are byte-identical to before the policy plane existed. Swaps are
+    // read from the metrics collector, not the trace ring: ring
+    // eviction on a long run must not lose control-plane history.
+    if !m.policy_swaps.is_empty() {
+        let swaps: Vec<(Nanos, &str, &str, &str)> = m
+            .policy_swaps
+            .iter()
+            .map(|&(at, plane, from, to)| (at, plane, from, to))
+            .collect();
+        write_policy(&mut out, m, g.end, &swaps);
+    }
     out.push_str(",\"containers\":[");
     for (i, (&id, series)) in m.containers.iter().enumerate() {
         if i > 0 {
@@ -708,6 +727,108 @@ fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
 /// slowest 1% of requests). Latency statistics cover *completed* spans
 /// only; dropped/aborted/unfinished requests appear in the outcome
 /// counts but would skew the blame breakdown.
+/// Renders the `policy` section of the metrics dump: the list of mid-run
+/// policy swaps plus per-policy-epoch attribution. Epoch boundaries are
+/// the swap instants; each epoch lists the active policy per plane (for
+/// planes whose policy is known from the swap stream — a plane that
+/// never swapped has no name in the trace) and per-container CPU/disk
+/// charge deltas over the epoch, computed from the sampled cumulative
+/// series at sample resolution (a swap landing between two samples
+/// attributes the straddling interval to the epoch of the earlier
+/// sample).
+fn write_policy(out: &mut String, m: &Metrics, end: Nanos, swaps: &[(Nanos, &str, &str, &str)]) {
+    out.push_str(",\"policy\":{\"swaps\":[");
+    for (i, (at, plane, from, to)) in swaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"at_ns\":{},\"plane\":{},\"from\":{},\"to\":{}}}",
+            at.as_nanos(),
+            quote(plane),
+            quote(from),
+            quote(to)
+        );
+    }
+    out.push_str("],\"epochs\":[");
+    // Current policy per plane, seeded from each plane's first swap's
+    // `from` side so epoch 0 is labeled correctly.
+    let mut current: BTreeMap<&str, &str> = BTreeMap::new();
+    for &(_, plane, from, _) in swaps {
+        current.entry(plane).or_insert(from);
+    }
+    // Epoch boundaries: distinct swap times (trace order is time order),
+    // closed by the run end.
+    let mut bounds: Vec<Nanos> = Vec::with_capacity(swaps.len() + 2);
+    bounds.push(Nanos::ZERO);
+    for &(at, ..) in swaps {
+        if bounds.last() != Some(&at) {
+            bounds.push(at);
+        }
+    }
+    if bounds.last() != Some(&end) {
+        bounds.push(end);
+    }
+    // Cumulative (cpu, disk) charged to a container at the last sample
+    // at or before `t`.
+    let sampled = |series: &ContainerSeries, t: Nanos| -> (Nanos, Nanos) {
+        let mut v = (Nanos::ZERO, Nanos::ZERO);
+        for p in &series.samples {
+            if p.at > t {
+                break;
+            }
+            v = (p.cpu, p.disk);
+        }
+        v
+    };
+    for (e, w) in bounds.windows(2).enumerate() {
+        let (start, stop) = (w[0], w[1]);
+        if e > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"start_ns\":{},\"end_ns\":{}",
+            start.as_nanos(),
+            stop.as_nanos()
+        );
+        for (plane, name) in &current {
+            let _ = write!(out, ",{}:{}", quote(plane), quote(name));
+        }
+        out.push_str(",\"containers\":[");
+        let mut first = true;
+        for (&id, series) in &m.containers {
+            let (cpu0, disk0) = sampled(series, start);
+            let (cpu1, disk1) = sampled(series, stop);
+            let (dcpu, ddisk) = (cpu1 - cpu0, disk1 - disk0);
+            if dcpu.is_zero() && ddisk.is_zero() {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"cpu_ns\":{},\"disk_ns\":{}}}",
+                id,
+                dcpu.as_nanos(),
+                ddisk.as_nanos()
+            );
+        }
+        out.push_str("]}");
+        // Apply every swap at this epoch's close so the next epoch
+        // carries the attached policies.
+        for &(at, plane, _, to) in swaps {
+            if at == stop {
+                current.insert(plane, to);
+            }
+        }
+    }
+    out.push_str("]}");
+}
+
 fn write_spans(out: &mut String, m: &Metrics, spans: &SpanBuffer) {
     let _ = write!(
         out,

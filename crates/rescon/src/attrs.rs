@@ -141,6 +141,12 @@ pub struct Attributes {
     pub mem_limit: Option<u64>,
     /// Network QoS values.
     pub qos: NetQos,
+    /// Optional per-request latency target. Deadline-aware CPU policies
+    /// (`sched::EdfScheduler`) treat it as the relative deadline of work
+    /// bound to this container's subtree; the rcspan SLO monitor uses the
+    /// same value as the p99 objective, so one declared target drives
+    /// both the policy and its verification.
+    pub deadline: Option<Nanos>,
     /// Optional debug/billing label (the paper motivates accurate billing
     /// in §4.8).
     pub name: Option<String>,
@@ -209,6 +215,14 @@ impl Attributes {
         self
     }
 
+    /// Declares a per-request latency target (builder style): the
+    /// relative deadline deadline-aware CPU policies schedule against,
+    /// and the objective SLO monitors verify.
+    pub fn with_deadline(mut self, deadline: Nanos) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Sets a debug label (builder style).
     pub fn named(mut self, name: &str) -> Self {
         self.name = Some(name.to_string());
@@ -220,6 +234,9 @@ impl Attributes {
         self.policy.validate()?;
         if let Some(limit) = &self.cpu_limit {
             limit.validate()?;
+        }
+        if self.deadline == Some(Nanos::ZERO) {
+            return Err(RcError::InvalidLimit);
         }
         Ok(())
     }

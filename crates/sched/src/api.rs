@@ -44,6 +44,28 @@ pub struct Pick {
     pub slice: Nanos,
 }
 
+/// The policy-neutral state of one registered task: everything the kernel
+/// told the scheduler, nothing the policy invented.
+///
+/// A mid-run policy swap exports one snapshot per task from the detaching
+/// scheduler and replays them into the freshly built replacement
+/// ([`Scheduler::export_tasks`] / [`Scheduler::import_tasks`]). Policy
+/// ledgers — decayed usage, stride passes, limit buckets — deliberately do
+/// *not* cross the swap: the new policy starts every principal at its own
+/// notion of "just joined", which is the repo-wide sleeper-rejoin rule
+/// (no banked credit) applied to the whole machine at once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskSnapshot {
+    /// The registered task.
+    pub task: TaskId,
+    /// Its home CPU.
+    pub cpu: CpuId,
+    /// Its current scheduler binding (paper §4.3).
+    pub binding: Vec<ContainerId>,
+    /// Whether it was runnable at export time.
+    pub runnable: bool,
+}
+
 /// A single-CPU scheduling policy whose resource principals are
 /// containers.
 ///
@@ -163,6 +185,23 @@ pub trait Scheduler {
 
     /// A short policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Exports every registered task as a policy-neutral
+    /// [`TaskSnapshot`], sorted by task id so the export order — and
+    /// therefore the replay order on import — is deterministic.
+    fn export_tasks(&self) -> Vec<TaskSnapshot>;
+
+    /// Replays exported task snapshots into this (freshly built)
+    /// scheduler: registration, home CPU, binding, and runnable state are
+    /// restored; policy-internal ledgers start fresh.
+    fn import_tasks(&mut self, tasks: &[TaskSnapshot], now: Nanos) {
+        for t in tasks {
+            self.add_task(t.task, &t.binding, t.cpu, now);
+            if t.runnable {
+                self.set_runnable(t.task, true, now);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

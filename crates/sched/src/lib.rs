@@ -19,6 +19,10 @@
 //!   schedulers (Waldspurger & Weihl) used as ablations; they demonstrate
 //!   that the container abstraction composes with other scheduling
 //!   policies (§4.4: "resource containers are just a mechanism").
+//! - [`EdfScheduler`]: earliest-deadline-first over per-container latency
+//!   targets ([`rescon::Attributes::with_deadline`]); work bound to a
+//!   container with a tight declared target preempts best-effort work the
+//!   moment it wakes.
 //!
 //! The kernel drives schedulers through the SMP-aware [`Scheduler`]
 //! trait: register tasks on a CPU with their scheduler bindings, flip
@@ -32,15 +36,17 @@
 pub mod api;
 pub mod bucket;
 pub mod decay;
+pub mod edf;
 pub mod lottery;
 pub mod multilevel;
 pub mod smp;
 pub mod stride;
 pub mod usage_decay;
 
-pub use api::{CoreScheduler, CpuId, Pick, Scheduler, TaskId};
+pub use api::{CoreScheduler, CpuId, Pick, Scheduler, TaskId, TaskSnapshot};
 pub use bucket::TokenBucket;
 pub use decay::DecayUsageScheduler;
+pub use edf::EdfScheduler;
 pub use lottery::LotteryScheduler;
 pub use multilevel::MultiLevelScheduler;
 pub use smp::PerCpu;

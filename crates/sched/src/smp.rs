@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use rescon::{ContainerId, ContainerTable};
 use simcore::Nanos;
 
-use crate::api::{CoreScheduler, CpuId, Pick, Scheduler, TaskId};
+use crate::api::{CoreScheduler, CpuId, Pick, Scheduler, TaskId, TaskSnapshot};
 
 struct TaskMeta {
     cpu: u32,
@@ -145,6 +145,24 @@ impl<P: CoreScheduler> Scheduler for PerCpu<P> {
 
     fn name(&self) -> &'static str {
         self.cores[0].name()
+    }
+
+    fn export_tasks(&self) -> Vec<TaskSnapshot> {
+        // The task-meta cache holds exactly the policy-neutral state;
+        // sorting by task id makes the replay order deterministic
+        // regardless of HashMap iteration order.
+        let mut out: Vec<TaskSnapshot> = self
+            .tasks
+            .iter()
+            .map(|(&task, meta)| TaskSnapshot {
+                task,
+                cpu: CpuId(meta.cpu),
+                binding: meta.binding.clone(),
+                runnable: meta.runnable,
+            })
+            .collect();
+        out.sort_by_key(|t| t.task);
+        out
     }
 }
 

@@ -370,6 +370,16 @@ pub enum TraceEventKind {
         /// Extra transmission delay.
         delay: Nanos,
     },
+    /// A scheduling policy was hot-swapped on one resource plane, with
+    /// all in-flight state drained through a policy-neutral snapshot.
+    PolicySwap {
+        /// The resource plane: `"cpu"`, `"disk"`, or `"link"`.
+        plane: &'static str,
+        /// Name of the detached policy.
+        from: &'static str,
+        /// Name of the attached policy.
+        to: &'static str,
+    },
 }
 
 /// One recorded event: virtual time plus the structured payload.

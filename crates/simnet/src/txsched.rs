@@ -96,6 +96,28 @@ struct QueuedPkt {
     pkt: Packet,
     owner: u64,
     wire: Nanos,
+    /// The full class chain the packet was enqueued under, kept so a
+    /// mid-run discipline swap can replay the packet into the new
+    /// discipline with its hierarchy intact.
+    path: Vec<(u64, u32, Option<u64>)>,
+    /// Per-discipline arrival sequence number; recovers global arrival
+    /// order when draining a discipline that scatters packets across
+    /// per-class queues.
+    seq: u64,
+}
+
+/// A queued packet exported from a [`LinkSched`] by [`LinkSched::drain`]:
+/// the policy-neutral state a mid-run qdisc swap carries across — what
+/// the kernel enqueued (class chain, packet, wire time) and nothing the
+/// discipline invented (passes, virtual times, token buckets).
+#[derive(Clone, Debug)]
+pub struct TxSnapshot {
+    /// The owning class chain, root first (see [`TxPath`]).
+    pub path: Vec<(u64, u32, Option<u64>)>,
+    /// The queued packet.
+    pub pkt: Packet,
+    /// Time the packet will occupy the wire.
+    pub wire: Nanos,
 }
 
 /// Outcome of asking the discipline for the next packet.
@@ -133,12 +155,19 @@ pub trait LinkSched {
     fn dispatch(&mut self, now: Nanos) -> Dispatch;
     /// Number of packets currently queued.
     fn queued_pkts(&self) -> usize;
+    /// Removes and returns every queued packet in arrival order, as
+    /// policy-neutral [`TxSnapshot`]s. Used by mid-run qdisc swaps: the
+    /// detaching discipline drains here and the replacement re-enqueues
+    /// each snapshot in order. Discipline ledgers (virtual times, passes,
+    /// token buckets) do not cross the swap.
+    fn drain(&mut self) -> Vec<TxSnapshot>;
 }
 
 /// The baseline: one queue, arrival order, rate caps ignored.
 #[derive(Default)]
 pub struct FifoLink {
     queue: VecDeque<QueuedPkt>,
+    next_seq: u64,
 }
 
 impl FifoLink {
@@ -155,7 +184,15 @@ impl LinkSched for FifoLink {
 
     fn enqueue(&mut self, path: &TxPath, pkt: Packet, wire: Nanos, _now: Nanos) {
         let owner = path.last().map_or(0, |&(id, _, _)| id);
-        self.queue.push_back(QueuedPkt { pkt, owner, wire });
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back(QueuedPkt {
+            pkt,
+            owner,
+            wire,
+            path: path.to_vec(),
+            seq,
+        });
     }
 
     fn dispatch(&mut self, _now: Nanos) -> Dispatch {
@@ -171,6 +208,17 @@ impl LinkSched for FifoLink {
 
     fn queued_pkts(&self) -> usize {
         self.queue.len()
+    }
+
+    fn drain(&mut self) -> Vec<TxSnapshot> {
+        self.queue
+            .drain(..)
+            .map(|q| TxSnapshot {
+                path: q.path,
+                pkt: q.pkt,
+                wire: q.wire,
+            })
+            .collect()
     }
 }
 
@@ -209,6 +257,7 @@ pub struct WfqLink {
     classes: BTreeMap<u64, Class>,
     root: Option<u64>,
     queued: usize,
+    next_seq: u64,
 }
 
 impl Default for WfqLink {
@@ -231,6 +280,7 @@ impl WfqLink {
             classes: BTreeMap::new(),
             root: None,
             queued: 0,
+            next_seq: 0,
         }
     }
 
@@ -403,12 +453,16 @@ impl LinkSched for WfqLink {
             self.root = Some(path[0].0);
         }
         let leaf = path.last().expect("nonempty").0;
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let leaf_class = self.classes.get_mut(&leaf).expect("live class");
         let was_empty = leaf_class.queue.is_empty();
         leaf_class.queue.push_back(QueuedPkt {
             pkt,
             owner: leaf,
             wire,
+            path: path.to_vec(),
+            seq,
         });
         if was_empty {
             let vtime = self.classes[&leaf].vtime;
@@ -494,6 +548,28 @@ impl LinkSched for WfqLink {
 
     fn queued_pkts(&self) -> usize {
         self.queued
+    }
+
+    fn drain(&mut self) -> Vec<TxSnapshot> {
+        let mut pkts: Vec<QueuedPkt> = self
+            .classes
+            .values_mut()
+            .flat_map(|c| c.queue.drain(..))
+            .collect();
+        pkts.sort_by_key(|q| q.seq);
+        // Everything else — classes, passes, virtual times, token
+        // buckets — dies with this instance: the replacement discipline
+        // rebuilds its tree from the replayed paths with fresh ledgers.
+        self.classes.clear();
+        self.root = None;
+        self.queued = 0;
+        pkts.into_iter()
+            .map(|q| TxSnapshot {
+                path: q.path,
+                pkt: q.pkt,
+                wire: q.wire,
+            })
+            .collect()
     }
 }
 
@@ -741,6 +817,55 @@ mod tests {
             now < Nanos::from_millis(2),
             "uncapped class waited on the capped one: {now:?}"
         );
+    }
+
+    #[test]
+    fn drain_recovers_arrival_order_and_replays_into_fresh_discipline() {
+        let wire = Nanos::from_micros(10);
+        let mut w = WfqLink::new();
+        // Interleave three classes with distinct packet sizes so the
+        // replayed order is checkable.
+        for i in 0..12u32 {
+            let owner = 10 + (i as u64 % 3);
+            w.enqueue(
+                &[(1, 1, None), (owner, 1, None)],
+                pkt(100 + i),
+                wire,
+                Nanos::ZERO,
+            );
+        }
+        let snaps = w.drain();
+        assert_eq!(snaps.len(), 12);
+        assert_eq!(w.queued_pkts(), 0);
+        assert!(matches!(w.dispatch(Nanos::ZERO), Dispatch::Idle));
+        // Arrival order recovered despite per-class scatter.
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.path.last().unwrap().0, 10 + (i as u64 % 3));
+        }
+        // Replay into a fresh FIFO: identical arrival order comes out.
+        let mut f = FifoLink::new();
+        for s in &snaps {
+            f.enqueue(&s.path, s.pkt, s.wire, Nanos::ZERO);
+        }
+        let mut order = Vec::new();
+        while let Dispatch::Start { owner, .. } = f.dispatch(Nanos::ZERO) {
+            order.push(owner);
+        }
+        assert_eq!(
+            order,
+            snaps
+                .iter()
+                .map(|s| s.path.last().unwrap().0)
+                .collect::<Vec<_>>()
+        );
+        // Replay into a fresh WFQ: still serves everything.
+        let mut w2 = WfqLink::new();
+        for s in snaps {
+            w2.enqueue(&s.path, s.pkt, s.wire, Nanos::ZERO);
+        }
+        assert_eq!(w2.queued_pkts(), 12);
+        let served = drain(&mut w2, Nanos::ZERO);
+        assert_eq!(served.len(), 3);
     }
 
     #[test]

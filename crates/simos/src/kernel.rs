@@ -36,16 +36,14 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use rcpolicy::Plane;
 use rescon::{Attributes, ContainerId, ContainerTable, MemClass};
-use sched::{
-    CpuId, DecayUsageScheduler, LotteryScheduler, MultiLevelScheduler, PerCpu, Scheduler,
-    StrideScheduler, TaskId,
-};
+use sched::{CpuId, Scheduler, TaskId};
 use simcore::fault::{DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault};
 use simcore::span::{self, Outcome, Phase};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{EventQueue, Nanos, SpanRef};
-use simdisk::{BufferCache, DiskParams, DiskRequest, FifoIoSched, ReqId, ShareIoSched, SimDisk};
+use simdisk::{BufferCache, DiskParams, DiskRequest, ReqId, SimDisk};
 use simnet::{
     Demux, Dispatch, LinkParams, LinkSched, NetDiscipline, NetEvent, NetStack, Packet,
     PendingQueues, QdiscKind, SockId,
@@ -61,30 +59,11 @@ use crate::syscall::{ListenSpec, SysCtx};
 use crate::thread::{Op, Thread, ThreadKind, ThreadState, WaitFor, WorkItem};
 use crate::world::{World, WorldAction};
 
-/// Which CPU scheduler the kernel uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchedPolicyKind {
-    /// Classic decay-usage time sharing over tasks (the "unmodified"
-    /// baseline and the LRP configuration).
-    DecayUsage,
-    /// The paper's container-aware multi-level scheduler.
-    MultiLevel,
-    /// Flat stride scheduling (ablation).
-    Stride,
-    /// Flat lottery scheduling with the given seed (ablation).
-    Lottery(u64),
-}
-
-/// Which discipline orders pending disk requests.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum DiskSchedKind {
-    /// Arrival order — the unmodified kernel's single disk queue, where a
-    /// container with a deep backlog delays every other principal.
-    Fifo,
-    /// Per-container virtual-time dispatch weighted by effective share
-    /// (the disk-bandwidth analogue of the container CPU guarantee).
-    Share,
-}
+// Policy kinds live in the `rcpolicy` registry; the historical simos
+// names are kept as aliases so existing configs and harnesses read
+// unchanged.
+pub use rcpolicy::CpuPolicyKind as SchedPolicyKind;
+pub use rcpolicy::DiskPolicyKind as DiskSchedKind;
 
 /// Kernel configuration: one per simulated system variant.
 #[derive(Clone, Debug)]
@@ -215,6 +194,20 @@ impl KernelConfig {
         self
     }
 
+    /// Replaces the CPU scheduling policy (builder style). Any policy in
+    /// the [`rcpolicy`] registry is selectable, including the stride and
+    /// lottery ablations and the deadline-driven EDF policy.
+    pub fn with_scheduler(mut self, kind: SchedPolicyKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Replaces the disk request-ordering policy (builder style).
+    pub fn with_disk_sched(mut self, kind: DiskSchedKind) -> Self {
+        self.disk_sched = kind;
+        self
+    }
+
     /// Replaces the disk cost model (builder style).
     pub fn with_disk(mut self, disk: DiskParams) -> Self {
         self.disk = disk;
@@ -314,32 +307,6 @@ struct SpanTxState {
     wire: u32,
     /// Finish the span `Completed` once `queued` and `wire` drain.
     armed: bool,
-}
-
-/// Builds the SMP scheduler: one core policy instance per CPU behind a
-/// [`PerCpu`] router. With one CPU this is a pure pass-through, so each
-/// policy observes exactly the uniprocessor call sequence.
-fn build_scheduler(kind: SchedPolicyKind, ncpus: u32) -> Box<dyn Scheduler> {
-    let n = ncpus.max(1) as usize;
-    match kind {
-        SchedPolicyKind::DecayUsage => Box::new(PerCpu::new(
-            (0..n).map(|_| DecayUsageScheduler::new()).collect(),
-        )),
-        SchedPolicyKind::MultiLevel => Box::new(PerCpu::new(
-            (0..n).map(|_| MultiLevelScheduler::new()).collect(),
-        )),
-        SchedPolicyKind::Stride => Box::new(PerCpu::new(
-            (0..n).map(|_| StrideScheduler::new()).collect(),
-        )),
-        SchedPolicyKind::Lottery(seed) => Box::new(PerCpu::new(
-            // Distinct per-CPU seeds keep the cores' draws independent;
-            // CPU 0 keeps the configured seed, so a single-CPU run is
-            // unchanged.
-            (0..n)
-                .map(|i| LotteryScheduler::new(seed.wrapping_add(i as u64)))
-                .collect(),
-        )),
-    }
 }
 
 /// Per-CPU mutable state: its clock, pending uncharged work, and the
@@ -468,14 +435,10 @@ impl Kernel {
     /// Boots a kernel with the given configuration.
     pub fn new(mut cfg: KernelConfig) -> Self {
         cfg.ncpus = cfg.ncpus.max(1);
-        let scheduler = build_scheduler(cfg.scheduler, cfg.ncpus);
-        let disk = SimDisk::new(
-            cfg.disk,
-            match cfg.disk_sched {
-                DiskSchedKind::Fifo => Box::new(FifoIoSched::new()),
-                DiskSchedKind::Share => Box::new(ShareIoSched::new()),
-            },
-        );
+        // All three planes are built by the rcpolicy registry, so boot
+        // and mid-run swaps construct policies identically.
+        let scheduler = rcpolicy::build_cpu(cfg.scheduler, cfg.ncpus);
+        let disk = SimDisk::new(cfg.disk, rcpolicy::build_disk(cfg.disk_sched));
         let disk_cache = BufferCache::new(cfg.buffer_cache_bytes);
         let mut k = Kernel {
             containers: ContainerTable::new(),
@@ -510,7 +473,7 @@ impl Kernel {
             balance_snapshot: HashMap::new(),
             injector: cfg.fault.as_ref().map(FaultInjector::new),
             drop_charges: BTreeMap::new(),
-            link: cfg.link.as_ref().map(|p| p.build_sched()),
+            link: cfg.link.as_ref().map(|p| rcpolicy::build_link(p.qdisc)),
             link_inflight: None,
             link_wait_until: None,
             link_owner_ids: HashMap::new(),
@@ -3043,6 +3006,73 @@ impl Kernel {
 
     pub(crate) fn scheduler_mut(&mut self) -> &mut dyn Scheduler {
         self.scheduler.as_mut()
+    }
+
+    /// Hot-swaps the CPU scheduling policy. Every registered task is
+    /// exported from the detaching scheduler as a policy-neutral snapshot
+    /// (home CPU, binding, runnable state) and replayed into a freshly
+    /// built replacement; policy ledgers (passes, decayed usages, limit
+    /// buckets) start fresh for everyone at once. Charged CPU time lives
+    /// in the container table and is untouched, so conservation holds
+    /// across the swap. Returns the name of the detached policy.
+    pub fn set_cpu_policy(&mut self, kind: SchedPolicyKind) -> &'static str {
+        let now = self.clock;
+        let fresh = rcpolicy::build_cpu(kind, self.cfg.ncpus);
+        let (from, to) = rcpolicy::swap(&mut self.scheduler, fresh, (), now);
+        self.cfg.scheduler = kind;
+        trace::emit_at(now, || TraceEventKind::PolicySwap {
+            plane: Plane::Cpu.label(),
+            from,
+            to,
+        });
+        rctrace::record_policy_swap(now, Plane::Cpu.label(), from, to);
+        from
+    }
+
+    /// Hot-swaps the disk request-ordering policy, draining queued
+    /// requests from the old discipline into the new one in arrival
+    /// order. The in-flight request is untouched (disk service is
+    /// non-preemptive; its finish time is already fixed). Returns the
+    /// name of the detached policy.
+    pub fn set_disk_policy(&mut self, kind: DiskSchedKind) -> &'static str {
+        let now = self.clock;
+        let from = self
+            .disk
+            .replace_sched(rcpolicy::build_disk(kind), &self.containers);
+        self.cfg.disk_sched = kind;
+        trace::emit_at(now, || TraceEventKind::PolicySwap {
+            plane: Plane::Disk.label(),
+            from,
+            to: kind.name(),
+        });
+        rctrace::record_policy_swap(now, Plane::Disk.label(), from, kind.name());
+        from
+    }
+
+    /// Hot-swaps the link queueing discipline, draining queued packets —
+    /// with their class chains — from the old qdisc into the new one in
+    /// arrival order. The packet on the wire is untouched (its completion
+    /// is already scheduled); rate-cap token buckets restart at their
+    /// burst allowance, per the fresh-ledger rule. Returns the detached
+    /// policy's name, or `None` when no finite link is configured (the
+    /// swap is then a no-op).
+    pub fn set_link_policy(&mut self, qdisc: QdiscKind) -> Option<&'static str> {
+        let link = self.link.as_mut()?;
+        let now = self.clock;
+        let (from, to) = rcpolicy::swap(link, rcpolicy::build_link(qdisc), (), now);
+        if let Some(p) = self.cfg.link.as_mut() {
+            p.qdisc = qdisc;
+        }
+        trace::emit_at(now, || TraceEventKind::PolicySwap {
+            plane: Plane::Link.label(),
+            from,
+            to,
+        });
+        rctrace::record_policy_swap(now, Plane::Link.label(), from, to);
+        // Requeued packets may be immediately dispatchable under the new
+        // discipline even if the old one was throttled.
+        self.link_kick();
+        Some(from)
     }
 
     pub(crate) fn post_ipc(&mut self, from: Pid, to: Pid, tag: u64) {

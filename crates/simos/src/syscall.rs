@@ -15,11 +15,11 @@ use sched::TaskId;
 use simcore::span::{self, Phase};
 use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{Nanos, SpanRef};
-use simnet::{CidrFilter, SockId};
+use simnet::{CidrFilter, QdiscKind, SockId};
 
 use crate::app::AppHandler;
 use crate::ids::Pid;
-use crate::kernel::Kernel;
+use crate::kernel::{DiskSchedKind, Kernel, SchedPolicyKind};
 use crate::thread::{Op, ThreadKind, WaitFor, WorkItem};
 
 /// Errors returned by data-plane socket syscalls (`send`, `read`,
@@ -772,6 +772,40 @@ impl<'a> SysCtx<'a> {
         self.charge(cost);
         let id = self.resolve_fd(fd)?;
         self.k.containers.usage(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Policy plane (rcpolicy): mid-run scheduler swaps
+    // ------------------------------------------------------------------
+
+    /// Hot-swaps the CPU scheduling policy
+    /// ([`Kernel::set_cpu_policy`]). Control-plane: takes effect
+    /// immediately; in-flight state is drained through a policy-neutral
+    /// snapshot. Returns the detached policy's name.
+    pub fn set_cpu_policy(&mut self, kind: SchedPolicyKind) -> &'static str {
+        self.trace_sys("set_cpu_policy");
+        let cost = self.k.cost_model().rc_attrs;
+        self.charge(cost);
+        self.k.set_cpu_policy(kind)
+    }
+
+    /// Hot-swaps the disk request-ordering policy
+    /// ([`Kernel::set_disk_policy`]). Returns the detached policy's name.
+    pub fn set_disk_policy(&mut self, kind: DiskSchedKind) -> &'static str {
+        self.trace_sys("set_disk_policy");
+        let cost = self.k.cost_model().rc_attrs;
+        self.charge(cost);
+        self.k.set_disk_policy(kind)
+    }
+
+    /// Hot-swaps the link queueing discipline
+    /// ([`Kernel::set_link_policy`]). Returns the detached policy's name,
+    /// or `None` when no finite link is configured.
+    pub fn set_link_policy(&mut self, qdisc: QdiscKind) -> Option<&'static str> {
+        self.trace_sys("set_link_policy");
+        let cost = self.k.cost_model().rc_attrs;
+        self.charge(cost);
+        self.k.set_link_policy(qdisc)
     }
 
     /// Sets the calling thread's resource binding (§4.6 "Binding a thread

@@ -21,7 +21,7 @@ use rctrace::SloSpec;
 use rescon::{Attributes, ContainerId};
 use simcore::Nanos;
 use simdisk::DiskParams;
-use simos::{Kernel, KernelConfig, MemParams, QdiscKind};
+use simos::{Kernel, KernelConfig, MemParams, QdiscKind, SchedPolicyKind};
 
 use crate::clients::{ClientSpec, HttpClients};
 use crate::scenarios::disk_tenants::{tenant_addr, TenantWorld, TENANT_SHIFT};
@@ -48,9 +48,25 @@ pub struct SpanTenantsParams {
     pub reclaim_cost_per_kib: Nanos,
     /// Latency SLOs: (paid p99 bound, free p99 bound). The free bound is
     /// the injected violation — set it below the disk's service floor.
+    /// The same bounds double as the tenants' declared latency-target
+    /// attributes, which the EDF CPU policy schedules against.
     pub slo_ms: (u64, u64),
     /// Simulated run length.
     pub secs: u64,
+    /// Serve the paid tenant's documents from memory instead of disk.
+    /// The A/B harness sets this so the paid tenant's tail is bounded by
+    /// CPU scheduling (what a CPU policy can move) rather than by disk
+    /// queueing behind the free tenant's sweep (what it cannot).
+    pub paid_cached: bool,
+    /// Per-request parse/render CPU of the paid tenant's server; `None`
+    /// keeps the server default. The A/B harness raises this to model a
+    /// dynamic-content tenant whose latency is CPU-scheduling-bound.
+    pub paid_parse_cost: Option<Nanos>,
+    /// CPU policy the kernel boots with; `None` keeps the config default.
+    pub scheduler: Option<SchedPolicyKind>,
+    /// Mid-run CPU policy swaps as (virtual time, policy), sorted by
+    /// time. Empty keeps the run on the boot policy throughout.
+    pub cpu_swaps: Vec<(Nanos, SchedPolicyKind)>,
 }
 
 impl Default for SpanTenantsParams {
@@ -66,6 +82,10 @@ impl Default for SpanTenantsParams {
             reclaim_cost_per_kib: Nanos::from_micros(2),
             slo_ms: (400, 2),
             secs: 8,
+            paid_cached: false,
+            paid_parse_cost: None,
+            scheduler: None,
+            cpu_swaps: Vec::new(),
         }
     }
 }
@@ -107,15 +127,25 @@ pub fn run_span_tenants(params: SpanTenantsParams) -> SpanTenantsResult {
         .with_link(params.link_mbps * 1_000_000, QdiscKind::Wfq)
         .with_mem(MemParams::new().with_reclaim_cost_per_kb(params.reclaim_cost_per_kib));
     cfg.buffer_cache_bytes = params.cache_bytes;
+    if let Some(kind) = params.scheduler {
+        cfg = cfg.with_scheduler(kind);
+    }
     let mut k = Kernel::new(cfg);
 
     let shares = [0.7, 0.3];
     let weights = [3u32, 1u32];
+    let slo_ms = [params.slo_ms.0, params.slo_ms.1];
     let tenants: Vec<ContainerId> = (0..2)
         .map(|g| {
             let mut attrs = Attributes::fixed_share(shares[g])
                 .named(TENANT_NAMES[g])
                 .with_net_weight(weights[g]);
+            // Declare the SLO bound as the tenant's latency target: only
+            // the EDF CPU policy reads it, so runs under other policies
+            // are unaffected.
+            if slo_ms[g] > 0 {
+                attrs = attrs.with_deadline(Nanos::from_millis(slo_ms[g]));
+            }
             if g == 1 {
                 attrs = attrs.with_mem_limit(params.free_mem_limit);
             }
@@ -125,7 +155,7 @@ pub fn run_span_tenants(params: SpanTenantsParams) -> SpanTenantsResult {
 
     let response_kib = [params.response_kib.0, params.response_kib.1];
     for (g, &tenant) in tenants.iter().enumerate() {
-        let cfg = ServerConfig {
+        let mut cfg = ServerConfig {
             port: 8000 + g as u16,
             conn_parent: Some(tenant),
             container_per_connection: false,
@@ -138,12 +168,21 @@ pub fn run_span_tenants(params: SpanTenantsParams) -> SpanTenantsResult {
                 ..ClassSpec::default_class()
             }],
             response_bytes: response_kib[g] * 1024,
-            files: FileBacking::Disk {
-                file_base: (g as u64) << 32,
+            files: if g == 0 && params.paid_cached {
+                FileBacking::AlwaysCached
+            } else {
+                FileBacking::Disk {
+                    file_base: (g as u64) << 32,
+                }
             },
             request_kmem: params.request_kmem,
             ..ServerConfig::default()
         };
+        if g == 0 {
+            if let Some(cost) = params.paid_parse_cost {
+                cfg.parse_cost = cost;
+            }
+        }
         k.spawn_process(
             Box::new(EventDrivenServer::new(cfg, shared_stats())),
             &format!("tenant-httpd-{g}"),
@@ -186,22 +225,43 @@ pub fn run_span_tenants(params: SpanTenantsParams) -> SpanTenantsResult {
     // not knowable up front).
     k.run(&mut world, Nanos::from_micros(5));
     if rctrace::active() {
-        let slo_ms = [params.slo_ms.0, params.slo_ms.1];
-        let specs = TENANT_NAMES
-            .iter()
-            .zip(slo_ms)
-            .filter_map(|(&name, ms)| {
-                let id = k.containers.find_by_name(&format!("{name}-web"))?;
-                Some(SloSpec {
-                    container: id.as_u64(),
-                    label: name.to_string(),
-                    quantile: 0.99,
-                    threshold: Nanos::from_millis(ms),
+        let resolve = |k: &Kernel| {
+            TENANT_NAMES
+                .iter()
+                .zip(slo_ms)
+                .filter_map(|(&name, ms)| {
+                    let id = k.containers.find_by_name(&format!("{name}-web"))?;
+                    Some(SloSpec {
+                        container: id.as_u64(),
+                        label: name.to_string(),
+                        quantile: 0.99,
+                        threshold: Nanos::from_millis(ms),
+                    })
                 })
-            })
-            .collect::<Vec<_>>();
+                .collect::<Vec<_>>()
+        };
+        let mut specs = resolve(&k);
+        // Policies that strictly prioritize one tenant (EDF runs the
+        // tighter-deadline server's boot to completion, and keeps
+        // preempting the other whenever it wakes) create the second
+        // class container well after 5 us; step forward until both
+        // classes resolve. The default policy resolves both at 5 us, so
+        // this loop never runs there and the default path is unchanged.
+        let mut boot = 5u64;
+        while specs.len() < TENANT_NAMES.len() && boot < 500 {
+            boot += if boot < 10 { 1 } else { 10 };
+            k.run(&mut world, Nanos::from_micros(boot));
+            specs = resolve(&k);
+        }
         assert_eq!(specs.len(), 2, "tenant web classes not found by name");
         rctrace::register_slos(specs);
+    }
+    // Segment the run at each requested swap point. With no swaps this
+    // is the single `k.run(.., end)` the goldens were recorded against.
+    for &(at, kind) in &params.cpu_swaps {
+        let at = at.min(end);
+        k.run(&mut world, at);
+        k.set_cpu_policy(kind);
     }
     k.run(&mut world, end);
 
@@ -240,5 +300,18 @@ mod tests {
             r.p99_ms[1] > r.p99_ms[0],
             "free tenant tail should dominate: {r:?}"
         );
+    }
+
+    #[test]
+    fn mid_run_cpu_swap_keeps_both_tenants_running() {
+        let r = run_span_tenants(SpanTenantsParams {
+            clients: (4, 8),
+            secs: 4,
+            scheduler: Some(SchedPolicyKind::DecayUsage),
+            cpu_swaps: vec![(Nanos::from_secs(2), SchedPolicyKind::Edf)],
+            ..SpanTenantsParams::default()
+        });
+        assert!(r.throughputs[0] > 0.0, "paid tenant starved: {r:?}");
+        assert!(r.throughputs[1] > 0.0, "free tenant starved: {r:?}");
     }
 }

@@ -68,8 +68,8 @@ pub mod prelude {
     pub use simdisk::{BufferCache, DiskParams, FifoIoSched, ShareIoSched, SimDisk};
     pub use simnet::{CidrFilter, IpAddr, NetDiscipline};
     pub use simos::{
-        AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, ListenSpec, QdiscKind, SysCtx,
-        SysError, World, WorldAction,
+        AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, ListenSpec, QdiscKind,
+        SchedPolicyKind, SysCtx, SysError, World, WorldAction,
     };
     pub use workload::scenarios::{
         run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_qos_tenants,

@@ -14,9 +14,10 @@ use std::collections::HashMap;
 use rescon::{Attributes, ContainerFd, ContainerId};
 
 use sched::TaskId;
+use simcore::slab::SockTable;
 use simcore::trace::NO_CONTAINER;
 use simcore::Nanos;
-use simnet::{CidrFilter, IpAddr, SockId};
+use simnet::{CidrFilter, IpAddr, SockId, Socket};
 use simos::{AppEvent, AppHandler, ListenSpec, SysCtx};
 
 use crate::cache::FileCache;
@@ -205,10 +206,10 @@ pub struct EventDrivenServer {
     listeners: Vec<SockId>,
     /// Class container of each listener (containers mode).
     class_containers: Vec<Option<(ContainerFd, ContainerId)>>,
-    conns: HashMap<SockId, Conn>,
+    conns: SockTable<Socket, Conn>,
     /// Responses stalled by send backpressure: remaining bytes and
     /// whether the connection closes once the response drains.
-    tx_pending: HashMap<SockId, (u64, bool)>,
+    tx_pending: SockTable<Socket, (u64, bool)>,
     by_tag: HashMap<u64, SockId>,
     cgi_parent: Option<(ContainerFd, ContainerId)>,
     /// Open handle to `cfg.conn_parent`, if any.
@@ -242,8 +243,8 @@ impl EventDrivenServer {
             stats,
             listeners: Vec::new(),
             class_containers: Vec::new(),
-            conns: HashMap::new(),
-            tx_pending: HashMap::new(),
+            conns: SockTable::new(),
+            tx_pending: SockTable::new(),
             by_tag: HashMap::new(),
             cgi_parent: None,
             conn_parent_fd: None,
@@ -336,7 +337,7 @@ impl EventDrivenServer {
         match self.cfg.api {
             EventApi::Select => {
                 let mut socks = self.listeners.clone();
-                socks.extend(self.conns.keys().copied());
+                socks.extend(self.conns.keys());
                 socks.sort();
                 sys.select_wait(socks);
             }
@@ -356,6 +357,7 @@ impl EventDrivenServer {
             let _ = sys.join_scheduler_binding(*class_id);
         }
         while let Some(conn) = sys.accept(listener) {
+            self.reclaim_stale(sys, conn);
             self.stats.borrow_mut().accepted += 1;
             // A completed handshake vouches for the peer's prefix: it is
             // not a spoofing flood source (§5.7 assumes the network rejects
@@ -405,7 +407,7 @@ impl EventDrivenServer {
     }
 
     fn handle_readable(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
-        let Some(state) = self.conns.get_mut(&conn) else {
+        let Some(state) = self.conns.get_mut(conn) else {
             return;
         };
         let Ok((bytes, eof)) = sys.read(conn) else {
@@ -460,7 +462,7 @@ impl EventDrivenServer {
     /// served them); everything else responds right away.
     fn continue_request(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
         if let FileBacking::Disk { file_base } = self.cfg.files {
-            if let Some(state) = self.conns.get(&conn) {
+            if let Some(state) = self.conns.get(conn) {
                 if let Some((ReqKind::Static | ReqKind::StaticKeepAlive, doc)) = state.pending_req {
                     let charge = state.container.map(|(_, id)| id);
                     let tag = DISK_TAG | conn.as_u64();
@@ -474,7 +476,7 @@ impl EventDrivenServer {
     }
 
     fn finish_request(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
-        let Some(state) = self.conns.get_mut(&conn) else {
+        let Some(state) = self.conns.get_mut(conn) else {
             return;
         };
         let Some((kind, _doc)) = state.pending_req.take() else {
@@ -533,7 +535,7 @@ impl EventDrivenServer {
     }
 
     fn dispatch_cgi(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
-        let Some(state) = self.conns.get_mut(&conn) else {
+        let Some(state) = self.conns.get_mut(conn) else {
             return;
         };
         let container = state.container;
@@ -559,7 +561,7 @@ impl EventDrivenServer {
                 },
             );
             let _ = sys.bind_thread_default();
-            if let Some(st) = self.conns.remove(&conn) {
+            if let Some(st) = self.conns.remove(conn) {
                 self.by_tag.remove(&conn.as_u64());
                 if let Some((fd, _)) = st.container {
                     let _ = sys.close_container(fd);
@@ -591,7 +593,7 @@ impl EventDrivenServer {
         }
         // The server is done with this connection.
         let _ = sys.bind_thread_default();
-        if let Some(st) = self.conns.remove(&conn) {
+        if let Some(st) = self.conns.remove(conn) {
             self.by_tag.remove(&conn.as_u64());
             if let Some((fd, _)) = st.container {
                 let _ = sys.close_container(fd);
@@ -604,10 +606,10 @@ impl EventDrivenServer {
     /// charged to the connection's activity) and finish the teardown or
     /// pipeline once the response has fully drained.
     fn continue_send(&mut self, sys: &mut SysCtx<'_>, conn: SockId) {
-        let Some(&(remaining, close_after)) = self.tx_pending.get(&conn) else {
+        let Some(&(remaining, close_after)) = self.tx_pending.get(conn) else {
             return;
         };
-        if let Some(state) = self.conns.get(&conn) {
+        if let Some(state) = self.conns.get(conn) {
             if let Some((_, id)) = state.container {
                 let _ = sys.bind_thread(id);
             }
@@ -617,7 +619,7 @@ impl EventDrivenServer {
             // The backpressured tail is fully queued: arm the span's
             // finish-on-last-wire-byte.
             sys.span_finish_on_tx(conn);
-            self.tx_pending.remove(&conn);
+            self.tx_pending.remove(conn);
             if self.cfg.api == EventApi::Scalable {
                 sys.event_deregister_writable(conn);
             }
@@ -643,8 +645,8 @@ impl EventDrivenServer {
         // Rebind away from the per-connection container before dropping
         // the final references so it can be destroyed.
         let _ = sys.bind_thread_default();
-        self.tx_pending.remove(&conn);
-        if let Some(st) = self.conns.remove(&conn) {
+        self.tx_pending.remove(conn);
+        if let Some(st) = self.conns.remove(conn) {
             self.by_tag.remove(&conn.as_u64());
             self.by_tag.remove(&(DISK_TAG | conn.as_u64()));
             if st.kmem > 0 {
@@ -659,6 +661,30 @@ impl EventDrivenServer {
             }
         } else if close {
             let _ = sys.close(conn);
+        }
+    }
+
+    /// Reclaims per-connection state orphaned by a socket that died
+    /// without this server noticing — a fault-injected reset while the
+    /// connection was parked in a wait set produces no readable event,
+    /// so `teardown_conn` never ran. Once the kernel recycles the slot
+    /// for a fresh accept the old state is unreachable forever; release
+    /// its kernel-memory charge and per-connection container now,
+    /// exactly as `teardown_conn` would have, minus the socket close
+    /// (the socket is already gone). Keeping this on the accept path is
+    /// what lets `SockTable`'s insert-time use-after-free assert stay
+    /// strict.
+    fn reclaim_stale(&mut self, sys: &mut SysCtx<'_>, fresh: SockId) {
+        self.tx_pending.remove_stale(fresh);
+        if let Some((old, st)) = self.conns.remove_stale(fresh) {
+            self.by_tag.remove(&old.as_u64());
+            self.by_tag.remove(&(DISK_TAG | old.as_u64()));
+            if st.kmem > 0 {
+                sys.kmem_release(st.kmem);
+            }
+            if let Some((fd, _)) = st.container {
+                let _ = sys.close_container(fd);
+            }
         }
     }
 
@@ -677,10 +703,10 @@ impl EventDrivenServer {
         for s in ready {
             if self.listeners.contains(&s) {
                 self.accept_all(sys, s);
-            } else if self.tx_pending.contains_key(&s) {
+            } else if self.tx_pending.contains_key(s) {
                 // Writability notice: a stalled response may resume.
                 self.continue_send(sys, s);
-            } else if self.conns.contains_key(&s) {
+            } else if self.conns.contains_key(s) {
                 self.handle_readable(sys, s);
             }
         }
@@ -747,7 +773,7 @@ impl AppHandler for EventDrivenServer {
                     // The thread may have served other connections while
                     // the disk was busy: rebind to this connection's
                     // container before responding on its behalf.
-                    if let Some(state) = self.conns.get(&conn) {
+                    if let Some(state) = self.conns.get(conn) {
                         if let Some((_, id)) = state.container {
                             let _ = sys.bind_thread(id);
                         }
@@ -772,7 +798,7 @@ impl AppHandler for EventDrivenServer {
                 // drained, the blocking send released the thread — re-arm
                 // the wait it displaced.
                 self.continue_send(sys, sock);
-                if !self.tx_pending.contains_key(&sock) {
+                if !self.tx_pending.contains_key(sock) {
                     self.rearm(sys);
                 }
             }

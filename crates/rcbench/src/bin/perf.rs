@@ -9,19 +9,46 @@
 //! ```sh
 //! cargo run --release -p rcbench --bin perf
 //! cargo run --release -p rcbench --bin perf -- baseline --floor 50000
-//! cargo run --release -p rcbench --bin perf -- span_tenants --reduced
+//! cargo run --release -p rcbench --bin perf -- smp --reduced
+//! cargo run --release -p rcbench --bin perf -- --check
 //! ```
+//!
+//! Scenarios: `baseline`, `smp`, `qos`, `mem`, `span` — one
+//! `BENCH_<scenario>.json` each, so the perf trajectory covers every
+//! subsystem (scheduler, SMP migration, link QoS, memory reclaim, span
+//! accounting), not just the HTTP fast path.
 //!
 //! `--floor N` exits nonzero below N events per wall-second — the CI
 //! regression tripwire. `--reduced` shrinks the run for smoke tests.
-//! Wall-clock numbers are inherently noisy; the floor should sit well
-//! below (~5-10x) the typical release-build rate.
+//! `--check` is the engine-rewrite gate: best-of-3 reduced baseline
+//! runs must beat 2x the seed engine's checked-in rate, and the emitted
+//! artifact must carry a positive `sim_wall_ratio`. Wall-clock numbers
+//! are inherently noisy; plain floors should sit well below (~5-10x)
+//! the typical release-build rate, and `--check` takes the best of
+//! repeated runs so one scheduling hiccup cannot fail the gate.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use rcbench::json;
-use workload::scenarios::{run_baseline, run_span_tenants, BaselineParams, SpanTenantsParams};
+use workload::scenarios::{
+    run_baseline, run_memhog_tenants, run_qos_tenants, run_smp_tenants, run_span_tenants,
+    BaselineParams, MemhogTenantsParams, QosTenantsParams, SmpTenantsParams, SpanTenantsParams,
+};
+
+/// Events-per-wall-second of the seed engine (BinaryHeap queue,
+/// BTreeMap kernel state) on the reference box, from the checked-in
+/// `BENCH_baseline.json` at the time of the engine rewrite.
+const SEED_EVENTS_PER_SEC: f64 = 1.51e6;
+
+/// `--check` floor: the rewritten engine must clear 2x the seed rate.
+/// Deliberately conservative (the rewrite targets 5x) so slower or
+/// noisier CI machines don't flake the gate.
+const CHECK_FLOOR: f64 = 2.0 * SEED_EVENTS_PER_SEC;
+
+/// Best-of-N runs under `--check`, so a single scheduling hiccup on a
+/// shared CI box cannot fail the gate.
+const CHECK_RUNS: usize = 3;
 
 #[derive(serde::Serialize)]
 struct BenchResult {
@@ -48,9 +75,9 @@ fn peak_rss_kib() -> u64 {
         .unwrap_or(0)
 }
 
-fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<(), String> {
-    let start = Instant::now();
-    let (sim_events, sim_secs, completed) = match scenario {
+/// Runs one scenario and returns `(sim_events, sim_secs, completed)`.
+fn run_scenario(scenario: &str, reduced: bool) -> Result<(u64, f64, u64), String> {
+    Ok(match scenario {
         "baseline" => {
             let secs = if reduced { 3 } else { 10 };
             let r = run_baseline(BaselineParams {
@@ -60,7 +87,39 @@ fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<(), String> 
             });
             (r.sim_events, secs as f64, r.completed)
         }
-        "span_tenants" => {
+        "smp" => {
+            let secs = if reduced { 4 } else { 10 };
+            let r = run_smp_tenants(SmpTenantsParams {
+                clients_per_tenant: if reduced { 12 } else { 24 },
+                secs,
+                ..SmpTenantsParams::default()
+            });
+            let completed = (r.total_throughput * sim_window(secs)) as u64;
+            (r.sim_events, secs as f64, completed)
+        }
+        "qos" => {
+            let secs = if reduced { 4 } else { 8 };
+            let r = run_qos_tenants(QosTenantsParams {
+                blast_clients: if reduced { 9 } else { 18 },
+                secs,
+                ..QosTenantsParams::default()
+            });
+            let completed = (r.throughputs.iter().sum::<f64>() * sim_window(secs)) as u64;
+            (r.sim_events, secs as f64, completed)
+        }
+        "mem" => {
+            let secs = if reduced { 4 } else { 10 };
+            let r = run_memhog_tenants(MemhogTenantsParams {
+                g_clients: if reduced { 4 } else { 8 },
+                secs,
+                ..MemhogTenantsParams::default()
+            });
+            let window = sim_window(secs);
+            let completed = ((r.solo.throughput + r.shared.throughput) * window) as u64;
+            // Solo + shared runs: twice the virtual time.
+            (r.sim_events, 2.0 * secs as f64, completed)
+        }
+        "span" | "span_tenants" => {
             let secs = if reduced { 4 } else { 8 };
             let r = run_span_tenants(SpanTenantsParams {
                 clients: if reduced { (4, 8) } else { (6, 12) },
@@ -72,10 +131,15 @@ fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<(), String> 
         }
         other => {
             return Err(format!(
-                "unknown scenario '{other}' (expected baseline | span_tenants)"
+                "unknown scenario '{other}' (expected baseline | smp | qos | mem | span)"
             ));
         }
-    };
+    })
+}
+
+fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<BenchResult, String> {
+    let start = Instant::now();
+    let (sim_events, sim_secs, completed) = run_scenario(scenario, reduced)?;
     let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
 
     let result = BenchResult {
@@ -98,11 +162,7 @@ fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<(), String> 
         result.peak_rss_kib,
     );
 
-    let out = json::to_string(&result).map_err(|e| e.to_string())?;
-    json::parse(&out).map_err(|e| format!("bench result not valid JSON: {e}"))?;
-    let path = format!("BENCH_{scenario}.json");
-    std::fs::write(&path, format!("{out}\n")).map_err(|e| e.to_string())?;
-    println!("{path} written");
+    write_artifact(&result)?;
 
     if let Some(floor) = floor {
         if result.events_per_sec < floor {
@@ -116,6 +176,61 @@ fn run(scenario: &str, reduced: bool, floor: Option<f64>) -> Result<(), String> 
             result.events_per_sec
         );
     }
+    Ok(result)
+}
+
+/// Serializes `result` to `BENCH_<scenario>.json`, re-parsing the output
+/// to guarantee the artifact is well-formed.
+fn write_artifact(result: &BenchResult) -> Result<(), String> {
+    let out = json::to_string(result).map_err(|e| e.to_string())?;
+    json::parse(&out).map_err(|e| format!("bench result not valid JSON: {e}"))?;
+    let path = format!("BENCH_{}.json", result.scenario);
+    std::fs::write(&path, format!("{out}\n")).map_err(|e| e.to_string())?;
+    println!("{path} written");
+    Ok(())
+}
+
+/// The engine-rewrite gate: best of [`CHECK_RUNS`] reduced baseline runs
+/// must clear [`CHECK_FLOOR`], and the recorded artifact must carry a
+/// positive `sim_wall_ratio`.
+fn run_check() -> Result<(), String> {
+    let mut best: Option<BenchResult> = None;
+    for i in 0..CHECK_RUNS {
+        let r = run("baseline", true, None)?;
+        println!(
+            "check run {}/{}: {:.0} events/s",
+            i + 1,
+            CHECK_RUNS,
+            r.events_per_sec
+        );
+        if best
+            .as_ref()
+            .is_none_or(|b| r.events_per_sec > b.events_per_sec)
+        {
+            best = Some(r);
+        }
+    }
+    let best = best.expect("CHECK_RUNS > 0");
+    // Re-record the artifact from the best run so the checked-in
+    // trajectory reflects the machine's capability, not its worst tick.
+    write_artifact(&best)?;
+    if best.sim_wall_ratio <= 0.0 || best.sim_wall_ratio.is_nan() {
+        return Err(format!(
+            "check failed: sim_wall_ratio {} not positive",
+            best.sim_wall_ratio
+        ));
+    }
+    if best.events_per_sec < CHECK_FLOOR {
+        return Err(format!(
+            "engine perf check failed: best of {CHECK_RUNS} runs {:.0} events/s \
+             < {CHECK_FLOOR:.0} (2x seed engine at {SEED_EVENTS_PER_SEC:.0})",
+            best.events_per_sec
+        ));
+    }
+    println!(
+        "check ok: {:.0} >= {CHECK_FLOOR:.0} events/s (2x seed engine)",
+        best.events_per_sec
+    );
     Ok(())
 }
 
@@ -129,10 +244,12 @@ fn main() -> ExitCode {
     let mut scenario = None;
     let mut reduced = false;
     let mut floor = None;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--reduced" => reduced = true,
+            "--check" => check = true,
             "--floor" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(f) => floor = Some(f),
                 None => {
@@ -147,8 +264,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let scenario = scenario.unwrap_or_else(|| "baseline".to_string());
-    match run(&scenario, reduced, floor) {
+    let outcome = if check {
+        run_check()
+    } else {
+        let scenario = scenario.unwrap_or_else(|| "baseline".to_string());
+        run(&scenario, reduced, floor).map(|_| ())
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("perf run failed: {e}");

@@ -18,6 +18,17 @@ use simcore::Nanos;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub u32);
 
+impl simcore::slab::SlabKey for TaskId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        TaskId(i as u32)
+    }
+}
+
 impl std::fmt::Display for TaskId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "t{}", self.0)

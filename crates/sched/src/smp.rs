@@ -10,9 +10,8 @@
 //! sequence a core observes is identical to what the policy saw before
 //! the SMP refactor, which is what keeps single-CPU runs byte-identical.
 
-use std::collections::HashMap;
-
 use rescon::{ContainerId, ContainerTable};
+use simcore::slab::IdSlab;
 use simcore::Nanos;
 
 use crate::api::{CoreScheduler, CpuId, Pick, Scheduler, TaskId, TaskSnapshot};
@@ -26,7 +25,7 @@ struct TaskMeta {
 /// An SMP scheduler built from one [`CoreScheduler`] instance per CPU.
 pub struct PerCpu<P: CoreScheduler> {
     cores: Vec<P>,
-    tasks: HashMap<TaskId, TaskMeta>,
+    tasks: IdSlab<TaskId, TaskMeta>,
 }
 
 impl<P: CoreScheduler> PerCpu<P> {
@@ -36,12 +35,12 @@ impl<P: CoreScheduler> PerCpu<P> {
         assert!(!cores.is_empty(), "PerCpu requires at least one core");
         Self {
             cores,
-            tasks: HashMap::new(),
+            tasks: IdSlab::new(),
         }
     }
 
     fn core_of(&self, task: TaskId) -> Option<u32> {
-        self.tasks.get(&task).map(|m| m.cpu)
+        self.tasks.get(task).map(|m| m.cpu)
     }
 }
 
@@ -60,13 +59,13 @@ impl<P: CoreScheduler> Scheduler for PerCpu<P> {
     }
 
     fn remove_task(&mut self, task: TaskId) {
-        if let Some(meta) = self.tasks.remove(&task) {
+        if let Some(meta) = self.tasks.remove(task) {
             self.cores[meta.cpu as usize].remove_task(task);
         }
     }
 
     fn set_binding(&mut self, task: TaskId, binding: &[ContainerId], now: Nanos) {
-        if let Some(meta) = self.tasks.get_mut(&task) {
+        if let Some(meta) = self.tasks.get_mut(task) {
             meta.binding.clear();
             meta.binding.extend_from_slice(binding);
             self.cores[meta.cpu as usize].set_binding(task, binding, now);
@@ -74,7 +73,7 @@ impl<P: CoreScheduler> Scheduler for PerCpu<P> {
     }
 
     fn set_runnable(&mut self, task: TaskId, runnable: bool, now: Nanos) {
-        if let Some(meta) = self.tasks.get_mut(&task) {
+        if let Some(meta) = self.tasks.get_mut(task) {
             meta.runnable = runnable;
             self.cores[meta.cpu as usize].set_runnable(task, runnable, now);
         }
@@ -95,7 +94,7 @@ impl<P: CoreScheduler> Scheduler for PerCpu<P> {
         if to.0 as usize >= self.cores.len() {
             return false;
         }
-        let Some(meta) = self.tasks.get_mut(&task) else {
+        let Some(meta) = self.tasks.get_mut(task) else {
             return false;
         };
         if meta.cpu == to.0 {
@@ -154,7 +153,7 @@ impl<P: CoreScheduler> Scheduler for PerCpu<P> {
         let mut out: Vec<TaskSnapshot> = self
             .tasks
             .iter()
-            .map(|(&task, meta)| TaskSnapshot {
+            .map(|(task, meta)| TaskSnapshot {
                 task,
                 cpu: CpuId(meta.cpu),
                 binding: meta.binding.clone(),

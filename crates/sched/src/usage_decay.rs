@@ -31,6 +31,12 @@ pub struct UsageDecay {
     value: f64,
     last: Nanos,
     half_life: Nanos,
+    // One-entry memo for `0.5^halves`: charge intervals repeat heavily in
+    // steady state (periodic quanta, per-request event cycles), and a
+    // repeated exponent must produce the identical factor anyway, so the
+    // memo saves the `powf` without any change in results.
+    memo_halves: f64,
+    memo_factor: f64,
 }
 
 impl UsageDecay {
@@ -44,7 +50,20 @@ impl UsageDecay {
             } else {
                 half_life
             },
+            memo_halves: f64::NAN,
+            memo_factor: 1.0,
         }
+    }
+
+    #[inline]
+    fn factor(&mut self, halves: f64) -> f64 {
+        if halves == self.memo_halves {
+            return self.memo_factor;
+        }
+        let f = 0.5f64.powf(halves);
+        self.memo_halves = halves;
+        self.memo_factor = f;
+        f
     }
 
     fn decay_to(&mut self, now: Nanos) {
@@ -53,7 +72,7 @@ impl UsageDecay {
         }
         let dt = now - self.last;
         let halves = dt.as_secs_f64() / self.half_life.as_secs_f64();
-        self.value *= 0.5f64.powf(halves);
+        self.value *= self.factor(halves);
         self.last = now;
     }
 
@@ -76,7 +95,12 @@ impl UsageDecay {
         }
         let dt = now - self.last;
         let halves = dt.as_secs_f64() / self.half_life.as_secs_f64();
-        self.value * 0.5f64.powf(halves)
+        let factor = if halves == self.memo_halves {
+            self.memo_factor
+        } else {
+            0.5f64.powf(halves)
+        };
+        self.value * factor
     }
 }
 

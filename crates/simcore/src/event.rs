@@ -4,11 +4,43 @@
 //! time. Events scheduled for the same instant are delivered in the order
 //! they were scheduled (stable FIFO), which is what makes whole-simulation
 //! determinism possible: a `BinaryHeap` alone has unspecified tie ordering.
+//!
+//! # Implementation
+//!
+//! The production queue is a **hierarchical timer wheel**: six levels of 64
+//! slots at 1 ns tick granularity, spanning 2^36 ns (~69 s) ahead of the
+//! cursor. `schedule` is O(1): the level is the highest bit in which the
+//! event time differs from the cursor (divided by 6), the slot is the
+//! corresponding 6-bit field of the time. `pop` scans six occupancy
+//! bitmaps bottom-up for the first non-empty slot (the lowest occupied
+//! level always holds the earliest deadline), visits it, and — when the
+//! bucket minimum is strictly earlier than every other occupied slot's
+//! deadline — jumps the cursor straight to that minimum, delivering in a
+//! single visit what a textbook wheel would cascade level by level. Slot
+//! buckets are intrusive singly-linked chains through one node arena with
+//! a freelist, so steady-state scheduling allocates nothing and touches
+//! one hot cache region. Entries due exactly at the cursor drain into a
+//! seq-sorted ready run, so a burst of same-instant events pops without
+//! re-scanning the wheel. Events beyond the wheel horizon or at/behind
+//! the cursor live in a sorted overflow map (`BTreeMap` keyed by
+//! `(time, seq)`), compared against the wheel on every pop, so far-future
+//! timers and "overdue" schedules (a time at or before the last popped
+//! event) still come out in exact `(time, seq)` order. The old
+//! `BinaryHeap` implementation survives as [`RefQueue`], the reference
+//! model the differential proptest drives in lockstep
+//! (`crates/simcore/tests/prop_queue_equiv.rs`).
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use crate::time::Nanos;
+
+/// Number of wheel levels.
+const LEVELS: usize = 6;
+/// log2 of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
 
 /// A scheduled entry: ordered by time, then by insertion sequence.
 struct Entry<E> {
@@ -41,6 +73,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Freelist/next-pointer sentinel for arena nodes.
+const NIL: u32 = u32::MAX;
+
+/// A wheel-resident entry (raw nanoseconds to keep slot math branchless),
+/// chained intrusively through the node arena. `payload` is `None` only
+/// while the node sits on the freelist.
+struct Node<E> {
+    at: u64,
+    seq: u64,
+    next: u32,
+    payload: Option<E>,
+}
+
 /// A deterministic event queue keyed by virtual time.
 ///
 /// # Examples
@@ -59,8 +104,32 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Head node index per slot, level-major (`NIL` when empty). Buckets
+    /// are intrusive chains through `nodes`, so the whole wheel shares
+    /// one allocation and the freelist keeps reused nodes cache-hot.
+    heads: [u32; LEVELS * SLOTS],
+    /// One occupancy bit per slot, per level.
+    occupied: [u64; LEVELS],
+    /// The node arena; freed nodes chain through `free`.
+    nodes: Vec<Node<E>>,
+    /// Freelist head into `nodes`.
+    free: u32,
+    /// Seq-sorted run of node indices due exactly at `elapsed`, drained
+    /// front to back. Filled only when empty, so it is always globally
+    /// sorted.
+    ready: VecDeque<u32>,
+    /// Far-future (beyond the wheel horizon) and overdue (at or before
+    /// `elapsed`) entries, in exact pop order.
+    overflow: BTreeMap<(u64, u64), E>,
+    /// The wheel cursor: the timestamp of the slot most recently visited.
+    /// Every wheel-resident entry is strictly later than this; every ready
+    /// entry is exactly at it.
+    elapsed: u64,
     next_seq: u64,
+    len: usize,
+    /// Time of the earliest pending entry, maintained eagerly so
+    /// `peek_time` is O(1) on `&self`.
+    min_time: Option<Nanos>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -73,6 +142,341 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            heads: [NIL; LEVELS * SLOTS],
+            occupied: [0; LEVELS],
+            nodes: Vec::new(),
+            free: NIL,
+            ready: VecDeque::new(),
+            overflow: BTreeMap::new(),
+            elapsed: 0,
+            next_seq: 0,
+            len: 0,
+            min_time: None,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    #[inline]
+    pub fn schedule(&mut self, at: Nanos, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let t = at.as_nanos();
+        match self.min_time {
+            Some(m) if m <= at => {}
+            _ => self.min_time = Some(at),
+        }
+        if t <= self.elapsed {
+            // Overdue relative to the cursor: sorted overflow keeps it in
+            // exact (time, seq) order ahead of everything later.
+            self.overflow.insert((t, seq), payload);
+            return;
+        }
+        let level = level_for(self.elapsed, t);
+        if level >= LEVELS {
+            self.overflow.insert((t, seq), payload);
+            return;
+        }
+        let slot = slot_of(t, level);
+        let idx = self.alloc(t, seq, payload);
+        self.link(level, slot, idx);
+    }
+
+    /// Takes a node from the freelist or grows the arena.
+    #[inline]
+    fn alloc(&mut self, at: u64, seq: u64, payload: E) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let n = &mut self.nodes[idx as usize];
+            self.free = n.next;
+            n.at = at;
+            n.seq = seq;
+            n.next = NIL;
+            n.payload = Some(payload);
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                at,
+                seq,
+                next: NIL,
+                payload: Some(payload),
+            });
+            idx
+        }
+    }
+
+    /// Returns a node's payload and puts the node on the freelist.
+    #[inline]
+    fn free_node(&mut self, idx: u32) -> E {
+        let n = &mut self.nodes[idx as usize];
+        let payload = n.payload.take().expect("freed node still referenced");
+        n.next = self.free;
+        self.free = idx;
+        payload
+    }
+
+    /// Chains a node onto a slot bucket and marks the slot occupied.
+    #[inline]
+    fn link(&mut self, level: usize, slot: usize, idx: u32) {
+        let h = level * SLOTS + slot;
+        self.nodes[idx as usize].next = self.heads[h];
+        self.heads[h] = idx;
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Returns the time of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.min_time
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let (t, seq) = self.prepare()?;
+        let from_ready = match self.ready.front() {
+            Some(&i) => {
+                let n = &self.nodes[i as usize];
+                n.at == t && n.seq == seq
+            }
+            None => false,
+        };
+        let out = if from_ready {
+            let idx = self.ready.pop_front().expect("front exists");
+            self.free_node(idx)
+        } else {
+            self.overflow
+                .remove(&(t, seq))
+                .expect("prepare returned an overflow key")
+        };
+        // A fresh minimum from overflow beyond the cursor means the wheel
+        // was empty (wheel entries always precede far-future overflow), so
+        // jumping the cursor forward cannot strand a wheel entry.
+        if t > self.elapsed {
+            self.elapsed = t;
+        }
+        self.len -= 1;
+        self.min_time = self.prepare().map(|(t, _)| Nanos::from_nanos(t));
+        Some((Nanos::from_nanos(t), out))
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    #[inline]
+    pub fn pop_due(&mut self, now: Nanos) -> Option<(Nanos, E)> {
+        match self.min_time {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Returns the number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Discards all pending events. The cursor and sequence counter are
+    /// retained, so later schedules still order after earlier ones.
+    pub fn clear(&mut self) {
+        self.heads = [NIL; LEVELS * SLOTS];
+        self.occupied = [0; LEVELS];
+        self.nodes.clear();
+        self.free = NIL;
+        self.ready.clear();
+        self.overflow.clear();
+        self.len = 0;
+        self.min_time = None;
+    }
+
+    /// Exposes the global minimum: after this returns `Some((t, seq))`,
+    /// that entry is either at the front of `ready` or in `overflow` under
+    /// exactly that key. Cascades higher-level wheel slots downward as a
+    /// side effect; never removes or reorders entries.
+    fn prepare(&mut self) -> Option<(u64, u64)> {
+        loop {
+            let ready_key = self.ready.front().map(|&i| {
+                let n = &self.nodes[i as usize];
+                (n.at, n.seq)
+            });
+            let over_key = if self.overflow.is_empty() {
+                None
+            } else {
+                self.overflow.keys().next().copied()
+            };
+            // Wheel entries are strictly later than ready ones (the ready
+            // run sits at the cursor; the wheel is past it), so the wheel
+            // only competes when the ready run is empty.
+            if ready_key.is_none() {
+                if let Some((level, slot, deadline)) = self.next_wheel_slot() {
+                    // Visit the wheel slot unless an overflow entry is
+                    // strictly earlier than everything the slot can hold.
+                    if over_key.is_none_or(|(t, _)| deadline <= t) {
+                        self.visit(level, slot, deadline);
+                        continue;
+                    }
+                }
+            }
+            return match (ready_key, over_key) {
+                (Some(r), Some(o)) => Some(r.min(o)),
+                (r, o) => r.or(o),
+            };
+        }
+    }
+
+    /// Finds the earliest occupied wheel slot: the first occupied level,
+    /// scanning bottom-up. A level-`h` slot deadline carries the cursor's
+    /// bits above field `h` and a slot index strictly greater than the
+    /// cursor's field `h`, while a lower level `l < h` keeps the cursor's
+    /// field `h` verbatim — so any occupied lower level beats any higher
+    /// one, and the scan can stop at the first hit. (The cursor-jump in
+    /// `visit` relies on this: when the minimum slot is at level `L`,
+    /// every level below `L` is empty.)
+    fn next_wheel_slot(&self) -> Option<(usize, usize, u64)> {
+        for level in 0..LEVELS {
+            let cursor = slot_of(self.elapsed, level);
+            // Entries land in slots strictly after the cursor within
+            // their level (the level is chosen by highest differing bit),
+            // so a forward mask never skips one.
+            let masked = self.occupied[level] & (!0u64 << cursor);
+            if masked != 0 {
+                let slot = masked.trailing_zeros() as usize;
+                let deadline = slot_deadline(self.elapsed, level, slot);
+                return Some((level, slot, deadline));
+            }
+        }
+        None
+    }
+
+    /// Visits one wheel slot: advances the cursor to the slot's deadline,
+    /// moves entries due exactly now into the ready run (seq-sorted) and
+    /// re-files the rest into strictly lower levels.
+    fn visit(&mut self, level: usize, slot: usize, deadline: u64) {
+        self.occupied[level] &= !(1 << slot);
+        let head = self.heads[level * SLOTS + slot];
+        self.heads[level * SLOTS + slot] = NIL;
+        self.elapsed = deadline;
+        // Cursor jump: every entry in this bucket shares the slot's
+        // field-`level` bits, so all of them precede every other wheel
+        // entry as long as the bucket minimum is strictly earlier than
+        // the next slot deadline `d2` (ties must *not* jump: an equal-time
+        // entry in another slot has to merge into the same ready run for
+        // seq order to hold). When it is, advancing the cursor straight to
+        // the bucket minimum delivers in ONE visit what would otherwise
+        // cascade level by level — the dominant cost on sparse wheels.
+        // Sound because `next_wheel_slot` scans bottom-up: at the minimum
+        // slot's level and below, nothing else is pending.
+        if level > 0 {
+            let mut bucket_min = u64::MAX;
+            let mut i = head;
+            while i != NIL {
+                let n = &self.nodes[i as usize];
+                bucket_min = bucket_min.min(n.at);
+                i = n.next;
+            }
+            if bucket_min > deadline {
+                // Second-minimum slot deadline. Levels below `level` are
+                // empty (bottom-up scan invariant), so start there.
+                let mut d2 = u64::MAX;
+                for l in level..LEVELS {
+                    let cursor = slot_of(self.elapsed, l);
+                    let masked = self.occupied[l] & (!0u64 << cursor);
+                    if masked != 0 {
+                        let s = masked.trailing_zeros() as usize;
+                        d2 = slot_deadline(self.elapsed, l, s);
+                        break;
+                    }
+                }
+                if bucket_min < d2 {
+                    self.elapsed = bucket_min;
+                }
+            }
+        }
+        debug_assert!(self.ready.is_empty(), "ready run refilled before drained");
+        let mut i = head;
+        while i != NIL {
+            let (at, next) = {
+                let n = &self.nodes[i as usize];
+                (n.at, n.next)
+            };
+            debug_assert!(at >= deadline, "wheel entry behind its slot");
+            if at == self.elapsed {
+                self.ready.push_back(i);
+            } else {
+                let lower = level_for(self.elapsed, at);
+                debug_assert!(lower < level, "cascade must descend");
+                let s = slot_of(at, lower);
+                self.link(lower, s, i);
+            }
+            i = next;
+        }
+        if self.ready.len() > 1 {
+            // Same-instant entries must drain in schedule order; bucket
+            // chains are LIFO, so the run is rebuilt by seq.
+            let nodes = &self.nodes;
+            let run = self.ready.make_contiguous();
+            run.sort_unstable_by_key(|&i| nodes[i as usize].seq);
+        }
+    }
+}
+
+/// The wheel level for an entry at `when`, relative to cursor `elapsed`:
+/// the highest bit in which they differ, divided by the per-level slot
+/// width. `LEVELS` or more means past the wheel horizon.
+#[inline]
+fn level_for(elapsed: u64, when: u64) -> usize {
+    debug_assert!(when > elapsed);
+    let highest = 63 - (when ^ elapsed).leading_zeros();
+    (highest / SLOT_BITS) as usize
+}
+
+/// The 6-bit slot index of `when` at `level`.
+#[inline]
+fn slot_of(when: u64, level: usize) -> usize {
+    ((when >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+}
+
+/// The earliest timestamp a slot can hold: the cursor's high bits above
+/// the level, the slot index within it, zeros below.
+#[inline]
+fn slot_deadline(elapsed: u64, level: usize, slot: usize) -> u64 {
+    let shift = SLOT_BITS as usize * level;
+    let high = match shift + SLOT_BITS as usize {
+        64 => 0,
+        above => elapsed & (!0u64 << above),
+    };
+    high | ((slot as u64) << shift)
+}
+
+/// The original `BinaryHeap`-backed queue, kept as a **reference model**
+/// for differential testing against the production [`EventQueue`].
+///
+/// This is the seed implementation, verbatim: a max-heap of reversed
+/// `(time, seq)` entries. It is deliberately simple and obviously correct
+/// — `crates/simcore/tests/prop_queue_equiv.rs` drives it and the
+/// production queue in lockstep on random programs and asserts identical
+/// observable behavior. Not intended for use outside tests.
+pub struct RefQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for RefQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> RefQueue<E> {
+    /// Creates an empty reference queue.
+    pub fn new() -> Self {
+        RefQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
@@ -175,5 +579,43 @@ mod tests {
         q.schedule(Nanos::from_micros(5), 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn overdue_schedule_pops_before_pending() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_micros(10), "future");
+        assert_eq!(q.pop().unwrap().1, "future");
+        // Behind the cursor now — must still pop, and first.
+        q.schedule(Nanos::from_micros(2), "overdue");
+        q.schedule(Nanos::from_micros(20), "later");
+        assert_eq!(q.pop(), Some((Nanos::from_micros(2), "overdue")));
+        assert_eq!(q.pop(), Some((Nanos::from_micros(20), "later")));
+    }
+
+    #[test]
+    fn far_future_past_wheel_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_secs(1_000), "far");
+        q.schedule(Nanos::from_nanos(5), "near");
+        q.schedule(Nanos::from_secs(100_000_000), "farther");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "farther");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cascade_preserves_seq_order_within_instant() {
+        let mut q = EventQueue::new();
+        // Two entries at the same instant land in a level-1 slot and must
+        // cascade out in schedule order.
+        let t = Nanos::from_nanos(64 * 3 + 7);
+        q.schedule(t, 1);
+        q.schedule(Nanos::from_nanos(1), 0);
+        q.schedule(t, 2);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
     }
 }

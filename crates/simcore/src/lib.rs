@@ -30,13 +30,14 @@ pub mod arena;
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod slab;
 pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use arena::{Arena, Idx};
-pub use event::EventQueue;
+pub use event::{EventQueue, RefQueue};
 pub use fault::{ClientFault, DiskFault, FaultCounts, FaultInjector, FaultPlan, NetFault};
 pub use rng::SimRng;
 pub use span::{Outcome, Phase, RequestId, SpanBuffer, SpanLedger, SpanRef};

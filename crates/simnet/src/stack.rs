@@ -307,24 +307,48 @@ impl NetStack {
 
     /// Performs protocol processing for one received packet.
     pub fn handle_packet(&mut self, pkt: Packet, now: Nanos) -> Vec<NetEvent> {
-        match self.classify(&pkt) {
-            Demux::Conn(id) => self.handle_conn_packet(id, pkt),
-            Demux::Listen(id) => self.handle_listen_packet(id, pkt, now),
+        let mut out = Vec::new();
+        let demux = self.classify(&pkt);
+        self.handle_classified(demux, pkt, now, &mut out);
+        out
+    }
+
+    /// Performs protocol processing for a packet the caller has already
+    /// classified, appending results to `out`. The interrupt path uses
+    /// this to avoid re-hashing the flow (it classified for demux
+    /// bookkeeping moments earlier) and to reuse one event buffer across
+    /// packets instead of allocating per packet.
+    pub fn handle_classified(
+        &mut self,
+        demux: Demux,
+        pkt: Packet,
+        now: Nanos,
+        out: &mut Vec<NetEvent>,
+    ) {
+        match demux {
+            Demux::Conn(id) => self.handle_conn_packet(id, pkt, out),
+            Demux::Listen(id) => self.handle_listen_packet(id, pkt, now, out),
             Demux::NoMatch => match pkt.kind {
                 // A stray non-RST packet draws a reset.
-                PacketKind::Rst => Vec::new(),
-                _ => vec![NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst))],
+                PacketKind::Rst => {}
+                _ => out.push(NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst))),
             },
         }
     }
 
-    fn handle_listen_packet(&mut self, id: SockId, pkt: Packet, now: Nanos) -> Vec<NetEvent> {
+    fn handle_listen_packet(
+        &mut self,
+        id: SockId,
+        pkt: Packet,
+        now: Nanos,
+        out: &mut Vec<NetEvent>,
+    ) {
         let listener_container = self.sockets.get(id).and_then(|s| s.container);
         let Some(sock) = self.sockets.get_mut(id) else {
-            return Vec::new();
+            return;
         };
         let SocketKind::Listen(ls) = &mut sock.kind else {
-            return Vec::new();
+            return;
         };
         match pkt.kind {
             PacketKind::Syn => {
@@ -334,12 +358,12 @@ impl NetStack {
                     // minted span (if any) is redundant with the queued
                     // entry's.
                     span::finish(pkt.span, now, Outcome::Dropped);
-                    return vec![NetEvent::PacketOut(Packet::new(
+                    out.push(NetEvent::PacketOut(Packet::new(
                         pkt.flow,
                         PacketKind::SynAck,
-                    ))];
+                    )));
+                    return;
                 }
-                let mut evs = Vec::new();
                 if ls.syn_queue.len() >= ls.syn_backlog {
                     // BSD syncache behaviour: evict the *oldest* half-open
                     // entry to make room rather than refusing the new SYN.
@@ -358,7 +382,7 @@ impl NetStack {
                     if let Some((flow, _, sp)) = evicted {
                         span::finish(sp, now, Outcome::Dropped);
                         if ls.notify_syn_drops {
-                            evs.push(NetEvent::SynDropped {
+                            out.push(NetEvent::SynDropped {
                                 listener: id,
                                 src: flow.src,
                             });
@@ -367,17 +391,16 @@ impl NetStack {
                 }
                 ls.syn_queue
                     .push_back((pkt.flow, now + self.syn_timeout, pkt.span));
-                evs.push(NetEvent::PacketOut(Packet::new(
+                out.push(NetEvent::PacketOut(Packet::new(
                     pkt.flow,
                     PacketKind::SynAck,
                 )));
-                evs
             }
             PacketKind::Ack => {
                 Self::evict_expired_syns(ls, now);
                 let pos = ls.syn_queue.iter().position(|&(f, _, _)| f == pkt.flow);
                 let Some(pos) = pos else {
-                    return Vec::new(); // Stray or expired handshake.
+                    return; // Stray or expired handshake.
                 };
                 let sp = ls.syn_queue.remove(pos).map(|(_, _, sp)| sp).unwrap_or(0);
                 if ls.accept_queue.len() >= ls.accept_backlog {
@@ -389,7 +412,8 @@ impl NetStack {
                             .unwrap_or(NO_CONTAINER),
                     });
                     span::finish(sp, now, Outcome::Dropped);
-                    return vec![NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst))];
+                    out.push(NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst)));
+                    return;
                 }
                 // The handshake is complete: the request now waits for the
                 // application to accept it.
@@ -407,20 +431,20 @@ impl NetStack {
                 // Re-borrow the listener (the arena insert above may have
                 // moved storage).
                 let Some(sock) = self.sockets.get_mut(id) else {
-                    return Vec::new();
+                    return;
                 };
                 let SocketKind::Listen(ls) = &mut sock.kind else {
-                    return Vec::new();
+                    return;
                 };
                 ls.accept_queue.push_back(conn);
                 self.conn_by_flow.insert(pkt.flow, conn);
                 self.established += 1;
-                vec![NetEvent::AcceptReady { listener: id, conn }]
+                out.push(NetEvent::AcceptReady { listener: id, conn });
             }
             // Payload or teardown segments for a flow the stack no longer
             // knows draw a reset, as in real TCP.
             PacketKind::Data { .. } | PacketKind::Fin => {
-                vec![NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst))]
+                out.push(NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Rst)));
             }
             // An RST for a half-open connection frees its SYN-queue slot
             // immediately (RFC 793 SYN-RECEIVED handling).
@@ -433,30 +457,27 @@ impl NetStack {
                         true
                     }
                 });
-                Vec::new()
             }
-            PacketKind::SynAck => Vec::new(),
+            PacketKind::SynAck => {}
         }
     }
 
-    fn handle_conn_packet(&mut self, id: SockId, pkt: Packet) -> Vec<NetEvent> {
+    fn handle_conn_packet(&mut self, id: SockId, pkt: Packet, out: &mut Vec<NetEvent>) {
         let Some(sock) = self.sockets.get_mut(id) else {
-            return Vec::new();
+            return;
         };
         let SocketKind::Conn(cs) = &mut sock.kind else {
-            return Vec::new();
+            return;
         };
         match pkt.kind {
             PacketKind::Data { bytes } => {
                 cs.recv_bytes += bytes as u64;
-                vec![NetEvent::Readable { conn: id }]
+                out.push(NetEvent::Readable { conn: id });
             }
             PacketKind::Fin => {
                 cs.state = ConnState::PeerClosed;
-                vec![
-                    NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Ack)),
-                    NetEvent::Readable { conn: id },
-                ]
+                out.push(NetEvent::PacketOut(Packet::new(pkt.flow, PacketKind::Ack)));
+                out.push(NetEvent::Readable { conn: id });
             }
             PacketKind::Rst => {
                 let flow = cs.flow;
@@ -465,13 +486,13 @@ impl NetStack {
                 let container = self.sockets.get(id).and_then(|s| s.container);
                 self.sockets.remove(id);
                 self.closed += 1;
-                vec![NetEvent::ConnReset {
+                out.push(NetEvent::ConnReset {
                     conn: id,
                     container,
-                }]
+                });
             }
-            PacketKind::Ack => Vec::new(),
-            PacketKind::Syn | PacketKind::SynAck => Vec::new(),
+            PacketKind::Ack => {}
+            PacketKind::Syn | PacketKind::SynAck => {}
         }
     }
 

@@ -46,7 +46,7 @@ use simcore::{EventQueue, Nanos, SpanRef};
 use simdisk::{BufferCache, DiskParams, DiskRequest, ReqId, SimDisk};
 use simnet::{
     Demux, Dispatch, LinkParams, LinkSched, NetDiscipline, NetEvent, NetStack, Packet,
-    PendingQueues, QdiscKind, SockId,
+    PendingQueues, QdiscKind, SockId, Socket,
 };
 
 use crate::app::{AppEvent, AppHandler};
@@ -54,6 +54,7 @@ use crate::cost::CostModel;
 use crate::ids::Pid;
 use crate::mem::{self, MemAccountant, MemFailure, MemParams};
 use crate::process::Process;
+use crate::slab::{IdSlab, SockTable};
 use crate::stats::KernelStats;
 use crate::syscall::{ListenSpec, SysCtx};
 use crate::thread::{Op, Thread, ThreadKind, ThreadState, WaitFor, WorkItem};
@@ -344,25 +345,25 @@ pub struct Kernel {
     /// The network stack (public for tests/harnesses).
     pub stack: NetStack,
     scheduler: Box<dyn Scheduler>,
-    pub(crate) threads: BTreeMap<TaskId, Thread>,
+    pub(crate) threads: IdSlab<TaskId, Thread>,
     /// `resume_wait`: a wait to restore after an out-of-band upcall.
-    resume_waits: HashMap<TaskId, WaitFor>,
-    processes: BTreeMap<Pid, Process>,
-    handlers: BTreeMap<Pid, Option<Box<dyn AppHandler>>>,
-    pending: BTreeMap<Pid, PendingQueues<ContainerId>>,
-    kthreads: BTreeMap<Pid, TaskId>,
-    sock_owner: HashMap<SockId, Pid>,
+    resume_waits: IdSlab<TaskId, WaitFor>,
+    processes: IdSlab<Pid, Process>,
+    handlers: IdSlab<Pid, Option<Box<dyn AppHandler>>>,
+    pending: IdSlab<Pid, PendingQueues<ContainerId>>,
+    kthreads: IdSlab<Pid, TaskId>,
+    sock_owner: SockTable<Socket, Pid>,
     /// Socket-buffer memory charged per connection (released on close).
-    sockbuf_charges: HashMap<SockId, (ContainerId, u64)>,
+    sockbuf_charges: SockTable<Socket, (ContainerId, u64)>,
     /// Protocol-control-block memory charged per connection when the
     /// memory subsystem is configured (class `ConnState`).
-    pcb_charges: HashMap<SockId, (ContainerId, u64)>,
+    pcb_charges: SockTable<Socket, (ContainerId, u64)>,
     /// Kernel-stack memory charged per thread when the memory subsystem
     /// is configured (class `ThreadStack`), released at thread exit.
-    stack_charges: HashMap<TaskId, (ContainerId, u64)>,
+    stack_charges: IdSlab<TaskId, (ContainerId, u64)>,
     /// Pinned memory reserved via `kmem_reserve` per process (class
     /// `Other`), released explicitly, at exit, or by an OOM kill.
-    kmem_charges: BTreeMap<Pid, (ContainerId, u64)>,
+    kmem_charges: IdSlab<Pid, (ContainerId, u64)>,
     /// The kernel memory accountant (present iff `cfg.mem` is set).
     mem: Option<MemAccountant>,
     /// The disk device (public: harnesses read busy time and queue depth).
@@ -420,7 +421,21 @@ pub struct Kernel {
     link_pkts: u64,
     /// Per-listener admission budgets `(syn, accept)` installed by
     /// `ListenSpec`; listeners absent here use the global config budgets.
-    listener_budgets: HashMap<SockId, (usize, usize)>,
+    listener_budgets: SockTable<Socket, (usize, usize)>,
+    /// Cached `trace::enabled()` for the duration of a `run` call (trace
+    /// sessions start and finish outside `run`), gating the hot-path
+    /// `trace::set_now` updates behind a plain branch instead of a
+    /// thread-local access.
+    trace_on: bool,
+    /// Cached `span::enabled()`, same invariant as `trace_on`.
+    spans_on: bool,
+    /// Reusable protocol-event buffer: `receive_packet` and the ProtoRx
+    /// kthread path drain it in place instead of allocating a fresh
+    /// `Vec<NetEvent>` per packet.
+    net_buf: Vec<NetEvent>,
+    /// Reusable world-action buffer, same idea for `PacketToWorld` and
+    /// `WorldTimer` events.
+    world_buf: Vec<WorldAction>,
 }
 
 /// The packet currently being clocked out on the finite link.
@@ -444,17 +459,17 @@ impl Kernel {
             containers: ContainerTable::new(),
             stack: NetStack::new(cfg.syn_timeout),
             scheduler,
-            threads: BTreeMap::new(),
-            resume_waits: HashMap::new(),
-            processes: BTreeMap::new(),
-            handlers: BTreeMap::new(),
-            pending: BTreeMap::new(),
-            kthreads: BTreeMap::new(),
-            sock_owner: HashMap::new(),
-            sockbuf_charges: HashMap::new(),
-            pcb_charges: HashMap::new(),
-            stack_charges: HashMap::new(),
-            kmem_charges: BTreeMap::new(),
+            threads: IdSlab::new(),
+            resume_waits: IdSlab::new(),
+            processes: IdSlab::new(),
+            handlers: IdSlab::new(),
+            pending: IdSlab::new(),
+            kthreads: IdSlab::new(),
+            sock_owner: SockTable::new(),
+            sockbuf_charges: SockTable::new(),
+            pcb_charges: SockTable::new(),
+            stack_charges: IdSlab::new(),
+            kmem_charges: IdSlab::new(),
             mem: cfg.mem.map(MemAccountant::new),
             disk,
             disk_cache,
@@ -481,7 +496,11 @@ impl Kernel {
             link_busy: Nanos::ZERO,
             link_wire_bytes: 0,
             link_pkts: 0,
-            listener_budgets: HashMap::new(),
+            listener_budgets: SockTable::new(),
+            trace_on: false,
+            spans_on: false,
+            net_buf: Vec::new(),
+            world_buf: Vec::new(),
             cfg,
         };
         if !k.cfg.prune_interval.is_zero() {
@@ -519,12 +538,12 @@ impl Kernel {
 
     /// The default container of a process.
     pub fn process_container(&self, pid: Pid) -> Option<ContainerId> {
-        self.processes.get(&pid).map(|p| p.default_container)
+        self.processes.get(pid).map(|p| p.default_container)
     }
 
     /// The process that owns a socket.
     pub fn socket_owner(&self, sock: SockId) -> Option<Pid> {
-        self.sock_owner.get(&sock).copied()
+        self.sock_owner.get(sock).copied()
     }
 
     /// Number of live processes.
@@ -534,7 +553,7 @@ impl Kernel {
 
     /// Returns `true` if the process is still alive.
     pub fn process_alive(&self, pid: Pid) -> bool {
-        self.processes.contains_key(&pid)
+        self.processes.contains_key(pid)
     }
 
     fn alloc_task(&mut self) -> TaskId {
@@ -619,7 +638,7 @@ impl Kernel {
     /// when the kernel-stack memory charge is refused (memory subsystem
     /// configured and the subtree is hard over its limit).
     pub fn spawn_thread(&mut self, pid: Pid) -> Option<TaskId> {
-        let default_container = self.processes.get(&pid)?.default_container;
+        let default_container = self.processes.get(pid)?.default_container;
         let tid = self.alloc_task();
         if !self.charge_thread_stack(tid, default_container) {
             return None;
@@ -633,7 +652,7 @@ impl Kernel {
             kernel_mode: false,
             span: SpanRef::NONE,
         });
-        self.processes.get_mut(&pid)?.threads.push(tid);
+        self.processes.get_mut(pid)?.threads.push(tid);
         let cpu = self.alloc_app_cpu();
         self.scheduler
             .add_task(tid, thread.sched_binding.containers(), cpu, self.clock);
@@ -653,15 +672,27 @@ impl Kernel {
     /// never runs past an event another CPU has yet to cause, and with one
     /// CPU the loop degenerates to the classic uniprocessor event loop.
     pub fn run(&mut self, world: &mut dyn World, until: Nanos) {
+        // Sessions start and finish outside `run`, so the enabled flags
+        // are loop invariants: hoisting them turns a thread-local access
+        // per iteration (the dominant non-work cost of an untraced run)
+        // into a register test. `self.trace_on` additionally gates the
+        // `trace::set_now` calls on the hot stepping path.
+        self.trace_on = trace::enabled();
+        self.spans_on = span::enabled();
+        let sampling = rctrace::active();
+        let ncpus = self.cpus.len();
         'outer: loop {
-            let min_clock = self
-                .cpus
-                .iter()
-                .map(|c| c.clock)
-                .min()
-                .expect("at least one CPU");
+            let min_clock = if ncpus == 1 {
+                self.cpus[0].clock
+            } else {
+                self.cpus
+                    .iter()
+                    .map(|c| c.clock)
+                    .min()
+                    .expect("at least one CPU")
+            };
             self.clock = min_clock;
-            if self.cpus.len() > 1 {
+            if ncpus > 1 && self.trace_on {
                 // A CPU ahead of the frontier may have left the trace
                 // clock in its future; rewind it for event handling. (On
                 // a uniprocessor the trace clock already equals the
@@ -676,7 +707,7 @@ impl Kernel {
             // Metrics sampling is purely observational: it reads kernel
             // state and injects no events, so an instrumented run replays
             // exactly the uninstrumented schedule.
-            if rctrace::sample_due(self.clock) {
+            if sampling && rctrace::sample_due(self.clock) {
                 let rows = self.container_rows();
                 rctrace::record_sample(self.clock, &rows);
             }
@@ -687,19 +718,23 @@ impl Kernel {
             //    Any progress re-derives the frontier; idle verdicts stay
             //    valid because an idle step never wakes another CPU's
             //    threads.
-            let mut idle_until: Vec<Nanos> = Vec::new();
-            for cpu in 0..self.cpus.len() {
+            let mut idle_cpus = 0usize;
+            let mut idle_min = Nanos::MAX;
+            for cpu in 0..ncpus {
                 if self.cpus[cpu].clock != min_clock {
                     continue;
                 }
                 match self.step_cpu(cpu, until, world) {
                     StepOutcome::Progress => continue 'outer,
-                    StepOutcome::Idle(t) => idle_until.push(t),
+                    StepOutcome::Idle(t) => {
+                        idle_cpus += 1;
+                        idle_min = idle_min.min(t);
+                    }
                 }
             }
             // 3. The whole frontier is idle: advance it in lockstep.
-            let frontier_is_all = idle_until.len() == self.cpus.len();
-            if frontier_is_all && idle_until.iter().all(|&t| t == Nanos::MAX) {
+            let frontier_is_all = idle_cpus == self.cpus.len();
+            if frontier_is_all && idle_min == Nanos::MAX {
                 // Nothing will ever happen again.
                 for cpu in self.cpus.iter_mut() {
                     let dt = until - cpu.clock;
@@ -708,15 +743,14 @@ impl Kernel {
                     self.stats.idle_cpu += dt;
                 }
                 self.clock = until;
-                trace::set_now(self.clock);
+                if self.trace_on {
+                    trace::set_now(self.clock);
+                }
                 break;
             }
             // Idle to the earliest of: an idle target, `until`, or a CPU
             // ahead of the frontier (whose step may wake this one).
-            let mut target = until;
-            for &t in &idle_until {
-                target = target.min(t);
-            }
+            let mut target = until.min(idle_min);
             for c in &self.cpus {
                 if c.clock > min_clock {
                     target = target.min(c.clock);
@@ -732,7 +766,9 @@ impl Kernel {
                 }
             }
             self.clock = target;
-            trace::set_now(self.clock);
+            if self.trace_on {
+                trace::set_now(self.clock);
+            }
         }
         if rctrace::active() {
             let rows = self.container_rows();
@@ -776,7 +812,9 @@ impl Kernel {
             self.stats.overhead_cpu += sw;
             self.stats.interrupt_cpu += dt - sw;
             self.clock = self.cpus[cpu].clock;
-            trace::set_now(self.clock);
+            if self.trace_on {
+                trace::set_now(self.clock);
+            }
             return StepOutcome::Progress;
         }
         // Run scheduled work.
@@ -791,16 +829,18 @@ impl Kernel {
                     // the picked task now (re-picking here would let an
                     // equal-usage peer grab the CPU and livelock).
                     let from = self.cpus[cpu].last_task.map(|t| t.0).unwrap_or(u32::MAX);
-                    trace::emit_at(now, || TraceEventKind::CtxSwitch {
-                        from,
-                        to: pick.task.0,
-                        container: self
-                            .threads
-                            .get(&pick.task)
-                            .map(|t| t.charge_container().as_u64())
-                            .unwrap_or(NO_CONTAINER),
-                        cpu: cpu as u32,
-                    });
+                    if self.trace_on {
+                        trace::emit_at(now, || TraceEventKind::CtxSwitch {
+                            from,
+                            to: pick.task.0,
+                            container: self
+                                .threads
+                                .get(pick.task)
+                                .map(|t| t.charge_container().as_u64())
+                                .unwrap_or(NO_CONTAINER),
+                            cpu: cpu as u32,
+                        });
+                    }
                     self.stats.ctx_switches += 1;
                     let cs = &mut self.cpus[cpu];
                     cs.stats.ctx_switches += 1;
@@ -808,7 +848,7 @@ impl Kernel {
                     cs.switch_deficit += self.cfg.cost.ctx_switch;
                     cs.last_task = Some(pick.task);
                 }
-                let Some(th) = self.threads.get_mut(&pick.task) else {
+                let Some(th) = self.threads.get_mut(pick.task) else {
                     self.scheduler.remove_task(pick.task);
                     return StepOutcome::Progress;
                 };
@@ -845,14 +885,16 @@ impl Kernel {
                     cs.stats.charged_cpu += dt;
                     cs.clock += dt;
                     self.clock = cs.clock;
-                    trace::set_now(self.clock);
+                    if self.trace_on {
+                        trace::set_now(self.clock);
+                    }
                     self.scheduler
                         .charge(pick.task, target, dt, &self.containers, self.clock);
                     self.stats.charged_cpu += dt;
                 }
                 let finished = self
                     .threads
-                    .get(&pick.task)
+                    .get(pick.task)
                     .map(|t| t.remaining.is_zero())
                     .unwrap_or(false);
                 if finished {
@@ -872,7 +914,8 @@ impl Kernel {
                 let parked: Vec<(Pid, TaskId)> = self
                     .kthreads
                     .iter()
-                    .filter(|(pid, ktid)| {
+                    .map(|(pid, &ktid)| (pid, ktid))
+                    .filter(|&(pid, ktid)| {
                         self.threads
                             .get(ktid)
                             .map(|t| !t.has_work())
@@ -883,7 +926,6 @@ impl Kernel {
                                 .map(|q| !q.is_empty())
                                 .unwrap_or(false)
                     })
-                    .map(|(&pid, &ktid)| (pid, ktid))
                     .collect();
                 if !parked.is_empty() {
                     for (pid, ktid) in parked {
@@ -902,7 +944,7 @@ impl Kernel {
                         self.stats.migrations += 1;
                         let container = self
                             .threads
-                            .get(&task)
+                            .get(task)
                             .map(|t| t.charge_container().as_u64())
                             .unwrap_or(NO_CONTAINER);
                         let (f, t) = (from as u32, cpu as u32);
@@ -956,14 +998,16 @@ impl Kernel {
         match ev {
             KernelEvent::PacketIn(pkt) => self.receive_packet(pkt),
             KernelEvent::PacketToWorld(pkt) => {
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.world_buf);
                 world.on_packet(pkt, self.clock, &mut actions);
-                self.apply_world_actions(actions);
+                self.apply_world_actions(&mut actions);
+                self.world_buf = actions;
             }
             KernelEvent::WorldTimer(tag) => {
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.world_buf);
                 world.on_timer(tag, self.clock, &mut actions);
-                self.apply_world_actions(actions);
+                self.apply_world_actions(&mut actions);
+                self.world_buf = actions;
             }
             KernelEvent::TimerFired(task, tag) => self.timer_fired(task, tag),
             KernelEvent::Prune => self.prune_bindings(),
@@ -1001,7 +1045,7 @@ impl Kernel {
                 continue;
             }
             let mut queued: Vec<TaskId> = Vec::new();
-            for (&tid, th) in self.threads.iter() {
+            for (tid, th) in self.threads.iter() {
                 if th.kind == ThreadKind::App
                     && th.state == ThreadState::Runnable
                     && self.scheduler.cpu_of(tid) == Some(CpuId(victim as u32))
@@ -1043,7 +1087,7 @@ impl Kernel {
             // kernel network threads, so the CPUs hosting hot protocol
             // threads are dispreferred as migration targets.
             let mut load = vec![0i64; ncpus];
-            for (&tid, th) in self.threads.iter() {
+            for (tid, th) in self.threads.iter() {
                 if th.state == ThreadState::Runnable {
                     if let Some(c) = self.scheduler.cpu_of(tid) {
                         load[c.0 as usize] += 1;
@@ -1055,7 +1099,7 @@ impl Kernel {
                 // by current CPU (BTreeMap order: ascending task id).
                 let mut on_cpu: Vec<Vec<TaskId>> = vec![Vec::new(); ncpus];
                 let mut total = 0usize;
-                for (&tid, th) in self.threads.iter() {
+                for (tid, th) in self.threads.iter() {
                     if th.kind == ThreadKind::App
                         && th.state == ThreadState::Runnable
                         && th.charge_container() == cid
@@ -1257,22 +1301,22 @@ impl Kernel {
     /// wait (select, event API, ...) after the queue drains — the same
     /// out-of-band pattern as timers and IPC doorbells.
     fn deliver_disk_upcall(&mut self, task: TaskId, item: WorkItem) {
-        let Some(th) = self.threads.get_mut(&task) else {
+        let Some(th) = self.threads.get_mut(task) else {
             return;
         };
         if th.state == ThreadState::Exited {
             return;
         }
         if let ThreadState::Blocked(w) = th.state.clone() {
-            self.resume_waits.entry(task).or_insert(w);
+            self.resume_waits.or_insert(task, w);
         }
         th.state = ThreadState::Runnable;
         th.push_work(item);
         self.scheduler.set_runnable(task, true, self.clock);
     }
 
-    fn apply_world_actions(&mut self, actions: Vec<WorldAction>) {
-        for a in actions {
+    fn apply_world_actions(&mut self, actions: &mut Vec<WorldAction>) {
+        for a in actions.drain(..) {
             match a {
                 WorldAction::SendPacket { pkt, delay } => {
                     let at = self.clock + delay + self.cfg.cost.link_latency;
@@ -1344,15 +1388,17 @@ impl Kernel {
             Demux::Conn(s) | Demux::Listen(s) => Some(s),
             Demux::NoMatch => None,
         };
-        trace::emit_at(self.clock, || TraceEventKind::PacketDemux {
-            port: pkt.flow.dst_port,
-            matched: sock.is_some(),
-            container: sock
-                .and_then(|s| self.stack.container_of(s))
-                .map(|c| c.as_u64())
-                .unwrap_or(NO_CONTAINER),
-        });
-        if span::enabled() {
+        if self.trace_on {
+            trace::emit_at(self.clock, || TraceEventKind::PacketDemux {
+                port: pkt.flow.dst_port,
+                matched: sock.is_some(),
+                container: sock
+                    .and_then(|s| self.stack.container_of(s))
+                    .map(|c| c.as_u64())
+                    .unwrap_or(NO_CONTAINER),
+            });
+        }
+        if self.spans_on {
             if let (Demux::Conn(conn), simnet::PacketKind::Data { .. }) = (demux, pkt.kind) {
                 // Request data on an established connection rides the
                 // connection's open span; on an idle keep-alive
@@ -1373,7 +1419,7 @@ impl Kernel {
         }
         match self.cfg.discipline {
             NetDiscipline::Interrupt => {
-                if span::enabled() && pkt.kind == simnet::PacketKind::Syn {
+                if self.spans_on && pkt.kind == simnet::PacketKind::Syn {
                     if let Some(s) = sock {
                         let cu = self.stack.container_of(s).map(|c| c.as_u64()).unwrap_or(0);
                         pkt.span = span::mint(self.clock, cu, Phase::SynWait);
@@ -1382,18 +1428,26 @@ impl Kernel {
                 // Full protocol processing at interrupt level, charged to
                 // no principal (§3.2).
                 self.cpus[cpu].overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
-                let evs = self.stack.handle_packet(pkt, self.clock);
-                self.apply_net_events_interrupt(evs, cpu);
+                let mut evs = std::mem::take(&mut self.net_buf);
+                self.stack
+                    .handle_classified(demux, pkt, self.clock, &mut evs);
+                self.apply_net_events_interrupt(&mut evs, cpu);
+                self.net_buf = evs;
             }
             NetDiscipline::Lrp | NetDiscipline::Container => {
                 let Some(sock) = sock else {
-                    // No owner: respond at interrupt level (stray packet).
+                    // No owner: respond at interrupt level (stray packet —
+                    // demux is `NoMatch` here, so the reclassification
+                    // `handle_packet` would do is skipped).
                     self.cpus[cpu].overhead_deficit += self.cfg.cost.rx_cost(pkt.kind);
-                    let evs = self.stack.handle_packet(pkt, self.clock);
-                    self.apply_net_events_interrupt(evs, cpu);
+                    let mut evs = std::mem::take(&mut self.net_buf);
+                    self.stack
+                        .handle_classified(Demux::NoMatch, pkt, self.clock, &mut evs);
+                    self.apply_net_events_interrupt(&mut evs, cpu);
+                    self.net_buf = evs;
                     return;
                 };
-                let Some(owner) = self.sock_owner.get(&sock).copied() else {
+                let Some(owner) = self.sock_owner.get(sock).copied() else {
                     self.stats.early_drops += 1;
                     let cu = self
                         .stack
@@ -1448,15 +1502,12 @@ impl Kernel {
                 }
                 // A SYN that survived admission mints the request span:
                 // the request now exists and is waiting in the SYN queue.
-                if span::enabled() && pkt.kind == simnet::PacketKind::Syn {
+                if self.spans_on && pkt.kind == simnet::PacketKind::Syn {
                     pkt.span = span::mint(self.clock, principal.as_u64(), Phase::SynWait);
                 }
                 let psp = pkt.span;
                 let cap = self.cfg.pending_cap;
-                let q = self
-                    .pending
-                    .entry(owner)
-                    .or_insert_with(|| PendingQueues::new(cap));
+                let q = self.pending.or_insert(owner, PendingQueues::new(cap));
                 if !q.push(principal, pkt) {
                     self.stats.early_drops += 1;
                     *self.drop_charges.entry(principal.as_u64()).or_insert(0) += 1;
@@ -1480,7 +1531,7 @@ impl Kernel {
     fn admission_reject(&self, listener: SockId, pkt: &Packet) -> bool {
         let (syn_budget, accept_budget) = self
             .listener_budgets
-            .get(&listener)
+            .get(listener)
             .copied()
             .unwrap_or((self.cfg.syn_budget, self.cfg.accept_budget));
         match pkt.kind {
@@ -1520,7 +1571,7 @@ impl Kernel {
     fn packet_principal(&self, sock: SockId, owner: Pid) -> ContainerId {
         let fallback = self
             .processes
-            .get(&owner)
+            .get(owner)
             .map(|p| p.default_container)
             .unwrap_or_else(|| self.containers.root());
         match self.cfg.discipline {
@@ -1534,10 +1585,10 @@ impl Kernel {
     }
 
     fn ensure_kthread(&mut self, pid: Pid) {
-        if self.kthreads.contains_key(&pid) {
+        if self.kthreads.contains_key(pid) {
             return;
         }
-        let Some(p) = self.processes.get(&pid) else {
+        let Some(p) = self.processes.get(pid) else {
             return;
         };
         let container = p.default_container;
@@ -1572,12 +1623,12 @@ impl Kernel {
     /// idle, and keeps its scheduler binding equal to the set of pending
     /// principals.
     fn kthread_maybe_refill(&mut self, pid: Pid) {
-        let Some(&ktid) = self.kthreads.get(&pid) else {
+        let Some(&ktid) = self.kthreads.get(pid) else {
             return;
         };
         let idle = self
             .threads
-            .get(&ktid)
+            .get(ktid)
             .map(|t| !t.has_work())
             .unwrap_or(false);
         if idle {
@@ -1607,7 +1658,7 @@ impl Kernel {
         if !allow_starvable {
             let next_is_starvable = self
                 .pending
-                .get(&pid)
+                .get(pid)
                 .and_then(|q| q.peek_highest(prio_of))
                 .map(|c| prio_of(c) == 0)
                 .unwrap_or(false);
@@ -1615,10 +1666,10 @@ impl Kernel {
                 let system_busy = self
                     .threads
                     .iter()
-                    .any(|(&id, t)| id != ktid && t.state == ThreadState::Runnable);
+                    .any(|(id, t)| id != ktid && t.state == ThreadState::Runnable);
                 if system_busy {
                     // Leave the backlog queued; the idle path restarts us.
-                    if let Some(th) = self.threads.get_mut(&ktid) {
+                    if let Some(th) = self.threads.get_mut(ktid) {
                         if !th.has_work() {
                             th.state = ThreadState::Blocked(WaitFor::Idle);
                             self.scheduler.set_runnable(ktid, false, self.clock);
@@ -1629,7 +1680,7 @@ impl Kernel {
             }
         }
         let containers = &self.containers;
-        let popped = match self.pending.get_mut(&pid) {
+        let popped = match self.pending.get_mut(pid) {
             Some(q) => q.pop_highest(|c| match containers.policy(c) {
                 Ok(rescon::SchedPolicy::TimeShared { priority }) => priority,
                 Ok(rescon::SchedPolicy::FixedShare { .. }) => 10,
@@ -1639,13 +1690,15 @@ impl Kernel {
         };
         match popped {
             Some((principal, pkt)) => {
-                trace::emit_at(self.clock, || TraceEventKind::LrpDispatch {
-                    task: ktid.0,
-                    container: principal.as_u64(),
-                });
+                if self.trace_on {
+                    trace::emit_at(self.clock, || TraceEventKind::LrpDispatch {
+                        task: ktid.0,
+                        container: principal.as_u64(),
+                    });
+                }
                 let cost = self.cfg.cost.rx_cost(pkt.kind);
                 let psp = pkt.span;
-                if let Some(th) = self.threads.get_mut(&ktid) {
+                if let Some(th) = self.threads.get_mut(ktid) {
                     th.push_work(WorkItem {
                         cost,
                         op: Op::ProtoRx { pkt },
@@ -1660,7 +1713,7 @@ impl Kernel {
                 self.scheduler.set_runnable(ktid, true, self.clock);
             }
             None => {
-                if let Some(th) = self.threads.get_mut(&ktid) {
+                if let Some(th) = self.threads.get_mut(ktid) {
                     if !th.has_work() {
                         th.state = ThreadState::Blocked(WaitFor::Idle);
                         self.scheduler.set_runnable(ktid, false, self.clock);
@@ -1672,12 +1725,12 @@ impl Kernel {
 
     fn update_kthread_binding(&mut self, pid: Pid, ktid: TaskId) {
         let mut binding: Vec<ContainerId> = Vec::new();
-        if let Some(th) = self.threads.get(&ktid) {
+        if let Some(th) = self.threads.get(ktid) {
             if let Some(c) = th.queue.front().and_then(|i| i.charge_to) {
                 binding.push(c);
             }
         }
-        if let Some(q) = self.pending.get(&pid) {
+        if let Some(q) = self.pending.get(pid) {
             for c in q.pending_principals() {
                 if !binding.contains(&c) {
                     binding.push(c);
@@ -1685,7 +1738,7 @@ impl Kernel {
             }
         }
         if binding.is_empty() {
-            if let Some(p) = self.processes.get(&pid) {
+            if let Some(p) = self.processes.get(pid) {
                 binding.push(p.default_container);
             }
         }
@@ -1699,8 +1752,8 @@ impl Kernel {
     /// Applies protocol-processing results in interrupt context on `cpu`:
     /// transmit costs are interrupt work there; wakeups happen
     /// immediately.
-    fn apply_net_events_interrupt(&mut self, evs: Vec<NetEvent>, cpu: usize) {
-        for ev in evs {
+    fn apply_net_events_interrupt(&mut self, evs: &mut Vec<NetEvent>, cpu: usize) {
+        for ev in evs.drain(..) {
             match ev {
                 NetEvent::PacketOut(p) => {
                     self.cpus[cpu].overhead_deficit += self.cfg.cost.tx_cost(p.kind);
@@ -1715,15 +1768,15 @@ impl Kernel {
     /// are queued as charged work on the same thread.
     fn apply_net_events_kthread(
         &mut self,
-        evs: Vec<NetEvent>,
+        evs: &mut Vec<NetEvent>,
         ktid: TaskId,
         principal: Option<ContainerId>,
     ) {
-        for ev in evs {
+        for ev in evs.drain(..) {
             match ev {
                 NetEvent::PacketOut(p) => {
                     let cost = self.cfg.cost.tx_cost(p.kind);
-                    if let Some(th) = self.threads.get_mut(&ktid) {
+                    if let Some(th) = self.threads.get_mut(ktid) {
                         th.push_work(WorkItem {
                             cost,
                             op: Op::Transmit { pkts: vec![p] },
@@ -1742,9 +1795,9 @@ impl Kernel {
         match ev {
             NetEvent::PacketOut(_) => unreachable!("handled by caller"),
             NetEvent::AcceptReady { listener, conn } => {
-                if let Some(owner) = self.sock_owner.get(&listener).copied() {
+                if let Some(owner) = self.sock_owner.get(listener).copied() {
                     self.sock_owner.insert(conn, owner);
-                    if let Some(p) = self.processes.get_mut(&owner) {
+                    if let Some(p) = self.processes.get_mut(owner) {
                         p.sockets.push(conn);
                     }
                     // The connection inherited the listener's container;
@@ -1781,8 +1834,8 @@ impl Kernel {
                                 rst.kind = simnet::PacketKind::Rst;
                                 self.transmit_from(rst, c);
                             }
-                            self.sock_owner.remove(&conn);
-                            if let Some(p) = self.processes.get_mut(&owner) {
+                            self.sock_owner.remove(conn);
+                            if let Some(p) = self.processes.get_mut(owner) {
                                 p.forget_socket(conn);
                             }
                             return;
@@ -1798,7 +1851,7 @@ impl Kernel {
                 self.notify_socket(conn);
             }
             NetEvent::SynDropped { listener, src } => {
-                if let Some(owner) = self.sock_owner.get(&listener).copied() {
+                if let Some(owner) = self.sock_owner.get(listener).copied() {
                     self.deliver_oob_upcall(owner, AppEvent::SynDropNotice { listener, src });
                 }
             }
@@ -1807,8 +1860,8 @@ impl Kernel {
                 if let Some(c) = container {
                     let _ = self.containers.unbind_socket(c);
                 }
-                if let Some(owner) = self.sock_owner.remove(&conn) {
-                    if let Some(p) = self.processes.get_mut(&owner) {
+                if let Some(owner) = self.sock_owner.remove(conn) {
+                    if let Some(p) = self.processes.get_mut(owner) {
                         p.forget_socket(conn);
                     }
                     // Tell the owner so it can drop its per-connection
@@ -1825,7 +1878,7 @@ impl Kernel {
     fn notify_socket(&mut self, sock: SockId) {
         let select_scan = |n: usize| self.cfg.cost.select_scan(n);
         let mut wakes: Vec<(TaskId, WorkItem)> = Vec::new();
-        for (&tid, th) in &self.threads {
+        for (tid, th) in self.threads.iter() {
             let matched = match &th.state {
                 ThreadState::Blocked(WaitFor::Select { socks }) => {
                     if socks.contains(&sock) {
@@ -1863,17 +1916,17 @@ impl Kernel {
             }
         }
         for (tid, item) in wakes {
-            if let Some(th) = self.threads.get_mut(&tid) {
+            if let Some(th) = self.threads.get_mut(tid) {
                 th.state = ThreadState::Runnable;
                 th.push_work(item);
                 self.scheduler.set_runnable(tid, true, self.clock);
             }
         }
         // Scalable event API.
-        if let Some(owner) = self.sock_owner.get(&sock).copied() {
+        if let Some(owner) = self.sock_owner.get(sock).copied() {
             let queued = self
                 .processes
-                .get_mut(&owner)
+                .get_mut(owner)
                 .map(|p| p.queue_event(sock))
                 .unwrap_or(false);
             if queued {
@@ -1885,25 +1938,35 @@ impl Kernel {
     fn wake_event_waiter(&mut self, pid: Pid) {
         let qlen = self
             .processes
-            .get(&pid)
+            .get(pid)
             .map(|p| p.event_queue.len())
             .unwrap_or(0);
         if qlen == 0 {
             return;
         }
         let cost = self.cfg.cost.event_delivery(qlen);
-        let tids: Vec<TaskId> = self
+        // Indexed walk instead of cloning the thread list: this runs for
+        // every queued socket event, and the clone was a per-event
+        // allocation.
+        let nthreads = self
             .processes
-            .get(&pid)
-            .map(|p| p.threads.clone())
-            .unwrap_or_default();
-        for tid in tids {
+            .get(pid)
+            .map(|p| p.threads.len())
+            .unwrap_or(0);
+        for i in 0..nthreads {
+            let Some(tid) = self
+                .processes
+                .get(pid)
+                .and_then(|p| p.threads.get(i).copied())
+            else {
+                break;
+            };
             let blocked = matches!(
-                self.threads.get(&tid).map(|t| &t.state),
+                self.threads.get(tid).map(|t| &t.state),
                 Some(ThreadState::Blocked(WaitFor::Event))
             );
             if blocked {
-                if let Some(th) = self.threads.get_mut(&tid) {
+                if let Some(th) = self.threads.get_mut(tid) {
                     th.state = ThreadState::Runnable;
                     th.push_work(WorkItem {
                         cost,
@@ -1925,16 +1988,16 @@ impl Kernel {
     fn deliver_oob_upcall(&mut self, pid: Pid, ev: AppEvent) {
         let Some(tid) = self
             .processes
-            .get(&pid)
+            .get(pid)
             .and_then(|p| p.threads.first().copied())
         else {
             return;
         };
-        let Some(th) = self.threads.get_mut(&tid) else {
+        let Some(th) = self.threads.get_mut(tid) else {
             return;
         };
         if let ThreadState::Blocked(w) = th.state.clone() {
-            self.resume_waits.entry(tid).or_insert(w);
+            self.resume_waits.or_insert(tid, w);
             th.state = ThreadState::Runnable;
         }
         th.push_work(WorkItem {
@@ -1948,7 +2011,7 @@ impl Kernel {
     }
 
     fn timer_fired(&mut self, task: TaskId, tag: u64) {
-        let Some(th) = self.threads.get_mut(&task) else {
+        let Some(th) = self.threads.get_mut(task) else {
             return;
         };
         match &th.state {
@@ -1975,7 +2038,7 @@ impl Kernel {
                 });
                 if matches!(th.state, ThreadState::Blocked(_)) {
                     if let ThreadState::Blocked(w) = th.state.clone() {
-                        self.resume_waits.entry(task).or_insert(w);
+                        self.resume_waits.or_insert(task, w);
                     }
                     th.state = ThreadState::Runnable;
                     self.scheduler.set_runnable(task, true, self.clock);
@@ -1988,7 +2051,7 @@ impl Kernel {
         let now = self.clock;
         let age = self.cfg.prune_age;
         let mut updates: Vec<(TaskId, Vec<ContainerId>)> = Vec::new();
-        for (&tid, th) in self.threads.iter_mut() {
+        for (tid, th) in self.threads.iter_mut() {
             if th.kind != ThreadKind::App {
                 continue;
             }
@@ -2011,7 +2074,7 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn complete_item(&mut self, task: TaskId, world: &mut dyn World) {
-        let Some(th) = self.threads.get_mut(&task) else {
+        let Some(th) = self.threads.get_mut(task) else {
             return;
         };
         let Some(item) = th.pop_completed() else {
@@ -2045,7 +2108,7 @@ impl Kernel {
             }
             Op::DeliverEvents => {
                 let mut events: Vec<SockId> = Vec::new();
-                if let Some(p) = self.processes.get_mut(&pid) {
+                if let Some(p) = self.processes.get_mut(pid) {
                     while let Some(s) = p.event_queue.pop_front() {
                         events.push(s);
                         if events.len() >= 64 {
@@ -2113,19 +2176,26 @@ impl Kernel {
                     // the per-connection container (§4.6).
                     let _ = self.containers.unbind_socket(c);
                 }
-                self.sock_owner.remove(&sock);
-                if let Some(p) = self.processes.get_mut(&pid) {
+                self.sock_owner.remove(sock);
+                if let Some(p) = self.processes.get_mut(pid) {
                     p.forget_socket(sock);
                 }
             }
             Op::Block(wait) => {
-                self.resume_waits.remove(&task);
+                self.resume_waits.remove(task);
                 self.block_or_defer(task, wait);
             }
             Op::ProtoRx { pkt } => {
                 let principal = item.charge_to;
-                let evs = self.stack.handle_packet(pkt, self.clock);
-                self.apply_net_events_kthread(evs, task, principal);
+                // Classified at processing time, not arrival time: the
+                // connection table may have changed while the packet
+                // waited in the pending queue.
+                let demux = self.stack.classify(&pkt);
+                let mut evs = std::mem::take(&mut self.net_buf);
+                self.stack
+                    .handle_classified(demux, pkt, self.clock, &mut evs);
+                self.apply_net_events_kthread(&mut evs, task, principal);
+                self.net_buf = evs;
             }
             Op::Exit => {
                 self.exit_thread(task);
@@ -2133,17 +2203,17 @@ impl Kernel {
             }
         }
         // Post-completion: park, refill, or resume.
-        let Some(th) = self.threads.get(&task) else {
+        let Some(th) = self.threads.get(task) else {
             return;
         };
         if th.state == ThreadState::Runnable && !th.has_work() {
             match th.kind {
                 ThreadKind::KernelNet => self.kthread_refill(pid, task),
                 ThreadKind::App => {
-                    if let Some(w) = self.resume_waits.remove(&task) {
+                    if let Some(w) = self.resume_waits.remove(task) {
                         self.block_thread(task, w);
                     } else {
-                        if let Some(th) = self.threads.get_mut(&task) {
+                        if let Some(th) = self.threads.get_mut(task) {
                             th.state = ThreadState::Blocked(WaitFor::Idle);
                         }
                         self.scheduler.set_runnable(task, false, self.clock);
@@ -2167,7 +2237,7 @@ impl Kernel {
     fn block_or_defer(&mut self, task: TaskId, wait: WaitFor) {
         let has_more = self
             .threads
-            .get(&task)
+            .get(task)
             .map(|t| t.has_work())
             .unwrap_or(false);
         if has_more {
@@ -2183,8 +2253,8 @@ impl Kernel {
             WaitFor::Readable(s) => self.stack.readable(*s),
             WaitFor::Acceptable(l) => self.stack.accept_queue_len(*l) > 0,
             WaitFor::Event => {
-                let pid = self.threads.get(&task).map(|t| t.pid);
-                pid.and_then(|p| self.processes.get(&p))
+                let pid = self.threads.get(task).map(|t| t.pid);
+                pid.and_then(|p| self.processes.get(p))
                     .map(|p| !p.event_queue.is_empty())
                     .unwrap_or(false)
             }
@@ -2217,9 +2287,9 @@ impl Kernel {
                     span: SpanRef::NONE,
                 },
                 WaitFor::Event => {
-                    let pid = self.threads.get(&task).map(|t| t.pid);
+                    let pid = self.threads.get(task).map(|t| t.pid);
                     let qlen = pid
-                        .and_then(|p| self.processes.get(&p))
+                        .and_then(|p| self.processes.get(p))
                         .map(|p| p.event_queue.len())
                         .unwrap_or(0);
                     WorkItem {
@@ -2239,13 +2309,13 @@ impl Kernel {
                 },
                 WaitFor::Timer { .. } | WaitFor::Idle => unreachable!(),
             };
-            if let Some(th) = self.threads.get_mut(&task) {
+            if let Some(th) = self.threads.get_mut(task) {
                 th.state = ThreadState::Runnable;
                 th.push_work(item);
             }
             self.scheduler.set_runnable(task, true, self.clock);
         } else {
-            if let Some(th) = self.threads.get_mut(&task) {
+            if let Some(th) = self.threads.get_mut(task) {
                 th.state = ThreadState::Blocked(wait);
             }
             self.scheduler.set_runnable(task, false, self.clock);
@@ -2253,16 +2323,16 @@ impl Kernel {
     }
 
     fn exit_thread(&mut self, task: TaskId) {
-        let Some(mut th) = self.threads.remove(&task) else {
+        let Some(mut th) = self.threads.remove(task) else {
             return;
         };
         th.state = ThreadState::Exited;
         self.scheduler.remove_task(task);
-        self.resume_waits.remove(&task);
+        self.resume_waits.remove(task);
         self.release_thread_stack(task);
         let _ = self.containers.unbind_thread(th.resource_binding);
         let pid = th.pid;
-        let (last, parent) = match self.processes.get_mut(&pid) {
+        let (last, parent) = match self.processes.get_mut(pid) {
             Some(p) => {
                 p.threads.retain(|&t| t != task);
                 (p.threads.is_empty(), p.parent)
@@ -2272,7 +2342,7 @@ impl Kernel {
         if last {
             self.exit_process(pid);
             if let Some(pp) = parent {
-                if self.processes.contains_key(&pp) {
+                if self.processes.contains_key(pp) {
                     self.deliver_oob_upcall(pp, AppEvent::ChildExited { pid });
                 }
             }
@@ -2280,7 +2350,7 @@ impl Kernel {
     }
 
     fn exit_process(&mut self, pid: Pid) {
-        let Some(mut p) = self.processes.remove(&pid) else {
+        let Some(mut p) = self.processes.remove(pid) else {
             return;
         };
         // Close all sockets.
@@ -2304,13 +2374,13 @@ impl Kernel {
                         if let Some(fin) = self.stack.close(conn) {
                             self.transmit_from(fin, tx_owner);
                         }
-                        self.sock_owner.remove(&conn);
+                        self.sock_owner.remove(conn);
                     }
                     let tx_owner = self.tx_principal(sock);
                     for rst in self.stack.close_listen(sock) {
                         self.transmit_from(rst, tx_owner);
                     }
-                    self.listener_budgets.remove(&sock);
+                    self.listener_budgets.remove(sock);
                     if let Some(c) = bound {
                         let _ = self.containers.unbind_socket(c);
                     }
@@ -2327,31 +2397,31 @@ impl Kernel {
                 }
                 None => {}
             }
-            self.sock_owner.remove(&sock);
+            self.sock_owner.remove(sock);
         }
         // Release container descriptors; then the default container.
         p.containers.close_all(&mut self.containers);
         let _ = self.containers.drop_descriptor_ref(p.default_container);
         // Tear down the kernel network thread.
-        if let Some(ktid) = self.kthreads.remove(&pid) {
-            if let Some(kth) = self.threads.remove(&ktid) {
+        if let Some(ktid) = self.kthreads.remove(pid) {
+            if let Some(kth) = self.threads.remove(ktid) {
                 let _ = self.containers.unbind_thread(kth.resource_binding);
             }
             self.release_thread_stack(ktid);
             self.scheduler.remove_task(ktid);
         }
         // Return any outstanding `kmem_reserve` memory.
-        if let Some((c, bytes)) = self.kmem_charges.remove(&pid) {
+        if let Some((c, bytes)) = self.kmem_charges.remove(pid) {
             self.release_kernel_mem(c, MemClass::Other, bytes);
         }
-        self.pending.remove(&pid);
-        self.handlers.remove(&pid);
+        self.pending.remove(pid);
+        self.handlers.remove(pid);
     }
 
     /// Releases the socket-buffer and protocol-state memory charged to a
     /// connection, if any.
     fn release_sockbuf(&mut self, sock: SockId) {
-        if let Some((c, bytes)) = self.sockbuf_charges.remove(&sock) {
+        if let Some((c, bytes)) = self.sockbuf_charges.remove(sock) {
             let _ = self
                 .containers
                 .release_mem_class(c, MemClass::SockBuf, bytes);
@@ -2359,7 +2429,7 @@ impl Kernel {
                 acct.note_release(MemClass::SockBuf, bytes);
             }
         }
-        if let Some((c, bytes)) = self.pcb_charges.remove(&sock) {
+        if let Some((c, bytes)) = self.pcb_charges.remove(sock) {
             self.release_kernel_mem(c, MemClass::ConnState, bytes);
         }
     }
@@ -2450,7 +2520,7 @@ impl Kernel {
     }
 
     fn release_thread_stack(&mut self, tid: TaskId) {
-        if let Some((c, bytes)) = self.stack_charges.remove(&tid) {
+        if let Some((c, bytes)) = self.stack_charges.remove(tid) {
             self.release_kernel_mem(c, MemClass::ThreadStack, bytes);
         }
     }
@@ -2472,7 +2542,7 @@ impl Kernel {
         // The OOM triggered by this very charge may have wiped the pid's
         // previous reservation; the entry re-created here holds only what
         // is actually charged now.
-        let e = self.kmem_charges.entry(pid).or_insert((c, 0));
+        let e = self.kmem_charges.or_insert(pid, (c, 0));
         e.0 = c;
         e.1 += bytes;
         true
@@ -2481,7 +2551,7 @@ impl Kernel {
     /// Backs [`SysCtx::kmem_release`]: returns up to `bytes` of a prior
     /// reservation.
     pub(crate) fn kmem_release(&mut self, pid: Pid, bytes: u64) {
-        let Some(&(c, held)) = self.kmem_charges.get(&pid) else {
+        let Some(&(c, held)) = self.kmem_charges.get(pid) else {
             return;
         };
         let rel = bytes.min(held);
@@ -2489,8 +2559,8 @@ impl Kernel {
             return;
         }
         if rel == held {
-            self.kmem_charges.remove(&pid);
-        } else if let Some(e) = self.kmem_charges.get_mut(&pid) {
+            self.kmem_charges.remove(pid);
+        } else if let Some(e) = self.kmem_charges.get_mut(pid) {
             e.1 -= rel;
         }
         self.release_kernel_mem(c, MemClass::Other, rel);
@@ -2538,8 +2608,8 @@ impl Kernel {
         let mut conns: Vec<SockId> = self
             .sockbuf_charges
             .iter()
-            .filter(|(_, &(c, _))| c == victim_id)
-            .map(|(&s, _)| s)
+            .filter(|&(_, &(c, _))| c == victim_id)
+            .map(|(s, _)| s)
             .collect();
         conns.sort();
         for conn in conns {
@@ -2554,8 +2624,8 @@ impl Kernel {
                 rst.kind = simnet::PacketKind::Rst;
                 self.transmit_from(rst, tx_owner);
             }
-            if let Some(owner) = self.sock_owner.remove(&conn) {
-                if let Some(p) = self.processes.get_mut(&owner) {
+            if let Some(owner) = self.sock_owner.remove(conn) {
+                if let Some(p) = self.processes.get_mut(owner) {
                     p.forget_socket(conn);
                 }
                 pids.insert(owner);
@@ -2565,18 +2635,18 @@ impl Kernel {
         let kpids: Vec<Pid> = self
             .kmem_charges
             .iter()
-            .filter(|(_, &(c, _))| c == victim_id)
-            .map(|(&p, _)| p)
+            .filter(|&(_, &(c, _))| c == victim_id)
+            .map(|(p, _)| p)
             .collect();
         for p in kpids {
-            if let Some((c, bytes)) = self.kmem_charges.remove(&p) {
+            if let Some((c, bytes)) = self.kmem_charges.remove(p) {
                 self.release_kernel_mem(c, MemClass::Other, bytes);
                 pids.insert(p);
             }
         }
         // 4. Notify the owners, in pid order.
         for pid in pids {
-            if self.processes.contains_key(&pid) {
+            if self.processes.contains_key(pid) {
                 self.deliver_oob_upcall(
                     pid,
                     AppEvent::MemKill {
@@ -2728,8 +2798,8 @@ impl Kernel {
             .filter(|c| self.containers.contains(*c))
             .or_else(|| {
                 self.sock_owner
-                    .get(&sock)
-                    .and_then(|pid| self.processes.get(pid))
+                    .get(sock)
+                    .and_then(|&pid| self.processes.get(pid))
                     .map(|p| p.default_container)
                     .filter(|c| self.containers.contains(*c))
             })
@@ -2751,11 +2821,13 @@ impl Kernel {
             .as_ref()
             .expect("transmit_link requires a configured link")
             .wire_time(wire_bytes);
-        trace::emit_at(self.clock, || TraceEventKind::LinkQueue {
-            port: pkt.flow.dst_port,
-            bytes: wire_bytes,
-            container: key,
-        });
+        if self.trace_on {
+            trace::emit_at(self.clock, || TraceEventKind::LinkQueue {
+                port: pkt.flow.dst_port,
+                bytes: wire_bytes,
+                container: key,
+            });
+        }
         if pkt.span != 0 {
             // The response packet now sits in the link scheduler; unless
             // an earlier packet of the same request already occupies the
@@ -2786,12 +2858,14 @@ impl Kernel {
         };
         match link.dispatch(self.clock) {
             Dispatch::Start { pkt, owner, wire } => {
-                trace::emit_at(self.clock, || TraceEventKind::LinkStart {
-                    port: pkt.flow.dst_port,
-                    bytes: pkt.wire_bytes() as u64,
-                    container: owner,
-                    wire,
-                });
+                if self.trace_on {
+                    trace::emit_at(self.clock, || TraceEventKind::LinkStart {
+                        port: pkt.flow.dst_port,
+                        bytes: pkt.wire_bytes() as u64,
+                        container: owner,
+                        wire,
+                    });
+                }
                 if pkt.span != 0 {
                     if let Some(st) = self.span_tx.get_mut(&pkt.span) {
                         st.queued = st.queued.saturating_sub(1);
@@ -2868,7 +2942,7 @@ impl Kernel {
     /// processes with event-API writable interest.
     fn wake_writable(&mut self, owner: u64) {
         let mut woken: Vec<(TaskId, SockId)> = Vec::new();
-        for (&tid, th) in self.threads.iter() {
+        for (tid, th) in self.threads.iter() {
             if let ThreadState::Blocked(WaitFor::Writable(s)) = th.state {
                 if self.tx_principal(s).as_u64() == owner && self.sock_writable(s) {
                     woken.push((tid, s));
@@ -2877,7 +2951,7 @@ impl Kernel {
         }
         for (tid, sock) in woken {
             let cost = self.cfg.cost.write_syscall;
-            if let Some(th) = self.threads.get_mut(&tid) {
+            if let Some(th) = self.threads.get_mut(tid) {
                 th.state = ThreadState::Runnable;
                 th.push_work(WorkItem {
                     cost,
@@ -2889,17 +2963,17 @@ impl Kernel {
             }
             self.scheduler.set_runnable(tid, true, self.clock);
         }
-        let pids: Vec<Pid> = self.processes.keys().copied().collect();
+        let pids: Vec<Pid> = self.processes.keys().collect();
         for pid in pids {
             let interested: Vec<SockId> = self
                 .processes
-                .get(&pid)
+                .get(pid)
                 .map(|p| p.event_interest_w.clone())
                 .unwrap_or_default();
             let mut queued = false;
             for s in interested {
                 if self.tx_principal(s).as_u64() == owner && self.sock_writable(s) {
-                    if let Some(p) = self.processes.get_mut(&pid) {
+                    if let Some(p) = self.processes.get_mut(pid) {
                         queued |= p.queue_writable_event(s);
                     }
                 }
@@ -2961,7 +3035,7 @@ impl Kernel {
 
     /// Delivers an upcall to the process handler, giving it a [`SysCtx`].
     fn deliver_upcall(&mut self, pid: Pid, task: TaskId, ev: AppEvent) {
-        let Some(slot) = self.handlers.get_mut(&pid) else {
+        let Some(slot) = self.handlers.get_mut(pid) else {
             return;
         };
         let Some(mut handler) = slot.take() else {
@@ -2971,7 +3045,7 @@ impl Kernel {
             let mut ctx = SysCtx::new(self, pid, task);
             handler.on_event(&mut ctx, task, ev);
         }
-        if let Some(slot) = self.handlers.get_mut(&pid) {
+        if let Some(slot) = self.handlers.get_mut(pid) {
             *slot = Some(handler);
         }
     }
@@ -2984,24 +3058,24 @@ impl Kernel {
         self.clock
     }
 
-    pub(crate) fn cost_model(&self) -> CostModel {
-        self.cfg.cost.clone()
+    pub(crate) fn cost_model(&self) -> &CostModel {
+        &self.cfg.cost
     }
 
     pub(crate) fn thread_mut(&mut self, t: TaskId) -> Option<&mut Thread> {
-        self.threads.get_mut(&t)
+        self.threads.get_mut(t)
     }
 
     pub(crate) fn thread_ref(&self, t: TaskId) -> Option<&Thread> {
-        self.threads.get(&t)
+        self.threads.get(t)
     }
 
     pub(crate) fn process_mut(&mut self, p: Pid) -> Option<&mut Process> {
-        self.processes.get_mut(&p)
+        self.processes.get_mut(p)
     }
 
     pub(crate) fn process_ref(&self, p: Pid) -> Option<&Process> {
-        self.processes.get(&p)
+        self.processes.get(p)
     }
 
     pub(crate) fn scheduler_mut(&mut self) -> &mut dyn Scheduler {
@@ -3080,18 +3154,18 @@ impl Kernel {
     }
 
     pub(crate) fn reassign_socket(&mut self, sock: SockId, from: Pid, to: Pid) {
-        if let Some(p) = self.processes.get_mut(&from) {
+        if let Some(p) = self.processes.get_mut(from) {
             p.forget_socket(sock);
         }
         self.sock_owner.insert(sock, to);
-        if let Some(p) = self.processes.get_mut(&to) {
+        if let Some(p) = self.processes.get_mut(to) {
             p.sockets.push(sock);
         }
     }
 
     pub(crate) fn register_socket(&mut self, sock: SockId, pid: Pid) {
         self.sock_owner.insert(sock, pid);
-        if let Some(p) = self.processes.get_mut(&pid) {
+        if let Some(p) = self.processes.get_mut(pid) {
             p.sockets.push(sock);
         }
     }

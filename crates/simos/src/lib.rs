@@ -38,6 +38,7 @@ pub mod ids;
 pub mod kernel;
 pub mod mem;
 pub mod process;
+pub mod slab;
 pub mod stats;
 pub mod syscall;
 pub mod thread;

@@ -1,0 +1,90 @@
+//! Kernel slab storage: re-exports the [`simcore::slab`] containers and
+//! implements [`SlabKey`] for the kernel's process ids. (`sched`
+//! implements it for `TaskId`.)
+
+pub use simcore::slab::{IdSlab, SlabKey, SockTable};
+
+use crate::ids::Pid;
+
+impl SlabKey for Pid {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        Pid(i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::TaskId;
+
+    #[test]
+    fn idslab_roundtrip_and_order() {
+        let mut s: IdSlab<TaskId, &str> = IdSlab::new();
+        assert!(s.is_empty());
+        s.insert(TaskId(3), "c");
+        s.insert(TaskId(1), "a");
+        s.insert(TaskId(2), "b");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(TaskId(2)), Some(&"b"));
+        // Ascending id order, like the BTreeMap this replaced.
+        let order: Vec<u32> = s.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.remove(TaskId(2)), Some("b"));
+        assert_eq!(s.remove(TaskId(2)), None);
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains_key(TaskId(2)));
+        *s.or_insert(TaskId(7), "g") = "h";
+        assert_eq!(s.get(TaskId(7)), Some(&"h"));
+    }
+
+    #[test]
+    fn socktable_generation_miss() {
+        use simcore::Arena;
+        let mut arena: Arena<u8> = Arena::new();
+        let a = arena.insert(1);
+        let mut t: SockTable<u8, u64> = SockTable::new();
+        t.insert(a, 10);
+        assert_eq!(t.get(a), Some(&10));
+        // Recycle the slot: same slot, newer generation.
+        t.remove(a);
+        arena.remove(a);
+        let b = arena.insert(2);
+        assert_eq!(b.slot(), a.slot());
+        assert_ne!(b.generation(), a.generation());
+        assert_eq!(t.get(b), None);
+        t.insert(b, 20);
+        // The stale id misses; the live one hits.
+        assert_eq!(t.get_mut(a), None);
+        assert_eq!(t.get(b), Some(&20));
+        assert_eq!(t.remove(a), None);
+        assert_eq!(t.remove(b), Some(20));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn socktable_reclaims_orphaned_state() {
+        use simcore::Arena;
+        let mut arena: Arena<u8> = Arena::new();
+        let a = arena.insert(1);
+        let mut t: SockTable<u8, u64> = SockTable::new();
+        t.insert(a, 10);
+        // The socket dies without the owner removing its state (a reset
+        // while parked), and the slot is recycled.
+        arena.remove(a);
+        let b = arena.insert(2);
+        assert_eq!(b.slot(), a.slot());
+        // The new generation reclaims the orphan before inserting; a
+        // second reclaim and a reclaim of the live entry are no-ops.
+        assert_eq!(t.remove_stale(b), Some((a, 10)));
+        assert_eq!(t.remove_stale(b), None);
+        t.insert(b, 20);
+        assert_eq!(t.remove_stale(b), None);
+        assert_eq!(t.get(b), Some(&20));
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -299,7 +299,10 @@ impl<'a> SysCtx<'a> {
             Some(simnet::SocketKind::Conn(_)) => {}
             _ => return Err(SysError::BadSocket),
         }
-        let cm = self.k.cost_model();
+        let (write_cost, tx_cost) = {
+            let cm = self.k.cost_model();
+            (cm.write_syscall, cm.data_tx)
+        };
         let accepted = bytes.min(self.k.tx_headroom(sock));
         let pkts = self.k.stack.send(sock, accepted);
         if pkts.is_empty() {
@@ -310,7 +313,7 @@ impl<'a> SysCtx<'a> {
         if sp != 0 {
             self.k.span_tx_queued(sp, pkts.len() as u32);
         }
-        let cost = cm.write_syscall + cm.data_tx * pkts.len() as u64;
+        let cost = write_cost + tx_cost * pkts.len() as u64;
         self.push(cost, Op::Transmit { pkts });
         Ok(accepted)
     }
@@ -352,8 +355,11 @@ impl<'a> SysCtx<'a> {
         if self.k.stack.socket(sock).is_none() {
             return Err(SysError::BadSocket);
         }
-        let cm = self.k.cost_model();
-        self.push(cm.close_syscall + cm.fin_tx, Op::CloseSock { sock });
+        let cost = {
+            let cm = self.k.cost_model();
+            cm.close_syscall + cm.fin_tx
+        };
+        self.push(cost, Op::CloseSock { sock });
         Ok(())
     }
 
@@ -497,8 +503,11 @@ impl<'a> SysCtx<'a> {
     /// binding), extending the paper's accounting to disk bandwidth (§7).
     pub fn read_file(&mut self, file: u64, bytes: u64, tag: u64, charge_to: Option<ContainerId>) {
         self.trace_sys("read_file");
-        let cm = self.k.cost_model();
-        self.charge(cm.read_syscall);
+        let (read_cost, copy_cost) = {
+            let cm = self.k.cost_model();
+            (cm.read_syscall, cm.file_copy(bytes))
+        };
+        self.charge(read_cost);
         let principal = charge_to
             .or_else(|| self.current_binding())
             .unwrap_or_else(|| self.k.containers.root());
@@ -506,7 +515,7 @@ impl<'a> SysCtx<'a> {
             if let Some(th) = self.k.thread_mut(self.thread) {
                 let span = SpanRef::of(th.cur_span);
                 th.push_work(WorkItem {
-                    cost: cm.file_copy(bytes),
+                    cost: copy_cost,
                     op: Op::Upcall(crate::app::AppEvent::FileRead {
                         tag,
                         bytes,
@@ -836,7 +845,7 @@ impl<'a> SysCtx<'a> {
             let th = self
                 .k
                 .threads
-                .get_mut(&self.thread)
+                .get_mut(self.thread)
                 .ok_or(RcError::NotFound)?;
             let old = th.resource_binding;
             th.resource_binding = id;
@@ -902,7 +911,7 @@ impl<'a> SysCtx<'a> {
             let th = self
                 .k
                 .threads
-                .get_mut(&self.thread)
+                .get_mut(self.thread)
                 .ok_or(RcError::NotFound)?;
             th.sched_binding.retain_live(|c| containers.contains(c));
             th.sched_binding.touch(id, now);

@@ -1,0 +1,154 @@
+//! Generation-counter property tests for the kernel's slab side tables.
+//!
+//! The engine rewrite moved per-connection kernel and application state
+//! out of `HashMap<SockId, _>` into [`SockTable`]s indexed by arena
+//! slot. Socket slots ARE recycled (the net stack's arena bumps a
+//! generation on free), so the table must behave exactly like a map
+//! keyed by the full `(slot, generation)` id: a stale id — one whose
+//! slot has since been freed or recycled — must always miss, and a live
+//! id must always hit its own value and nobody else's. These tests run
+//! random alloc/free/read programs against a `HashMap` model and check
+//! that no recycled id can ever reach another generation's state (the
+//! slab analogue of use-after-free).
+//!
+//! [`IdSlab`] keys (`Pid`, `TaskId`) are monotone and never reused, so
+//! its differential program has no generation dimension — it just checks
+//! map semantics and the ascending-id iteration order the deterministic
+//! goldens rely on.
+
+use std::collections::{BTreeMap, HashMap};
+
+use proptest::prelude::*;
+use simcore::Arena;
+use simos::ids::Pid;
+use simos::slab::{IdSlab, SockTable};
+
+/// One step of a random arena + side-table program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate an arena entry and insert `value` under its id.
+    Alloc { value: u8 },
+    /// Free the `pick`-th live entry (and its side-table state, the
+    /// kernel's teardown discipline).
+    Free { pick: u8 },
+    /// Read through the `pick`-th *dead* id: must miss, never alias.
+    StaleGet { pick: u8 },
+    /// Read through the `pick`-th live id: must hit its own value.
+    LiveGet { pick: u8 },
+    /// Overwrite the `pick`-th live entry's side-table value.
+    Update { pick: u8, value: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // (The vendored proptest's `prop_oneof!` takes no weights; repeat
+    // arms to bias the mix toward churn.)
+    prop_oneof![
+        any::<u8>().prop_map(|value| Op::Alloc { value }),
+        any::<u8>().prop_map(|value| Op::Alloc { value }),
+        any::<u8>().prop_map(|value| Op::Alloc { value }),
+        any::<u8>().prop_map(|pick| Op::Free { pick }),
+        any::<u8>().prop_map(|pick| Op::Free { pick }),
+        any::<u8>().prop_map(|pick| Op::StaleGet { pick }),
+        any::<u8>().prop_map(|pick| Op::StaleGet { pick }),
+        any::<u8>().prop_map(|pick| Op::LiveGet { pick }),
+        any::<u8>().prop_map(|pick| Op::LiveGet { pick }),
+        (any::<u8>(), any::<u8>()).prop_map(|(pick, value)| Op::Update { pick, value }),
+    ]
+}
+
+proptest! {
+    /// The side table agrees with a `HashMap` keyed by the full id at
+    /// every step, across arbitrarily many slot recycles.
+    #[test]
+    fn socktable_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut arena: Arena<u8> = Arena::new();
+        let mut table: SockTable<u8, u8> = SockTable::new();
+        let mut model: HashMap<(u32, u32), u8> = HashMap::new();
+        let mut live = Vec::new();
+        let mut dead = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { value } => {
+                    let id = arena.insert(value);
+                    // A recycled slot must come back with a new
+                    // generation — ids are never repeated.
+                    prop_assert!(!dead.contains(&id), "arena reissued id {id:?}");
+                    table.insert(id, value);
+                    model.insert((id.slot(), id.generation()), value);
+                    live.push(id);
+                }
+                Op::Free { pick } => {
+                    if live.is_empty() { continue; }
+                    let id = live.swap_remove(pick as usize % live.len());
+                    let removed = table.remove(id);
+                    prop_assert_eq!(removed, model.remove(&(id.slot(), id.generation())));
+                    prop_assert!(arena.remove(id).is_some());
+                    // Double free through the same id must be a no-op.
+                    prop_assert_eq!(table.remove(id), None);
+                    prop_assert!(arena.remove(id).is_none());
+                    dead.push(id);
+                }
+                Op::StaleGet { pick } => {
+                    if dead.is_empty() { continue; }
+                    let id = dead[pick as usize % dead.len()];
+                    prop_assert_eq!(table.get(id), None, "stale id {:?} hit", id);
+                    prop_assert!(!table.contains_key(id));
+                    prop_assert!(arena.get(id).is_none());
+                }
+                Op::LiveGet { pick } => {
+                    if live.is_empty() { continue; }
+                    let id = live[pick as usize % live.len()];
+                    let expect = model.get(&(id.slot(), id.generation()));
+                    prop_assert_eq!(table.get(id), expect);
+                }
+                Op::Update { pick, value } => {
+                    if live.is_empty() { continue; }
+                    let id = live[pick as usize % live.len()];
+                    let old = table.insert(id, value);
+                    prop_assert_eq!(old, model.insert((id.slot(), id.generation()), value));
+                }
+            }
+            // Global invariants after every step.
+            prop_assert_eq!(table.len(), model.len());
+            prop_assert_eq!(arena.len(), live.len());
+            for &id in &live {
+                prop_assert_eq!(
+                    table.get(id),
+                    model.get(&(id.slot(), id.generation()))
+                );
+            }
+            for &id in &dead {
+                prop_assert_eq!(table.get(id), None);
+            }
+        }
+    }
+
+    /// `IdSlab` keyed by `Pid` agrees with the `BTreeMap` it replaced,
+    /// including the ascending-id iteration order.
+    #[test]
+    fn idslab_matches_btreemap(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u32..64, any::<u8>()), 1..200)
+    ) {
+        let mut slab: IdSlab<Pid, u8> = IdSlab::new();
+        let mut model: BTreeMap<u32, u8> = BTreeMap::new();
+
+        for (insert, raw, value) in ops {
+            let pid = Pid(raw);
+            if insert {
+                assert_eq!(slab.insert(pid, value), model.insert(raw, value));
+            } else {
+                assert_eq!(slab.remove(pid), model.remove(&raw));
+            }
+            prop_assert_eq!(slab.len(), model.len());
+            prop_assert_eq!(slab.get(pid), model.get(&raw));
+            prop_assert_eq!(slab.contains_key(pid), model.contains_key(&raw));
+            // Iteration order is ascending id, exactly as BTreeMap
+            // iterated — the property the byte-identical goldens need.
+            let got: Vec<(u32, u8)> = slab.iter().map(|(k, v)| (k.0, *v)).collect();
+            let want: Vec<(u32, u8)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -134,6 +134,9 @@ pub struct MemhogTenantsResult {
     pub hog: HogSnapshot,
     /// Kernel memory counters from the shared run.
     pub mem: MemCounters,
+    /// Kernel events processed across both runs, for the simulator
+    /// self-benchmark.
+    pub sim_events: u64,
 }
 
 #[derive(Debug, Default)]
@@ -193,6 +196,7 @@ struct RunOutcome {
     tenant: TenantSnapshot,
     hog: HogSnapshot,
     mem: MemCounters,
+    sim_events: u64,
 }
 
 fn run_once(params: &MemhogTenantsParams, with_hog: bool) -> RunOutcome {
@@ -311,6 +315,7 @@ fn run_once(params: &MemhogTenantsParams, with_hog: bool) -> RunOutcome {
             reads: h.reads,
         },
         mem,
+        sim_events: k.stats().sim_events,
     }
 }
 
@@ -323,6 +328,7 @@ pub fn run_memhog_tenants(params: MemhogTenantsParams) -> MemhogTenantsResult {
         shared: shared.tenant,
         hog: shared.hog,
         mem: shared.mem,
+        sim_events: solo.sim_events + shared.sim_events,
     }
 }
 

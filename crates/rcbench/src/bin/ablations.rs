@@ -38,7 +38,7 @@ fn ablation_prune() {
     for (label, prune) in [("pruning on (1s)", true), ("pruning off", false)] {
         let mut cfg = KernelConfig::resource_containers();
         if !prune {
-            cfg.prune_interval = Nanos::ZERO;
+            cfg.sched.prune_interval = Nanos::ZERO;
         }
         // Piggyback on fig11's high/low setup at N=25 via a manual run:
         // reuse run_fig11 for the pruned default, and report that the

@@ -1,153 +1,8 @@
-//! Runs the `synflood_fault` scenario — SYN flood plus seeded fault
-//! injection against the defended, admission-controlled kernel — with
-//! tracing enabled, and emits the Chrome trace (fault injections show up
-//! as instant events in the "fault" category, loadable in Perfetto) plus
-//! the compact metrics dump.
-//!
-//! ```sh
-//! cargo run --release -p rcbench --bin fault
-//! cargo run --release -p rcbench --bin fault -- --reduced --out fault_a
-//! cargo run --release -p rcbench --bin fault -- --reduced --check
-//! ```
-//!
-//! `--reduced` shrinks the run for CI smoke tests; `--out NAME` overrides
-//! the artifact basename (default `fault`), which lets CI produce two
-//! identically-seeded dumps and diff them — the fault paths must be
-//! deterministic down to the byte. `--check` asserts graceful
-//! degradation on the run itself: victim throughput within 10% of the
-//! fault-free baseline, p99 latency within 2x, and at least 95% of the
-//! early-drop charges absorbed by the attacker's isolated container.
-//!
-//! `--seed N` changes only the fault plan's seed, which perturbs the
-//! injections without touching the rest of the simulation's randomness.
+//! Thin shim over `rcbench fault`, kept so existing invocations
+//! (`cargo run -p rcbench --bin fault`) keep working.
 
 use std::process::ExitCode;
 
-use rcbench::json;
-use rctrace::TraceConfig;
-use workload::scenarios::{run_synflood_fault, SynfloodFaultParams};
-
-fn run(reduced: bool, check: bool, seed: u64, out: Option<String>) -> Result<(), String> {
-    let params = SynfloodFaultParams {
-        clients: if reduced { 8 } else { 12 },
-        fault_seed: seed,
-        ..SynfloodFaultParams::default()
-    };
-
-    // The fault-free, flood-free baseline first (untraced), then the
-    // faulted run under tracing.
-    let base = run_synflood_fault(params.baseline());
-    rctrace::start(TraceConfig::default());
-    let r = run_synflood_fault(params.clone());
-    let session = rctrace::finish().ok_or("no trace session captured")?;
-
-    println!(
-        "synflood_fault ncpus={} seed={}: {:.0} req/s (baseline {:.0}) | p99 {:.2} ms \
-         (baseline {:.2}) | {} net + {} client faults | {} syns, {} early drops, \
-         attacker pays {:.1}% | {} isolations",
-        params.ncpus,
-        params.fault_seed,
-        r.throughput,
-        base.throughput,
-        r.p99_ms,
-        base.p99_ms,
-        r.net_faults,
-        r.client_faults,
-        r.syns_sent,
-        r.early_drops,
-        r.attacker_drop_share * 100.0,
-        r.isolations,
-    );
-
-    let chrome = rctrace::chrome_trace_json(&session);
-    let metrics = rctrace::metrics_json(&session);
-
-    // Validate both artifacts by round-tripping through the JSON parser
-    // before anything touches disk.
-    let parsed = json::parse(&chrome).map_err(|e| format!("chrome trace not valid JSON: {e}"))?;
-    let n_events = parsed
-        .get("traceEvents")
-        .and_then(|v| v.as_array())
-        .map(|a| a.len())
-        .ok_or("chrome trace missing traceEvents array")?;
-    if n_events == 0 {
-        return Err("chrome trace is empty".into());
-    }
-    if !chrome.contains("\"fault\"") {
-        return Err("chrome trace contains no fault-category events".into());
-    }
-    json::parse(&metrics).map_err(|e| format!("metrics dump not valid JSON: {e}"))?;
-
-    let base_name = out.unwrap_or_else(|| "fault".to_string());
-    std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
-    let trace_path = format!("results/{base_name}.json");
-    let metrics_path = format!("results/{base_name}_metrics.json");
-    std::fs::write(&trace_path, &chrome).map_err(|e| e.to_string())?;
-    std::fs::write(&metrics_path, &metrics).map_err(|e| e.to_string())?;
-    println!("{trace_path}: {n_events} events; {metrics_path} written");
-
-    if check {
-        if r.throughput < 0.9 * base.throughput {
-            return Err(format!(
-                "degradation check failed: {:.0} req/s under faults vs {:.0} baseline",
-                r.throughput, base.throughput
-            ));
-        }
-        if r.p99_ms > 2.0 * base.p99_ms.max(0.5) {
-            return Err(format!(
-                "latency check failed: p99 {:.2} ms vs baseline {:.2} ms",
-                r.p99_ms, base.p99_ms
-            ));
-        }
-        if r.attacker_drop_share < 0.95 {
-            return Err(format!(
-                "charging check failed: attacker absorbed only {:.1}% of drop charges",
-                r.attacker_drop_share * 100.0
-            ));
-        }
-        if r.net_faults == 0 || r.client_faults == 0 {
-            return Err("injection check failed: a fault category never fired".into());
-        }
-        println!("check ok: graceful degradation with attacker-pays charging");
-    }
-    Ok(())
-}
-
 fn main() -> ExitCode {
-    let mut reduced = false;
-    let mut check = false;
-    let mut seed = 7u64;
-    let mut out = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reduced" => reduced = true,
-            "--check" => check = true,
-            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(s) => seed = s,
-                None => {
-                    eprintln!("--seed requires a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match args.next() {
-                Some(v) => out = Some(v),
-                None => {
-                    eprintln!("--out requires a name");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    match run(reduced, check, seed, out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("fault run failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    rcbench::cli::shim("fault")
 }

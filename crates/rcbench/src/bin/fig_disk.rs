@@ -1,67 +1,8 @@
-//! §7 extension: disk-bandwidth isolation between two fixed-share tenants.
-//!
-//! ```sh
-//! cargo run --release -p rcbench --bin fig_disk
-//! ```
-//!
-//! A disk-hog tenant (70% share, large files) and a small-file tenant (30%
-//! share) contend for the simulated disk. Under the FIFO I/O scheduler —
-//! the unmodified-kernel ablation — the victim's throughput collapses as
-//! the hog's client count grows; under the container-share scheduler the
-//! disk's busy time splits 70/30 and the victim's throughput stays flat.
+//! Thin shim over `rcbench disk`, kept so existing invocations
+//! (`cargo run -p rcbench --bin fig_disk`) keep working.
 
-use rcbench::Report;
-use simos::DiskSchedKind;
-use workload::scenarios::{run_disk_tenants, DiskTenantsParams, DiskTenantsResult};
+use std::process::ExitCode;
 
-fn run(sched: DiskSchedKind, hog_clients: usize) -> DiskTenantsResult {
-    run_disk_tenants(DiskTenantsParams {
-        hog_clients,
-        secs: 12,
-        sched,
-        ..DiskTenantsParams::default()
-    })
-}
-
-fn main() {
-    let mut rep = Report::new("disk-bandwidth isolation: 70/30 fixed-share tenants");
-
-    rep.line("disk-time split at 8 hog clients:");
-    rep.line(format!(
-        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>8}",
-        "sched", "hog conf", "hog meas", "victim conf", "victim meas", "disk%"
-    ));
-    for sched in [DiskSchedKind::Fifo, DiskSchedKind::Share] {
-        let r = run(sched, 8);
-        rep.line(format!(
-            "{:<8} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>7.1}%",
-            r.sched,
-            r.configured[0] * 100.0,
-            r.disk_fractions[0] * 100.0,
-            r.configured[1] * 100.0,
-            r.disk_fractions[1] * 100.0,
-            r.utilization * 100.0,
-        ));
-    }
-    rep.blank();
-
-    rep.line("victim throughput vs hog load:");
-    rep.line(format!(
-        "{:<14} {:>10} {:>16} {:>16}",
-        "hog clients", "sched", "victim req/s", "victim ms"
-    ));
-    for &hogs in &[2usize, 4, 8, 16] {
-        for sched in [DiskSchedKind::Fifo, DiskSchedKind::Share] {
-            let r = run(sched, hogs);
-            rep.line(format!(
-                "{:<14} {:>10} {:>16.1} {:>16.1}",
-                hogs, r.sched, r.throughputs[1], r.latencies_ms[1]
-            ));
-        }
-    }
-    rep.blank();
-    rep.line("paper §7: \"the container mechanism is general enough to encompass");
-    rep.line("other system resources, such as disk bandwidth\"; the share-aware");
-    rep.line("I/O scheduler holds the victim's service flat under any hog load.");
-    rep.emit("fig_disk");
+fn main() -> ExitCode {
+    rcbench::cli::shim("disk")
 }

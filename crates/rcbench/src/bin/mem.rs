@@ -1,145 +1,8 @@
-//! Runs the `memhog_tenants` scenario — a guaranteed tenant whose working
-//! set lives in the buffer cache next to a tenant that leaks pinned kernel
-//! memory under a small `mem_limit` — with tracing enabled, and emits the
-//! Chrome trace (per-container `mem_*_bytes` counter tracks plus `mem`
-//! instants for reclaim, pressure, and OOM kills) and the compact metrics
-//! dump with its `mem` section.
-//!
-//! ```sh
-//! cargo run --release -p rcbench --bin mem
-//! cargo run --release -p rcbench --bin mem -- --reduced --out mem_a
-//! cargo run --release -p rcbench --bin mem -- --reduced --check
-//! ```
-//!
-//! `--reduced` shrinks the run for CI smoke tests; `--out NAME` overrides
-//! the artifact basename (default `mem`), which lets CI produce two
-//! identically-seeded dumps and diff them — memory accounting, reclaim,
-//! and OOM targeting must be deterministic down to the byte. `--check`
-//! asserts the tentpole property on the run itself: the hog gets
-//! reclaimed and OOM-killed while the guaranteed tenant's cache hit rate
-//! and p99 stay within 5% of its solo baseline.
+//! Thin shim over `rcbench mem`, kept so existing invocations
+//! (`cargo run -p rcbench --bin mem`) keep working.
 
 use std::process::ExitCode;
 
-use rcbench::json;
-use rctrace::TraceConfig;
-use workload::scenarios::{run_memhog_tenants, MemhogTenantsParams};
-
-fn run(reduced: bool, check: bool, out: Option<String>) -> Result<(), String> {
-    let params = MemhogTenantsParams {
-        secs: if reduced { 6 } else { 12 },
-        ..MemhogTenantsParams::default()
-    };
-
-    rctrace::start(TraceConfig::default());
-    let r = run_memhog_tenants(params);
-    let session = rctrace::finish().ok_or("no trace session captured")?;
-
-    println!(
-        "memhog_tenants: guaranteed hit rate {:.1}% shared vs {:.1}% solo | \
-         p99 {:.2} ms shared vs {:.2} ms solo | {:.0} req/s shared vs {:.0} solo | \
-         hog: {} reclaims ({} KiB), {} oom kills, {} refusals, {} pressure events",
-        r.shared.cache_hit_rate * 100.0,
-        r.solo.cache_hit_rate * 100.0,
-        r.shared.p99_ms,
-        r.solo.p99_ms,
-        r.shared.throughput,
-        r.solo.throughput,
-        r.mem.reclaims,
-        r.mem.reclaimed_bytes / 1024,
-        r.mem.oom_kills,
-        r.mem.refusals,
-        r.mem.pressure_events,
-    );
-
-    let chrome = rctrace::chrome_trace_json(&session);
-    let metrics = rctrace::metrics_json(&session);
-
-    // Validate both artifacts by round-tripping through the JSON parser
-    // before anything touches disk.
-    let parsed = json::parse(&chrome).map_err(|e| format!("chrome trace not valid JSON: {e}"))?;
-    let n_events = parsed
-        .get("traceEvents")
-        .and_then(|v| v.as_array())
-        .map(|a| a.len())
-        .ok_or("chrome trace missing traceEvents array")?;
-    if n_events == 0 {
-        return Err("chrome trace is empty".into());
-    }
-    if !chrome.contains("mem_bytes") {
-        return Err("chrome trace contains no memory counter track".into());
-    }
-    json::parse(&metrics).map_err(|e| format!("metrics dump not valid JSON: {e}"))?;
-    if !metrics.contains("\"mem\"") {
-        return Err("metrics dump has no mem section".into());
-    }
-
-    let base_name = out.unwrap_or_else(|| "mem".to_string());
-    std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
-    let trace_path = format!("results/{base_name}.json");
-    let metrics_path = format!("results/{base_name}_metrics.json");
-    std::fs::write(&trace_path, &chrome).map_err(|e| e.to_string())?;
-    std::fs::write(&metrics_path, &metrics).map_err(|e| e.to_string())?;
-    println!("{trace_path}: {n_events} events; {metrics_path} written");
-
-    if check {
-        if r.mem.reclaims == 0 {
-            return Err("reclaim check failed: hog never lost a cache page".into());
-        }
-        if r.mem.oom_kills == 0 {
-            return Err("oom check failed: hog never OOM-killed".into());
-        }
-        if r.solo.cache_hit_rate <= 0.9 {
-            return Err(format!(
-                "baseline check failed: solo hit rate only {:.1}%",
-                r.solo.cache_hit_rate * 100.0
-            ));
-        }
-        if r.shared.cache_hit_rate < 0.95 * r.solo.cache_hit_rate {
-            return Err(format!(
-                "isolation check failed: hit rate fell {:.1}% → {:.1}%",
-                r.solo.cache_hit_rate * 100.0,
-                r.shared.cache_hit_rate * 100.0
-            ));
-        }
-        if r.shared.p99_ms > 1.05 * r.solo.p99_ms.max(0.01) {
-            return Err(format!(
-                "isolation check failed: p99 grew {:.2} ms → {:.2} ms",
-                r.solo.p99_ms, r.shared.p99_ms
-            ));
-        }
-        println!("check ok: hog reclaimed and OOM-killed; guaranteed tenant within 5% of solo");
-    }
-    Ok(())
-}
-
 fn main() -> ExitCode {
-    let mut reduced = false;
-    let mut check = false;
-    let mut out = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reduced" => reduced = true,
-            "--check" => check = true,
-            "--out" => match args.next() {
-                Some(v) => out = Some(v),
-                None => {
-                    eprintln!("--out requires a name");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    match run(reduced, check, out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("mem run failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    rcbench::cli::shim("mem")
 }

@@ -1,151 +1,8 @@
-//! Runs the `qos_tenants` scenario — two tenants sharing a finite
-//! transmit link under the hierarchical weighted-fair qdisc vs. FIFO —
-//! with tracing enabled, and emits the Chrome trace (the link track shows
-//! per-packet transmit slices; per-container `tx_charge_ms` counters show
-//! the split) plus the compact metrics dump.
-//!
-//! ```sh
-//! cargo run --release -p rcbench --bin qos
-//! cargo run --release -p rcbench --bin qos -- --reduced --out qos_a
-//! cargo run --release -p rcbench --bin qos -- --reduced --check
-//! ```
-//!
-//! `--reduced` shrinks the run for CI smoke tests; `--out NAME` overrides
-//! the artifact basename (default `qos`), which lets CI produce two
-//! identically-seeded dumps and diff them — the transmit path must be
-//! deterministic down to the byte. `--check` asserts the tentpole
-//! property on the run itself: under saturation the WFQ split lands
-//! within 5% of the configured 3:1 weights, while FIFO lets the blast
-//! tenant crowd the gold tenant off the link.
+//! Thin shim over `rcbench qos`, kept so existing invocations
+//! (`cargo run -p rcbench --bin qos`) keep working.
 
 use std::process::ExitCode;
 
-use rcbench::json;
-use rctrace::TraceConfig;
-use simos::QdiscKind;
-use workload::scenarios::{run_qos_tenants, QosTenantsParams};
-
-fn run(reduced: bool, check: bool, out: Option<String>) -> Result<(), String> {
-    let params = QosTenantsParams {
-        blast_clients: if reduced { 18 } else { 24 },
-        secs: if reduced { 6 } else { 10 },
-        ..QosTenantsParams::default()
-    };
-
-    // The FIFO ablation first (untraced), then the WFQ run under tracing.
-    let fifo = run_qos_tenants(QosTenantsParams {
-        qdisc: QdiscKind::Fifo,
-        ..params.clone()
-    });
-    rctrace::start(TraceConfig::default());
-    let wfq = run_qos_tenants(params);
-    let session = rctrace::finish().ok_or("no trace session captured")?;
-
-    println!(
-        "qos_tenants: wfq gold/blast {:.1}%/{:.1}% of wire time (configured \
-         {:.0}%/{:.0}%) at {:.0}% utilization | fifo gold/blast {:.1}%/{:.1}% | \
-         gold throughput {:.0} req/s under wfq vs {:.0} under fifo",
-        wfq.tx_fractions[0] * 100.0,
-        wfq.tx_fractions[1] * 100.0,
-        wfq.configured[0] * 100.0,
-        wfq.configured[1] * 100.0,
-        wfq.utilization * 100.0,
-        fifo.tx_fractions[0] * 100.0,
-        fifo.tx_fractions[1] * 100.0,
-        wfq.throughputs[0],
-        fifo.throughputs[0],
-    );
-
-    let chrome = rctrace::chrome_trace_json(&session);
-    let metrics = rctrace::metrics_json(&session);
-
-    // Validate both artifacts by round-tripping through the JSON parser
-    // before anything touches disk.
-    let parsed = json::parse(&chrome).map_err(|e| format!("chrome trace not valid JSON: {e}"))?;
-    let n_events = parsed
-        .get("traceEvents")
-        .and_then(|v| v.as_array())
-        .map(|a| a.len())
-        .ok_or("chrome trace missing traceEvents array")?;
-    if n_events == 0 {
-        return Err("chrome trace is empty".into());
-    }
-    if !chrome.contains("\"link\"") {
-        return Err("chrome trace contains no link-category events".into());
-    }
-    json::parse(&metrics).map_err(|e| format!("metrics dump not valid JSON: {e}"))?;
-    if !metrics.contains("\"link\"") {
-        return Err("metrics dump has no link section".into());
-    }
-
-    let base_name = out.unwrap_or_else(|| "qos".to_string());
-    std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
-    let trace_path = format!("results/{base_name}.json");
-    let metrics_path = format!("results/{base_name}_metrics.json");
-    std::fs::write(&trace_path, &chrome).map_err(|e| e.to_string())?;
-    std::fs::write(&metrics_path, &metrics).map_err(|e| e.to_string())?;
-    println!("{trace_path}: {n_events} events; {metrics_path} written");
-
-    if check {
-        if wfq.utilization < 0.9 {
-            return Err(format!(
-                "saturation check failed: link only {:.0}% utilized",
-                wfq.utilization * 100.0
-            ));
-        }
-        for (c, m) in wfq.configured.iter().zip(&wfq.tx_fractions) {
-            if (c - m).abs() >= 0.05 {
-                return Err(format!(
-                    "share check failed: configured {:.0}% vs measured {:.1}% under wfq",
-                    c * 100.0,
-                    m * 100.0
-                ));
-            }
-        }
-        if fifo.tx_fractions[0] >= 0.45 {
-            return Err(format!(
-                "ablation check failed: fifo still gave the gold tenant {:.1}%",
-                fifo.tx_fractions[0] * 100.0
-            ));
-        }
-        if wfq.throughputs[0] <= 1.5 * fifo.throughputs[0] {
-            return Err(format!(
-                "protection check failed: gold {:.0} req/s under wfq vs {:.0} under fifo",
-                wfq.throughputs[0], fifo.throughputs[0]
-            ));
-        }
-        println!("check ok: wfq holds the 3:1 split; fifo collapses under the blast tenant");
-    }
-    Ok(())
-}
-
 fn main() -> ExitCode {
-    let mut reduced = false;
-    let mut check = false;
-    let mut out = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reduced" => reduced = true,
-            "--check" => check = true,
-            "--out" => match args.next() {
-                Some(v) => out = Some(v),
-                None => {
-                    eprintln!("--out requires a name");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    match run(reduced, check, out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("qos run failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    rcbench::cli::shim("qos")
 }

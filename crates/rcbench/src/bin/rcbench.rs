@@ -1,0 +1,13 @@
+//! The unified benchmark CLI: `rcbench <subcommand> [flags]`.
+//!
+//! ```sh
+//! cargo run --release -p rcbench --bin rcbench -- help
+//! cargo run --release -p rcbench --bin rcbench -- cluster --reduced --check
+//! cargo run --release -p rcbench --bin rcbench -- ab --scenario span --arms decay,edf
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    rcbench::cli::main()
+}

@@ -1,139 +1,8 @@
-//! Runs the SMP tenant scenario with kernel-wide tracing enabled and
-//! emits the Chrome trace (per-CPU tracks + migration arrows, loadable in
-//! Perfetto) plus the compact metrics dump.
-//!
-//! ```sh
-//! cargo run --release -p rcbench --bin smp -- --ncpus 4
-//! cargo run --release -p rcbench --bin smp -- --ncpus 1 --reduced --out smp_base
-//! cargo run --release -p rcbench --bin smp -- --ncpus 4 --reduced --check
-//! ```
-//!
-//! `--reduced` shrinks the run for CI smoke tests; `--out NAME` overrides
-//! the artifact basename (default `smp_ncpus{N}`), which lets CI produce
-//! two `--ncpus 1` dumps and diff them — the single-CPU run must be
-//! deterministic down to the byte. `--check` asserts the paper's global
-//! guarantee on the run itself: every tenant's measured CPU fraction
-//! within 5 percentage points of its configured share (and, above one
-//! CPU, that the balancer actually migrated threads).
+//! Thin shim over `rcbench smp`, kept so existing invocations
+//! (`cargo run -p rcbench --bin smp`) keep working.
 
 use std::process::ExitCode;
 
-use rcbench::json;
-use rctrace::TraceConfig;
-use simcore::Nanos;
-use workload::scenarios::{run_smp_tenants, SmpTenantsParams};
-
-fn run(ncpus: u32, reduced: bool, check: bool, out: Option<String>) -> Result<(), String> {
-    let params = SmpTenantsParams {
-        ncpus,
-        clients_per_tenant: if reduced { 16 } else { 24 },
-        parse_cost: Nanos::from_micros(200),
-        secs: if reduced { 4 } else { 10 },
-        ..SmpTenantsParams::default()
-    };
-
-    rctrace::start(TraceConfig::default());
-    let r = run_smp_tenants(params);
-    let session = rctrace::finish().ok_or("no trace session captured")?;
-
-    println!(
-        "smp_tenants ncpus={}: shares {} | {:.0} req/s total | {} migrations | busy {}",
-        r.ncpus,
-        r.configured
-            .iter()
-            .zip(&r.measured)
-            .map(|(c, m)| format!("{:.0}%->{:.1}%", c * 100.0, m * 100.0))
-            .collect::<Vec<_>>()
-            .join(" "),
-        r.total_throughput,
-        r.migrations,
-        r.busy_fraction
-            .iter()
-            .map(|b| format!("{:.0}%", b * 100.0))
-            .collect::<Vec<_>>()
-            .join("/"),
-    );
-
-    let chrome = rctrace::chrome_trace_json(&session);
-    let metrics = rctrace::metrics_json(&session);
-
-    // Validate both artifacts by round-tripping through the JSON parser
-    // before anything touches disk.
-    let parsed = json::parse(&chrome).map_err(|e| format!("chrome trace not valid JSON: {e}"))?;
-    let n_events = parsed
-        .get("traceEvents")
-        .and_then(|v| v.as_array())
-        .map(|a| a.len())
-        .ok_or("chrome trace missing traceEvents array")?;
-    if n_events == 0 {
-        return Err("chrome trace is empty".into());
-    }
-    json::parse(&metrics).map_err(|e| format!("metrics dump not valid JSON: {e}"))?;
-
-    let base = out.unwrap_or_else(|| format!("smp_ncpus{ncpus}"));
-    std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
-    let trace_path = format!("results/{base}.json");
-    let metrics_path = format!("results/{base}_metrics.json");
-    std::fs::write(&trace_path, &chrome).map_err(|e| e.to_string())?;
-    std::fs::write(&metrics_path, &metrics).map_err(|e| e.to_string())?;
-    println!("{trace_path}: {n_events} events; {metrics_path} written");
-
-    if check {
-        for (c, m) in r.configured.iter().zip(&r.measured) {
-            if (c - m).abs() >= 0.05 {
-                return Err(format!(
-                    "share check failed: configured {:.0}% but measured {:.1}%",
-                    c * 100.0,
-                    m * 100.0
-                ));
-            }
-        }
-        if ncpus > 1 && r.migrations == 0 {
-            return Err("share check failed: balancer never migrated a thread".into());
-        }
-        if ncpus == 1 && r.migrations != 0 {
-            return Err("uniprocessor run migrated threads".into());
-        }
-        println!("check ok: every tenant within 5 points of its share");
-    }
-    Ok(())
-}
-
 fn main() -> ExitCode {
-    let mut ncpus = 4u32;
-    let mut reduced = false;
-    let mut check = false;
-    let mut out = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reduced" => reduced = true,
-            "--check" => check = true,
-            "--ncpus" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => ncpus = n,
-                None => {
-                    eprintln!("--ncpus requires a number");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match args.next() {
-                Some(v) => out = Some(v),
-                None => {
-                    eprintln!("--out requires a name");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unexpected argument '{other}'");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    match run(ncpus, reduced, check, out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("smp run failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
+    rcbench::cli::shim("smp")
 }

@@ -53,6 +53,36 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Writes an `f64` in the crate's canonical JSON form: Rust's
+/// shortest-roundtrip decimal for finite values, `null` for NaN and
+/// infinities (which JSON cannot represent). Every float this crate
+/// emits — serializer output and diff/report text alike — funnels
+/// through here, so artifacts agree on formatting byte-for-byte.
+///
+/// # Examples
+///
+/// ```
+/// let mut s = String::new();
+/// rcbench::json::write_f64(&mut s, 1.25);
+/// rcbench::json::write_f64(&mut s, f64::NAN);
+/// assert_eq!(s, "1.25null");
+/// ```
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// [`write_f64`] into a fresh string — for formatting a float into
+/// report or diff text with the same canonical form as the artifacts.
+pub fn f64_string(v: f64) -> String {
+    let mut s = String::new();
+    write_f64(&mut s, v);
+    s
+}
+
 fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -137,11 +167,7 @@ impl<'a> ser::Serializer for Json<'a> {
         self.serialize_f64(v as f64)
     }
     fn serialize_f64(self, v: f64) -> Result<(), Error> {
-        if v.is_finite() {
-            let _ = write!(self.out, "{v}");
-        } else {
-            self.out.push_str("null");
-        }
+        write_f64(self.out, v);
         Ok(())
     }
     fn serialize_char(self, v: char) -> Result<(), Error> {

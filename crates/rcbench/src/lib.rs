@@ -1,10 +1,16 @@
-//! Shared report formatting for the benchmark binaries.
+//! Shared report formatting for the benchmark binaries, plus the
+//! unified [`cli`] every experiment runs behind.
 //!
 //! Every `rcbench` binary regenerates one table or figure from the paper's
 //! evaluation and prints it as an aligned text table with the paper's
 //! reported values alongside, then appends the same text to
 //! `results/<name>.txt` when a `results/` directory exists.
+//!
+//! The `rcbench` multiplexer binary dispatches subcommands through
+//! [`cli::dispatch`]; the historical per-experiment binaries are
+//! one-line shims over [`cli::shim`].
 
+pub mod cli;
 pub mod json;
 
 use std::fmt::Write as _;

@@ -24,6 +24,14 @@
 //! drowning the viewer — but they remain available in the raw
 //! [`TraceBuffer`](simcore::trace::TraceBuffer).
 //!
+//! **Cluster exports** ([`cluster_chrome_trace_json`]) merge one session
+//! per node into a single document: each node gets its own pid namespace
+//! (an offset of [`NODE_PID_STRIDE`] per node) and every track name is
+//! prefixed with the node name (`"web-3 cpu"`, `"web-3 container
+//! tenant-gold"`), so Perfetto groups a node's processes together and
+//! the whole cluster shares one time axis. Flow-arrow and async-span ids
+//! are namespaced per node so arrows never pair across machines.
+//!
 //! The exporter walks the retained ring and the sample series in order and
 //! formats every number from integers, so the document is byte-identical
 //! across runs of the same simulation.
@@ -44,6 +52,12 @@ const CONTAINER_PID_BASE: u32 = 10;
 /// container pid range, which grows from [`CONTAINER_PID_BASE`] with one
 /// pid per container (per-connection containers can make that large).
 const CPU_TRACK_BASE: u32 = 1_000_000;
+/// Pid-namespace stride between nodes in a cluster export. Leaves room
+/// for the previous node's per-CPU track range above [`CPU_TRACK_BASE`].
+pub const NODE_PID_STRIDE: u32 = 10_000_000;
+/// Async-span / flow id namespace stride between nodes: per-node request
+/// and flow ids stay well below this, so ids never collide across nodes.
+const NODE_ID_STRIDE: u64 = 1 << 40;
 
 /// The container a trace event is attributed to, if any.
 fn event_container(kind: &TraceEventKind) -> Option<u64> {
@@ -112,8 +126,26 @@ fn counter(pid: u32, ts_ns: u64, name: &str, value: &str) -> String {
     )
 }
 
-/// Renders the session as Chrome trace-event JSON.
-pub fn chrome_trace_json(session: &TraceSession) -> String {
+/// Emits one session's events into `evs`. `base` offsets every pid (0 for
+/// a single-session export), `label` prefixes every track name (the node
+/// name in a cluster export), and `id_base` namespaces the flow-arrow and
+/// async-span ids so merged documents never pair arrows across sessions.
+fn emit_session(
+    session: &TraceSession,
+    base: u32,
+    label: Option<&str>,
+    id_base: u64,
+    evs: &mut Vec<String>,
+) {
+    let cpu_pid0 = base + CPU_PID;
+    let disk_pid = base + DISK_PID;
+    let link_pid = base + LINK_PID;
+    let track = |name: &str| -> String {
+        match label {
+            Some(l) => format!("{l} {name}"),
+            None => name.to_string(),
+        }
+    };
     // One Chrome "process" per container, ordered by container id; the
     // union of containers seen in the trace ring and in the metrics.
     let mut ids: BTreeSet<u64> = session.metrics.containers.keys().copied().collect();
@@ -127,7 +159,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
     let pid_of: BTreeMap<u64, u32> = ids
         .iter()
         .enumerate()
-        .map(|(i, &c)| (c, CONTAINER_PID_BASE + i as u32))
+        .map(|(i, &c)| (c, base + CONTAINER_PID_BASE + i as u32))
         .collect();
     let name_of = |c: u64| -> String {
         session
@@ -139,7 +171,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
     };
     // A container's instants land on its own track; unattributed events
     // land on the CPU track.
-    let pid_for = |c: u64| -> u32 { pid_of.get(&c).copied().unwrap_or(CPU_PID) };
+    let pid_for = |c: u64| -> u32 { pid_of.get(&c).copied().unwrap_or(cpu_pid0) };
 
     let end_ns = session
         .metrics
@@ -172,23 +204,22 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
     let multi = ncpus > 1;
     let cpu_pid = |cpu: u32| -> u32 {
         if multi {
-            CPU_TRACK_BASE + cpu
+            base + CPU_TRACK_BASE + cpu
         } else {
-            CPU_PID
+            cpu_pid0
         }
     };
 
-    let mut evs: Vec<String> = Vec::new();
     if multi {
         for cpu in 0..ncpus {
-            evs.push(meta_name(cpu_pid(cpu), &format!("cpu{cpu}")));
+            evs.push(meta_name(cpu_pid(cpu), &track(&format!("cpu{cpu}"))));
         }
         // Unattributed instants still land on pid 1.
-        evs.push(meta_name(CPU_PID, "unattributed"));
+        evs.push(meta_name(cpu_pid0, &track("unattributed")));
     } else {
-        evs.push(meta_name(CPU_PID, "cpu"));
+        evs.push(meta_name(cpu_pid0, &track("cpu")));
     }
-    evs.push(meta_name(DISK_PID, "disk"));
+    evs.push(meta_name(disk_pid, &track("disk")));
     // The link track appears only when the run modelled a finite link.
     let link_present = session.metrics.globals.link_configured
         || session
@@ -197,13 +228,13 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             .iter()
             .any(|e| matches!(e.kind, TraceEventKind::LinkStart { .. }));
     if link_present {
-        evs.push(meta_name(LINK_PID, "link"));
+        evs.push(meta_name(link_pid, &track("link")));
     }
     // Per-class memory counter tracks appear only on simmem runs, so
     // memory-unlimited exports are unchanged.
     let mem_present = session.metrics.globals.mem_configured;
     for (&c, &pid) in &pid_of {
-        evs.push(meta_name(pid, &format!("container {}", name_of(c))));
+        evs.push(meta_name(pid, &track(&format!("container {}", name_of(c)))));
     }
 
     // Scheduled-run slices on the per-CPU tracks plus per-event instants.
@@ -224,7 +255,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             ));
         };
     // Chrome flow-event ids tie each migration's start/finish arrow pair.
-    let mut flow_id: u64 = 0;
+    let mut flow_id: u64 = id_base;
     for ev in &session.trace.events {
         let at = ev.at.as_nanos();
         match ev.kind {
@@ -232,7 +263,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                 to, container, cpu, ..
             } => {
                 if let Some((start, task, cont)) = open.remove(&cpu) {
-                    close_slice(&mut evs, cpu, start, at, task, cont);
+                    close_slice(evs, cpu, start, at, task, cont);
                 }
                 open.insert(cpu, (at, to, container));
             }
@@ -270,7 +301,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                 service,
             } => {
                 evs.push(format!(
-                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"disk\",\"pid\":{DISK_PID},\"tid\":0,\
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"disk\",\"pid\":{disk_pid},\"tid\":0,\
                      \"ts\":{},\"dur\":{},\"args\":{{\"req\":{req},\"container\":{}}}}}",
                     quote(&format!("file {file}")),
                     micros(at),
@@ -285,7 +316,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                 wire,
             } => {
                 evs.push(format!(
-                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"link\",\"pid\":{LINK_PID},\"tid\":0,\
+                    "{{\"ph\":\"X\",\"name\":{},\"cat\":\"link\",\"pid\":{link_pid},\"tid\":0,\
                      \"ts\":{},\"dur\":{},\"args\":{{\"bytes\":{bytes},\"container\":{}}}}}",
                     quote(&format!("tx :{port}")),
                     micros(at),
@@ -383,7 +414,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             }
             TraceEventKind::FaultClientAbandon { client } => {
                 evs.push(instant(
-                    CPU_PID,
+                    cpu_pid0,
                     at,
                     "fault",
                     &format!("fault: client {client} abandon"),
@@ -391,7 +422,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             }
             TraceEventKind::FaultClientMalformed { client } => {
                 evs.push(instant(
-                    CPU_PID,
+                    cpu_pid0,
                     at,
                     "fault",
                     &format!("fault: client {client} malformed"),
@@ -399,7 +430,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             }
             TraceEventKind::FaultClientSlow { client, delay } => {
                 evs.push(instant(
-                    CPU_PID,
+                    cpu_pid0,
                     at,
                     "fault",
                     &format!("fault: client {client} slow +{}us", delay.as_micros()),
@@ -477,9 +508,9 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                 // Pin the instant to the plane's own device/CPU track so
                 // the swap is visible where its effect is.
                 let pid = match plane {
-                    "disk" => DISK_PID,
-                    "link" => LINK_PID,
-                    _ => CPU_PID,
+                    "disk" => disk_pid,
+                    "link" => link_pid,
+                    _ => cpu_pid0,
                 };
                 evs.push(instant(
                     pid,
@@ -492,7 +523,7 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
         }
     }
     for (cpu, (start, task, cont)) in open {
-        close_slice(&mut evs, cpu, start, end_ns.max(start), task, cont);
+        close_slice(evs, cpu, start, end_ns.max(start), task, cont);
     }
 
     // Counter tracks from the sampled metrics timelines.
@@ -545,8 +576,8 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
     if let Some(spans) = &session.spans {
         for l in &spans.ledgers {
             let pid = pid_for(l.container);
-            let rid = l.request;
-            let name = quote(&format!("req {rid}"));
+            let rid = id_base + l.request;
+            let name = quote(&format!("req {}", l.request));
             evs.push(format!(
                 "{{\"ph\":\"b\",\"id\":{rid},\"name\":{name},\"cat\":\"request\",\
                  \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
@@ -569,13 +600,13 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
                     micros(seg_end.as_nanos()),
                 ));
                 let device_pid = match phase {
-                    simcore::span::Phase::DiskService => Some(DISK_PID),
-                    simcore::span::Phase::Wire if link_present => Some(LINK_PID),
+                    simcore::span::Phase::DiskService => Some(disk_pid),
+                    simcore::span::Phase::Wire if link_present => Some(link_pid),
                     _ => None,
                 };
                 if let Some(dev) = device_pid {
                     flow_id += 1;
-                    let fname = quote(&format!("req {rid} {}", phase.label()));
+                    let fname = quote(&format!("req {} {}", l.request, phase.label()));
                     evs.push(format!(
                         "{{\"ph\":\"s\",\"id\":{flow_id},\"name\":{fname},\"cat\":\"request\",\
                          \"pid\":{pid},\"tid\":0,\"ts\":{}}}",
@@ -596,7 +627,10 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
             ));
         }
     }
+}
 
+/// Joins rendered events into the final trace document.
+fn wrap(evs: Vec<String>) -> String {
     let mut out = String::with_capacity(64 + evs.iter().map(|e| e.len() + 1).sum::<usize>());
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
     for (i, e) in evs.iter().enumerate() {
@@ -607,6 +641,31 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// Renders the session as Chrome trace-event JSON.
+pub fn chrome_trace_json(session: &TraceSession) -> String {
+    let mut evs: Vec<String> = Vec::new();
+    emit_session(session, 0, None, 0, &mut evs);
+    wrap(evs)
+}
+
+/// Renders one `(node name, session)` pair per node as a single merged
+/// Chrome trace document: a shared time axis, one pid namespace per node
+/// ([`NODE_PID_STRIDE`] apart), and node-name-prefixed track names so
+/// Perfetto groups each node's cpu/disk/link/container tracks together.
+pub fn cluster_chrome_trace_json(sessions: &[(String, TraceSession)]) -> String {
+    let mut evs: Vec<String> = Vec::new();
+    for (i, (name, session)) in sessions.iter().enumerate() {
+        emit_session(
+            session,
+            i as u32 * NODE_PID_STRIDE,
+            Some(name),
+            i as u64 * NODE_ID_STRIDE,
+            &mut evs,
+        );
+    }
+    wrap(evs)
 }
 
 #[cfg(test)]
@@ -817,5 +876,37 @@ mod tests {
         assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
         let a = chrome_trace_json(&s);
         assert_eq!(a, json);
+    }
+
+    #[test]
+    fn cluster_export_namespaces_pids_and_prefixes_tracks() {
+        let sessions = vec![
+            ("web-0".to_string(), session()),
+            ("web-1".to_string(), session()),
+        ];
+        let json = cluster_chrome_trace_json(&sessions);
+        // Node-prefixed track names for both nodes.
+        assert!(json.contains("\"name\":\"web-0 cpu\""));
+        assert!(json.contains("\"name\":\"web-1 cpu\""));
+        assert!(json.contains("\"name\":\"web-0 disk\""));
+        assert!(json.contains("\"name\":\"web-1 container web\""));
+        // Node 1's pids live one stride up.
+        assert!(json.contains(&format!("\"pid\":{}", NODE_PID_STRIDE + CPU_PID)));
+        assert!(json.contains(&format!("\"pid\":{}", NODE_PID_STRIDE + DISK_PID)));
+        // Well-formed and deterministic.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json, cluster_chrome_trace_json(&sessions));
+    }
+
+    #[test]
+    fn cluster_export_of_one_session_matches_single_shape() {
+        // The single-session path is the cluster path with base 0 and no
+        // label: same event count, only the track names gain the prefix.
+        let single = chrome_trace_json(&session());
+        let cluster = cluster_chrome_trace_json(&[("n".to_string(), session())]);
+        assert_eq!(
+            single.matches("\"ph\":").count(),
+            cluster.matches("\"ph\":").count()
+        );
     }
 }

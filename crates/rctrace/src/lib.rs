@@ -40,7 +40,7 @@ mod chrome;
 mod json;
 pub mod metrics;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, cluster_chrome_trace_json, NODE_PID_STRIDE};
 pub use metrics::{
     metrics_json, ContainerSample, ContainerSeries, ContainerTotals, CpuTotals, GlobalTotals,
     Metrics, SamplePoint, SloSpec, SloState,
@@ -132,6 +132,41 @@ pub fn finish() -> Option<TraceSession> {
         metrics,
         spans,
     })
+}
+
+/// A full observability session — rctrace metrics plus the underlying
+/// simcore trace ring and span session — detached from the thread-local
+/// slots by [`pause`]. Cluster drivers hold one per node and swap them
+/// around each kernel step so every node records into its own session.
+pub struct PausedSession {
+    active: bool,
+    spans: bool,
+    metrics: Option<Metrics>,
+    trace: simcore::trace::PausedTrace,
+    span: simcore::span::PausedSpans,
+}
+
+/// Detaches the current session at all three layers (rctrace metrics,
+/// trace ring, span session), leaving observability disabled until
+/// [`resume`] or [`start`] is called.
+pub fn pause() -> PausedSession {
+    PausedSession {
+        active: ACTIVE.with(|a| a.replace(false)),
+        spans: SPANS.with(|s| s.get()),
+        metrics: METRICS.with(|m| m.borrow_mut().take()),
+        trace: simcore::trace::pause(),
+        span: simcore::span::pause(),
+    }
+}
+
+/// Reinstates a session captured by [`pause`], restoring all three layers
+/// exactly as they were.
+pub fn resume(paused: PausedSession) {
+    simcore::trace::resume(paused.trace);
+    simcore::span::resume(paused.span);
+    METRICS.with(|m| *m.borrow_mut() = paused.metrics);
+    SPANS.with(|s| s.set(paused.spans));
+    ACTIVE.with(|a| a.set(paused.active));
 }
 
 /// Returns `true` if a metric sample is due at virtual time `now`.

@@ -1,0 +1,116 @@
+//! Inter-node links: directed point-to-point lanes with propagation
+//! latency, finite bandwidth, and FIFO serialization.
+//!
+//! A lane is deliberately simpler than the in-kernel transmit path (no
+//! queueing discipline, no per-container scheduling): contention *within*
+//! a node is already resolved by that node's link scheduler, so the lane
+//! only has to serialize departures in order and account wire time. The
+//! accounting is double-entry — the lane accumulates busy time, the
+//! [`crate::World`] charges the same serialization to the source node —
+//! which makes conservation across the cluster assertable:
+//! `Σ per-node tx charges == Σ lane busy time`.
+
+use simcore::Nanos;
+
+/// Static description of one directed lane.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneSpec {
+    /// Propagation latency; must be at least the world's round quantum
+    /// for conservative synchronization to be safe.
+    pub latency: Nanos,
+    /// Bandwidth in bits/sec; `0` = infinite (no serialization time).
+    pub bandwidth_bps: u64,
+}
+
+impl LaneSpec {
+    /// A lane with the given latency and bandwidth.
+    pub fn new(latency: Nanos, bandwidth_bps: u64) -> Self {
+        LaneSpec {
+            latency,
+            bandwidth_bps,
+        }
+    }
+
+    /// Serialization time of `wire_bytes` on this lane (zero when the
+    /// bandwidth is infinite). Same rounding as the in-kernel
+    /// [`simnet::LinkParams::wire_time`] so cross- and intra-node wire
+    /// accounting agree.
+    pub fn wire_time(&self, wire_bytes: u64) -> Nanos {
+        if self.bandwidth_bps == 0 {
+            return Nanos::ZERO;
+        }
+        let bits = (wire_bytes as u128) * 8 * 1_000_000_000;
+        let ns = bits.div_ceil(self.bandwidth_bps as u128);
+        Nanos::from_nanos(ns as u64)
+    }
+}
+
+/// One directed lane's mutable state and accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct Lane {
+    /// The lane's static parameters.
+    pub spec: LaneSpec,
+    /// When the wire frees up (FIFO head-of-line).
+    busy_until: Nanos,
+    /// Accumulated serialization (busy) time.
+    pub busy: Nanos,
+    /// Total wire bytes carried.
+    pub wire_bytes: u64,
+    /// Total packets carried.
+    pub pkts: u64,
+}
+
+impl Lane {
+    /// An idle lane.
+    pub fn new(spec: LaneSpec) -> Self {
+        Lane {
+            spec,
+            busy_until: Nanos::ZERO,
+            busy: Nanos::ZERO,
+            wire_bytes: 0,
+            pkts: 0,
+        }
+    }
+
+    /// Carries a packet of `wire_bytes` departing its node at `departure`:
+    /// serializes after any packet already on the wire, then propagates.
+    /// Returns `(arrival, serialization)` — the serialization time is what
+    /// the caller charges to the source node.
+    pub fn transmit(&mut self, departure: Nanos, wire_bytes: u64) -> (Nanos, Nanos) {
+        let start = departure.max(self.busy_until);
+        let ser = self.spec.wire_time(wire_bytes);
+        self.busy_until = start + ser;
+        self.busy += ser;
+        self.wire_bytes += wire_bytes;
+        self.pkts += 1;
+        (self.busy_until + self.spec.latency, ser)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_bandwidth_is_pure_latency() {
+        let mut lane = Lane::new(LaneSpec::new(Nanos::from_micros(50), 0));
+        let (arrival, ser) = lane.transmit(Nanos::from_micros(10), 1500);
+        assert_eq!(arrival, Nanos::from_micros(60));
+        assert!(ser.is_zero());
+        assert!(lane.busy.is_zero());
+    }
+
+    #[test]
+    fn fifo_serialization_queues_back_to_back_departures() {
+        // 1 Gbit/s: 1250 bytes = 10 us on the wire.
+        let mut lane = Lane::new(LaneSpec::new(Nanos::from_micros(100), 1_000_000_000));
+        let (a1, s1) = lane.transmit(Nanos::ZERO, 1250);
+        let (a2, s2) = lane.transmit(Nanos::ZERO, 1250);
+        assert_eq!(s1, Nanos::from_micros(10));
+        assert_eq!(s2, Nanos::from_micros(10));
+        assert_eq!(a1, Nanos::from_micros(110));
+        assert_eq!(a2, Nanos::from_micros(120));
+        assert_eq!(lane.busy, Nanos::from_micros(20));
+        assert_eq!(lane.pkts, 2);
+    }
+}

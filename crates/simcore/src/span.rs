@@ -269,6 +269,29 @@ pub fn stop() -> SpanBuffer {
     })
 }
 
+/// A span session detached from the thread-local slot by [`pause`], so a
+/// different session can run in the meantime.
+pub struct PausedSpans {
+    enabled: bool,
+    session: Option<Session>,
+}
+
+/// Detaches the current session, leaving span recording disabled until
+/// [`resume`] or [`start`] is called. Open spans stay open.
+pub fn pause() -> PausedSpans {
+    PausedSpans {
+        enabled: ENABLED.with(|e| e.replace(false)),
+        session: SESSION.with(|s| s.borrow_mut().take()),
+    }
+}
+
+/// Reinstates a session captured by [`pause`], restoring its enabled flag
+/// exactly as it was.
+pub fn resume(paused: PausedSpans) {
+    SESSION.with(|s| *s.borrow_mut() = paused.session);
+    ENABLED.with(|e| e.set(paused.enabled));
+}
+
 impl Session {
     fn close(&mut self, id: RequestId, mut span: OpenSpan, at: Nanos, outcome: Outcome) {
         let end = at.max(span.phase_since);

@@ -450,6 +450,33 @@ pub fn stop() -> TraceBuffer {
     })
 }
 
+/// A trace session detached from the thread-local slot by [`pause`], so a
+/// different session can run in the meantime (cluster drivers hold one
+/// per node and swap them around each kernel step).
+pub struct PausedTrace {
+    enabled: bool,
+    now: Nanos,
+    ring: Option<Ring>,
+}
+
+/// Detaches the current session — enabled flag, clock, and ring — leaving
+/// tracing disabled until [`resume`] or [`start`] is called.
+pub fn pause() -> PausedTrace {
+    PausedTrace {
+        enabled: ENABLED.with(|e| e.replace(false)),
+        now: NOW.with(|n| n.get()),
+        ring: RING.with(|r| r.borrow_mut().take()),
+    }
+}
+
+/// Reinstates a session captured by [`pause`], restoring its clock and
+/// enabled flag exactly as they were.
+pub fn resume(paused: PausedTrace) {
+    RING.with(|r| *r.borrow_mut() = paused.ring);
+    NOW.with(|n| n.set(paused.now));
+    ENABLED.with(|e| e.set(paused.enabled));
+}
+
 /// Advances the session clock; subsequent [`emit`]s are stamped with
 /// `at`. The kernel calls this wherever it advances its own clock.
 #[inline]

@@ -45,7 +45,7 @@ use simcore::trace::{self, TraceEventKind, NO_CONTAINER};
 use simcore::{EventQueue, Nanos, SpanRef};
 use simdisk::{BufferCache, DiskParams, DiskRequest, ReqId, SimDisk};
 use simnet::{
-    Demux, Dispatch, LinkParams, LinkSched, NetDiscipline, NetEvent, NetStack, Packet,
+    CidrFilter, Demux, Dispatch, LinkParams, LinkSched, NetDiscipline, NetEvent, NetStack, Packet,
     PendingQueues, QdiscKind, SockId, Socket,
 };
 
@@ -66,19 +66,13 @@ use crate::world::{World, WorldAction};
 pub use rcpolicy::CpuPolicyKind as SchedPolicyKind;
 pub use rcpolicy::DiskPolicyKind as DiskSchedKind;
 
-/// Kernel configuration: one per simulated system variant.
+/// Network-plane configuration: processing discipline, listener queue
+/// depths, admission budgets, socket buffering, and the optional finite
+/// transmit link.
 #[derive(Clone, Debug)]
-pub struct KernelConfig {
+pub struct NetConfig {
     /// Network-processing discipline (§3.2, §4.7).
     pub discipline: NetDiscipline,
-    /// CPU scheduler.
-    pub scheduler: SchedPolicyKind,
-    /// Per-operation CPU costs.
-    pub cost: CostModel,
-    /// Whether the container API is available to applications. When
-    /// `false` the kernel still accounts internally to per-process default
-    /// containers, but applications see the classic UNIX interface.
-    pub containers_enabled: bool,
     /// SYN-queue depth of new listeners.
     pub syn_backlog: usize,
     /// Accept-queue depth of new listeners.
@@ -89,31 +83,11 @@ pub struct KernelConfig {
     pub pending_cap: usize,
     /// Half-open connection timeout.
     pub syn_timeout: Nanos,
-    /// How often the kernel prunes thread scheduler bindings (§4.3);
-    /// zero disables pruning.
-    pub prune_interval: Nanos,
-    /// Entries idle longer than this are pruned from scheduler bindings.
-    pub prune_age: Nanos,
     /// Socket-buffer bytes charged to a connection's container while the
     /// connection is open (§4.4: containers account for memory such as
     /// socket buffers); a container subtree over its memory limit refuses
     /// new connections.
     pub sockbuf_bytes: u64,
-    /// Physical cost model of the disk.
-    pub disk: DiskParams,
-    /// Disk request ordering discipline.
-    pub disk_sched: DiskSchedKind,
-    /// Buffer-cache capacity in bytes; resident files are charged to their
-    /// owning container's memory counter.
-    pub buffer_cache_bytes: u64,
-    /// Number of simulated CPUs (clamped to at least 1 at boot).
-    pub ncpus: u32,
-    /// Interval of the container-aware load balancer. Only armed on
-    /// multiprocessor configurations (`ncpus > 1`); zero disables it.
-    pub balance_interval: Nanos,
-    /// Seeded fault-injection schedule; `None` (the default) injects
-    /// nothing and leaves every run byte-identical to a fault-free build.
-    pub fault: Option<FaultPlan>,
     /// Per-listener admission budget on half-open (SYN) connections: a
     /// SYN classifying to a listener whose SYN queue already holds this
     /// many entries is dropped at interrupt level, charged to the
@@ -128,6 +102,99 @@ pub struct KernelConfig {
     /// `cost.link_latency` with no queueing, no transmit charging, and no
     /// backpressure, leaving existing runs byte-identical.
     pub link: Option<LinkParams>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            discipline: NetDiscipline::Interrupt,
+            syn_backlog: 1024,
+            accept_backlog: 128,
+            pending_cap: 256,
+            syn_timeout: Nanos::from_secs(5),
+            sockbuf_bytes: 16 * 1024,
+            syn_budget: 0,
+            accept_budget: 0,
+            link: None,
+        }
+    }
+}
+
+/// Disk-plane configuration: physical cost model, request ordering, and
+/// the accounted buffer cache.
+#[derive(Clone, Debug)]
+pub struct DiskConfig {
+    /// Physical cost model of the disk.
+    pub params: DiskParams,
+    /// Disk request ordering discipline.
+    pub sched: DiskSchedKind,
+    /// Buffer-cache capacity in bytes; resident files are charged to their
+    /// owning container's memory counter.
+    pub buffer_cache_bytes: u64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            params: DiskParams::default(),
+            sched: DiskSchedKind::Fifo,
+            buffer_cache_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// CPU-plane configuration: scheduling policy, processor count, and the
+/// periodic maintenance intervals tied to the scheduler.
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// CPU scheduler.
+    pub policy: SchedPolicyKind,
+    /// Number of simulated CPUs (clamped to at least 1 at boot).
+    pub ncpus: u32,
+    /// Interval of the container-aware load balancer. Only armed on
+    /// multiprocessor configurations (`ncpus > 1`); zero disables it.
+    pub balance_interval: Nanos,
+    /// How often the kernel prunes thread scheduler bindings (§4.3);
+    /// zero disables pruning.
+    pub prune_interval: Nanos,
+    /// Entries idle longer than this are pruned from scheduler bindings.
+    pub prune_age: Nanos,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            policy: SchedPolicyKind::DecayUsage,
+            ncpus: 1,
+            balance_interval: Nanos::from_millis(5),
+            prune_interval: Nanos::ZERO,
+            prune_age: Nanos::from_millis(500),
+        }
+    }
+}
+
+/// Kernel configuration: one per simulated system variant. The per-plane
+/// knobs live in typed sub-configs ([`NetConfig`], [`DiskConfig`],
+/// [`SchedConfig`], [`MemParams`], [`FaultPlan`]) so a cluster `NodeSpec`
+/// can reuse them wholesale; the `with_*` builders below keep the flat
+/// construction surface unchanged.
+#[derive(Clone, Debug)]
+pub struct KernelConfig {
+    /// Network-plane knobs (discipline, backlogs, budgets, link).
+    pub net: NetConfig,
+    /// Disk-plane knobs (cost model, ordering, buffer cache).
+    pub disk: DiskConfig,
+    /// CPU-plane knobs (policy, ncpus, maintenance intervals).
+    pub sched: SchedConfig,
+    /// Per-operation CPU costs.
+    pub cost: CostModel,
+    /// Whether the container API is available to applications. When
+    /// `false` the kernel still accounts internally to per-process default
+    /// containers, but applications see the classic UNIX interface.
+    pub containers_enabled: bool,
+    /// Seeded fault-injection schedule; `None` (the default) injects
+    /// nothing and leaves every run byte-identical to a fault-free build.
+    pub fault: Option<FaultPlan>,
     /// Kernel memory subsystem (`simmem`). `None` (the default) keeps the
     /// legacy ad-hoc socket-buffer charging with no stacks, no protocol
     /// control blocks, no reclaim, and no OOM, leaving existing runs
@@ -143,26 +210,12 @@ impl KernelConfig {
     /// API.
     pub fn unmodified() -> Self {
         KernelConfig {
-            discipline: NetDiscipline::Interrupt,
-            scheduler: SchedPolicyKind::DecayUsage,
+            net: NetConfig::default(),
+            disk: DiskConfig::default(),
+            sched: SchedConfig::default(),
             cost: CostModel::default(),
             containers_enabled: false,
-            syn_backlog: 1024,
-            accept_backlog: 128,
-            pending_cap: 256,
-            syn_timeout: Nanos::from_secs(5),
-            prune_interval: Nanos::ZERO,
-            prune_age: Nanos::from_millis(500),
-            sockbuf_bytes: 16 * 1024,
-            disk: DiskParams::default(),
-            disk_sched: DiskSchedKind::Fifo,
-            buffer_cache_bytes: 16 * 1024 * 1024,
-            ncpus: 1,
-            balance_interval: Nanos::from_millis(5),
             fault: None,
-            syn_budget: 0,
-            accept_budget: 0,
-            link: None,
             mem: None,
         }
     }
@@ -170,23 +223,39 @@ impl KernelConfig {
     /// The **LRP system**: lazy per-process protocol processing, still
     /// process-centric scheduling and no container API.
     pub fn lrp() -> Self {
-        KernelConfig {
-            discipline: NetDiscipline::Lrp,
-            ..Self::unmodified()
-        }
+        let mut cfg = Self::unmodified();
+        cfg.net.discipline = NetDiscipline::Lrp;
+        cfg
     }
 
     /// The **RC system**: container queues, the multi-level scheduler, and
     /// the full container API (the paper's prototype).
     pub fn resource_containers() -> Self {
-        KernelConfig {
-            discipline: NetDiscipline::Container,
-            scheduler: SchedPolicyKind::MultiLevel,
-            containers_enabled: true,
-            prune_interval: Nanos::from_secs(1),
-            disk_sched: DiskSchedKind::Share,
-            ..Self::unmodified()
-        }
+        let mut cfg = Self::unmodified();
+        cfg.net.discipline = NetDiscipline::Container;
+        cfg.sched.policy = SchedPolicyKind::MultiLevel;
+        cfg.containers_enabled = true;
+        cfg.sched.prune_interval = Nanos::from_secs(1);
+        cfg.disk.sched = DiskSchedKind::Share;
+        cfg
+    }
+
+    /// Replaces the whole network-plane sub-config (builder style).
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Replaces the whole disk-plane sub-config (builder style).
+    pub fn with_disk_config(mut self, disk: DiskConfig) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Replaces the whole CPU-plane sub-config (builder style).
+    pub fn with_sched_config(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
     }
 
     /// Replaces the cost model (builder style).
@@ -199,31 +268,31 @@ impl KernelConfig {
     /// the [`rcpolicy`] registry is selectable, including the stride and
     /// lottery ablations and the deadline-driven EDF policy.
     pub fn with_scheduler(mut self, kind: SchedPolicyKind) -> Self {
-        self.scheduler = kind;
+        self.sched.policy = kind;
         self
     }
 
     /// Replaces the disk request-ordering policy (builder style).
     pub fn with_disk_sched(mut self, kind: DiskSchedKind) -> Self {
-        self.disk_sched = kind;
+        self.disk.sched = kind;
         self
     }
 
     /// Replaces the disk cost model (builder style).
     pub fn with_disk(mut self, disk: DiskParams) -> Self {
-        self.disk = disk;
+        self.disk.params = disk;
         self
     }
 
     /// Sets the buffer-cache capacity (builder style).
     pub fn with_buffer_cache(mut self, bytes: u64) -> Self {
-        self.buffer_cache_bytes = bytes;
+        self.disk.buffer_cache_bytes = bytes;
         self
     }
 
     /// Sets the number of simulated CPUs (builder style).
     pub fn with_ncpus(mut self, n: u32) -> Self {
-        self.ncpus = n.max(1);
+        self.sched.ncpus = n.max(1);
         self
     }
 
@@ -236,8 +305,8 @@ impl KernelConfig {
     /// Sets the per-listener admission budgets (builder style). Zero
     /// disables the corresponding limit.
     pub fn with_admission(mut self, syn_budget: usize, accept_budget: usize) -> Self {
-        self.syn_budget = syn_budget;
-        self.accept_budget = accept_budget;
+        self.net.syn_budget = syn_budget;
+        self.net.accept_budget = accept_budget;
         self
     }
 
@@ -246,7 +315,7 @@ impl KernelConfig {
     /// owning container and `sockbuf_limit` becomes real send
     /// backpressure.
     pub fn with_link(mut self, bandwidth_bps: u64, qdisc: QdiscKind) -> Self {
-        self.link = Some(LinkParams::new(bandwidth_bps, qdisc));
+        self.net.link = Some(LinkParams::new(bandwidth_bps, qdisc));
         self
     }
 
@@ -324,6 +393,19 @@ struct CpuState {
     stats: crate::stats::CpuStats,
 }
 
+/// What [`Kernel::step_until`] reports back to a cluster driver at the
+/// end of each conservative round.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeYield {
+    /// The kernel clock after the step (always the requested horizon).
+    pub now: Nanos,
+    /// Earliest pending internal event, if any (`None` = queue dry); a
+    /// driver may use this as a lookahead hint.
+    pub next_event: Option<Nanos>,
+    /// Packets waiting in the egress buffer after this step.
+    pub egress: usize,
+}
+
 /// Result of giving one CPU a chance to run at the frontier.
 enum StepOutcome {
     /// The CPU consumed time or changed scheduler state; re-derive the
@@ -380,7 +462,7 @@ pub struct Kernel {
     next_task: u32,
     next_pid: u32,
     stats: KernelStats,
-    /// One state block per simulated CPU (`cfg.ncpus` entries).
+    /// One state block per simulated CPU (`cfg.sched.ncpus` entries).
     cpus: Vec<CpuState>,
     /// Round-robin cursor for placing new application threads.
     next_app_cpu: u32,
@@ -399,7 +481,7 @@ pub struct Kernel {
     /// or admission-control — is billed here to the container the packet
     /// *classified to*, making the attacker-pays invariant assertable.
     drop_charges: BTreeMap<u64, u64>,
-    /// The transmit queueing discipline (present iff `cfg.link` is set).
+    /// The transmit queueing discipline (present iff `cfg.net.link` is set).
     link: Option<Box<dyn LinkSched>>,
     /// The packet currently occupying the wire.
     link_inflight: Option<LinkInflight>,
@@ -436,6 +518,16 @@ pub struct Kernel {
     /// Reusable world-action buffer, same idea for `PacketToWorld` and
     /// `WorldTimer` events.
     world_buf: Vec<WorldAction>,
+    /// Foreign-address prefixes owned by *other* cluster nodes: a
+    /// world-bound packet whose flow source matches one of these is
+    /// diverted into `egress_buf` (for the cluster driver to carry over an
+    /// inter-node link) instead of being delivered to the local world.
+    /// `None` — always, for standalone kernels — delivers everything
+    /// locally, leaving runs byte-identical.
+    egress_filter: Option<Vec<CidrFilter>>,
+    /// Packets captured by the egress filter, as `(departure, packet)`
+    /// pairs stamped with the kernel clock at capture time.
+    egress_buf: Vec<(Nanos, Packet)>,
 }
 
 /// The packet currently being clocked out on the finite link.
@@ -449,15 +541,15 @@ struct LinkInflight {
 impl Kernel {
     /// Boots a kernel with the given configuration.
     pub fn new(mut cfg: KernelConfig) -> Self {
-        cfg.ncpus = cfg.ncpus.max(1);
+        cfg.sched.ncpus = cfg.sched.ncpus.max(1);
         // All three planes are built by the rcpolicy registry, so boot
         // and mid-run swaps construct policies identically.
-        let scheduler = rcpolicy::build_cpu(cfg.scheduler, cfg.ncpus);
-        let disk = SimDisk::new(cfg.disk, rcpolicy::build_disk(cfg.disk_sched));
-        let disk_cache = BufferCache::new(cfg.buffer_cache_bytes);
+        let scheduler = rcpolicy::build_cpu(cfg.sched.policy, cfg.sched.ncpus);
+        let disk = SimDisk::new(cfg.disk.params, rcpolicy::build_disk(cfg.disk.sched));
+        let disk_cache = BufferCache::new(cfg.disk.buffer_cache_bytes);
         let mut k = Kernel {
             containers: ContainerTable::new(),
-            stack: NetStack::new(cfg.syn_timeout),
+            stack: NetStack::new(cfg.net.syn_timeout),
             scheduler,
             threads: IdSlab::new(),
             resume_waits: IdSlab::new(),
@@ -481,14 +573,14 @@ impl Kernel {
             clock: Nanos::ZERO,
             events: EventQueue::new(),
             stats: KernelStats::default(),
-            cpus: vec![CpuState::default(); cfg.ncpus as usize],
+            cpus: vec![CpuState::default(); cfg.sched.ncpus as usize],
             next_app_cpu: 0,
             container_home: HashMap::new(),
             next_home_cpu: 0,
             balance_snapshot: HashMap::new(),
             injector: cfg.fault.as_ref().map(FaultInjector::new),
             drop_charges: BTreeMap::new(),
-            link: cfg.link.as_ref().map(|p| rcpolicy::build_link(p.qdisc)),
+            link: cfg.net.link.as_ref().map(|p| rcpolicy::build_link(p.qdisc)),
             link_inflight: None,
             link_wait_until: None,
             link_owner_ids: HashMap::new(),
@@ -501,14 +593,16 @@ impl Kernel {
             spans_on: false,
             net_buf: Vec::new(),
             world_buf: Vec::new(),
+            egress_filter: None,
+            egress_buf: Vec::new(),
             cfg,
         };
-        if !k.cfg.prune_interval.is_zero() {
-            let t = k.cfg.prune_interval;
+        if !k.cfg.sched.prune_interval.is_zero() {
+            let t = k.cfg.sched.prune_interval;
             k.events.schedule(t, KernelEvent::Prune);
         }
-        if k.cfg.ncpus > 1 && !k.cfg.balance_interval.is_zero() {
-            let t = k.cfg.balance_interval;
+        if k.cfg.sched.ncpus > 1 && !k.cfg.sched.balance_interval.is_zero() {
+            let t = k.cfg.sched.balance_interval;
             k.events.schedule(t, KernelEvent::Balance);
         }
         k
@@ -526,7 +620,7 @@ impl Kernel {
 
     /// Number of simulated CPUs.
     pub fn ncpus(&self) -> u32 {
-        self.cfg.ncpus
+        self.cfg.sched.ncpus
     }
 
     /// Per-CPU accounting, one entry per simulated CPU. Each entry's
@@ -566,7 +660,7 @@ impl Kernel {
     /// multi-threaded servers start spread. Always CPU 0 on a
     /// uniprocessor.
     fn alloc_app_cpu(&mut self) -> CpuId {
-        let cpu = self.next_app_cpu % self.cfg.ncpus;
+        let cpu = self.next_app_cpu % self.cfg.sched.ncpus;
         self.next_app_cpu += 1;
         CpuId(cpu)
     }
@@ -575,13 +669,13 @@ impl Kernel {
     /// sticky thereafter. Kernel network threads run on the home CPU of
     /// their owning container, so protocol work is charged there.
     fn home_cpu(&mut self, c: ContainerId) -> CpuId {
-        if self.cfg.ncpus <= 1 {
+        if self.cfg.sched.ncpus <= 1 {
             return CpuId(0);
         }
         if let Some(&cpu) = self.container_home.get(&c.as_u64()) {
             return CpuId(cpu);
         }
-        let cpu = self.next_home_cpu % self.cfg.ncpus;
+        let cpu = self.next_home_cpu % self.cfg.sched.ncpus;
         self.next_home_cpu += 1;
         self.container_home.insert(c.as_u64(), cpu);
         CpuId(cpu)
@@ -672,6 +766,71 @@ impl Kernel {
     /// never runs past an event another CPU has yet to cause, and with one
     /// CPU the loop degenerates to the classic uniprocessor event loop.
     pub fn run(&mut self, world: &mut dyn World, until: Nanos) {
+        self.run_core(world, until);
+        self.flush_observability();
+    }
+
+    /// Advances the kernel to `horizon` and yields control back to the
+    /// caller — the steppable half of [`Kernel::run`], for cluster drivers
+    /// that interleave many kernels against a shared conservative horizon.
+    ///
+    /// Identical to `run` except that the end-of-run observability flush
+    /// is *not* performed (call [`Kernel::flush_observability`] once after
+    /// the final step); repeated `step_until` calls over the same total
+    /// interval replay `run`'s event schedule exactly. The one observable
+    /// difference is trace granularity: a horizon that lands mid-slice
+    /// splits that CPU slice into two trace records (the accounting is
+    /// unchanged).
+    pub fn step_until(&mut self, world: &mut dyn World, horizon: Nanos) -> NodeYield {
+        self.run_core(world, horizon);
+        NodeYield {
+            now: self.clock,
+            next_event: self.events.peek_time(),
+            egress: self.egress_buf.len(),
+        }
+    }
+
+    /// Installs the egress filter: world-bound packets whose flow source
+    /// matches any of `prefixes` are captured for [`Kernel::drain_egress_into`]
+    /// instead of being delivered to the local world. An empty list
+    /// removes the filter.
+    pub fn set_egress_filter(&mut self, prefixes: Vec<CidrFilter>) {
+        self.egress_filter = if prefixes.is_empty() {
+            None
+        } else {
+            Some(prefixes)
+        };
+    }
+
+    /// Moves all packets captured by the egress filter since the last
+    /// drain into `out` as `(departure, packet)` pairs, in capture order.
+    pub fn drain_egress_into(&mut self, out: &mut Vec<(Nanos, Packet)>) {
+        out.append(&mut self.egress_buf);
+    }
+
+    /// Records end-of-run totals into the active trace session, if any.
+    /// `run` calls this automatically; steppable (cluster) drivers call it
+    /// once after their final `step_until`.
+    pub fn flush_observability(&mut self) {
+        if rctrace::active() {
+            let rows = self.container_rows();
+            rctrace::record_totals(self.global_totals(), &rows);
+            let totals: Vec<rctrace::CpuTotals> = self
+                .cpus
+                .iter()
+                .map(|c| rctrace::CpuTotals {
+                    charged_cpu: c.stats.charged_cpu,
+                    interrupt_cpu: c.stats.interrupt_cpu,
+                    overhead_cpu: c.stats.overhead_cpu,
+                    idle_cpu: c.stats.idle_cpu,
+                    ctx_switches: c.stats.ctx_switches,
+                })
+                .collect();
+            rctrace::record_cpu_totals(&totals);
+        }
+    }
+
+    fn run_core(&mut self, world: &mut dyn World, until: Nanos) {
         // Sessions start and finish outside `run`, so the enabled flags
         // are loop invariants: hoisting them turns a thread-local access
         // per iteration (the dominant non-work cost of an untraced run)
@@ -769,22 +928,6 @@ impl Kernel {
             if self.trace_on {
                 trace::set_now(self.clock);
             }
-        }
-        if rctrace::active() {
-            let rows = self.container_rows();
-            rctrace::record_totals(self.global_totals(), &rows);
-            let totals: Vec<rctrace::CpuTotals> = self
-                .cpus
-                .iter()
-                .map(|c| rctrace::CpuTotals {
-                    charged_cpu: c.stats.charged_cpu,
-                    interrupt_cpu: c.stats.interrupt_cpu,
-                    overhead_cpu: c.stats.overhead_cpu,
-                    idle_cpu: c.stats.idle_cpu,
-                    ctx_switches: c.stats.ctx_switches,
-                })
-                .collect();
-            rctrace::record_cpu_totals(&totals);
         }
     }
 
@@ -998,6 +1141,12 @@ impl Kernel {
         match ev {
             KernelEvent::PacketIn(pkt) => self.receive_packet(pkt),
             KernelEvent::PacketToWorld(pkt) => {
+                if let Some(filter) = self.egress_filter.as_ref() {
+                    if filter.iter().any(|f| f.matches(pkt.flow.src)) {
+                        self.egress_buf.push((self.clock, pkt));
+                        return;
+                    }
+                }
                 let mut actions = std::mem::take(&mut self.world_buf);
                 world.on_packet(pkt, self.clock, &mut actions);
                 self.apply_world_actions(&mut actions);
@@ -1062,10 +1211,10 @@ impl Kernel {
     }
 
     fn rebalance(&mut self) {
-        let ncpus = self.cfg.ncpus as usize;
+        let ncpus = self.cfg.sched.ncpus as usize;
         if ncpus > 1 {
             // Rank containers by entitlement lag over the last window.
-            let window = self.cfg.balance_interval.as_secs_f64();
+            let window = self.cfg.sched.balance_interval.as_secs_f64();
             let mut ranked: Vec<(ContainerId, f64)> = Vec::new();
             for (id, _c) in self.containers.iter() {
                 let used = self.containers.subtree_cpu(id).unwrap_or(Nanos::ZERO);
@@ -1151,8 +1300,10 @@ impl Kernel {
                 }
             }
         }
-        self.events
-            .schedule(self.clock + self.cfg.balance_interval, KernelEvent::Balance);
+        self.events.schedule(
+            self.clock + self.cfg.sched.balance_interval,
+            KernelEvent::Balance,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -1381,7 +1532,7 @@ impl Kernel {
             }
         }
         self.stats.pkts_in += 1;
-        let cpu = simnet::rss_cpu(&pkt.flow, self.cfg.ncpus) as usize;
+        let cpu = simnet::rss_cpu(&pkt.flow, self.cfg.sched.ncpus) as usize;
         self.cpus[cpu].overhead_deficit += self.cfg.cost.intr_demux;
         let demux = self.stack.classify(&pkt);
         let sock = match demux {
@@ -1417,7 +1568,7 @@ impl Kernel {
                 pkt.span = sp;
             }
         }
-        match self.cfg.discipline {
+        match self.cfg.net.discipline {
             NetDiscipline::Interrupt => {
                 if self.spans_on && pkt.kind == simnet::PacketKind::Syn {
                     if let Some(s) = sock {
@@ -1506,7 +1657,7 @@ impl Kernel {
                     pkt.span = span::mint(self.clock, principal.as_u64(), Phase::SynWait);
                 }
                 let psp = pkt.span;
-                let cap = self.cfg.pending_cap;
+                let cap = self.cfg.net.pending_cap;
                 let q = self.pending.or_insert(owner, PendingQueues::new(cap));
                 if !q.push(principal, pkt) {
                     self.stats.early_drops += 1;
@@ -1533,7 +1684,7 @@ impl Kernel {
             .listener_budgets
             .get(listener)
             .copied()
-            .unwrap_or((self.cfg.syn_budget, self.cfg.accept_budget));
+            .unwrap_or((self.cfg.net.syn_budget, self.cfg.net.accept_budget));
         match pkt.kind {
             simnet::PacketKind::Syn => {
                 syn_budget > 0 && self.stack.syn_queue_len(listener) >= syn_budget
@@ -1558,8 +1709,8 @@ impl Kernel {
             self.listener_budgets.insert(
                 listener,
                 (
-                    syn_budget.unwrap_or(self.cfg.syn_budget),
-                    accept_budget.unwrap_or(self.cfg.accept_budget),
+                    syn_budget.unwrap_or(self.cfg.net.syn_budget),
+                    accept_budget.unwrap_or(self.cfg.net.accept_budget),
                 ),
             );
         }
@@ -1574,7 +1725,7 @@ impl Kernel {
             .get(owner)
             .map(|p| p.default_container)
             .unwrap_or_else(|| self.containers.root());
-        match self.cfg.discipline {
+        match self.cfg.net.discipline {
             NetDiscipline::Container => self
                 .stack
                 .container_of(sock)
@@ -1811,7 +1962,7 @@ impl Kernel {
                         // refuse the connection if the container subtree
                         // is hard over its memory limit (after reclaim and
                         // OOM when the memory subsystem is configured).
-                        let sockbuf = self.cfg.sockbuf_bytes;
+                        let sockbuf = self.cfg.net.sockbuf_bytes;
                         let mut ok = self.charge_kernel_mem(c, MemClass::SockBuf, sockbuf);
                         if ok {
                             self.sockbuf_charges.insert(conn, (c, sockbuf));
@@ -2049,7 +2200,7 @@ impl Kernel {
 
     fn prune_bindings(&mut self) {
         let now = self.clock;
-        let age = self.cfg.prune_age;
+        let age = self.cfg.sched.prune_age;
         let mut updates: Vec<(TaskId, Vec<ContainerId>)> = Vec::new();
         for (tid, th) in self.threads.iter_mut() {
             if th.kind != ThreadKind::App {
@@ -2065,8 +2216,10 @@ impl Kernel {
         for (tid, binding) in updates {
             self.scheduler.set_binding(tid, &binding, now);
         }
-        self.events
-            .schedule(self.clock + self.cfg.prune_interval, KernelEvent::Prune);
+        self.events.schedule(
+            self.clock + self.cfg.sched.prune_interval,
+            KernelEvent::Prune,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -2817,6 +2970,7 @@ impl Kernel {
         let wire_bytes = pkt.wire_bytes() as u64;
         let wire = self
             .cfg
+            .net
             .link
             .as_ref()
             .expect("transmit_link requires a configured link")
@@ -3091,9 +3245,9 @@ impl Kernel {
     /// across the swap. Returns the name of the detached policy.
     pub fn set_cpu_policy(&mut self, kind: SchedPolicyKind) -> &'static str {
         let now = self.clock;
-        let fresh = rcpolicy::build_cpu(kind, self.cfg.ncpus);
+        let fresh = rcpolicy::build_cpu(kind, self.cfg.sched.ncpus);
         let (from, to) = rcpolicy::swap(&mut self.scheduler, fresh, (), now);
-        self.cfg.scheduler = kind;
+        self.cfg.sched.policy = kind;
         trace::emit_at(now, || TraceEventKind::PolicySwap {
             plane: Plane::Cpu.label(),
             from,
@@ -3113,7 +3267,7 @@ impl Kernel {
         let from = self
             .disk
             .replace_sched(rcpolicy::build_disk(kind), &self.containers);
-        self.cfg.disk_sched = kind;
+        self.cfg.disk.sched = kind;
         trace::emit_at(now, || TraceEventKind::PolicySwap {
             plane: Plane::Disk.label(),
             from,
@@ -3134,7 +3288,7 @@ impl Kernel {
         let link = self.link.as_mut()?;
         let now = self.clock;
         let (from, to) = rcpolicy::swap(link, rcpolicy::build_link(qdisc), (), now);
-        if let Some(p) = self.cfg.link.as_mut() {
+        if let Some(p) = self.cfg.net.link.as_mut() {
             p.qdisc = qdisc;
         }
         trace::emit_at(now, || TraceEventKind::PolicySwap {
@@ -3208,8 +3362,8 @@ impl Kernel {
             spec.port,
             spec.filter,
             container,
-            self.cfg.syn_backlog,
-            self.cfg.accept_backlog,
+            self.cfg.net.syn_backlog,
+            self.cfg.net.accept_backlog,
             spec.notify_syn_drops,
         );
         self.set_listener_budgets(s, spec.syn_budget, spec.accept_budget);

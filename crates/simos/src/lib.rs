@@ -47,7 +47,10 @@ pub mod world;
 pub use app::{AppEvent, AppHandler};
 pub use cost::CostModel;
 pub use ids::Pid;
-pub use kernel::{DiskSchedKind, Kernel, KernelConfig, SchedPolicyKind};
+pub use kernel::{
+    DiskConfig, DiskSchedKind, Kernel, KernelConfig, NetConfig, NodeYield, SchedConfig,
+    SchedPolicyKind,
+};
 pub use mem::{MemAccountant, MemParams};
 pub use simnet::{LinkParams, QdiscKind};
 pub use stats::{CpuStats, KernelStats};

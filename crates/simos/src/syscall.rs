@@ -206,7 +206,7 @@ impl<'a> SysCtx<'a> {
                 container = None;
             }
         }
-        let (syn_b, acc_b) = (self.k.cfg.syn_backlog, self.k.cfg.accept_backlog);
+        let (syn_b, acc_b) = (self.k.cfg.net.syn_backlog, self.k.cfg.net.accept_backlog);
         let s = self.k.stack.listen(
             spec.port,
             spec.filter,

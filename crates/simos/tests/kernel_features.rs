@@ -140,7 +140,7 @@ fn socket_buffer_memory_limit_refuses_excess_connections() {
     // The process's default container gets a memory limit of 4 sockbufs.
     let accepted = Rc::new(RefCell::new(0u64));
     let mut cfg = KernelConfig::resource_containers();
-    cfg.sockbuf_bytes = 16 * 1024;
+    cfg.net.sockbuf_bytes = 16 * 1024;
     let mut k = Kernel::new(cfg);
     k.spawn_process(
         Box::new(LimitServer {

@@ -21,7 +21,7 @@ const N_CONNS: u64 = 3;
 fn mem_kernel() -> Kernel {
     let mut cfg =
         KernelConfig::resource_containers().with_mem(MemParams::new().with_pcb_bytes(PCB));
-    cfg.sockbuf_bytes = SOCKBUF;
+    cfg.net.sockbuf_bytes = SOCKBUF;
     Kernel::new(cfg)
 }
 

@@ -130,6 +130,10 @@ const TAGS_PER_CLIENT: u64 = 4;
 pub struct HttpClients {
     specs: Vec<ClientSpec>,
     states: Vec<ClientState>,
+    /// Source address → client index. Response demux is one hash lookup,
+    /// which is what keeps 100k-client cluster worlds off an O(n) scan
+    /// per packet.
+    index: std::collections::HashMap<IpAddr, usize>,
     /// Client-side fault injector (slow / abandoning / malformed clients).
     injector: Option<FaultInjector>,
     /// Collected metrics (read after the run).
@@ -153,9 +157,11 @@ impl HttpClients {
                 retries: 0,
             })
             .collect();
+        let index = specs.iter().enumerate().map(|(i, s)| (s.addr, i)).collect();
         HttpClients {
             specs,
             states,
+            index,
             injector: None,
             metrics: ClientMetrics::new(n_classes, window_start, window_end),
         }
@@ -180,18 +186,20 @@ impl HttpClients {
 
     /// Arms every client's start timer on the kernel.
     pub fn arm(&self, k: &mut simos::Kernel) {
-        for (i, spec) in self.specs.iter().enumerate() {
-            k.arm_world_timer(i as u64 * TAGS_PER_CLIENT + TAG_START, spec.start_at);
-        }
+        self.arm_with(|tag, at| k.arm_world_timer(tag, at));
     }
 
     /// Arms start timers with a composite-world tag offset.
     pub fn arm_offset(&self, k: &mut simos::Kernel, offset: u64) {
+        self.arm_with(|tag, at| k.arm_world_timer(offset + tag, at));
+    }
+
+    /// Arms every client's start timer through an arbitrary timer sink —
+    /// the host-agnostic form of [`HttpClients::arm`], used when the world
+    /// is hosted off-kernel (e.g. on a cluster front-end node).
+    pub fn arm_with(&self, mut arm: impl FnMut(u64, Nanos)) {
         for (i, spec) in self.specs.iter().enumerate() {
-            k.arm_world_timer(
-                offset + i as u64 * TAGS_PER_CLIENT + TAG_START,
-                spec.start_at,
-            );
+            arm(i as u64 * TAGS_PER_CLIENT + TAG_START, spec.start_at);
         }
     }
 
@@ -206,7 +214,7 @@ impl HttpClients {
     }
 
     fn client_of(&self, addr: IpAddr) -> Option<usize> {
-        self.specs.iter().position(|s| s.addr == addr)
+        self.index.get(&addr).copied()
     }
 
     fn flow(&self, i: usize) -> FlowKey {

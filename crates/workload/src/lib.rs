@@ -18,14 +18,19 @@
 //!   the §5.8 virtual-server isolation experiment — each returning a
 //!   structured result the benches print and the integration tests assert
 //!   against.
+//! - [`registry`]: the named-scenario table behind the unified `rcbench`
+//!   CLI — uniform arguments, structured outcomes, and per-run
+//!   self-checks.
 
 pub mod clients;
 pub mod composite;
 pub mod metrics;
+pub mod registry;
 pub mod scenarios;
 pub mod synflood;
 
 pub use clients::{ClientSpec, HttpClients};
 pub use composite::CompositeWorld;
 pub use metrics::ClientMetrics;
+pub use registry::{Check, Outcome, ScenarioArgs, ScenarioRegistry, ScenarioSpec};
 pub use synflood::SynFlood;

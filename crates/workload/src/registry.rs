@@ -1,0 +1,649 @@
+//! The scenario registry: one table of named, uniformly-invokable
+//! experiment drivers behind the `rcbench` CLI.
+//!
+//! Each [`ScenarioSpec`] couples a name with a runner that builds the
+//! scenario's parameters from generic [`ScenarioArgs`], runs it (tracing
+//! where the experiment's artifacts need a trace), and returns a
+//! structured [`Outcome`]: headline lines to print, trace sessions to
+//! export, self-[`Check`]s for CI gates, and (for the cluster scenario)
+//! the determinism dump CI byte-diffs. The CLI layer owns everything
+//! filesystem- and JSON-shaped — artifact validation, writing, exit
+//! codes — so the registry stays a pure scenario table.
+
+use rctrace::TraceConfig;
+use simcore::Nanos;
+use simos::{DiskSchedKind, QdiscKind};
+
+use crate::scenarios::{
+    run_cluster_tenants_traced, run_disk_tenants, run_memhog_tenants, run_qos_tenants,
+    run_smp_tenants, run_synflood_fault, ClusterTenantsParams, ClusterTenantsResult,
+    DiskTenantsParams, DiskTenantsResult, MemhogTenantsParams, QosTenantsParams, SmpTenantsParams,
+    SynfloodFaultParams,
+};
+
+/// Generic arguments a scenario runner may consult. Unset options fall
+/// back to each scenario's documented default.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioArgs {
+    /// Shrink the run for CI smoke tests.
+    pub reduced: bool,
+    /// CPU count (smp).
+    pub ncpus: Option<u32>,
+    /// Fault-plan seed (fault).
+    pub seed: Option<u64>,
+    /// Clients per tenant (cluster; the 1M-client nightly sets 500000).
+    pub clients: Option<usize>,
+    /// Backend node count (cluster).
+    pub nodes: Option<u32>,
+}
+
+/// One self-check a scenario evaluates on its own run. The CLI enforces
+/// these under `--check`; they are always computed (they're cheap).
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// Short name of the property.
+    pub label: &'static str,
+    /// Whether the run satisfied it.
+    pub ok: bool,
+    /// Human-readable detail (the failure message when `!ok`).
+    pub detail: String,
+}
+
+impl Check {
+    fn new(label: &'static str, ok: bool, detail: String) -> Self {
+        Check { label, ok, detail }
+    }
+}
+
+/// What a scenario run produced, for the CLI to print and persist.
+#[derive(Default)]
+pub struct Outcome {
+    /// Headline lines, printed in order.
+    pub headline: Vec<String>,
+    /// Self-checks (enforced under `--check`).
+    pub checks: Vec<Check>,
+    /// Message printed when every check passes.
+    pub check_ok: &'static str,
+    /// Single-kernel trace session to export (chrome + metrics).
+    pub session: Option<rctrace::TraceSession>,
+    /// Per-node `(name, session)` pairs from a cluster run, exported as
+    /// one merged Chrome trace with per-node track groups.
+    pub cluster_sessions: Vec<(String, rctrace::TraceSession)>,
+    /// Full cluster result (JSON artifact + the determinism dump CI
+    /// byte-diffs).
+    pub cluster: Option<ClusterTenantsResult>,
+    /// Text-report lines (`""` = blank): written as `results/<name>.txt`
+    /// under the given `(name, title)` in addition to being printed.
+    pub report: Option<(String, String, Vec<String>)>,
+}
+
+/// A named scenario: metadata plus its runner.
+pub struct ScenarioSpec {
+    /// Subcommand name.
+    pub name: &'static str,
+    /// One-line description for `rcbench help`.
+    pub about: &'static str,
+    /// Substrings the Chrome trace artifact must contain (validated by
+    /// the CLI before writing; empty when the scenario emits no trace).
+    pub trace_markers: &'static [&'static str],
+    /// Substrings the metrics dump must contain.
+    pub metrics_markers: &'static [&'static str],
+    /// Default artifact basename for `--out`.
+    pub default_out: fn(&ScenarioArgs) -> String,
+    /// Runs the scenario.
+    pub run: fn(&ScenarioArgs) -> Result<Outcome, String>,
+}
+
+/// The table of registered scenarios.
+pub struct ScenarioRegistry {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl ScenarioRegistry {
+    /// The standard registry behind `rcbench <subcommand>`.
+    pub fn standard() -> Self {
+        ScenarioRegistry {
+            specs: vec![
+                ScenarioSpec {
+                    name: "disk",
+                    about: "disk-bandwidth isolation: 70/30 fixed-share tenants vs FIFO",
+                    trace_markers: &[],
+                    metrics_markers: &[],
+                    default_out: |_| "fig_disk".to_string(),
+                    run: run_disk,
+                },
+                ScenarioSpec {
+                    name: "smp",
+                    about: "multiprocessor tenant shares with migration (traced)",
+                    trace_markers: &[],
+                    metrics_markers: &[],
+                    default_out: |a| format!("smp_ncpus{}", a.ncpus.unwrap_or(4)),
+                    run: run_smp,
+                },
+                ScenarioSpec {
+                    name: "qos",
+                    about: "link QoS: WFQ qdisc vs FIFO under a blast tenant (traced)",
+                    trace_markers: &["\"link\""],
+                    metrics_markers: &["\"link\""],
+                    default_out: |_| "qos".to_string(),
+                    run: run_qos,
+                },
+                ScenarioSpec {
+                    name: "fault",
+                    about: "SYN flood + seeded fault injection on the defended kernel (traced)",
+                    trace_markers: &["\"fault\""],
+                    metrics_markers: &[],
+                    default_out: |_| "fault".to_string(),
+                    run: run_fault,
+                },
+                ScenarioSpec {
+                    name: "mem",
+                    about: "memory isolation: cache hog vs guaranteed tenant (traced)",
+                    trace_markers: &["mem_bytes"],
+                    metrics_markers: &["\"mem\""],
+                    default_out: |_| "mem".to_string(),
+                    run: run_mem,
+                },
+                ScenarioSpec {
+                    name: "cluster",
+                    about: "cluster scale-out: global 70/30 split across 8 nodes (traced)",
+                    trace_markers: &["node0 cpu"],
+                    metrics_markers: &[],
+                    default_out: |_| "cluster".to_string(),
+                    run: run_cluster,
+                },
+            ],
+        }
+    }
+
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All registered specs, in listing order.
+    pub fn iter(&self) -> impl Iterator<Item = &ScenarioSpec> {
+        self.specs.iter()
+    }
+
+    /// Registered names, for help/error text.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+}
+
+fn run_disk(args: &ScenarioArgs) -> Result<Outcome, String> {
+    let secs = if args.reduced { 6 } else { 12 };
+    let run = |sched: DiskSchedKind, hog_clients: usize| -> DiskTenantsResult {
+        run_disk_tenants(DiskTenantsParams {
+            hog_clients,
+            secs,
+            sched,
+            ..DiskTenantsParams::default()
+        })
+    };
+
+    let mut lines: Vec<String> = Vec::new();
+    lines.push("disk-time split at 8 hog clients:".to_string());
+    lines.push(format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "sched", "hog conf", "hog meas", "victim conf", "victim meas", "disk%"
+    ));
+    let mut share_at_8 = None;
+    for sched in [DiskSchedKind::Fifo, DiskSchedKind::Share] {
+        let r = run(sched, 8);
+        lines.push(format!(
+            "{:<8} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}% {:>7.1}%",
+            r.sched,
+            r.configured[0] * 100.0,
+            r.disk_fractions[0] * 100.0,
+            r.configured[1] * 100.0,
+            r.disk_fractions[1] * 100.0,
+            r.utilization * 100.0,
+        ));
+        if sched == DiskSchedKind::Share {
+            share_at_8 = Some(r);
+        }
+    }
+    lines.push(String::new());
+
+    lines.push("victim throughput vs hog load:".to_string());
+    lines.push(format!(
+        "{:<14} {:>10} {:>16} {:>16}",
+        "hog clients", "sched", "victim req/s", "victim ms"
+    ));
+    let hog_loads: &[usize] = if args.reduced {
+        &[2, 8]
+    } else {
+        &[2, 4, 8, 16]
+    };
+    let mut victim_share: Vec<f64> = Vec::new();
+    for &hogs in hog_loads {
+        for sched in [DiskSchedKind::Fifo, DiskSchedKind::Share] {
+            let r = run(sched, hogs);
+            lines.push(format!(
+                "{:<14} {:>10} {:>16.1} {:>16.1}",
+                hogs, r.sched, r.throughputs[1], r.latencies_ms[1]
+            ));
+            if sched == DiskSchedKind::Share {
+                victim_share.push(r.throughputs[1]);
+            }
+        }
+    }
+    lines.push(String::new());
+    lines.push("paper §7: \"the container mechanism is general enough to encompass".to_string());
+    lines.push("other system resources, such as disk bandwidth\"; the share-aware".to_string());
+    lines.push("I/O scheduler holds the victim's service flat under any hog load.".to_string());
+
+    let share_at_8 = share_at_8.expect("Share arm ran");
+    let mut checks = Vec::new();
+    for (c, m) in share_at_8.configured.iter().zip(&share_at_8.disk_fractions) {
+        checks.push(Check::new(
+            "share-split",
+            (c - m).abs() < 0.10,
+            format!(
+                "share scheduler: configured {:.0}% vs measured {:.1}%",
+                c * 100.0,
+                m * 100.0
+            ),
+        ));
+    }
+    let flat = victim_share.last().copied().unwrap_or(0.0)
+        >= 0.8 * victim_share.first().copied().unwrap_or(0.0);
+    checks.push(Check::new(
+        "victim-flat",
+        flat,
+        format!(
+            "share-scheduled victim throughput {:.1} req/s at max hog load vs {:.1} at min",
+            victim_share.last().copied().unwrap_or(0.0),
+            victim_share.first().copied().unwrap_or(0.0)
+        ),
+    ));
+
+    Ok(Outcome {
+        checks,
+        check_ok: "share scheduler holds the 70/30 split and the victim stays flat",
+        report: Some((
+            "fig_disk".to_string(),
+            "disk-bandwidth isolation: 70/30 fixed-share tenants".to_string(),
+            lines,
+        )),
+        ..Outcome::default()
+    })
+}
+
+fn run_smp(args: &ScenarioArgs) -> Result<Outcome, String> {
+    let ncpus = args.ncpus.unwrap_or(4);
+    let params = SmpTenantsParams {
+        ncpus,
+        clients_per_tenant: if args.reduced { 16 } else { 24 },
+        parse_cost: Nanos::from_micros(200),
+        secs: if args.reduced { 4 } else { 10 },
+        ..SmpTenantsParams::default()
+    };
+
+    rctrace::start(TraceConfig::default());
+    let r = run_smp_tenants(params);
+    let session = rctrace::finish().ok_or("no trace session captured")?;
+
+    let headline = vec![format!(
+        "smp_tenants ncpus={}: shares {} | {:.0} req/s total | {} migrations | busy {}",
+        r.ncpus,
+        r.configured
+            .iter()
+            .zip(&r.measured)
+            .map(|(c, m)| format!("{:.0}%->{:.1}%", c * 100.0, m * 100.0))
+            .collect::<Vec<_>>()
+            .join(" "),
+        r.total_throughput,
+        r.migrations,
+        r.busy_fraction
+            .iter()
+            .map(|b| format!("{:.0}%", b * 100.0))
+            .collect::<Vec<_>>()
+            .join("/"),
+    )];
+
+    let mut checks = Vec::new();
+    for (c, m) in r.configured.iter().zip(&r.measured) {
+        checks.push(Check::new(
+            "share",
+            (c - m).abs() < 0.05,
+            format!(
+                "configured {:.0}% but measured {:.1}%",
+                c * 100.0,
+                m * 100.0
+            ),
+        ));
+    }
+    checks.push(Check::new(
+        "migrations",
+        if ncpus > 1 {
+            r.migrations > 0
+        } else {
+            r.migrations == 0
+        },
+        if ncpus > 1 {
+            "balancer never migrated a thread".to_string()
+        } else {
+            format!("uniprocessor run migrated {} threads", r.migrations)
+        },
+    ));
+
+    Ok(Outcome {
+        headline,
+        checks,
+        check_ok: "every tenant within 5 points of its share",
+        session: Some(session),
+        ..Outcome::default()
+    })
+}
+
+fn run_qos(args: &ScenarioArgs) -> Result<Outcome, String> {
+    let params = QosTenantsParams {
+        blast_clients: if args.reduced { 18 } else { 24 },
+        secs: if args.reduced { 6 } else { 10 },
+        ..QosTenantsParams::default()
+    };
+
+    // The FIFO ablation first (untraced), then the WFQ run under tracing.
+    let fifo = run_qos_tenants(QosTenantsParams {
+        qdisc: QdiscKind::Fifo,
+        ..params.clone()
+    });
+    rctrace::start(TraceConfig::default());
+    let wfq = run_qos_tenants(params);
+    let session = rctrace::finish().ok_or("no trace session captured")?;
+
+    let headline = vec![format!(
+        "qos_tenants: wfq gold/blast {:.1}%/{:.1}% of wire time (configured \
+         {:.0}%/{:.0}%) at {:.0}% utilization | fifo gold/blast {:.1}%/{:.1}% | \
+         gold throughput {:.0} req/s under wfq vs {:.0} under fifo",
+        wfq.tx_fractions[0] * 100.0,
+        wfq.tx_fractions[1] * 100.0,
+        wfq.configured[0] * 100.0,
+        wfq.configured[1] * 100.0,
+        wfq.utilization * 100.0,
+        fifo.tx_fractions[0] * 100.0,
+        fifo.tx_fractions[1] * 100.0,
+        wfq.throughputs[0],
+        fifo.throughputs[0],
+    )];
+
+    let mut checks = vec![Check::new(
+        "saturation",
+        wfq.utilization >= 0.9,
+        format!("link only {:.0}% utilized", wfq.utilization * 100.0),
+    )];
+    for (c, m) in wfq.configured.iter().zip(&wfq.tx_fractions) {
+        checks.push(Check::new(
+            "share",
+            (c - m).abs() < 0.05,
+            format!(
+                "configured {:.0}% vs measured {:.1}% under wfq",
+                c * 100.0,
+                m * 100.0
+            ),
+        ));
+    }
+    checks.push(Check::new(
+        "ablation",
+        fifo.tx_fractions[0] < 0.45,
+        format!(
+            "fifo still gave the gold tenant {:.1}%",
+            fifo.tx_fractions[0] * 100.0
+        ),
+    ));
+    checks.push(Check::new(
+        "protection",
+        wfq.throughputs[0] > 1.5 * fifo.throughputs[0],
+        format!(
+            "gold {:.0} req/s under wfq vs {:.0} under fifo",
+            wfq.throughputs[0], fifo.throughputs[0]
+        ),
+    ));
+
+    Ok(Outcome {
+        headline,
+        checks,
+        check_ok: "wfq holds the 3:1 split; fifo collapses under the blast tenant",
+        session: Some(session),
+        ..Outcome::default()
+    })
+}
+
+fn run_fault(args: &ScenarioArgs) -> Result<Outcome, String> {
+    let params = SynfloodFaultParams {
+        clients: if args.reduced { 8 } else { 12 },
+        fault_seed: args.seed.unwrap_or(7),
+        ..SynfloodFaultParams::default()
+    };
+
+    // The fault-free, flood-free baseline first (untraced), then the
+    // faulted run under tracing.
+    let base = run_synflood_fault(params.baseline());
+    rctrace::start(TraceConfig::default());
+    let r = run_synflood_fault(params.clone());
+    let session = rctrace::finish().ok_or("no trace session captured")?;
+
+    let headline = vec![format!(
+        "synflood_fault ncpus={} seed={}: {:.0} req/s (baseline {:.0}) | p99 {:.2} ms \
+         (baseline {:.2}) | {} net + {} client faults | {} syns, {} early drops, \
+         attacker pays {:.1}% | {} isolations",
+        params.ncpus,
+        params.fault_seed,
+        r.throughput,
+        base.throughput,
+        r.p99_ms,
+        base.p99_ms,
+        r.net_faults,
+        r.client_faults,
+        r.syns_sent,
+        r.early_drops,
+        r.attacker_drop_share * 100.0,
+        r.isolations,
+    )];
+
+    let checks = vec![
+        Check::new(
+            "degradation",
+            r.throughput >= 0.9 * base.throughput,
+            format!(
+                "{:.0} req/s under faults vs {:.0} baseline",
+                r.throughput, base.throughput
+            ),
+        ),
+        Check::new(
+            "latency",
+            r.p99_ms <= 2.0 * base.p99_ms.max(0.5),
+            format!("p99 {:.2} ms vs baseline {:.2} ms", r.p99_ms, base.p99_ms),
+        ),
+        Check::new(
+            "charging",
+            r.attacker_drop_share >= 0.95,
+            format!(
+                "attacker absorbed only {:.1}% of drop charges",
+                r.attacker_drop_share * 100.0
+            ),
+        ),
+        Check::new(
+            "injection",
+            r.net_faults > 0 && r.client_faults > 0,
+            "a fault category never fired".to_string(),
+        ),
+    ];
+
+    Ok(Outcome {
+        headline,
+        checks,
+        check_ok: "graceful degradation with attacker-pays charging",
+        session: Some(session),
+        ..Outcome::default()
+    })
+}
+
+fn run_mem(args: &ScenarioArgs) -> Result<Outcome, String> {
+    let params = MemhogTenantsParams {
+        secs: if args.reduced { 6 } else { 12 },
+        ..MemhogTenantsParams::default()
+    };
+
+    rctrace::start(TraceConfig::default());
+    let r = run_memhog_tenants(params);
+    let session = rctrace::finish().ok_or("no trace session captured")?;
+
+    let headline = vec![format!(
+        "memhog_tenants: guaranteed hit rate {:.1}% shared vs {:.1}% solo | \
+         p99 {:.2} ms shared vs {:.2} ms solo | {:.0} req/s shared vs {:.0} solo | \
+         hog: {} reclaims ({} KiB), {} oom kills, {} refusals, {} pressure events",
+        r.shared.cache_hit_rate * 100.0,
+        r.solo.cache_hit_rate * 100.0,
+        r.shared.p99_ms,
+        r.solo.p99_ms,
+        r.shared.throughput,
+        r.solo.throughput,
+        r.mem.reclaims,
+        r.mem.reclaimed_bytes / 1024,
+        r.mem.oom_kills,
+        r.mem.refusals,
+        r.mem.pressure_events,
+    )];
+
+    let checks = vec![
+        Check::new(
+            "reclaim",
+            r.mem.reclaims > 0,
+            "hog never lost a cache page".to_string(),
+        ),
+        Check::new(
+            "oom",
+            r.mem.oom_kills > 0,
+            "hog never OOM-killed".to_string(),
+        ),
+        Check::new(
+            "baseline",
+            r.solo.cache_hit_rate > 0.9,
+            format!("solo hit rate only {:.1}%", r.solo.cache_hit_rate * 100.0),
+        ),
+        Check::new(
+            "isolation-hits",
+            r.shared.cache_hit_rate >= 0.95 * r.solo.cache_hit_rate,
+            format!(
+                "hit rate fell {:.1}% -> {:.1}%",
+                r.solo.cache_hit_rate * 100.0,
+                r.shared.cache_hit_rate * 100.0
+            ),
+        ),
+        Check::new(
+            "isolation-p99",
+            r.shared.p99_ms <= 1.05 * r.solo.p99_ms.max(0.01),
+            format!(
+                "p99 grew {:.2} ms -> {:.2} ms",
+                r.solo.p99_ms, r.shared.p99_ms
+            ),
+        ),
+    ];
+
+    Ok(Outcome {
+        headline,
+        checks,
+        check_ok: "hog reclaimed and OOM-killed; guaranteed tenant within 5% of solo",
+        session: Some(session),
+        ..Outcome::default()
+    })
+}
+
+fn run_cluster(args: &ScenarioArgs) -> Result<Outcome, String> {
+    let mut params = if args.reduced {
+        ClusterTenantsParams::reduced()
+    } else {
+        ClusterTenantsParams::default()
+    };
+    if let Some(n) = args.nodes {
+        params.nodes = n.max(1);
+    }
+    if let Some(c) = args.clients {
+        params.clients_per_tenant = c.max(1);
+    }
+
+    // Bound each node's retained ring: eight full kernels at the default
+    // 1M-event ring would merge into a >100 MB artifact.
+    let (r, sessions) = run_cluster_tenants_traced(
+        params,
+        TraceConfig {
+            ring_capacity: 1 << 14,
+            ..TraceConfig::default()
+        },
+    );
+
+    let headline = vec![
+        format!(
+            "cluster_tenants nodes={} clients={}: split {} | {:.0} req/s total | \
+             {} placements, {} drains -> replicas {:?}",
+            r.nodes,
+            r.clients,
+            r.configured
+                .iter()
+                .zip(&r.measured)
+                .map(|(c, m)| format!("{:.0}%->{:.1}%", c * 100.0, m * 100.0))
+                .collect::<Vec<_>>()
+                .join(" "),
+            r.total_throughput,
+            r.placements.len(),
+            r.drains.len(),
+            r.replicas,
+        ),
+        format!(
+            "  lanes: {} forwarded, {} assigned, {} unroutable | wire {:.3} ms busy vs \
+             {:.3} ms charged ({}) | {} kernel events",
+            r.forwarded,
+            r.assigned,
+            r.unroutable,
+            r.lane_busy_ns as f64 / 1e6,
+            r.tx_wire_ns as f64 / 1e6,
+            if r.conserved { "conserved" } else { "LEAKED" },
+            r.sim_events,
+        ),
+    ];
+
+    let mut checks = vec![
+        Check::new(
+            "conservation",
+            r.conserved,
+            format!(
+                "lane busy {} ns vs tx charged {} ns",
+                r.lane_busy_ns, r.tx_wire_ns
+            ),
+        ),
+        Check::new(
+            "placement",
+            !r.placements.is_empty(),
+            "bronze starts capacity-confined; the orchestrator never placed".to_string(),
+        ),
+        Check::new(
+            "routable",
+            r.unroutable == 0,
+            format!("{} packets had no route", r.unroutable),
+        ),
+    ];
+    for (c, m) in r.configured.iter().zip(&r.measured) {
+        checks.push(Check::new(
+            "global-split",
+            (c - m).abs() <= 0.02,
+            format!(
+                "configured {:.0}% vs measured {:.1}% globally",
+                c * 100.0,
+                m * 100.0
+            ),
+        ));
+    }
+
+    Ok(Outcome {
+        headline,
+        checks,
+        check_ok: "global split within 2 points after rebalance, wire accounting conserved",
+        cluster_sessions: sessions,
+        cluster: Some(r),
+        ..Outcome::default()
+    })
+}

@@ -138,8 +138,8 @@ pub fn run_disk_tenants(params: DiskTenantsParams) -> DiskTenantsResult {
     let warmup = Nanos::from_secs(2).min(end / 4);
 
     let mut cfg = KernelConfig::resource_containers().with_disk(DiskParams::default());
-    cfg.disk_sched = params.sched;
-    cfg.buffer_cache_bytes = params.cache_bytes;
+    cfg.disk.sched = params.sched;
+    cfg.disk.buffer_cache_bytes = params.cache_bytes;
     let mut k = Kernel::new(cfg);
 
     let shares = [params.shares.0, params.shares.1];

@@ -207,7 +207,7 @@ fn run_once(params: &MemhogTenantsParams, with_hog: bool) -> RunOutcome {
     let mut cfg = KernelConfig::resource_containers()
         .with_disk(DiskParams::default())
         .with_mem(MemParams::new());
-    cfg.buffer_cache_bytes = params.cache_bytes;
+    cfg.disk.buffer_cache_bytes = params.cache_bytes;
     let mut k = Kernel::new(cfg);
 
     let guaranteed = k

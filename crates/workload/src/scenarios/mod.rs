@@ -7,6 +7,7 @@
 //! at reduced scale.
 
 pub mod baseline;
+pub mod cluster_tenants;
 pub mod disk_tenants;
 pub mod fig11;
 pub mod fig12;
@@ -19,6 +20,9 @@ pub mod synflood_fault;
 pub mod virtual_servers;
 
 pub use baseline::{run_baseline, BaselineParams, BaselineResult};
+pub use cluster_tenants::{
+    run_cluster_tenants, run_cluster_tenants_traced, ClusterTenantsParams, ClusterTenantsResult,
+};
 pub use disk_tenants::{run_disk_tenants, DiskTenantsParams, DiskTenantsResult};
 pub use fig11::{run_fig11, Fig11Params, Fig11Result, Fig11System};
 pub use fig12::{run_fig12, Fig12Params, Fig12Result, Fig12System};

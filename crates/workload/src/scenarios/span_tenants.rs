@@ -126,7 +126,7 @@ pub fn run_span_tenants(params: SpanTenantsParams) -> SpanTenantsResult {
         .with_disk(DiskParams::default())
         .with_link(params.link_mbps * 1_000_000, QdiscKind::Wfq)
         .with_mem(MemParams::new().with_reclaim_cost_per_kb(params.reclaim_cost_per_kib));
-    cfg.buffer_cache_bytes = params.cache_bytes;
+    cfg.disk.buffer_cache_bytes = params.cache_bytes;
     if let Some(kind) = params.scheduler {
         cfg = cfg.with_scheduler(kind);
     }

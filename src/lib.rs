@@ -28,6 +28,9 @@
 //! - [`rctrace`] — observability: session control for the kernel-wide
 //!   structured trace, per-container metrics timelines, and the
 //!   Chrome-trace / metrics-dump exporters.
+//! - [`simcluster`] — cluster scale-out: a steppable multi-kernel
+//!   `World` with inter-node lanes, a WRR frontend, a cross-node share
+//!   balancer, and a replica-placement orchestrator.
 //! - [`simcore`] — the deterministic discrete-event substrate.
 //!
 //! # Quickstart
@@ -50,6 +53,7 @@ pub use httpsim;
 pub use rctrace;
 pub use rescon;
 pub use sched;
+pub use simcluster;
 pub use simcore;
 pub use simdisk;
 pub use simnet;
@@ -64,18 +68,23 @@ pub mod prelude {
     };
     pub use rctrace::{chrome_trace_json, metrics_json, TraceConfig, TraceSession};
     pub use rescon::{Attributes, ContainerTable, SchedPolicy, SchedulerBinding};
+    pub use simcluster::{
+        Frontend, GlobalShare, Lane, LaneSpec, NodeId, NodeSpec, Orchestrator, OrchestratorConfig,
+        TenantRoute, TenantShare, World as ClusterWorld, FRONTEND,
+    };
     pub use simcore::Nanos;
     pub use simdisk::{BufferCache, DiskParams, FifoIoSched, ShareIoSched, SimDisk};
     pub use simnet::{CidrFilter, IpAddr, NetDiscipline};
     pub use simos::{
-        AppEvent, AppHandler, DiskSchedKind, Kernel, KernelConfig, ListenSpec, QdiscKind,
-        SchedPolicyKind, SysCtx, SysError, World, WorldAction,
+        AppEvent, AppHandler, DiskConfig, DiskSchedKind, Kernel, KernelConfig, ListenSpec,
+        NetConfig, NodeYield, QdiscKind, SchedConfig, SchedPolicyKind, SysCtx, SysError, World,
+        WorldAction,
     };
     pub use workload::scenarios::{
-        run_baseline, run_disk_tenants, run_fig11, run_fig12, run_fig14, run_qos_tenants,
-        run_smp_tenants, run_virtual_servers, BaselineParams, DiskTenantsParams, Fig11Params,
-        Fig11System, Fig12Params, Fig12System, Fig14Params, QosTenantsParams, SmpTenantsParams,
-        VsParams,
+        run_baseline, run_cluster_tenants, run_disk_tenants, run_fig11, run_fig12, run_fig14,
+        run_qos_tenants, run_smp_tenants, run_virtual_servers, BaselineParams,
+        ClusterTenantsParams, ClusterTenantsResult, DiskTenantsParams, Fig11Params, Fig11System,
+        Fig12Params, Fig12System, Fig14Params, QosTenantsParams, SmpTenantsParams, VsParams,
     };
-    pub use workload::{ClientSpec, HttpClients, SynFlood};
+    pub use workload::{ClientSpec, HttpClients, ScenarioArgs, ScenarioRegistry, SynFlood};
 }

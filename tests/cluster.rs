@@ -1,0 +1,82 @@
+//! Cluster-level property tests: a multi-kernel `World` is a pure
+//! function of its configuration, and the inter-node wire accounting is
+//! a closed double-entry system.
+//!
+//! These run the full `cluster_tenants` scenario at two-node scale with
+//! proptest-varied load, per-request cost, lane latency (the conservative
+//! synchronization quantum), and the control loops on or off — so the
+//! determinism contract is pinned across the parameter axes the 8-node
+//! experiment fixes.
+
+use proptest::prelude::*;
+use resource_containers::prelude::*;
+
+/// A compact description of a random two-node cluster workload.
+#[derive(Clone, Debug)]
+struct ClusterMix {
+    clients_per_tenant: usize,
+    parse_us: u64,
+    lane_latency_us: u64,
+    rebalance: bool,
+}
+
+fn mix_strategy() -> impl Strategy<Value = ClusterMix> {
+    (4usize..10, 500u64..2_500, 100u64..400, any::<bool>()).prop_map(
+        |(clients_per_tenant, parse_us, lane_latency_us, rebalance)| ClusterMix {
+            clients_per_tenant,
+            parse_us,
+            lane_latency_us,
+            rebalance,
+        },
+    )
+}
+
+fn params(mix: &ClusterMix) -> ClusterTenantsParams {
+    ClusterTenantsParams {
+        nodes: 2,
+        clients_per_tenant: mix.clients_per_tenant,
+        parse_cost: Nanos::from_micros(mix.parse_us),
+        think: Nanos::ZERO,
+        secs: 4,
+        measure_secs: 2,
+        rebalance: mix.rebalance,
+        lane: simcluster::LaneSpec::new(Nanos::from_micros(mix.lane_latency_us), 10_000_000_000),
+        ..ClusterTenantsParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Same configuration, same world: the state dump — every node's
+    /// kernel counters plus the frontend and lane ledgers — is
+    /// byte-identical across runs, whatever the load, lane latency, or
+    /// control-loop setting.
+    #[test]
+    fn two_node_same_config_dumps_byte_identical(mix in mix_strategy()) {
+        let a = run_cluster_tenants(params(&mix));
+        let b = run_cluster_tenants(params(&mix));
+        prop_assert_eq!(a.dump, b.dump, "cluster dump not byte-identical for {:?}", &mix);
+        prop_assert_eq!(a.measured, b.measured);
+        prop_assert_eq!(a.placements, b.placements);
+        prop_assert_eq!(a.sim_events, b.sim_events);
+    }
+
+    /// Double-entry wire accounting: every nanosecond an inter-node lane
+    /// spent busy is charged to exactly one source node, and the
+    /// frontend routed every packet it saw.
+    #[test]
+    fn two_node_lanes_conserve_wire_time(mix in mix_strategy()) {
+        let r = run_cluster_tenants(params(&mix));
+        prop_assert!(r.forwarded > 0, "frontend forwarded nothing for {:?}", &mix);
+        prop_assert!(r.lane_busy_ns > 0, "lanes never transmitted for {:?}", &mix);
+        prop_assert!(
+            r.conserved,
+            "wire time leaked for {:?}: lanes busy {} ns vs tx charged {} ns",
+            &mix, r.lane_busy_ns, r.tx_wire_ns
+        );
+        prop_assert_eq!(r.lane_busy_ns, r.tx_wire_ns);
+        prop_assert_eq!(r.unroutable, 0, "unroutable packets for {:?}", &mix);
+        prop_assert!(r.total_throughput > 0.0);
+    }
+}
